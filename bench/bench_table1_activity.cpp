@@ -1,0 +1,37 @@
+// Reproduces Table I: activity level of bots — average attacks per day,
+// number of active days, and CV of the daily attack count, per family.
+// Paper values are printed alongside the values measured on the generated
+// trace; the generator is calibrated so they should agree closely.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "trace/generator.h"
+
+int main() {
+  using namespace acbm;
+
+  bench::print_header(
+      "Table I — Activity level of bots (paper value / measured value)");
+  const trace::World world = bench::make_paper_world();
+  std::printf("%zu verified attacks generated over 242 days (paper: 50,704)\n\n",
+              world.dataset.size());
+
+  std::printf("%-12s | %10s %10s | %8s %8s | %6s %6s\n", "Family",
+              "avg/d (p)", "avg/d (m)", "days(p)", "days(m)", "CV(p)",
+              "CV(m)");
+  bench::print_rule();
+  const auto& rows = trace::table_one_reference();
+  for (std::size_t f = 0; f < rows.size(); ++f) {
+    const trace::FamilyActivityStats stats = trace::activity_stats(
+        world.dataset, static_cast<std::uint32_t>(f));
+    std::printf("%-12s | %10.2f %10.2f | %8zu %8zu | %6.2f %6.2f\n",
+                rows[f].name, rows[f].avg_per_day, stats.avg_per_day,
+                rows[f].active_days, stats.active_days, rows[f].cv, stats.cv);
+  }
+  bench::print_rule();
+  std::printf("(p) = value published in the paper; (m) = measured on the\n"
+              "synthetic trace. Shapes to check: DirtJumper most active,\n"
+              "AldiBot least, YZF shortest-lived, DirtJumper/BlackEnergy/\n"
+              "Pandora stably active (low CV among high-volume families).\n");
+  return 0;
+}

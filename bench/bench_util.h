@@ -1,0 +1,82 @@
+// Shared helpers for the reproduction benches: paper-scale world
+// construction, fixed-width table printing, and ASCII histograms that stand
+// in for the paper's figures.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/spatiotemporal_model.h"
+#include "trace/world.h"
+
+namespace acbm::bench {
+
+/// The paper-scale world every reproduction bench runs against. Seed fixed
+/// so all benches describe the same trace.
+inline trace::World make_paper_world(std::uint64_t seed = 2012) {
+  return trace::build_world(trace::paper_world_options(seed));
+}
+
+/// Spatiotemporal options tuned for bench runtime: fixed NAR architecture
+/// instead of per-target grid search (see bench_ablations for the
+/// grid-search comparison).
+inline core::SpatiotemporalOptions bench_st_options() {
+  core::SpatiotemporalOptions opts;
+  opts.spatial.grid_search = false;
+  opts.spatial.fixed.mlp.max_epochs = 120;
+  return opts;
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+inline void print_header(const std::string& title) {
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  print_rule();
+}
+
+/// Renders a histogram of `values` over [lo, hi) as rows of '#' bars.
+inline void print_histogram(std::span<const double> values, double lo,
+                            double hi, std::size_t bins,
+                            const std::string& label) {
+  std::vector<std::size_t> counts(bins, 0);
+  for (double v : values) {
+    double clamped = v;
+    if (clamped < lo) clamped = lo;
+    if (clamped >= hi) clamped = hi - 1e-9;
+    const auto bin = static_cast<std::size_t>((clamped - lo) / (hi - lo) *
+                                              static_cast<double>(bins));
+    ++counts[bin < bins ? bin : bins - 1];
+  }
+  std::size_t max_count = 1;
+  for (std::size_t c : counts) max_count = c > max_count ? c : max_count;
+  std::printf("%s (n=%zu)\n", label.c_str(), values.size());
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double bin_lo = lo + width * static_cast<double>(b);
+    std::printf("  [%7.2f,%7.2f) %6zu |", bin_lo, bin_lo + width, counts[b]);
+    const auto bar = static_cast<std::size_t>(
+        50.0 * static_cast<double>(counts[b]) / static_cast<double>(max_count));
+    for (std::size_t i = 0; i < bar; ++i) std::fputc('#', stdout);
+    std::fputc('\n', stdout);
+  }
+}
+
+/// Per-element absolute errors |truth - pred|.
+inline std::vector<double> abs_errors(std::span<const double> truth,
+                                      std::span<const double> pred) {
+  std::vector<double> out;
+  out.reserve(truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - pred[i];
+    out.push_back(d < 0 ? -d : d);
+  }
+  return out;
+}
+
+}  // namespace acbm::bench

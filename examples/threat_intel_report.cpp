@@ -1,0 +1,116 @@
+// Threat-intel report: what a cloud mitigation provider (§VII-B) would hand
+// its customers each week — per-family activity trends with model fit
+// diagnostics, entropy-based early-warning status per protected network,
+// and the predicted next attack (time, size, duration, sources) for each.
+//
+//   $ ./threat_intel_report [seed]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/detection.h"
+#include "core/pipeline.h"
+#include "sdnsim/traffic.h"
+#include "trace/world.h"
+#include "ts/diagnostics.h"
+
+int main(int argc, char** argv) {
+  using namespace acbm;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 21;
+  const trace::World world = trace::build_world(trace::small_world_options(seed));
+  const auto [history, upcoming] = world.dataset.split(0.8);
+
+  std::printf("=== ACBM THREAT INTELLIGENCE REPORT ===\n");
+  std::printf("observation window: %zu verified attacks, %zu families\n\n",
+              history.size(), history.family_names().size());
+
+  // --- Section 1: family activity & model fit quality -------------------
+  std::printf("-- botnet family activity --\n");
+  std::printf("%-12s %9s %7s   %s\n", "family", "avg/day", "trend",
+              "ARIMA residual diagnosis (Ljung-Box)");
+  for (std::uint32_t f = 0; f < history.family_names().size(); ++f) {
+    const core::FamilySeries series =
+        core::extract_family_series(history, f, world.ip_map, nullptr);
+    if (series.magnitude.size() < 60) continue;
+    const trace::FamilyActivityStats stats = trace::activity_stats(history, f);
+
+    // Trend: compare the last quarter's rate to the overall average.
+    const std::size_t n = series.day.size();
+    const double last_day = series.day.back();
+    std::size_t recent = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (series.day[i] > last_day - 14.0) ++recent;
+    }
+    const double recent_rate = static_cast<double>(recent) / 14.0;
+    const char* trend = recent_rate > 1.2 * stats.avg_per_day ? "RISING"
+                        : recent_rate < 0.8 * stats.avg_per_day ? "falling"
+                                                                : "stable";
+
+    core::TemporalModel model;
+    model.fit(series);
+    std::string diagnosis = "n/a (mean fallback)";
+    if (const auto& arima = model.model(core::TemporalSeries::kMagnitude)) {
+      const auto innov = arima->arma().innovations(series.magnitude);
+      const std::vector<double> resid(innov.begin() + 10, innov.end());
+      const ts::LjungBoxResult lb = ts::ljung_box(resid, 10, 3);
+      char buffer[64];
+      std::snprintf(buffer, sizeof buffer, "Q=%.1f p=%.3f %s", lb.statistic,
+                    lb.p_value,
+                    lb.p_value > 0.05 ? "(white residuals)" : "(structure left)");
+      diagnosis = buffer;
+    }
+    std::printf("%-12s %9.2f %7s   %s\n", history.family_names()[f].c_str(),
+                stats.avg_per_day, trend, diagnosis.c_str());
+  }
+
+  // --- Section 2: per-network early-warning + forecast ------------------
+  core::SpatiotemporalOptions opts;
+  opts.spatial.grid_search = false;
+  core::AdversaryModel model(opts);
+  std::printf("\nfitting predictive models...\n");
+  model.fit(history, world.ip_map);
+
+  std::vector<net::Asn> protected_asns = history.target_asns();
+  protected_asns.resize(std::min<std::size_t>(protected_asns.size(), 5));
+
+  std::printf("\n-- protected networks --\n");
+  for (net::Asn asn : protected_asns) {
+    const auto pred = model.predict_next_attack(asn);
+    if (!pred) continue;
+    std::printf("AS%u:\n", asn);
+    std::printf("  next attack  : day %.0f, %02.0f:00 UTC (family %s)\n",
+                pred->day, pred->hour,
+                history.family_names()[pred->assumed_family].c_str());
+    std::printf("  expected size: %.0f bots for %.0f min\n", pred->magnitude,
+                pred->duration_s / 60.0);
+    std::vector<std::pair<net::Asn, double>> sources(
+        pred->source_distribution.begin(), pred->source_distribution.end());
+    std::sort(sources.begin(), sources.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    std::printf("  watch list   : ");
+    for (std::size_t i = 0; i < sources.size() && i < 4; ++i) {
+      if (sources[i].first != 0) {
+        std::printf("AS%u (%.0f%%)  ", sources[i].first,
+                    100.0 * sources[i].second);
+      }
+    }
+    std::printf("\n");
+
+    // Early-warning calibration on the live feed: warm the entropy
+    // detector on quiet traffic, report its readiness.
+    const sdnsim::TargetTrafficModel traffic(world.dataset, world.ip_map, asn,
+                                             {});
+    core::EntropyDetector detector({.warmup = 120});
+    const trace::EpochSeconds quiet =
+        world.dataset.window_start() - 7 * 86400;
+    for (int m = 0; m < 150; ++m) {
+      const auto minute = traffic.minute(quiet + m * 60);
+      (void)detector.observe(minute.benign);
+    }
+    std::printf("  early warning: entropy detector %s (baseline H=%.2f)\n",
+                detector.armed() ? "ARMED" : "warming up",
+                detector.last_entropy());
+  }
+  return 0;
+}

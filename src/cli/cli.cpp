@@ -1,0 +1,288 @@
+#include "cli/cli.h"
+
+#include <algorithm>
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "trace/generator.h"
+#include "trace/world.h"
+
+namespace acbm::cli {
+
+namespace {
+
+/// Minimal --key value parser; flags must all be known.
+class ArgMap {
+ public:
+  ArgMap(std::span<const std::string> args, std::size_t first) {
+    for (std::size_t i = first; i < args.size(); ++i) {
+      if (args[i].rfind("--", 0) != 0) {
+        throw std::invalid_argument("expected --option, got '" + args[i] + "'");
+      }
+      const std::string key = args[i].substr(2);
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument("option --" + key + " needs a value");
+      }
+      values_[key] = args[++i];
+    }
+  }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::nullopt
+                               : std::optional<std::string>(it->second);
+  }
+
+  [[nodiscard]] std::string require(const std::string& key) const {
+    const auto value = get(key);
+    if (!value) throw std::invalid_argument("missing required --" + key);
+    return *value;
+  }
+
+  template <typename T>
+  [[nodiscard]] T get_or(const std::string& key, T fallback) const {
+    const auto value = get(key);
+    if (!value) return fallback;
+    if constexpr (std::is_same_v<T, double>) {
+      return std::stod(*value);
+    } else {
+      return static_cast<T>(std::stoull(*value));
+    }
+  }
+
+  void reject_unknown(std::initializer_list<const char*> known) const {
+    for (const auto& [key, value] : values_) {
+      if (std::find_if(known.begin(), known.end(), [&](const char* k) {
+            return key == k;
+          }) == known.end()) {
+        throw std::invalid_argument("unknown option --" + key);
+      }
+    }
+  }
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+};
+
+void print_usage(std::ostream& out) {
+  out << "acbm — adversary-centric DDoS behavior modeling (ICDCS'17 repro)\n"
+         "\n"
+         "usage: acbm <command> [options]\n"
+         "\n"
+         "commands:\n"
+         "  generate   build a simulated world and write the trace\n"
+         "             --seed N (1) --days N (70) --scale X (1.0)\n"
+         "             --dataset FILE --ipmap FILE\n"
+         "  stats      per-family activity report (Table I format)\n"
+         "             --dataset FILE\n"
+         "  fit        fit the full model and save it for later prediction\n"
+         "             --dataset FILE --ipmap FILE --model FILE\n"
+         "  predict    predict the next attack per target (fits on the fly\n"
+         "             from --dataset/--ipmap, or loads --model FILE)\n"
+         "             [--dataset FILE --ipmap FILE | --model FILE]\n"
+         "             [--target ASN] [--top K]\n"
+         "  evaluate   timestamp-prediction RMSE report (Fig. 4 format)\n"
+         "             --dataset FILE --ipmap FILE [--train-fraction F]\n"
+         "  help       this message\n";
+}
+
+trace::Dataset load_dataset(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open dataset file " + path);
+  return trace::Dataset::load_csv(in);
+}
+
+net::IpToAsnMap load_ipmap(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open ipmap file " + path);
+  return net::IpToAsnMap::load(in);
+}
+
+int cmd_generate(const ArgMap& args, std::ostream& out) {
+  args.reject_unknown({"seed", "days", "scale", "dataset", "ipmap"});
+  trace::WorldOptions opts = trace::small_world_options(
+      args.get_or<std::uint64_t>("seed", 1));
+  opts.generator.days = args.get_or<std::size_t>("days", 70);
+  opts.generator.activity_scale = args.get_or<double>("scale", 1.0);
+  const std::string dataset_path = args.require("dataset");
+  const std::string ipmap_path = args.require("ipmap");
+
+  const trace::World world = trace::build_world(opts);
+  std::ofstream dataset_out(dataset_path);
+  if (!dataset_out) {
+    throw std::invalid_argument("cannot write " + dataset_path);
+  }
+  world.dataset.save_csv(dataset_out);
+  std::ofstream ipmap_out(ipmap_path);
+  if (!ipmap_out) throw std::invalid_argument("cannot write " + ipmap_path);
+  world.ip_map.save(ipmap_out);
+
+  out << "generated " << world.dataset.size() << " attacks over "
+      << opts.generator.days << " days (" << world.topology.graph.as_count()
+      << " ASes)\n"
+      << "dataset: " << dataset_path << "\nipmap:   " << ipmap_path << "\n";
+  return 0;
+}
+
+int cmd_stats(const ArgMap& args, std::ostream& out) {
+  args.reject_unknown({"dataset"});
+  const trace::Dataset dataset = load_dataset(args.require("dataset"));
+  out << dataset.size() << " attacks, " << dataset.family_names().size()
+      << " families, " << dataset.target_asns().size() << " target ASes\n\n";
+  std::ostringstream header;
+  header << "family        avg/day  active-days     CV\n";
+  out << header.str();
+  for (std::uint32_t f = 0;
+       f < static_cast<std::uint32_t>(dataset.family_names().size()); ++f) {
+    const trace::FamilyActivityStats stats = trace::activity_stats(dataset, f);
+    char line[128];
+    std::snprintf(line, sizeof line, "%-12s %8.2f %12zu %6.2f\n",
+                  dataset.family_names()[f].c_str(), stats.avg_per_day,
+                  stats.active_days, stats.cv);
+    out << line;
+  }
+  return 0;
+}
+
+int cmd_fit(const ArgMap& args, std::ostream& out) {
+  args.reject_unknown({"dataset", "ipmap", "model"});
+  const trace::Dataset dataset = load_dataset(args.require("dataset"));
+  const net::IpToAsnMap ip_map = load_ipmap(args.require("ipmap"));
+  const std::string model_path = args.require("model");
+
+  core::SpatiotemporalOptions opts;
+  opts.spatial.grid_search = false;  // CLI favors responsiveness.
+  core::AdversaryModel model(opts);
+  model.fit(dataset, ip_map);
+  std::ofstream model_out(model_path);
+  if (!model_out) throw std::invalid_argument("cannot write " + model_path);
+  model.save(model_out);
+  out << "fitted on " << dataset.size() << " attacks; model saved to "
+      << model_path << "\n";
+  return 0;
+}
+
+int cmd_predict(const ArgMap& args, std::ostream& out) {
+  args.reject_unknown({"dataset", "ipmap", "model", "target", "top"});
+  core::AdversaryModel model;
+  if (const auto model_path = args.get("model")) {
+    std::ifstream model_in(*model_path);
+    if (!model_in) {
+      throw std::invalid_argument("cannot open model file " + *model_path);
+    }
+    model = core::AdversaryModel::load(model_in);
+  } else {
+    const trace::Dataset fit_dataset = load_dataset(args.require("dataset"));
+    const net::IpToAsnMap ip_map = load_ipmap(args.require("ipmap"));
+    core::SpatiotemporalOptions opts;
+    opts.spatial.grid_search = false;  // CLI favors responsiveness.
+    model = core::AdversaryModel(opts);
+    model.fit(fit_dataset, ip_map);
+  }
+  const trace::Dataset& dataset = model.dataset();
+
+  std::vector<net::Asn> targets;
+  if (const auto target = args.get("target")) {
+    targets.push_back(static_cast<net::Asn>(std::stoul(*target)));
+  } else {
+    targets = dataset.target_asns();
+    targets.resize(std::min<std::size_t>(targets.size(),
+                                         args.get_or<std::size_t>("top", 5)));
+  }
+
+  out << "target      family        bots   duration      day  hour  top sources\n";
+  for (net::Asn asn : targets) {
+    const auto pred = model.predict_next_attack(asn);
+    if (!pred) {
+      out << "AS" << asn << "  (no history)\n";
+      continue;
+    }
+    std::vector<std::pair<net::Asn, double>> sources(
+        pred->source_distribution.begin(), pred->source_distribution.end());
+    std::sort(sources.begin(), sources.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "AS%-8u  %-12s %5.0f %9.0fs %7.1f %5.1f  ", asn,
+                  dataset.family_names()[pred->assumed_family].c_str(),
+                  pred->magnitude, pred->duration_s, pred->day, pred->hour);
+    out << line;
+    for (std::size_t i = 0; i < sources.size() && i < 3; ++i) {
+      if (sources[i].first == 0) continue;
+      char src[48];
+      std::snprintf(src, sizeof src, "AS%u(%.0f%%) ", sources[i].first,
+                    100.0 * sources[i].second);
+      out << src;
+    }
+    out << "\n";
+  }
+  return 0;
+}
+
+int cmd_evaluate(const ArgMap& args, std::ostream& out) {
+  args.reject_unknown({"dataset", "ipmap", "train-fraction"});
+  const trace::Dataset dataset = load_dataset(args.require("dataset"));
+  const net::IpToAsnMap ip_map = load_ipmap(args.require("ipmap"));
+  const double fraction = args.get_or<double>("train-fraction", 0.8);
+
+  core::SpatiotemporalOptions opts;
+  opts.spatial.grid_search = false;
+  const core::TimestampEvaluation eval =
+      core::evaluate_timestamps(dataset, ip_map, opts, fraction);
+  if (eval.truth_hour.empty()) {
+    out << "not enough data to evaluate\n";
+    return 0;
+  }
+  char buffer[256];
+  std::snprintf(buffer, sizeof buffer,
+                "%zu test attacks\n"
+                "hour RMSE: spatial %.2f  temporal %.2f  spatiotemporal %.2f\n"
+                "date RMSE: spatial %.2f  temporal %.2f  spatiotemporal %.2f\n",
+                eval.truth_hour.size(), eval.rmse_hour_spa, eval.rmse_hour_tmp,
+                eval.rmse_hour_st, eval.rmse_day_spa, eval.rmse_day_tmp,
+                eval.rmse_day_st);
+  out << buffer;
+  return 0;
+}
+
+}  // namespace
+
+int run(std::span<const std::string> args, std::ostream& out,
+        std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    print_usage(out);
+    return args.empty() ? 1 : 0;
+  }
+  try {
+    const ArgMap options(args, 1);
+    if (args[0] == "generate") return cmd_generate(options, out);
+    if (args[0] == "fit") return cmd_fit(options, out);
+    if (args[0] == "stats") return cmd_stats(options, out);
+    if (args[0] == "predict") return cmd_predict(options, out);
+    if (args[0] == "evaluate") return cmd_evaluate(options, out);
+    err << "unknown command '" << args[0] << "'\n";
+    print_usage(err);
+    return 1;
+  } catch (const std::invalid_argument& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    err << "internal error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+int run(int argc, const char* const* argv, std::ostream& out,
+        std::ostream& err) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return run(args, out, err);
+}
+
+}  // namespace acbm::cli

@@ -1,0 +1,29 @@
+// Command-line front end: generate traces, report statistics, fit the
+// models, and predict upcoming attacks, all from the shell. The command
+// logic lives in this library (streams in, streams out) so it is unit
+// testable; src/cli/main.cpp is the thin binary wrapper.
+//
+//   acbm generate --seed 7 --days 70 --dataset trace.csv --ipmap ipmap.txt
+//   acbm stats    --dataset trace.csv
+//   acbm predict  --dataset trace.csv --ipmap ipmap.txt [--target ASN]
+//   acbm evaluate --dataset trace.csv --ipmap ipmap.txt
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace acbm::cli {
+
+/// Runs one CLI invocation. `args` excludes the program name. Returns the
+/// process exit code (0 success, 1 user error, 2 internal error). All
+/// human output goes to `out`, diagnostics to `err`.
+int run(std::span<const std::string> args, std::ostream& out,
+        std::ostream& err);
+
+/// Convenience overload for argv-style input.
+int run(int argc, const char* const* argv, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace acbm::cli

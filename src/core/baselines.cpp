@@ -1,0 +1,40 @@
+#include "core/baselines.h"
+
+#include <stdexcept>
+
+namespace acbm::core {
+
+namespace {
+void check_start(std::span<const double> series, std::size_t start) {
+  if (start == 0 || start > series.size()) {
+    throw std::invalid_argument("baseline predictions: bad start index");
+  }
+}
+}  // namespace
+
+std::vector<double> always_same_predictions(std::span<const double> series,
+                                            std::size_t start) {
+  check_start(series, start);
+  std::vector<double> out;
+  out.reserve(series.size() - start);
+  for (std::size_t t = start; t < series.size(); ++t) {
+    out.push_back(series[t - 1]);
+  }
+  return out;
+}
+
+std::vector<double> always_mean_predictions(std::span<const double> series,
+                                            std::size_t start) {
+  check_start(series, start);
+  std::vector<double> out;
+  out.reserve(series.size() - start);
+  double sum = 0.0;
+  for (std::size_t t = 0; t < start; ++t) sum += series[t];
+  for (std::size_t t = start; t < series.size(); ++t) {
+    out.push_back(sum / static_cast<double>(t));
+    sum += series[t];
+  }
+  return out;
+}
+
+}  // namespace acbm::core

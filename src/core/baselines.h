@@ -1,0 +1,22 @@
+// The naive comparison predictors from §VII-A: "Always Same" repeats the
+// previous observation, "Always Mean" predicts the running mean of all
+// history. The paper shows both lose badly to the data-driven models.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace acbm::core {
+
+/// Walk-forward predictions of series[start..] where each prediction is the
+/// immediately preceding observation. Requires 1 <= start <= series.size().
+[[nodiscard]] std::vector<double> always_same_predictions(
+    std::span<const double> series, std::size_t start);
+
+/// Walk-forward predictions where each prediction is the mean of all
+/// observations strictly before it.
+[[nodiscard]] std::vector<double> always_mean_predictions(
+    std::span<const double> series, std::size_t start);
+
+}  // namespace acbm::core

@@ -1,0 +1,59 @@
+#include "core/detection.h"
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/distribution.h"
+
+namespace acbm::core {
+
+void EntropyDetector::update_baseline(double entropy, double volume) {
+  entropy_history_.push_back(entropy);
+  volume_history_.push_back(volume);
+  while (entropy_history_.size() > opts_.baseline_window) {
+    entropy_history_.pop_front();
+    volume_history_.pop_front();
+  }
+}
+
+bool EntropyDetector::observe(
+    const std::unordered_map<net::Asn, double>& traffic_by_as) {
+  ++total_observations_;
+  std::vector<double> volumes;
+  volumes.reserve(traffic_by_as.size());
+  double total = 0.0;
+  for (const auto& [asn, volume] : traffic_by_as) {
+    if (volume > 0.0) {
+      volumes.push_back(volume);
+      total += volume;
+    }
+  }
+  last_entropy_ = acbm::stats::entropy(volumes);
+
+  if (!armed()) {
+    last_z_ = 0.0;
+    update_baseline(last_entropy_, total);
+    return false;
+  }
+
+  const std::vector<double> baseline(entropy_history_.begin(),
+                                     entropy_history_.end());
+  const double mean = acbm::stats::mean(baseline);
+  const double sd = std::max(acbm::stats::stddev(baseline), 1e-6);
+  last_z_ = (last_entropy_ - mean) / sd;
+
+  const std::vector<double> volumes_hist(volume_history_.begin(),
+                                         volume_history_.end());
+  const double volume_mean = acbm::stats::mean(volumes_hist);
+  const bool volume_anomalous = total > opts_.volume_factor * volume_mean;
+
+  const bool flagged =
+      std::abs(last_z_) >= opts_.z_threshold && volume_anomalous;
+  if (!flagged) {
+    update_baseline(last_entropy_, total);
+  }
+  return flagged;
+}
+
+}  // namespace acbm::core

@@ -1,0 +1,214 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <sstream>
+
+#include "stats/serialize.h"
+
+namespace acbm::core {
+
+void AdversaryModel::fit(const trace::Dataset& dataset,
+                         const net::IpToAsnMap& ip_map) {
+  dataset_ = dataset;
+  ip_map_ = ip_map;
+  observed_.clear();
+  st_ = SpatiotemporalModel(opts_);
+  st_.fit(dataset_, ip_map_);
+  fitted_ = true;
+}
+
+void AdversaryModel::observe(const trace::Attack& attack) {
+  if (!fitted_) throw std::logic_error("AdversaryModel::observe: not fitted");
+  observed_.push_back(attack);
+}
+
+void AdversaryModel::save(std::ostream& os) const {
+  namespace io = acbm::stats::io;
+  io::write_header(os, "adversary_model", 1);
+  io::write_scalar(os, "fitted", fitted_ ? 1 : 0);
+  io::write_scalar(os, "magnitude_window", opts_.magnitude_window);
+  st_.save(os);
+
+  // Embed the dataset CSV and IP map with explicit line counts so the
+  // loader knows exactly where each block ends.
+  std::ostringstream dataset_text;
+  dataset_.save_csv(dataset_text);
+  const std::string dataset_str = dataset_text.str();
+  io::write_scalar(os, "dataset_lines",
+                   std::count(dataset_str.begin(), dataset_str.end(), '\n'));
+  os << dataset_str;
+
+  std::ostringstream ipmap_text;
+  ip_map_.save(ipmap_text);
+  const std::string ipmap_str = ipmap_text.str();
+  io::write_scalar(os, "ipmap_lines",
+                   std::count(ipmap_str.begin(), ipmap_str.end(), '\n'));
+  os << ipmap_str;
+}
+
+AdversaryModel AdversaryModel::load(std::istream& is) {
+  namespace io = acbm::stats::io;
+  io::expect_header(is, "adversary_model", 1);
+  AdversaryModel model;
+  model.fitted_ = io::read_scalar<int>(is, "fitted") != 0;
+  model.opts_.magnitude_window =
+      io::read_scalar<std::size_t>(is, "magnitude_window");
+  model.st_ = SpatiotemporalModel::load(is);
+
+  const auto read_block = [&is](std::size_t lines) {
+    std::ostringstream block;
+    std::string line;
+    for (std::size_t i = 0; i < lines; ++i) {
+      if (!std::getline(is, line)) {
+        throw std::invalid_argument("AdversaryModel::load: truncated block");
+      }
+      block << line << '\n';
+    }
+    return block.str();
+  };
+  const auto dataset_lines = io::read_scalar<std::size_t>(is, "dataset_lines");
+  std::istringstream dataset_text(read_block(dataset_lines));
+  model.dataset_ = trace::Dataset::load_csv(dataset_text);
+  const auto ipmap_lines = io::read_scalar<std::size_t>(is, "ipmap_lines");
+  std::istringstream ipmap_text(read_block(ipmap_lines));
+  model.ip_map_ = net::IpToAsnMap::load(ipmap_text);
+  return model;
+}
+
+std::optional<AttackPrediction> AdversaryModel::predict_next_attack(
+    net::Asn target_asn) const {
+  if (!fitted_) {
+    throw std::logic_error("AdversaryModel::predict_next_attack: not fitted");
+  }
+  // Combined history: fitted dataset plus live observations on this target.
+  TargetSeries target = extract_target_series(dataset_, target_asn);
+  std::vector<const trace::Attack*> target_attacks;
+  for (std::size_t idx : target.attack_indices) {
+    target_attacks.push_back(&dataset_.attacks()[idx]);
+  }
+  for (const trace::Attack& attack : observed_) {
+    if (attack.target_asn != target_asn) continue;
+    target_attacks.push_back(&attack);
+    target.duration_s.push_back(attack.duration_s);
+    target.magnitude.push_back(static_cast<double>(attack.magnitude()));
+    const trace::EpochSeconds prev_start =
+        target_attacks.size() >= 2
+            ? target_attacks[target_attacks.size() - 2]->start
+            : attack.start;
+    target.interval_s.push_back(static_cast<double>(attack.start - prev_start));
+    const trace::DayHour dh =
+        trace::decompose_timestamp(attack.start, dataset_.window_start());
+    target.hour.push_back(static_cast<double>(dh.hour));
+    target.day.push_back(static_cast<double>(dh.day));
+  }
+  if (target_attacks.empty()) return std::nullopt;
+
+  // Dominant attacker family on this target.
+  std::unordered_map<std::uint32_t, std::size_t> family_counts;
+  for (const trace::Attack* attack : target_attacks) {
+    ++family_counts[attack->family];
+  }
+  std::uint32_t family = target_attacks.back()->family;
+  std::size_t best_count = 0;
+  for (const auto& [f, count] : family_counts) {
+    if (count > best_count || (count == best_count && f < family)) {
+      family = f;
+      best_count = count;
+    }
+  }
+
+  AttackPrediction pred;
+  pred.assumed_family = family;
+
+  // Temporal component: the family's magnitude / hour / interval forecasts.
+  const FamilySeries family_series =
+      extract_family_series(dataset_, family, ip_map_, nullptr);
+  const TemporalModel* temporal = st_.temporal(family);
+  StFeatures features;
+  if (temporal != nullptr && !family_series.magnitude.empty()) {
+    pred.magnitude = std::max(
+        1.0, temporal->forecast_next(TemporalSeries::kMagnitude,
+                                     family_series.magnitude));
+    if (const auto& arima = temporal->model(TemporalSeries::kMagnitude)) {
+      pred.magnitude_sd = std::sqrt(arima->forecast_variance(1));
+    }
+    features.tmp_hour = temporal->forecast_next(TemporalSeries::kHour,
+                                                family_series.hour);
+    features.tmp_interval_s = std::max(
+        30.0, temporal->forecast_next(TemporalSeries::kInterval,
+                                      family_series.interval_s));
+  } else {
+    pred.magnitude = target.magnitude.back();
+    features.tmp_hour = target.hour.back();
+    features.tmp_interval_s = 86400.0;
+  }
+
+  // Spatial component: per-target duration / hour / interval forecasts and
+  // the source-AS distribution.
+  const SpatialModel* spatial = st_.spatial(target_asn);
+  if (spatial != nullptr) {
+    pred.duration_s = std::max(
+        30.0, spatial->forecast_next(SpatialSeries::kDuration,
+                                     target.duration_s));
+    features.spa_hour =
+        spatial->forecast_next(SpatialSeries::kHour, target.hour);
+    features.spa_interval_s = std::max(
+        30.0, spatial->forecast_next(SpatialSeries::kInterval,
+                                     target.interval_s));
+    std::vector<std::unordered_map<net::Asn, double>> dists;
+    dists.reserve(target_attacks.size());
+    for (const trace::Attack* attack : target_attacks) {
+      dists.push_back(source_asn_distribution(*attack, ip_map_));
+    }
+    pred.source_distribution = spatial->predict_source_distribution(dists);
+  } else {
+    // Cold target: fall back to its own last observations.
+    double mean_duration = 0.0;
+    for (double d : target.duration_s) mean_duration += d;
+    pred.duration_s = mean_duration / static_cast<double>(target.duration_s.size());
+    features.spa_hour = target.hour.back();
+    features.spa_interval_s = features.tmp_interval_s;
+    pred.source_distribution =
+        source_asn_distribution(*target_attacks.back(), ip_map_);
+  }
+
+  features.prev_hour = target.hour.back();
+  features.prev_day = target.day.back();
+  double hour_sum = 0.0;
+  for (double h : target.hour) hour_sum += h;
+  features.mean_hour = hour_sum / static_cast<double>(target.hour.size());
+  const std::size_t window =
+      std::min<std::size_t>(opts_.magnitude_window, target.magnitude.size());
+  double mag = 0.0;
+  for (std::size_t i = target.magnitude.size() - window;
+       i < target.magnitude.size(); ++i) {
+    mag += target.magnitude[i];
+  }
+  features.avg_magnitude = mag / static_cast<double>(window);
+
+  pred.hour = st_.predict_hour(features);
+  pred.day = st_.predict_day(features);
+  // Materialize (day, hour) as a timestamp. When that instant is not
+  // strictly in the future of the last observed attack (multistage chains
+  // often continue within the same day), fall back to the predicted
+  // inter-launch interval instead of skipping a whole day.
+  const double day_for_ts = std::max(pred.day, features.prev_day);
+  pred.start = dataset_.window_start() +
+               static_cast<trace::EpochSeconds>(day_for_ts) * 86400 +
+               static_cast<trace::EpochSeconds>(pred.hour * 3600.0);
+  const trace::EpochSeconds last_start = target_attacks.back()->start;
+  if (pred.start <= last_start) {
+    const double interval =
+        std::max(30.0, 0.5 * (features.tmp_interval_s + features.spa_interval_s));
+    pred.start = last_start + static_cast<trace::EpochSeconds>(interval);
+    const trace::DayHour dh =
+        trace::decompose_timestamp(pred.start, dataset_.window_start());
+    pred.day = dh.day;
+    pred.hour = dh.hour;
+  }
+  return pred;
+}
+
+}  // namespace acbm::core

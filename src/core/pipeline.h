@@ -1,0 +1,77 @@
+// End-to-end facade: fit the three models on a trace and predict every
+// feature of the next attack on a target (§VI-B: "the most important and
+// relevant features include magnitude of bots involved during the DDoS
+// attacks, the time when the DDoS attack happen and how long it lasts").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "core/spatiotemporal_model.h"
+#include "net/ip_space.h"
+#include "trace/dataset.h"
+
+namespace acbm::core {
+
+/// All predicted features of a target's next attack.
+struct AttackPrediction {
+  double magnitude = 0.0;    ///< Expected number of bots.
+  /// One-step forecast standard deviation of the magnitude (0 when the
+  /// family's series fell back to a mean model).
+  double magnitude_sd = 0.0;
+  double duration_s = 0.0;   ///< Expected attack duration.
+  double hour = 0.0;         ///< Predicted launch hour of day, [0, 24).
+  double day = 0.0;          ///< Predicted day index in the window.
+  trace::EpochSeconds start = 0;  ///< day/hour materialized as a timestamp.
+  /// Predicted attacker source-AS distribution (ASN 0 = unattributed mass).
+  std::unordered_map<net::Asn, double> source_distribution;
+  /// Which family the prediction assumes (the target's dominant attacker).
+  std::uint32_t assumed_family = 0;
+};
+
+/// The full adversary-centric behavior model.
+class AdversaryModel {
+ public:
+  AdversaryModel() = default;
+  explicit AdversaryModel(SpatiotemporalOptions opts) : opts_(std::move(opts)) {}
+
+  /// Fits temporal, spatial, and spatiotemporal components on the dataset
+  /// (typically the training split). The dataset and map are copied so the
+  /// model is self-contained.
+  void fit(const trace::Dataset& dataset, const net::IpToAsnMap& ip_map);
+
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+  /// Predicts the next attack on a target AS from all history in the fitted
+  /// dataset. Returns nullopt when the target has never been attacked.
+  [[nodiscard]] std::optional<AttackPrediction> predict_next_attack(
+      net::Asn target_asn) const;
+
+  /// Appends newly observed attacks (e.g. the live feed) so subsequent
+  /// predictions condition on them. Does not refit the models.
+  void observe(const trace::Attack& attack);
+
+  [[nodiscard]] const SpatiotemporalModel& spatiotemporal() const noexcept {
+    return st_;
+  }
+  [[nodiscard]] const trace::Dataset& dataset() const noexcept {
+    return dataset_;
+  }
+
+  /// Full-model serialization: fitted sub-models, the training dataset, and
+  /// the IP->ASN map, so a loaded model predicts standalone. Live
+  /// observations (observe()) are not persisted.
+  void save(std::ostream& os) const;
+  [[nodiscard]] static AdversaryModel load(std::istream& is);
+
+ private:
+  SpatiotemporalOptions opts_;
+  SpatiotemporalModel st_;
+  trace::Dataset dataset_;
+  net::IpToAsnMap ip_map_;
+  std::vector<trace::Attack> observed_;
+  bool fitted_ = false;
+};
+
+}  // namespace acbm::core

@@ -1,0 +1,184 @@
+#include "core/spatial_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+#include "stats/serialize.h"
+
+namespace acbm::core {
+
+const SpatialModel::SeriesModel& SpatialModel::series_model(
+    SpatialSeries which) const {
+  return models_[static_cast<std::size_t>(which)];
+}
+
+void SpatialModel::fit_one(SpatialSeries which,
+                           std::span<const double> series) {
+  SeriesModel& slot = models_[static_cast<std::size_t>(which)];
+  slot.fallback_mean = acbm::stats::mean(series);
+  slot.nar.reset();
+  if (series.size() < opts_.min_fit_length) return;
+
+  if (opts_.grid_search) {
+    if (auto best = nn::nar_grid_search(series, opts_.grid)) {
+      slot.nar = std::move(best->model);
+    }
+    return;
+  }
+  nn::NarModel model(opts_.fixed);
+  try {
+    model.fit(series);
+    slot.nar = std::move(model);
+  } catch (const std::invalid_argument&) {
+    // Too short for the fixed delay window: mean fallback.
+  }
+}
+
+void SpatialModel::fit(const TargetSeries& train,
+                       const trace::Dataset& dataset,
+                       const net::IpToAsnMap& ip_map) {
+  asn_ = train.asn;
+  fit_one(SpatialSeries::kDuration, train.duration_s);
+  fit_one(SpatialSeries::kInterval, train.interval_s);
+  fit_one(SpatialSeries::kHour, train.hour);
+
+  // Source-AS share tracking: rank the ASes seen across the training
+  // attacks by total share.
+  std::unordered_map<net::Asn, double> totals;
+  for (std::size_t idx : train.attack_indices) {
+    for (const auto& [asn, share] :
+         source_asn_distribution(dataset.attacks()[idx], ip_map)) {
+      totals[asn] += share;
+    }
+  }
+  std::vector<std::pair<net::Asn, double>> ranked(totals.begin(), totals.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  tracked_ases_.clear();
+  for (std::size_t i = 0; i < ranked.size() && i < opts_.top_source_ases; ++i) {
+    tracked_ases_.push_back(ranked[i].first);
+  }
+  fitted_ = true;
+}
+
+std::vector<double> SpatialModel::one_step_predictions(
+    SpatialSeries which, std::span<const double> full_series,
+    std::size_t start) const {
+  if (!fitted_) throw std::logic_error("SpatialModel: not fitted");
+  if (start == 0 || start > full_series.size()) {
+    throw std::invalid_argument("SpatialModel::one_step_predictions: bad start");
+  }
+  const SeriesModel& slot = series_model(which);
+  if (slot.nar && start >= slot.nar->delays()) {
+    return slot.nar->one_step_predictions(full_series, start);
+  }
+  return std::vector<double>(full_series.size() - start, slot.fallback_mean);
+}
+
+double SpatialModel::forecast_next(SpatialSeries which,
+                                   std::span<const double> history) const {
+  if (!fitted_) throw std::logic_error("SpatialModel: not fitted");
+  const SeriesModel& slot = series_model(which);
+  if (slot.nar && history.size() >= slot.nar->delays()) {
+    return slot.nar->forecast_one(history);
+  }
+  return slot.fallback_mean;
+}
+
+void SpatialModel::save(std::ostream& os) const {
+  namespace io = acbm::stats::io;
+  io::write_header(os, "spatial", 1);
+  io::write_scalar(os, "fitted", fitted_ ? 1 : 0);
+  io::write_scalar(os, "asn", asn_);
+  io::write_scalar(os, "share_smoothing", opts_.share_smoothing);
+  io::write_scalar(os, "share_recency_blend", opts_.share_recency_blend);
+  io::write_scalar(os, "top_source_ases", opts_.top_source_ases);
+  io::write_vector<net::Asn>(os, "tracked_ases", tracked_ases_);
+  io::write_scalar(os, "series_count", models_.size());
+  for (const SeriesModel& slot : models_) {
+    io::write_scalar(os, "fallback_mean", slot.fallback_mean);
+    io::write_scalar(os, "has_nar", slot.nar.has_value() ? 1 : 0);
+    if (slot.nar) slot.nar->save(os);
+  }
+}
+
+SpatialModel SpatialModel::load(std::istream& is) {
+  namespace io = acbm::stats::io;
+  io::expect_header(is, "spatial", 1);
+  SpatialModel model;
+  model.fitted_ = io::read_scalar<int>(is, "fitted") != 0;
+  model.asn_ = io::read_scalar<net::Asn>(is, "asn");
+  model.opts_.share_smoothing = io::read_scalar<double>(is, "share_smoothing");
+  model.opts_.share_recency_blend =
+      io::read_scalar<double>(is, "share_recency_blend");
+  model.opts_.top_source_ases =
+      io::read_scalar<std::size_t>(is, "top_source_ases");
+  model.tracked_ases_ = io::read_vector<net::Asn>(is, "tracked_ases");
+  const auto count = io::read_scalar<std::size_t>(is, "series_count");
+  if (count != kSpatialSeriesCount) {
+    throw std::invalid_argument("SpatialModel::load: series count mismatch");
+  }
+  for (SeriesModel& slot : model.models_) {
+    slot.fallback_mean = io::read_scalar<double>(is, "fallback_mean");
+    if (io::read_scalar<int>(is, "has_nar") != 0) {
+      slot.nar = nn::NarModel::load(is);
+    }
+  }
+  return model;
+}
+
+std::unordered_map<net::Asn, double> SpatialModel::predict_source_distribution(
+    std::span<const std::unordered_map<net::Asn, double>> history) const {
+  if (!fitted_) throw std::logic_error("SpatialModel: not fitted");
+  std::unordered_map<net::Asn, double> prediction;
+  if (history.empty()) {
+    // No observations yet: uniform over tracked ASes.
+    if (!tracked_ases_.empty()) {
+      const double u = 1.0 / static_cast<double>(tracked_ases_.size());
+      for (net::Asn asn : tracked_ases_) prediction[asn] = u;
+    }
+    return prediction;
+  }
+
+  // Per tracked AS: blend the historical mean share (optimal when the
+  // botmaster's pool is stable) with a recency EWMA (adaptive when bots
+  // "rotate or shift", §III-B1).
+  const double alpha = opts_.share_smoothing;
+  const double blend = opts_.share_recency_blend;
+  double tracked_total = 0.0;
+  for (net::Asn asn : tracked_ases_) {
+    double ewma = 0.0;
+    double sum = 0.0;
+    bool seeded = false;
+    for (const auto& dist : history) {
+      const auto it = dist.find(asn);
+      const double share = it == dist.end() ? 0.0 : it->second;
+      sum += share;
+      if (!seeded) {
+        ewma = share;
+        seeded = true;
+      } else {
+        ewma = alpha * share + (1.0 - alpha) * ewma;
+      }
+    }
+    const double mean_share = sum / static_cast<double>(history.size());
+    const double estimate = blend * ewma + (1.0 - blend) * mean_share;
+    if (estimate > 0.0) {
+      prediction[asn] = estimate;
+      tracked_total += estimate;
+    }
+  }
+  if (tracked_total > 1.0) {
+    for (auto& [asn, share] : prediction) share /= tracked_total;
+    tracked_total = 1.0;
+  }
+  if (tracked_total < 1.0) {
+    prediction[0] = 1.0 - tracked_total;  // Unattributed remainder.
+  }
+  return prediction;
+}
+
+}  // namespace acbm::core

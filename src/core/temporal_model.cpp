@@ -1,0 +1,135 @@
+#include "core/temporal_model.h"
+
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+#include "stats/serialize.h"
+
+namespace acbm::core {
+
+namespace {
+std::span<const double> pick(const FamilySeries& fs, TemporalSeries which) {
+  switch (which) {
+    case TemporalSeries::kMagnitude: return fs.magnitude;
+    case TemporalSeries::kActivity: return fs.activity;
+    case TemporalSeries::kNormMagnitude: return fs.norm_magnitude;
+    case TemporalSeries::kSourceCoeff: return fs.source_coeff;
+    case TemporalSeries::kInterval: return fs.interval_s;
+    case TemporalSeries::kHour: return fs.hour;
+  }
+  throw std::invalid_argument("TemporalModel: unknown series");
+}
+}  // namespace
+
+const TemporalModel::SeriesModel& TemporalModel::series_model(
+    TemporalSeries which) const {
+  return models_[static_cast<std::size_t>(which)];
+}
+
+void TemporalModel::fit_one(TemporalSeries which,
+                            std::span<const double> series) {
+  SeriesModel& slot = models_[static_cast<std::size_t>(which)];
+  slot.fallback_mean = acbm::stats::mean(series);
+  slot.arima.reset();
+  if (series.size() < opts_.min_fit_length) return;
+
+  if (opts_.auto_order) {
+    if (auto best = ts::auto_arima(series, opts_.auto_options)) {
+      slot.arima = std::move(best->model);
+    }
+    return;
+  }
+  ts::ArimaModel model(opts_.order);
+  try {
+    model.fit(series);
+    slot.arima = std::move(model);
+  } catch (const std::invalid_argument&) {
+    // Series too short or degenerate for the requested order: mean fallback.
+  } catch (const std::domain_error&) {
+  }
+}
+
+void TemporalModel::fit(const FamilySeries& train) {
+  for (std::size_t s = 0; s < kTemporalSeriesCount; ++s) {
+    fit_one(static_cast<TemporalSeries>(s),
+            pick(train, static_cast<TemporalSeries>(s)));
+  }
+  fitted_ = true;
+}
+
+std::vector<double> TemporalModel::one_step_predictions(
+    TemporalSeries which, std::span<const double> full_series,
+    std::size_t start) const {
+  if (!fitted_) throw std::logic_error("TemporalModel: not fitted");
+  if (start == 0 || start > full_series.size()) {
+    throw std::invalid_argument("TemporalModel::one_step_predictions: bad start");
+  }
+  const SeriesModel& slot = series_model(which);
+  if (slot.arima && start > slot.arima->order().d) {
+    return slot.arima->one_step_predictions(full_series, start);
+  }
+  return std::vector<double>(full_series.size() - start, slot.fallback_mean);
+}
+
+double TemporalModel::forecast_next(TemporalSeries which,
+                                    std::span<const double> history) const {
+  if (!fitted_) throw std::logic_error("TemporalModel: not fitted");
+  const SeriesModel& slot = series_model(which);
+  if (slot.arima && history.size() > slot.arima->order().d) {
+    return slot.arima->forecast_one(history);
+  }
+  return slot.fallback_mean;
+}
+
+double TemporalModel::forecast_horizon(TemporalSeries which,
+                                       std::span<const double> history,
+                                       std::size_t horizon,
+                                       std::size_t max_horizon) const {
+  if (!fitted_) throw std::logic_error("TemporalModel: not fitted");
+  if (horizon == 0) {
+    throw std::invalid_argument("TemporalModel::forecast_horizon: horizon 0");
+  }
+  const SeriesModel& slot = series_model(which);
+  const std::size_t h = std::min(horizon, std::max<std::size_t>(max_horizon, 1));
+  if (slot.arima && history.size() > slot.arima->order().d) {
+    return slot.arima->forecast(history, h).back();
+  }
+  return slot.fallback_mean;
+}
+
+const std::optional<ts::ArimaModel>& TemporalModel::model(
+    TemporalSeries which) const {
+  return series_model(which).arima;
+}
+
+void TemporalModel::save(std::ostream& os) const {
+  namespace io = acbm::stats::io;
+  io::write_header(os, "temporal", 1);
+  io::write_scalar(os, "fitted", fitted_ ? 1 : 0);
+  io::write_scalar(os, "series_count", models_.size());
+  for (const SeriesModel& slot : models_) {
+    io::write_scalar(os, "fallback_mean", slot.fallback_mean);
+    io::write_scalar(os, "has_arima", slot.arima.has_value() ? 1 : 0);
+    if (slot.arima) slot.arima->save(os);
+  }
+}
+
+TemporalModel TemporalModel::load(std::istream& is) {
+  namespace io = acbm::stats::io;
+  io::expect_header(is, "temporal", 1);
+  TemporalModel model;
+  model.fitted_ = io::read_scalar<int>(is, "fitted") != 0;
+  const auto count = io::read_scalar<std::size_t>(is, "series_count");
+  if (count != kTemporalSeriesCount) {
+    throw std::invalid_argument("TemporalModel::load: series count mismatch");
+  }
+  for (SeriesModel& slot : model.models_) {
+    slot.fallback_mean = io::read_scalar<double>(is, "fallback_mean");
+    if (io::read_scalar<int>(is, "has_arima") != 0) {
+      slot.arima = ts::ArimaModel::load(is);
+    }
+  }
+  return model;
+}
+
+}  // namespace acbm::core

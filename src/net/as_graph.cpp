@@ -1,0 +1,101 @@
+#include "net/as_graph.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace acbm::net {
+
+void AsGraph::add_as(Asn asn) {
+  const auto [it, inserted] = adj_.try_emplace(asn);
+  if (inserted) order_.push_back(asn);
+}
+
+void AsGraph::add_edge(Asn from, Asn to, LinkType type) {
+  if (from == to) throw std::invalid_argument("AsGraph::add_edge: self-loop");
+  add_as(from);
+  add_as(to);
+  const auto upsert = [this](Asn a, Asn b, LinkType t) {
+    for (Link& link : adj_[a]) {
+      if (link.neighbor == b) {
+        link.type = t;
+        return false;
+      }
+    }
+    adj_[a].push_back({b, t});
+    return true;
+  };
+  const bool inserted = upsert(from, to, type);
+  upsert(to, from, reverse(type));
+  if (inserted) ++edge_count_;
+}
+
+bool AsGraph::contains(Asn asn) const { return adj_.contains(asn); }
+
+std::span<const Link> AsGraph::links(Asn asn) const {
+  const auto it = adj_.find(asn);
+  if (it == adj_.end()) return {};
+  return it->second;
+}
+
+std::optional<LinkType> AsGraph::link_type(Asn from, Asn to) const {
+  for (const Link& link : links(from)) {
+    if (link.neighbor == to) return link.type;
+  }
+  return std::nullopt;
+}
+
+bool AsGraph::connected() const {
+  if (order_.empty()) return true;
+  std::unordered_set<Asn> seen{order_.front()};
+  std::vector<Asn> stack{order_.front()};
+  while (!stack.empty()) {
+    const Asn cur = stack.back();
+    stack.pop_back();
+    for (const Link& link : links(cur)) {
+      if (seen.insert(link.neighbor).second) stack.push_back(link.neighbor);
+    }
+  }
+  return seen.size() == order_.size();
+}
+
+bool AsGraph::customer_hierarchy_acyclic() const {
+  // Iterative three-color DFS over provider->customer edges.
+  enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+  std::unordered_map<Asn, Color> color;
+  color.reserve(order_.size());
+  for (Asn asn : order_) color[asn] = Color::kWhite;
+
+  struct Frame {
+    Asn asn;
+    std::size_t next_link = 0;
+  };
+  for (Asn root : order_) {
+    if (color[root] != Color::kWhite) continue;
+    std::vector<Frame> stack{{root}};
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const std::span<const Link> nbrs = links(frame.asn);
+      bool descended = false;
+      while (frame.next_link < nbrs.size()) {
+        const Link& link = nbrs[frame.next_link++];
+        if (link.type != LinkType::kCustomer) continue;
+        const Color c = color[link.neighbor];
+        if (c == Color::kGray) return false;  // Back edge: cycle.
+        if (c == Color::kWhite) {
+          color[link.neighbor] = Color::kGray;
+          stack.push_back({link.neighbor});
+          descended = true;
+          break;
+        }
+      }
+      if (!descended && (stack.empty() || &stack.back() == &frame)) {
+        color[frame.asn] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace acbm::net

@@ -1,0 +1,88 @@
+// The AS-level Internet graph with business relationships. Relationships
+// drive both valley-free routing (routing.h) and the inter-AS distance term
+// of the paper's source-distribution feature A^s (Eq. 4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace acbm::net {
+
+using Asn = std::uint32_t;
+
+/// Role of a neighbor relative to the AS that owns the adjacency entry.
+enum class LinkType : std::uint8_t {
+  kCustomer,  ///< The neighbor is my customer (I provide transit).
+  kProvider,  ///< The neighbor is my provider.
+  kPeer,      ///< Settlement-free peering.
+  kSibling,   ///< Same organization; transit in both directions.
+};
+
+[[nodiscard]] constexpr LinkType reverse(LinkType t) noexcept {
+  switch (t) {
+    case LinkType::kCustomer: return LinkType::kProvider;
+    case LinkType::kProvider: return LinkType::kCustomer;
+    case LinkType::kPeer: return LinkType::kPeer;
+    case LinkType::kSibling: return LinkType::kSibling;
+  }
+  return LinkType::kPeer;
+}
+
+struct Link {
+  Asn neighbor = 0;
+  LinkType type = LinkType::kPeer;
+};
+
+/// Undirected AS graph with typed edges. Both endpoints hold an adjacency
+/// entry; the invariant link(a,b) == reverse(link(b,a)) is maintained by the
+/// mutation API.
+class AsGraph {
+ public:
+  /// Registers an AS with no links (idempotent).
+  void add_as(Asn asn);
+
+  /// Adds or replaces an edge. `type` is the neighbor's role as seen from
+  /// `from` (e.g. add_edge(a, b, kCustomer) makes b a customer of a).
+  /// Self-loops are rejected with std::invalid_argument.
+  void add_edge(Asn from, Asn to, LinkType type);
+
+  /// Convenience: provider -> customer edge.
+  void add_provider_customer(Asn provider, Asn customer) {
+    add_edge(provider, customer, LinkType::kCustomer);
+  }
+  void add_peering(Asn a, Asn b) { add_edge(a, b, LinkType::kPeer); }
+  void add_sibling(Asn a, Asn b) { add_edge(a, b, LinkType::kSibling); }
+
+  [[nodiscard]] bool contains(Asn asn) const;
+  [[nodiscard]] std::size_t as_count() const noexcept { return adj_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// Neighbors of an AS (empty for unknown AS).
+  [[nodiscard]] std::span<const Link> links(Asn asn) const;
+
+  /// Relationship of `to` relative to `from`, if the edge exists.
+  [[nodiscard]] std::optional<LinkType> link_type(Asn from, Asn to) const;
+
+  [[nodiscard]] std::size_t degree(Asn asn) const { return links(asn).size(); }
+
+  /// All registered ASNs in insertion order.
+  [[nodiscard]] const std::vector<Asn>& ases() const noexcept { return order_; }
+
+  /// True if the graph is connected (ignoring edge types). Empty graphs
+  /// count as connected.
+  [[nodiscard]] bool connected() const;
+
+  /// True if no AS can reach itself by a chain of provider->customer edges
+  /// (a sanity invariant for generated topologies).
+  [[nodiscard]] bool customer_hierarchy_acyclic() const;
+
+ private:
+  std::unordered_map<Asn, std::vector<Link>> adj_;
+  std::vector<Asn> order_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace acbm::net

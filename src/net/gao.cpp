@@ -1,0 +1,221 @@
+#include "net/gao.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace acbm::net {
+
+namespace {
+
+using EdgeKey = std::uint64_t;
+
+EdgeKey directed_key(Asn a, Asn b) {
+  return (static_cast<EdgeKey>(a) << 32) | b;
+}
+
+EdgeKey undirected_key(Asn a, Asn b) {
+  return a < b ? directed_key(a, b) : directed_key(b, a);
+}
+
+}  // namespace
+
+GaoResult infer_relationships(const std::vector<std::vector<Asn>>& paths,
+                              const GaoOptions& opts) {
+  // Degree of each AS in the union of all observed adjacencies.
+  std::unordered_map<Asn, std::unordered_set<Asn>> neighbors;
+  for (const auto& path : paths) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      neighbors[path[i]].insert(path[i + 1]);
+      neighbors[path[i + 1]].insert(path[i]);
+    }
+  }
+  const auto degree = [&](Asn asn) {
+    const auto it = neighbors.find(asn);
+    return it == neighbors.end() ? std::size_t{0} : it->second.size();
+  };
+
+  // Phase 1 — transit counting. Each path is split at its highest-degree AS
+  // (the "top provider"); pairs before it climb (right AS provides transit),
+  // pairs after it descend (left AS provides transit).
+  // transit[key(u, v)] counts observations of "v provides transit to u".
+  std::unordered_map<EdgeKey, std::size_t> transit;
+  // Edges that bridge the top of some path (candidates for peering), and
+  // how often each edge appears strictly inside an uphill/downhill segment
+  // (true peer edges are only ever traversed at the top of a valley-free
+  // path, so any interior occurrence rules peering out).
+  std::unordered_set<EdgeKey> top_edges;
+  std::unordered_map<EdgeKey, std::size_t> interior_count;
+
+  for (const auto& path : paths) {
+    if (path.size() < 2) continue;
+    std::size_t top = 0;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      if (degree(path[i]) > degree(path[top])) top = i;
+    }
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (i + 1 <= top) {
+        ++transit[directed_key(path[i], path[i + 1])];
+      }
+      if (i >= top) {
+        ++transit[directed_key(path[i + 1], path[i])];
+      }
+      const bool top_adjacent = (i + 1 == top) || (i == top);
+      if (!top_adjacent) {
+        ++interior_count[undirected_key(path[i], path[i + 1])];
+      }
+    }
+    // The edge(s) adjacent to the top AS are peering candidates.
+    if (top > 0) top_edges.insert(undirected_key(path[top - 1], path[top]));
+    if (top + 1 < path.size()) {
+      top_edges.insert(undirected_key(path[top], path[top + 1]));
+    }
+  }
+
+  // Phase 2 — relationship assignment from transit counts.
+  GaoResult result;
+  std::unordered_set<EdgeKey> done;
+  for (const auto& [asn, nbrs] : neighbors) {
+    for (Asn other : nbrs) {
+      const EdgeKey ukey = undirected_key(asn, other);
+      if (!done.insert(ukey).second) continue;
+      const Asn a = asn;
+      const Asn b = other;
+      const auto t_ab_it = transit.find(directed_key(a, b));
+      const auto t_ba_it = transit.find(directed_key(b, a));
+      const std::size_t t_ab = t_ab_it == transit.end() ? 0 : t_ab_it->second;
+      const std::size_t t_ba = t_ba_it == transit.end() ? 0 : t_ba_it->second;
+
+      if (t_ab > opts.sibling_threshold && t_ba > opts.sibling_threshold) {
+        result.graph.add_sibling(a, b);
+        ++result.sibling_edges;
+      } else if (t_ab >= t_ba && t_ab > 0) {
+        // b provides transit to a => b is a's provider.
+        result.graph.add_provider_customer(b, a);
+        ++result.provider_customer_edges;
+      } else if (t_ba > 0) {
+        result.graph.add_provider_customer(a, b);
+        ++result.provider_customer_edges;
+      } else {
+        // No transit evidence at all: default to peering.
+        result.graph.add_peering(a, b);
+        ++result.peer_edges;
+      }
+    }
+  }
+
+  // Phase 3 — peering refinement (Gao's final heuristic, sharpened with
+  // positional evidence): an edge that bridges the top of paths, is never
+  // traversed strictly inside an uphill/downhill segment, and connects ASes
+  // of comparable degree is reclassified as peering. This catches core
+  // peering meshes whose mutual customer-cone transit otherwise looks like
+  // a sibling relationship.
+  for (const EdgeKey ukey : top_edges) {
+    const Asn a = static_cast<Asn>(ukey >> 32);
+    const Asn b = static_cast<Asn>(ukey & 0xFFFFFFFFu);
+    const auto current = result.graph.link_type(a, b);
+    if (!current || *current == LinkType::kPeer) continue;
+    const auto iit = interior_count.find(ukey);
+    if (iit != interior_count.end() && iit->second > 0) continue;
+    if (degree(a) < opts.peer_min_degree || degree(b) < opts.peer_min_degree) {
+      continue;  // Too small to be peering with the core.
+    }
+    const double da = static_cast<double>(std::max<std::size_t>(degree(a), 1));
+    const double db = static_cast<double>(std::max<std::size_t>(degree(b), 1));
+    const double ratio = da > db ? da / db : db / da;
+    if (ratio >= opts.peer_degree_ratio) continue;
+    if (*current == LinkType::kSibling) {
+      --result.sibling_edges;
+    } else {
+      --result.provider_customer_edges;
+    }
+    result.graph.add_peering(a, b);
+    ++result.peer_edges;
+  }
+  return result;
+}
+
+RelationshipScores relationship_scores(const AsGraph& truth,
+                                       const AsGraph& inferred) {
+  // Counted over undirected edges; a provider-customer match requires the
+  // right orientation.
+  std::size_t p2c_truth = 0;
+  std::size_t p2c_inferred = 0;
+  std::size_t p2c_hits = 0;
+  std::size_t peer_truth = 0;
+  std::size_t peer_inferred = 0;
+  std::size_t peer_hits = 0;
+
+  const auto count_edges = [](const AsGraph& g, std::size_t& p2c,
+                              std::size_t& peer) {
+    std::unordered_set<EdgeKey> seen;
+    for (Asn a : g.ases()) {
+      for (const Link& link : g.links(a)) {
+        if (!seen.insert(undirected_key(a, link.neighbor)).second) continue;
+        if (link.type == LinkType::kCustomer || link.type == LinkType::kProvider) {
+          ++p2c;
+        } else if (link.type == LinkType::kPeer) {
+          ++peer;
+        }
+      }
+    }
+  };
+  count_edges(truth, p2c_truth, peer_truth);
+  count_edges(inferred, p2c_inferred, peer_inferred);
+
+  std::unordered_set<EdgeKey> seen;
+  for (Asn a : truth.ases()) {
+    for (const Link& link : truth.links(a)) {
+      if (!seen.insert(undirected_key(a, link.neighbor)).second) continue;
+      const auto got = inferred.link_type(a, link.neighbor);
+      if (!got) continue;
+      if (link.type == LinkType::kCustomer && *got == LinkType::kCustomer) {
+        ++p2c_hits;
+      } else if (link.type == LinkType::kProvider &&
+                 *got == LinkType::kProvider) {
+        ++p2c_hits;
+      } else if (link.type == LinkType::kPeer && *got == LinkType::kPeer) {
+        ++peer_hits;
+      }
+    }
+  }
+
+  RelationshipScores scores;
+  if (p2c_inferred > 0) {
+    scores.p2c_precision =
+        static_cast<double>(p2c_hits) / static_cast<double>(p2c_inferred);
+  }
+  if (p2c_truth > 0) {
+    scores.p2c_recall =
+        static_cast<double>(p2c_hits) / static_cast<double>(p2c_truth);
+  }
+  if (peer_inferred > 0) {
+    scores.peer_precision =
+        static_cast<double>(peer_hits) / static_cast<double>(peer_inferred);
+  }
+  if (peer_truth > 0) {
+    scores.peer_recall =
+        static_cast<double>(peer_hits) / static_cast<double>(peer_truth);
+  }
+  return scores;
+}
+
+double relationship_accuracy(const AsGraph& truth, const AsGraph& inferred) {
+  std::size_t total = 0;
+  std::size_t correct = 0;
+  std::unordered_set<std::uint64_t> seen;
+  for (Asn a : truth.ases()) {
+    for (const Link& link : truth.links(a)) {
+      const std::uint64_t key = undirected_key(a, link.neighbor);
+      if (!seen.insert(key).second) continue;
+      ++total;
+      const auto got = inferred.link_type(a, link.neighbor);
+      if (got && *got == link.type) ++correct;
+    }
+  }
+  return total == 0 ? 1.0 : static_cast<double>(correct) /
+                            static_cast<double>(total);
+}
+
+}  // namespace acbm::net

@@ -1,0 +1,61 @@
+// Gao's AS relationship inference algorithm (L. Gao, "On inferring
+// autonomous system relationships in the Internet", 2001) — the paper
+// (§IV-A3) builds its inter-AS distance tool on this algorithm, fed with
+// Route Views routing tables. Given a set of AS paths, each path is split at
+// its highest-degree AS into an uphill and a downhill segment; transit-pair
+// counts then classify each adjacent pair as provider-customer, sibling, or
+// (for edges bridging the top of a path without transit evidence) peering.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/as_graph.h"
+
+namespace acbm::net {
+
+struct GaoOptions {
+  /// Both directions observed more than this many times => siblings.
+  std::size_t sibling_threshold = 1;
+  /// Degree-ratio bound for peering candidates (Gao's R parameter): an edge
+  /// may be reclassified as peering only if the endpoint degrees differ by
+  /// less than this factor.
+  double peer_degree_ratio = 60.0;
+  /// Peering requires both endpoints to have at least this observed degree:
+  /// single-homed stubs adjacent to the top of short paths would otherwise
+  /// be indistinguishable from small peers.
+  std::size_t peer_min_degree = 4;
+};
+
+struct GaoResult {
+  /// The inferred relationship graph over all ASes seen in the paths.
+  AsGraph graph;
+  std::size_t provider_customer_edges = 0;
+  std::size_t peer_edges = 0;
+  std::size_t sibling_edges = 0;
+};
+
+/// Runs Gao inference over routing-table paths (each path ordered from the
+/// vantage AS to the destination AS). Paths shorter than 2 are ignored.
+[[nodiscard]] GaoResult infer_relationships(
+    const std::vector<std::vector<Asn>>& paths, const GaoOptions& opts = {});
+
+/// Fraction of edges in `truth` that exist in `inferred` with the same
+/// relationship type (sibling matches sibling; provider/customer must match
+/// orientation). Edges absent from the inferred graph count as wrong.
+[[nodiscard]] double relationship_accuracy(const AsGraph& truth,
+                                           const AsGraph& inferred);
+
+/// Per-relationship-type precision/recall of the inference.
+struct RelationshipScores {
+  double p2c_precision = 0.0;  ///< Of inferred provider-customer edges,
+                               ///< fraction correct (orientation included).
+  double p2c_recall = 0.0;
+  double peer_precision = 0.0;
+  double peer_recall = 0.0;
+};
+
+[[nodiscard]] RelationshipScores relationship_scores(const AsGraph& truth,
+                                                     const AsGraph& inferred);
+
+}  // namespace acbm::net

@@ -1,0 +1,133 @@
+#include "net/ip_space.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace acbm::net {
+
+IpToAsnMap::IpToAsnMap(std::vector<std::pair<Prefix, Asn>> entries) {
+  entries_.reserve(entries.size());
+  for (const auto& [prefix, asn] : entries) {
+    entries_.push_back({prefix, asn});
+    sizes_[asn] += prefix.size();
+  }
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.prefix.network.value != b.prefix.network.value) {
+                return a.prefix.network.value < b.prefix.network.value;
+              }
+              return a.prefix.length > b.prefix.length;
+            });
+  for (std::size_t i = 0; i + 1 < entries_.size(); ++i) {
+    if (entries_[i].prefix == entries_[i + 1].prefix &&
+        entries_[i].asn != entries_[i + 1].asn) {
+      throw std::invalid_argument(
+          "IpToAsnMap: identical prefix mapped to different ASNs");
+    }
+  }
+}
+
+std::optional<Asn> IpToAsnMap::lookup(Ipv4 addr) const {
+  if (entries_.empty()) return std::nullopt;
+  // Find the first entry with network > addr, then scan backwards for the
+  // longest (most specific) containing prefix.
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), addr,
+      [](Ipv4 a, const Entry& e) { return a.value < e.prefix.network.value; });
+  std::optional<Asn> best;
+  std::uint8_t best_len = 0;
+  while (it != entries_.begin()) {
+    --it;
+    if (it->prefix.contains(addr)) {
+      if (!best || it->prefix.length > best_len) {
+        best = it->asn;
+        best_len = it->prefix.length;
+      }
+    }
+    // Any prefix containing addr must start at or before addr and cover it;
+    // once networks drop below addr - max block size we can stop. Blocks are
+    // at most /0 in theory, so use the conservative check: stop when even a
+    // /8 starting here could not reach addr.
+    if (addr.value - it->prefix.network.value > (std::uint32_t{1} << 24)) {
+      break;
+    }
+  }
+  return best;
+}
+
+std::vector<Prefix> IpToAsnMap::prefixes_of(Asn asn) const {
+  std::vector<Prefix> out;
+  for (const Entry& entry : entries_) {
+    if (entry.asn == asn) out.push_back(entry.prefix);
+  }
+  return out;
+}
+
+std::uint64_t IpToAsnMap::address_count(Asn asn) const {
+  const auto it = sizes_.find(asn);
+  return it == sizes_.end() ? 0 : it->second;
+}
+
+void IpToAsnMap::save(std::ostream& os) const {
+  for (const Entry& entry : entries_) {
+    os << entry.prefix.to_string() << ',' << entry.asn << '\n';
+  }
+}
+
+IpToAsnMap IpToAsnMap::load(std::istream& is) {
+  std::vector<std::pair<Prefix, Asn>> entries;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) {
+      throw std::invalid_argument("IpToAsnMap::load: malformed line");
+    }
+    entries.emplace_back(parse_prefix(line.substr(0, comma)),
+                         static_cast<Asn>(std::stoul(line.substr(comma + 1))));
+  }
+  return IpToAsnMap(std::move(entries));
+}
+
+IpToAsnMap allocate_address_space(const AsGraph& graph,
+                                  const AllocationOptions& opts,
+                                  acbm::stats::Rng& rng) {
+  if (opts.prefix_length < 8 || opts.prefix_length > 30) {
+    throw std::invalid_argument(
+        "allocate_address_space: prefix_length out of [8, 30]");
+  }
+  if (opts.max_blocks_per_as == 0) {
+    throw std::invalid_argument("allocate_address_space: zero blocks per AS");
+  }
+
+  // Rank ASes by degree so well-connected ASes draw more blocks.
+  std::vector<Asn> ranked = graph.ases();
+  std::sort(ranked.begin(), ranked.end(), [&](Asn a, Asn b) {
+    return graph.degree(a) > graph.degree(b);
+  });
+
+  std::vector<std::pair<Prefix, Asn>> entries;
+  std::uint32_t cursor = std::uint32_t{opts.pool_first_octet} << 24;
+  const std::uint32_t block = std::uint32_t{1} << (32 - opts.prefix_length);
+  for (std::size_t rank = 0; rank < ranked.size(); ++rank) {
+    // Zipf-shaped block count: top-ranked ASes get up to max_blocks.
+    const double share =
+        1.0 / std::pow(static_cast<double>(rank + 1), opts.size_skew);
+    auto blocks = static_cast<std::size_t>(
+        1 + share * static_cast<double>(opts.max_blocks_per_as - 1) +
+        rng.uniform(0.0, 0.5));
+    blocks = std::min(blocks, opts.max_blocks_per_as);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      entries.emplace_back(Prefix(Ipv4(cursor), opts.prefix_length),
+                           ranked[rank]);
+      cursor += block;
+    }
+  }
+  return IpToAsnMap(std::move(entries));
+}
+
+}  // namespace acbm::net

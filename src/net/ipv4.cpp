@@ -1,0 +1,81 @@
+#include "net/ipv4.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace acbm::net {
+
+std::string Ipv4::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((value >> shift) & 0xFF);
+    if (shift > 0) out += '.';
+  }
+  return out;
+}
+
+Ipv4 parse_ipv4(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* ptr = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned int part = 0;
+    const auto [next, ec] = std::from_chars(ptr, end, part);
+    if (ec != std::errc{} || part > 255 || next == ptr) {
+      throw std::invalid_argument("parse_ipv4: malformed address");
+    }
+    value = (value << 8) | part;
+    ptr = next;
+    if (octet < 3) {
+      if (ptr == end || *ptr != '.') {
+        throw std::invalid_argument("parse_ipv4: malformed address");
+      }
+      ++ptr;
+    }
+  }
+  if (ptr != end) throw std::invalid_argument("parse_ipv4: trailing characters");
+  return Ipv4(value);
+}
+
+Prefix::Prefix(Ipv4 net, std::uint8_t len) : length(len) {
+  if (len > 32) throw std::invalid_argument("Prefix: length > 32");
+  const std::uint32_t mask =
+      len == 0 ? 0 : (~std::uint32_t{0} << (32 - len));
+  network = Ipv4(net.value & mask);
+}
+
+bool Prefix::contains(Ipv4 addr) const noexcept {
+  const std::uint32_t mask =
+      length == 0 ? 0 : (~std::uint32_t{0} << (32 - length));
+  return (addr.value & mask) == network.value;
+}
+
+Ipv4 Prefix::last() const noexcept {
+  const std::uint32_t host_bits =
+      length == 32 ? 0 : (~std::uint32_t{0} >> length);
+  return Ipv4(network.value | host_bits);
+}
+
+std::string Prefix::to_string() const {
+  return network.to_string() + "/" + std::to_string(length);
+}
+
+Prefix parse_prefix(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    throw std::invalid_argument("parse_prefix: missing '/'");
+  }
+  const Ipv4 net = parse_ipv4(text.substr(0, slash));
+  const std::string_view len_text = text.substr(slash + 1);
+  unsigned int len = 0;
+  const auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc{} || len > 32 ||
+      next != len_text.data() + len_text.size()) {
+    throw std::invalid_argument("parse_prefix: malformed length");
+  }
+  return Prefix(net, static_cast<std::uint8_t>(len));
+}
+
+}  // namespace acbm::net

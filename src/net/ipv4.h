@@ -1,0 +1,56 @@
+// IPv4 address representation and parsing. Bot source addresses in the trace
+// are IPv4; the IP->ASN mapper (ip_space.h) works on this representation.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace acbm::net {
+
+/// An IPv4 address as a host-order 32-bit integer with value semantics.
+struct Ipv4 {
+  std::uint32_t value = 0;
+
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t v) : value(v) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  auto operator<=>(const Ipv4&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses dotted-quad notation ("192.0.2.1").
+/// Throws std::invalid_argument on malformed input.
+[[nodiscard]] Ipv4 parse_ipv4(std::string_view text);
+
+/// A CIDR prefix (network address + length). The network address is
+/// canonicalized (host bits zeroed) on construction.
+struct Prefix {
+  Ipv4 network;
+  std::uint8_t length = 0;
+
+  Prefix() = default;
+
+  /// Throws std::invalid_argument if length > 32.
+  Prefix(Ipv4 net, std::uint8_t len);
+
+  [[nodiscard]] bool contains(Ipv4 addr) const noexcept;
+  [[nodiscard]] Ipv4 first() const noexcept { return network; }
+  [[nodiscard]] Ipv4 last() const noexcept;
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - length);
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Prefix&, const Prefix&) = default;
+};
+
+/// Parses "a.b.c.d/len". Throws std::invalid_argument on malformed input.
+[[nodiscard]] Prefix parse_prefix(std::string_view text);
+
+}  // namespace acbm::net

@@ -1,0 +1,159 @@
+#include "net/routing.h"
+
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+namespace acbm::net {
+
+namespace {
+
+struct Candidate {
+  std::size_t hops;
+  Asn asn;
+  // Min-heap on hop count.
+  [[nodiscard]] bool operator>(const Candidate& other) const noexcept {
+    return hops > other.hops;
+  }
+};
+
+}  // namespace
+
+std::unordered_map<Asn, Route> RouteComputer::routes_to(Asn dest) const {
+  if (!graph_->contains(dest)) {
+    throw std::invalid_argument("RouteComputer::routes_to: unknown destination");
+  }
+
+  // next_hop[u] is u's chosen neighbor toward dest; hops[u] the path length.
+  std::unordered_map<Asn, Asn> next_hop;
+  std::unordered_map<Asn, std::size_t> hops;
+  std::unordered_map<Asn, RouteClass> learned;
+
+  // Phase 1 — customer routes climb the hierarchy: the origin announces to
+  // its providers, which announce to their providers (and siblings), etc.
+  // BFS yields shortest customer-learned paths.
+  {
+    std::deque<Asn> queue{dest};
+    hops[dest] = 0;
+    learned[dest] = RouteClass::kCustomer;
+    while (!queue.empty()) {
+      const Asn u = queue.front();
+      queue.pop_front();
+      for (const Link& link : graph_->links(u)) {
+        // u announces to its providers (they see a customer route) and to
+        // siblings (mutual transit).
+        if (link.type != LinkType::kProvider && link.type != LinkType::kSibling) {
+          continue;
+        }
+        const Asn v = link.neighbor;
+        if (hops.contains(v)) continue;
+        hops[v] = hops[u] + 1;
+        next_hop[v] = u;
+        learned[v] = RouteClass::kCustomer;
+        queue.push_back(v);
+      }
+    }
+  }
+
+  // Phase 2 — one peer edge: every AS holding a customer route announces it
+  // to peers; peers without a customer route adopt the best (shortest).
+  {
+    std::vector<std::pair<Asn, std::size_t>> customer_holders;
+    customer_holders.reserve(hops.size());
+    for (const auto& [asn, h] : hops) customer_holders.emplace_back(asn, h);
+    for (const auto& [u, hu] : customer_holders) {
+      for (const Link& link : graph_->links(u)) {
+        if (link.type != LinkType::kPeer) continue;
+        const Asn v = link.neighbor;
+        const auto it = learned.find(v);
+        if (it != learned.end() && it->second == RouteClass::kCustomer) {
+          continue;  // Customer routes always win.
+        }
+        const std::size_t cand = hu + 1;
+        if (it == learned.end() || cand < hops[v]) {
+          hops[v] = cand;
+          next_hop[v] = u;
+          learned[v] = RouteClass::kPeer;
+        }
+      }
+    }
+  }
+
+  // Phase 3 — downhill: all routes are announced to customers. Customers
+  // without customer/peer routes adopt provider routes; Dijkstra order
+  // (uniform weights, heterogeneous seeds) gives shortest provider paths.
+  {
+    std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> pq;
+    for (const auto& [asn, h] : hops) pq.push({h, asn});
+    while (!pq.empty()) {
+      const auto [hu, u] = pq.top();
+      pq.pop();
+      if (hu != hops[u]) continue;  // Stale entry.
+      for (const Link& link : graph_->links(u)) {
+        // u announces down to customers; they see a provider route.
+        if (link.type != LinkType::kCustomer) continue;
+        const Asn v = link.neighbor;
+        const auto it = learned.find(v);
+        if (it != learned.end() && it->second != RouteClass::kProvider) {
+          continue;  // v already has a customer or peer route.
+        }
+        const std::size_t cand = hu + 1;
+        if (it == learned.end() || cand < hops[v]) {
+          hops[v] = cand;
+          next_hop[v] = u;
+          learned[v] = RouteClass::kProvider;
+          pq.push({cand, v});
+        }
+      }
+    }
+  }
+
+  // Materialize paths by walking next-hop pointers.
+  std::unordered_map<Asn, Route> out;
+  out.reserve(hops.size());
+  for (const auto& [asn, h] : hops) {
+    Route route;
+    route.learned = learned[asn];
+    route.path.reserve(h + 1);
+    Asn cur = asn;
+    route.path.push_back(cur);
+    while (cur != dest) {
+      cur = next_hop.at(cur);
+      route.path.push_back(cur);
+    }
+    out.emplace(asn, std::move(route));
+  }
+  return out;
+}
+
+std::vector<std::vector<Asn>> dump_paths(const AsGraph& graph,
+                                         const std::vector<Asn>& vantage_points) {
+  std::vector<std::vector<Asn>> out;
+  const RouteComputer computer(graph);
+  for (Asn dest : graph.ases()) {
+    const auto routes = computer.routes_to(dest);
+    for (Asn vantage : vantage_points) {
+      const auto it = routes.find(vantage);
+      if (it == routes.end() || it->second.path.size() < 2) continue;
+      out.push_back(it->second.path);
+    }
+  }
+  return out;
+}
+
+std::optional<std::size_t> ValleyFreeDistance::distance(Asn from, Asn to) {
+  if (from == to) return 0;
+  auto it = cache_.find(to);
+  if (it == cache_.end()) {
+    try {
+      it = cache_.emplace(to, computer_.routes_to(to)).first;
+    } catch (const std::invalid_argument&) {
+      return std::nullopt;
+    }
+  }
+  const auto rit = it->second.find(from);
+  if (rit == it->second.end()) return std::nullopt;
+  return rit->second.hops();
+}
+
+}  // namespace acbm::net

@@ -1,0 +1,65 @@
+// Valley-free (policy-compliant) route computation: the BGP export rules
+// "customer routes go to everyone; peer/provider routes go only to
+// customers" with the standard preference customer > peer > provider and
+// shortest-AS-path tie-breaking. Produces the AS paths that (a) feed Gao
+// relationship inference and (b) define the inter-AS hop distances of the
+// paper's A^s feature (Eq. 4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/as_graph.h"
+
+namespace acbm::net {
+
+/// How the best route was learned, which encodes its export policy.
+enum class RouteClass : std::uint8_t { kCustomer, kPeer, kProvider };
+
+struct Route {
+  std::vector<Asn> path;  ///< source first, destination last.
+  RouteClass learned = RouteClass::kCustomer;
+
+  [[nodiscard]] std::size_t hops() const noexcept { return path.size() - 1; }
+};
+
+/// Computes best valley-free routes toward single destinations.
+class RouteComputer {
+ public:
+  /// The graph must outlive the computer.
+  explicit RouteComputer(const AsGraph& graph) : graph_(&graph) {}
+
+  /// Best route from every AS that can reach `dest` (dest itself maps to the
+  /// trivial route). Throws std::invalid_argument for an unknown dest.
+  [[nodiscard]] std::unordered_map<Asn, Route> routes_to(Asn dest) const;
+
+ private:
+  const AsGraph* graph_;
+};
+
+/// Routing-table dump: the best path from each vantage AS to every other AS.
+/// This is the Route Views-style input Gao inference consumes.
+[[nodiscard]] std::vector<std::vector<Asn>> dump_paths(
+    const AsGraph& graph, const std::vector<Asn>& vantage_points);
+
+/// Valley-free hop-distance oracle with per-destination caching.
+/// distance(a, b) follows the policy-preferred route from a to b.
+class ValleyFreeDistance {
+ public:
+  explicit ValleyFreeDistance(const AsGraph& graph) : computer_(graph) {}
+
+  /// Hops from `from` to `to`; nullopt when unreachable or unknown.
+  [[nodiscard]] std::optional<std::size_t> distance(Asn from, Asn to);
+
+  [[nodiscard]] std::size_t cached_destinations() const noexcept {
+    return cache_.size();
+  }
+
+ private:
+  RouteComputer computer_;
+  std::unordered_map<Asn, std::unordered_map<Asn, Route>> cache_;
+};
+
+}  // namespace acbm::net

@@ -1,0 +1,91 @@
+#include "net/topology.h"
+
+#include <stdexcept>
+
+namespace acbm::net {
+
+Topology generate_topology(const TopologyOptions& opts,
+                           acbm::stats::Rng& rng) {
+  if (opts.num_tier1 < 2) {
+    throw std::invalid_argument("generate_topology: need at least 2 tier-1 ASes");
+  }
+  if (opts.max_transit_providers == 0 || opts.max_stub_providers == 0) {
+    throw std::invalid_argument("generate_topology: provider counts must be >= 1");
+  }
+  Topology topo;
+  Asn next_asn = opts.first_asn;
+
+  // Tier-1 clique: every pair peers, so the core is fully meshed.
+  for (std::size_t i = 0; i < opts.num_tier1; ++i) {
+    const Asn asn = next_asn++;
+    topo.graph.add_as(asn);
+    topo.tiers[asn] = Tier::kTier1;
+    topo.tier1.push_back(asn);
+  }
+  for (std::size_t i = 0; i < topo.tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < topo.tier1.size(); ++j) {
+      topo.graph.add_peering(topo.tier1[i], topo.tier1[j]);
+    }
+  }
+
+  // Degree-preferential provider selection among a candidate pool.
+  const auto pick_providers = [&](const std::vector<Asn>& pool,
+                                  std::size_t count) {
+    std::vector<double> weights;
+    weights.reserve(pool.size());
+    for (Asn asn : pool) {
+      weights.push_back(static_cast<double>(topo.graph.degree(asn)) + 1.0);
+    }
+    std::vector<Asn> chosen;
+    std::vector<double> w = weights;
+    for (std::size_t k = 0; k < count && k < pool.size(); ++k) {
+      const std::size_t pick = rng.categorical(w);
+      chosen.push_back(pool[pick]);
+      w[pick] = 0.0;  // Without replacement.
+    }
+    return chosen;
+  };
+
+  // Transit tier: providers come from tier-1 plus already-created transit
+  // ASes (so the middle tier forms its own hierarchy).
+  std::vector<Asn> transit_pool = topo.tier1;
+  for (std::size_t i = 0; i < opts.num_transit; ++i) {
+    const Asn asn = next_asn++;
+    topo.graph.add_as(asn);
+    topo.tiers[asn] = Tier::kTransit;
+    const auto n_providers = static_cast<std::size_t>(rng.uniform_int(
+        1, static_cast<std::int64_t>(opts.max_transit_providers)));
+    for (Asn provider : pick_providers(transit_pool, n_providers)) {
+      topo.graph.add_provider_customer(provider, asn);
+    }
+    // Lateral peering between transit ASes.
+    for (Asn other : topo.transit) {
+      if (rng.bernoulli(opts.transit_peering_prob /
+                        static_cast<double>(topo.transit.size() + 1))) {
+        topo.graph.add_peering(asn, other);
+      }
+    }
+    topo.transit.push_back(asn);
+    transit_pool.push_back(asn);
+  }
+
+  // Stubs: multihomed to transit providers, with tier-1s also selling
+  // direct transit (keeps core degrees at the top of the hierarchy, as in
+  // the real AS graph).
+  std::vector<Asn> stub_pool = topo.transit;
+  stub_pool.insert(stub_pool.end(), topo.tier1.begin(), topo.tier1.end());
+  for (std::size_t i = 0; i < opts.num_stub; ++i) {
+    const Asn asn = next_asn++;
+    topo.graph.add_as(asn);
+    topo.tiers[asn] = Tier::kStub;
+    const auto n_providers = static_cast<std::size_t>(rng.uniform_int(
+        1, static_cast<std::int64_t>(opts.max_stub_providers)));
+    for (Asn provider : pick_providers(stub_pool, n_providers)) {
+      topo.graph.add_provider_customer(provider, asn);
+    }
+    topo.stubs.push_back(asn);
+  }
+  return topo;
+}
+
+}  // namespace acbm::net

@@ -1,0 +1,45 @@
+// Synthetic Internet-like AS topology: a tier-1 clique, a transit middle
+// tier attached by degree-preferential multihoming, and stub leaves. This is
+// the ground truth against which Gao relationship inference (gao.h) is
+// evaluated, and the substrate over which bot source ASes are placed.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/as_graph.h"
+#include "stats/rng.h"
+
+namespace acbm::net {
+
+enum class Tier : std::uint8_t { kTier1, kTransit, kStub };
+
+struct TopologyOptions {
+  std::size_t num_tier1 = 8;
+  std::size_t num_transit = 40;
+  std::size_t num_stub = 150;
+  /// Providers per transit AS are drawn from [1, max_transit_providers].
+  std::size_t max_transit_providers = 2;
+  /// Providers per stub AS are drawn from [1, max_stub_providers].
+  std::size_t max_stub_providers = 3;
+  /// Probability that two transit ASes with a common provider peer directly.
+  double transit_peering_prob = 0.15;
+  Asn first_asn = 1;
+};
+
+struct Topology {
+  AsGraph graph;
+  std::unordered_map<Asn, Tier> tiers;
+  std::vector<Asn> tier1;
+  std::vector<Asn> transit;
+  std::vector<Asn> stubs;
+};
+
+/// Generates a connected, customer-acyclic topology. Degree-preferential
+/// provider choice yields the heavy-tailed degree distribution real AS
+/// graphs show. Deterministic for a given (options, rng state).
+[[nodiscard]] Topology generate_topology(const TopologyOptions& opts,
+                                         acbm::stats::Rng& rng);
+
+}  // namespace acbm::net

@@ -1,0 +1,63 @@
+#include "nn/grid_search.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "stats/metrics.h"
+
+namespace acbm::nn {
+
+std::optional<NarGridResult> nar_grid_search(std::span<const double> series,
+                                             const NarGridOptions& opts) {
+  if (!(opts.validation_fraction > 0.0 && opts.validation_fraction < 1.0)) {
+    throw std::invalid_argument("nar_grid_search: bad validation fraction");
+  }
+  const std::size_t n = series.size();
+  const auto n_val = static_cast<std::size_t>(
+      static_cast<double>(n) * opts.validation_fraction);
+  if (n_val == 0 || n_val >= n) return std::nullopt;
+  const std::size_t split = n - n_val;
+
+  std::optional<NarGridResult> best;
+  double best_rmse = std::numeric_limits<double>::infinity();
+  for (std::size_t delays : opts.delay_grid) {
+    for (std::size_t hidden : opts.hidden_grid) {
+      if (split < delays + 2) continue;
+      NarOptions nar_opts;
+      nar_opts.delays = delays;
+      nar_opts.hidden_nodes = hidden;
+      nar_opts.mlp = opts.mlp;
+      NarModel candidate(nar_opts);
+      try {
+        candidate.fit(series.subspan(0, split));
+      } catch (const std::invalid_argument&) {
+        continue;
+      }
+      const std::vector<double> preds =
+          candidate.one_step_predictions(series, split);
+      const std::vector<double> truth(series.begin() + static_cast<std::ptrdiff_t>(split),
+                                      series.end());
+      const double score = acbm::stats::rmse(truth, preds);
+      if (score < best_rmse) {
+        best_rmse = score;
+        NarGridResult result;
+        result.delays = delays;
+        result.hidden_nodes = hidden;
+        result.validation_rmse = score;
+        best = std::move(result);
+      }
+    }
+  }
+  if (!best) return std::nullopt;
+
+  // Refit the winning architecture on the full series.
+  NarOptions nar_opts;
+  nar_opts.delays = best->delays;
+  nar_opts.hidden_nodes = best->hidden_nodes;
+  nar_opts.mlp = opts.mlp;
+  best->model = NarModel(nar_opts);
+  best->model.fit(series);
+  return best;
+}
+
+}  // namespace acbm::nn

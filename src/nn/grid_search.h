@@ -1,0 +1,37 @@
+// Hyperparameter grid search for the NAR model. The paper (§V-A) finds the
+// optimal number of delays and hidden nodes per botnet-family dataset with a
+// grid search; this reproduces that selection step using a chronological
+// validation tail.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "nn/nar.h"
+
+namespace acbm::nn {
+
+struct NarGridOptions {
+  std::vector<std::size_t> delay_grid{1, 2, 3, 5};
+  std::vector<std::size_t> hidden_grid{2, 4, 8};
+  double validation_fraction = 0.2;  ///< Chronological tail used for scoring.
+  MlpOptions mlp;                    ///< Base training options per candidate.
+};
+
+struct NarGridResult {
+  std::size_t delays = 0;
+  std::size_t hidden_nodes = 0;
+  double validation_rmse = 0.0;
+  NarModel model;  ///< Refit on the full series with the winning settings.
+};
+
+/// Trains one NAR per grid point on the chronological head of `series`,
+/// scores one-step RMSE on the tail, then refits the winner on the whole
+/// series. Candidates that cannot be fitted (series too short) are skipped;
+/// returns nullopt if none fit.
+[[nodiscard]] std::optional<NarGridResult> nar_grid_search(
+    std::span<const double> series, const NarGridOptions& opts = {});
+
+}  // namespace acbm::nn

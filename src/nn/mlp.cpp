@@ -1,0 +1,357 @@
+#include "nn/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+#include "stats/serialize.h"
+
+namespace acbm::nn {
+
+namespace {
+double tanh_activation(double x) { return std::tanh(x); }
+double tanh_derivative_from_output(double y) { return 1.0 - y * y; }
+}  // namespace
+
+void Mlp::init_layers(std::size_t input_dim, acbm::stats::Rng& rng) {
+  layers_.clear();
+  std::size_t in = input_dim;
+  std::vector<std::size_t> sizes = opts_.hidden_layers;
+  sizes.push_back(1);  // Linear scalar output.
+  for (std::size_t out : sizes) {
+    if (out == 0) throw std::invalid_argument("Mlp: zero-width layer");
+    Layer layer;
+    layer.in = in;
+    layer.out = out;
+    layer.weights.resize(in * out);
+    layer.biases.assign(out, 0.0);
+    // Xavier/Glorot initialization keeps tanh units out of saturation.
+    const double scale = std::sqrt(6.0 / static_cast<double>(in + out));
+    for (double& w : layer.weights) w = rng.uniform(-scale, scale);
+    layers_.push_back(std::move(layer));
+    in = out;
+  }
+}
+
+std::vector<double> Mlp::forward_normalized(
+    std::span<const double> x_norm) const {
+  std::vector<double> activation(x_norm.begin(), x_norm.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<double> next(layer.out);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      double z = layer.biases[o];
+      for (std::size_t i = 0; i < layer.in; ++i) {
+        z += layer.weights[o * layer.in + i] * activation[i];
+      }
+      // Hidden layers use tanh; the final layer is linear.
+      next[o] = (l + 1 < layers_.size()) ? tanh_activation(z) : z;
+    }
+    activation = std::move(next);
+  }
+  return activation;
+}
+
+void Mlp::fit(const std::vector<std::vector<double>>& x,
+              std::span<const double> y) {
+  if (x.empty() || y.size() != x.size()) {
+    throw std::invalid_argument("Mlp::fit: empty input or size mismatch");
+  }
+  input_dim_ = x.front().size();
+  if (input_dim_ == 0) throw std::invalid_argument("Mlp::fit: zero-width rows");
+  for (const auto& row : x) {
+    if (row.size() != input_dim_) {
+      throw std::invalid_argument("Mlp::fit: ragged rows");
+    }
+  }
+
+  // Normalize inputs per-feature and the target globally.
+  input_scalers_.clear();
+  for (std::size_t j = 0; j < input_dim_; ++j) {
+    std::vector<double> col;
+    col.reserve(x.size());
+    for (const auto& row : x) col.push_back(row[j]);
+    input_scalers_.push_back(acbm::stats::fit_zscore(col));
+  }
+  output_scaler_ = acbm::stats::fit_zscore(y);
+
+  const std::size_t n = x.size();
+  std::vector<std::vector<double>> xn(n, std::vector<double>(input_dim_));
+  std::vector<double> yn(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < input_dim_; ++j) {
+      xn[i][j] = input_scalers_[j].transform(x[i][j]);
+    }
+    yn[i] = output_scaler_.transform(y[i]);
+  }
+
+  acbm::stats::Rng rng(opts_.seed);
+  init_layers(input_dim_, rng);
+  fitted_ = true;  // forward/gradient helpers below require this.
+
+  // Validation holdout (tail of a shuffled order) for early stopping.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  std::size_t n_val = static_cast<std::size_t>(
+      static_cast<double>(n) * opts_.validation_fraction);
+  if (n <= 8) n_val = 0;  // Tiny datasets: train on everything.
+  const std::size_t n_train = n - n_val;
+
+  // Adam state (also reused as momentum buffers for SGD).
+  std::vector<double> m_state;
+  std::vector<double> v_state;
+  std::vector<double> params = parameters();
+  m_state.assign(params.size(), 0.0);
+  v_state.assign(params.size(), 0.0);
+  std::size_t adam_t = 0;
+
+  std::vector<double> best_params = params;
+  double best_val = std::numeric_limits<double>::infinity();
+  std::size_t since_best = 0;
+
+  const auto validation_loss = [&]() {
+    if (n_val == 0) return 0.0;
+    double acc = 0.0;
+    for (std::size_t k = n_train; k < n; ++k) {
+      const std::size_t i = order[k];
+      acc += sample_loss(xn[i], yn[i]);
+    }
+    return acc / static_cast<double>(n_val);
+  };
+
+  for (std::size_t epoch = 0; epoch < opts_.max_epochs; ++epoch) {
+    // Shuffle the training prefix each epoch.
+    for (std::size_t k = n_train; k > 1; --k) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(k) - 1));
+      std::swap(order[k - 1], order[j]);
+    }
+
+    for (std::size_t batch_start = 0; batch_start < n_train;
+         batch_start += opts_.batch_size) {
+      const std::size_t batch_end =
+          std::min(batch_start + opts_.batch_size, n_train);
+      std::vector<double> grad(params.size(), 0.0);
+      for (std::size_t k = batch_start; k < batch_end; ++k) {
+        const std::size_t i = order[k];
+        const std::vector<double> g = loss_gradient(xn[i], yn[i]);
+        for (std::size_t p = 0; p < grad.size(); ++p) grad[p] += g[p];
+      }
+      const double inv = 1.0 / static_cast<double>(batch_end - batch_start);
+      for (std::size_t p = 0; p < grad.size(); ++p) {
+        grad[p] = grad[p] * inv + opts_.weight_decay * params[p];
+      }
+
+      if (opts_.optimizer == Optimizer::kAdam) {
+        ++adam_t;
+        constexpr double kBeta1 = 0.9;
+        constexpr double kBeta2 = 0.999;
+        constexpr double kEps = 1e-8;
+        for (std::size_t p = 0; p < params.size(); ++p) {
+          m_state[p] = kBeta1 * m_state[p] + (1.0 - kBeta1) * grad[p];
+          v_state[p] = kBeta2 * v_state[p] + (1.0 - kBeta2) * grad[p] * grad[p];
+          const double mh = m_state[p] / (1.0 - std::pow(kBeta1, static_cast<double>(adam_t)));
+          const double vh = v_state[p] / (1.0 - std::pow(kBeta2, static_cast<double>(adam_t)));
+          params[p] -= opts_.learning_rate * mh / (std::sqrt(vh) + kEps);
+        }
+      } else {
+        for (std::size_t p = 0; p < params.size(); ++p) {
+          m_state[p] = opts_.momentum * m_state[p] - opts_.learning_rate * grad[p];
+          params[p] += m_state[p];
+        }
+      }
+      set_parameters(params);
+    }
+
+    if (n_val > 0) {
+      const double vl = validation_loss();
+      if (vl < best_val - 1e-12) {
+        best_val = vl;
+        best_params = params;
+        since_best = 0;
+      } else if (++since_best >= opts_.patience) {
+        break;
+      }
+    }
+  }
+
+  if (n_val > 0) {
+    set_parameters(best_params);
+    best_val_loss_ = best_val;
+  } else {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += sample_loss(xn[i], yn[i]);
+    best_val_loss_ = acc / static_cast<double>(n);
+  }
+}
+
+double Mlp::predict(std::span<const double> features) const {
+  if (!fitted_) throw std::logic_error("Mlp::predict: not fitted");
+  if (features.size() != input_dim_) {
+    throw std::invalid_argument("Mlp::predict: feature count mismatch");
+  }
+  std::vector<double> xn(input_dim_);
+  for (std::size_t j = 0; j < input_dim_; ++j) {
+    xn[j] = input_scalers_[j].transform(features[j]);
+  }
+  const std::vector<double> out = forward_normalized(xn);
+  return output_scaler_.inverse(out.front());
+}
+
+double Mlp::sample_loss(std::span<const double> features_norm,
+                        double target_norm) const {
+  if (!fitted_) throw std::logic_error("Mlp::sample_loss: not fitted");
+  const std::vector<double> out = forward_normalized(features_norm);
+  const double d = out.front() - target_norm;
+  return 0.5 * d * d;
+}
+
+std::vector<double> Mlp::loss_gradient(std::span<const double> features_norm,
+                                       double target_norm) const {
+  if (!fitted_) throw std::logic_error("Mlp::loss_gradient: not fitted");
+  // Forward pass, keeping each layer's activations.
+  std::vector<std::vector<double>> acts;
+  acts.emplace_back(features_norm.begin(), features_norm.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<double> next(layer.out);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      double z = layer.biases[o];
+      for (std::size_t i = 0; i < layer.in; ++i) {
+        z += layer.weights[o * layer.in + i] * acts.back()[i];
+      }
+      next[o] = (l + 1 < layers_.size()) ? tanh_activation(z) : z;
+    }
+    acts.push_back(std::move(next));
+  }
+
+  // Backward pass: delta is dLoss/dz for the current layer.
+  std::vector<double> grad;
+  std::size_t total = 0;
+  for (const Layer& layer : layers_) {
+    total += layer.weights.size() + layer.biases.size();
+  }
+  grad.assign(total, 0.0);
+
+  std::vector<double> delta{acts.back().front() - target_norm};
+  // Walk layers from last to first, writing each layer's gradient block.
+  std::size_t block_end = total;
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    const Layer& layer = layers_[li];
+    const std::vector<double>& input = acts[li];
+    const std::size_t block_start =
+        block_end - layer.weights.size() - layer.biases.size();
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      for (std::size_t i = 0; i < layer.in; ++i) {
+        grad[block_start + o * layer.in + i] = delta[o] * input[i];
+      }
+      grad[block_start + layer.weights.size() + o] = delta[o];
+    }
+    if (li > 0) {
+      std::vector<double> prev_delta(layer.in, 0.0);
+      for (std::size_t i = 0; i < layer.in; ++i) {
+        double acc = 0.0;
+        for (std::size_t o = 0; o < layer.out; ++o) {
+          acc += layer.weights[o * layer.in + i] * delta[o];
+        }
+        prev_delta[i] = acc * tanh_derivative_from_output(input[i]);
+      }
+      delta = std::move(prev_delta);
+    }
+    block_end = block_start;
+  }
+  return grad;
+}
+
+void Mlp::save(std::ostream& os) const {
+  namespace io = acbm::stats::io;
+  io::write_header(os, "mlp", 1);
+  io::write_scalar(os, "fitted", fitted_ ? 1 : 0);
+  io::write_scalar(os, "input_dim", input_dim_);
+  io::write_scalar(os, "best_val_loss", best_val_loss_);
+  std::vector<std::size_t> layer_sizes;
+  for (const Layer& layer : layers_) layer_sizes.push_back(layer.out);
+  io::write_vector<std::size_t>(os, "layer_sizes", layer_sizes);
+  for (const Layer& layer : layers_) {
+    io::write_vector<double>(os, "weights", layer.weights);
+    io::write_vector<double>(os, "biases", layer.biases);
+  }
+  std::vector<double> scaler_values;
+  for (const acbm::stats::ZScore& z : input_scalers_) {
+    scaler_values.push_back(z.mean);
+    scaler_values.push_back(z.sd);
+  }
+  io::write_vector<double>(os, "input_scalers", scaler_values);
+  io::write_scalar(os, "output_mean", output_scaler_.mean);
+  io::write_scalar(os, "output_sd", output_scaler_.sd);
+}
+
+Mlp Mlp::load(std::istream& is) {
+  namespace io = acbm::stats::io;
+  io::expect_header(is, "mlp", 1);
+  Mlp net;
+  net.fitted_ = io::read_scalar<int>(is, "fitted") != 0;
+  net.input_dim_ = io::read_scalar<std::size_t>(is, "input_dim");
+  net.best_val_loss_ = io::read_scalar<double>(is, "best_val_loss");
+  const auto layer_sizes = io::read_vector<std::size_t>(is, "layer_sizes");
+  std::size_t in = net.input_dim_;
+  for (std::size_t out : layer_sizes) {
+    Layer layer;
+    layer.in = in;
+    layer.out = out;
+    layer.weights = io::read_vector<double>(is, "weights");
+    layer.biases = io::read_vector<double>(is, "biases");
+    if (layer.weights.size() != in * out || layer.biases.size() != out) {
+      throw std::invalid_argument("Mlp::load: inconsistent layer shape");
+    }
+    net.layers_.push_back(std::move(layer));
+    in = out;
+  }
+  const auto scaler_values = io::read_vector<double>(is, "input_scalers");
+  if (scaler_values.size() != 2 * net.input_dim_) {
+    throw std::invalid_argument("Mlp::load: inconsistent scaler count");
+  }
+  for (std::size_t i = 0; i < net.input_dim_; ++i) {
+    net.input_scalers_.push_back(
+        {scaler_values[2 * i], scaler_values[2 * i + 1]});
+  }
+  net.output_scaler_.mean = io::read_scalar<double>(is, "output_mean");
+  net.output_scaler_.sd = io::read_scalar<double>(is, "output_sd");
+  // Reconstruct the hidden-layer option list for consistency.
+  net.opts_.hidden_layers.assign(layer_sizes.begin(),
+                                 layer_sizes.end() - (layer_sizes.empty() ? 0 : 1));
+  return net;
+}
+
+std::vector<double> Mlp::parameters() const {
+  std::vector<double> out;
+  for (const Layer& layer : layers_) {
+    out.insert(out.end(), layer.weights.begin(), layer.weights.end());
+    out.insert(out.end(), layer.biases.begin(), layer.biases.end());
+  }
+  return out;
+}
+
+void Mlp::set_parameters(std::span<const double> params) {
+  std::size_t pos = 0;
+  for (Layer& layer : layers_) {
+    if (pos + layer.weights.size() + layer.biases.size() > params.size()) {
+      throw std::invalid_argument("Mlp::set_parameters: wrong parameter count");
+    }
+    std::copy_n(params.begin() + static_cast<std::ptrdiff_t>(pos),
+                layer.weights.size(), layer.weights.begin());
+    pos += layer.weights.size();
+    std::copy_n(params.begin() + static_cast<std::ptrdiff_t>(pos),
+                layer.biases.size(), layer.biases.begin());
+    pos += layer.biases.size();
+  }
+  if (pos != params.size()) {
+    throw std::invalid_argument("Mlp::set_parameters: wrong parameter count");
+  }
+}
+
+}  // namespace acbm::nn

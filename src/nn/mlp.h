@@ -1,0 +1,100 @@
+// Feed-forward multilayer perceptron with tanh hidden units and a linear
+// output — the network family the paper's spatial model uses (§V-A: one
+// hidden layer with the Tan-Sigmoid transfer function). Trained by
+// backpropagation with Adam or SGD+momentum and optional early stopping.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace acbm::nn {
+
+enum class Optimizer { kSgdMomentum, kAdam };
+
+struct MlpOptions {
+  std::vector<std::size_t> hidden_layers{8};  ///< Sizes of hidden layers.
+  std::size_t max_epochs = 500;
+  std::size_t batch_size = 32;
+  double learning_rate = 1e-2;
+  double momentum = 0.9;          ///< SGD only.
+  double weight_decay = 1e-5;     ///< L2 regularization.
+  Optimizer optimizer = Optimizer::kAdam;
+  double validation_fraction = 0.15;  ///< Held out for early stopping.
+  std::size_t patience = 40;          ///< Epochs without improvement.
+  std::uint64_t seed = 1;
+};
+
+/// A fully connected regression network: inputs -> tanh hidden layer(s) ->
+/// linear output. Inputs and targets are z-score normalized internally, so
+/// callers work on the original scale.
+class Mlp {
+ public:
+  Mlp() = default;
+  explicit Mlp(MlpOptions opts) : opts_(std::move(opts)) {}
+
+  /// Trains on rows x[i] -> y[i]. All rows must share the same width.
+  /// Throws std::invalid_argument on empty or ragged inputs.
+  void fit(const std::vector<std::vector<double>>& x,
+           std::span<const double> y);
+
+  /// Predicts one sample (original scale).
+  [[nodiscard]] double predict(std::span<const double> features) const;
+
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+  [[nodiscard]] std::size_t input_dim() const noexcept { return input_dim_; }
+
+  /// Best validation loss observed during training (MSE, normalized scale).
+  [[nodiscard]] double best_validation_loss() const noexcept {
+    return best_val_loss_;
+  }
+
+  /// Gradient of the loss for a single sample, flattened across all
+  /// parameters — exposed so tests can check backprop against numerical
+  /// differentiation.
+  [[nodiscard]] std::vector<double> loss_gradient(
+      std::span<const double> features_norm, double target_norm) const;
+
+  /// Flattened parameter access (weights then biases, layer by layer);
+  /// used with loss_gradient by the gradient-check test.
+  [[nodiscard]] std::vector<double> parameters() const;
+  void set_parameters(std::span<const double> params);
+
+  /// Loss for a single normalized sample: 0.5 * (output - target)^2.
+  [[nodiscard]] double sample_loss(std::span<const double> features_norm,
+                                   double target_norm) const;
+
+  /// Text serialization of the fitted network (weights, biases, scalers).
+  /// Loaded models predict identically but retraining restarts from the
+  /// saved weights' topology with default training options.
+  void save(std::ostream& os) const;
+  [[nodiscard]] static Mlp load(std::istream& is);
+
+ private:
+  struct Layer {
+    // weights[o * in + i]: weight from input i to output o.
+    std::vector<double> weights;
+    std::vector<double> biases;
+    std::size_t in = 0;
+    std::size_t out = 0;
+  };
+
+  [[nodiscard]] std::vector<double> forward_normalized(
+      std::span<const double> x_norm) const;
+
+  void init_layers(std::size_t input_dim, acbm::stats::Rng& rng);
+
+  MlpOptions opts_;
+  std::vector<Layer> layers_;
+  std::vector<acbm::stats::ZScore> input_scalers_;
+  acbm::stats::ZScore output_scaler_;
+  std::size_t input_dim_ = 0;
+  double best_val_loss_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace acbm::nn

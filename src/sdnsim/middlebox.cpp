@@ -1,0 +1,100 @@
+#include "sdnsim/middlebox.h"
+
+#include <algorithm>
+
+namespace acbm::sdnsim {
+
+namespace {
+
+// Splits `amount` into an inspected part (up to the remaining firewall
+// budget) and an uninspected overflow; updates the budget.
+struct InspectSplit {
+  double inspected = 0.0;
+  double overflow = 0.0;
+};
+InspectSplit inspect(double amount, double& budget) {
+  InspectSplit split;
+  split.inspected = std::min(amount, budget);
+  split.overflow = amount - split.inspected;
+  budget -= split.inspected;
+  return split;
+}
+
+}  // namespace
+
+ChainOutcome process_minute(const MinuteTraffic& traffic, ChainOrder order,
+                            const MiddleboxSpec& spec) {
+  ChainOutcome out;
+  double budget = spec.firewall_capacity;
+
+  const double attack = traffic.total_attack();
+  const double benign = traffic.total_benign();
+
+  // Which share of each class reaches the firewall at all.
+  const double attack_to_fw =
+      order == ChainOrder::kFirewallFirst ? attack : attack * spec.lb_flag_attack;
+  const double benign_to_fw =
+      order == ChainOrder::kFirewallFirst ? benign : benign * spec.lb_flag_benign;
+
+  // Inspect attack and benign proportionally out of the shared budget.
+  const double total_to_fw = attack_to_fw + benign_to_fw;
+  double attack_inspected = 0.0;
+  double benign_inspected = 0.0;
+  if (total_to_fw > 0.0) {
+    const InspectSplit split = inspect(total_to_fw, budget);
+    const double ratio = split.inspected / total_to_fw;
+    attack_inspected = attack_to_fw * ratio;
+    benign_inspected = benign_to_fw * ratio;
+  }
+  out.inspected = attack_inspected + benign_inspected;
+
+  const double attack_dropped = attack_inspected * spec.firewall_attack_drop;
+  const double benign_dropped = benign_inspected * spec.firewall_false_positive;
+  out.attack_dropped = attack_dropped;
+  out.benign_dropped = benign_dropped;
+  out.attack_delivered = attack - attack_dropped;
+  out.benign_delivered = benign - benign_dropped;
+  return out;
+}
+
+ScrubOutcome process_with_diversion(const MinuteTraffic& traffic,
+                                    const std::vector<net::Asn>& diverted,
+                                    const ScrubberSpec& spec) {
+  ScrubOutcome out;
+  const auto is_diverted = [&](net::Asn asn) {
+    return std::find(diverted.begin(), diverted.end(), asn) != diverted.end();
+  };
+
+  double scrub_attack = 0.0;
+  double scrub_benign = 0.0;
+  for (const auto& [asn, rate] : traffic.attack) {
+    if (is_diverted(asn)) {
+      scrub_attack += rate;
+    } else {
+      out.attack_delivered += rate;
+    }
+  }
+  for (const auto& [asn, rate] : traffic.benign) {
+    if (is_diverted(asn)) {
+      scrub_benign += rate;
+    } else {
+      out.benign_delivered += rate;
+    }
+  }
+  out.diverted = scrub_attack + scrub_benign;
+
+  // The scrubber cleans up to its capacity; overload passes through raw.
+  const double total = scrub_attack + scrub_benign;
+  const double cleaned_ratio =
+      total > 0.0 ? std::min(1.0, spec.capacity / total) : 1.0;
+  const double attack_cleaned = scrub_attack * cleaned_ratio;
+  const double attack_raw = scrub_attack - attack_cleaned;
+  out.attack_scrubbed = attack_cleaned * spec.attack_removal;
+  out.attack_delivered +=
+      attack_cleaned * (1.0 - spec.attack_removal) + attack_raw;
+  out.benign_dropped = scrub_benign * cleaned_ratio * spec.benign_loss;
+  out.benign_delivered += scrub_benign - out.benign_dropped;
+  return out;
+}
+
+}  // namespace acbm::sdnsim

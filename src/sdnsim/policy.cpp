@@ -1,0 +1,95 @@
+#include "sdnsim/policy.h"
+
+#include <algorithm>
+
+namespace acbm::sdnsim {
+
+ReactivePolicy::ReactivePolicy(
+    std::unordered_map<net::Asn, double> benign_baseline, ReactiveOptions opts)
+    : baseline_(std::move(benign_baseline)), opts_(opts) {
+  for (const auto& [asn, rate] : baseline_) baseline_total_ += rate;
+}
+
+PolicyDecision ReactivePolicy::decide(trace::EpochSeconds,
+                                      const MinuteTraffic& previous) {
+  // Aggregate view only: the operator sees total load per source AS.
+  std::unordered_map<net::Asn, double> observed;
+  double total = 0.0;
+  for (const auto& [asn, rate] : previous.attack) {
+    observed[asn] += rate;
+    total += rate;
+  }
+  for (const auto& [asn, rate] : previous.benign) {
+    observed[asn] += rate;
+    total += rate;
+  }
+
+  const bool anomalous = total > opts_.threshold_factor * baseline_total_;
+  if (anomalous) {
+    ++anomalous_streak_;
+    quiet_streak_ = 0;
+  } else {
+    anomalous_streak_ = 0;
+    ++quiet_streak_;
+  }
+
+  if (!hardened_ && anomalous_streak_ >= opts_.detection_delay_min) {
+    hardened_ = true;
+    // Install rules for ASes visibly above their baseline share.
+    std::vector<std::pair<net::Asn, double>> excess;
+    for (const auto& [asn, rate] : observed) {
+      const auto it = baseline_.find(asn);
+      const double base = it == baseline_.end() ? 0.0 : it->second;
+      if (rate > opts_.rule_factor * base + 1e-9) {
+        excess.emplace_back(asn, rate - base);
+      }
+    }
+    std::sort(excess.begin(), excess.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    rules_.clear();
+    for (std::size_t i = 0; i < excess.size() && i < opts_.max_rules; ++i) {
+      rules_.push_back(excess[i].first);
+    }
+  }
+  if (hardened_ && quiet_streak_ >= opts_.cooldown_min) {
+    hardened_ = false;
+    rules_.clear();
+  }
+
+  PolicyDecision decision;
+  decision.order = hardened_ ? ChainOrder::kFirewallFirst
+                             : ChainOrder::kLoadBalancerFirst;
+  decision.diverted = rules_;
+  return decision;
+}
+
+PredictivePolicy::PredictivePolicy(std::vector<PredictedWindow> schedule)
+    : schedule_(std::move(schedule)) {
+  std::sort(schedule_.begin(), schedule_.end(),
+            [](const PredictedWindow& a, const PredictedWindow& b) {
+              return a.start < b.start;
+            });
+}
+
+PolicyDecision PredictivePolicy::decide(trace::EpochSeconds minute_start,
+                                        const MinuteTraffic&) {
+  PolicyDecision decision;
+  for (const PredictedWindow& window : schedule_) {
+    if (window.start > minute_start) break;
+    if (minute_start < window.end) {
+      decision.order = ChainOrder::kFirewallFirst;
+      // Union of rules from all live windows.
+      for (net::Asn asn : window.rules) {
+        if (std::find(decision.diverted.begin(), decision.diverted.end(),
+                      asn) == decision.diverted.end()) {
+          decision.diverted.push_back(asn);
+        }
+      }
+    }
+  }
+  return decision;
+}
+
+}  // namespace acbm::sdnsim

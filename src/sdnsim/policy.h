@@ -1,0 +1,102 @@
+// Control-plane policies for the Fig. 5 use cases: when to flip the
+// middlebox chain to firewall-first and which source ASes to divert to the
+// scrubber. Static, reactive (detect-then-respond), and predictive
+// (schedule built from the adversary model's forecasts) variants.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sdnsim/middlebox.h"
+
+namespace acbm::sdnsim {
+
+struct PolicyDecision {
+  ChainOrder order = ChainOrder::kLoadBalancerFirst;
+  std::vector<net::Asn> diverted;  ///< AS filter rules in force.
+};
+
+/// A control plane: decides each minute from what was observable the minute
+/// before (no oracle access to the current minute).
+class ControlPolicy {
+ public:
+  virtual ~ControlPolicy() = default;
+  [[nodiscard]] virtual PolicyDecision decide(
+      trace::EpochSeconds minute_start, const MinuteTraffic& previous) = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// Fixed configuration, never diverts.
+class StaticPolicy final : public ControlPolicy {
+ public:
+  StaticPolicy(ChainOrder order, std::string_view name)
+      : order_(order), name_(name) {}
+  [[nodiscard]] PolicyDecision decide(trace::EpochSeconds,
+                                      const MinuteTraffic&) override {
+    return {order_, {}};
+  }
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+ private:
+  ChainOrder order_;
+  std::string_view name_;
+};
+
+struct ReactiveOptions {
+  /// Detection: total observed traffic above this multiple of the benign
+  /// baseline counts as an anomaly.
+  double threshold_factor = 1.6;
+  /// Consecutive anomalous minutes before hardening (detection latency).
+  std::size_t detection_delay_min = 5;
+  /// Quiet minutes before reverting to the peacetime order.
+  std::size_t cooldown_min = 15;
+  /// Per-AS diversion rule installed when an AS exceeds this multiple of
+  /// its baseline share during an anomaly.
+  double rule_factor = 3.0;
+  std::size_t max_rules = 24;
+};
+
+/// Detect-then-respond: hardens after sustained anomaly, diverts the ASes
+/// that are visibly over their baseline. Knows only aggregate traffic, not
+/// the attack/benign split.
+class ReactivePolicy final : public ControlPolicy {
+ public:
+  ReactivePolicy(std::unordered_map<net::Asn, double> benign_baseline,
+                 ReactiveOptions opts = {});
+  [[nodiscard]] PolicyDecision decide(trace::EpochSeconds minute_start,
+                                      const MinuteTraffic& previous) override;
+  [[nodiscard]] std::string_view name() const override { return "reactive"; }
+
+ private:
+  std::unordered_map<net::Asn, double> baseline_;
+  double baseline_total_ = 0.0;
+  ReactiveOptions opts_;
+  std::size_t anomalous_streak_ = 0;
+  std::size_t quiet_streak_ = 0;
+  bool hardened_ = false;
+  std::vector<net::Asn> rules_;
+};
+
+/// A prediction-driven schedule: hardening windows with pre-installed
+/// diversion rules, built ahead of time from the adversary model's
+/// (causal) forecasts of each upcoming attack.
+struct PredictedWindow {
+  trace::EpochSeconds start = 0;
+  trace::EpochSeconds end = 0;
+  std::vector<net::Asn> rules;
+};
+
+class PredictivePolicy final : public ControlPolicy {
+ public:
+  explicit PredictivePolicy(std::vector<PredictedWindow> schedule);
+  [[nodiscard]] PolicyDecision decide(trace::EpochSeconds minute_start,
+                                      const MinuteTraffic& previous) override;
+  [[nodiscard]] std::string_view name() const override { return "predictive"; }
+
+ private:
+  std::vector<PredictedWindow> schedule_;  // Sorted by start.
+};
+
+}  // namespace acbm::sdnsim

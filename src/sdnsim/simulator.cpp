@@ -1,0 +1,58 @@
+#include "sdnsim/simulator.h"
+
+namespace acbm::sdnsim {
+
+SimulationReport simulate(const TargetTrafficModel& traffic,
+                          ControlPolicy& policy, trace::EpochSeconds start,
+                          std::size_t minutes, const SimulationOptions& opts) {
+  SimulationReport report;
+  MinuteTraffic previous;  // Empty before the first minute.
+  ChainOrder previous_order = ChainOrder::kLoadBalancerFirst;
+  bool first_minute = true;
+
+  for (std::size_t m = 0; m < minutes; ++m) {
+    const trace::EpochSeconds t = start + static_cast<trace::EpochSeconds>(m) * 60;
+    const PolicyDecision decision = policy.decide(t, previous);
+    const MinuteTraffic current = traffic.minute(t);
+
+    // Diversion first: traffic from filtered ASes takes the scrubbing path.
+    const ScrubOutcome scrub =
+        process_with_diversion(current, decision.diverted, opts.scrubber);
+    // The chain then processes what still heads for the target.
+    MinuteTraffic to_chain;
+    // process_minute only needs class totals; feed the scrubbed residue as
+    // single-entry maps (AS identity no longer matters past diversion).
+    to_chain.attack[0] = scrub.attack_delivered;
+    to_chain.benign[0] = scrub.benign_delivered;
+    const ChainOutcome chain =
+        process_minute(to_chain, decision.order, opts.middlebox);
+
+    double benign_dropped_now = scrub.benign_dropped + chain.benign_dropped;
+    double benign_delivered_now = chain.benign_delivered;
+    if (!first_minute && decision.order != previous_order) {
+      ++report.order_switches;
+      const double interruption =
+          benign_delivered_now * opts.interruption_benign_loss;
+      benign_delivered_now -= interruption;
+      benign_dropped_now += interruption;
+    }
+
+    report.attack_total += current.total_attack();
+    report.attack_delivered += chain.attack_delivered;
+    report.benign_total += current.total_benign();
+    report.benign_delivered += benign_delivered_now;
+    report.benign_dropped += benign_dropped_now;
+    if (decision.order == ChainOrder::kFirewallFirst) {
+      report.hardened_minutes += 1.0;
+    }
+    report.rules_minutes += decision.diverted.size();
+    report.total_minutes += 1.0;
+
+    previous = current;
+    previous_order = decision.order;
+    first_minute = false;
+  }
+  return report;
+}
+
+}  // namespace acbm::sdnsim

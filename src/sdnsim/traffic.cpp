@@ -1,0 +1,112 @@
+#include "sdnsim/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "core/features.h"
+
+namespace acbm::sdnsim {
+
+double MinuteTraffic::total_attack() const {
+  double acc = 0.0;
+  for (const auto& [asn, rate] : attack) acc += rate;
+  return acc;
+}
+
+double MinuteTraffic::total_benign() const {
+  double acc = 0.0;
+  for (const auto& [asn, rate] : benign) acc += rate;
+  return acc;
+}
+
+TargetTrafficModel::TargetTrafficModel(const trace::Dataset& dataset,
+                                       const net::IpToAsnMap& ip_map,
+                                       net::Asn target,
+                                       const TrafficOptions& opts)
+    : dataset_(&dataset), target_(target), opts_(opts) {
+  for (std::size_t idx : dataset.attacks_on_asn(target)) {
+    const trace::Attack& attack = dataset.attacks()[idx];
+    ActiveAttack active;
+    active.start = attack.start;
+    active.end = attack.end();
+    active.attack_index = idx;
+    for (const auto& [asn, share] :
+         core::source_asn_distribution(attack, ip_map)) {
+      active.rate_by_as[asn] = share * opts_.rate_per_bot *
+                               static_cast<double>(attack.magnitude());
+    }
+    attacks_.push_back(std::move(active));
+  }
+  std::sort(attacks_.begin(), attacks_.end(),
+            [](const ActiveAttack& a, const ActiveAttack& b) {
+              return a.start < b.start;
+            });
+
+  // Benign baseline: Zipf-weighted rates over a deterministic AS subset.
+  acbm::stats::Rng rng(opts_.seed ^ (static_cast<std::uint64_t>(target) << 20));
+  std::vector<net::Asn> pool;
+  for (const auto& attack : attacks_) {
+    for (const auto& [asn, rate] : attack.rate_by_as) pool.push_back(asn);
+  }
+  // Benign traffic comes both from ASes that also host bots (so filtering
+  // them has real collateral) and from clean ASes.
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  while (pool.size() < opts_.benign_source_ases) {
+    pool.push_back(static_cast<net::Asn>(60000 + pool.size()));
+  }
+  rng.shuffle(pool);
+  pool.resize(opts_.benign_source_ases);
+  double total_weight = 0.0;
+  std::vector<double> weights(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), 1.0);
+    total_weight += weights[i];
+  }
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    benign_rates_[pool[i]] =
+        opts_.benign_base_rate * weights[i] / total_weight;
+  }
+}
+
+MinuteTraffic TargetTrafficModel::minute(
+    trace::EpochSeconds minute_start) const {
+  MinuteTraffic out;
+  const trace::EpochSeconds minute_end = minute_start + 60;
+  for (const ActiveAttack& attack : attacks_) {
+    if (attack.start >= minute_end) break;
+    if (attack.end <= minute_start) continue;
+    // Fraction of the minute the attack is live.
+    const auto overlap = static_cast<double>(
+        std::min(attack.end, minute_end) - std::max(attack.start, minute_start));
+    const double fraction = overlap / 60.0;
+    for (const auto& [asn, rate] : attack.rate_by_as) {
+      out.attack[asn] += rate * fraction;
+    }
+  }
+  // Benign diurnal modulation peaking at 14:00 UTC.
+  const trace::DayHour dh =
+      trace::decompose_timestamp(minute_start, dataset_->window_start());
+  const double phase =
+      2.0 * std::numbers::pi * (static_cast<double>(dh.hour) - 14.0) / 24.0;
+  const double diurnal =
+      1.0 + opts_.benign_diurnal_amplitude * std::cos(phase);
+  for (const auto& [asn, rate] : benign_rates_) {
+    out.benign[asn] = rate * diurnal;
+  }
+  return out;
+}
+
+std::vector<std::size_t> TargetTrafficModel::attacks_overlapping(
+    trace::EpochSeconds start, trace::EpochSeconds end) const {
+  std::vector<std::size_t> out;
+  for (const ActiveAttack& attack : attacks_) {
+    if (attack.start < end && attack.end > start) {
+      out.push_back(attack.attack_index);
+    }
+  }
+  return out;
+}
+
+}  // namespace acbm::sdnsim

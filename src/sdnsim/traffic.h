@@ -1,0 +1,76 @@
+// Traffic model for the SDN use-case simulations (paper §VII-B / Fig. 5):
+// per-minute aggregated flows toward a protected target, split by source AS
+// into attack traffic (derived from the trace's attack records: each bot
+// contributes a constant rate for the attack's duration) and benign
+// background traffic (stationary per-AS baseline with diurnal modulation).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip_space.h"
+#include "stats/rng.h"
+#include "trace/dataset.h"
+
+namespace acbm::sdnsim {
+
+/// Aggregated traffic arriving in one minute, split by source AS.
+struct MinuteTraffic {
+  /// Units: flow-rate units (think Mbps); attack + benign per source AS.
+  std::unordered_map<net::Asn, double> attack;
+  std::unordered_map<net::Asn, double> benign;
+
+  [[nodiscard]] double total_attack() const;
+  [[nodiscard]] double total_benign() const;
+};
+
+struct TrafficOptions {
+  double rate_per_bot = 1.0;        ///< Attack units each bot contributes.
+  double benign_base_rate = 200.0;  ///< Mean benign units per minute, total.
+  /// Benign diurnal swing (fraction of base, peak at 14:00 UTC).
+  double benign_diurnal_amplitude = 0.4;
+  std::size_t benign_source_ases = 30;
+  std::uint64_t seed = 1;
+};
+
+/// Generates the per-minute traffic a single target AS receives over
+/// [start, start + minutes), combining the dataset's attacks on that target
+/// with synthetic benign background traffic.
+class TargetTrafficModel {
+ public:
+  TargetTrafficModel(const trace::Dataset& dataset,
+                     const net::IpToAsnMap& ip_map, net::Asn target,
+                     const TrafficOptions& opts);
+
+  /// Traffic in the minute beginning at `minute_start`.
+  [[nodiscard]] MinuteTraffic minute(trace::EpochSeconds minute_start) const;
+
+  /// All attacks on the target overlapping [start, end).
+  [[nodiscard]] std::vector<std::size_t> attacks_overlapping(
+      trace::EpochSeconds start, trace::EpochSeconds end) const;
+
+  [[nodiscard]] net::Asn target() const noexcept { return target_; }
+
+  /// Per-AS benign baseline rates (what a reactive operator knows).
+  [[nodiscard]] const std::unordered_map<net::Asn, double>& benign_baseline()
+      const noexcept {
+    return benign_rates_;
+  }
+
+ private:
+  struct ActiveAttack {
+    trace::EpochSeconds start = 0;
+    trace::EpochSeconds end = 0;
+    std::unordered_map<net::Asn, double> rate_by_as;
+    std::size_t attack_index = 0;
+  };
+
+  const trace::Dataset* dataset_;
+  net::Asn target_ = 0;
+  TrafficOptions opts_;
+  std::vector<ActiveAttack> attacks_;  // Sorted by start.
+  std::unordered_map<net::Asn, double> benign_rates_;  // Per-AS baseline.
+};
+
+}  // namespace acbm::sdnsim

@@ -1,0 +1,133 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace acbm::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double population_variance(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double coefficient_of_variation(std::span<const double> xs) {
+  const double m = mean(xs);
+  if (m == 0.0) return 0.0;
+  return stddev(xs) / m;
+}
+
+double min_value(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("min_value: empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("max_value: empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double quantile(std::span<const double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty input");
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("quantile: p out of [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(idx));
+  const auto hi = static_cast<std::size_t>(std::ceil(idx));
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double skewness(std::span<const double> xs) {
+  if (xs.size() < 3) return 0.0;
+  const double m = mean(xs);
+  double m2 = 0.0;
+  double m3 = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  const auto n = static_cast<double>(xs.size());
+  m2 /= n;
+  m3 /= n;
+  if (m2 <= 0.0) return 0.0;
+  return m3 / std::pow(m2, 1.5);
+}
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+  const std::size_t n = xs.size();
+  if (lag >= n) return 0.0;
+  const double m = mean(xs);
+  double denom = 0.0;
+  for (double x : xs) denom += (x - m) * (x - m);
+  if (denom <= 0.0) return 0.0;
+  double num = 0.0;
+  for (std::size_t t = lag; t < n; ++t) {
+    num += (xs[t] - m) * (xs[t - lag] - m);
+  }
+  return num / denom;
+}
+
+std::vector<double> acf(std::span<const double> xs, std::size_t max_lag) {
+  std::vector<double> out;
+  out.reserve(max_lag + 1);
+  for (std::size_t k = 0; k <= max_lag; ++k) {
+    out.push_back(autocorrelation(xs, k));
+  }
+  return out;
+}
+
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("pearson_correlation: length mismatch");
+  }
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+ZScore fit_zscore(std::span<const double> xs) {
+  ZScore z;
+  z.mean = mean(xs);
+  z.sd = std::max(stddev(xs), 1e-12);
+  return z;
+}
+
+}  // namespace acbm::stats

@@ -1,0 +1,72 @@
+// Descriptive statistics used throughout feature extraction and evaluation:
+// moments, coefficient of variation (Table I), quantiles, autocorrelation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace acbm::stats {
+
+/// Arithmetic mean; returns 0 for an empty input.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator); returns 0 for n < 2.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Population variance (n denominator); returns 0 for empty input.
+[[nodiscard]] double population_variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Coefficient of variation: stddev / mean. The paper's Table I uses this to
+/// measure stability of per-family daily attack counts. Returns 0 when the
+/// mean is 0.
+[[nodiscard]] double coefficient_of_variation(std::span<const double> xs);
+
+[[nodiscard]] double min_value(std::span<const double> xs);
+[[nodiscard]] double max_value(std::span<const double> xs);
+
+/// Median via the quantile function below.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Linear-interpolation quantile, p in [0, 1]. Throws std::invalid_argument
+/// on an empty input or p outside [0, 1].
+[[nodiscard]] double quantile(std::span<const double> xs, double p);
+
+/// Sample skewness (Fisher-Pearson, bias-uncorrected); 0 for n < 3 or zero sd.
+[[nodiscard]] double skewness(std::span<const double> xs);
+
+/// Lag-k sample autocorrelation of a series; 0 when undefined
+/// (k >= n or zero variance).
+[[nodiscard]] double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+/// Autocorrelation function for lags 0..max_lag inclusive (acf[0] == 1 when
+/// defined).
+[[nodiscard]] std::vector<double> acf(std::span<const double> xs,
+                                      std::size_t max_lag);
+
+/// Pearson correlation of two equal-length series; 0 when either side has
+/// zero variance. Throws std::invalid_argument on length mismatch.
+[[nodiscard]] double pearson_correlation(std::span<const double> xs,
+                                         std::span<const double> ys);
+
+/// Z-score normalization parameters for a series.
+struct ZScore {
+  double mean = 0.0;
+  double sd = 1.0;
+
+  [[nodiscard]] double transform(double x) const noexcept {
+    return (x - mean) / sd;
+  }
+  [[nodiscard]] double inverse(double z) const noexcept {
+    return z * sd + mean;
+  }
+};
+
+/// Fits z-score parameters; sd is clamped to a tiny positive value so the
+/// transform is always invertible.
+[[nodiscard]] ZScore fit_zscore(std::span<const double> xs);
+
+}  // namespace acbm::stats

@@ -1,0 +1,102 @@
+#include "stats/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace acbm::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> sample)
+    : sorted_(sample.begin(), sample.end()) {
+  if (sorted_.empty()) {
+    throw std::invalid_argument("EmpiricalCdf: empty sample");
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::cdf(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double p) const {
+  if (sorted_.empty()) throw std::logic_error("EmpiricalCdf: not initialized");
+  if (p <= 0.0 || p > 1.0) {
+    throw std::invalid_argument("EmpiricalCdf::quantile: p out of (0,1]");
+  }
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted_.size()))) - 1;
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins == 0");
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo >= hi");
+}
+
+void Histogram::add(double x) {
+  ++counts_[bin_of(x)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::count");
+  return counts_[bin];
+}
+
+std::size_t Histogram::bin_of(double x) const {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return counts_.size() - 1;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  const auto bin = static_cast<std::size_t>((x - lo_) / width);
+  return std::min(bin, counts_.size() - 1);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_center");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+std::vector<double> Histogram::frequencies() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+double l1_distance(std::span<const double> p, std::span<const double> q) {
+  if (p.size() != q.size()) {
+    throw std::invalid_argument("l1_distance: length mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) acc += std::abs(p[i] - q[i]);
+  return acc;
+}
+
+double entropy(std::span<const double> freqs) {
+  double total = 0.0;
+  for (double f : freqs) {
+    if (f < 0.0) throw std::invalid_argument("entropy: negative frequency");
+    total += f;
+  }
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double f : freqs) {
+    if (f <= 0.0) continue;
+    const double p = f / total;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace acbm::stats

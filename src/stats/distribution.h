@@ -1,0 +1,73 @@
+// Empirical distributions: CDFs (used by the paper to choose the 30 s - 24 h
+// multistage window from the inter-launch-time CDF) and histograms (used to
+// render the Figure 3/4 distribution comparisons).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace acbm::stats {
+
+/// Empirical cumulative distribution function over a sample.
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+
+  /// Builds the CDF from a sample; throws std::invalid_argument when empty.
+  explicit EmpiricalCdf(std::span<const double> sample);
+
+  /// Fraction of the sample <= x.
+  [[nodiscard]] double cdf(double x) const;
+
+  /// Smallest sample value v with cdf(v) >= p, p in (0, 1].
+  [[nodiscard]] double quantile(double p) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted_sample() const noexcept {
+    return sorted_;
+  }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-width histogram over [lo, hi); values outside clamp to edge bins.
+class Histogram {
+ public:
+  /// Throws std::invalid_argument if bins == 0 or lo >= hi.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+  /// Bin index for a value (clamped to the edge bins).
+  [[nodiscard]] std::size_t bin_of(double x) const;
+
+  /// Center of a bin.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+
+  /// Normalized bin frequencies summing to 1 (all zeros when empty).
+  [[nodiscard]] std::vector<double> frequencies() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// L1 (total-variation x2) distance between two discrete distributions given
+/// as frequency vectors of equal length.
+[[nodiscard]] double l1_distance(std::span<const double> p,
+                                 std::span<const double> q);
+
+/// Shannon entropy (nats) of a frequency vector (non-negative, need not be
+/// normalized; zero entries are skipped).
+[[nodiscard]] double entropy(std::span<const double> freqs);
+
+}  // namespace acbm::stats

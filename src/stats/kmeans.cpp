@@ -1,0 +1,159 @@
+#include "stats/kmeans.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace acbm::stats {
+
+namespace {
+
+double squared_distance(const Matrix& data, std::size_t row,
+                        const Matrix& centroids, std::size_t centroid) {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < data.cols(); ++j) {
+    const double d = data(row, j) - centroids(centroid, j);
+    acc += d * d;
+  }
+  return acc;
+}
+
+// k-means++ seeding: each next centroid is drawn proportional to the
+// squared distance from the nearest already-chosen one.
+Matrix seed_centroids(const Matrix& data, std::size_t k, Rng& rng) {
+  const std::size_t n = data.rows();
+  Matrix centroids(k, data.cols());
+  const auto first =
+      static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  for (std::size_t j = 0; j < data.cols(); ++j) {
+    centroids(0, j) = data(first, j);
+  }
+  std::vector<double> dist2(n, std::numeric_limits<double>::infinity());
+  for (std::size_t c = 1; c < k; ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      dist2[i] = std::min(dist2[i], squared_distance(data, i, centroids, c - 1));
+    }
+    double total = 0.0;
+    for (double d : dist2) total += d;
+    std::size_t pick = 0;
+    if (total > 0.0) {
+      pick = rng.categorical(dist2);
+    } else {
+      pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    }
+    for (std::size_t j = 0; j < data.cols(); ++j) {
+      centroids(c, j) = data(pick, j);
+    }
+  }
+  return centroids;
+}
+
+KMeansResult run_once(const Matrix& data, const KMeansOptions& opts,
+                      Rng& rng) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  KMeansResult result;
+  result.centroids = seed_centroids(data, opts.k, rng);
+  result.labels.assign(n, 0);
+
+  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < opts.k; ++c) {
+        const double dist = squared_distance(data, i, result.centroids, c);
+        if (dist < best_d) {
+          best_d = dist;
+          best = c;
+        }
+      }
+      if (result.labels[i] != best) {
+        result.labels[i] = best;
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+
+    // Recompute centroids; empty clusters re-seed from the farthest point.
+    Matrix sums(opts.k, d);
+    std::vector<std::size_t> counts(opts.k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counts[result.labels[i]];
+      for (std::size_t j = 0; j < d; ++j) {
+        sums(result.labels[i], j) += data(i, j);
+      }
+    }
+    for (std::size_t c = 0; c < opts.k; ++c) {
+      if (counts[c] == 0) {
+        std::size_t farthest = 0;
+        double far_d = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double dist =
+              squared_distance(data, i, result.centroids, result.labels[i]);
+          if (dist > far_d) {
+            far_d = dist;
+            farthest = i;
+          }
+        }
+        for (std::size_t j = 0; j < d; ++j) {
+          result.centroids(c, j) = data(farthest, j);
+        }
+        changed = true;
+        continue;
+      }
+      for (std::size_t j = 0; j < d; ++j) {
+        result.centroids(c, j) = sums(c, j) / static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed) break;
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.inertia += squared_distance(data, i, result.centroids,
+                                       result.labels[i]);
+  }
+  return result;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const Matrix& data, const KMeansOptions& opts, Rng& rng) {
+  if (data.empty()) throw std::invalid_argument("kmeans: empty data");
+  if (opts.k == 0 || opts.k > data.rows()) {
+    throw std::invalid_argument("kmeans: k out of range");
+  }
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  const std::size_t restarts = std::max<std::size_t>(opts.restarts, 1);
+  for (std::size_t r = 0; r < restarts; ++r) {
+    KMeansResult candidate = run_once(data, opts, rng);
+    if (candidate.inertia < best.inertia) best = std::move(candidate);
+  }
+  return best;
+}
+
+double cluster_purity(std::span<const std::size_t> labels,
+                      std::span<const std::size_t> truth) {
+  if (labels.size() != truth.size() || labels.empty()) {
+    throw std::invalid_argument("cluster_purity: bad input");
+  }
+  // Majority true label per cluster.
+  std::unordered_map<std::size_t, std::unordered_map<std::size_t, std::size_t>>
+      votes;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    ++votes[labels[i]][truth[i]];
+  }
+  std::size_t correct = 0;
+  for (const auto& [cluster, histogram] : votes) {
+    std::size_t best = 0;
+    for (const auto& [label, count] : histogram) best = std::max(best, count);
+    correct += best;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace acbm::stats

@@ -1,0 +1,41 @@
+// k-means clustering with k-means++ seeding. Paired with the silhouette
+// coefficient (silhouette.h, the validation method the paper's A^s feature
+// is modeled after) it supports unsupervised botnet-family attribution over
+// attack feature vectors (see examples and bench_ext_attribution).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/matrix.h"
+#include "stats/rng.h"
+
+namespace acbm::stats {
+
+struct KMeansOptions {
+  std::size_t k = 2;
+  std::size_t max_iterations = 100;
+  /// Independent k-means++ restarts; the lowest-inertia run wins.
+  std::size_t restarts = 4;
+};
+
+struct KMeansResult {
+  Matrix centroids;                  ///< k x d.
+  std::vector<std::size_t> labels;   ///< Cluster index per input row.
+  double inertia = 0.0;              ///< Sum of squared distances to centroids.
+  std::size_t iterations = 0;        ///< Of the winning run.
+};
+
+/// Clusters the rows of an n x d matrix. Throws std::invalid_argument when
+/// k == 0, k > n, or the matrix is empty.
+[[nodiscard]] KMeansResult kmeans(const Matrix& data, const KMeansOptions& opts,
+                                  Rng& rng);
+
+/// Clustering-vs-truth agreement: for each cluster take its majority true
+/// label; purity is the fraction of points whose cluster majority matches
+/// their own label. Throws std::invalid_argument on length mismatch or
+/// empty input.
+[[nodiscard]] double cluster_purity(std::span<const std::size_t> labels,
+                                    std::span<const std::size_t> truth);
+
+}  // namespace acbm::stats

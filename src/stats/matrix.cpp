@@ -1,0 +1,230 @@
+#include "stats/matrix.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace acbm::stats {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  if (r >= rows_) throw std::out_of_range("Matrix::row");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("Matrix::row");
+  return {data_.data() + r * cols_, cols_};
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) {
+    throw std::invalid_argument("Matrix::operator*: dimension mismatch");
+  }
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out(i, j) += aik * rhs(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("Matrix::operator+: dimension mismatch");
+  }
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("Matrix::operator-: dimension mismatch");
+  }
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= scalar;
+  return out;
+}
+
+std::vector<double> Matrix::apply(std::span<const double> x) const {
+  if (x.size() != cols_) {
+    throw std::invalid_argument("Matrix::apply: dimension mismatch");
+  }
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += (*this)(i, j) * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+std::string Matrix::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    os << (i == 0 ? "[" : " ");
+    for (std::size_t j = 0; j < cols_; ++j) {
+      os << (*this)(i, j) << (j + 1 < cols_ ? ", " : "");
+    }
+    os << (i + 1 < rows_ ? ";\n" : "]");
+  }
+  return os.str();
+}
+
+std::vector<double> solve_cholesky(const Matrix& a, std::span<const double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    throw std::invalid_argument("solve_cholesky: dimension mismatch");
+  }
+  // Lower-triangular factor L with A = L L^T.
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          throw std::domain_error("solve_cholesky: matrix not SPD");
+        }
+        l(i, i) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  // Forward solve L y = b, then backward solve L^T x = y.
+  std::vector<double> x(b.begin(), b.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < i; ++k) x[i] -= l(i, k) * x[k];
+    x[i] /= l(i, i);
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t k = ii + 1; k < n; ++k) x[ii] -= l(k, ii) * x[k];
+    x[ii] /= l(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> solve_lu(const Matrix& a, std::span<const double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    throw std::invalid_argument("solve_lu: dimension mismatch");
+  }
+  Matrix lu = a;
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(lu(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(lu(r, col)) > best) {
+        best = std::abs(lu(r, col));
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) throw std::domain_error("solve_lu: singular matrix");
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu(col, j), lu(pivot, j));
+      std::swap(perm[col], perm[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = lu(r, col) / lu(col, col);
+      lu(r, col) = f;
+      for (std::size_t j = col + 1; j < n; ++j) lu(r, j) -= f * lu(col, j);
+    }
+  }
+
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm[i]];
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t k = 0; k < i; ++k) x[i] -= lu(i, k) * x[k];
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t k = ii + 1; k < n; ++k) x[ii] -= lu(ii, k) * x[k];
+    x[ii] /= lu(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> solve_least_squares(const Matrix& a,
+                                        std::span<const double> b,
+                                        double ridge) {
+  if (a.rows() < a.cols()) {
+    throw std::invalid_argument("solve_least_squares: underdetermined system");
+  }
+  if (b.size() != a.rows()) {
+    throw std::invalid_argument("solve_least_squares: dimension mismatch");
+  }
+  const Matrix at = a.transpose();
+  Matrix ata = at * a;
+  for (std::size_t i = 0; i < ata.rows(); ++i) ata(i, i) += ridge;
+  const std::vector<double> atb = at.apply(b);
+  // Cholesky is valid because A^T A + ridge I is SPD whenever ridge > 0;
+  // fall back to LU if the ridge was set to zero and conditioning is bad.
+  try {
+    return solve_cholesky(ata, atb);
+  } catch (const std::domain_error&) {
+    return solve_lu(ata, atb);
+  }
+}
+
+}  // namespace acbm::stats

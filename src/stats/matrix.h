@@ -1,0 +1,93 @@
+// Dense row-major matrix and the small set of linear-algebra routines the
+// modeling stack needs: products, transpose, Cholesky and partially-pivoted
+// LU solves. Sized for regression problems (tens of columns), not HPC.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace acbm::stats {
+
+/// Dense row-major matrix of doubles with value semantics.
+///
+/// Invariant: data_.size() == rows_ * cols_. A default-constructed Matrix is
+/// the empty 0x0 matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Creates a matrix from nested initializer lists; all rows must have the
+  /// same length. Throws std::invalid_argument on ragged input.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked element access; throws std::out_of_range.
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  /// View of row `r` as a contiguous span.
+  [[nodiscard]] std::span<double> row(std::size_t r);
+  [[nodiscard]] std::span<const double> row(std::size_t r) const;
+
+  /// Returns the identity matrix of size n.
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] Matrix transpose() const;
+
+  /// Matrix product; throws std::invalid_argument on dimension mismatch.
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator+(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator-(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator*(double scalar) const;
+
+  /// Matrix-vector product; x.size() must equal cols().
+  [[nodiscard]] std::vector<double> apply(std::span<const double> x) const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const;
+
+  /// Human-readable rendering, mainly for diagnostics/tests.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky.
+/// Throws std::domain_error if A is not SPD (within a small tolerance).
+[[nodiscard]] std::vector<double> solve_cholesky(const Matrix& a,
+                                                 std::span<const double> b);
+
+/// Solves A x = b for general square A via LU with partial pivoting.
+/// Throws std::domain_error if A is singular to working precision.
+[[nodiscard]] std::vector<double> solve_lu(const Matrix& a,
+                                           std::span<const double> b);
+
+/// Solves the least-squares problem min ||A x - b||_2 via the normal
+/// equations with a small ridge term for numerical stability.
+/// A must have rows() >= cols(). `ridge` is added to the diagonal of A^T A.
+[[nodiscard]] std::vector<double> solve_least_squares(const Matrix& a,
+                                                      std::span<const double> b,
+                                                      double ridge = 1e-10);
+
+}  // namespace acbm::stats

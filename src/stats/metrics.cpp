@@ -1,0 +1,78 @@
+#include "stats/metrics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace acbm::stats {
+
+namespace {
+void check_pair(std::span<const double> truth, std::span<const double> pred) {
+  if (truth.size() != pred.size()) {
+    throw std::invalid_argument("metrics: length mismatch");
+  }
+  if (truth.empty()) {
+    throw std::invalid_argument("metrics: empty input");
+  }
+}
+}  // namespace
+
+double rmse(std::span<const double> truth, std::span<const double> pred) {
+  check_pair(truth, pred);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - pred[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(truth.size()));
+}
+
+double mae(std::span<const double> truth, std::span<const double> pred) {
+  check_pair(truth, pred);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    acc += std::abs(truth[i] - pred[i]);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+double mape(std::span<const double> truth, std::span<const double> pred) {
+  check_pair(truth, pred);
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == 0.0) continue;
+    acc += std::abs((truth[i] - pred[i]) / truth[i]);
+    ++count;
+  }
+  return count == 0 ? 0.0 : acc / static_cast<double>(count);
+}
+
+double r_squared(std::span<const double> truth, std::span<const double> pred) {
+  check_pair(truth, pred);
+  const double m = mean(truth);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - m) * (truth[i] - m);
+  }
+  if (ss_tot <= 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double smape(std::span<const double> truth, std::span<const double> pred) {
+  check_pair(truth, pred);
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double denom = (std::abs(truth[i]) + std::abs(pred[i])) / 2.0;
+    if (denom == 0.0) continue;
+    acc += std::abs(truth[i] - pred[i]) / denom;
+    ++count;
+  }
+  return count == 0 ? 0.0 : acc / static_cast<double>(count);
+}
+
+}  // namespace acbm::stats

@@ -1,0 +1,32 @@
+// Prediction-error metrics used to validate every model in the paper
+// (the evaluation reports RMSE throughout).
+#pragma once
+
+#include <span>
+
+namespace acbm::stats {
+
+/// Root mean squared error. Throws std::invalid_argument on length mismatch
+/// or empty input.
+[[nodiscard]] double rmse(std::span<const double> truth,
+                          std::span<const double> pred);
+
+/// Mean absolute error.
+[[nodiscard]] double mae(std::span<const double> truth,
+                         std::span<const double> pred);
+
+/// Mean absolute percentage error over entries with non-zero truth
+/// (entries with truth == 0 are skipped; returns 0 if all are skipped).
+[[nodiscard]] double mape(std::span<const double> truth,
+                          std::span<const double> pred);
+
+/// Coefficient of determination R^2 = 1 - SS_res / SS_tot. Returns 0 when the
+/// truth series has zero variance.
+[[nodiscard]] double r_squared(std::span<const double> truth,
+                               std::span<const double> pred);
+
+/// Symmetric mean absolute percentage error in [0, 2].
+[[nodiscard]] double smape(std::span<const double> truth,
+                           std::span<const double> pred);
+
+}  // namespace acbm::stats

@@ -1,0 +1,104 @@
+#include "stats/ols.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+#include "stats/metrics.h"
+#include "stats/serialize.h"
+
+namespace acbm::stats {
+
+void LinearRegression::fit(const Matrix& x, std::span<const double> y) {
+  const std::size_t n = x.rows();
+  const std::size_t k = x.cols();
+  if (y.size() != n) {
+    throw std::invalid_argument("LinearRegression::fit: row count mismatch");
+  }
+  const std::size_t params = k + (opts_.fit_intercept ? 1 : 0);
+  if (n < params || params == 0) {
+    throw std::invalid_argument(
+        "LinearRegression::fit: not enough samples for parameter count");
+  }
+
+  Matrix design(n, params);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t j = 0;
+    if (opts_.fit_intercept) design(i, j++) = 1.0;
+    for (std::size_t c = 0; c < k; ++c) design(i, j++) = x(i, c);
+  }
+
+  const std::vector<double> beta = solve_least_squares(design, y, opts_.ridge);
+  std::size_t j = 0;
+  intercept_ = opts_.fit_intercept ? beta[j++] : 0.0;
+  coef_.assign(beta.begin() + static_cast<std::ptrdiff_t>(j), beta.end());
+  fitted_ = true;
+
+  const std::vector<double> fit_pred = predict(x);
+  r2_ = stats::r_squared(y, fit_pred);
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ss_res += (y[i] - fit_pred[i]) * (y[i] - fit_pred[i]);
+  }
+  const std::size_t dof = n > params ? n - params : 1;
+  residual_sd_ = std::sqrt(ss_res / static_cast<double>(dof));
+}
+
+double LinearRegression::predict(std::span<const double> features) const {
+  if (!fitted_) throw std::logic_error("LinearRegression::predict: not fitted");
+  if (features.size() != coef_.size()) {
+    throw std::invalid_argument("LinearRegression::predict: feature count mismatch");
+  }
+  double acc = intercept_;
+  for (std::size_t i = 0; i < coef_.size(); ++i) acc += coef_[i] * features[i];
+  return acc;
+}
+
+std::vector<double> LinearRegression::predict(const Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    out.push_back(predict(x.row(i)));
+  }
+  return out;
+}
+
+void LinearRegression::save(std::ostream& os) const {
+  io::write_header(os, "ols", 1);
+  io::write_scalar(os, "fit_intercept", opts_.fit_intercept ? 1 : 0);
+  io::write_scalar(os, "ridge", opts_.ridge);
+  io::write_scalar(os, "fitted", fitted_ ? 1 : 0);
+  io::write_scalar(os, "intercept", intercept_);
+  io::write_scalar(os, "r2", r2_);
+  io::write_scalar(os, "residual_sd", residual_sd_);
+  io::write_vector<double>(os, "coef", coef_);
+}
+
+LinearRegression LinearRegression::load(std::istream& is) {
+  io::expect_header(is, "ols", 1);
+  Options opts;
+  opts.fit_intercept = io::read_scalar<int>(is, "fit_intercept") != 0;
+  opts.ridge = io::read_scalar<double>(is, "ridge");
+  LinearRegression reg(opts);
+  reg.fitted_ = io::read_scalar<int>(is, "fitted") != 0;
+  reg.intercept_ = io::read_scalar<double>(is, "intercept");
+  reg.r2_ = io::read_scalar<double>(is, "r2");
+  reg.residual_sd_ = io::read_scalar<double>(is, "residual_sd");
+  reg.coef_ = io::read_vector<double>(is, "coef");
+  return reg;
+}
+
+Matrix design_matrix(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return {};
+  const std::size_t k = rows.front().size();
+  Matrix m(rows.size(), k);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != k) {
+      throw std::invalid_argument("design_matrix: ragged rows");
+    }
+    for (std::size_t j = 0; j < k; ++j) m(i, j) = rows[i][j];
+  }
+  return m;
+}
+
+}  // namespace acbm::stats

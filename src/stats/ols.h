@@ -1,0 +1,68 @@
+// Multivariate linear regression (MLR). This is both a model in its own
+// right (the leaves of the spatiotemporal model tree, Eq. 8-10) and the
+// workhorse behind AR/ARMA estimation in acbm::ts.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace acbm::stats {
+
+/// Ordinary least squares y = b0 + b1 x1 + ... + bk xk, fit via the normal
+/// equations with a small ridge stabilizer.
+class LinearRegression {
+ public:
+  struct Options {
+    bool fit_intercept = true;
+    double ridge = 1e-8;  ///< Added to the diagonal of X^T X.
+  };
+
+  LinearRegression() = default;
+  explicit LinearRegression(Options opts) : opts_(opts) {}
+
+  /// Fits the model. `x` is n x k (n samples, k features), `y` has n entries.
+  /// Requires n >= k (+1 with intercept); throws std::invalid_argument
+  /// otherwise.
+  void fit(const Matrix& x, std::span<const double> y);
+
+  /// Predicts a single sample of k features.
+  [[nodiscard]] double predict(std::span<const double> features) const;
+
+  /// Predicts all rows of an n x k matrix.
+  [[nodiscard]] std::vector<double> predict(const Matrix& x) const;
+
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+  [[nodiscard]] double intercept() const noexcept { return intercept_; }
+  [[nodiscard]] const std::vector<double>& coefficients() const noexcept {
+    return coef_;
+  }
+
+  /// In-sample R^2 from the last fit.
+  [[nodiscard]] double r_squared() const noexcept { return r2_; }
+
+  /// Residual standard error from the last fit.
+  [[nodiscard]] double residual_sd() const noexcept { return residual_sd_; }
+
+  /// Text serialization of the fitted state (see stats/serialize.h).
+  void save(std::ostream& os) const;
+  [[nodiscard]] static LinearRegression load(std::istream& is);
+
+ private:
+  Options opts_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+  double r2_ = 0.0;
+  double residual_sd_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Convenience builder: packs rows of equal-length feature vectors into a
+/// design matrix. Throws std::invalid_argument on ragged rows.
+[[nodiscard]] Matrix design_matrix(
+    const std::vector<std::vector<double>>& rows);
+
+}  // namespace acbm::stats

@@ -1,0 +1,104 @@
+#include "stats/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace acbm::stats {
+
+double Rng::uniform(double lo, double hi) {
+  if (!(lo <= hi)) throw std::invalid_argument("Rng::uniform: lo > hi");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::normal(double mean, double sigma) {
+  if (sigma < 0.0) throw std::invalid_argument("Rng::normal: sigma < 0");
+  if (sigma == 0.0) return mean;
+  return std::normal_distribution<double>(mean, sigma)(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  if (sigma < 0.0) throw std::invalid_argument("Rng::lognormal: sigma < 0");
+  return std::exp(normal(mu, sigma));
+}
+
+std::uint64_t Rng::poisson(double lambda) {
+  if (lambda < 0.0) throw std::invalid_argument("Rng::poisson: lambda < 0");
+  if (lambda == 0.0) return 0;
+  return std::poisson_distribution<std::uint64_t>(lambda)(engine_);
+}
+
+double Rng::exponential(double rate) {
+  if (rate <= 0.0) throw std::invalid_argument("Rng::exponential: rate <= 0");
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+double Rng::pareto(double x_m, double alpha) {
+  if (x_m <= 0.0 || alpha <= 0.0) {
+    throw std::invalid_argument("Rng::pareto: invalid parameters");
+  }
+  // Inverse-CDF sampling: F^{-1}(u) = x_m / (1-u)^{1/alpha}.
+  const double u = uniform(0.0, 1.0);
+  return x_m / std::pow(1.0 - u, 1.0 / alpha);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("Rng::bernoulli: p out of range");
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument("Rng::categorical: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("Rng::categorical: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("Rng::categorical: all weights zero");
+  double u = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u < 0.0) return i;
+  }
+  return weights.size() - 1;  // Guards against rounding at the upper edge.
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("Rng::zipf: n == 0");
+  if (s < 0.0) throw std::invalid_argument("Rng::zipf: s < 0");
+  std::vector<double> weights(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+  }
+  return categorical(weights);
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  if (k > n) throw std::invalid_argument("Rng::sample_without_replacement: k > n");
+  // Floyd's algorithm: O(k) expected draws regardless of n.
+  std::unordered_set<std::size_t> chosen;
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(j)));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+Rng Rng::fork() {
+  return Rng(static_cast<std::uint64_t>(engine_()) ^ 0x9E3779B97F4A7C15ULL);
+}
+
+}  // namespace acbm::stats

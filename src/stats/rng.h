@@ -1,0 +1,73 @@
+// Seeded random number generation for every stochastic component in acbm.
+// All simulators take an explicit Rng (or a seed) so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace acbm::stats {
+
+/// Deterministic pseudo-random source wrapping std::mt19937_64 with the draw
+/// helpers the trace generator and model trainers need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Normal draw with the given mean and standard deviation (sigma >= 0).
+  [[nodiscard]] double normal(double mean = 0.0, double sigma = 1.0);
+
+  /// Log-normal draw: exp(N(mu, sigma)).
+  [[nodiscard]] double lognormal(double mu, double sigma);
+
+  /// Poisson draw with the given rate (lambda >= 0; lambda == 0 yields 0).
+  [[nodiscard]] std::uint64_t poisson(double lambda);
+
+  /// Exponential draw with the given rate (> 0).
+  [[nodiscard]] double exponential(double rate);
+
+  /// Pareto (type I) draw with scale x_m > 0 and shape alpha > 0.
+  [[nodiscard]] double pareto(double x_m, double alpha);
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Index draw from unnormalized non-negative weights.
+  /// Throws std::invalid_argument if weights are empty or all zero.
+  [[nodiscard]] std::size_t categorical(std::span<const double> weights);
+
+  /// Zipf-distributed rank in [0, n) with exponent s >= 0 (s == 0 is uniform).
+  [[nodiscard]] std::size_t zipf(std::size_t n, double s);
+
+  /// Sample k distinct indices from [0, n) uniformly (k <= n),
+  /// in no particular order.
+  [[nodiscard]] std::vector<std::size_t> sample_without_replacement(
+      std::size_t n, std::size_t k);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for parallel components that
+  /// must not share a stream).
+  [[nodiscard]] Rng fork();
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace acbm::stats

@@ -1,0 +1,99 @@
+// Tiny line-oriented serialization helpers shared by every model's
+// save()/load(). Format: one `tag value...` line per field, doubles at
+// full round-trip precision. Loaders validate tags so version/format
+// mismatches fail loudly instead of mis-parsing.
+#pragma once
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace acbm::stats::io {
+
+inline void write_header(std::ostream& os, std::string_view kind,
+                         int version) {
+  os << "acbm:" << kind << ":v" << version << '\n';
+  os << std::setprecision(17);
+}
+
+inline void expect_header(std::istream& is, std::string_view kind,
+                          int version) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::invalid_argument("serialize: missing header");
+  }
+  std::ostringstream expected;
+  expected << "acbm:" << kind << ":v" << version;
+  if (line != expected.str()) {
+    throw std::invalid_argument("serialize: expected header '" +
+                                expected.str() + "', got '" + line + "'");
+  }
+}
+
+/// Reads a line and checks its leading tag; returns the rest as a stream.
+inline std::istringstream expect_tag(std::istream& is, std::string_view tag) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::invalid_argument("serialize: missing field '" +
+                                std::string(tag) + "'");
+  }
+  std::istringstream ss(line);
+  std::string got;
+  ss >> got;
+  if (got != tag) {
+    throw std::invalid_argument("serialize: expected field '" +
+                                std::string(tag) + "', got '" + got + "'");
+  }
+  return ss;
+}
+
+template <typename T>
+void write_scalar(std::ostream& os, std::string_view tag, T value) {
+  os << tag << ' ' << value << '\n';
+}
+
+template <typename T>
+[[nodiscard]] T read_scalar(std::istream& is, std::string_view tag) {
+  auto ss = expect_tag(is, tag);
+  T value{};
+  if (!(ss >> value)) {
+    throw std::invalid_argument("serialize: bad value for '" +
+                                std::string(tag) + "'");
+  }
+  return value;
+}
+
+template <typename T>
+void write_vector(std::ostream& os, std::string_view tag,
+                  std::span<const T> values) {
+  os << tag << ' ' << values.size();
+  for (const T& v : values) os << ' ' << v;
+  os << '\n';
+}
+
+template <typename T>
+[[nodiscard]] std::vector<T> read_vector(std::istream& is,
+                                         std::string_view tag) {
+  auto ss = expect_tag(is, tag);
+  std::size_t count = 0;
+  if (!(ss >> count)) {
+    throw std::invalid_argument("serialize: bad count for '" +
+                                std::string(tag) + "'");
+  }
+  std::vector<T> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!(ss >> out[i])) {
+      throw std::invalid_argument("serialize: truncated vector '" +
+                                  std::string(tag) + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace acbm::stats::io

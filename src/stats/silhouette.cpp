@@ -1,0 +1,60 @@
+#include "stats/silhouette.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "stats/descriptive.h"
+
+namespace acbm::stats {
+
+std::vector<double> silhouette_values(std::span<const std::size_t> labels,
+                                      const DistanceFn& distance) {
+  const std::size_t n = labels.size();
+  if (n == 0) throw std::invalid_argument("silhouette_values: empty labels");
+
+  std::unordered_map<std::size_t, std::vector<std::size_t>> clusters;
+  for (std::size_t i = 0; i < n; ++i) clusters[labels[i]].push_back(i);
+
+  std::vector<double> out(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& own = clusters[labels[i]];
+    if (own.size() <= 1) {
+      out[i] = 0.0;  // Rousseeuw's convention for singletons.
+      continue;
+    }
+    // a(i): mean distance to own cluster (excluding self).
+    double a = 0.0;
+    for (std::size_t j : own) {
+      if (j != i) a += distance(i, j);
+    }
+    a /= static_cast<double>(own.size() - 1);
+
+    // b(i): smallest mean distance to any other cluster.
+    double b = std::numeric_limits<double>::infinity();
+    for (const auto& [label, members] : clusters) {
+      if (label == labels[i]) continue;
+      double d = 0.0;
+      for (std::size_t j : members) d += distance(i, j);
+      d /= static_cast<double>(members.size());
+      b = std::min(b, d);
+    }
+    if (!std::isfinite(b)) {
+      out[i] = 0.0;  // Only one cluster exists.
+      continue;
+    }
+    const double denom = std::max(a, b);
+    out[i] = denom > 0.0 ? (b - a) / denom : 0.0;
+  }
+  return out;
+}
+
+double silhouette_score(std::span<const std::size_t> labels,
+                        const DistanceFn& distance) {
+  const std::vector<double> vals = silhouette_values(labels, distance);
+  return mean(vals);
+}
+
+}  // namespace acbm::stats

@@ -1,0 +1,27 @@
+// Silhouette coefficient (Rousseeuw 1987). The paper's source-distribution
+// feature A^s (Eq. 3) is "inspired by the silhouette coefficient"; we provide
+// the real coefficient for validation and analysis alongside the paper's
+// variant implemented in acbm::core.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace acbm::stats {
+
+/// Pairwise distance callback between items i and j.
+using DistanceFn = std::function<double(std::size_t, std::size_t)>;
+
+/// Silhouette value s(i) in [-1, 1] for each item given cluster labels and a
+/// distance function. Items in singleton clusters get s(i) = 0 by convention.
+/// Throws std::invalid_argument when labels are empty.
+[[nodiscard]] std::vector<double> silhouette_values(
+    std::span<const std::size_t> labels, const DistanceFn& distance);
+
+/// Mean silhouette over all items.
+[[nodiscard]] double silhouette_score(std::span<const std::size_t> labels,
+                                      const DistanceFn& distance);
+
+}  // namespace acbm::stats

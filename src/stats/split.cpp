@@ -1,0 +1,37 @@
+#include "stats/split.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace acbm::stats {
+
+SplitIndices chronological_split(std::size_t n, double train_fraction) {
+  if (!(train_fraction > 0.0 && train_fraction < 1.0)) {
+    throw std::invalid_argument("chronological_split: fraction out of (0,1)");
+  }
+  const auto n_train = static_cast<std::size_t>(
+      std::llround(static_cast<double>(n) * train_fraction));
+  SplitIndices out;
+  out.train.resize(n_train);
+  std::iota(out.train.begin(), out.train.end(), std::size_t{0});
+  out.test.resize(n - n_train);
+  std::iota(out.test.begin(), out.test.end(), n_train);
+  return out;
+}
+
+SplitIndices shuffled_split(std::size_t n, double train_fraction, Rng& rng) {
+  if (!(train_fraction > 0.0 && train_fraction < 1.0)) {
+    throw std::invalid_argument("shuffled_split: fraction out of (0,1)");
+  }
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  rng.shuffle(idx);
+  const auto n_train = static_cast<std::size_t>(
+      std::llround(static_cast<double>(n) * train_fraction));
+  SplitIndices out;
+  out.train.assign(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(n_train));
+  out.test.assign(idx.begin() + static_cast<std::ptrdiff_t>(n_train), idx.end());
+  return out;
+}
+
+}  // namespace acbm::stats

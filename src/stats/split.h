@@ -1,0 +1,41 @@
+// Train/test splitting. The paper uses a chronological 80/20 split
+// (40,563 train / 10,141 test) so the test set is strictly in the future of
+// the training set; we also provide a shuffled split for ablations.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace acbm::stats {
+
+struct SplitIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Chronological split: the first round(n * train_fraction) indices go to
+/// train, the rest to test. train_fraction must be in (0, 1).
+[[nodiscard]] SplitIndices chronological_split(std::size_t n,
+                                               double train_fraction);
+
+/// Shuffled split with the same proportions (for ablation experiments).
+[[nodiscard]] SplitIndices shuffled_split(std::size_t n, double train_fraction,
+                                          Rng& rng);
+
+/// Gathers the elements of `items` at `indices`.
+template <typename T>
+[[nodiscard]] std::vector<T> gather(const std::vector<T>& items,
+                                    const std::vector<std::size_t>& indices) {
+  std::vector<T> out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) {
+    if (i >= items.size()) throw std::out_of_range("gather: index out of range");
+    out.push_back(items[i]);
+  }
+  return out;
+}
+
+}  // namespace acbm::stats

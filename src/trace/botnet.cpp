@@ -1,0 +1,81 @@
+#include "trace/botnet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace acbm::trace {
+
+BotPool::BotPool(std::size_t size, const std::vector<net::Asn>& source_ases,
+                 double as_skew, const net::IpToAsnMap& ip_map,
+                 acbm::stats::Rng& rng) {
+  if (size == 0) throw std::invalid_argument("BotPool: empty pool");
+  if (source_ases.empty()) {
+    throw std::invalid_argument("BotPool: no source ASes");
+  }
+  // Pre-fetch each AS's prefixes once.
+  std::vector<std::vector<net::Prefix>> prefixes;
+  prefixes.reserve(source_ases.size());
+  for (net::Asn asn : source_ases) {
+    prefixes.push_back(ip_map.prefixes_of(asn));
+    if (prefixes.back().empty()) {
+      throw std::invalid_argument("BotPool: source AS has no address space");
+    }
+  }
+
+  bots_.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    const std::size_t as_idx = rng.zipf(source_ases.size(), as_skew);
+    const auto& blocks = prefixes[as_idx];
+    const auto block_idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(blocks.size()) - 1));
+    const net::Prefix& block = blocks[block_idx];
+    const auto offset = static_cast<std::uint32_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(block.size()) - 1));
+    bots_.push_back({net::Ipv4(block.first().value + offset),
+                     source_ases[as_idx]});
+  }
+  // AS-ordered pool: the rotating draw window then shifts the AS mix
+  // gradually instead of sampling a static distribution.
+  std::sort(bots_.begin(), bots_.end(), [](const Bot& a, const Bot& b) {
+    if (a.asn != b.asn) return a.asn < b.asn;
+    return a.ip < b.ip;
+  });
+}
+
+double BotPool::active_fraction(double day, double period_days,
+                                double amplitude,
+                                acbm::stats::Rng& rng) const {
+  const double phase = 2.0 * std::numbers::pi * day / std::max(period_days, 1.0);
+  const double cycle = 1.0 - amplitude * (0.5 + 0.5 * std::sin(phase));
+  const double noisy = cycle + rng.normal(0.0, 0.03);
+  return std::clamp(noisy, 0.05, 1.0);
+}
+
+std::vector<Bot> BotPool::draw(std::size_t count, double active_fraction,
+                               double phase, acbm::stats::Rng& rng) const {
+  const auto active = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(bots_.size()) *
+                                  std::clamp(active_fraction, 0.0, 1.0)));
+  const std::size_t take = std::min(count, active);
+  // Window anchored at the phase with a little jitter: consecutive draws
+  // overlap heavily, and the anchor drifts with simulation time.
+  const double wrapped = phase - std::floor(phase);
+  const auto jitter = static_cast<std::size_t>(rng.uniform_int(
+      0, std::max<std::int64_t>(1, static_cast<std::int64_t>(bots_.size()) / 20)));
+  const auto start =
+      (static_cast<std::size_t>(wrapped * static_cast<double>(bots_.size())) +
+       jitter) %
+      bots_.size();
+  std::vector<Bot> out;
+  out.reserve(take);
+  const std::vector<std::size_t> picks =
+      rng.sample_without_replacement(active, take);
+  for (std::size_t p : picks) {
+    out.push_back(bots_[(start + p) % bots_.size()]);
+  }
+  return out;
+}
+
+}  // namespace acbm::trace

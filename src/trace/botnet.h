@@ -1,0 +1,57 @@
+// Bot-pool model: each family controls a pool of infected hosts placed in
+// the family's preferred source ASes (location affinity, §II-B), with a
+// recruiting/dormancy cycle that modulates which bots are active on a given
+// day. Attacks draw their sources from the currently active sub-pool.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/ip_space.h"
+#include "net/ipv4.h"
+#include "stats/rng.h"
+#include "trace/family.h"
+
+namespace acbm::trace {
+
+struct Bot {
+  net::Ipv4 ip;
+  net::Asn asn = 0;
+};
+
+/// The infected-host population of one botnet family.
+class BotPool {
+ public:
+  /// Builds a pool of `size` bots placed across `source_ases` with Zipf
+  /// skew `as_skew` (the first ASes in the list receive the most bots).
+  /// Bot IPs are drawn uniformly from each AS's allocated prefixes.
+  /// Throws std::invalid_argument when size == 0, source_ases is empty, or
+  /// an AS has no address space.
+  BotPool(std::size_t size, const std::vector<net::Asn>& source_ases,
+          double as_skew, const net::IpToAsnMap& ip_map,
+          acbm::stats::Rng& rng);
+
+  [[nodiscard]] std::size_t size() const noexcept { return bots_.size(); }
+  [[nodiscard]] const std::vector<Bot>& bots() const noexcept { return bots_; }
+
+  /// Fraction of the pool active on a given simulation day, following the
+  /// family's recruiting/dormancy cycle plus noise; always in [0.05, 1].
+  [[nodiscard]] double active_fraction(double day, double period_days,
+                                       double amplitude,
+                                       acbm::stats::Rng& rng) const;
+
+  /// Draws `count` distinct bots from a window of the pool anchored at
+  /// `phase` in [0, 1). The pool is ordered by AS, so as the phase drifts
+  /// with simulation time the AS composition of drawn bots rotates slowly —
+  /// the paper's "bots rotate or shift" (§III-B1), and the recency signal
+  /// the spatial source predictor exploits. Requested counts beyond the
+  /// active sub-pool are clamped.
+  [[nodiscard]] std::vector<Bot> draw(std::size_t count, double active_fraction,
+                                      double phase,
+                                      acbm::stats::Rng& rng) const;
+
+ private:
+  std::vector<Bot> bots_;  // Ordered by (asn, ip).
+};
+
+}  // namespace acbm::trace

@@ -1,0 +1,190 @@
+#include "trace/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace acbm::trace {
+
+DayHour decompose_timestamp(EpochSeconds ts, EpochSeconds window_start) {
+  const EpochSeconds rel = ts - window_start;
+  DayHour out;
+  out.day = static_cast<int>(rel / 86400);
+  out.hour = static_cast<int>((rel % 86400) / 3600);
+  if (rel < 0 && rel % 86400 != 0) {
+    --out.day;
+    out.hour = static_cast<int>(((rel % 86400) + 86400) % 86400 / 3600);
+  }
+  return out;
+}
+
+Dataset::Dataset(std::vector<std::string> family_names,
+                 std::vector<Attack> attacks,
+                 std::vector<FamilySnapshot> snapshots,
+                 EpochSeconds window_start)
+    : family_names_(std::move(family_names)),
+      attacks_(std::move(attacks)),
+      snapshots_(std::move(snapshots)),
+      window_start_(window_start) {
+  std::sort(attacks_.begin(), attacks_.end(),
+            [](const Attack& a, const Attack& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.id < b.id;
+            });
+  std::sort(snapshots_.begin(), snapshots_.end(),
+            [](const FamilySnapshot& a, const FamilySnapshot& b) {
+              if (a.ts != b.ts) return a.ts < b.ts;
+              return a.family < b.family;
+            });
+  for (const Attack& attack : attacks_) {
+    if (attack.family >= family_names_.size()) {
+      throw std::invalid_argument("Dataset: attack references unknown family");
+    }
+  }
+  reindex();
+}
+
+void Dataset::reindex() {
+  by_family_.clear();
+  by_target_asn_.clear();
+  for (std::size_t i = 0; i < attacks_.size(); ++i) {
+    by_family_[attacks_[i].family].push_back(i);
+    by_target_asn_[attacks_[i].target_asn].push_back(i);
+  }
+}
+
+std::vector<std::size_t> Dataset::attacks_of_family(
+    std::uint32_t family) const {
+  const auto it = by_family_.find(family);
+  return it == by_family_.end() ? std::vector<std::size_t>{} : it->second;
+}
+
+std::vector<std::size_t> Dataset::attacks_on_asn(net::Asn asn) const {
+  const auto it = by_target_asn_.find(asn);
+  return it == by_target_asn_.end() ? std::vector<std::size_t>{} : it->second;
+}
+
+std::vector<net::Asn> Dataset::target_asns() const {
+  std::vector<std::pair<net::Asn, std::size_t>> counts;
+  counts.reserve(by_target_asn_.size());
+  for (const auto& [asn, idx] : by_target_asn_) {
+    counts.emplace_back(asn, idx.size());
+  }
+  std::sort(counts.begin(), counts.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<net::Asn> out;
+  out.reserve(counts.size());
+  for (const auto& [asn, count] : counts) out.push_back(asn);
+  return out;
+}
+
+std::uint32_t Dataset::family_index(const std::string& name) const {
+  for (std::size_t i = 0; i < family_names_.size(); ++i) {
+    if (family_names_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  throw std::out_of_range("Dataset::family_index: unknown family " + name);
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double train_fraction) const {
+  if (!(train_fraction > 0.0 && train_fraction < 1.0)) {
+    throw std::invalid_argument("Dataset::split: fraction out of (0,1)");
+  }
+  const auto n_train = static_cast<std::size_t>(
+      std::llround(static_cast<double>(attacks_.size()) * train_fraction));
+  std::vector<Attack> train_attacks(attacks_.begin(),
+                                    attacks_.begin() + static_cast<std::ptrdiff_t>(n_train));
+  std::vector<Attack> test_attacks(attacks_.begin() + static_cast<std::ptrdiff_t>(n_train),
+                                   attacks_.end());
+  const EpochSeconds boundary =
+      test_attacks.empty() ? window_start_ : test_attacks.front().start;
+  std::vector<FamilySnapshot> train_snaps;
+  std::vector<FamilySnapshot> test_snaps;
+  for (const FamilySnapshot& snap : snapshots_) {
+    (snap.ts < boundary ? train_snaps : test_snaps).push_back(snap);
+  }
+  return {Dataset(family_names_, std::move(train_attacks),
+                  std::move(train_snaps), window_start_),
+          Dataset(family_names_, std::move(test_attacks),
+                  std::move(test_snaps), window_start_)};
+}
+
+void Dataset::save_csv(std::ostream& os) const {
+  os << std::setprecision(17);  // Durations must round-trip exactly.
+  os << "#window_start=" << window_start_ << "\n";
+  os << "#families=";
+  for (std::size_t i = 0; i < family_names_.size(); ++i) {
+    os << family_names_[i] << (i + 1 < family_names_.size() ? ";" : "");
+  }
+  os << "\n";
+  os << "id,family,target_ip,target_asn,start,duration_s,bots\n";
+  for (const Attack& attack : attacks_) {
+    os << attack.id << ',' << attack.family << ','
+       << attack.target_ip.to_string() << ',' << attack.target_asn << ','
+       << attack.start << ',' << attack.duration_s << ',';
+    for (std::size_t i = 0; i < attack.bots.size(); ++i) {
+      os << attack.bots[i].to_string()
+         << (i + 1 < attack.bots.size() ? ";" : "");
+    }
+    os << '\n';
+  }
+}
+
+Dataset Dataset::load_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("#window_start=", 0) != 0) {
+    throw std::invalid_argument("Dataset::load_csv: missing window_start header");
+  }
+  const EpochSeconds window_start = std::stoll(line.substr(14));
+
+  if (!std::getline(is, line) || line.rfind("#families=", 0) != 0) {
+    throw std::invalid_argument("Dataset::load_csv: missing families header");
+  }
+  std::vector<std::string> families;
+  {
+    std::stringstream ss(line.substr(10));
+    std::string name;
+    while (std::getline(ss, name, ';')) {
+      if (!name.empty()) families.push_back(name);
+    }
+  }
+  if (!std::getline(is, line)) {
+    throw std::invalid_argument("Dataset::load_csv: missing column header");
+  }
+
+  std::vector<Attack> attacks;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string field;
+    Attack attack;
+    std::getline(ss, field, ',');
+    attack.id = std::stoull(field);
+    std::getline(ss, field, ',');
+    attack.family = static_cast<std::uint32_t>(std::stoul(field));
+    std::getline(ss, field, ',');
+    attack.target_ip = net::parse_ipv4(field);
+    std::getline(ss, field, ',');
+    attack.target_asn = static_cast<net::Asn>(std::stoul(field));
+    std::getline(ss, field, ',');
+    attack.start = std::stoll(field);
+    std::getline(ss, field, ',');
+    attack.duration_s = std::stod(field);
+    if (std::getline(ss, field)) {
+      std::stringstream bots(field);
+      std::string ip;
+      while (std::getline(bots, ip, ';')) {
+        if (!ip.empty()) attack.bots.push_back(net::parse_ipv4(ip));
+      }
+    }
+    attacks.push_back(std::move(attack));
+  }
+  return Dataset(std::move(families), std::move(attacks), {}, window_start);
+}
+
+}  // namespace acbm::trace

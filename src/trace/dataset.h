@@ -1,0 +1,106 @@
+// The verified-attack dataset: per-attack records (DDoS ID, family, target,
+// start timestamp, duration, bot sources) plus hourly per-family activity
+// snapshots, mirroring the structure described in §II of the paper.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/as_graph.h"
+#include "net/ipv4.h"
+
+namespace acbm::trace {
+
+using EpochSeconds = std::int64_t;
+
+/// Timestamp decomposition used by the models (§III-B: day and hour parts).
+struct DayHour {
+  int day = 0;   ///< Day index since the start of the observation window.
+  int hour = 0;  ///< Hour of day, [0, 24).
+};
+
+[[nodiscard]] DayHour decompose_timestamp(EpochSeconds ts,
+                                          EpochSeconds window_start);
+
+/// One verified DDoS attack.
+struct Attack {
+  std::uint64_t id = 0;          ///< Unique DDoS identifier.
+  std::uint32_t family = 0;      ///< Index into Dataset::family_names().
+  net::Ipv4 target_ip;
+  net::Asn target_asn = 0;
+  EpochSeconds start = 0;
+  double duration_s = 0.0;
+  std::vector<net::Ipv4> bots;   ///< Unique source addresses.
+
+  [[nodiscard]] EpochSeconds end() const noexcept {
+    return start + static_cast<EpochSeconds>(duration_s);
+  }
+  [[nodiscard]] std::size_t magnitude() const noexcept { return bots.size(); }
+};
+
+/// Hourly per-family activity snapshot (§II-C: 24 hourly reports per day).
+struct FamilySnapshot {
+  EpochSeconds ts = 0;
+  std::uint32_t family = 0;
+  std::size_t active_bots = 0;  ///< Unique bots seen in the trailing 24 h.
+};
+
+/// The full trace: chronologically sorted attacks plus snapshots.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::vector<std::string> family_names, std::vector<Attack> attacks,
+          std::vector<FamilySnapshot> snapshots, EpochSeconds window_start);
+
+  [[nodiscard]] const std::vector<Attack>& attacks() const noexcept {
+    return attacks_;
+  }
+  [[nodiscard]] const std::vector<FamilySnapshot>& snapshots() const noexcept {
+    return snapshots_;
+  }
+  [[nodiscard]] const std::vector<std::string>& family_names() const noexcept {
+    return family_names_;
+  }
+  [[nodiscard]] EpochSeconds window_start() const noexcept {
+    return window_start_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return attacks_.size(); }
+
+  /// Indices of all attacks by a family, chronological.
+  [[nodiscard]] std::vector<std::size_t> attacks_of_family(
+      std::uint32_t family) const;
+
+  /// Indices of all attacks whose target sits in the given AS,
+  /// chronological.
+  [[nodiscard]] std::vector<std::size_t> attacks_on_asn(net::Asn asn) const;
+
+  /// Distinct target ASNs, ordered by attack count descending.
+  [[nodiscard]] std::vector<net::Asn> target_asns() const;
+
+  /// Family index by name; throws std::out_of_range for unknown names.
+  [[nodiscard]] std::uint32_t family_index(const std::string& name) const;
+
+  /// Chronological 80/20-style split: the first `train_fraction` of attacks
+  /// form the training set (paper §III-C).
+  [[nodiscard]] std::pair<Dataset, Dataset> split(double train_fraction) const;
+
+  /// CSV serialization (attacks only; snapshots are derivable).
+  void save_csv(std::ostream& os) const;
+  [[nodiscard]] static Dataset load_csv(std::istream& is);
+
+ private:
+  void reindex();
+
+  std::vector<std::string> family_names_;
+  std::vector<Attack> attacks_;              // Sorted by start time.
+  std::vector<FamilySnapshot> snapshots_;    // Sorted by ts.
+  EpochSeconds window_start_ = 0;
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> by_family_;
+  std::unordered_map<net::Asn, std::vector<std::size_t>> by_target_asn_;
+};
+
+}  // namespace acbm::trace

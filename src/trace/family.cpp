@@ -1,0 +1,155 @@
+#include "trace/family.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace acbm::trace {
+
+const std::array<TableOneRow, 10>& table_one_reference() {
+  static const std::array<TableOneRow, 10> kRows{{
+      {"AldiBot", 1.29, 204, 0.77},
+      {"BlackEnergy", 5.93, 220, 0.82},
+      {"Colddeath", 7.52, 118, 1.53},
+      {"Darkshell", 9.98, 210, 1.14},
+      {"DDoSer", 2.13, 211, 0.84},
+      {"DirtJumper", 144.30, 220, 0.77},
+      {"Nitol", 2.91, 208, 1.05},
+      {"Optima", 3.19, 220, 0.90},
+      {"Pandora", 40.08, 165, 1.27},
+      {"YZF", 6.28, 72, 1.41},
+  }};
+  return kRows;
+}
+
+double truncated_poisson_rate(double mean_per_active_day) {
+  if (mean_per_active_day <= 1.0) {
+    throw std::invalid_argument(
+        "truncated_poisson_rate: conditional mean must exceed 1");
+  }
+  // Solve m = lambda / (1 - exp(-lambda)) by bisection; the right side is
+  // monotone increasing in lambda.
+  double lo = 1e-9;
+  double hi = mean_per_active_day;  // m >= lambda always.
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    const double value = mid / (1.0 - std::exp(-mid));
+    (value < mean_per_active_day ? lo : hi) = mid;
+  }
+  return (lo + hi) / 2.0;
+}
+
+double modulation_sigma(double mean, double target_cv) {
+  if (mean <= 0.0 || target_cv < 0.0) {
+    throw std::invalid_argument("modulation_sigma: bad parameters");
+  }
+  // With N | lambda ~ Poisson(lambda) and lambda log-normal with mean m:
+  //   CV^2(N) = 1/m + (exp(sigma^2) - 1)
+  // so sigma^2 = ln(1 + CV^2 - 1/m), clamped at zero when the Poisson term
+  // alone already reaches the target.
+  const double excess = target_cv * target_cv - 1.0 / mean;
+  if (excess <= 0.0) return 0.0;
+  return std::sqrt(std::log1p(excess));
+}
+
+std::vector<FamilyProfile> standard_families() {
+  std::vector<FamilyProfile> out;
+  out.reserve(10);
+
+  const auto make = [](const TableOneRow& row) {
+    FamilyProfile p;
+    p.name = row.name;
+    p.attacks_per_day = row.avg_per_day;
+    p.active_days = row.active_days;
+    p.daily_cv = row.cv;
+    return p;
+  };
+  const auto& rows = table_one_reference();
+
+  // Per-family behavioral color. Peak hours, affinities and duration laws
+  // differ so that family identity is recoverable from the trace.
+  FamilyProfile aldibot = make(rows[0]);
+  aldibot.peak_hours = {2, 3};
+  aldibot.median_bots = 15.0;
+  aldibot.median_duration_s = 900.0;
+  aldibot.source_as_count = 6;
+  out.push_back(aldibot);
+
+  FamilyProfile blackenergy = make(rows[1]);
+  blackenergy.peak_hours = {13, 14, 15};
+  blackenergy.median_bots = 120.0;
+  blackenergy.median_duration_s = 3600.0;
+  blackenergy.activity_ar = 0.8;
+  blackenergy.source_as_count = 20;
+  blackenergy.target_skew = 1.4;
+  out.push_back(blackenergy);
+
+  FamilyProfile colddeath = make(rows[2]);
+  colddeath.peak_hours = {6, 7};
+  colddeath.median_bots = 25.0;
+  colddeath.median_duration_s = 1200.0;
+  colddeath.churn_amplitude = 0.45;  // Bursty: matches the high CV.
+  colddeath.source_as_count = 8;
+  out.push_back(colddeath);
+
+  FamilyProfile darkshell = make(rows[3]);
+  darkshell.peak_hours = {9, 10, 11};
+  darkshell.median_bots = 60.0;
+  darkshell.median_duration_s = 2400.0;
+  darkshell.source_as_count = 12;
+  out.push_back(darkshell);
+
+  FamilyProfile ddoser = make(rows[4]);
+  ddoser.peak_hours = {18, 19};
+  ddoser.median_bots = 20.0;
+  ddoser.median_duration_s = 1500.0;
+  ddoser.source_as_count = 7;
+  out.push_back(ddoser);
+
+  FamilyProfile dirtjumper = make(rows[5]);
+  dirtjumper.peak_hours = {20, 21, 22, 23};
+  dirtjumper.peak_share = 0.6;
+  dirtjumper.median_bots = 80.0;
+  dirtjumper.bots_sigma = 0.5;
+  dirtjumper.median_duration_s = 2700.0;
+  dirtjumper.activity_ar = 0.85;  // Most stable high-volume family.
+  dirtjumper.source_as_count = 30;
+  dirtjumper.target_skew = 0.9;
+  dirtjumper.chain_prob = 0.45;
+  out.push_back(dirtjumper);
+
+  FamilyProfile nitol = make(rows[6]);
+  nitol.peak_hours = {0, 1, 2};
+  nitol.median_bots = 30.0;
+  nitol.median_duration_s = 1800.0;
+  nitol.source_as_count = 9;
+  out.push_back(nitol);
+
+  FamilyProfile optima = make(rows[7]);
+  optima.peak_hours = {16, 17};
+  optima.median_bots = 45.0;
+  optima.median_duration_s = 2100.0;
+  optima.source_as_count = 10;
+  out.push_back(optima);
+
+  FamilyProfile pandora = make(rows[8]);
+  pandora.peak_hours = {11, 12, 13};
+  pandora.median_bots = 100.0;
+  pandora.bots_sigma = 0.7;
+  pandora.median_duration_s = 3000.0;
+  pandora.activity_ar = 0.75;
+  pandora.churn_amplitude = 0.4;
+  pandora.source_as_count = 25;
+  out.push_back(pandora);
+
+  FamilyProfile yzf = make(rows[9]);
+  yzf.peak_hours = {4, 5};
+  yzf.median_bots = 35.0;
+  yzf.median_duration_s = 1600.0;
+  yzf.churn_amplitude = 0.5;  // Short-lived, bursty family.
+  yzf.source_as_count = 6;
+  out.push_back(yzf);
+
+  return out;
+}
+
+}  // namespace acbm::trace

@@ -1,0 +1,80 @@
+// Botnet family profiles. The paper's dataset tracks 10 active families
+// whose per-family statistics are published in Table I (average attacks per
+// day, number of active days, coefficient of variation of the daily attack
+// count); those numbers are the calibration targets for the synthetic trace
+// generator. The remaining behavioral structure (diurnal launch preference,
+// AR activity dynamics, target affinity, duration law, source-AS affinity)
+// is planted so the paper's models have the signal they exploit on the real
+// trace.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace acbm::trace {
+
+/// Generative parameters for one botnet family.
+struct FamilyProfile {
+  std::string name;
+
+  // --- Table I calibration targets ---
+  double attacks_per_day = 5.0;  ///< Mean daily attacks on active days.
+  std::size_t active_days = 200; ///< Days with at least one attack.
+  double daily_cv = 1.0;         ///< CV of the daily attack count.
+
+  // --- Planted behavioral structure ---
+  /// AR(1) coefficient of the latent log-activity process (temporal signal).
+  double activity_ar = 0.7;
+  /// Preferred launch hours (indices 0-23) and the share of attacks that
+  /// follow the preference instead of launching uniformly.
+  std::vector<int> peak_hours{20, 21, 22};
+  double peak_share = 0.7;
+  /// Zipf skew of target selection (higher = stronger target affinity).
+  double target_skew = 1.1;
+  /// Probability that an attack is a multistage follow-up on the previous
+  /// target (within the paper's 30 s - 24 h window).
+  double chain_prob = 0.35;
+  /// Median bots per attack and log-normal sigma of the magnitude.
+  double median_bots = 40.0;
+  double bots_sigma = 0.6;
+  /// Median attack duration in seconds and log-normal sigma.
+  double median_duration_s = 1800.0;
+  double duration_sigma = 0.5;
+  /// Elasticity of duration with respect to relative attack magnitude
+  /// (the paper: duration depends on the number of active bots).
+  double duration_bot_elasticity = 0.3;
+  /// Number of source ASes this family recruits from and the Zipf skew of
+  /// bot placement across them (location affinity, §II-B).
+  std::size_t source_as_count = 15;
+  double source_as_skew = 1.2;
+  /// Bot-pool churn: period (days) and amplitude of the recruiting/dormancy
+  /// cycle modulating the active fraction of the pool.
+  double churn_period_days = 30.0;
+  double churn_amplitude = 0.25;
+};
+
+/// The 10 most active families with Table I's published statistics.
+[[nodiscard]] std::vector<FamilyProfile> standard_families();
+
+/// Table I reference rows for validation (name, avg/day, active days, CV).
+struct TableOneRow {
+  const char* name;
+  double avg_per_day;
+  std::size_t active_days;
+  double cv;
+};
+[[nodiscard]] const std::array<TableOneRow, 10>& table_one_reference();
+
+/// Derives the zero-truncated-Poisson base rate lambda such that
+/// E[N | N >= 1] == mean_per_active_day (solved numerically).
+/// Throws std::invalid_argument for non-positive targets.
+[[nodiscard]] double truncated_poisson_rate(double mean_per_active_day);
+
+/// Derives the log-normal modulation sigma that, combined with Poisson
+/// sampling at mean rate `mean`, yields the target CV of the daily count.
+/// Returns 0 when Poisson noise alone already meets or exceeds the target.
+[[nodiscard]] double modulation_sigma(double mean, double target_cv);
+
+}  // namespace acbm::trace

@@ -1,0 +1,469 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "stats/descriptive.h"
+#include "trace/botnet.h"
+
+namespace acbm::trace {
+
+namespace {
+
+struct Target {
+  net::Ipv4 ip;
+  net::Asn asn = 0;
+  double hardness = 0.0;  ///< Additive log-duration offset (spatial signal).
+};
+
+// E[N] per active day when N is zero-truncated Poisson with a log-normally
+// modulated rate: E_z[f(base * exp(sigma z - sigma^2/2))], z ~ N(0,1),
+// f(l) = l / (1 - exp(-l)). Evaluated by quadrature over z in [-6, 6].
+double truncated_modulated_mean(double base, double sigma) {
+  const auto f = [](double l) {
+    if (l < 1e-9) return 1.0;
+    return l / (1.0 - std::exp(-l));
+  };
+  if (sigma <= 0.0) return f(base);
+  const int steps = 240;
+  const double lo = -6.0;
+  const double hi = 6.0;
+  const double h = (hi - lo) / steps;
+  double acc = 0.0;
+  double norm = 0.0;
+  for (int i = 0; i <= steps; ++i) {
+    const double z = lo + h * i;
+    const double w = std::exp(-0.5 * z * z) * (i == 0 || i == steps ? 0.5 : 1.0);
+    acc += w * f(base * std::exp(sigma * z - sigma * sigma / 2.0));
+    norm += w;
+  }
+  return acc / norm;
+}
+
+// Solves for the base rate whose truncated, modulated daily mean equals the
+// Table I target. Monotone in base, so bisection converges.
+double calibrated_base_rate(double mean_target, double sigma) {
+  double lo = 1e-9;
+  double hi = std::max(mean_target * 2.0, 1.0);
+  while (truncated_modulated_mean(hi, sigma) < mean_target) hi *= 2.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    (truncated_modulated_mean(mid, sigma) < mean_target ? lo : hi) = mid;
+  }
+  return (lo + hi) / 2.0;
+}
+
+// CV of the daily count when N ~ zero-truncated Poisson with log-normally
+// modulated rate: E[N^2 | rate l] = (l + l^2) / (1 - exp(-l)).
+double truncated_modulated_cv(double base, double sigma) {
+  const auto second_moment = [](double l) {
+    if (l < 1e-9) return 1.0;
+    return (l + l * l) / (1.0 - std::exp(-l));
+  };
+  const double mean = truncated_modulated_mean(base, sigma);
+  double acc = 0.0;
+  double norm = 0.0;
+  const int steps = 240;
+  for (int i = 0; i <= steps; ++i) {
+    const double z = -6.0 + 12.0 * i / steps;
+    const double w = std::exp(-0.5 * z * z) * (i == 0 || i == steps ? 0.5 : 1.0);
+    acc += w * second_moment(base * std::exp(sigma * z - sigma * sigma / 2.0));
+    norm += w;
+  }
+  const double var = std::max(0.0, acc / norm - mean * mean);
+  return mean > 0.0 ? std::sqrt(var) / mean : 0.0;
+}
+
+// Jointly solves (base, sigma) so the truncated, modulated daily count hits
+// both the Table I mean and CV. CV is monotone in sigma (at the re-calibrated
+// base), so an outer bisection on sigma suffices. When even sigma = 0
+// overshoots the CV (truncated Poisson noise alone), sigma stays 0.
+struct DailyRate {
+  double base = 1.0;
+  double sigma = 0.0;
+};
+DailyRate calibrate_daily_rate(double mean_target, double cv_target) {
+  DailyRate out;
+  out.base = calibrated_base_rate(mean_target, 0.0);
+  if (truncated_modulated_cv(out.base, 0.0) >= cv_target) return out;
+  double lo = 0.0;
+  double hi = 3.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    const double base = calibrated_base_rate(mean_target, mid);
+    (truncated_modulated_cv(base, mid) < cv_target ? lo : hi) = mid;
+  }
+  out.sigma = (lo + hi) / 2.0;
+  out.base = calibrated_base_rate(mean_target, out.sigma);
+  return out;
+}
+
+// Zero-truncated Poisson: rejection with analytic fallback for large rates.
+std::size_t truncated_poisson(double lambda, acbm::stats::Rng& rng) {
+  if (lambda <= 0.0) return 1;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const std::uint64_t draw = rng.poisson(lambda);
+    if (draw > 0) return static_cast<std::size_t>(draw);
+  }
+  return 1;  // lambda astronomically small: one attack by definition.
+}
+
+std::vector<Target> make_targets(const net::Topology& topo,
+                                 const net::IpToAsnMap& ip_map,
+                                 std::size_t count, acbm::stats::Rng& rng) {
+  if (topo.stubs.empty()) {
+    throw std::invalid_argument("generate_dataset: topology has no stub ASes");
+  }
+  std::vector<Target> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto stub_idx = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(topo.stubs.size()) - 1));
+    const net::Asn asn = topo.stubs[stub_idx];
+    const auto prefixes = ip_map.prefixes_of(asn);
+    if (prefixes.empty()) {
+      throw std::invalid_argument(
+          "generate_dataset: target AS has no address space");
+    }
+    const net::Prefix& block = prefixes.front();
+    const auto offset = static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(block.size()) - 1));
+    out.push_back({net::Ipv4(block.first().value + offset), asn,
+                   rng.normal(0.0, 0.35)});
+  }
+  return out;
+}
+
+// Picks the family's preferred source ASes (location affinity): a random
+// subset of transit+stub ASes, strongest preference first.
+std::vector<net::Asn> pick_source_ases(const net::Topology& topo,
+                                       std::size_t count,
+                                       acbm::stats::Rng& rng) {
+  std::vector<net::Asn> pool = topo.stubs;
+  pool.insert(pool.end(), topo.transit.begin(), topo.transit.end());
+  if (pool.empty()) {
+    throw std::invalid_argument("generate_dataset: no candidate source ASes");
+  }
+  rng.shuffle(pool);
+  pool.resize(std::min(count, pool.size()));
+  return pool;
+}
+
+// Which days of the window the family is active: a contiguous lifetime with
+// random dormancy gaps, hitting the requested active-day count.
+std::vector<bool> make_active_days(std::size_t window_days,
+                                   std::size_t requested_active,
+                                   acbm::stats::Rng& rng) {
+  const std::size_t active = std::min(requested_active, window_days);
+  if (active == 0) return std::vector<bool>(window_days, false);
+  const auto span = std::min(
+      window_days,
+      static_cast<std::size_t>(std::ceil(static_cast<double>(active) * 1.12)));
+  const auto start = static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(window_days - span)));
+  std::vector<bool> out(window_days, false);
+  const std::vector<std::size_t> chosen =
+      rng.sample_without_replacement(span, active);
+  for (std::size_t offset : chosen) out[start + offset] = true;
+  return out;
+}
+
+}  // namespace
+
+Dataset generate_dataset(const net::Topology& topo,
+                         const net::IpToAsnMap& ip_map,
+                         const GeneratorOptions& opts,
+                         acbm::stats::Rng& rng) {
+  if (opts.days == 0) {
+    throw std::invalid_argument("generate_dataset: zero-day window");
+  }
+  if (opts.families.empty()) {
+    throw std::invalid_argument("generate_dataset: no families");
+  }
+  if (opts.activity_scale <= 0.0) {
+    throw std::invalid_argument("generate_dataset: non-positive activity scale");
+  }
+
+  std::vector<std::string> family_names;
+  family_names.reserve(opts.families.size());
+  for (const FamilyProfile& profile : opts.families) {
+    family_names.push_back(profile.name);
+  }
+
+  std::vector<Attack> attacks;
+  std::vector<FamilySnapshot> snapshots;
+  std::uint64_t next_id = 1;
+
+  for (std::size_t fi = 0; fi < opts.families.size(); ++fi) {
+    const FamilyProfile& profile = opts.families[fi];
+    acbm::stats::Rng family_rng = rng.fork();
+
+    // --- Static family structure ---
+    const std::vector<net::Asn> source_ases =
+        pick_source_ases(topo, profile.source_as_count, family_rng);
+    const auto pool_size = static_cast<std::size_t>(std::max(
+        200.0, profile.median_bots * opts.pool_scale));
+    const BotPool pool(pool_size, source_ases, profile.source_as_skew, ip_map,
+                       family_rng);
+    const std::vector<Target> targets = make_targets(
+        topo, ip_map, opts.targets_per_family, family_rng);
+
+    // --- Daily rate process calibrated to Table I ---
+    // Scale active days proportionally when simulating a shorter window.
+    const auto requested_active = static_cast<std::size_t>(std::llround(
+        static_cast<double>(profile.active_days) *
+        std::min(1.0, static_cast<double>(opts.days) / 242.0)));
+    const std::vector<bool> active = make_active_days(
+        opts.days, std::max<std::size_t>(requested_active, 1), family_rng);
+
+    const double mean_rate = profile.attacks_per_day * opts.activity_scale;
+    double lambda_base;
+    double sigma;
+    if (mean_rate > 1.0) {
+      const DailyRate rate = calibrate_daily_rate(mean_rate, profile.daily_cv);
+      lambda_base = rate.base;
+      sigma = rate.sigma;
+    } else {
+      lambda_base = mean_rate;
+      sigma = modulation_sigma(std::max(mean_rate, 0.05), profile.daily_cv);
+    }
+    // Latent AR(1) log-activity, stationary N(0, sigma^2), advanced every
+    // day (including dormant ones) so temporal correlation spans gaps. The
+    // modulation path is normalized so its realized mean over active days is
+    // exactly 1 — strong autocorrelation otherwise lets the sample mean
+    // drift far from the Table I target on a single 242-day realization.
+    std::vector<double> modulation(opts.days, 1.0);
+    {
+      double z = 0.0;
+      double realized = 0.0;
+      std::size_t n_active = 0;
+      for (std::size_t day = 0; day < opts.days; ++day) {
+        z = profile.activity_ar * z +
+            std::sqrt(std::max(0.0,
+                               1.0 - profile.activity_ar * profile.activity_ar)) *
+                family_rng.normal(0.0, std::max(sigma, 1e-9));
+        modulation[day] = std::exp(z - sigma * sigma / 2.0);
+        if (active[day]) {
+          realized += modulation[day];
+          ++n_active;
+        }
+      }
+      if (n_active > 0 && realized > 0.0) {
+        const double correction = realized / static_cast<double>(n_active);
+        for (double& m : modulation) m /= correction;
+      }
+    }
+
+    for (std::size_t day = 0; day < opts.days; ++day) {
+      if (!active[day]) continue;
+
+      const double lambda_d = lambda_base * modulation[day];
+      const std::size_t n_attacks = truncated_poisson(lambda_d, family_rng);
+      const double churn = pool.active_fraction(
+          static_cast<double>(day), profile.churn_period_days,
+          profile.churn_amplitude, family_rng);
+
+      // Parallel campaigns: the day's attacks spread over several targets
+      // (the paper observes hundreds of simultaneous attacks), so a
+      // family's chronological attack stream interleaves targets. Each
+      // target's own attacks still chain within the day (multistage).
+      const std::size_t want_targets = std::max<std::size_t>(
+          1, std::min(n_attacks,
+                      1 + static_cast<std::size_t>(family_rng.poisson(std::min(
+                          8.0, static_cast<double>(n_attacks) / 3.0)))));
+      std::vector<std::size_t> day_targets;
+      std::unordered_set<std::size_t> chosen_targets;
+      for (int tries = 0;
+           day_targets.size() < want_targets && tries < 400; ++tries) {
+        const std::size_t t =
+            family_rng.zipf(targets.size(), profile.target_skew);
+        if (chosen_targets.insert(t).second) day_targets.push_back(t);
+      }
+      std::unordered_map<std::size_t, EpochSeconds> last_start_of;
+
+      for (std::size_t a = 0; a < n_attacks; ++a) {
+        Attack attack;
+        attack.id = next_id++;
+        attack.family = static_cast<std::uint32_t>(fi);
+
+        const auto pick = static_cast<std::size_t>(family_rng.uniform_int(
+            0, static_cast<std::int64_t>(day_targets.size()) - 1));
+        const std::size_t target_idx = day_targets[pick];
+        const auto last_it = last_start_of.find(target_idx);
+        // Follow-up on this target's earlier attack today (multistage,
+        // §III-A2) or a fresh launch at the target's preferred hour.
+        const bool chained = last_it != last_start_of.end() &&
+                             family_rng.bernoulli(profile.chain_prob);
+        const EpochSeconds last_start =
+            last_it != last_start_of.end() ? last_it->second : 0;
+        const Target& target = targets[target_idx];
+        attack.target_ip = target.ip;
+        attack.target_asn = target.asn;
+
+        // Launch time: follow-ups start 30 s - 4 h after the previous
+        // attack (inside the paper's multistage window) but stay within the
+        // scheduled day so dormant days remain dormant; fresh attacks
+        // follow the family's diurnal preference.
+        const EpochSeconds day_end =
+            opts.start_epoch + static_cast<EpochSeconds>(day + 1) * 86400;
+        const double chain_room =
+            std::min(4.0 * 3600.0, static_cast<double>(day_end - last_start - 1));
+        if (chained && chain_room > 60.0) {
+          attack.start = last_start + static_cast<EpochSeconds>(
+              family_rng.uniform(30.0, chain_room));
+        } else {
+          int hour;
+          if (!profile.peak_hours.empty() &&
+              family_rng.bernoulli(profile.peak_share)) {
+            // Each target has a preferred launch hour anchored at one of the
+            // family's peaks with a fixed per-target offset (scheduling is
+            // target-local, e.g. the victim's business hours): mostly hit
+            // that hour, sometimes any family peak. The family-level
+            // temporal model cannot resolve this per-target structure; the
+            // spatiotemporal tree can (§VI).
+            if (family_rng.bernoulli(0.8)) {
+              const int anchor =
+                  profile.peak_hours[target_idx % profile.peak_hours.size()];
+              const int jitter =
+                  static_cast<int>((target_idx * 2654435761u) % 9) - 4;
+              hour = std::clamp(anchor + jitter, 0, 23);
+            } else {
+              const auto pick = static_cast<std::size_t>(family_rng.uniform_int(
+                  0, static_cast<std::int64_t>(profile.peak_hours.size()) - 1));
+              hour = profile.peak_hours[pick];
+            }
+          } else {
+            hour = static_cast<int>(family_rng.uniform_int(0, 23));
+          }
+          attack.start = opts.start_epoch +
+                         static_cast<EpochSeconds>(day) * 86400 +
+                         static_cast<EpochSeconds>(hour) * 3600 +
+                         static_cast<EpochSeconds>(family_rng.uniform_int(0, 3599));
+        }
+
+        // Magnitude: log-normal around the family median, damped by churn
+        // and riding the family's day-scale activity swings (busier days
+        // field more bots) — the temporal signal Fig. 1 exploits.
+        const double churn_factor = 0.5 + 0.5 * churn;
+        const double activity_factor = std::pow(modulation[day], 0.4);
+        const double raw_count =
+            family_rng.lognormal(std::log(profile.median_bots),
+                                 profile.bots_sigma) *
+            churn_factor * activity_factor;
+        const auto count = std::max<std::size_t>(
+            1, static_cast<std::size_t>(std::llround(raw_count)));
+        // Pool rotation phase: one full AS-mix revolution per ~3 churn
+        // cycles, so the source distribution drifts on a scale the spatial
+        // model's recency weighting can track.
+        const double phase = static_cast<double>(day) /
+                             (3.0 * profile.churn_period_days);
+        const std::vector<Bot> drawn =
+            pool.draw(count, churn, phase, family_rng);
+        attack.bots.reserve(drawn.size());
+        std::unordered_set<std::uint32_t> seen_ips;
+        for (const Bot& bot : drawn) {
+          // Distinct pool slots can carry colliding random IPs; the attack
+          // record keeps unique source addresses (§III-A1).
+          if (seen_ips.insert(bot.ip.value).second) {
+            attack.bots.push_back(bot.ip);
+          }
+        }
+
+        // Duration: log-normal with magnitude elasticity and per-target
+        // hardness (the spatial model's signal).
+        const double rel_magnitude =
+            static_cast<double>(attack.bots.size()) / profile.median_bots;
+        // The day-scale activity factor also stretches durations (campaign
+        // pushes run longer), giving the per-target duration series the
+        // autoregressive structure the spatial NAR exploits.
+        const double log_duration =
+            std::log(profile.median_duration_s) +
+            profile.duration_bot_elasticity * std::log(std::max(rel_magnitude, 1e-3)) +
+            target.hardness + 0.35 * std::log(modulation[day]) +
+            family_rng.normal(0.0, profile.duration_sigma);
+        attack.duration_s =
+            std::clamp(std::exp(log_duration), 30.0, 2.0 * 86400.0);
+
+        last_start_of[target_idx] = attack.start;
+        attacks.push_back(std::move(attack));
+      }
+    }
+  }
+
+  // Hourly snapshots: per family, unique bots over the trailing 24 hours
+  // (§II-C: "the set of bots listed in each report are cumulative over the
+  // past 24 hours").
+  if (opts.emit_snapshots) {
+    std::vector<std::vector<const Attack*>> per_family(opts.families.size());
+    for (const Attack& attack : attacks) {
+      per_family[attack.family].push_back(&attack);
+    }
+    for (std::size_t fi = 0; fi < per_family.size(); ++fi) {
+      auto& list = per_family[fi];
+      std::sort(list.begin(), list.end(),
+                [](const Attack* a, const Attack* b) {
+                  return a->start < b->start;
+                });
+      std::unordered_map<std::uint32_t, int> window_counts;
+      std::size_t unique = 0;
+      std::size_t head = 0;
+      std::size_t tail = 0;
+      const auto add = [&](const Attack* attack) {
+        for (const net::Ipv4& ip : attack->bots) {
+          if (window_counts[ip.value]++ == 0) ++unique;
+        }
+      };
+      const auto remove = [&](const Attack* attack) {
+        for (const net::Ipv4& ip : attack->bots) {
+          if (--window_counts[ip.value] == 0) {
+            window_counts.erase(ip.value);
+            --unique;
+          }
+        }
+      };
+      for (std::size_t hour = 0; hour < opts.days * 24; ++hour) {
+        const EpochSeconds now =
+            opts.start_epoch + static_cast<EpochSeconds>(hour + 1) * 3600;
+        const EpochSeconds cutoff = now - 86400;
+        while (head < list.size() && list[head]->start < now) {
+          add(list[head++]);
+        }
+        while (tail < head && list[tail]->start < cutoff) {
+          remove(list[tail++]);
+        }
+        if (unique > 0) {
+          snapshots.push_back({now, static_cast<std::uint32_t>(fi), unique});
+        }
+      }
+    }
+  }
+
+  return Dataset(std::move(family_names), std::move(attacks),
+                 std::move(snapshots), opts.start_epoch);
+}
+
+FamilyActivityStats activity_stats(const Dataset& dataset,
+                                   std::uint32_t family) {
+  std::unordered_map<int, double> daily_counts;
+  for (std::size_t idx : dataset.attacks_of_family(family)) {
+    const Attack& attack = dataset.attacks()[idx];
+    const DayHour dh =
+        decompose_timestamp(attack.start, dataset.window_start());
+    daily_counts[dh.day] += 1.0;
+  }
+  FamilyActivityStats stats;
+  stats.active_days = daily_counts.size();
+  if (daily_counts.empty()) return stats;
+  std::vector<double> counts;
+  counts.reserve(daily_counts.size());
+  for (const auto& [day, count] : daily_counts) counts.push_back(count);
+  stats.avg_per_day = acbm::stats::mean(counts);
+  stats.cv = acbm::stats::coefficient_of_variation(counts);
+  return stats;
+}
+
+}  // namespace acbm::trace

@@ -1,0 +1,57 @@
+// The synthetic verified-attack trace generator — the substitute for the
+// paper's proprietary mitigation-operator dataset (see DESIGN.md §1).
+// Hour-by-hour simulation: each family's latent log-activity follows an
+// AR(1) process calibrated so the per-family daily statistics reproduce
+// Table I; attacks carry diurnal launch preferences, sticky target affinity,
+// multistage chains (30 s - 24 h), churn-modulated magnitudes, and duration
+// laws coupled to magnitude and per-target hardness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ip_space.h"
+#include "net/topology.h"
+#include "stats/rng.h"
+#include "trace/dataset.h"
+#include "trace/family.h"
+
+namespace acbm::trace {
+
+struct GeneratorOptions {
+  /// Length of the observation window in days (the paper's trace covers
+  /// Aug 2012 - Mar 2013, ~242 days).
+  std::size_t days = 242;
+  /// 2012-08-01 00:00:00 UTC.
+  EpochSeconds start_epoch = 1343779200;
+  std::vector<FamilyProfile> families = standard_families();
+  /// Multiplies every family's attack rate (shrink for fast tests).
+  double activity_scale = 1.0;
+  /// Distinct targets each family rotates through.
+  std::size_t targets_per_family = 25;
+  /// Bot-pool size = median_bots * pool_scale (floor 200).
+  double pool_scale = 20.0;
+  /// Emit hourly per-family snapshots (trailing-24 h unique bot counts).
+  bool emit_snapshots = true;
+};
+
+/// Generates the full dataset over the given Internet substrate.
+/// Targets are placed in stub ASes; bot pools in each family's preferred
+/// source ASes. Deterministic given the rng state.
+[[nodiscard]] Dataset generate_dataset(const net::Topology& topo,
+                                       const net::IpToAsnMap& ip_map,
+                                       const GeneratorOptions& opts,
+                                       acbm::stats::Rng& rng);
+
+/// Per-family activity statistics in Table I's format.
+struct FamilyActivityStats {
+  double avg_per_day = 0.0;     ///< Mean attacks per active day.
+  std::size_t active_days = 0;  ///< Days with at least one attack.
+  double cv = 0.0;              ///< CV of the daily count over active days.
+};
+
+/// Computes Table I statistics for one family of a dataset.
+[[nodiscard]] FamilyActivityStats activity_stats(const Dataset& dataset,
+                                                 std::uint32_t family);
+
+}  // namespace acbm::trace

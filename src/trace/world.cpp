@@ -1,0 +1,39 @@
+#include "trace/world.h"
+
+namespace acbm::trace {
+
+World build_world(const WorldOptions& opts) {
+  acbm::stats::Rng rng(opts.seed);
+  World world;
+  world.topology = net::generate_topology(opts.topology, rng);
+  world.ip_map =
+      net::allocate_address_space(world.topology.graph, opts.allocation, rng);
+  world.dataset =
+      generate_dataset(world.topology, world.ip_map, opts.generator, rng);
+  return world;
+}
+
+WorldOptions small_world_options(std::uint64_t seed) {
+  WorldOptions opts;
+  opts.seed = seed;
+  opts.topology.num_tier1 = 4;
+  opts.topology.num_transit = 12;
+  opts.topology.num_stub = 40;
+  opts.generator.days = 70;
+  opts.generator.targets_per_family = 10;
+  opts.generator.pool_scale = 8.0;
+  return opts;
+}
+
+WorldOptions paper_world_options(std::uint64_t seed) {
+  WorldOptions opts;
+  opts.seed = seed;
+  opts.topology.num_tier1 = 8;
+  opts.topology.num_transit = 40;
+  opts.topology.num_stub = 150;
+  opts.generator.days = 242;
+  opts.generator.targets_per_family = 25;
+  return opts;
+}
+
+}  // namespace acbm::trace

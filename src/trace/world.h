@@ -1,0 +1,40 @@
+// One-call construction of the full simulated world: AS topology, address
+// space, and attack trace. Examples and benches start here.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ip_space.h"
+#include "net/topology.h"
+#include "trace/dataset.h"
+#include "trace/generator.h"
+
+namespace acbm::trace {
+
+struct WorldOptions {
+  net::TopologyOptions topology;
+  net::AllocationOptions allocation;
+  GeneratorOptions generator;
+  std::uint64_t seed = 1;
+};
+
+/// A fully materialized simulation environment.
+struct World {
+  net::Topology topology;
+  net::IpToAsnMap ip_map;
+  Dataset dataset;
+};
+
+/// Builds topology -> address plan -> trace, all from one seed.
+[[nodiscard]] World build_world(const WorldOptions& opts);
+
+/// A reduced configuration for tests and examples: ~60 ASes and an
+/// 8-to-10-week window, generating a few thousand attacks in well under a
+/// second.
+[[nodiscard]] WorldOptions small_world_options(std::uint64_t seed);
+
+/// The paper-scale configuration: 242 days, all 10 families, on the order
+/// of 50,000 attacks (used by the reproduction benches).
+[[nodiscard]] WorldOptions paper_world_options(std::uint64_t seed);
+
+}  // namespace acbm::trace

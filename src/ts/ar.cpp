@@ -1,0 +1,84 @@
+#include "ts/ar.h"
+
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+#include "stats/matrix.h"
+#include "stats/ols.h"
+#include "ts/pacf.h"
+
+namespace acbm::ts {
+
+double ArFit::forecast_one(std::span<const double> history) const {
+  if (history.size() < phi.size()) {
+    throw std::invalid_argument("ArFit::forecast_one: history too short");
+  }
+  double acc = intercept;
+  for (std::size_t i = 0; i < phi.size(); ++i) {
+    acc += phi[i] * history[history.size() - 1 - i];
+  }
+  return acc;
+}
+
+std::vector<double> ArFit::residuals(std::span<const double> series) const {
+  const std::size_t p = phi.size();
+  std::vector<double> out;
+  if (series.size() <= p) return out;
+  out.reserve(series.size() - p);
+  for (std::size_t t = p; t < series.size(); ++t) {
+    out.push_back(series[t] - forecast_one(series.subspan(0, t)));
+  }
+  return out;
+}
+
+ArFit fit_ar_yule_walker(std::span<const double> series, std::size_t p) {
+  if (series.size() <= p + 1) {
+    throw std::invalid_argument("fit_ar_yule_walker: series too short");
+  }
+  ArFit fit;
+  if (p == 0) {
+    fit.intercept = acbm::stats::mean(series);
+    fit.sigma2 = acbm::stats::population_variance(series);
+    return fit;
+  }
+  const std::vector<double> rho = acbm::stats::acf(series, p);
+  fit.phi = durbin_levinson(rho, p);
+  // The YW fit models the demeaned series; convert to intercept form.
+  const double m = acbm::stats::mean(series);
+  double phi_sum = 0.0;
+  for (double v : fit.phi) phi_sum += v;
+  fit.intercept = m * (1.0 - phi_sum);
+  const std::vector<double> res = fit.residuals(series);
+  fit.sigma2 = acbm::stats::population_variance(res);
+  return fit;
+}
+
+ArFit fit_ar_least_squares(std::span<const double> series, std::size_t p) {
+  if (series.size() < 2 * p + 2) {
+    throw std::invalid_argument("fit_ar_least_squares: series too short");
+  }
+  ArFit fit;
+  if (p == 0) {
+    fit.intercept = acbm::stats::mean(series);
+    fit.sigma2 = acbm::stats::population_variance(series);
+    return fit;
+  }
+  const std::size_t n = series.size() - p;
+  acbm::stats::Matrix x(n, p);
+  std::vector<double> y(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    y[t] = series[t + p];
+    for (std::size_t i = 0; i < p; ++i) {
+      x(t, i) = series[t + p - 1 - i];
+    }
+  }
+  acbm::stats::LinearRegression reg;
+  reg.fit(x, y);
+  fit.phi = reg.coefficients();
+  fit.intercept = reg.intercept();
+  const std::vector<double> res = fit.residuals(series);
+  fit.sigma2 = acbm::stats::population_variance(res);
+  return fit;
+}
+
+}  // namespace acbm::ts

@@ -1,0 +1,39 @@
+// Pure autoregressive estimation: Yule-Walker (moment-based) and conditional
+// least squares. The long-AR stage of Hannan-Rissanen (arma.cpp) builds on
+// the CLS fit.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace acbm::ts {
+
+/// A fitted AR(p) model: x_t = c + sum_i phi_i x_{t-i} + e_t.
+struct ArFit {
+  std::vector<double> phi;  ///< AR coefficients, phi[0] is lag 1.
+  double intercept = 0.0;
+  double sigma2 = 0.0;  ///< Innovation variance estimate.
+
+  [[nodiscard]] std::size_t order() const noexcept { return phi.size(); }
+
+  /// One-step forecast given history ordered oldest..newest; requires
+  /// history.size() >= order().
+  [[nodiscard]] double forecast_one(std::span<const double> history) const;
+
+  /// Residuals e_t for t = p..n-1 under this fit.
+  [[nodiscard]] std::vector<double> residuals(
+      std::span<const double> series) const;
+};
+
+/// Fits AR(p) by solving the Yule-Walker equations on the sample ACF.
+/// Requires series.size() > p + 1; throws std::invalid_argument otherwise.
+[[nodiscard]] ArFit fit_ar_yule_walker(std::span<const double> series,
+                                       std::size_t p);
+
+/// Fits AR(p) by conditional least squares (OLS of x_t on its p lags with an
+/// intercept). Requires series.size() >= 2 * p + 2.
+[[nodiscard]] ArFit fit_ar_least_squares(std::span<const double> series,
+                                         std::size_t p);
+
+}  // namespace acbm::ts

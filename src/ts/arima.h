@@ -1,0 +1,61 @@
+// ARIMA(p, d, q): ARMA estimation on the d-times differenced series with
+// forecast integration back to the original scale. This is the model class
+// of the paper's temporal component (§IV).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "ts/arma.h"
+
+namespace acbm::ts {
+
+struct ArimaOrder {
+  std::size_t p = 1;
+  std::size_t d = 0;
+  std::size_t q = 0;
+};
+
+class ArimaModel {
+ public:
+  ArimaModel() = default;
+  explicit ArimaModel(ArimaOrder order) : order_(order) {}
+
+  /// Fits on the original-scale series. Throws std::invalid_argument when
+  /// the differenced series is too short for the ARMA order.
+  void fit(std::span<const double> series);
+
+  /// h-step forecast on the original scale following `history`.
+  [[nodiscard]] std::vector<double> forecast(std::span<const double> history,
+                                             std::size_t h) const;
+
+  [[nodiscard]] double forecast_one(std::span<const double> history) const;
+
+  /// Walk-forward one-step predictions for series[start..] on the original
+  /// scale, each using only data strictly before the predicted point.
+  [[nodiscard]] std::vector<double> one_step_predictions(
+      std::span<const double> series, std::size_t start) const;
+
+  [[nodiscard]] bool fitted() const noexcept { return arma_.fitted(); }
+  [[nodiscard]] ArimaOrder order() const noexcept { return order_; }
+  [[nodiscard]] const ArmaModel& arma() const noexcept { return arma_; }
+  [[nodiscard]] double aic() const { return arma_.aic(); }
+  [[nodiscard]] double bic() const { return arma_.bic(); }
+
+  /// Variance of the h-step-ahead forecast error on the original scale:
+  /// the differenced process's psi weights are cumulative-summed d times
+  /// before squaring. Throws std::invalid_argument for h == 0.
+  [[nodiscard]] double forecast_variance(std::size_t h) const;
+
+  /// Text serialization of the fitted state.
+  void save(std::ostream& os) const;
+  [[nodiscard]] static ArimaModel load(std::istream& is);
+
+ private:
+  ArimaOrder order_;
+  ArmaModel arma_;
+};
+
+}  // namespace acbm::ts

@@ -1,0 +1,83 @@
+#include "ts/diagnostics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace acbm::ts {
+
+namespace {
+
+// Regularized lower incomplete gamma P(a, x) by series (x < a + 1) or
+// continued fraction (x >= a + 1); standard Numerical-Recipes-style forms.
+double gamma_p(double a, double x) {
+  if (x < 0.0 || a <= 0.0) {
+    throw std::invalid_argument("gamma_p: bad arguments");
+  }
+  if (x == 0.0) return 0.0;
+  const double gln = std::lgamma(a);
+  if (x < a + 1.0) {
+    double ap = a;
+    double sum = 1.0 / a;
+    double del = sum;
+    for (int i = 0; i < 500; ++i) {
+      ap += 1.0;
+      del *= x / ap;
+      sum += del;
+      if (std::abs(del) < std::abs(sum) * 1e-14) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - gln);
+  }
+  // Continued fraction for Q(a, x), then P = 1 - Q.
+  double b = x + 1.0 - a;
+  double c = 1e300;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < 1e-300) d = 1e-300;
+    c = b + an / c;
+    if (std::abs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 1e-14) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - gln) * h;
+  return 1.0 - q;
+}
+
+}  // namespace
+
+double chi_squared_sf(double x, double k) {
+  if (k <= 0.0) throw std::invalid_argument("chi_squared_sf: k <= 0");
+  if (x <= 0.0) return 1.0;
+  return 1.0 - gamma_p(k / 2.0, x / 2.0);
+}
+
+LjungBoxResult ljung_box(std::span<const double> residuals, std::size_t lags,
+                         std::size_t fitted_params) {
+  const std::size_t n = residuals.size();
+  if (lags == 0 || n <= lags + 1) {
+    throw std::invalid_argument("ljung_box: series too short for lag count");
+  }
+  if (fitted_params >= lags) {
+    throw std::invalid_argument("ljung_box: dof would be non-positive");
+  }
+  LjungBoxResult out;
+  out.lags = lags;
+  out.dof = lags - fitted_params;
+  double q = 0.0;
+  for (std::size_t k = 1; k <= lags; ++k) {
+    const double rho = acbm::stats::autocorrelation(residuals, k);
+    q += rho * rho / static_cast<double>(n - k);
+  }
+  out.statistic = static_cast<double>(n) * (static_cast<double>(n) + 2.0) * q;
+  out.p_value = chi_squared_sf(out.statistic, static_cast<double>(out.dof));
+  return out;
+}
+
+}  // namespace acbm::ts

@@ -1,0 +1,32 @@
+// Goodness-of-fit diagnostics (§III-C mentions goodness of fit as the
+// other validation axis besides prediction): Ljung-Box portmanteau test on
+// residual autocorrelation, and a chi-squared survival function to turn the
+// statistic into a p-value.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace acbm::ts {
+
+struct LjungBoxResult {
+  double statistic = 0.0;  ///< Q = n(n+2) sum_k rho_k^2 / (n-k).
+  double p_value = 1.0;    ///< Against chi-squared with (lags - fitted_params) dof.
+  std::size_t lags = 0;
+  std::size_t dof = 0;
+};
+
+/// Ljung-Box test of "residuals are white noise" using `lags`
+/// autocorrelations; `fitted_params` (p + q of the model that produced the
+/// residuals) is subtracted from the degrees of freedom. Throws
+/// std::invalid_argument when residuals are shorter than lags + 1 or dof
+/// would be zero or negative.
+[[nodiscard]] LjungBoxResult ljung_box(std::span<const double> residuals,
+                                       std::size_t lags,
+                                       std::size_t fitted_params = 0);
+
+/// Upper-tail probability P(X > x) for X ~ chi-squared with k dof,
+/// via the regularized incomplete gamma function.
+[[nodiscard]] double chi_squared_sf(double x, double k);
+
+}  // namespace acbm::ts

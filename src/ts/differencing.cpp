@@ -1,0 +1,59 @@
+#include "ts/differencing.h"
+
+#include <stdexcept>
+
+namespace acbm::ts {
+
+std::vector<double> difference(std::span<const double> xs) {
+  if (xs.size() < 2) {
+    throw std::invalid_argument("difference: need at least 2 points");
+  }
+  std::vector<double> out;
+  out.reserve(xs.size() - 1);
+  for (std::size_t t = 1; t < xs.size(); ++t) out.push_back(xs[t] - xs[t - 1]);
+  return out;
+}
+
+std::vector<double> difference(std::span<const double> xs, std::size_t d) {
+  std::vector<double> cur(xs.begin(), xs.end());
+  for (std::size_t k = 0; k < d; ++k) cur = difference(cur);
+  return cur;
+}
+
+std::vector<double> undifference(std::span<const double> diffs,
+                                 double first_value) {
+  std::vector<double> out;
+  out.reserve(diffs.size() + 1);
+  out.push_back(first_value);
+  for (double dv : diffs) out.push_back(out.back() + dv);
+  return out;
+}
+
+std::vector<double> integrate_forecast(std::span<const double> forecast_diffed,
+                                       std::span<const double> tail,
+                                       std::size_t d) {
+  if (d == 0) return {forecast_diffed.begin(), forecast_diffed.end()};
+  if (tail.size() < d) {
+    throw std::invalid_argument("integrate_forecast: tail shorter than d");
+  }
+  // Last value of the original series at each differencing level 0..d-1.
+  std::vector<double> level(tail.end() - static_cast<std::ptrdiff_t>(d),
+                            tail.end());
+  std::vector<double> last_at_level(d);
+  for (std::size_t k = 0; k < d; ++k) {
+    last_at_level[k] = level.back();
+    if (level.size() >= 2) level = difference(level);
+  }
+
+  std::vector<double> f(forecast_diffed.begin(), forecast_diffed.end());
+  for (std::size_t kk = d; kk-- > 0;) {
+    double running = last_at_level[kk];
+    for (double& v : f) {
+      running += v;
+      v = running;
+    }
+  }
+  return f;
+}
+
+}  // namespace acbm::ts

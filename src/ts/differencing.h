@@ -1,0 +1,28 @@
+// Differencing and integration — the "I" in ARIMA (Eq. 5 context, §IV-A4).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace acbm::ts {
+
+/// First difference: y_t = x_t - x_{t-1}; output has size() - 1 entries.
+/// Throws std::invalid_argument when the input has fewer than 2 entries.
+[[nodiscard]] std::vector<double> difference(std::span<const double> xs);
+
+/// d-th order difference (d >= 0; d == 0 copies the input).
+[[nodiscard]] std::vector<double> difference(std::span<const double> xs,
+                                             std::size_t d);
+
+/// Inverts a first difference given the value that preceded diffs[0].
+[[nodiscard]] std::vector<double> undifference(std::span<const double> diffs,
+                                               double first_value);
+
+/// Integrates an h-step forecast made on the d-times differenced series back
+/// to the original scale. `tail` must hold at least the last d values of the
+/// original series (ordered oldest to newest).
+[[nodiscard]] std::vector<double> integrate_forecast(
+    std::span<const double> forecast_diffed, std::span<const double> tail,
+    std::size_t d);
+
+}  // namespace acbm::ts

@@ -1,0 +1,45 @@
+#include "ts/pacf.h"
+
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace acbm::ts {
+
+std::vector<double> durbin_levinson(std::span<const double> rho,
+                                    std::size_t p) {
+  if (rho.size() < p + 1) {
+    throw std::invalid_argument("durbin_levinson: rho too short");
+  }
+  std::vector<double> phi(p, 0.0);      // phi_{k,j} for the current order k
+  std::vector<double> phi_prev(p, 0.0);
+  double v = 1.0;  // Prediction error variance ratio.
+  for (std::size_t k = 1; k <= p; ++k) {
+    double num = rho[k];
+    for (std::size_t j = 1; j < k; ++j) num -= phi_prev[j - 1] * rho[k - j];
+    const double reflection = v > 0.0 ? num / v : 0.0;
+    phi[k - 1] = reflection;
+    for (std::size_t j = 1; j < k; ++j) {
+      phi[j - 1] = phi_prev[j - 1] - reflection * phi_prev[k - j - 1];
+    }
+    v *= (1.0 - reflection * reflection);
+    phi_prev = phi;
+  }
+  return phi;
+}
+
+std::vector<double> pacf(std::span<const double> xs, std::size_t max_lag) {
+  const std::size_t usable =
+      xs.size() > 1 ? std::min(max_lag, xs.size() - 1) : 0;
+  std::vector<double> out;
+  out.reserve(usable);
+  const std::vector<double> rho = acbm::stats::acf(xs, usable);
+  for (std::size_t k = 1; k <= usable; ++k) {
+    // The PACF at lag k is the k-th (last) coefficient of the AR(k) fit.
+    const std::vector<double> phi = durbin_levinson(rho, k);
+    out.push_back(phi.back());
+  }
+  return out;
+}
+
+}  // namespace acbm::ts

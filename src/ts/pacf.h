@@ -1,0 +1,22 @@
+// Partial autocorrelation via Durbin-Levinson; used for AR order diagnostics
+// in the temporal model's order-selection grid.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace acbm::ts {
+
+/// PACF values for lags 1..max_lag from a series (Durbin-Levinson recursion
+/// over the sample ACF). Returns fewer entries if the series is too short.
+[[nodiscard]] std::vector<double> pacf(std::span<const double> xs,
+                                       std::size_t max_lag);
+
+/// Durbin-Levinson solution of the Yule-Walker equations: AR(p) coefficients
+/// from an autocorrelation sequence rho[0..p] (rho[0] == 1).
+/// Throws std::invalid_argument when rho has fewer than p + 1 entries.
+[[nodiscard]] std::vector<double> durbin_levinson(std::span<const double> rho,
+                                                  std::size_t p);
+
+}  // namespace acbm::ts

@@ -1,0 +1,211 @@
+#include "ts/seasonal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+#include "stats/matrix.h"
+#include "stats/ols.h"
+
+namespace acbm::ts {
+
+namespace {
+
+// All differencing levels with ABSOLUTE indexing: level 0 is the original
+// series; each further level is defined from `start` onward (entries before
+// it are zero padding). lag[k] is the lag used to build level k+1 from k.
+struct Levels {
+  std::vector<std::vector<double>> values;
+  std::vector<std::size_t> lags;   // lags[k]: level k+1 = diff(level k, lags[k]).
+  std::vector<std::size_t> starts; // starts[k]: first defined index of level k.
+};
+
+Levels build_levels(std::span<const double> series, const SeasonalOrder& order) {
+  Levels levels;
+  levels.values.emplace_back(series.begin(), series.end());
+  levels.starts.push_back(0);
+  const auto extend = [&](std::size_t lag) {
+    const auto& below = levels.values.back();
+    const std::size_t start = levels.starts.back() + lag;
+    if (start >= below.size()) {
+      throw std::invalid_argument(
+          "SeasonalArimaModel: series too short to difference");
+    }
+    std::vector<double> next(below.size(), 0.0);
+    for (std::size_t t = start; t < below.size(); ++t) {
+      next[t] = below[t] - below[t - lag];
+    }
+    levels.lags.push_back(lag);
+    levels.values.push_back(std::move(next));
+    levels.starts.push_back(start);
+  };
+  for (std::size_t i = 0; i < order.d; ++i) extend(1);
+  for (std::size_t j = 0; j < order.D; ++j) extend(order.period);
+  return levels;
+}
+
+}  // namespace
+
+SeasonalArimaModel::SeasonalArimaModel(SeasonalOrder order) : order_(order) {
+  if (order_.period < 2) {
+    throw std::invalid_argument("SeasonalArimaModel: period must be >= 2");
+  }
+  for (std::size_t l = 1; l <= order_.p; ++l) ar_lags_.push_back(l);
+  for (std::size_t k = 1; k <= order_.P; ++k) {
+    ar_lags_.push_back(k * order_.period);
+  }
+}
+
+std::vector<double> SeasonalArimaModel::difference_all(
+    std::span<const double> series) const {
+  return build_levels(series, order_).values.back();
+}
+
+double SeasonalArimaModel::predict_at(std::span<const double> diffed,
+                                      std::span<const double> innovations,
+                                      std::size_t t) const {
+  double pred = intercept_;
+  for (std::size_t i = 0; i < ar_lags_.size(); ++i) {
+    if (t >= ar_lags_[i]) pred += ar_coeff_[i] * diffed[t - ar_lags_[i]];
+  }
+  for (std::size_t j = 0; j < ma_coeff_.size(); ++j) {
+    if (t >= j + 1 && t - j - 1 < innovations.size()) {
+      pred += ma_coeff_[j] * innovations[t - j - 1];
+    }
+  }
+  return pred;
+}
+
+void SeasonalArimaModel::fit(std::span<const double> series) {
+  if (ar_lags_.empty() && order_.q == 0) {
+    throw std::invalid_argument("SeasonalArimaModel: degenerate order");
+  }
+  const Levels levels = build_levels(series, order_);
+  const std::vector<double>& w = levels.values.back();
+  const std::size_t w_start = levels.starts.back();
+  const std::size_t max_lag =
+      ar_lags_.empty() ? 1 : *std::max_element(ar_lags_.begin(), ar_lags_.end());
+  const std::size_t first = w_start + std::max(max_lag, order_.q);
+  const std::size_t params = ar_lags_.size() + order_.q + 1;
+  if (w.size() < first + params + 8) {
+    throw std::invalid_argument("SeasonalArimaModel::fit: series too short");
+  }
+  const std::span<const double> w_valid(w.data() + w_start,
+                                        w.size() - w_start);
+  fallback_mean_ = acbm::stats::mean(w_valid);
+
+  // Stage 1 (only needed with MA terms): long-AR residual proxies.
+  std::vector<double> e(w.size(), 0.0);
+  if (order_.q > 0) {
+    const std::size_t m = std::max<std::size_t>(max_lag, 10);
+    if (w.size() > w_start + 2 * m + 4) {
+      acbm::stats::Matrix x(w.size() - w_start - m, m);
+      std::vector<double> y(w.size() - w_start - m);
+      for (std::size_t r = 0; r < y.size(); ++r) {
+        const std::size_t t = w_start + m + r;
+        y[r] = w[t];
+        for (std::size_t l = 0; l < m; ++l) x(r, l) = w[t - 1 - l];
+      }
+      acbm::stats::LinearRegression long_ar;
+      long_ar.fit(x, y);
+      for (std::size_t t = w_start + m; t < w.size(); ++t) {
+        std::vector<double> lagged(m);
+        for (std::size_t l = 0; l < m; ++l) lagged[l] = w[t - 1 - l];
+        e[t] = w[t] - long_ar.predict(lagged);
+      }
+    }
+  }
+
+  // Stage 2: OLS over the combined lag set plus residual lags.
+  const std::size_t rows = w.size() - first;
+  acbm::stats::Matrix x(rows, ar_lags_.size() + order_.q);
+  std::vector<double> y(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t t = first + r;
+    y[r] = w[t];
+    for (std::size_t i = 0; i < ar_lags_.size(); ++i) {
+      x(r, i) = w[t - ar_lags_[i]];
+    }
+    for (std::size_t j = 0; j < order_.q; ++j) {
+      x(r, ar_lags_.size() + j) = e[t - 1 - j];
+    }
+  }
+  acbm::stats::LinearRegression reg;
+  reg.fit(x, y);
+  const std::vector<double>& beta = reg.coefficients();
+  ar_coeff_.assign(beta.begin(),
+                   beta.begin() + static_cast<std::ptrdiff_t>(ar_lags_.size()));
+  ma_coeff_.assign(beta.begin() + static_cast<std::ptrdiff_t>(ar_lags_.size()),
+                   beta.end());
+  intercept_ = reg.intercept();
+  fitted_ = true;
+}
+
+std::vector<double> SeasonalArimaModel::forecast(
+    std::span<const double> history, std::size_t h) const {
+  if (!fitted_) throw std::logic_error("SeasonalArimaModel: not fitted");
+  if (h == 0) return {};
+  Levels levels = build_levels(history, order_);
+  std::vector<double>& w = levels.values.back();
+  const std::size_t w_start = levels.starts.back();
+
+  // Innovations filter over the observed top level.
+  std::vector<double> e(w.size(), 0.0);
+  for (std::size_t t = w_start; t < w.size(); ++t) {
+    e[t] = w[t] - predict_at(w, e, t);
+  }
+
+  std::vector<double> out;
+  out.reserve(h);
+  const std::size_t n = history.size();
+  for (std::size_t k = 0; k < h; ++k) {
+    const std::size_t t = n + k;
+    for (auto& level : levels.values) level.push_back(0.0);
+    e.push_back(0.0);  // Future innovations at their conditional mean.
+    std::vector<double>& top = levels.values.back();
+    top[t] = predict_at(top, e, t);
+    // Integrate down: level_k[t] = level_{k+1}[t] + level_k[t - lag_k].
+    for (std::size_t level = levels.values.size() - 1; level-- > 0;) {
+      const std::size_t lag = levels.lags[level];
+      levels.values[level][t] =
+          levels.values[level + 1][t] + levels.values[level][t - lag];
+    }
+    out.push_back(levels.values.front()[t]);
+  }
+  return out;
+}
+
+double SeasonalArimaModel::forecast_one(std::span<const double> history) const {
+  return forecast(history, 1).front();
+}
+
+std::vector<double> SeasonalArimaModel::one_step_predictions(
+    std::span<const double> series, std::size_t start) const {
+  if (!fitted_) throw std::logic_error("SeasonalArimaModel: not fitted");
+  const Levels levels = build_levels(series, order_);
+  const std::vector<double>& w = levels.values.back();
+  const std::size_t w_start = levels.starts.back();
+  if (start <= w_start || start > series.size()) {
+    throw std::invalid_argument(
+        "SeasonalArimaModel::one_step_predictions: bad start");
+  }
+  std::vector<double> e(w.size(), 0.0);
+  std::vector<double> out;
+  out.reserve(series.size() - start);
+  for (std::size_t t = w_start; t < w.size(); ++t) {
+    const double w_pred = predict_at(w, e, t);
+    e[t] = w[t] - w_pred;
+    if (t >= start) {
+      // Add back the true lower-level lagged values (all strictly past).
+      double value = w_pred;
+      for (std::size_t level = levels.values.size() - 1; level-- > 0;) {
+        value += levels.values[level][t - levels.lags[level]];
+      }
+      out.push_back(value);
+    }
+  }
+  return out;
+}
+
+}  // namespace acbm::ts

@@ -1,0 +1,79 @@
+// Seasonal ARIMA (SARIMA-lite): ordinary and seasonal differencing followed
+// by a Hannan-Rissanen fit over ordinary AR lags {1..p}, seasonal AR lags
+// {s, 2s, ..., P*s}, and MA lags {1..q}. Built for the trace's hourly
+// attack-count series, which carries strong hour-of-day (s = 24)
+// seasonality from the families' diurnal launch preferences.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+namespace acbm::ts {
+
+struct SeasonalOrder {
+  std::size_t p = 1;   ///< Ordinary AR lags.
+  std::size_t d = 0;   ///< Ordinary differencing.
+  std::size_t q = 0;   ///< MA lags.
+  std::size_t P = 1;   ///< Seasonal AR lags (multiples of the period).
+  std::size_t D = 0;   ///< Seasonal differencing passes.
+  std::size_t period = 24;
+};
+
+class SeasonalArimaModel {
+ public:
+  SeasonalArimaModel() = default;
+  explicit SeasonalArimaModel(SeasonalOrder order);
+
+  /// Fits on the original-scale series. Requires enough data to difference
+  /// and regress (roughly 3 seasons plus the lag span); throws
+  /// std::invalid_argument otherwise.
+  void fit(std::span<const double> series);
+
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+  [[nodiscard]] const SeasonalOrder& order() const noexcept { return order_; }
+
+  /// Coefficients over the combined AR lag set (ordinary lags first, then
+  /// seasonal), the MA coefficients, and the intercept.
+  [[nodiscard]] const std::vector<std::size_t>& ar_lags() const noexcept {
+    return ar_lags_;
+  }
+  [[nodiscard]] const std::vector<double>& ar_coeff() const noexcept {
+    return ar_coeff_;
+  }
+  [[nodiscard]] const std::vector<double>& ma_coeff() const noexcept {
+    return ma_coeff_;
+  }
+  [[nodiscard]] double intercept() const noexcept { return intercept_; }
+
+  /// h-step forecast on the original scale.
+  [[nodiscard]] std::vector<double> forecast(std::span<const double> history,
+                                             std::size_t h) const;
+  [[nodiscard]] double forecast_one(std::span<const double> history) const;
+
+  /// Causal walk-forward one-step predictions for series[start..).
+  [[nodiscard]] std::vector<double> one_step_predictions(
+      std::span<const double> series, std::size_t start) const;
+
+ private:
+  /// Applies ordinary (d) then seasonal (D at `period`) differencing.
+  [[nodiscard]] std::vector<double> difference_all(
+      std::span<const double> series) const;
+
+  /// One-step predictions on the differenced scale with innovations filter;
+  /// also used by forecast via recursion.
+  [[nodiscard]] double predict_at(std::span<const double> diffed,
+                                  std::span<const double> innovations,
+                                  std::size_t t) const;
+
+  SeasonalOrder order_;
+  std::vector<std::size_t> ar_lags_;
+  std::vector<double> ar_coeff_;
+  std::vector<double> ma_coeff_;
+  double intercept_ = 0.0;
+  double fallback_mean_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace acbm::ts

@@ -1,0 +1,36 @@
+#include "ts/selection.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace acbm::ts {
+
+std::optional<AutoArimaResult> auto_arima(std::span<const double> series,
+                                          const AutoArimaOptions& opts) {
+  std::optional<AutoArimaResult> best;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t d = 0; d <= opts.max_d; ++d) {
+    for (std::size_t p = 0; p <= opts.max_p; ++p) {
+      for (std::size_t q = 0; q <= opts.max_q; ++q) {
+        if (p == 0 && q == 0) continue;  // Degenerate constant model.
+        ArimaModel model({p, d, q});
+        try {
+          model.fit(series);
+        } catch (const std::invalid_argument&) {
+          continue;
+        } catch (const std::domain_error&) {
+          continue;
+        }
+        const double score = opts.criterion == Criterion::kAic ? model.aic()
+                                                               : model.bic();
+        if (score < best_score) {
+          best_score = score;
+          best = AutoArimaResult{{p, d, q}, score, std::move(model)};
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace acbm::ts

@@ -1,0 +1,35 @@
+// Order selection for ARIMA: grid search over (p, d, q) by information
+// criterion, mirroring standard auto-ARIMA practice. DESIGN.md ablation #1
+// compares this against a fixed order.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "ts/arima.h"
+
+namespace acbm::ts {
+
+enum class Criterion { kAic, kBic };
+
+struct AutoArimaOptions {
+  std::size_t max_p = 3;
+  std::size_t max_d = 1;
+  std::size_t max_q = 2;
+  Criterion criterion = Criterion::kAic;
+};
+
+struct AutoArimaResult {
+  ArimaOrder order;
+  double score = 0.0;  ///< The winning criterion value.
+  ArimaModel model;    ///< Already fitted on the input series.
+};
+
+/// Fits every order in the grid and returns the best by the chosen
+/// criterion. Orders whose fit fails (series too short, singular system) are
+/// skipped. Returns nullopt if no order could be fitted.
+[[nodiscard]] std::optional<AutoArimaResult> auto_arima(
+    std::span<const double> series, const AutoArimaOptions& opts = {});
+
+}  // namespace acbm::ts

@@ -1,0 +1,124 @@
+#include "ts/var.h"
+
+#include <stdexcept>
+
+#include "stats/ols.h"
+
+namespace acbm::ts {
+
+VarModel::VarModel(std::size_t order) : order_(order) {
+  if (order == 0) throw std::invalid_argument("VarModel: order must be >= 1");
+}
+
+void VarModel::fit(const std::vector<std::vector<double>>& series) {
+  k_ = series.size();
+  if (k_ == 0) throw std::invalid_argument("VarModel::fit: no series");
+  const std::size_t n = series.front().size();
+  for (const auto& s : series) {
+    if (s.size() != n) throw std::invalid_argument("VarModel::fit: ragged series");
+  }
+  const std::size_t params = k_ * order_ + 1;
+  if (n < order_ + params + 2) {
+    throw std::invalid_argument("VarModel::fit: series too short");
+  }
+
+  // Shared design matrix of lagged values for all equations.
+  const std::size_t rows = n - order_;
+  acbm::stats::Matrix x(rows, k_ * order_);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t t = order_ + r;
+    std::size_t col = 0;
+    for (std::size_t lag = 1; lag <= order_; ++lag) {
+      for (std::size_t v = 0; v < k_; ++v) {
+        x(r, col++) = series[v][t - lag];
+      }
+    }
+  }
+
+  coeff_.assign(k_, {});
+  intercepts_.assign(k_, 0.0);
+  for (std::size_t eq = 0; eq < k_; ++eq) {
+    std::vector<double> y(rows);
+    for (std::size_t r = 0; r < rows; ++r) y[r] = series[eq][order_ + r];
+    acbm::stats::LinearRegression reg;
+    reg.fit(x, y);
+    coeff_[eq] = reg.coefficients();
+    intercepts_[eq] = reg.intercept();
+  }
+  fitted_ = true;
+}
+
+double VarModel::coefficient(std::size_t to, std::size_t from,
+                             std::size_t lag) const {
+  if (!fitted_) throw std::logic_error("VarModel::coefficient: not fitted");
+  if (to >= k_ || from >= k_ || lag == 0 || lag > order_) {
+    throw std::invalid_argument("VarModel::coefficient: bad indices");
+  }
+  return coeff_[to][(lag - 1) * k_ + from];
+}
+
+double VarModel::intercept(std::size_t to) const {
+  if (!fitted_) throw std::logic_error("VarModel::intercept: not fitted");
+  if (to >= k_) throw std::invalid_argument("VarModel::intercept: bad index");
+  return intercepts_[to];
+}
+
+double VarModel::predict_equation(
+    const std::vector<std::vector<double>>& series, std::size_t to,
+    std::size_t t) const {
+  double pred = intercepts_[to];
+  std::size_t col = 0;
+  for (std::size_t lag = 1; lag <= order_; ++lag) {
+    for (std::size_t v = 0; v < k_; ++v) {
+      pred += coeff_[to][col++] * series[v][t - lag];
+    }
+  }
+  return pred;
+}
+
+std::vector<std::vector<double>> VarModel::forecast(
+    const std::vector<std::vector<double>>& history, std::size_t h) const {
+  if (!fitted_) throw std::logic_error("VarModel::forecast: not fitted");
+  if (history.size() != k_) {
+    throw std::invalid_argument("VarModel::forecast: dimension mismatch");
+  }
+  const std::size_t n = history.front().size();
+  if (n < order_) {
+    throw std::invalid_argument("VarModel::forecast: history too short");
+  }
+  std::vector<std::vector<double>> extended = history;
+  std::vector<std::vector<double>> out(k_);
+  for (std::size_t step = 0; step < h; ++step) {
+    const std::size_t t = n + step;
+    for (std::size_t v = 0; v < k_; ++v) extended[v].push_back(0.0);
+    for (std::size_t v = 0; v < k_; ++v) {
+      const double pred = predict_equation(extended, v, t);
+      extended[v][t] = pred;
+      out[v].push_back(pred);
+    }
+  }
+  return out;
+}
+
+std::vector<double> VarModel::one_step_predictions(
+    const std::vector<std::vector<double>>& series, std::size_t which,
+    std::size_t start) const {
+  if (!fitted_) {
+    throw std::logic_error("VarModel::one_step_predictions: not fitted");
+  }
+  if (series.size() != k_ || which >= k_) {
+    throw std::invalid_argument("VarModel::one_step_predictions: bad input");
+  }
+  const std::size_t n = series.front().size();
+  if (start < order_ || start > n) {
+    throw std::invalid_argument("VarModel::one_step_predictions: bad start");
+  }
+  std::vector<double> out;
+  out.reserve(n - start);
+  for (std::size_t t = start; t < n; ++t) {
+    out.push_back(predict_equation(series, which, t));
+  }
+  return out;
+}
+
+}  // namespace acbm::ts

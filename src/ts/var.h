@@ -1,0 +1,66 @@
+// Vector autoregression. The paper notes (§III-B1) that the three
+// attacker-side variables A^f, A^b, A^s "are not completely independent on
+// each other" but models them with separate ARIMAs; a VAR(p) captures the
+// cross-series structure and quantifies what that simplification costs
+// (DESIGN.md extension; compared against independent ARIMAs in
+// bench_ext_var).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace acbm::ts {
+
+/// VAR(p): x_t = c + A_1 x_{t-1} + ... + A_p x_{t-p} + e_t over k series,
+/// estimated equation-by-equation with OLS.
+class VarModel {
+ public:
+  VarModel() = default;
+  explicit VarModel(std::size_t order);
+
+  /// Fits on k aligned series (series[i] is the full history of variable
+  /// i; all must share one length n > k * p + p + 2).
+  /// Throws std::invalid_argument on ragged/short input.
+  void fit(const std::vector<std::vector<double>>& series);
+
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+  [[nodiscard]] std::size_t order() const noexcept { return order_; }
+  [[nodiscard]] std::size_t dimension() const noexcept { return k_; }
+
+  /// Coefficient of variable `from` at `lag` (1-based) in the equation for
+  /// variable `to`.
+  [[nodiscard]] double coefficient(std::size_t to, std::size_t from,
+                                   std::size_t lag) const;
+  [[nodiscard]] double intercept(std::size_t to) const;
+
+  /// h-step forecast of all k variables; history rows are the aligned
+  /// series as passed to fit(). Result[j] is the forecast path of
+  /// variable j (length h).
+  [[nodiscard]] std::vector<std::vector<double>> forecast(
+      const std::vector<std::vector<double>>& history, std::size_t h) const;
+
+  /// Causal one-step predictions of variable `which` for positions
+  /// [start, n), each using all k series strictly before the predicted
+  /// point.
+  [[nodiscard]] std::vector<double> one_step_predictions(
+      const std::vector<std::vector<double>>& series, std::size_t which,
+      std::size_t start) const;
+
+ private:
+  [[nodiscard]] double predict_equation(
+      const std::vector<std::vector<double>>& series, std::size_t to,
+      std::size_t t) const;
+
+  std::size_t order_ = 1;
+  std::size_t k_ = 0;
+  // coeff_[to] holds (k * p) lag coefficients ordered (lag-major: all
+  // variables at lag 1, then lag 2, ...), then nothing; intercepts separate.
+  std::vector<std::vector<double>> coeff_;
+  std::vector<double> intercepts_;
+  bool fitted_ = false;
+};
+
+}  // namespace acbm::ts

@@ -1,0 +1,62 @@
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace acbm::core {
+namespace {
+
+TEST(AlwaysSame, RepeatsPreviousObservation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> preds = always_same_predictions(xs, 1);
+  EXPECT_EQ(preds, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(AlwaysSame, StartMidSeries) {
+  const std::vector<double> xs{5.0, 7.0, 9.0, 11.0};
+  const std::vector<double> preds = always_same_predictions(xs, 3);
+  EXPECT_EQ(preds, (std::vector<double>{9.0}));
+}
+
+TEST(AlwaysMean, RunningMeanOfHistory) {
+  const std::vector<double> xs{2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> preds = always_mean_predictions(xs, 2);
+  // Prediction for index 2: mean(2,4) = 3; for index 3: mean(2,4,6) = 4.
+  EXPECT_EQ(preds, (std::vector<double>{3.0, 4.0}));
+}
+
+TEST(AlwaysMean, ConstantSeriesIsPerfect) {
+  const std::vector<double> xs(10, 5.0);
+  for (double p : always_mean_predictions(xs, 1)) EXPECT_DOUBLE_EQ(p, 5.0);
+}
+
+TEST(Baselines, PredictionsAreCausal) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto same_before = always_same_predictions(xs, 2);
+  const auto mean_before = always_mean_predictions(xs, 2);
+  xs.back() = 1000.0;  // Only the last point changes.
+  const auto same_after = always_same_predictions(xs, 2);
+  const auto mean_after = always_mean_predictions(xs, 2);
+  // All predictions (including the one for the final point) are unchanged.
+  EXPECT_EQ(same_before, same_after);
+  EXPECT_EQ(mean_before, mean_after);
+}
+
+TEST(Baselines, BadStartThrows) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW((void)always_same_predictions(xs, 0), std::invalid_argument);
+  EXPECT_THROW((void)always_same_predictions(xs, 3), std::invalid_argument);
+  EXPECT_THROW((void)always_mean_predictions(xs, 0), std::invalid_argument);
+  EXPECT_THROW((void)always_mean_predictions(xs, 3), std::invalid_argument);
+}
+
+TEST(Baselines, EmptyPredictionsAtSeriesEnd) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_TRUE(always_same_predictions(xs, 2).empty());
+  EXPECT_TRUE(always_mean_predictions(xs, 2).empty());
+}
+
+}  // namespace
+}  // namespace acbm::core

@@ -1,0 +1,186 @@
+#include "core/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+#include "trace/world.h"
+
+namespace acbm::core {
+namespace {
+
+const trace::World& world() {
+  static const trace::World w = trace::build_world(trace::small_world_options(31));
+  return w;
+}
+
+SpatialModelOptions fast_spatial() {
+  SpatialModelOptions opts;
+  opts.grid_search = false;
+  opts.fixed.mlp.max_epochs = 60;
+  return opts;
+}
+
+TEST(MostActiveFamilies, OrderedByVolume) {
+  const auto top = most_active_families(world().dataset, 3);
+  ASSERT_EQ(top.size(), 3u);
+  // DirtJumper has ~20x the volume of anything else; it must lead.
+  EXPECT_EQ(world().dataset.family_names()[top[0]], "DirtJumper");
+  EXPECT_GE(world().dataset.attacks_of_family(top[0]).size(),
+            world().dataset.attacks_of_family(top[1]).size());
+  EXPECT_GE(world().dataset.attacks_of_family(top[1]).size(),
+            world().dataset.attacks_of_family(top[2]).size());
+}
+
+TEST(EvaluateTemporalSeries, ProducesConsistentVectors) {
+  const std::uint32_t dj = world().dataset.family_index("DirtJumper");
+  const SeriesEvaluation eval = evaluate_temporal_series(
+      world().dataset, world().ip_map, dj, TemporalSeries::kMagnitude);
+  ASSERT_FALSE(eval.truth.empty());
+  EXPECT_EQ(eval.truth.size(), eval.model_pred.size());
+  EXPECT_EQ(eval.truth.size(), eval.same_pred.size());
+  EXPECT_EQ(eval.truth.size(), eval.mean_pred.size());
+  EXPECT_GT(eval.model_rmse, 0.0);
+  EXPECT_EQ(eval.family, "DirtJumper");
+}
+
+TEST(EvaluateTemporalSeries, ModelCompetitiveWithBaselines) {
+  const std::uint32_t dj = world().dataset.family_index("DirtJumper");
+  const SeriesEvaluation eval = evaluate_temporal_series(
+      world().dataset, world().ip_map, dj, TemporalSeries::kMagnitude);
+  // §VII-A: the data-driven model should not lose to the naive predictors.
+  EXPECT_LE(eval.model_rmse, eval.same_rmse * 1.05);
+  EXPECT_LE(eval.model_rmse, eval.mean_rmse * 1.05);
+}
+
+TEST(EvaluateTemporalSeries, RejectsBadFraction) {
+  EXPECT_THROW((void)evaluate_temporal_series(world().dataset, world().ip_map,
+                                              0, TemporalSeries::kMagnitude,
+                                              {}, 1.5),
+               std::invalid_argument);
+}
+
+TEST(EvaluateSpatialSeries, DurationEvaluationRuns) {
+  const std::uint32_t dj = world().dataset.family_index("DirtJumper");
+  const SpatialEvaluation eval =
+      evaluate_spatial_series(world().dataset, world().ip_map, dj,
+                              SpatialSeries::kDuration, fast_spatial());
+  ASSERT_GT(eval.targets_evaluated, 0u);
+  ASSERT_FALSE(eval.truth.empty());
+  EXPECT_EQ(eval.truth.size(), eval.model_pred.size());
+  EXPECT_GT(eval.model_rmse, 0.0);
+  // Planted target hardness makes per-target duration predictable: the
+  // spatial model must beat the all-history mean baseline.
+  EXPECT_LT(eval.model_rmse, eval.mean_rmse * 1.10);
+}
+
+TEST(EvaluateSourceDistribution, DistributionsAreNormalizedAggregates) {
+  const std::uint32_t dj = world().dataset.family_index("DirtJumper");
+  const SourceDistributionEvaluation eval = evaluate_source_distribution(
+      world().dataset, world().ip_map, dj, fast_spatial());
+  ASSERT_FALSE(eval.per_attack_tv.empty());
+  ASSERT_FALSE(eval.ases.empty());
+  double truth_total = 0.0;
+  for (double f : eval.truth_freq) truth_total += f;
+  EXPECT_NEAR(truth_total, 1.0, 0.05);
+  for (double tv : eval.per_attack_tv) {
+    EXPECT_GE(tv, 0.0);
+    EXPECT_LE(tv, 1.0);
+  }
+}
+
+TEST(EvaluateSourceDistribution, ModelBeatsMeanBaseline) {
+  const std::uint32_t dj = world().dataset.family_index("DirtJumper");
+  const SourceDistributionEvaluation eval = evaluate_source_distribution(
+      world().dataset, world().ip_map, dj, fast_spatial());
+  // Fig. 2's claim: source distributions are highly predictable.
+  EXPECT_LT(eval.model_rmse, eval.mean_rmse * 1.05);
+  EXPECT_LT(eval.model_rmse, 0.5);  // Distributions mostly right.
+}
+
+TEST(EvaluateTimestamps, SpatiotemporalWinsOnHour) {
+  SpatiotemporalOptions opts;
+  opts.spatial.grid_search = false;
+  opts.spatial.fixed.mlp.max_epochs = 60;
+  const TimestampEvaluation eval =
+      evaluate_timestamps(world().dataset, world().ip_map, opts);
+  ASSERT_FALSE(eval.truth_hour.empty());
+  EXPECT_EQ(eval.truth_hour.size(), eval.st_hour.size());
+  EXPECT_EQ(eval.truth_hour.size(), eval.spa_hour.size());
+  EXPECT_EQ(eval.truth_hour.size(), eval.tmp_hour.size());
+  // §VI-B headline: the spatiotemporal model beats both components.
+  EXPECT_LT(eval.rmse_hour_st, eval.rmse_hour_spa * 1.02);
+  EXPECT_LT(eval.rmse_hour_st, eval.rmse_hour_tmp * 1.02);
+  EXPECT_LT(eval.rmse_day_st, eval.rmse_day_spa * 1.02);
+}
+
+TEST(PredictAttacks, ProducesCausalForecastsForTestAttacks) {
+  SpatiotemporalOptions opts;
+  opts.spatial.grid_search = false;
+  opts.spatial.fixed.mlp.max_epochs = 60;
+  const auto forecasts =
+      predict_attacks(world().dataset, world().ip_map, opts);
+  ASSERT_GT(forecasts.size(), 100u);
+  const auto [train, test] = world().dataset.split(0.8);
+  for (const PredictedAttack& f : forecasts) {
+    // Only test attacks are forecast.
+    EXPECT_GE(f.attack_index, train.size());
+    EXPECT_EQ(world().dataset.attacks()[f.attack_index].start, f.actual_start);
+    EXPECT_EQ(world().dataset.attacks()[f.attack_index].target_asn, f.target);
+    EXPECT_GT(f.predicted_start, world().dataset.window_start());
+  }
+  // Median timing error should be well under two days on this trace.
+  std::vector<double> errors_h;
+  for (const PredictedAttack& f : forecasts) {
+    errors_h.push_back(
+        std::abs(static_cast<double>(f.actual_start - f.predicted_start)) /
+        3600.0);
+  }
+  EXPECT_LT(stats::median(errors_h), 48.0);
+}
+
+TEST(PredictAttacks, SourceRulesCoverActualSources) {
+  SpatiotemporalOptions opts;
+  opts.spatial.grid_search = false;
+  opts.spatial.fixed.mlp.max_epochs = 60;
+  const auto forecasts =
+      predict_attacks(world().dataset, world().ip_map, opts, 0.8, 0.9);
+  double covered = 0.0;
+  std::size_t counted = 0;
+  for (const PredictedAttack& f : forecasts) {
+    if (f.predicted_sources.empty()) continue;
+    const auto truth = source_asn_distribution(
+        world().dataset.attacks()[f.attack_index], world().ip_map);
+    double share = 0.0;
+    for (net::Asn asn : f.predicted_sources) {
+      const auto it = truth.find(asn);
+      if (it != truth.end()) share += it->second;
+    }
+    covered += share;
+    ++counted;
+  }
+  ASSERT_GT(counted, 50u);
+  // Rules built for 90% predicted mass should catch most actual traffic.
+  EXPECT_GT(covered / static_cast<double>(counted), 0.7);
+}
+
+TEST(PredictAttacks, RejectsBadSourceMass) {
+  EXPECT_THROW(
+      (void)predict_attacks(world().dataset, world().ip_map, {}, 0.8, 0.0),
+      std::invalid_argument);
+}
+
+TEST(ComparisonTable, CoversFamiliesAndFeatures) {
+  const auto rows = comparison_table(world().dataset, world().ip_map, 3);
+  ASSERT_EQ(rows.size(), 9u);  // 3 families x 3 features.
+  for (const auto& row : rows) {
+    EXPECT_FALSE(row.family.empty());
+    EXPECT_TRUE(row.feature == "magnitude" || row.feature == "duration_s" ||
+                row.feature == "source_distribution");
+  }
+}
+
+}  // namespace
+}  // namespace acbm::core

@@ -1,0 +1,262 @@
+#include "core/features.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "trace/world.h"
+
+namespace acbm::core {
+namespace {
+
+using trace::Attack;
+using trace::Dataset;
+using trace::EpochSeconds;
+
+constexpr EpochSeconds kStart = 1343779200;
+
+Attack attack_at(std::uint64_t id, std::uint32_t family, net::Asn asn,
+                 EpochSeconds start, std::vector<net::Ipv4> bots,
+                 double duration = 600.0) {
+  Attack a;
+  a.id = id;
+  a.family = family;
+  a.target_ip = net::Ipv4(10, 0, 0, 1);
+  a.target_asn = asn;
+  a.start = start;
+  a.duration_s = duration;
+  a.bots = std::move(bots);
+  return a;
+}
+
+// Hand-built map: AS 1 owns 10.0.0.0/24 (256 addresses), AS 2 owns
+// 10.1.0.0/24.
+net::IpToAsnMap tiny_map() {
+  return net::IpToAsnMap({{net::parse_prefix("10.0.0.0/24"), 1},
+                          {net::parse_prefix("10.1.0.0/24"), 2}});
+}
+
+TEST(SourceAsnDistribution, NormalizedShares) {
+  const net::IpToAsnMap map = tiny_map();
+  const Attack a = attack_at(
+      1, 0, 1, kStart,
+      {net::Ipv4(10, 0, 0, 1), net::Ipv4(10, 0, 0, 2), net::Ipv4(10, 1, 0, 1),
+       net::Ipv4(10, 1, 0, 2)});
+  const auto dist = source_asn_distribution(a, map);
+  ASSERT_EQ(dist.size(), 2u);
+  EXPECT_DOUBLE_EQ(dist.at(1), 0.5);
+  EXPECT_DOUBLE_EQ(dist.at(2), 0.5);
+}
+
+TEST(SourceAsnDistribution, UnmappableBotsDropped) {
+  const net::IpToAsnMap map = tiny_map();
+  const Attack a = attack_at(1, 0, 1, kStart,
+                             {net::Ipv4(10, 0, 0, 1), net::Ipv4(99, 0, 0, 1)});
+  const auto dist = source_asn_distribution(a, map);
+  ASSERT_EQ(dist.size(), 1u);
+  EXPECT_DOUBLE_EQ(dist.at(1), 1.0);
+}
+
+TEST(SourceDistributionCoefficient, HandComputedIntraTerm) {
+  const net::IpToAsnMap map = tiny_map();
+  // 4 bots in AS 1 (256 addresses): intra = 4/256; single AS => DT = 1.
+  const Attack a = attack_at(
+      1, 0, 1, kStart,
+      {net::Ipv4(10, 0, 0, 1), net::Ipv4(10, 0, 0, 2), net::Ipv4(10, 0, 0, 3),
+       net::Ipv4(10, 0, 0, 4)});
+  const double coeff = source_distribution_coefficient(a, map, nullptr);
+  EXPECT_NEAR(coeff, 1000.0 * 4.0 / 256.0, 1e-9);
+}
+
+TEST(SourceDistributionCoefficient, ConcentrationRaisesCoefficient) {
+  // Eq. (3)'s design intent: more bots in fewer ASes => larger A^s.
+  const net::IpToAsnMap map = tiny_map();
+  const Attack concentrated = attack_at(
+      1, 0, 1, kStart,
+      {net::Ipv4(10, 0, 0, 1), net::Ipv4(10, 0, 0, 2), net::Ipv4(10, 0, 0, 3),
+       net::Ipv4(10, 0, 0, 4)});
+  const Attack one_bot = attack_at(2, 0, 1, kStart, {net::Ipv4(10, 0, 0, 1)});
+  EXPECT_GT(source_distribution_coefficient(concentrated, map, nullptr),
+            source_distribution_coefficient(one_bot, map, nullptr));
+}
+
+TEST(SourceDistributionCoefficient, DistanceShrinksCoefficient) {
+  // Two ASes far apart must score lower than the same ASes adjacent.
+  net::AsGraph near_graph;
+  near_graph.add_peering(1, 2);
+  net::AsGraph far_graph;
+  far_graph.add_provider_customer(9, 1);
+  far_graph.add_provider_customer(9, 8);
+  far_graph.add_provider_customer(8, 7);
+  far_graph.add_provider_customer(7, 2);
+  net::ValleyFreeDistance near_dist(near_graph);
+  net::ValleyFreeDistance far_dist(far_graph);
+
+  const net::IpToAsnMap map = tiny_map();
+  const Attack a = attack_at(
+      1, 0, 1, kStart, {net::Ipv4(10, 0, 0, 1), net::Ipv4(10, 1, 0, 1)});
+  EXPECT_GT(source_distribution_coefficient(a, map, &near_dist),
+            source_distribution_coefficient(a, map, &far_dist));
+}
+
+TEST(SourceDistributionCoefficient, EmptyBotsIsZero) {
+  const net::IpToAsnMap map = tiny_map();
+  const Attack a = attack_at(1, 0, 1, kStart, {});
+  EXPECT_DOUBLE_EQ(source_distribution_coefficient(a, map, nullptr), 0.0);
+}
+
+TEST(ExtractFamilySeries, AlignedAndCausal) {
+  const net::IpToAsnMap map = tiny_map();
+  std::vector<Attack> attacks{
+      attack_at(1, 0, 1, kStart + 3600,
+                {net::Ipv4(10, 0, 0, 1), net::Ipv4(10, 0, 0, 2)}, 100.0),
+      attack_at(2, 0, 1, kStart + 7200, {net::Ipv4(10, 0, 0, 3)}, 200.0),
+      attack_at(3, 1, 2, kStart + 9000, {net::Ipv4(10, 1, 0, 1)}, 300.0),
+  };
+  const Dataset ds({"A", "B"}, std::move(attacks), {}, kStart);
+  const FamilySeries fs = extract_family_series(ds, 0, map, nullptr);
+  ASSERT_EQ(fs.attack_indices.size(), 2u);
+  EXPECT_DOUBLE_EQ(fs.magnitude[0], 2.0);
+  EXPECT_DOUBLE_EQ(fs.magnitude[1], 1.0);
+  // Eq. 2: A^b_1 = 2/2 = 1; A^b_2 = 1/3.
+  EXPECT_DOUBLE_EQ(fs.norm_magnitude[0], 1.0);
+  EXPECT_NEAR(fs.norm_magnitude[1], 1.0 / 3.0, 1e-12);
+  // Intervals: first is 0, second is 3600.
+  EXPECT_DOUBLE_EQ(fs.interval_s[0], 0.0);
+  EXPECT_DOUBLE_EQ(fs.interval_s[1], 3600.0);
+  EXPECT_DOUBLE_EQ(fs.hour[0], 1.0);
+  EXPECT_DOUBLE_EQ(fs.hour[1], 2.0);
+  EXPECT_DOUBLE_EQ(fs.duration_s[1], 200.0);
+  // Eq. 1 uses days elapsed (floored at 1 day here).
+  EXPECT_DOUBLE_EQ(fs.activity[0], 1.0);
+  EXPECT_DOUBLE_EQ(fs.activity[1], 2.0);
+}
+
+TEST(ExtractTargetSeries, FiltersByTargetAsn) {
+  const net::IpToAsnMap map = tiny_map();
+  std::vector<Attack> attacks{
+      attack_at(1, 0, 1, kStart + 100, {net::Ipv4(10, 0, 0, 1)}, 50.0),
+      attack_at(2, 1, 2, kStart + 200, {net::Ipv4(10, 1, 0, 1)}, 60.0),
+      attack_at(3, 0, 1, kStart + 400, {net::Ipv4(10, 0, 0, 2)}, 70.0),
+  };
+  const Dataset ds({"A", "B"}, std::move(attacks), {}, kStart);
+  const TargetSeries ts = extract_target_series(ds, 1);
+  ASSERT_EQ(ts.attack_indices.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts.duration_s[0], 50.0);
+  EXPECT_DOUBLE_EQ(ts.duration_s[1], 70.0);
+  EXPECT_DOUBLE_EQ(ts.interval_s[1], 300.0);
+  EXPECT_TRUE(extract_target_series(ds, 999).attack_indices.empty());
+}
+
+TEST(MultistageChains, GroupsWithinWindow) {
+  const net::IpToAsnMap map = tiny_map();
+  std::vector<Attack> attacks{
+      attack_at(1, 0, 1, kStart, {net::Ipv4(10, 0, 0, 1)}),
+      attack_at(2, 0, 1, kStart + 3600, {net::Ipv4(10, 0, 0, 1)}),   // Chain.
+      attack_at(3, 0, 2, kStart + 3700, {net::Ipv4(10, 1, 0, 1)}),   // Other target.
+      attack_at(4, 0, 1, kStart + 90000 + 3600, {net::Ipv4(10, 0, 0, 1)}),  // > 24 h: new chain.
+  };
+  const Dataset ds({"A"}, std::move(attacks), {}, kStart);
+  const auto chains = multistage_chains(ds);
+  ASSERT_EQ(chains.size(), 3u);
+  EXPECT_EQ(chains[0].size(), 2u);  // Attacks 1 and 2.
+  EXPECT_EQ(chains[1].size(), 1u);  // Attack on target 2.
+  EXPECT_EQ(chains[2].size(), 1u);  // The late attack.
+}
+
+TEST(MultistageChains, SimultaneousAttacksDoNotChain) {
+  // The paper excludes same-instant launches (gap < 30 s).
+  std::vector<Attack> attacks{
+      attack_at(1, 0, 1, kStart, {net::Ipv4(10, 0, 0, 1)}),
+      attack_at(2, 0, 1, kStart + 5, {net::Ipv4(10, 0, 0, 2)}),
+  };
+  const Dataset ds({"A"}, std::move(attacks), {}, kStart);
+  const auto chains = multistage_chains(ds);
+  EXPECT_EQ(chains.size(), 2u);
+}
+
+TEST(MultistageChains, EveryAttackInExactlyOneChain) {
+  const trace::World world = trace::build_world(trace::small_world_options(3));
+  const auto chains = multistage_chains(world.dataset);
+  std::size_t total = 0;
+  for (const auto& chain : chains) total += chain.size();
+  EXPECT_EQ(total, world.dataset.size());
+}
+
+TEST(MultistageChains, ChainsRespectWindowProperty) {
+  const trace::World world = trace::build_world(trace::small_world_options(5));
+  for (const auto& chain : multistage_chains(world.dataset)) {
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      const auto& prev = world.dataset.attacks()[chain[i - 1]];
+      const auto& cur = world.dataset.attacks()[chain[i]];
+      EXPECT_EQ(prev.target_asn, cur.target_asn);
+      const double gap = static_cast<double>(cur.start - prev.start);
+      EXPECT_GE(gap, 30.0);
+      EXPECT_LE(gap, 86400.0);
+    }
+  }
+}
+
+TEST(ChainTurnaround, HandComputedDecomposition) {
+  // Stage 1: [0, 600); stage 2 starts at 1000 (gap 400), lasts 500.
+  std::vector<Attack> attacks{
+      attack_at(1, 0, 1, kStart, {net::Ipv4(10, 0, 0, 1)}, 600.0),
+      attack_at(2, 0, 1, kStart + 1000, {net::Ipv4(10, 0, 0, 2)}, 500.0),
+  };
+  const Dataset ds({"A"}, std::move(attacks), {}, kStart);
+  const Turnaround t = chain_turnaround(ds, std::vector<std::size_t>{0, 1});
+  EXPECT_EQ(t.stages, 2u);
+  EXPECT_DOUBLE_EQ(t.execution_s, 1100.0);
+  EXPECT_DOUBLE_EQ(t.waiting_s, 400.0);
+  EXPECT_DOUBLE_EQ(t.turnaround_s, 1500.0);
+}
+
+TEST(ChainTurnaround, OverlappingStagesHaveNoWaiting) {
+  // Stage 2 starts while stage 1 is still running.
+  std::vector<Attack> attacks{
+      attack_at(1, 0, 1, kStart, {net::Ipv4(10, 0, 0, 1)}, 3600.0),
+      attack_at(2, 0, 1, kStart + 600, {net::Ipv4(10, 0, 0, 2)}, 600.0),
+  };
+  const Dataset ds({"A"}, std::move(attacks), {}, kStart);
+  const Turnaround t = chain_turnaround(ds, std::vector<std::size_t>{0, 1});
+  EXPECT_DOUBLE_EQ(t.waiting_s, 0.0);
+  EXPECT_DOUBLE_EQ(t.turnaround_s, 3600.0);  // First stage dominates.
+}
+
+TEST(ChainTurnaround, SingletonChain) {
+  std::vector<Attack> attacks{
+      attack_at(1, 0, 1, kStart, {net::Ipv4(10, 0, 0, 1)}, 250.0)};
+  const Dataset ds({"A"}, std::move(attacks), {}, kStart);
+  const Turnaround t = chain_turnaround(ds, std::vector<std::size_t>{0});
+  EXPECT_DOUBLE_EQ(t.execution_s, 250.0);
+  EXPECT_DOUBLE_EQ(t.waiting_s, 0.0);
+  EXPECT_DOUBLE_EQ(t.turnaround_s, 250.0);
+}
+
+TEST(ChainTurnaround, EmptyChainThrows) {
+  const Dataset ds({"A"}, {}, {}, kStart);
+  EXPECT_THROW((void)chain_turnaround(ds, std::vector<std::size_t>{}),
+               std::invalid_argument);
+}
+
+TEST(ChainTurnaround, GeneratedChainsAreInternallyConsistent) {
+  const trace::World world = trace::build_world(trace::small_world_options(7));
+  for (const auto& chain : multistage_chains(world.dataset)) {
+    const Turnaround t = chain_turnaround(world.dataset, chain);
+    EXPECT_GT(t.execution_s, 0.0);
+    EXPECT_GE(t.waiting_s, 0.0);
+    // Wall-clock span never exceeds waiting + execution for ordered stages.
+    EXPECT_LE(t.turnaround_s, t.waiting_s + t.execution_s + 1e-6);
+  }
+}
+
+TEST(MultistageChains, RejectsBadWindow) {
+  const Dataset ds({"A"}, {}, {}, kStart);
+  MultistageOptions opts;
+  opts.min_gap_s = 100.0;
+  opts.max_gap_s = 50.0;
+  EXPECT_THROW((void)multistage_chains(ds, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acbm::core

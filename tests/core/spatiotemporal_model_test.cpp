@@ -1,0 +1,170 @@
+#include "core/spatiotemporal_model.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/evaluation.h"
+#include "trace/world.h"
+
+namespace acbm::core {
+namespace {
+
+SpatiotemporalOptions fast_options() {
+  SpatiotemporalOptions opts;
+  opts.spatial.grid_search = false;
+  opts.spatial.fixed.mlp.max_epochs = 60;
+  return opts;
+}
+
+struct Fixture {
+  trace::World world = trace::build_world(trace::small_world_options(29));
+  SpatiotemporalModel model{fast_options()};
+
+  Fixture() { model.fit(world.dataset, world.ip_map); }
+};
+
+TEST(StFeatures, RowShapesAreStable) {
+  StFeatures f;
+  EXPECT_EQ(f.hour_row().size(), 6u);
+  EXPECT_EQ(f.day_row().size(), 4u);
+}
+
+TEST(StFeatures, DayRowEncodesImpliedDays) {
+  StFeatures f;
+  f.prev_day = 10.0;
+  f.tmp_interval_s = 86400.0;
+  f.spa_interval_s = 2.0 * 86400.0;
+  const auto row = f.day_row();
+  EXPECT_DOUBLE_EQ(row[0], 11.0);
+  EXPECT_DOUBLE_EQ(row[1], 12.0);
+  EXPECT_DOUBLE_EQ(row[2], 10.0);
+}
+
+TEST(SpatiotemporalModel, FitsEndToEnd) {
+  Fixture fx;
+  EXPECT_TRUE(fx.model.fitted());
+  EXPECT_TRUE(fx.model.hour_tree().fitted());
+  EXPECT_TRUE(fx.model.day_tree().fitted());
+}
+
+TEST(SpatiotemporalModel, UnfittedUseThrows) {
+  SpatiotemporalModel model;
+  EXPECT_THROW((void)model.predict_hour(StFeatures{}), std::logic_error);
+  EXPECT_THROW((void)model.predict_day(StFeatures{}), std::logic_error);
+}
+
+TEST(SpatiotemporalModel, HourPredictionIsClamped) {
+  Fixture fx;
+  StFeatures f;
+  f.tmp_hour = 80.0;  // Absurd inputs must still produce a valid hour.
+  f.spa_hour = -40.0;
+  f.prev_hour = 12.0;
+  f.prev_day = 5.0;
+  f.avg_magnitude = 50.0;
+  const double hour = fx.model.predict_hour(f);
+  EXPECT_GE(hour, 0.0);
+  EXPECT_LT(hour, 24.0);
+}
+
+TEST(SpatiotemporalModel, SubModelAccess) {
+  Fixture fx;
+  const std::uint32_t dj = fx.world.dataset.family_index("DirtJumper");
+  EXPECT_NE(fx.model.temporal(dj), nullptr);
+  EXPECT_EQ(fx.model.temporal(9999), nullptr);
+  const net::Asn busiest = fx.world.dataset.target_asns().front();
+  EXPECT_NE(fx.model.spatial(busiest), nullptr);
+  EXPECT_EQ(fx.model.spatial(4242424), nullptr);
+}
+
+TEST(AssembleRows, RowsAreCausalAndWellFormed) {
+  Fixture fx;
+  std::unordered_map<std::uint32_t, TemporalModel> temporal;
+  std::unordered_map<net::Asn, SpatialModel> spatial;
+  for (std::uint32_t f = 0; f < 10; ++f) {
+    if (const TemporalModel* m = fx.model.temporal(f)) temporal.emplace(f, *m);
+  }
+  for (net::Asn asn : fx.world.dataset.target_asns()) {
+    if (const SpatialModel* m = fx.model.spatial(asn)) spatial.emplace(asn, *m);
+  }
+  const auto rows = assemble_rows(fx.world.dataset, fx.world.ip_map, temporal,
+                                  spatial, fx.model.options());
+  ASSERT_GT(rows.size(), 50u);
+  std::unordered_set<std::size_t> seen;
+  for (const StRow& row : rows) {
+    EXPECT_TRUE(seen.insert(row.attack_index).second)
+        << "attack predicted twice";
+    EXPECT_GE(row.truth_hour, 0.0);
+    EXPECT_LT(row.truth_hour, 24.0);
+    EXPECT_GE(row.features.prev_day, 0.0);
+    // Causality: the previous attack precedes the predicted one.
+    EXPECT_LE(row.features.prev_day, row.truth_day + 1e-9);
+    const trace::Attack& attack = fx.world.dataset.attacks()[row.attack_index];
+    EXPECT_EQ(attack.target_asn, row.target_asn);
+  }
+  // Rows are sorted by attack index (deterministic output).
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i - 1].attack_index, rows[i].attack_index);
+  }
+}
+
+TEST(SpatiotemporalModel, IntelBudgetLimitsSpatialHistory) {
+  trace::World world = trace::build_world(trace::small_world_options(29));
+  SpatiotemporalOptions limited = fast_options();
+  limited.max_target_history = 10;
+  SpatiotemporalModel model(limited);
+  model.fit(world.dataset, world.ip_map);
+  EXPECT_TRUE(model.fitted());
+  // Busy targets still get spatial models under the budget.
+  const net::Asn busiest = world.dataset.target_asns().front();
+  EXPECT_NE(model.spatial(busiest), nullptr);
+}
+
+TEST(SpatiotemporalModel, UnlimitedHistoryNoWorseThanTinyBudget) {
+  trace::World world = trace::build_world(trace::small_world_options(31));
+  const auto rmse_for = [&](std::size_t limit) {
+    SpatiotemporalOptions opts = fast_options();
+    opts.max_target_history = limit;
+    // Direct evaluation through the shared harness.
+    return core::evaluate_timestamps(world.dataset, world.ip_map, opts)
+        .rmse_hour_st;
+  };
+  const double unlimited = rmse_for(0);
+  const double tiny = rmse_for(5);
+  // More information cannot make the fitted model substantially worse.
+  EXPECT_LT(unlimited, tiny * 1.15);
+}
+
+TEST(SpatiotemporalModel, PredictionsAreDeterministic) {
+  Fixture fx;
+  StFeatures f;
+  f.tmp_hour = 14.0;
+  f.spa_hour = 15.0;
+  f.tmp_interval_s = 3600.0;
+  f.spa_interval_s = 7200.0;
+  f.prev_hour = 13.0;
+  f.prev_day = 30.0;
+  f.avg_magnitude = 80.0;
+  EXPECT_DOUBLE_EQ(fx.model.predict_hour(f), fx.model.predict_hour(f));
+  EXPECT_DOUBLE_EQ(fx.model.predict_day(f), fx.model.predict_day(f));
+}
+
+TEST(SpatiotemporalModel, DayPredictionNearImpliedDay) {
+  Fixture fx;
+  StFeatures f;
+  f.tmp_hour = 12.0;
+  f.spa_hour = 12.0;
+  f.tmp_interval_s = 86400.0;
+  f.spa_interval_s = 86400.0;
+  f.prev_hour = 12.0;
+  f.prev_day = 40.0;
+  f.avg_magnitude = 60.0;
+  // Both sub-models imply day 41; the tree should stay in the neighborhood.
+  const double day = fx.model.predict_day(f);
+  EXPECT_GT(day, 35.0);
+  EXPECT_LT(day, 50.0);
+}
+
+}  // namespace
+}  // namespace acbm::core

@@ -1,0 +1,105 @@
+#include "net/as_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace acbm::net {
+namespace {
+
+TEST(AsGraph, AddAsIsIdempotent) {
+  AsGraph g;
+  g.add_as(100);
+  g.add_as(100);
+  EXPECT_EQ(g.as_count(), 1u);
+  EXPECT_TRUE(g.contains(100));
+  EXPECT_FALSE(g.contains(200));
+}
+
+TEST(AsGraph, ProviderCustomerEdgeIsSymmetricallyTyped) {
+  AsGraph g;
+  g.add_provider_customer(1, 2);
+  EXPECT_EQ(g.link_type(1, 2), LinkType::kCustomer);  // 2 is 1's customer.
+  EXPECT_EQ(g.link_type(2, 1), LinkType::kProvider);  // 1 is 2's provider.
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(AsGraph, PeeringAndSiblingAreSymmetric) {
+  AsGraph g;
+  g.add_peering(1, 2);
+  g.add_sibling(3, 4);
+  EXPECT_EQ(g.link_type(1, 2), LinkType::kPeer);
+  EXPECT_EQ(g.link_type(2, 1), LinkType::kPeer);
+  EXPECT_EQ(g.link_type(3, 4), LinkType::kSibling);
+  EXPECT_EQ(g.link_type(4, 3), LinkType::kSibling);
+}
+
+TEST(AsGraph, ReverseFunction) {
+  EXPECT_EQ(reverse(LinkType::kCustomer), LinkType::kProvider);
+  EXPECT_EQ(reverse(LinkType::kProvider), LinkType::kCustomer);
+  EXPECT_EQ(reverse(LinkType::kPeer), LinkType::kPeer);
+  EXPECT_EQ(reverse(LinkType::kSibling), LinkType::kSibling);
+}
+
+TEST(AsGraph, EdgeUpsertReplacesType) {
+  AsGraph g;
+  g.add_peering(1, 2);
+  g.add_provider_customer(1, 2);
+  EXPECT_EQ(g.link_type(1, 2), LinkType::kCustomer);
+  EXPECT_EQ(g.link_type(2, 1), LinkType::kProvider);
+  EXPECT_EQ(g.edge_count(), 1u);  // Replaced, not duplicated.
+}
+
+TEST(AsGraph, SelfLoopRejected) {
+  AsGraph g;
+  EXPECT_THROW(g.add_peering(5, 5), std::invalid_argument);
+}
+
+TEST(AsGraph, LinksAndDegree) {
+  AsGraph g;
+  g.add_provider_customer(1, 2);
+  g.add_provider_customer(1, 3);
+  g.add_peering(1, 4);
+  EXPECT_EQ(g.degree(1), 3u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_TRUE(g.links(99).empty());
+  EXPECT_FALSE(g.link_type(2, 3).has_value());
+}
+
+TEST(AsGraph, ConnectedDetection) {
+  AsGraph g;
+  EXPECT_TRUE(g.connected());  // Empty graph convention.
+  g.add_peering(1, 2);
+  g.add_peering(2, 3);
+  EXPECT_TRUE(g.connected());
+  g.add_as(99);  // Isolated node.
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(AsGraph, CustomerHierarchyAcyclicOnDag) {
+  AsGraph g;
+  g.add_provider_customer(1, 2);
+  g.add_provider_customer(1, 3);
+  g.add_provider_customer(2, 4);
+  g.add_provider_customer(3, 4);  // Diamond: fine, still acyclic.
+  EXPECT_TRUE(g.customer_hierarchy_acyclic());
+}
+
+TEST(AsGraph, CustomerHierarchyCycleDetected) {
+  AsGraph g;
+  g.add_provider_customer(1, 2);
+  g.add_provider_customer(2, 3);
+  g.add_provider_customer(3, 1);  // 1 -> 2 -> 3 -> 1.
+  EXPECT_FALSE(g.customer_hierarchy_acyclic());
+}
+
+TEST(AsGraph, PeeringDoesNotCreateCustomerCycle) {
+  AsGraph g;
+  g.add_peering(1, 2);
+  g.add_peering(2, 3);
+  g.add_peering(3, 1);
+  EXPECT_TRUE(g.customer_hierarchy_acyclic());
+}
+
+}  // namespace
+}  // namespace acbm::net

@@ -1,0 +1,167 @@
+#include "net/gao.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/routing.h"
+#include "net/topology.h"
+
+namespace acbm::net {
+namespace {
+
+TEST(Gao, InfersSimpleProviderCustomerChain) {
+  // Paths through a chain 3 -> 1 -> 2 where 1 is the high-degree core:
+  // 1 provides transit to both 2 and 3.
+  std::vector<std::vector<Asn>> paths{
+      {3, 1, 2},  // 3 climbs to 1, descends to 2.
+      {2, 1, 3},
+      {3, 1, 4},
+      {4, 1, 2},
+      {2, 1, 4},
+      {4, 1, 3},
+  };
+  const GaoResult result = infer_relationships(paths);
+  // 1 has degree 3; the others degree 1. 1 must be everyone's provider.
+  EXPECT_EQ(result.graph.link_type(1, 2), LinkType::kCustomer);
+  EXPECT_EQ(result.graph.link_type(1, 3), LinkType::kCustomer);
+  EXPECT_EQ(result.graph.link_type(1, 4), LinkType::kCustomer);
+}
+
+TEST(Gao, IgnoresDegeneratePaths) {
+  std::vector<std::vector<Asn>> paths{{1}, {}, {2, 3}};
+  const GaoResult result = infer_relationships(paths);
+  EXPECT_EQ(result.graph.as_count(), 2u);
+}
+
+TEST(Gao, SiblingDetectedFromMutualTransit) {
+  // 5 and 6 carry transit for each other *inside* uphill segments toward
+  // the high-degree hubs 20/21 — the positional signature of siblings, as
+  // opposed to peers (which only ever bridge the top of a path).
+  std::vector<std::vector<Asn>> paths;
+  for (int rep = 0; rep < 3; ++rep) {
+    paths.push_back({5, 6, 20});  // 6 transits for 5 on the way up to 20.
+    paths.push_back({6, 5, 21});  // 5 transits for 6 on the way up to 21.
+  }
+  // Hub support paths so 20/21 really are the top providers by degree.
+  for (Asn leaf : {30u, 31u, 32u}) {
+    paths.push_back({leaf, 20});
+    paths.push_back({leaf, 21});
+  }
+  const GaoResult result = infer_relationships(paths);
+  EXPECT_EQ(result.graph.link_type(5, 6), LinkType::kSibling);
+}
+
+TEST(Gao, AccuracyHighOnGeneratedTopology) {
+  acbm::stats::Rng rng(7);
+  TopologyOptions opts;
+  opts.num_tier1 = 5;
+  opts.num_transit = 20;
+  opts.num_stub = 80;
+  const Topology topo = generate_topology(opts, rng);
+
+  // Use every stub plus every tier-1 as vantage points — rich tables like
+  // Route Views'.
+  std::vector<Asn> vantages = topo.stubs;
+  vantages.insert(vantages.end(), topo.tier1.begin(), topo.tier1.end());
+  const auto paths = dump_paths(topo.graph, vantages);
+  const GaoResult result = infer_relationships(paths);
+
+  const double acc = relationship_accuracy(topo.graph, result.graph);
+  EXPECT_GT(acc, 0.75) << "Gao inference accuracy too low: " << acc;
+}
+
+TEST(Gao, ProviderCustomerEdgesDominantOnHierarchy) {
+  acbm::stats::Rng rng(11);
+  TopologyOptions opts;
+  opts.num_tier1 = 4;
+  opts.num_transit = 12;
+  opts.num_stub = 40;
+  opts.transit_peering_prob = 0.0;
+  const Topology topo = generate_topology(opts, rng);
+  const auto paths = dump_paths(topo.graph, topo.stubs);
+  const GaoResult result = infer_relationships(paths);
+  // The topology is almost all provider-customer edges (only the tier-1
+  // clique peers), and the inference should reflect that.
+  EXPECT_GT(result.provider_customer_edges, result.peer_edges);
+  EXPECT_GT(result.provider_customer_edges, result.sibling_edges);
+}
+
+TEST(RelationshipScores, PerfectInferenceScoresOne) {
+  AsGraph truth;
+  truth.add_provider_customer(1, 2);
+  truth.add_provider_customer(1, 3);
+  truth.add_peering(2, 3);
+  const RelationshipScores s = relationship_scores(truth, truth);
+  EXPECT_DOUBLE_EQ(s.p2c_precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.p2c_recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.peer_precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.peer_recall, 1.0);
+}
+
+TEST(RelationshipScores, MisclassifiedPeerHurtsBothSides) {
+  AsGraph truth;
+  truth.add_provider_customer(1, 2);
+  truth.add_peering(3, 4);
+  AsGraph inferred;
+  inferred.add_provider_customer(1, 2);
+  inferred.add_provider_customer(3, 4);  // Peer misread as transit.
+  const RelationshipScores s = relationship_scores(truth, inferred);
+  EXPECT_DOUBLE_EQ(s.p2c_recall, 1.0);        // The real p2c edge found.
+  EXPECT_DOUBLE_EQ(s.p2c_precision, 0.5);     // One of two inferred is right.
+  EXPECT_DOUBLE_EQ(s.peer_recall, 0.0);
+  EXPECT_DOUBLE_EQ(s.peer_precision, 0.0);
+}
+
+TEST(RelationshipScores, HighOnGeneratedTopology) {
+  acbm::stats::Rng rng(15);
+  TopologyOptions opts;
+  opts.num_tier1 = 4;
+  opts.num_transit = 15;
+  opts.num_stub = 60;
+  const Topology topo = generate_topology(opts, rng);
+  std::vector<Asn> vantages = topo.stubs;
+  vantages.insert(vantages.end(), topo.tier1.begin(), topo.tier1.end());
+  const auto paths = dump_paths(topo.graph, vantages);
+  const GaoResult result = infer_relationships(paths);
+
+  // Score only against the edges the routing tables actually expose —
+  // edges never traversed by any best path are unobservable by definition.
+  AsGraph visible_truth;
+  for (const auto& path : paths) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const auto type = topo.graph.link_type(path[i], path[i + 1]);
+      ASSERT_TRUE(type.has_value());
+      visible_truth.add_edge(path[i], path[i + 1], *type);
+    }
+  }
+  const RelationshipScores s =
+      relationship_scores(visible_truth, result.graph);
+  // Provider-customer edges dominate real topologies and must be found
+  // reliably; peering (the tier-1 clique) is the harder class.
+  EXPECT_GT(s.p2c_recall, 0.75);
+  EXPECT_GT(s.p2c_precision, 0.75);
+  EXPECT_GT(s.peer_recall, 0.3);
+}
+
+TEST(RelationshipAccuracy, PerfectAndEmptyCases) {
+  AsGraph truth;
+  truth.add_provider_customer(1, 2);
+  truth.add_peering(2, 3);
+  EXPECT_DOUBLE_EQ(relationship_accuracy(truth, truth), 1.0);
+
+  AsGraph empty;
+  EXPECT_DOUBLE_EQ(relationship_accuracy(empty, truth), 1.0);  // Vacuous.
+  EXPECT_DOUBLE_EQ(relationship_accuracy(truth, empty), 0.0);
+}
+
+TEST(RelationshipAccuracy, OrientationMatters) {
+  AsGraph truth;
+  truth.add_provider_customer(1, 2);
+  AsGraph flipped;
+  flipped.add_provider_customer(2, 1);
+  EXPECT_DOUBLE_EQ(relationship_accuracy(truth, flipped), 0.0);
+}
+
+}  // namespace
+}  // namespace acbm::net

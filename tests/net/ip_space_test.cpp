@@ -1,0 +1,202 @@
+#include "net/ip_space.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "net/topology.h"
+
+namespace acbm::net {
+namespace {
+
+TEST(IpToAsnMap, EmptyMapFindsNothing) {
+  const IpToAsnMap map;
+  EXPECT_FALSE(map.lookup(Ipv4(10, 0, 0, 1)).has_value());
+  EXPECT_EQ(map.prefix_count(), 0u);
+}
+
+TEST(IpToAsnMap, BasicLookup) {
+  const IpToAsnMap map({{parse_prefix("10.0.0.0/16"), 100},
+                        {parse_prefix("10.1.0.0/16"), 200}});
+  EXPECT_EQ(map.lookup(Ipv4(10, 0, 5, 5)), 100u);
+  EXPECT_EQ(map.lookup(Ipv4(10, 1, 255, 1)), 200u);
+  EXPECT_FALSE(map.lookup(Ipv4(10, 2, 0, 1)).has_value());
+  EXPECT_FALSE(map.lookup(Ipv4(9, 255, 255, 255)).has_value());
+}
+
+TEST(IpToAsnMap, LongestPrefixWins) {
+  const IpToAsnMap map({{parse_prefix("10.0.0.0/8"), 100},
+                        {parse_prefix("10.64.0.0/10"), 200},
+                        {parse_prefix("10.64.32.0/24"), 300}});
+  EXPECT_EQ(map.lookup(Ipv4(10, 0, 0, 1)), 100u);
+  EXPECT_EQ(map.lookup(Ipv4(10, 64, 0, 1)), 200u);
+  EXPECT_EQ(map.lookup(Ipv4(10, 64, 32, 9)), 300u);
+  EXPECT_EQ(map.lookup(Ipv4(10, 64, 33, 9)), 200u);
+}
+
+TEST(IpToAsnMap, BoundaryAddresses) {
+  const IpToAsnMap map({{parse_prefix("192.168.0.0/24"), 7}});
+  EXPECT_EQ(map.lookup(Ipv4(192, 168, 0, 0)), 7u);
+  EXPECT_EQ(map.lookup(Ipv4(192, 168, 0, 255)), 7u);
+  EXPECT_FALSE(map.lookup(Ipv4(192, 168, 1, 0)).has_value());
+  EXPECT_FALSE(map.lookup(Ipv4(192, 167, 255, 255)).has_value());
+}
+
+TEST(IpToAsnMap, ConflictingDuplicatePrefixThrows) {
+  EXPECT_THROW(IpToAsnMap({{parse_prefix("10.0.0.0/16"), 1},
+                           {parse_prefix("10.0.0.0/16"), 2}}),
+               std::invalid_argument);
+}
+
+TEST(IpToAsnMap, PrefixesOfAndAddressCount) {
+  const IpToAsnMap map({{parse_prefix("10.0.0.0/24"), 5},
+                        {parse_prefix("10.1.0.0/24"), 5},
+                        {parse_prefix("10.2.0.0/24"), 9}});
+  EXPECT_EQ(map.prefixes_of(5).size(), 2u);
+  EXPECT_EQ(map.address_count(5), 512u);
+  EXPECT_EQ(map.address_count(9), 256u);
+  EXPECT_EQ(map.address_count(12345), 0u);
+}
+
+TEST(AllocateAddressSpace, CoversEveryAs) {
+  acbm::stats::Rng rng(3);
+  TopologyOptions topo_opts;
+  topo_opts.num_tier1 = 4;
+  topo_opts.num_transit = 8;
+  topo_opts.num_stub = 20;
+  const Topology topo = generate_topology(topo_opts, rng);
+  const IpToAsnMap map = allocate_address_space(topo.graph, {}, rng);
+  for (Asn asn : topo.graph.ases()) {
+    EXPECT_GT(map.address_count(asn), 0u) << "AS " << asn << " has no space";
+  }
+}
+
+TEST(AllocateAddressSpace, BlocksDoNotOverlap) {
+  acbm::stats::Rng rng(5);
+  TopologyOptions topo_opts;
+  topo_opts.num_tier1 = 3;
+  topo_opts.num_transit = 6;
+  topo_opts.num_stub = 12;
+  const Topology topo = generate_topology(topo_opts, rng);
+  const IpToAsnMap map = allocate_address_space(topo.graph, {}, rng);
+  // Sequential carving: every address in every prefix resolves back to its
+  // own AS (no overlap shadows another block).
+  for (Asn asn : topo.graph.ases()) {
+    for (const Prefix& prefix : map.prefixes_of(asn)) {
+      EXPECT_EQ(map.lookup(prefix.first()), asn);
+      EXPECT_EQ(map.lookup(prefix.last()), asn);
+    }
+  }
+}
+
+TEST(AllocateAddressSpace, HighDegreeAsesGetMoreSpace) {
+  acbm::stats::Rng rng(7);
+  TopologyOptions topo_opts;
+  topo_opts.num_tier1 = 4;
+  topo_opts.num_transit = 10;
+  topo_opts.num_stub = 60;
+  const Topology topo = generate_topology(topo_opts, rng);
+  const IpToAsnMap map = allocate_address_space(topo.graph, {}, rng);
+  // Compare the best-connected tier-1 against a stub.
+  Asn biggest = topo.tier1.front();
+  for (Asn t1 : topo.tier1) {
+    if (topo.graph.degree(t1) > topo.graph.degree(biggest)) biggest = t1;
+  }
+  EXPECT_GE(map.address_count(biggest), map.address_count(topo.stubs.front()));
+}
+
+TEST(IpToAsnMap, SaveLoadRoundTrip) {
+  acbm::stats::Rng rng(21);
+  TopologyOptions topo_opts;
+  topo_opts.num_tier1 = 3;
+  topo_opts.num_transit = 5;
+  topo_opts.num_stub = 12;
+  const Topology topo = generate_topology(topo_opts, rng);
+  const IpToAsnMap map = allocate_address_space(topo.graph, {}, rng);
+
+  std::stringstream ss;
+  map.save(ss);
+  const IpToAsnMap back = IpToAsnMap::load(ss);
+  EXPECT_EQ(back.prefix_count(), map.prefix_count());
+  for (Asn asn : topo.graph.ases()) {
+    EXPECT_EQ(back.address_count(asn), map.address_count(asn));
+    for (const Prefix& prefix : map.prefixes_of(asn)) {
+      EXPECT_EQ(back.lookup(prefix.first()), asn);
+      EXPECT_EQ(back.lookup(prefix.last()), asn);
+    }
+  }
+}
+
+TEST(IpToAsnMap, LoadRejectsMalformedLines) {
+  std::stringstream ss("10.0.0.0/16;5\n");
+  EXPECT_THROW((void)IpToAsnMap::load(ss), std::invalid_argument);
+}
+
+// Property: the sorted-interval LPM agrees with a brute-force longest-match
+// scan on random overlapping prefix sets.
+class LpmReferenceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpmReferenceProperty, MatchesBruteForceScan) {
+  acbm::stats::Rng rng(GetParam());
+  std::vector<std::pair<Prefix, net::Asn>> entries;
+  for (int i = 0; i < 60; ++i) {
+    const auto len = static_cast<std::uint8_t>(rng.uniform_int(8, 28));
+    const auto addr = static_cast<std::uint32_t>(
+        rng.uniform_int(0, std::numeric_limits<std::int64_t>::max() & 0xFFFFFFFF));
+    entries.emplace_back(Prefix(Ipv4(addr), len),
+                         static_cast<net::Asn>(i + 1));
+  }
+  // Deduplicate identical prefixes (the map rejects conflicting dupes).
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first.network.value != b.first.network.value) {
+                return a.first.network.value < b.first.network.value;
+              }
+              return a.first.length < b.first.length;
+            });
+  entries.erase(std::unique(entries.begin(), entries.end(),
+                            [](const auto& a, const auto& b) {
+                              return a.first == b.first;
+                            }),
+                entries.end());
+  const IpToAsnMap map(entries);
+
+  for (int probe = 0; probe < 500; ++probe) {
+    const auto addr = Ipv4(static_cast<std::uint32_t>(
+        rng.uniform_int(0, std::numeric_limits<std::int64_t>::max() & 0xFFFFFFFF)));
+    // Brute force: longest containing prefix wins.
+    std::optional<net::Asn> expected;
+    int best_len = -1;
+    for (const auto& [prefix, asn] : entries) {
+      if (prefix.contains(addr) && static_cast<int>(prefix.length) > best_len) {
+        best_len = prefix.length;
+        expected = asn;
+      }
+    }
+    EXPECT_EQ(map.lookup(addr), expected)
+        << "address " << addr.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpmReferenceProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(AllocateAddressSpace, RejectsBadOptions) {
+  acbm::stats::Rng rng(9);
+  AsGraph g;
+  g.add_peering(1, 2);
+  AllocationOptions opts;
+  opts.prefix_length = 31;
+  EXPECT_THROW((void)allocate_address_space(g, opts, rng),
+               std::invalid_argument);
+  opts.prefix_length = 20;
+  opts.max_blocks_per_as = 0;
+  EXPECT_THROW((void)allocate_address_space(g, opts, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acbm::net

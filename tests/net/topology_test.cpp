@@ -1,0 +1,163 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace acbm::net {
+namespace {
+
+TEST(Topology, GeneratesRequestedCounts) {
+  acbm::stats::Rng rng(1);
+  const Topology topo = generate_topology({}, rng);
+  EXPECT_EQ(topo.tier1.size(), 8u);
+  EXPECT_EQ(topo.transit.size(), 40u);
+  EXPECT_EQ(topo.stubs.size(), 150u);
+  EXPECT_EQ(topo.graph.as_count(), 198u);
+}
+
+TEST(Topology, IsConnected) {
+  acbm::stats::Rng rng(2);
+  const Topology topo = generate_topology({}, rng);
+  EXPECT_TRUE(topo.graph.connected());
+}
+
+TEST(Topology, CustomerHierarchyIsAcyclic) {
+  for (std::uint64_t seed : {3u, 4u, 5u}) {
+    acbm::stats::Rng rng(seed);
+    const Topology topo = generate_topology({}, rng);
+    EXPECT_TRUE(topo.graph.customer_hierarchy_acyclic());
+  }
+}
+
+TEST(Topology, Tier1FormsPeeringClique) {
+  acbm::stats::Rng rng(6);
+  const Topology topo = generate_topology({}, rng);
+  for (std::size_t i = 0; i < topo.tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < topo.tier1.size(); ++j) {
+      EXPECT_EQ(topo.graph.link_type(topo.tier1[i], topo.tier1[j]),
+                LinkType::kPeer);
+    }
+  }
+}
+
+TEST(Topology, Tier1HasNoProviders) {
+  acbm::stats::Rng rng(7);
+  const Topology topo = generate_topology({}, rng);
+  for (Asn t1 : topo.tier1) {
+    for (const Link& link : topo.graph.links(t1)) {
+      EXPECT_NE(link.type, LinkType::kProvider)
+          << "tier-1 AS " << t1 << " has a provider";
+    }
+  }
+}
+
+TEST(Topology, StubsHaveNoCustomers) {
+  acbm::stats::Rng rng(8);
+  const Topology topo = generate_topology({}, rng);
+  for (Asn stub : topo.stubs) {
+    for (const Link& link : topo.graph.links(stub)) {
+      EXPECT_NE(link.type, LinkType::kCustomer)
+          << "stub AS " << stub << " has a customer";
+    }
+  }
+}
+
+TEST(Topology, EveryNonTier1HasAProvider) {
+  acbm::stats::Rng rng(9);
+  const Topology topo = generate_topology({}, rng);
+  for (Asn asn : topo.graph.ases()) {
+    if (topo.tiers.at(asn) == Tier::kTier1) continue;
+    bool has_provider = false;
+    for (const Link& link : topo.graph.links(asn)) {
+      if (link.type == LinkType::kProvider) has_provider = true;
+    }
+    EXPECT_TRUE(has_provider) << "AS " << asn << " is unhomed";
+  }
+}
+
+TEST(Topology, DegreeDistributionIsHeavyTailed) {
+  acbm::stats::Rng rng(10);
+  TopologyOptions opts;
+  opts.num_stub = 300;
+  const Topology topo = generate_topology(opts, rng);
+  // Preferential attachment: max transit degree should far exceed median.
+  std::vector<std::size_t> degrees;
+  for (Asn asn : topo.transit) degrees.push_back(topo.graph.degree(asn));
+  std::sort(degrees.begin(), degrees.end());
+  EXPECT_GT(degrees.back(), 3 * degrees[degrees.size() / 2]);
+}
+
+TEST(Topology, CustomAsnStart) {
+  acbm::stats::Rng rng(11);
+  TopologyOptions opts;
+  opts.first_asn = 64512;
+  const Topology topo = generate_topology(opts, rng);
+  for (Asn asn : topo.graph.ases()) EXPECT_GE(asn, 64512u);
+}
+
+TEST(Topology, RejectsDegenerateOptions) {
+  acbm::stats::Rng rng(12);
+  TopologyOptions opts;
+  opts.num_tier1 = 1;
+  EXPECT_THROW((void)generate_topology(opts, rng), std::invalid_argument);
+  opts.num_tier1 = 4;
+  opts.max_stub_providers = 0;
+  EXPECT_THROW((void)generate_topology(opts, rng), std::invalid_argument);
+}
+
+// Invariant sweep across sizes and seeds: every generated topology must be
+// connected, customer-acyclic, with homed non-tier1 ASes.
+struct TopologyCase {
+  std::uint64_t seed;
+  std::size_t tier1;
+  std::size_t transit;
+  std::size_t stubs;
+};
+
+class TopologyInvariantSweep : public ::testing::TestWithParam<TopologyCase> {};
+
+TEST_P(TopologyInvariantSweep, StructuralInvariantsHold) {
+  const TopologyCase& c = GetParam();
+  acbm::stats::Rng rng(c.seed);
+  TopologyOptions opts;
+  opts.num_tier1 = c.tier1;
+  opts.num_transit = c.transit;
+  opts.num_stub = c.stubs;
+  const Topology topo = generate_topology(opts, rng);
+  EXPECT_EQ(topo.graph.as_count(), c.tier1 + c.transit + c.stubs);
+  EXPECT_TRUE(topo.graph.connected());
+  EXPECT_TRUE(topo.graph.customer_hierarchy_acyclic());
+  for (Asn asn : topo.graph.ases()) {
+    if (topo.tiers.at(asn) == Tier::kTier1) continue;
+    bool homed = false;
+    for (const Link& link : topo.graph.links(asn)) {
+      homed |= link.type == LinkType::kProvider;
+    }
+    EXPECT_TRUE(homed) << "AS " << asn;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, TopologyInvariantSweep,
+    ::testing::Values(TopologyCase{1, 2, 0, 5}, TopologyCase{2, 2, 1, 1},
+                      TopologyCase{3, 3, 8, 25}, TopologyCase{4, 6, 20, 80},
+                      TopologyCase{5, 10, 50, 200},
+                      TopologyCase{6, 4, 0, 40}));
+
+TEST(Topology, DeterministicForFixedSeed) {
+  acbm::stats::Rng rng_a(42);
+  acbm::stats::Rng rng_b(42);
+  const Topology a = generate_topology({}, rng_a);
+  const Topology b = generate_topology({}, rng_b);
+  ASSERT_EQ(a.graph.as_count(), b.graph.as_count());
+  ASSERT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  for (Asn asn : a.graph.ases()) {
+    for (const Link& link : a.graph.links(asn)) {
+      EXPECT_EQ(b.graph.link_type(asn, link.neighbor), link.type);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace acbm::net

@@ -1,0 +1,157 @@
+#include "nn/nar.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/grid_search.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/metrics.h"
+#include "stats/rng.h"
+
+namespace acbm::nn {
+namespace {
+
+NarOptions fast_options(std::size_t delays, std::size_t hidden,
+                        std::uint64_t seed) {
+  NarOptions opts;
+  opts.delays = delays;
+  opts.hidden_nodes = hidden;
+  opts.mlp.max_epochs = 300;
+  opts.mlp.seed = seed;
+  return opts;
+}
+
+TEST(NarModel, RejectsDegenerateOptions) {
+  NarOptions zero_delay;
+  zero_delay.delays = 0;
+  EXPECT_THROW(NarModel{zero_delay}, std::invalid_argument);
+  NarOptions zero_hidden;
+  zero_hidden.hidden_nodes = 0;
+  EXPECT_THROW(NarModel{zero_hidden}, std::invalid_argument);
+}
+
+TEST(NarModel, FitRejectsShortSeries) {
+  NarModel model(fast_options(5, 4, 1));
+  EXPECT_THROW(model.fit(std::vector<double>{1.0, 2.0, 3.0}),
+               std::invalid_argument);
+}
+
+TEST(NarModel, UnfittedUseThrows) {
+  NarModel model(fast_options(2, 4, 1));
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)model.forecast_one(xs), std::logic_error);
+  EXPECT_THROW((void)model.forecast(xs, 2), std::logic_error);
+  EXPECT_THROW((void)model.one_step_predictions(xs, 2), std::logic_error);
+}
+
+TEST(NarModel, LearnsDeterministicNonlinearRecurrence) {
+  // x_{t+1} = 1 - 1.4 x_t^2 + 0.3 x_{t-1} (Henon map) — strongly nonlinear;
+  // a linear AR cannot track it but a NAR should.
+  std::vector<double> xs{0.1, 0.1};
+  for (int t = 2; t < 500; ++t) {
+    xs.push_back(1.0 - 1.4 * xs[t - 1] * xs[t - 1] + 0.3 * xs[t - 2]);
+  }
+  NarModel model(fast_options(2, 12, 5));
+  model.fit(xs);
+  const std::size_t start = 400;
+  const std::vector<double> preds = model.one_step_predictions(xs, start);
+  const std::vector<double> truth(xs.begin() + start, xs.end());
+  const double nar_rmse = acbm::stats::rmse(truth, preds);
+  // Mean baseline for comparison.
+  std::vector<double> mean_pred(truth.size(), acbm::stats::mean(xs));
+  EXPECT_LT(nar_rmse, 0.3 * acbm::stats::rmse(truth, mean_pred));
+}
+
+TEST(NarModel, OneStepPredictionsUseTrueHistory) {
+  std::vector<double> xs;
+  for (int t = 0; t < 200; ++t) xs.push_back(std::sin(t * 0.2));
+  NarModel model(fast_options(3, 8, 9));
+  model.fit(xs);
+  const std::vector<double> preds = model.one_step_predictions(xs, 150);
+  EXPECT_EQ(preds.size(), 50u);
+  const std::vector<double> truth(xs.begin() + 150, xs.end());
+  EXPECT_LT(acbm::stats::rmse(truth, preds), 0.2);
+}
+
+TEST(NarModel, ClosedLoopForecastStaysBoundedOnPeriodicSignal) {
+  std::vector<double> xs;
+  for (int t = 0; t < 300; ++t) xs.push_back(std::sin(t * 0.3));
+  NarModel model(fast_options(4, 10, 21));
+  model.fit(xs);
+  const std::vector<double> f = model.forecast(xs, 30);
+  EXPECT_EQ(f.size(), 30u);
+  for (double v : f) {
+    EXPECT_GT(v, -2.0);
+    EXPECT_LT(v, 2.0);
+  }
+}
+
+TEST(NarModel, ForecastOneMatchesForecastHead) {
+  std::vector<double> xs;
+  for (int t = 0; t < 120; ++t) xs.push_back(std::cos(t * 0.25));
+  NarModel model(fast_options(2, 6, 23));
+  model.fit(xs);
+  EXPECT_DOUBLE_EQ(model.forecast_one(xs), model.forecast(xs, 4).front());
+}
+
+TEST(NarModel, BadStartThrows) {
+  std::vector<double> xs(50, 1.0);
+  for (int t = 0; t < 50; ++t) xs[t] = std::sin(t * 0.5);
+  NarModel model(fast_options(3, 4, 25));
+  model.fit(xs);
+  EXPECT_THROW((void)model.one_step_predictions(xs, 2), std::invalid_argument);
+  EXPECT_THROW((void)model.one_step_predictions(xs, 51), std::invalid_argument);
+}
+
+TEST(NarGridSearch, PicksAWorkingConfiguration) {
+  std::vector<double> xs;
+  for (int t = 0; t < 260; ++t) xs.push_back(std::sin(t * 0.2) + 0.1 * std::sin(t));
+  NarGridOptions opts;
+  opts.delay_grid = {1, 2, 4};
+  opts.hidden_grid = {2, 6};
+  opts.mlp.max_epochs = 150;
+  opts.mlp.seed = 31;
+  const auto result = nar_grid_search(xs, opts);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->model.fitted());
+  EXPECT_GT(result->validation_rmse, 0.0);
+  // Winner must be a grid member.
+  EXPECT_TRUE(result->delays == 1 || result->delays == 2 || result->delays == 4);
+  EXPECT_TRUE(result->hidden_nodes == 2 || result->hidden_nodes == 6);
+}
+
+TEST(NarGridSearch, ReturnsNulloptWhenNothingFits) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  NarGridOptions opts;
+  opts.delay_grid = {10};
+  opts.hidden_grid = {4};
+  EXPECT_FALSE(nar_grid_search(xs, opts).has_value());
+}
+
+TEST(NarGridSearch, RejectsBadValidationFraction) {
+  const std::vector<double> xs(50, 1.0);
+  NarGridOptions opts;
+  opts.validation_fraction = 0.0;
+  EXPECT_THROW((void)nar_grid_search(xs, opts), std::invalid_argument);
+}
+
+TEST(NarGridSearch, LongerDelaysWinOnLongMemorySignal) {
+  // Period-8 square wave: a 1-delay model cannot disambiguate, longer can.
+  std::vector<double> xs;
+  for (int t = 0; t < 400; ++t) xs.push_back((t / 4) % 2 == 0 ? 1.0 : -1.0);
+  NarGridOptions opts;
+  opts.delay_grid = {1, 8};
+  opts.hidden_grid = {8};
+  opts.mlp.max_epochs = 250;
+  opts.mlp.seed = 37;
+  const auto result = nar_grid_search(xs, opts);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->delays, 8u);
+}
+
+}  // namespace
+}  // namespace acbm::nn

@@ -1,0 +1,111 @@
+#include "sdnsim/middlebox.h"
+
+#include <gtest/gtest.h>
+
+namespace acbm::sdnsim {
+namespace {
+
+MinuteTraffic make_traffic(double attack, double benign) {
+  MinuteTraffic t;
+  if (attack > 0.0) t.attack[100] = attack;
+  if (benign > 0.0) t.benign[200] = benign;
+  return t;
+}
+
+TEST(ProcessMinute, FirewallFirstDropsMostAttackTraffic) {
+  const MinuteTraffic t = make_traffic(100.0, 100.0);
+  const ChainOutcome out = process_minute(t, ChainOrder::kFirewallFirst, {});
+  // Default spec: 95% of inspected attack dropped, capacity 600 suffices.
+  EXPECT_NEAR(out.attack_delivered, 5.0, 1e-9);
+  EXPECT_NEAR(out.attack_dropped, 95.0, 1e-9);
+  EXPECT_NEAR(out.benign_dropped, 2.0, 1e-9);  // 2% false positives.
+}
+
+TEST(ProcessMinute, LoadBalancerFirstLetsUnflaggedAttackThrough) {
+  const MinuteTraffic t = make_traffic(100.0, 100.0);
+  const ChainOutcome lb = process_minute(t, ChainOrder::kLoadBalancerFirst, {});
+  const ChainOutcome fw = process_minute(t, ChainOrder::kFirewallFirst, {});
+  // Only 55% of attack traffic is flagged to the firewall in LB-first mode.
+  EXPECT_GT(lb.attack_delivered, fw.attack_delivered);
+  EXPECT_NEAR(lb.attack_delivered, 100.0 - 55.0 * 0.95, 1e-9);
+  // But benign false positives are also lower.
+  EXPECT_LT(lb.benign_dropped, fw.benign_dropped);
+}
+
+TEST(ProcessMinute, FirewallOverloadFailsOpen) {
+  MiddleboxSpec spec;
+  spec.firewall_capacity = 100.0;
+  const MinuteTraffic t = make_traffic(500.0, 500.0);
+  const ChainOutcome out = process_minute(t, ChainOrder::kFirewallFirst, spec);
+  // Only 100 of 1000 units inspected; the rest passes raw.
+  EXPECT_NEAR(out.inspected, 100.0, 1e-9);
+  EXPECT_NEAR(out.attack_dropped, 50.0 * 0.95, 1e-9);
+  EXPECT_GT(out.attack_delivered, 400.0);
+}
+
+TEST(ProcessMinute, EmptyTrafficIsNoop) {
+  const ChainOutcome out =
+      process_minute(MinuteTraffic{}, ChainOrder::kFirewallFirst, {});
+  EXPECT_DOUBLE_EQ(out.attack_delivered, 0.0);
+  EXPECT_DOUBLE_EQ(out.benign_delivered, 0.0);
+  EXPECT_DOUBLE_EQ(out.inspected, 0.0);
+}
+
+TEST(ProcessMinute, ConservationOfTraffic) {
+  const MinuteTraffic t = make_traffic(321.0, 456.0);
+  for (ChainOrder order :
+       {ChainOrder::kFirewallFirst, ChainOrder::kLoadBalancerFirst}) {
+    const ChainOutcome out = process_minute(t, order, {});
+    EXPECT_NEAR(out.attack_delivered + out.attack_dropped, 321.0, 1e-9);
+    EXPECT_NEAR(out.benign_delivered + out.benign_dropped, 456.0, 1e-9);
+  }
+}
+
+TEST(ProcessWithDiversion, DivertedAsIsScrubbed) {
+  MinuteTraffic t;
+  t.attack[100] = 80.0;
+  t.attack[101] = 20.0;
+  t.benign[100] = 10.0;
+  const ScrubOutcome out = process_with_diversion(t, {100}, {});
+  // AS 100's attack scrubbed at 98%; AS 101 passes untouched.
+  EXPECT_NEAR(out.attack_scrubbed, 80.0 * 0.98, 1e-9);
+  EXPECT_NEAR(out.attack_delivered, 80.0 * 0.02 + 20.0, 1e-9);
+  EXPECT_NEAR(out.diverted, 90.0, 1e-9);
+  // Benign through the scrubber loses 1%.
+  EXPECT_NEAR(out.benign_dropped, 0.1, 1e-9);
+}
+
+TEST(ProcessWithDiversion, NoRulesMeansDirectDelivery) {
+  MinuteTraffic t;
+  t.attack[100] = 50.0;
+  t.benign[200] = 70.0;
+  const ScrubOutcome out = process_with_diversion(t, {}, {});
+  EXPECT_DOUBLE_EQ(out.attack_delivered, 50.0);
+  EXPECT_DOUBLE_EQ(out.benign_delivered, 70.0);
+  EXPECT_DOUBLE_EQ(out.diverted, 0.0);
+}
+
+TEST(ProcessWithDiversion, ScrubberOverloadPassesRawTraffic) {
+  ScrubberSpec spec;
+  spec.capacity = 50.0;
+  MinuteTraffic t;
+  t.attack[100] = 100.0;
+  const ScrubOutcome out = process_with_diversion(t, {100}, spec);
+  // Half cleaned (49 removed of 50), half raw.
+  EXPECT_NEAR(out.attack_scrubbed, 50.0 * 0.98, 1e-9);
+  EXPECT_NEAR(out.attack_delivered, 50.0 * 0.02 + 50.0, 1e-9);
+}
+
+TEST(ProcessWithDiversion, ConservationOfTraffic) {
+  MinuteTraffic t;
+  t.attack[100] = 123.0;
+  t.attack[101] = 45.0;
+  t.benign[100] = 67.0;
+  t.benign[200] = 89.0;
+  const ScrubOutcome out = process_with_diversion(t, {100, 101}, {});
+  EXPECT_NEAR(out.attack_delivered + out.attack_scrubbed, 168.0, 1e-9);
+  EXPECT_NEAR(out.benign_delivered + out.benign_dropped, 156.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace acbm::sdnsim

@@ -1,0 +1,108 @@
+#include "sdnsim/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace acbm::sdnsim {
+namespace {
+
+MinuteTraffic quiet_minute() {
+  MinuteTraffic t;
+  t.benign[1] = 50.0;
+  t.benign[2] = 50.0;
+  return t;
+}
+
+MinuteTraffic attack_minute(double attack_rate) {
+  MinuteTraffic t = quiet_minute();
+  t.attack[9] = attack_rate;
+  return t;
+}
+
+std::unordered_map<net::Asn, double> baseline() {
+  return {{1, 50.0}, {2, 50.0}};
+}
+
+TEST(StaticPolicy, NeverChanges) {
+  StaticPolicy peacetime(ChainOrder::kLoadBalancerFirst, "lb");
+  StaticPolicy hardened(ChainOrder::kFirewallFirst, "fw");
+  for (int m = 0; m < 10; ++m) {
+    EXPECT_EQ(peacetime.decide(m * 60, attack_minute(1000.0)).order,
+              ChainOrder::kLoadBalancerFirst);
+    EXPECT_EQ(hardened.decide(m * 60, quiet_minute()).order,
+              ChainOrder::kFirewallFirst);
+  }
+}
+
+TEST(ReactivePolicy, HardensAfterDetectionDelay) {
+  ReactiveOptions opts;
+  opts.detection_delay_min = 3;
+  ReactivePolicy policy(baseline(), opts);
+  // Quiet minutes keep the peacetime order.
+  EXPECT_EQ(policy.decide(0, quiet_minute()).order,
+            ChainOrder::kLoadBalancerFirst);
+  // Attack observed but not yet for `delay` minutes.
+  EXPECT_EQ(policy.decide(60, attack_minute(500.0)).order,
+            ChainOrder::kLoadBalancerFirst);
+  EXPECT_EQ(policy.decide(120, attack_minute(500.0)).order,
+            ChainOrder::kLoadBalancerFirst);
+  // Third anomalous observation: harden and install a rule for AS 9.
+  const PolicyDecision d = policy.decide(180, attack_minute(500.0));
+  EXPECT_EQ(d.order, ChainOrder::kFirewallFirst);
+  ASSERT_FALSE(d.diverted.empty());
+  EXPECT_EQ(d.diverted.front(), 9u);
+}
+
+TEST(ReactivePolicy, RevertsAfterCooldown) {
+  ReactiveOptions opts;
+  opts.detection_delay_min = 1;
+  opts.cooldown_min = 2;
+  ReactivePolicy policy(baseline(), opts);
+  (void)policy.decide(0, attack_minute(500.0));
+  EXPECT_EQ(policy.decide(60, attack_minute(500.0)).order,
+            ChainOrder::kFirewallFirst);
+  // Attack over: two quiet minutes later the order reverts.
+  (void)policy.decide(120, quiet_minute());
+  const PolicyDecision d = policy.decide(180, quiet_minute());
+  EXPECT_EQ(d.order, ChainOrder::kLoadBalancerFirst);
+  EXPECT_TRUE(d.diverted.empty());
+}
+
+TEST(ReactivePolicy, DoesNotDivertBaselineAses) {
+  ReactiveOptions opts;
+  opts.detection_delay_min = 1;
+  ReactivePolicy policy(baseline(), opts);
+  const PolicyDecision d = policy.decide(0, attack_minute(500.0));
+  for (net::Asn asn : d.diverted) {
+    EXPECT_NE(asn, 1u);
+    EXPECT_NE(asn, 2u);
+  }
+}
+
+TEST(PredictivePolicy, HardensOnlyInsideWindows) {
+  PredictivePolicy policy({{1000, 2000, {42}}, {5000, 6000, {43, 44}}});
+  EXPECT_EQ(policy.decide(500, quiet_minute()).order,
+            ChainOrder::kLoadBalancerFirst);
+  const PolicyDecision in1 = policy.decide(1500, quiet_minute());
+  EXPECT_EQ(in1.order, ChainOrder::kFirewallFirst);
+  EXPECT_EQ(in1.diverted, std::vector<net::Asn>{42});
+  EXPECT_EQ(policy.decide(3000, quiet_minute()).order,
+            ChainOrder::kLoadBalancerFirst);
+  const PolicyDecision in2 = policy.decide(5500, quiet_minute());
+  EXPECT_EQ(in2.order, ChainOrder::kFirewallFirst);
+  EXPECT_EQ(in2.diverted.size(), 2u);
+}
+
+TEST(PredictivePolicy, OverlappingWindowsUnionRules) {
+  PredictivePolicy policy({{0, 100, {1}}, {50, 150, {2}}});
+  const PolicyDecision d = policy.decide(60, quiet_minute());
+  EXPECT_EQ(d.diverted.size(), 2u);
+}
+
+TEST(PredictivePolicy, EmptyScheduleNeverHardens) {
+  PredictivePolicy policy({});
+  EXPECT_EQ(policy.decide(0, attack_minute(9999.0)).order,
+            ChainOrder::kLoadBalancerFirst);
+}
+
+}  // namespace
+}  // namespace acbm::sdnsim

@@ -1,0 +1,134 @@
+#include "sdnsim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/features.h"
+#include "trace/world.h"
+
+namespace acbm::sdnsim {
+namespace {
+
+struct Fixture {
+  trace::World world = trace::build_world(trace::small_world_options(19));
+  net::Asn target;
+  TargetTrafficModel traffic;
+  trace::EpochSeconds sim_start;
+  std::size_t sim_minutes = 2 * 24 * 60;  // Two days.
+
+  Fixture()
+      : target(world.dataset.target_asns().front()),
+        traffic(world.dataset, world.ip_map, target, {}) {
+    // Simulate over a window that contains attacks: start mid-trace.
+    sim_start = world.dataset.window_start() + 20 * 86400;
+  }
+};
+
+TEST(Simulate, AlwaysHardenedBlocksMostAttackTraffic) {
+  Fixture fx;
+  StaticPolicy policy(ChainOrder::kFirewallFirst, "fw");
+  const SimulationReport report =
+      simulate(fx.traffic, policy, fx.sim_start, fx.sim_minutes);
+  ASSERT_GT(report.attack_total, 0.0) << "window contains no attacks";
+  EXPECT_GT(report.attack_blocked_fraction(), 0.6);
+  EXPECT_DOUBLE_EQ(report.hardened_fraction(), 1.0);
+  EXPECT_EQ(report.order_switches, 0u);
+}
+
+TEST(Simulate, PeacetimeOrderBlocksLess) {
+  Fixture fx;
+  StaticPolicy fw(ChainOrder::kFirewallFirst, "fw");
+  StaticPolicy lb(ChainOrder::kLoadBalancerFirst, "lb");
+  const SimulationReport hard =
+      simulate(fx.traffic, fw, fx.sim_start, fx.sim_minutes);
+  const SimulationReport soft =
+      simulate(fx.traffic, lb, fx.sim_start, fx.sim_minutes);
+  EXPECT_GT(hard.attack_blocked_fraction(), soft.attack_blocked_fraction());
+  // But the peacetime order has lower benign loss.
+  EXPECT_LT(soft.benign_loss_fraction(), hard.benign_loss_fraction());
+}
+
+TEST(Simulate, TrafficConservation) {
+  Fixture fx;
+  StaticPolicy policy(ChainOrder::kFirewallFirst, "fw");
+  const SimulationReport report =
+      simulate(fx.traffic, policy, fx.sim_start, fx.sim_minutes);
+  EXPECT_NEAR(report.benign_delivered + report.benign_dropped,
+              report.benign_total, report.benign_total * 1e-9 + 1e-6);
+  EXPECT_LE(report.attack_delivered, report.attack_total + 1e-6);
+  EXPECT_DOUBLE_EQ(report.total_minutes,
+                   static_cast<double>(fx.sim_minutes));
+}
+
+TEST(Simulate, ReactivePolicyHardensDuringAttacks) {
+  Fixture fx;
+  ReactivePolicy policy({});  // Unknown baseline: everything anomalous once
+                              // traffic exceeds 0 — still exercises the path.
+  const SimulationReport report =
+      simulate(fx.traffic, policy, fx.sim_start, fx.sim_minutes);
+  EXPECT_GT(report.hardened_minutes, 0.0);
+  EXPECT_GT(report.order_switches, 0u);
+}
+
+TEST(Simulate, PredictiveWindowCutsHardenedTime) {
+  Fixture fx;
+  // A schedule covering only one six-hour window.
+  PredictivePolicy policy(
+      {{fx.sim_start + 3600, fx.sim_start + 3600 + 6 * 3600, {}}});
+  const SimulationReport report =
+      simulate(fx.traffic, policy, fx.sim_start, fx.sim_minutes);
+  EXPECT_NEAR(report.hardened_minutes, 6.0 * 60.0, 1.0);
+  EXPECT_LT(report.hardened_fraction(), 0.2);
+  EXPECT_EQ(report.order_switches, 2u);  // In and out.
+}
+
+TEST(Simulate, DiversionRulesReduceDeliveredAttackTraffic) {
+  Fixture fx;
+  // Rules for the target's dominant source ASes, pre-installed all day.
+  const auto indices = fx.world.dataset.attacks_on_asn(fx.target);
+  std::unordered_map<net::Asn, double> totals;
+  for (std::size_t idx : indices) {
+    for (const auto& [asn, share] : core::source_asn_distribution(
+             fx.world.dataset.attacks()[idx], fx.world.ip_map)) {
+      totals[asn] += share;
+    }
+  }
+  std::vector<std::pair<net::Asn, double>> ranked(totals.begin(), totals.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<net::Asn> rules;
+  for (std::size_t i = 0; i < ranked.size() && i < 12; ++i) {
+    rules.push_back(ranked[i].first);
+  }
+
+  PredictivePolicy with_rules(
+      {{fx.sim_start, fx.sim_start + static_cast<trace::EpochSeconds>(
+                                         fx.sim_minutes) * 60, rules}});
+  PredictivePolicy without_rules(
+      {{fx.sim_start, fx.sim_start + static_cast<trace::EpochSeconds>(
+                                         fx.sim_minutes) * 60, {}}});
+  const SimulationReport blocked =
+      simulate(fx.traffic, with_rules, fx.sim_start, fx.sim_minutes);
+  const SimulationReport open =
+      simulate(fx.traffic, without_rules, fx.sim_start, fx.sim_minutes);
+  ASSERT_GT(open.attack_total, 0.0);
+  EXPECT_LT(blocked.attack_delivered, 0.5 * open.attack_delivered);
+}
+
+TEST(Simulate, OrderSwitchCausesInterruptionLoss) {
+  Fixture fx;
+  // Quiet window (before the trace): only benign traffic flows.
+  const trace::EpochSeconds quiet = fx.world.dataset.window_start() - 7 * 86400;
+  StaticPolicy steady(ChainOrder::kLoadBalancerFirst, "lb");
+  PredictivePolicy flappy({{quiet + 600, quiet + 1200, {}},
+                           {quiet + 1800, quiet + 2400, {}}});
+  const SimulationReport a = simulate(fx.traffic, steady, quiet, 60);
+  const SimulationReport b = simulate(fx.traffic, flappy, quiet, 60);
+  EXPECT_EQ(a.order_switches, 0u);
+  EXPECT_EQ(b.order_switches, 4u);
+  EXPECT_GT(b.benign_dropped, a.benign_dropped);
+}
+
+}  // namespace
+}  // namespace acbm::sdnsim

@@ -1,0 +1,96 @@
+#include "sdnsim/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/features.h"
+#include "trace/world.h"
+
+namespace acbm::sdnsim {
+namespace {
+
+struct Fixture {
+  trace::World world = trace::build_world(trace::small_world_options(13));
+  net::Asn target;
+  TargetTrafficModel model;
+
+  Fixture()
+      : target(world.dataset.target_asns().front()),
+        model(world.dataset, world.ip_map, target, {}) {}
+};
+
+TEST(TargetTrafficModel, QuietMinuteHasOnlyBenignTraffic) {
+  Fixture fx;
+  // One hour before the observation window starts: no attacks yet.
+  const MinuteTraffic t = fx.model.minute(fx.world.dataset.window_start() - 3600);
+  EXPECT_DOUBLE_EQ(t.total_attack(), 0.0);
+  EXPECT_GT(t.total_benign(), 0.0);
+}
+
+TEST(TargetTrafficModel, AttackMinutesCarryAttackTraffic) {
+  Fixture fx;
+  const auto indices = fx.world.dataset.attacks_on_asn(fx.target);
+  ASSERT_FALSE(indices.empty());
+  const trace::Attack& attack = fx.world.dataset.attacks()[indices.front()];
+  // A minute fully inside the attack.
+  const trace::EpochSeconds mid =
+      attack.start + static_cast<trace::EpochSeconds>(attack.duration_s / 2);
+  const MinuteTraffic t = fx.model.minute(mid - mid % 60);
+  EXPECT_GT(t.total_attack(), 0.0);
+}
+
+TEST(TargetTrafficModel, AttackRateMatchesMagnitude) {
+  Fixture fx;
+  const auto indices = fx.world.dataset.attacks_on_asn(fx.target);
+  const trace::Attack& attack = fx.world.dataset.attacks()[indices.front()];
+  // Pick a minute covered only by this attack (its very first minute,
+  // assuming no overlap — verify and skip otherwise).
+  const trace::EpochSeconds minute = attack.start - attack.start % 60 + 60;
+  const auto overlapping = fx.model.attacks_overlapping(minute, minute + 60);
+  if (overlapping.size() != 1) GTEST_SKIP() << "overlapping attacks";
+  const MinuteTraffic t = fx.model.minute(minute);
+  // rate_per_bot = 1.0: total attack units == bots with mapped ASes.
+  EXPECT_NEAR(t.total_attack(), static_cast<double>(attack.magnitude()), 1.0);
+}
+
+TEST(TargetTrafficModel, BenignTrafficFollowsDiurnalCycle) {
+  Fixture fx;
+  const trace::EpochSeconds base = fx.world.dataset.window_start() - 86400;
+  const MinuteTraffic afternoon = fx.model.minute(base + 14 * 3600);
+  const MinuteTraffic night = fx.model.minute(base + 2 * 3600);
+  EXPECT_GT(afternoon.total_benign(), night.total_benign());
+}
+
+TEST(TargetTrafficModel, AttacksOverlappingFindsKnownAttacks) {
+  Fixture fx;
+  const auto indices = fx.world.dataset.attacks_on_asn(fx.target);
+  const trace::Attack& attack = fx.world.dataset.attacks()[indices.front()];
+  const auto found = fx.model.attacks_overlapping(attack.start, attack.end());
+  EXPECT_FALSE(found.empty());
+  bool contains = false;
+  for (std::size_t idx : found) contains |= idx == indices.front();
+  EXPECT_TRUE(contains);
+  EXPECT_TRUE(fx.model
+                  .attacks_overlapping(fx.world.dataset.window_start() - 7200,
+                                       fx.world.dataset.window_start() - 3600)
+                  .empty());
+}
+
+TEST(TargetTrafficModel, BenignSourcesIncludeBotAses) {
+  // Filtering realism: some benign traffic must come from the same ASes
+  // that host bots, so blanket AS filters have measurable collateral.
+  Fixture fx;
+  const MinuteTraffic t = fx.model.minute(fx.world.dataset.window_start());
+  const auto indices = fx.world.dataset.attacks_on_asn(fx.target);
+  std::size_t shared = 0;
+  for (std::size_t idx : indices) {
+    for (const auto& [asn, share] : core::source_asn_distribution(
+             fx.world.dataset.attacks()[idx], fx.world.ip_map)) {
+      if (t.benign.contains(asn)) ++shared;
+    }
+    if (shared > 0) break;
+  }
+  EXPECT_GT(shared, 0u);
+}
+
+}  // namespace
+}  // namespace acbm::sdnsim

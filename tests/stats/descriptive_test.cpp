@@ -1,0 +1,144 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace acbm::stats {
+namespace {
+
+const std::vector<double> kSample{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+
+TEST(Descriptive, Mean) {
+  EXPECT_DOUBLE_EQ(mean(kSample), 5.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Descriptive, VarianceSampleVsPopulation) {
+  // Known example: population variance 4, sample variance 32/7.
+  EXPECT_DOUBLE_EQ(population_variance(kSample), 4.0);
+  EXPECT_NEAR(variance(kSample), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Descriptive, StddevIsSqrtVariance) {
+  EXPECT_DOUBLE_EQ(stddev(kSample), std::sqrt(32.0 / 7.0));
+}
+
+TEST(Descriptive, VarianceOfSinglePointIsZero) {
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(Descriptive, CoefficientOfVariation) {
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(kSample),
+                   std::sqrt(32.0 / 7.0) / 5.0);
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(std::vector<double>{0.0, 0.0}), 0.0);
+}
+
+TEST(Descriptive, CvIsScaleInvariant) {
+  // CV(c * X) == CV(X) for c > 0 — this is why Table I uses it to compare
+  // families with wildly different attack volumes.
+  std::vector<double> scaled;
+  for (double x : kSample) scaled.push_back(100.0 * x);
+  EXPECT_NEAR(coefficient_of_variation(scaled),
+              coefficient_of_variation(kSample), 1e-12);
+}
+
+TEST(Descriptive, MinMax) {
+  EXPECT_DOUBLE_EQ(min_value(kSample), 2.0);
+  EXPECT_DOUBLE_EQ(max_value(kSample), 9.0);
+  EXPECT_THROW((void)min_value(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Descriptive, MedianAndQuantiles) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0}, 0.0),
+                   1.0);
+  EXPECT_DOUBLE_EQ(quantile(std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0}, 1.0),
+                   5.0);
+  EXPECT_DOUBLE_EQ(quantile(std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0}, 0.25),
+                   2.0);
+}
+
+TEST(Descriptive, QuantileRejectsBadInput) {
+  EXPECT_THROW((void)quantile(std::vector<double>{}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile(kSample, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)quantile(kSample, 1.1), std::invalid_argument);
+}
+
+TEST(Descriptive, SkewnessSignDetectsAsymmetry) {
+  EXPECT_GT(skewness(std::vector<double>{1, 1, 1, 1, 10}), 0.0);
+  EXPECT_LT(skewness(std::vector<double>{-10, 1, 1, 1, 1}), 0.0);
+  EXPECT_NEAR(skewness(std::vector<double>{-1, 0, 1}), 0.0, 1e-12);
+}
+
+TEST(Descriptive, AutocorrelationLagZeroIsOne) {
+  EXPECT_DOUBLE_EQ(autocorrelation(kSample, 0), 1.0);
+}
+
+TEST(Descriptive, AutocorrelationOfAlternatingSeriesIsNegative) {
+  std::vector<double> alt;
+  for (int i = 0; i < 50; ++i) alt.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_LT(autocorrelation(alt, 1), -0.9);
+}
+
+TEST(Descriptive, AutocorrelationConstantSeriesIsZero) {
+  std::vector<double> c(20, 3.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(c, 1), 0.0);
+}
+
+TEST(Descriptive, AcfVectorShape) {
+  const std::vector<double> a = acf(kSample, 3);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+}
+
+TEST(Descriptive, PearsonCorrelationPerfectlyLinear) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  std::vector<double> ys{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson_correlation(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Descriptive, PearsonCorrelationMismatchThrows) {
+  EXPECT_THROW(
+      (void)pearson_correlation(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}),
+      std::invalid_argument);
+}
+
+TEST(Descriptive, ZScoreRoundTrips) {
+  const ZScore z = fit_zscore(kSample);
+  for (double x : kSample) {
+    EXPECT_NEAR(z.inverse(z.transform(x)), x, 1e-12);
+  }
+  EXPECT_NEAR(z.transform(z.mean), 0.0, 1e-12);
+}
+
+TEST(Descriptive, ZScoreOnConstantSeriesStaysFinite) {
+  const ZScore z = fit_zscore(std::vector<double>{5.0, 5.0, 5.0});
+  EXPECT_TRUE(std::isfinite(z.transform(5.0)));
+  EXPECT_TRUE(std::isfinite(z.transform(100.0)));
+}
+
+// Property: AR(1) series with positive coefficient has positive lag-1 ACF.
+class AcfProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AcfProperty, Ar1SeriesHasPositiveLag1Autocorrelation) {
+  Rng rng(GetParam());
+  std::vector<double> xs{0.0};
+  for (int t = 1; t < 400; ++t) {
+    xs.push_back(0.7 * xs.back() + rng.normal());
+  }
+  EXPECT_GT(autocorrelation(xs, 1), 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AcfProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace acbm::stats

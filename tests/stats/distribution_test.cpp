@@ -1,0 +1,121 @@
+#include "stats/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace acbm::stats {
+namespace {
+
+TEST(EmpiricalCdf, BasicSteps) {
+  EmpiricalCdf cdf(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.cdf(99.0), 1.0);
+}
+
+TEST(EmpiricalCdf, EmptySampleThrows) {
+  EXPECT_THROW(EmpiricalCdf(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, QuantileInvertsCdf) {
+  EmpiricalCdf cdf(std::vector<double>{10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 40.0);
+  EXPECT_THROW((void)cdf.quantile(0.0), std::invalid_argument);
+  EXPECT_THROW((void)cdf.quantile(1.5), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, CdfIsMonotone) {
+  Rng rng(5);
+  std::vector<double> sample(200);
+  for (double& v : sample) v = rng.normal();
+  EmpiricalCdf cdf(sample);
+  double prev = 0.0;
+  for (double x = -4.0; x <= 4.0; x += 0.1) {
+    const double cur = cdf.cdf(x);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.9);    // bin 4
+  h.add(-5.0);   // clamps to bin 0
+  h.add(15.0);   // clamps to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, FrequenciesSumToOne) {
+  Histogram h(0.0, 1.0, 10);
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) h.add(rng.uniform());
+  const auto f = h.frequencies();
+  double sum = 0.0;
+  for (double v : f) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, EmptyFrequenciesAreZero) {
+  Histogram h(0.0, 1.0, 4);
+  for (double v : h.frequencies()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Histogram, BinCenter) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+  EXPECT_THROW((void)h.bin_center(5), std::out_of_range);
+}
+
+TEST(Distances, L1DistanceKnownValue) {
+  std::vector<double> p{0.5, 0.5};
+  std::vector<double> q{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(l1_distance(p, q), 1.0);
+  EXPECT_DOUBLE_EQ(l1_distance(p, p), 0.0);
+  EXPECT_THROW((void)l1_distance(p, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Entropy, UniformIsMaximal) {
+  const double h_uniform = entropy(std::vector<double>{0.25, 0.25, 0.25, 0.25});
+  EXPECT_NEAR(h_uniform, std::log(4.0), 1e-12);
+  const double h_skewed = entropy(std::vector<double>{0.97, 0.01, 0.01, 0.01});
+  EXPECT_LT(h_skewed, h_uniform);
+}
+
+TEST(Entropy, DegenerateIsZero) {
+  EXPECT_DOUBLE_EQ(entropy(std::vector<double>{1.0, 0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(entropy(std::vector<double>{}), 0.0);
+}
+
+TEST(Entropy, UnnormalizedInputMatchesNormalized) {
+  const double a = entropy(std::vector<double>{2.0, 6.0, 2.0});
+  const double b = entropy(std::vector<double>{0.2, 0.6, 0.2});
+  EXPECT_NEAR(a, b, 1e-12);
+}
+
+TEST(Entropy, NegativeFrequencyThrows) {
+  EXPECT_THROW((void)entropy(std::vector<double>{0.5, -0.5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acbm::stats

@@ -1,0 +1,116 @@
+#include "stats/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/silhouette.h"
+
+namespace acbm::stats {
+namespace {
+
+// Three well-separated 2-D blobs of 30 points each.
+Matrix blobs(Rng& rng, std::vector<std::size_t>* truth = nullptr) {
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {5.0, 12.0}};
+  Matrix data(90, 2);
+  for (std::size_t i = 0; i < 90; ++i) {
+    const std::size_t blob = i / 30;
+    data(i, 0) = centers[blob][0] + rng.normal(0.0, 0.5);
+    data(i, 1) = centers[blob][1] + rng.normal(0.0, 0.5);
+    if (truth) truth->push_back(blob);
+  }
+  return data;
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+  Rng rng(3);
+  std::vector<std::size_t> truth;
+  const Matrix data = blobs(rng, &truth);
+  const KMeansResult result = kmeans(data, {.k = 3}, rng);
+  EXPECT_EQ(result.labels.size(), 90u);
+  EXPECT_GT(cluster_purity(result.labels, truth), 0.99);
+  // Silhouette on a clean 3-blob clustering should be high.
+  const auto distance = [&](std::size_t a, std::size_t b) {
+    const double dx = data(a, 0) - data(b, 0);
+    const double dy = data(a, 1) - data(b, 1);
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  EXPECT_GT(silhouette_score(result.labels, distance), 0.7);
+}
+
+TEST(KMeans, InertiaDecreasesWithK) {
+  Rng rng(5);
+  const Matrix data = blobs(rng);
+  double prev = 1e18;
+  for (std::size_t k : {1u, 2u, 3u, 5u}) {
+    const KMeansResult result = kmeans(data, {.k = k, .restarts = 6}, rng);
+    EXPECT_LT(result.inertia, prev + 1e-9) << "k=" << k;
+    prev = result.inertia;
+  }
+}
+
+TEST(KMeans, KEqualsNGivesZeroInertia) {
+  Rng rng(7);
+  Matrix data(5, 1);
+  for (std::size_t i = 0; i < 5; ++i) data(i, 0) = static_cast<double>(i * i);
+  const KMeansResult result = kmeans(data, {.k = 5, .restarts = 8}, rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeans, HandlesDuplicatePointsWithEmptyClusterReseed) {
+  // 6 identical points with k = 3: two clusters start empty and must be
+  // re-seeded without crashing; inertia ends at zero regardless.
+  Rng rng(13);
+  Matrix data(6, 2, 4.2);
+  const KMeansResult result = kmeans(data, {.k = 3, .restarts = 2}, rng);
+  EXPECT_EQ(result.labels.size(), 6u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, RejectsBadInput) {
+  Rng rng(9);
+  EXPECT_THROW((void)kmeans(Matrix(), {.k = 2}, rng), std::invalid_argument);
+  Matrix tiny(2, 1, 1.0);
+  EXPECT_THROW((void)kmeans(tiny, {.k = 0}, rng), std::invalid_argument);
+  EXPECT_THROW((void)kmeans(tiny, {.k = 3}, rng), std::invalid_argument);
+}
+
+TEST(KMeans, DeterministicGivenRngState) {
+  Rng rng_a(11);
+  Rng rng_b(11);
+  const Matrix data_a = blobs(rng_a);
+  const Matrix data_b = blobs(rng_b);
+  const KMeansResult a = kmeans(data_a, {.k = 3}, rng_a);
+  const KMeansResult b = kmeans(data_b, {.k = 3}, rng_b);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(ClusterPurity, HandComputedCases) {
+  // Perfect clustering.
+  EXPECT_DOUBLE_EQ(cluster_purity(std::vector<std::size_t>{0, 0, 1, 1},
+                                  std::vector<std::size_t>{5, 5, 9, 9}),
+                   1.0);
+  // One point in the wrong cluster: 3/4 pure.
+  EXPECT_DOUBLE_EQ(cluster_purity(std::vector<std::size_t>{0, 0, 1, 0},
+                                  std::vector<std::size_t>{5, 5, 9, 9}),
+                   0.75);
+  // Everything in one cluster: purity = share of the majority label.
+  EXPECT_DOUBLE_EQ(cluster_purity(std::vector<std::size_t>{0, 0, 0, 0},
+                                  std::vector<std::size_t>{5, 5, 9, 9}),
+                   0.5);
+}
+
+TEST(ClusterPurity, RejectsBadInput) {
+  EXPECT_THROW((void)cluster_purity(std::vector<std::size_t>{},
+                                    std::vector<std::size_t>{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)cluster_purity(std::vector<std::size_t>{0},
+                                    std::vector<std::size_t>{0, 1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acbm::stats

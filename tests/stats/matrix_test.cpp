@@ -1,0 +1,181 @@
+#include "stats/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace acbm::stats {
+namespace {
+
+TEST(Matrix, DefaultConstructedIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerListThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, AtBoundsChecks) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW((void)m.at(1, 1));
+}
+
+TEST(Matrix, Identity) {
+  const Matrix id = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.transpose(), m);
+}
+
+TEST(Matrix, Product) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, ProductDimensionMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, ProductWithIdentityIsNoop) {
+  Matrix a{{1, 2}, {3, 4}};
+  EXPECT_EQ(a * Matrix::identity(2), a);
+  EXPECT_EQ(Matrix::identity(2) * a, a);
+}
+
+TEST(Matrix, AddSubtractScale) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{4, 3}, {2, 1}};
+  const Matrix s = a + b;
+  EXPECT_DOUBLE_EQ(s(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 5.0);
+  const Matrix d = a - b;
+  EXPECT_DOUBLE_EQ(d(0, 0), -3.0);
+  const Matrix sc = a * 2.0;
+  EXPECT_DOUBLE_EQ(sc(1, 1), 8.0);
+}
+
+TEST(Matrix, ApplyVector) {
+  Matrix a{{1, 2}, {3, 4}};
+  const std::vector<double> y = a.apply(std::vector<double>{1.0, 1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  Matrix a{{3, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+}
+
+TEST(Solvers, CholeskySolvesSpdSystem) {
+  Matrix a{{4, 1}, {1, 3}};
+  const std::vector<double> b{1.0, 2.0};
+  const std::vector<double> x = solve_cholesky(a, b);
+  // Verify A x == b.
+  EXPECT_NEAR(4 * x[0] + 1 * x[1], 1.0, 1e-12);
+  EXPECT_NEAR(1 * x[0] + 3 * x[1], 2.0, 1e-12);
+}
+
+TEST(Solvers, CholeskyRejectsNonSpd) {
+  Matrix a{{0, 1}, {1, 0}};
+  EXPECT_THROW(solve_cholesky(a, std::vector<double>{1.0, 1.0}),
+               std::domain_error);
+}
+
+TEST(Solvers, LuSolvesGeneralSystem) {
+  Matrix a{{0, 2, 1}, {1, -2, -3}, {-1, 1, 2}};
+  const std::vector<double> b{-8.0, 0.0, 3.0};
+  const std::vector<double> x = solve_lu(a, b);
+  for (std::size_t i = 0; i < 3; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) acc += a(i, j) * x[j];
+    EXPECT_NEAR(acc, b[i], 1e-10);
+  }
+}
+
+TEST(Solvers, LuRejectsSingular) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_THROW(solve_lu(a, std::vector<double>{1.0, 2.0}), std::domain_error);
+}
+
+TEST(Solvers, LeastSquaresRecoversExactSolution) {
+  // Overdetermined but consistent: y = 2 x0 - x1.
+  Matrix a{{1, 0}, {0, 1}, {1, 1}, {2, 1}};
+  const std::vector<double> b{2.0, -1.0, 1.0, 3.0};
+  const std::vector<double> x = solve_least_squares(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-6);
+  EXPECT_NEAR(x[1], -1.0, 1e-6);
+}
+
+TEST(Solvers, LeastSquaresRejectsUnderdetermined) {
+  Matrix a(1, 2);
+  EXPECT_THROW(solve_least_squares(a, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+// Property: for random SPD systems, Cholesky and LU agree.
+class SolverAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverAgreement, CholeskyMatchesLuOnSpd) {
+  Rng rng(GetParam());
+  const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(1, 6));
+  Matrix g(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) g(r, c) = rng.normal();
+  }
+  Matrix a = g.transpose() * g;
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 1.0;  // Ensure SPD.
+  std::vector<double> b(n);
+  for (double& v : b) v = rng.normal();
+
+  const std::vector<double> x1 = solve_cholesky(a, b);
+  const std::vector<double> x2 = solve_lu(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSpdSystems, SolverAgreement,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace acbm::stats

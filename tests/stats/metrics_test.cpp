@@ -1,0 +1,97 @@
+#include "stats/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace acbm::stats {
+namespace {
+
+TEST(Metrics, RmsePerfectPredictionIsZero) {
+  std::vector<double> t{1, 2, 3};
+  EXPECT_DOUBLE_EQ(rmse(t, t), 0.0);
+}
+
+TEST(Metrics, RmseKnownValue) {
+  std::vector<double> t{0.0, 0.0};
+  std::vector<double> p{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(rmse(t, p), std::sqrt(12.5));
+}
+
+TEST(Metrics, MaeKnownValue) {
+  std::vector<double> t{0.0, 0.0};
+  std::vector<double> p{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(mae(t, p), 3.5);
+}
+
+TEST(Metrics, RmseDominatesMae) {
+  // RMSE >= MAE always (Jensen).
+  Rng rng(3);
+  std::vector<double> t(50);
+  std::vector<double> p(50);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = rng.normal();
+    p[i] = rng.normal();
+  }
+  EXPECT_GE(rmse(t, p), mae(t, p));
+}
+
+TEST(Metrics, MapeSkipsZeroTruth) {
+  std::vector<double> t{0.0, 2.0};
+  std::vector<double> p{5.0, 3.0};
+  EXPECT_DOUBLE_EQ(mape(t, p), 0.5);
+}
+
+TEST(Metrics, MapeAllZeroTruthIsZero) {
+  std::vector<double> t{0.0, 0.0};
+  std::vector<double> p{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(mape(t, p), 0.0);
+}
+
+TEST(Metrics, RSquaredPerfectIsOne) {
+  std::vector<double> t{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(r_squared(t, t), 1.0);
+}
+
+TEST(Metrics, RSquaredMeanPredictorIsZero) {
+  std::vector<double> t{1, 2, 3, 4};
+  std::vector<double> p(4, 2.5);
+  EXPECT_NEAR(r_squared(t, p), 0.0, 1e-12);
+}
+
+TEST(Metrics, RSquaredZeroVarianceTruth) {
+  std::vector<double> t(4, 1.0);
+  std::vector<double> p{0.0, 1.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(r_squared(t, p), 0.0);
+}
+
+TEST(Metrics, SmapeBounds) {
+  std::vector<double> t{1.0, -1.0, 2.0};
+  std::vector<double> p{-1.0, 1.0, -2.0};
+  // Opposite-sign predictions give the maximum SMAPE of 2.
+  EXPECT_DOUBLE_EQ(smape(t, p), 2.0);
+  EXPECT_DOUBLE_EQ(smape(t, t), 0.0);
+}
+
+TEST(Metrics, LengthMismatchThrows) {
+  std::vector<double> a{1.0};
+  std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW((void)rmse(a, b), std::invalid_argument);
+  EXPECT_THROW((void)mae(a, b), std::invalid_argument);
+  EXPECT_THROW((void)mape(a, b), std::invalid_argument);
+  EXPECT_THROW((void)r_squared(a, b), std::invalid_argument);
+  EXPECT_THROW((void)smape(a, b), std::invalid_argument);
+}
+
+TEST(Metrics, EmptyInputThrows) {
+  std::vector<double> e;
+  EXPECT_THROW((void)rmse(e, e), std::invalid_argument);
+  EXPECT_THROW((void)mae(e, e), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acbm::stats

@@ -1,0 +1,136 @@
+#include "stats/ols.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace acbm::stats {
+namespace {
+
+TEST(LinearRegression, RecoversExactLinearRelation) {
+  // y = 1 + 2 x0 - 3 x1, noiseless.
+  Matrix x{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {2, 1}, {1, 2}};
+  std::vector<double> y;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    y.push_back(1.0 + 2.0 * x(i, 0) - 3.0 * x(i, 1));
+  }
+  LinearRegression reg;
+  reg.fit(x, y);
+  EXPECT_NEAR(reg.intercept(), 1.0, 1e-6);
+  ASSERT_EQ(reg.coefficients().size(), 2u);
+  EXPECT_NEAR(reg.coefficients()[0], 2.0, 1e-6);
+  EXPECT_NEAR(reg.coefficients()[1], -3.0, 1e-6);
+  EXPECT_NEAR(reg.r_squared(), 1.0, 1e-9);
+  EXPECT_NEAR(reg.residual_sd(), 0.0, 1e-6);
+}
+
+TEST(LinearRegression, NoInterceptOption) {
+  Matrix x{{1}, {2}, {3}, {4}};
+  std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  LinearRegression reg({.fit_intercept = false, .ridge = 1e-10});
+  reg.fit(x, y);
+  EXPECT_DOUBLE_EQ(reg.intercept(), 0.0);
+  EXPECT_NEAR(reg.coefficients()[0], 2.0, 1e-8);
+}
+
+TEST(LinearRegression, PredictSingleAndBatchAgree) {
+  Matrix x{{1, 2}, {3, 4}, {5, 6}, {7, 9}};
+  std::vector<double> y{1.0, 2.0, 2.5, 4.0};
+  LinearRegression reg;
+  reg.fit(x, y);
+  const std::vector<double> batch = reg.predict(x);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], reg.predict(x.row(i)));
+  }
+}
+
+TEST(LinearRegression, NoisyFitIsCloseToTruth) {
+  Rng rng(77);
+  const std::size_t n = 500;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) x(i, j) = rng.normal();
+    y[i] = 0.5 + 1.5 * x(i, 0) - 2.0 * x(i, 1) + 0.0 * x(i, 2) +
+           rng.normal(0.0, 0.1);
+  }
+  LinearRegression reg;
+  reg.fit(x, y);
+  EXPECT_NEAR(reg.intercept(), 0.5, 0.05);
+  EXPECT_NEAR(reg.coefficients()[0], 1.5, 0.05);
+  EXPECT_NEAR(reg.coefficients()[1], -2.0, 0.05);
+  EXPECT_NEAR(reg.coefficients()[2], 0.0, 0.05);
+  EXPECT_GT(reg.r_squared(), 0.99);
+}
+
+TEST(LinearRegression, CollinearFeaturesStillSolvable) {
+  // x1 == 2 * x0 exactly; the ridge stabilizer must keep this solvable.
+  Matrix x{{1, 2}, {2, 4}, {3, 6}, {4, 8}};
+  std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  LinearRegression reg({.fit_intercept = true, .ridge = 1e-6});
+  EXPECT_NO_THROW(reg.fit(x, y));
+  // Predictions should still be accurate even if coefficients are not unique.
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_NEAR(reg.predict(x.row(i)), y[i], 1e-3);
+  }
+}
+
+TEST(LinearRegression, ErrorsOnBadShapes) {
+  LinearRegression reg;
+  Matrix x{{1.0}, {2.0}};
+  EXPECT_THROW(reg.fit(x, std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW(reg.fit(Matrix(1, 3), std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)reg.predict(std::vector<double>{1.0}), std::logic_error);
+  reg.fit(x, std::vector<double>{1.0, 2.0});
+  EXPECT_THROW((void)reg.predict(std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(DesignMatrix, PacksRows) {
+  const Matrix m = design_matrix({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(DesignMatrix, RejectsRaggedRows) {
+  EXPECT_THROW(design_matrix({{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(DesignMatrix, EmptyYieldsEmptyMatrix) {
+  EXPECT_TRUE(design_matrix({}).empty());
+}
+
+// Property: in-sample R^2 never decreases when adding a feature.
+class OlsMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OlsMonotonicity, R2NonDecreasingInFeatures) {
+  Rng rng(GetParam());
+  const std::size_t n = 60;
+  Matrix x1(n, 1);
+  Matrix x2(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.normal();
+    const double b = rng.normal();
+    x1(i, 0) = a;
+    x2(i, 0) = a;
+    x2(i, 1) = b;
+    y[i] = a - 0.5 * b + rng.normal(0.0, 0.5);
+  }
+  LinearRegression r1;
+  LinearRegression r2;
+  r1.fit(x1, y);
+  r2.fit(x2, y);
+  EXPECT_GE(r2.r_squared() + 1e-9, r1.r_squared());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OlsMonotonicity,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace acbm::stats

@@ -1,0 +1,192 @@
+#include "stats/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace acbm::stats {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedDifferentStream) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.uniform() != b.uniform()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-1, 3);
+    EXPECT_GE(v, -1);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // All 5 values should appear in 1000 draws.
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng rng(11);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.normal(3.0, 2.0);
+  EXPECT_NEAR(mean(xs), 3.0, 0.1);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.1);
+}
+
+TEST(Rng, NormalZeroSigmaIsDeterministic) {
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(rng.normal(5.0, 0.0), 5.0);
+}
+
+TEST(Rng, PoissonMeanMatchesLambda) {
+  Rng rng(13);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = static_cast<double>(rng.poisson(4.5));
+  EXPECT_NEAR(mean(xs), 4.5, 0.15);
+}
+
+TEST(Rng, PoissonZeroLambdaYieldsZero) {
+  Rng rng(13);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ExponentialMeanMatchesInverseRate) {
+  Rng rng(17);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.exponential(0.5);
+  EXPECT_NEAR(mean(xs), 2.0, 0.1);
+}
+
+TEST(Rng, ParetoRespectsScaleFloor) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+  }
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(29);
+  const std::vector<double> w{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[2], 0);  // Zero-weight bucket never drawn.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / n, 0.6, 0.01);
+}
+
+TEST(Rng, CategoricalRejectsBadInput) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.categorical(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW((void)rng.categorical(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)rng.categorical(std::vector<double>{1.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng(31);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.zipf(10, 1.2)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(Rng, ZipfZeroExponentIsUniform) {
+  Rng rng(37);
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.zipf(4, 0.0)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.25, 0.02);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(41);
+  const auto s = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(s.size(), 30u);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (std::size_t v : s) EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullRange) {
+  Rng rng(43);
+  const auto s = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsKGreaterThanN) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(47);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.fork();
+  // The child stream should not replicate the parent's next draws.
+  Rng b(42);
+  (void)b.fork();
+  int same = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (child.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 16);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(53);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace acbm::stats

@@ -1,0 +1,74 @@
+#include "stats/silhouette.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace acbm::stats {
+namespace {
+
+// 1-D points with a distance function for testing.
+struct PointSet {
+  std::vector<double> pts;
+  [[nodiscard]] DistanceFn distance() const {
+    return [this](std::size_t i, std::size_t j) {
+      return std::abs(pts[i] - pts[j]);
+    };
+  }
+};
+
+TEST(Silhouette, WellSeparatedClustersScoreNearOne) {
+  PointSet ps{{0.0, 0.1, 0.2, 10.0, 10.1, 10.2}};
+  std::vector<std::size_t> labels{0, 0, 0, 1, 1, 1};
+  const double s = silhouette_score(labels, ps.distance());
+  EXPECT_GT(s, 0.9);
+}
+
+TEST(Silhouette, MislabeledPointGetsNegativeValue) {
+  // The last point sits inside cluster 0's territory but is labeled 1.
+  PointSet ps{{0.0, 0.1, 0.2, 10.0, 10.1, 0.05}};
+  std::vector<std::size_t> labels{0, 0, 0, 1, 1, 1};
+  const auto vals = silhouette_values(labels, ps.distance());
+  EXPECT_LT(vals[5], 0.0);
+}
+
+TEST(Silhouette, SingletonClusterGetsZero) {
+  PointSet ps{{0.0, 0.1, 5.0}};
+  std::vector<std::size_t> labels{0, 0, 1};
+  const auto vals = silhouette_values(labels, ps.distance());
+  EXPECT_DOUBLE_EQ(vals[2], 0.0);
+}
+
+TEST(Silhouette, SingleClusterScoresZero) {
+  PointSet ps{{0.0, 1.0, 2.0}};
+  std::vector<std::size_t> labels{0, 0, 0};
+  EXPECT_DOUBLE_EQ(silhouette_score(labels, ps.distance()), 0.0);
+}
+
+TEST(Silhouette, ValuesAreBounded) {
+  PointSet ps{{0.0, 0.5, 1.0, 4.0, 4.5, 5.0, 9.0, 9.5}};
+  std::vector<std::size_t> labels{0, 0, 1, 1, 2, 2, 0, 1};
+  for (double v : silhouette_values(labels, ps.distance())) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Silhouette, EmptyLabelsThrow) {
+  PointSet ps{{}};
+  std::vector<std::size_t> labels;
+  EXPECT_THROW(silhouette_values(labels, ps.distance()), std::invalid_argument);
+}
+
+TEST(Silhouette, TighterClusteringScoresHigher) {
+  PointSet tight{{0.0, 0.1, 10.0, 10.1}};
+  PointSet loose{{0.0, 3.0, 10.0, 13.0}};
+  std::vector<std::size_t> labels{0, 0, 1, 1};
+  EXPECT_GT(silhouette_score(labels, tight.distance()),
+            silhouette_score(labels, loose.distance()));
+}
+
+}  // namespace
+}  // namespace acbm::stats

@@ -1,0 +1,65 @@
+#include "stats/split.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace acbm::stats {
+namespace {
+
+TEST(ChronologicalSplit, PaperProportions) {
+  // The paper splits 50,704 attacks into 40,563 train / 10,141 test.
+  const SplitIndices s = chronological_split(50704, 0.8);
+  EXPECT_EQ(s.train.size(), 40563u);
+  EXPECT_EQ(s.test.size(), 10141u);
+}
+
+TEST(ChronologicalSplit, TrainStrictlyPrecedesTest) {
+  const SplitIndices s = chronological_split(100, 0.8);
+  EXPECT_EQ(s.train.size(), 80u);
+  EXPECT_EQ(s.test.size(), 20u);
+  EXPECT_LT(s.train.back(), s.test.front());
+  // Indices are consecutive and exhaustive.
+  for (std::size_t i = 0; i < s.train.size(); ++i) EXPECT_EQ(s.train[i], i);
+  for (std::size_t i = 0; i < s.test.size(); ++i) EXPECT_EQ(s.test[i], 80 + i);
+}
+
+TEST(ChronologicalSplit, RejectsBadFraction) {
+  EXPECT_THROW(chronological_split(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(chronological_split(10, 1.0), std::invalid_argument);
+  EXPECT_THROW(chronological_split(10, -0.5), std::invalid_argument);
+}
+
+TEST(ShuffledSplit, PartitionIsExhaustiveAndDisjoint) {
+  Rng rng(5);
+  const SplitIndices s = shuffled_split(50, 0.8, rng);
+  std::set<std::size_t> all(s.train.begin(), s.train.end());
+  all.insert(s.test.begin(), s.test.end());
+  EXPECT_EQ(all.size(), 50u);
+  EXPECT_EQ(s.train.size() + s.test.size(), 50u);
+}
+
+TEST(ShuffledSplit, IsActuallyShuffled) {
+  Rng rng(5);
+  const SplitIndices s = shuffled_split(1000, 0.8, rng);
+  // A sorted train set would indicate no shuffling happened.
+  EXPECT_FALSE(std::is_sorted(s.train.begin(), s.train.end()));
+}
+
+TEST(Gather, PicksRequestedElements) {
+  const std::vector<int> items{10, 20, 30, 40};
+  const std::vector<int> got = gather(items, {3, 0});
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], 40);
+  EXPECT_EQ(got[1], 10);
+}
+
+TEST(Gather, OutOfRangeThrows) {
+  const std::vector<int> items{1};
+  EXPECT_THROW(gather(items, {1}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace acbm::stats

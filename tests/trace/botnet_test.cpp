@@ -1,0 +1,147 @@
+#include "trace/botnet.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/topology.h"
+
+namespace acbm::trace {
+namespace {
+
+struct Fixture {
+  net::Topology topo;
+  net::IpToAsnMap ip_map;
+  acbm::stats::Rng rng{7};
+
+  Fixture() {
+    net::TopologyOptions opts;
+    opts.num_tier1 = 3;
+    opts.num_transit = 6;
+    opts.num_stub = 20;
+    topo = net::generate_topology(opts, rng);
+    ip_map = net::allocate_address_space(topo.graph, {}, rng);
+  }
+};
+
+TEST(BotPool, BotsLiveInRequestedAses) {
+  Fixture fx;
+  const std::vector<net::Asn> sources(fx.topo.stubs.begin(),
+                                      fx.topo.stubs.begin() + 5);
+  const BotPool pool(500, sources, 1.0, fx.ip_map, fx.rng);
+  EXPECT_EQ(pool.size(), 500u);
+  const std::unordered_set<net::Asn> allowed(sources.begin(), sources.end());
+  for (const Bot& bot : pool.bots()) {
+    EXPECT_TRUE(allowed.contains(bot.asn));
+    // The recorded ASN must agree with the LPM map.
+    EXPECT_EQ(fx.ip_map.lookup(bot.ip), bot.asn);
+  }
+}
+
+TEST(BotPool, ZipfSkewConcentratesBots) {
+  Fixture fx;
+  const std::vector<net::Asn> sources(fx.topo.stubs.begin(),
+                                      fx.topo.stubs.begin() + 8);
+  const BotPool pool(2000, sources, 1.5, fx.ip_map, fx.rng);
+  std::unordered_map<net::Asn, std::size_t> counts;
+  for (const Bot& bot : pool.bots()) ++counts[bot.asn];
+  // First-listed AS must host clearly more bots than the last.
+  EXPECT_GT(counts[sources.front()], 2 * counts[sources.back()] + 1);
+}
+
+TEST(BotPool, RejectsBadConstruction) {
+  Fixture fx;
+  const std::vector<net::Asn> sources{fx.topo.stubs.front()};
+  EXPECT_THROW(BotPool(0, sources, 1.0, fx.ip_map, fx.rng),
+               std::invalid_argument);
+  EXPECT_THROW(BotPool(10, {}, 1.0, fx.ip_map, fx.rng), std::invalid_argument);
+  EXPECT_THROW(BotPool(10, {999999}, 1.0, fx.ip_map, fx.rng),
+               std::invalid_argument);
+}
+
+TEST(BotPool, ActiveFractionStaysInBounds) {
+  Fixture fx;
+  const BotPool pool(100, {fx.topo.stubs.front()}, 1.0, fx.ip_map, fx.rng);
+  for (double day = 0; day < 120; day += 1.0) {
+    const double f = pool.active_fraction(day, 30.0, 0.5, fx.rng);
+    EXPECT_GE(f, 0.05);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(BotPool, ChurnCycleActuallyOscillates) {
+  Fixture fx;
+  const BotPool pool(100, {fx.topo.stubs.front()}, 1.0, fx.ip_map, fx.rng);
+  // Peak of the sine (day ~ period/4) vs trough (day ~ 3*period/4).
+  double low = 1.0;
+  double high = 0.0;
+  for (double day = 0; day < 30; day += 1.0) {
+    const double f = pool.active_fraction(day, 30.0, 0.4, fx.rng);
+    low = std::min(low, f);
+    high = std::max(high, f);
+  }
+  EXPECT_GT(high - low, 0.2);
+}
+
+TEST(BotPool, DrawReturnsDistinctBots) {
+  Fixture fx;
+  const std::vector<net::Asn> sources(fx.topo.stubs.begin(),
+                                      fx.topo.stubs.begin() + 4);
+  const BotPool pool(300, sources, 1.0, fx.ip_map, fx.rng);
+  const std::vector<Bot> drawn = pool.draw(100, 1.0, 0.0, fx.rng);
+  EXPECT_EQ(drawn.size(), 100u);
+  std::unordered_set<std::uint32_t> ips;
+  for (const Bot& bot : drawn) ips.insert(bot.ip.value);
+  // Distinct pool positions; IP collisions are possible but rare.
+  EXPECT_GE(ips.size(), 95u);
+}
+
+TEST(BotPool, DrawClampsToActiveSubPool) {
+  Fixture fx;
+  const BotPool pool(100, {fx.topo.stubs.front()}, 1.0, fx.ip_map, fx.rng);
+  const std::vector<Bot> drawn = pool.draw(1000, 0.2, 0.5, fx.rng);
+  EXPECT_LE(drawn.size(), 20u);
+  EXPECT_GE(drawn.size(), 1u);
+}
+
+TEST(BotPool, PoolIsOrderedByAs) {
+  Fixture fx;
+  const std::vector<net::Asn> sources(fx.topo.stubs.begin(),
+                                      fx.topo.stubs.begin() + 5);
+  const BotPool pool(400, sources, 1.0, fx.ip_map, fx.rng);
+  for (std::size_t i = 1; i < pool.bots().size(); ++i) {
+    EXPECT_LE(pool.bots()[i - 1].asn, pool.bots()[i].asn);
+  }
+}
+
+TEST(BotPool, PhaseDriftRotatesAsMix) {
+  // Draws at distant phases must differ more in AS composition than draws
+  // at the same phase — the drift signal the spatial model exploits.
+  Fixture fx;
+  const std::vector<net::Asn> sources(fx.topo.stubs.begin(),
+                                      fx.topo.stubs.begin() + 8);
+  const BotPool pool(2000, sources, 0.8, fx.ip_map, fx.rng);
+  const auto as_histogram = [&](double phase) {
+    std::unordered_map<net::Asn, double> counts;
+    const auto drawn = pool.draw(200, 0.3, phase, fx.rng);
+    for (const Bot& bot : drawn) counts[bot.asn] += 1.0 / 200.0;
+    return counts;
+  };
+  const auto tv = [](const std::unordered_map<net::Asn, double>& a,
+                     const std::unordered_map<net::Asn, double>& b) {
+    std::unordered_map<net::Asn, double> diff = a;
+    for (const auto& [asn, v] : b) diff[asn] -= v;
+    double acc = 0.0;
+    for (const auto& [asn, v] : diff) acc += std::abs(v);
+    return acc / 2.0;
+  };
+  const auto same1 = as_histogram(0.1);
+  const auto same2 = as_histogram(0.1);
+  const auto far1 = as_histogram(0.6);
+  EXPECT_GT(tv(same1, far1), tv(same1, same2));
+}
+
+}  // namespace
+}  // namespace acbm::trace

@@ -1,0 +1,141 @@
+#include "trace/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace acbm::trace {
+namespace {
+
+constexpr EpochSeconds kStart = 1343779200;  // 2012-08-01.
+
+Attack make_attack(std::uint64_t id, std::uint32_t family, net::Asn asn,
+                   EpochSeconds start, double duration = 600.0) {
+  Attack a;
+  a.id = id;
+  a.family = family;
+  a.target_ip = net::Ipv4(10, 0, 0, static_cast<std::uint8_t>(id));
+  a.target_asn = asn;
+  a.start = start;
+  a.duration_s = duration;
+  a.bots = {net::Ipv4(172, 16, 0, 1), net::Ipv4(172, 16, 0, 2)};
+  return a;
+}
+
+Dataset make_dataset() {
+  std::vector<Attack> attacks{
+      make_attack(3, 0, 100, kStart + 7200),
+      make_attack(1, 1, 200, kStart + 100),
+      make_attack(2, 0, 100, kStart + 3600),
+      make_attack(4, 1, 300, kStart + 90000),
+  };
+  return Dataset({"FamA", "FamB"}, std::move(attacks), {}, kStart);
+}
+
+TEST(DecomposeTimestamp, DayAndHourParts) {
+  const DayHour a = decompose_timestamp(kStart, kStart);
+  EXPECT_EQ(a.day, 0);
+  EXPECT_EQ(a.hour, 0);
+  const DayHour b = decompose_timestamp(kStart + 86400 + 3 * 3600 + 59, kStart);
+  EXPECT_EQ(b.day, 1);
+  EXPECT_EQ(b.hour, 3);
+  const DayHour c = decompose_timestamp(kStart + 23 * 3600 + 3599, kStart);
+  EXPECT_EQ(c.day, 0);
+  EXPECT_EQ(c.hour, 23);
+}
+
+TEST(Dataset, SortsAttacksChronologically) {
+  const Dataset ds = make_dataset();
+  ASSERT_EQ(ds.size(), 4u);
+  for (std::size_t i = 0; i + 1 < ds.size(); ++i) {
+    EXPECT_LE(ds.attacks()[i].start, ds.attacks()[i + 1].start);
+  }
+  EXPECT_EQ(ds.attacks().front().id, 1u);
+}
+
+TEST(Dataset, RejectsUnknownFamilyIndex) {
+  std::vector<Attack> attacks{make_attack(1, 7, 100, kStart)};
+  EXPECT_THROW(Dataset({"OnlyFam"}, std::move(attacks), {}, kStart),
+               std::invalid_argument);
+}
+
+TEST(Dataset, FamilyIndexLookup) {
+  const Dataset ds = make_dataset();
+  EXPECT_EQ(ds.family_index("FamA"), 0u);
+  EXPECT_EQ(ds.family_index("FamB"), 1u);
+  EXPECT_THROW((void)ds.family_index("Nope"), std::out_of_range);
+}
+
+TEST(Dataset, AttacksOfFamilyAreChronological) {
+  const Dataset ds = make_dataset();
+  const auto fam0 = ds.attacks_of_family(0);
+  ASSERT_EQ(fam0.size(), 2u);
+  EXPECT_LT(ds.attacks()[fam0[0]].start, ds.attacks()[fam0[1]].start);
+  EXPECT_TRUE(ds.attacks_of_family(9).empty());
+}
+
+TEST(Dataset, AttacksOnAsn) {
+  const Dataset ds = make_dataset();
+  EXPECT_EQ(ds.attacks_on_asn(100).size(), 2u);
+  EXPECT_EQ(ds.attacks_on_asn(200).size(), 1u);
+  EXPECT_TRUE(ds.attacks_on_asn(999).empty());
+}
+
+TEST(Dataset, TargetAsnsOrderedByVolume) {
+  const Dataset ds = make_dataset();
+  const auto asns = ds.target_asns();
+  ASSERT_EQ(asns.size(), 3u);
+  EXPECT_EQ(asns.front(), 100u);  // Two attacks.
+}
+
+TEST(Dataset, SplitPreservesChronologyAndProportion) {
+  const Dataset ds = make_dataset();
+  const auto [train, test] = ds.split(0.75);
+  EXPECT_EQ(train.size(), 3u);
+  EXPECT_EQ(test.size(), 1u);
+  EXPECT_LE(train.attacks().back().start, test.attacks().front().start);
+  EXPECT_EQ(train.family_names(), ds.family_names());
+  EXPECT_EQ(train.window_start(), ds.window_start());
+}
+
+TEST(Dataset, SplitRejectsBadFraction) {
+  const Dataset ds = make_dataset();
+  EXPECT_THROW((void)ds.split(0.0), std::invalid_argument);
+  EXPECT_THROW((void)ds.split(1.0), std::invalid_argument);
+}
+
+TEST(Dataset, CsvRoundTrip) {
+  const Dataset ds = make_dataset();
+  std::stringstream ss;
+  ds.save_csv(ss);
+  const Dataset back = Dataset::load_csv(ss);
+  ASSERT_EQ(back.size(), ds.size());
+  EXPECT_EQ(back.family_names(), ds.family_names());
+  EXPECT_EQ(back.window_start(), ds.window_start());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const Attack& a = ds.attacks()[i];
+    const Attack& b = back.attacks()[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.family, b.family);
+    EXPECT_EQ(a.target_ip, b.target_ip);
+    EXPECT_EQ(a.target_asn, b.target_asn);
+    EXPECT_EQ(a.start, b.start);
+    EXPECT_DOUBLE_EQ(a.duration_s, b.duration_s);
+    EXPECT_EQ(a.bots, b.bots);
+  }
+}
+
+TEST(Dataset, LoadCsvRejectsGarbage) {
+  std::stringstream ss("not a dataset\n");
+  EXPECT_THROW((void)Dataset::load_csv(ss), std::invalid_argument);
+}
+
+TEST(Attack, EndAndMagnitude) {
+  const Attack a = make_attack(1, 0, 100, kStart, 450.0);
+  EXPECT_EQ(a.end(), kStart + 450);
+  EXPECT_EQ(a.magnitude(), 2u);
+}
+
+}  // namespace
+}  // namespace acbm::trace

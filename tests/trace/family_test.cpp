@@ -1,0 +1,130 @@
+#include "trace/family.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace acbm::trace {
+namespace {
+
+TEST(Family, StandardFamiliesMatchTableOne) {
+  const auto families = standard_families();
+  const auto& rows = table_one_reference();
+  ASSERT_EQ(families.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(families[i].name, rows[i].name);
+    EXPECT_DOUBLE_EQ(families[i].attacks_per_day, rows[i].avg_per_day);
+    EXPECT_EQ(families[i].active_days, rows[i].active_days);
+    EXPECT_DOUBLE_EQ(families[i].daily_cv, rows[i].cv);
+  }
+}
+
+TEST(Family, TableOneHasKnownExtremes) {
+  // Sanity anchors straight from the paper: DirtJumper most active,
+  // AldiBot least, YZF shortest-lived.
+  const auto& rows = table_one_reference();
+  double max_rate = 0.0;
+  double min_rate = 1e9;
+  std::size_t min_days = 1000;
+  const char* most_active = nullptr;
+  const char* least_active = nullptr;
+  const char* shortest = nullptr;
+  for (const auto& row : rows) {
+    if (row.avg_per_day > max_rate) {
+      max_rate = row.avg_per_day;
+      most_active = row.name;
+    }
+    if (row.avg_per_day < min_rate) {
+      min_rate = row.avg_per_day;
+      least_active = row.name;
+    }
+    if (row.active_days < min_days) {
+      min_days = row.active_days;
+      shortest = row.name;
+    }
+  }
+  EXPECT_STREQ(most_active, "DirtJumper");
+  EXPECT_STREQ(least_active, "AldiBot");
+  EXPECT_STREQ(shortest, "YZF");
+}
+
+TEST(Family, TruncatedPoissonRateInvertsConditionalMean) {
+  for (double target : {1.29, 2.13, 5.93, 40.08, 144.30}) {
+    const double lambda = truncated_poisson_rate(target);
+    const double mean = lambda / (1.0 - std::exp(-lambda));
+    EXPECT_NEAR(mean, target, 1e-6) << "target " << target;
+    EXPECT_LE(lambda, target);  // Truncation inflates the mean.
+  }
+}
+
+TEST(Family, TruncatedPoissonRateRejectsImpossibleMean) {
+  // E[N | N >= 1] >= 1 always, so a target of 1.0 or less is unreachable.
+  EXPECT_THROW((void)truncated_poisson_rate(1.0), std::invalid_argument);
+  EXPECT_THROW((void)truncated_poisson_rate(0.5), std::invalid_argument);
+}
+
+TEST(Family, ModulationSigmaMatchesCvFormula) {
+  // CV^2 = 1/m + (exp(s^2) - 1) must invert.
+  const double m = 144.30;
+  const double cv = 0.77;
+  const double s = modulation_sigma(m, cv);
+  const double reconstructed = std::sqrt(1.0 / m + std::expm1(s * s));
+  EXPECT_NEAR(reconstructed, cv, 1e-9);
+}
+
+TEST(Family, ModulationSigmaZeroWhenPoissonNoiseSuffices) {
+  // AldiBot: mean 1.29 => Poisson CV alone is 0.88 > 0.77 target.
+  EXPECT_DOUBLE_EQ(modulation_sigma(1.29, 0.77), 0.0);
+}
+
+TEST(Family, ModulationSigmaRejectsBadInput) {
+  EXPECT_THROW((void)modulation_sigma(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)modulation_sigma(1.0, -0.1), std::invalid_argument);
+}
+
+TEST(Family, ProfilesHaveDistinctPeakHours) {
+  // Family identity must be recoverable from launch times; at least the
+  // high-volume families need disjoint peaks.
+  const auto families = standard_families();
+  const auto find = [&](const char* name) {
+    for (const auto& f : families) {
+      if (f.name == name) return f;
+    }
+    throw std::logic_error("family not found");
+  };
+  const auto dj = find("DirtJumper");
+  const auto pandora = find("Pandora");
+  const auto be = find("BlackEnergy");
+  for (int h : dj.peak_hours) {
+    for (int p : pandora.peak_hours) EXPECT_NE(h, p);
+  }
+  // Pandora {11,12,13} and BlackEnergy {13,14,15} may share one edge hour;
+  // the sets just must not be identical.
+  EXPECT_NE(pandora.peak_hours, be.peak_hours);
+}
+
+TEST(Family, AllProfilesAreInternallyValid) {
+  for (const auto& f : standard_families()) {
+    EXPECT_FALSE(f.name.empty());
+    EXPECT_GT(f.attacks_per_day, 0.0);
+    EXPECT_GT(f.active_days, 0u);
+    EXPECT_GE(f.daily_cv, 0.0);
+    EXPECT_GT(f.median_bots, 0.0);
+    EXPECT_GT(f.median_duration_s, 0.0);
+    EXPECT_GT(f.source_as_count, 0u);
+    EXPECT_GE(f.peak_share, 0.0);
+    EXPECT_LE(f.peak_share, 1.0);
+    EXPECT_GE(f.chain_prob, 0.0);
+    EXPECT_LT(f.chain_prob, 1.0);
+    EXPECT_GT(f.activity_ar, -1.0);
+    EXPECT_LT(f.activity_ar, 1.0);
+    for (int h : f.peak_hours) {
+      EXPECT_GE(h, 0);
+      EXPECT_LT(h, 24);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace acbm::trace

@@ -1,0 +1,257 @@
+#include "trace/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "trace/world.h"
+
+namespace acbm::trace {
+namespace {
+
+// Shared small world so the expensive generation runs once.
+const World& small_world() {
+  static const World world = build_world(small_world_options(11));
+  return world;
+}
+
+TEST(Generator, ProducesAttacksForEveryFamily) {
+  const Dataset& ds = small_world().dataset;
+  ASSERT_EQ(ds.family_names().size(), 10u);
+  for (std::uint32_t f = 0; f < 10; ++f) {
+    EXPECT_FALSE(ds.attacks_of_family(f).empty())
+        << "family " << ds.family_names()[f] << " generated no attacks";
+  }
+}
+
+TEST(Generator, AttackFieldsAreWellFormed) {
+  const World& world = small_world();
+  const Dataset& ds = world.dataset;
+  std::unordered_set<std::uint64_t> ids;
+  const EpochSeconds window_end =
+      ds.window_start() + 70 * 86400 + 86400;  // Chains may spill a bit.
+  for (const Attack& attack : ds.attacks()) {
+    EXPECT_TRUE(ids.insert(attack.id).second) << "duplicate DDoS id";
+    EXPECT_GE(attack.start, ds.window_start());
+    EXPECT_LT(attack.start, window_end);
+    EXPECT_GE(attack.duration_s, 30.0);
+    EXPECT_LE(attack.duration_s, 2.0 * 86400.0);
+    EXPECT_FALSE(attack.bots.empty());
+    // Target must resolve to its recorded AS.
+    EXPECT_EQ(world.ip_map.lookup(attack.target_ip), attack.target_asn);
+  }
+}
+
+TEST(Generator, BotsResolveToKnownAses) {
+  const World& world = small_world();
+  for (const Attack& attack : world.dataset.attacks()) {
+    for (const net::Ipv4& bot : attack.bots) {
+      EXPECT_TRUE(world.ip_map.lookup(bot).has_value());
+    }
+  }
+}
+
+TEST(Generator, TargetsAreStubAses) {
+  const World& world = small_world();
+  const std::unordered_set<net::Asn> stubs(world.topology.stubs.begin(),
+                                           world.topology.stubs.end());
+  for (const Attack& attack : world.dataset.attacks()) {
+    EXPECT_TRUE(stubs.contains(attack.target_asn));
+  }
+}
+
+TEST(Generator, SnapshotsArePlausible) {
+  const Dataset& ds = small_world().dataset;
+  ASSERT_FALSE(ds.snapshots().empty());
+  for (const FamilySnapshot& snap : ds.snapshots()) {
+    EXPECT_GT(snap.active_bots, 0u);
+    EXPECT_LT(snap.family, 10u);
+    EXPECT_GT(snap.ts, ds.window_start());
+  }
+}
+
+TEST(Generator, SnapshotCountsCoverAttackMagnitudes) {
+  // At the hour right after a large attack, the snapshot's trailing-24h
+  // unique-bot count must be at least that attack's magnitude.
+  const Dataset& ds = small_world().dataset;
+  std::unordered_map<std::uint32_t,
+                     std::unordered_map<EpochSeconds, std::size_t>>
+      snap_index;
+  for (const FamilySnapshot& snap : ds.snapshots()) {
+    snap_index[snap.family][snap.ts] = snap.active_bots;
+  }
+  std::size_t checked = 0;
+  for (const Attack& attack : ds.attacks()) {
+    const EpochSeconds hour_after =
+        ds.window_start() +
+        ((attack.start - ds.window_start()) / 3600 + 1) * 3600;
+    const auto fit = snap_index.find(attack.family);
+    if (fit == snap_index.end()) continue;
+    const auto sit = fit->second.find(hour_after);
+    if (sit == fit->second.end()) continue;
+    EXPECT_GE(sit->second, attack.magnitude());
+    ++checked;
+  }
+  EXPECT_GT(checked, ds.size() / 2);
+}
+
+TEST(Generator, DeterministicForFixedSeed) {
+  const World a = build_world(small_world_options(123));
+  const World b = build_world(small_world_options(123));
+  ASSERT_EQ(a.dataset.size(), b.dataset.size());
+  for (std::size_t i = 0; i < a.dataset.size(); ++i) {
+    EXPECT_EQ(a.dataset.attacks()[i].id, b.dataset.attacks()[i].id);
+    EXPECT_EQ(a.dataset.attacks()[i].start, b.dataset.attacks()[i].start);
+    EXPECT_EQ(a.dataset.attacks()[i].bots.size(),
+              b.dataset.attacks()[i].bots.size());
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const World a = build_world(small_world_options(1));
+  const World b = build_world(small_world_options(2));
+  // Same sizes are possible but identical start sequences are not.
+  bool differs = a.dataset.size() != b.dataset.size();
+  if (!differs) {
+    for (std::size_t i = 0; i < a.dataset.size(); ++i) {
+      if (a.dataset.attacks()[i].start != b.dataset.attacks()[i].start) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, ActivityScaleShrinksVolume) {
+  WorldOptions big_opts = small_world_options(5);
+  WorldOptions small_opts = small_world_options(5);
+  small_opts.generator.activity_scale = 0.25;
+  const World big = build_world(big_opts);
+  const World small = build_world(small_opts);
+  EXPECT_LT(small.dataset.size(), big.dataset.size());
+}
+
+TEST(Generator, RejectsBadOptions) {
+  acbm::stats::Rng rng(1);
+  net::TopologyOptions topo_opts;
+  topo_opts.num_tier1 = 3;
+  topo_opts.num_transit = 4;
+  topo_opts.num_stub = 10;
+  const net::Topology topo = net::generate_topology(topo_opts, rng);
+  const net::IpToAsnMap ip_map =
+      net::allocate_address_space(topo.graph, {}, rng);
+  GeneratorOptions opts;
+  opts.days = 0;
+  EXPECT_THROW((void)generate_dataset(topo, ip_map, opts, rng),
+               std::invalid_argument);
+  opts.days = 10;
+  opts.families.clear();
+  EXPECT_THROW((void)generate_dataset(topo, ip_map, opts, rng),
+               std::invalid_argument);
+  opts = GeneratorOptions{};
+  opts.activity_scale = 0.0;
+  EXPECT_THROW((void)generate_dataset(topo, ip_map, opts, rng),
+               std::invalid_argument);
+}
+
+TEST(ActivityStats, MatchesHandComputedExample) {
+  // Two attacks on day 0, one on day 2.
+  std::vector<Attack> attacks;
+  Attack a;
+  a.id = 1;
+  a.family = 0;
+  a.target_asn = 1;
+  a.bots = {net::Ipv4(1, 2, 3, 4)};
+  a.start = 1000000000;
+  attacks.push_back(a);
+  a.id = 2;
+  a.start = 1000000000 + 3600;
+  attacks.push_back(a);
+  a.id = 3;
+  a.start = 1000000000 + 2 * 86400;
+  attacks.push_back(a);
+  const Dataset ds({"F"}, std::move(attacks), {}, 1000000000);
+  const FamilyActivityStats stats = activity_stats(ds, 0);
+  EXPECT_EQ(stats.active_days, 2u);
+  EXPECT_DOUBLE_EQ(stats.avg_per_day, 1.5);
+  EXPECT_NEAR(stats.cv, 0.4714, 1e-3);  // sd/mean of {2, 1}.
+}
+
+TEST(ActivityStats, EmptyFamilyIsZero) {
+  const Dataset ds({"F"}, {}, {}, 0);
+  const FamilyActivityStats stats = activity_stats(ds, 0);
+  EXPECT_EQ(stats.active_days, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_per_day, 0.0);
+}
+
+// Property over seeds: per-family statistics land near Table I targets on a
+// full-length window. This is the central calibration claim of DESIGN.md §1.
+class CalibrationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CalibrationProperty, TableOneStatisticsReproduced) {
+  WorldOptions opts = small_world_options(GetParam());
+  opts.generator.days = 242;  // Full window so active-day targets apply.
+  opts.generator.activity_scale = 1.0;
+  const World world = build_world(opts);
+  const auto& rows = table_one_reference();
+  for (std::size_t f = 0; f < rows.size(); ++f) {
+    const FamilyActivityStats stats =
+        activity_stats(world.dataset, static_cast<std::uint32_t>(f));
+    EXPECT_NEAR(stats.avg_per_day, rows[f].avg_per_day,
+                0.22 * rows[f].avg_per_day + 0.4)
+        << rows[f].name << " rate off target";
+    EXPECT_NEAR(static_cast<double>(stats.active_days),
+                static_cast<double>(rows[f].active_days),
+                0.12 * static_cast<double>(rows[f].active_days) + 4.0)
+        << rows[f].name << " active days off target";
+    EXPECT_NEAR(stats.cv, rows[f].cv, 0.45 * rows[f].cv + 0.1)
+        << rows[f].name << " CV off target";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CalibrationProperty,
+                         ::testing::Values(101u, 202u));
+
+// Invariant sweep across seeds and activity scales: well-formed attacks,
+// resolvable sources, targets in stub ASes.
+struct GeneratorCase {
+  std::uint64_t seed;
+  double scale;
+};
+
+class GeneratorInvariantSweep
+    : public ::testing::TestWithParam<GeneratorCase> {};
+
+TEST_P(GeneratorInvariantSweep, AttackInvariantsHold) {
+  const GeneratorCase& c = GetParam();
+  WorldOptions opts = small_world_options(c.seed);
+  opts.generator.days = 40;
+  opts.generator.activity_scale = c.scale;
+  const World world = build_world(opts);
+  ASSERT_GT(world.dataset.size(), 0u);
+  const std::unordered_set<net::Asn> stubs(world.topology.stubs.begin(),
+                                           world.topology.stubs.end());
+  for (const Attack& attack : world.dataset.attacks()) {
+    EXPECT_GE(attack.start, world.dataset.window_start());
+    EXPECT_GE(attack.duration_s, 30.0);
+    EXPECT_FALSE(attack.bots.empty());
+    EXPECT_TRUE(stubs.contains(attack.target_asn));
+    EXPECT_EQ(world.ip_map.lookup(attack.target_ip), attack.target_asn);
+  }
+  // Chronological ordering is a dataset invariant.
+  for (std::size_t i = 1; i < world.dataset.size(); ++i) {
+    EXPECT_LE(world.dataset.attacks()[i - 1].start,
+              world.dataset.attacks()[i].start);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndScales, GeneratorInvariantSweep,
+    ::testing::Values(GeneratorCase{1, 1.0}, GeneratorCase{2, 0.3},
+                      GeneratorCase{3, 2.0}, GeneratorCase{4, 0.1},
+                      GeneratorCase{5, 1.0}));
+
+}  // namespace
+}  // namespace acbm::trace

@@ -1,0 +1,186 @@
+#include "tree/cart.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/metrics.h"
+#include "stats/rng.h"
+
+namespace acbm::tree {
+namespace {
+
+using acbm::stats::Matrix;
+
+// Piecewise-constant target: the natural CART test case.
+void make_step_data(Matrix& x, std::vector<double>& y, std::size_t n,
+                    std::uint64_t seed) {
+  acbm::stats::Rng rng(seed);
+  x = Matrix(n, 1);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = rng.uniform(0.0, 1.0);
+    x(i, 0) = v;
+    y[i] = v < 0.5 ? (v < 0.25 ? 1.0 : 5.0) : 9.0;
+  }
+}
+
+TEST(RegressionTree, FitsPiecewiseConstantExactly) {
+  Matrix x;
+  std::vector<double> y;
+  make_step_data(x, y, 400, 3);
+  RegressionTree tree({.max_depth = 6, .min_samples_leaf = 5,
+                       .min_samples_split = 10, .sd_stop_fraction = 0.0});
+  tree.fit(x, y);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.1}), 1.0, 0.01);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.4}), 5.0, 0.01);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.9}), 9.0, 0.01);
+}
+
+TEST(RegressionTree, RespectsMaxDepth) {
+  Matrix x;
+  std::vector<double> y;
+  make_step_data(x, y, 300, 5);
+  RegressionTree stump({.max_depth = 1, .min_samples_leaf = 5,
+                        .min_samples_split = 10, .sd_stop_fraction = 0.0});
+  stump.fit(x, y);
+  EXPECT_LE(stump.depth(), 1u);
+  EXPECT_LE(stump.leaf_count(), 2u);
+}
+
+TEST(RegressionTree, RespectsMinSamplesLeaf) {
+  Matrix x;
+  std::vector<double> y;
+  make_step_data(x, y, 200, 7);
+  RegressionTree tree({.max_depth = 20, .min_samples_leaf = 30,
+                       .min_samples_split = 60, .sd_stop_fraction = 0.0});
+  tree.fit(x, y);
+  for (std::size_t id = 0; id < tree.node_count(); ++id) {
+    if (tree.nodes()[id].is_leaf()) {
+      EXPECT_GE(tree.nodes()[id].n_samples, 30u);
+    }
+  }
+}
+
+TEST(RegressionTree, SdStopFractionPrunesAggressively) {
+  Matrix x;
+  std::vector<double> y;
+  make_step_data(x, y, 400, 9);
+  RegressionTree full({.max_depth = 12, .min_samples_leaf = 2,
+                       .min_samples_split = 4, .sd_stop_fraction = 0.0});
+  RegressionTree coarse({.max_depth = 12, .min_samples_leaf = 2,
+                         .min_samples_split = 4, .sd_stop_fraction = 0.7});
+  full.fit(x, y);
+  coarse.fit(x, y);
+  EXPECT_LT(coarse.leaf_count(), full.leaf_count());
+}
+
+TEST(RegressionTree, ConstantTargetYieldsSingleLeaf) {
+  Matrix x(50, 2);
+  acbm::stats::Rng rng(11);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x(i, 0) = rng.uniform();
+    x(i, 1) = rng.uniform();
+  }
+  std::vector<double> y(50, 7.0);
+  RegressionTree tree;
+  tree.fit(x, y);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{0.5, 0.5}), 7.0);
+}
+
+TEST(RegressionTree, SplitsOnInformativeFeatureOnly) {
+  acbm::stats::Rng rng(13);
+  Matrix x(300, 2);
+  std::vector<double> y(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    x(i, 0) = rng.uniform();         // Informative.
+    x(i, 1) = rng.uniform();         // Pure noise.
+    y[i] = x(i, 0) > 0.5 ? 10.0 : 0.0;
+  }
+  RegressionTree tree;
+  tree.fit(x, y);
+  const auto& importance = tree.feature_importance();
+  ASSERT_EQ(importance.size(), 2u);
+  EXPECT_GT(importance[0], 10.0 * importance[1] + 1e-9);
+}
+
+TEST(RegressionTree, PredictionIsWithinTrainingRange) {
+  acbm::stats::Rng rng(17);
+  Matrix x(200, 1);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x(i, 0) = rng.uniform(-5.0, 5.0);
+    y[i] = std::sin(x(i, 0)) * 3.0;
+  }
+  RegressionTree tree;
+  tree.fit(x, y);
+  // Mean leaves can never extrapolate beyond the target range.
+  for (double probe = -100.0; probe <= 100.0; probe += 7.3) {
+    const double p = tree.predict(std::vector<double>{probe});
+    EXPECT_GE(p, -3.0);
+    EXPECT_LE(p, 3.0);
+  }
+}
+
+TEST(RegressionTree, RejectsBadInput) {
+  RegressionTree tree;
+  EXPECT_THROW(tree.fit(Matrix(), std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW(tree.fit(Matrix(2, 1), std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)tree.predict(std::vector<double>{1.0}), std::logic_error);
+}
+
+TEST(RegressionTree, PredictRejectsWrongFeatureCount) {
+  Matrix x(20, 2, 1.0);
+  for (std::size_t i = 0; i < 20; ++i) x(i, 0) = static_cast<double>(i);
+  std::vector<double> y(20, 1.0);
+  RegressionTree tree;
+  tree.fit(x, y);
+  EXPECT_THROW((void)tree.predict(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(RegressionTree, CollapseMakesNodeALeaf) {
+  Matrix x;
+  std::vector<double> y;
+  make_step_data(x, y, 200, 19);
+  RegressionTree tree;
+  tree.fit(x, y);
+  ASSERT_GT(tree.node_count(), 1u);
+  tree.collapse(0);
+  EXPECT_EQ(tree.leaf_index(std::vector<double>{0.3}), 0u);
+  EXPECT_THROW(tree.collapse(tree.node_count()), std::out_of_range);
+}
+
+// Property: deeper trees never fit the training data worse.
+class DepthMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DepthMonotonicity, TrainingErrorNonIncreasingInDepth) {
+  acbm::stats::Rng rng(GetParam());
+  Matrix x(250, 2);
+  std::vector<double> y(250);
+  for (std::size_t i = 0; i < 250; ++i) {
+    x(i, 0) = rng.uniform();
+    x(i, 1) = rng.uniform();
+    y[i] = 4.0 * x(i, 0) - 2.0 * x(i, 1) + rng.normal(0.0, 0.3);
+  }
+  double prev_rmse = 1e18;
+  for (std::size_t depth : {1u, 3u, 6u, 10u}) {
+    RegressionTree tree({.max_depth = depth, .min_samples_leaf = 2,
+                         .min_samples_split = 4, .sd_stop_fraction = 0.0});
+    tree.fit(x, y);
+    const double err = acbm::stats::rmse(y, tree.predict(x));
+    EXPECT_LE(err, prev_rmse + 1e-9);
+    prev_rmse = err;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DepthMonotonicity,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace acbm::tree

@@ -1,0 +1,169 @@
+#include "tree/model_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/metrics.h"
+#include "stats/rng.h"
+
+namespace acbm::tree {
+namespace {
+
+using acbm::stats::Matrix;
+
+// Piecewise-LINEAR target: constant leaves approximate it coarsely, linear
+// leaves can represent it exactly within each region (Eq. 8-10's setting).
+void make_piecewise_linear(Matrix& x, std::vector<double>& y, std::size_t n,
+                           std::uint64_t seed, double noise = 0.0) {
+  acbm::stats::Rng rng(seed);
+  x = Matrix(n, 2);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(0.0, 1.0);
+    const double b = rng.uniform(0.0, 1.0);
+    x(i, 0) = a;
+    x(i, 1) = b;
+    // Region 1 (a < 0.5): y = 2a + b; Region 2: y = -3a + 4b + 10.
+    y[i] = (a < 0.5 ? 2.0 * a + b : -3.0 * a + 4.0 * b + 10.0) +
+           rng.normal(0.0, noise);
+  }
+}
+
+TEST(ModelTree, FitsPiecewiseLinearNearExactly) {
+  Matrix x;
+  std::vector<double> y;
+  make_piecewise_linear(x, y, 600, 3);
+  ModelTree tree;
+  tree.fit(x, y);
+  const double err = acbm::stats::rmse(y, tree.predict(x));
+  EXPECT_LT(err, 0.05);
+}
+
+TEST(ModelTree, LinearLeavesBeatConstantLeaves) {
+  Matrix x;
+  std::vector<double> y;
+  make_piecewise_linear(x, y, 600, 5, 0.05);
+  ModelTreeOptions linear_opts;
+  ModelTreeOptions constant_opts;
+  constant_opts.linear_leaves = false;
+  ModelTree linear(linear_opts);
+  ModelTree constant(constant_opts);
+  linear.fit(x, y);
+  constant.fit(x, y);
+  EXPECT_LT(acbm::stats::rmse(y, linear.predict(x)),
+            acbm::stats::rmse(y, constant.predict(x)));
+}
+
+TEST(ModelTree, PruningShrinksTheTree) {
+  Matrix x;
+  std::vector<double> y;
+  make_piecewise_linear(x, y, 600, 7, 0.3);
+  ModelTreeOptions pruned_opts;
+  pruned_opts.enable_pruning = true;
+  ModelTreeOptions unpruned_opts;
+  unpruned_opts.enable_pruning = false;
+  ModelTree pruned(pruned_opts);
+  ModelTree unpruned(unpruned_opts);
+  pruned.fit(x, y);
+  unpruned.fit(x, y);
+  EXPECT_LE(pruned.leaf_count(), unpruned.leaf_count());
+  // On a 2-region ground truth, pruning should land near 2 leaves.
+  EXPECT_LE(pruned.leaf_count(), 8u);
+}
+
+TEST(ModelTree, GlobalLinearTargetCollapsesToSingleLeaf) {
+  acbm::stats::Rng rng(9);
+  Matrix x(300, 2);
+  std::vector<double> y(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    x(i, 0) = rng.uniform();
+    x(i, 1) = rng.uniform();
+    y[i] = 3.0 * x(i, 0) - 1.0 * x(i, 1) + 0.5;
+  }
+  ModelTree tree;
+  tree.fit(x, y);
+  // One linear model explains everything, so pruning collapses the root.
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_LT(acbm::stats::rmse(y, tree.predict(x)), 1e-6);
+}
+
+TEST(ModelTree, SdKeepRatioValidation) {
+  ModelTreeOptions bad;
+  bad.sd_keep_ratio = 0.0;
+  EXPECT_THROW(ModelTree{bad}, std::invalid_argument);
+  bad.sd_keep_ratio = 1.5;
+  EXPECT_THROW(ModelTree{bad}, std::invalid_argument);
+}
+
+TEST(ModelTree, PaperPruningRatioMapsToStopFraction) {
+  // sd_keep_ratio = 0.88 (the paper's value) must translate to a 0.12 SD
+  // stop fraction in the underlying CART.
+  ModelTreeOptions opts;
+  opts.sd_keep_ratio = 0.88;
+  ModelTree tree(opts);
+  Matrix x;
+  std::vector<double> y;
+  make_piecewise_linear(x, y, 200, 11);
+  tree.fit(x, y);
+  EXPECT_TRUE(tree.fitted());
+}
+
+TEST(ModelTree, TinyLeavesFallBackToMeanSafely) {
+  // With min_samples_leaf = 2 and 2 features, some leaves cannot support a
+  // 3-parameter linear fit and must fall back to the mean without throwing.
+  Matrix x;
+  std::vector<double> y;
+  make_piecewise_linear(x, y, 40, 13, 0.5);
+  ModelTreeOptions opts;
+  opts.cart.min_samples_leaf = 2;
+  opts.cart.min_samples_split = 4;
+  opts.cart.max_depth = 10;
+  ModelTree tree(opts);
+  EXPECT_NO_THROW(tree.fit(x, y));
+  EXPECT_NO_THROW((void)tree.predict(std::vector<double>{0.5, 0.5}));
+}
+
+TEST(ModelTree, RejectsBadInput) {
+  ModelTree tree;
+  EXPECT_THROW(tree.fit(Matrix(), std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)tree.predict(std::vector<double>{0.0, 0.0}),
+               std::logic_error);
+}
+
+TEST(ModelTree, FeatureImportanceReflectsSplitVariable) {
+  Matrix x;
+  std::vector<double> y;
+  make_piecewise_linear(x, y, 500, 15);
+  ModelTree tree;
+  tree.fit(x, y);
+  // The region boundary is on feature 0.
+  ASSERT_EQ(tree.feature_importance().size(), 2u);
+  EXPECT_GT(tree.feature_importance()[0], tree.feature_importance()[1]);
+}
+
+// Property: model tree generalizes — held-out error close to training error.
+class GeneralizationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneralizationProperty, HeldOutErrorIsReasonable) {
+  Matrix x_train;
+  Matrix x_test;
+  std::vector<double> y_train;
+  std::vector<double> y_test;
+  make_piecewise_linear(x_train, y_train, 500, GetParam(), 0.1);
+  make_piecewise_linear(x_test, y_test, 200, GetParam() + 1000, 0.1);
+  ModelTree tree;
+  tree.fit(x_train, y_train);
+  const double test_err = acbm::stats::rmse(y_test, tree.predict(x_test));
+  // Noise floor is 0.1; allow 3x for regional boundary mistakes.
+  EXPECT_LT(test_err, 0.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneralizationProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace acbm::tree

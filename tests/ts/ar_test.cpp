@@ -1,0 +1,143 @@
+#include "ts/ar.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.h"
+#include "ts/pacf.h"
+
+namespace acbm::ts {
+namespace {
+
+std::vector<double> simulate_ar(std::span<const double> phi, double intercept,
+                                double sigma, std::size_t n,
+                                std::uint64_t seed) {
+  acbm::stats::Rng rng(seed);
+  std::vector<double> xs(phi.size(), 0.0);
+  for (std::size_t t = phi.size(); t < n + 200; ++t) {
+    double v = intercept + rng.normal(0.0, sigma);
+    for (std::size_t i = 0; i < phi.size(); ++i) {
+      v += phi[i] * xs[t - 1 - i];
+    }
+    xs.push_back(v);
+  }
+  // Drop burn-in so the series is approximately stationary.
+  return {xs.end() - static_cast<std::ptrdiff_t>(n), xs.end()};
+}
+
+TEST(FitArLeastSquares, RecoversAr1Coefficient) {
+  const std::vector<double> phi{0.7};
+  const auto xs = simulate_ar(phi, 1.0, 1.0, 3000, 42);
+  const ArFit fit = fit_ar_least_squares(xs, 1);
+  ASSERT_EQ(fit.order(), 1u);
+  EXPECT_NEAR(fit.phi[0], 0.7, 0.05);
+  EXPECT_NEAR(fit.intercept, 1.0, 0.15);
+  EXPECT_NEAR(fit.sigma2, 1.0, 0.1);
+}
+
+TEST(FitArLeastSquares, RecoversAr2Coefficients) {
+  const std::vector<double> phi{0.5, -0.3};
+  const auto xs = simulate_ar(phi, 0.0, 1.0, 4000, 7);
+  const ArFit fit = fit_ar_least_squares(xs, 2);
+  EXPECT_NEAR(fit.phi[0], 0.5, 0.05);
+  EXPECT_NEAR(fit.phi[1], -0.3, 0.05);
+}
+
+TEST(FitArYuleWalker, AgreesWithLeastSquaresOnLongSeries) {
+  const std::vector<double> phi{0.6, 0.2};
+  const auto xs = simulate_ar(phi, 0.0, 1.0, 5000, 11);
+  const ArFit ls = fit_ar_least_squares(xs, 2);
+  const ArFit yw = fit_ar_yule_walker(xs, 2);
+  EXPECT_NEAR(ls.phi[0], yw.phi[0], 0.05);
+  EXPECT_NEAR(ls.phi[1], yw.phi[1], 0.05);
+}
+
+TEST(FitAr, OrderZeroIsMeanModel) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const ArFit fit = fit_ar_least_squares(xs, 0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 3.5);
+  EXPECT_DOUBLE_EQ(fit.forecast_one(xs), 3.5);
+}
+
+TEST(FitAr, ShortSeriesThrows) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_THROW(fit_ar_least_squares(xs, 2), std::invalid_argument);
+  EXPECT_THROW(fit_ar_yule_walker(std::vector<double>{1.0, 2.0}, 2),
+               std::invalid_argument);
+}
+
+TEST(ArFit, ForecastOneUsesMostRecentLags) {
+  ArFit fit;
+  fit.phi = {0.5, 0.25};
+  fit.intercept = 1.0;
+  // history ... 4, 8 -> forecast = 1 + 0.5*8 + 0.25*4 = 6.
+  EXPECT_DOUBLE_EQ(fit.forecast_one(std::vector<double>{0.0, 4.0, 8.0}), 6.0);
+}
+
+TEST(ArFit, ForecastRejectsShortHistory) {
+  ArFit fit;
+  fit.phi = {0.5, 0.25};
+  EXPECT_THROW((void)fit.forecast_one(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(ArFit, ResidualsOfPerfectFitAreZero) {
+  // x_t = 2 x_{t-1} exactly (explosive but fine for residual math).
+  std::vector<double> xs{1.0};
+  for (int i = 0; i < 10; ++i) xs.push_back(2.0 * xs.back());
+  ArFit fit;
+  fit.phi = {2.0};
+  fit.intercept = 0.0;
+  for (double r : fit.residuals(xs)) EXPECT_NEAR(r, 0.0, 1e-9);
+}
+
+TEST(DurbinLevinson, SolvesYuleWalkerForAr1) {
+  // For AR(1) with coefficient a: rho[k] = a^k.
+  const double a = 0.6;
+  const std::vector<double> rho{1.0, a, a * a, a * a * a};
+  const std::vector<double> phi = durbin_levinson(rho, 1);
+  ASSERT_EQ(phi.size(), 1u);
+  EXPECT_NEAR(phi[0], a, 1e-12);
+}
+
+TEST(DurbinLevinson, ShortRhoThrows) {
+  EXPECT_THROW(durbin_levinson(std::vector<double>{1.0}, 2),
+               std::invalid_argument);
+}
+
+TEST(Pacf, Ar1PacfCutsOffAfterLag1) {
+  const std::vector<double> phi{0.8};
+  const auto xs = simulate_ar(phi, 0.0, 1.0, 5000, 13);
+  const std::vector<double> p = pacf(xs, 5);
+  ASSERT_EQ(p.size(), 5u);
+  EXPECT_NEAR(p[0], 0.8, 0.05);
+  for (std::size_t k = 1; k < 5; ++k) {
+    EXPECT_NEAR(p[k], 0.0, 0.08);  // Theoretical PACF is 0 beyond lag 1.
+  }
+}
+
+TEST(Pacf, HandlesShortSeriesGracefully) {
+  const std::vector<double> xs{1.0, 2.0, 1.5};
+  EXPECT_LE(pacf(xs, 10).size(), 2u);
+}
+
+// Property: fitted AR(1) coefficient is within the stationarity region for
+// stationary inputs.
+class ArStability : public ::testing::TestWithParam<double> {};
+
+TEST_P(ArStability, EstimateStaysInStationaryRegion) {
+  const double true_phi = GetParam();
+  const auto xs = simulate_ar(std::vector<double>{true_phi}, 0.0, 1.0, 2000, 17);
+  const ArFit fit = fit_ar_least_squares(xs, 1);
+  EXPECT_GT(fit.phi[0], -1.0);
+  EXPECT_LT(fit.phi[0], 1.0);
+  EXPECT_NEAR(fit.phi[0], true_phi, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Coefficients, ArStability,
+                         ::testing::Values(-0.8, -0.4, 0.0, 0.4, 0.8));
+
+}  // namespace
+}  // namespace acbm::ts

@@ -1,0 +1,119 @@
+#include "ts/arima.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/metrics.h"
+#include "stats/rng.h"
+
+namespace acbm::ts {
+namespace {
+
+// Random walk with AR(1) increments: ARIMA(1,1,0) ground truth.
+std::vector<double> simulate_arima110(double phi, double sigma, std::size_t n,
+                                      std::uint64_t seed) {
+  acbm::stats::Rng rng(seed);
+  std::vector<double> level{0.0};
+  double incr = 0.0;
+  for (std::size_t t = 1; t < n; ++t) {
+    incr = phi * incr + rng.normal(0.0, sigma);
+    level.push_back(level.back() + incr);
+  }
+  return level;
+}
+
+TEST(ArimaModel, FitRecoversDifferencedArCoefficient) {
+  const auto xs = simulate_arima110(0.6, 1.0, 4000, 23);
+  ArimaModel m({1, 1, 0});
+  m.fit(xs);
+  ASSERT_TRUE(m.fitted());
+  EXPECT_NEAR(m.arma().phi()[0], 0.6, 0.05);
+}
+
+TEST(ArimaModel, DZeroBehavesLikeArma) {
+  acbm::stats::Rng rng(29);
+  std::vector<double> xs;
+  double prev = 0.0;
+  for (int t = 0; t < 1000; ++t) {
+    prev = 0.5 * prev + rng.normal();
+    xs.push_back(prev);
+  }
+  ArimaModel arima({1, 0, 0});
+  arima.fit(xs);
+  ArmaModel arma({1, 0});
+  arma.fit(xs);
+  EXPECT_DOUBLE_EQ(arima.forecast_one(xs), arma.forecast_one(xs));
+}
+
+TEST(ArimaModel, ForecastContinuesTrend) {
+  // Deterministic linear trend: ARIMA(0,1,0)-ish; differences constant at 2.
+  std::vector<double> xs;
+  for (int t = 0; t < 200; ++t) xs.push_back(2.0 * t);
+  ArimaModel m({1, 1, 0});
+  m.fit(xs);
+  const std::vector<double> f = m.forecast(xs, 3);
+  EXPECT_NEAR(f[0], 400.0, 1.0);
+  EXPECT_NEAR(f[1], 402.0, 1.5);
+  EXPECT_NEAR(f[2], 404.0, 2.0);
+}
+
+TEST(ArimaModel, ShortSeriesThrows) {
+  ArimaModel m({1, 2, 0});
+  EXPECT_THROW(m.fit(std::vector<double>{1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(ArimaModel, UnfittedForecastThrows) {
+  ArimaModel m({1, 1, 0});
+  EXPECT_THROW((void)m.forecast(std::vector<double>{1.0, 2.0, 3.0}, 1),
+               std::logic_error);
+}
+
+TEST(ArimaModel, OneStepPredictionsTrackRandomWalk) {
+  const auto xs = simulate_arima110(0.5, 1.0, 2000, 31);
+  ArimaModel m({1, 1, 0});
+  const std::size_t split = 1600;
+  m.fit(std::span<const double>(xs).subspan(0, split));
+  const std::vector<double> preds = m.one_step_predictions(xs, split);
+  const std::vector<double> truth(xs.begin() + split, xs.end());
+  ASSERT_EQ(preds.size(), truth.size());
+  // A naive "last value" predictor on a random walk with AR increments has
+  // higher error than the fitted ARIMA's one-step forecast.
+  std::vector<double> naive;
+  for (std::size_t t = split; t < xs.size(); ++t) naive.push_back(xs[t - 1]);
+  EXPECT_LT(acbm::stats::rmse(truth, preds), acbm::stats::rmse(truth, naive));
+}
+
+TEST(ArimaModel, OneStepPredictionsBadStartThrows) {
+  const auto xs = simulate_arima110(0.5, 1.0, 200, 37);
+  ArimaModel m({1, 1, 0});
+  m.fit(xs);
+  EXPECT_THROW((void)m.one_step_predictions(xs, 1), std::invalid_argument);
+  EXPECT_THROW((void)m.one_step_predictions(xs, xs.size() + 1),
+               std::invalid_argument);
+}
+
+TEST(ArimaModel, RandomWalkVarianceGrowsLinearly) {
+  // ARIMA(0,1,0)-ish: fit (1,1,0) on a pure random walk; phi ~ 0, so the
+  // h-step variance should be close to h * sigma^2.
+  acbm::stats::Rng rng(53);
+  std::vector<double> xs{0.0};
+  for (int t = 1; t < 4000; ++t) xs.push_back(xs.back() + rng.normal());
+  ArimaModel m({1, 1, 0});
+  m.fit(xs);
+  const double v1 = m.forecast_variance(1);
+  EXPECT_NEAR(m.forecast_variance(4) / v1, 4.0, 0.5);
+  EXPECT_NEAR(m.forecast_variance(9) / v1, 9.0, 1.2);
+}
+
+TEST(ArimaModel, ForecastHistoryTooShortThrows) {
+  const auto xs = simulate_arima110(0.5, 1.0, 300, 41);
+  ArimaModel m({1, 1, 0});
+  m.fit(xs);
+  EXPECT_THROW((void)m.forecast(std::vector<double>{1.0}, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acbm::ts

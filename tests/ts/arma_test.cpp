@@ -1,0 +1,248 @@
+#include "ts/arma.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/metrics.h"
+#include "stats/rng.h"
+
+namespace acbm::ts {
+namespace {
+
+std::vector<double> simulate_arma(std::span<const double> phi,
+                                  std::span<const double> theta,
+                                  double intercept, double sigma,
+                                  std::size_t n, std::uint64_t seed) {
+  acbm::stats::Rng rng(seed);
+  const std::size_t burn = 200;
+  std::vector<double> xs;
+  std::vector<double> es;
+  for (std::size_t t = 0; t < n + burn; ++t) {
+    const double e = rng.normal(0.0, sigma);
+    double v = intercept + e;
+    for (std::size_t i = 0; i < phi.size(); ++i) {
+      if (t > i) v += phi[i] * xs[t - 1 - i];
+    }
+    for (std::size_t j = 0; j < theta.size(); ++j) {
+      if (t > j) v += theta[j] * es[t - 1 - j];
+    }
+    xs.push_back(v);
+    es.push_back(e);
+  }
+  return {xs.end() - static_cast<std::ptrdiff_t>(n), xs.end()};
+}
+
+TEST(ArmaModel, PureArFitMatchesTruth) {
+  const auto xs = simulate_arma(std::vector<double>{0.7}, {}, 0.5, 1.0, 3000, 3);
+  ArmaModel m({1, 0});
+  m.fit(xs);
+  ASSERT_EQ(m.phi().size(), 1u);
+  EXPECT_NEAR(m.phi()[0], 0.7, 0.05);
+  EXPECT_NEAR(m.intercept(), 0.5, 0.15);
+  EXPECT_TRUE(m.theta().empty());
+}
+
+TEST(ArmaModel, Arma11RecoversCoefficients) {
+  const auto xs = simulate_arma(std::vector<double>{0.6},
+                                std::vector<double>{0.4}, 0.0, 1.0, 8000, 5);
+  ArmaModel m({1, 1});
+  m.fit(xs);
+  EXPECT_NEAR(m.phi()[0], 0.6, 0.1);
+  EXPECT_NEAR(m.theta()[0], 0.4, 0.12);
+  EXPECT_NEAR(m.sigma2(), 1.0, 0.15);
+}
+
+TEST(ArmaModel, PureMaRecoversTheta) {
+  const auto xs = simulate_arma({}, std::vector<double>{0.5}, 0.0, 1.0, 8000, 7);
+  ArmaModel m({0, 1});
+  m.fit(xs);
+  EXPECT_NEAR(m.theta()[0], 0.5, 0.1);
+}
+
+TEST(ArmaModel, ShortSeriesThrows) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  ArmaModel m({2, 2});
+  EXPECT_THROW(m.fit(xs), std::invalid_argument);
+}
+
+TEST(ArmaModel, UnfittedUseThrows) {
+  ArmaModel m({1, 0});
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW((void)m.forecast(xs, 1), std::logic_error);
+  EXPECT_THROW((void)m.innovations(xs), std::logic_error);
+  EXPECT_THROW((void)m.aic(), std::logic_error);
+}
+
+TEST(ArmaModel, ForecastConvergesToUnconditionalMean) {
+  const auto xs = simulate_arma(std::vector<double>{0.5}, {}, 2.0, 1.0, 3000, 9);
+  ArmaModel m({1, 0});
+  m.fit(xs);
+  // Unconditional mean of AR(1): c / (1 - phi) = 2 / 0.5 = 4.
+  const std::vector<double> f = m.forecast(xs, 200);
+  EXPECT_NEAR(f.back(), 4.0, 0.4);
+}
+
+TEST(ArmaModel, ForecastZeroHorizonIsEmpty) {
+  const auto xs = simulate_arma(std::vector<double>{0.5}, {}, 0.0, 1.0, 500, 9);
+  ArmaModel m({1, 0});
+  m.fit(xs);
+  EXPECT_TRUE(m.forecast(xs, 0).empty());
+}
+
+TEST(ArmaModel, ForecastOneMatchesForecastHead) {
+  const auto xs = simulate_arma(std::vector<double>{0.4},
+                                std::vector<double>{0.3}, 1.0, 1.0, 2000, 11);
+  ArmaModel m({1, 1});
+  m.fit(xs);
+  EXPECT_DOUBLE_EQ(m.forecast_one(xs), m.forecast(xs, 3).front());
+}
+
+TEST(ArmaModel, InnovationsHaveNearZeroMean) {
+  const auto xs = simulate_arma(std::vector<double>{0.6},
+                                std::vector<double>{0.2}, 0.5, 1.0, 5000, 13);
+  ArmaModel m({1, 1});
+  m.fit(xs);
+  const std::vector<double> e = m.innovations(xs);
+  EXPECT_NEAR(acbm::stats::mean(e), 0.0, 0.05);
+}
+
+TEST(ArmaModel, OneStepPredictionsBeatMeanBaseline) {
+  const auto xs = simulate_arma(std::vector<double>{0.8}, {}, 0.0, 1.0, 2000, 15);
+  ArmaModel m({1, 0});
+  const std::size_t split = 1600;
+  m.fit(std::span<const double>(xs).subspan(0, split));
+  const std::vector<double> preds = m.one_step_predictions(xs, split);
+  const std::vector<double> truth(xs.begin() + split, xs.end());
+  std::vector<double> mean_pred(truth.size(),
+                                acbm::stats::mean(std::span<const double>(xs).subspan(0, split)));
+  EXPECT_LT(acbm::stats::rmse(truth, preds),
+            0.75 * acbm::stats::rmse(truth, mean_pred));
+}
+
+TEST(ArmaModel, OneStepPredictionsBadStartThrows) {
+  const auto xs = simulate_arma(std::vector<double>{0.5}, {}, 0.0, 1.0, 100, 17);
+  ArmaModel m({1, 0});
+  m.fit(xs);
+  EXPECT_THROW((void)m.one_step_predictions(xs, 0), std::invalid_argument);
+  EXPECT_THROW((void)m.one_step_predictions(xs, xs.size() + 1),
+               std::invalid_argument);
+}
+
+TEST(ArmaModel, AicPenalizesExtraParametersOnWhiteNoise) {
+  acbm::stats::Rng rng(19);
+  std::vector<double> noise(3000);
+  for (double& v : noise) v = rng.normal();
+  ArmaModel small({1, 0});
+  ArmaModel big({3, 2});
+  small.fit(noise);
+  big.fit(noise);
+  // On pure noise both fit equally badly, so AIC should favor fewer params.
+  EXPECT_LT(small.aic(), big.aic());
+  EXPECT_LT(small.bic(), big.bic());
+}
+
+TEST(ArmaModel, PsiWeightsForAr1AreGeometric) {
+  const auto xs = simulate_arma(std::vector<double>{0.6}, {}, 0.0, 1.0, 5000, 31);
+  ArmaModel m({1, 0});
+  m.fit(xs);
+  const double phi = m.phi()[0];
+  const auto psi = m.psi_weights(5);
+  ASSERT_EQ(psi.size(), 5u);
+  EXPECT_DOUBLE_EQ(psi[0], 1.0);
+  for (std::size_t j = 1; j < 5; ++j) {
+    EXPECT_NEAR(psi[j], std::pow(phi, static_cast<double>(j)), 1e-12);
+  }
+}
+
+TEST(ArmaModel, ForecastVarianceGrowsToUnconditional) {
+  const auto xs = simulate_arma(std::vector<double>{0.7}, {}, 0.0, 1.0, 8000, 33);
+  ArmaModel m({1, 0});
+  m.fit(xs);
+  // h=1 variance is sigma^2; as h grows it approaches the process variance
+  // sigma^2 / (1 - phi^2).
+  EXPECT_NEAR(m.forecast_variance(1), m.sigma2(), 1e-12);
+  const double phi = m.phi()[0];
+  const double unconditional = m.sigma2() / (1.0 - phi * phi);
+  EXPECT_NEAR(m.forecast_variance(200), unconditional, 0.01 * unconditional);
+  // Monotone non-decreasing in h.
+  double prev = 0.0;
+  for (std::size_t h = 1; h <= 20; ++h) {
+    const double v = m.forecast_variance(h);
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+}
+
+TEST(ArmaModel, Ma1ForecastVarianceSaturatesAtLag2) {
+  const auto xs = simulate_arma({}, std::vector<double>{0.5}, 0.0, 1.0, 8000, 35);
+  ArmaModel m({0, 1});
+  m.fit(xs);
+  const double theta = m.theta()[0];
+  EXPECT_NEAR(m.forecast_variance(1), m.sigma2(), 1e-12);
+  const double saturated = m.sigma2() * (1.0 + theta * theta);
+  EXPECT_NEAR(m.forecast_variance(2), saturated, 1e-12);
+  EXPECT_NEAR(m.forecast_variance(10), saturated, 1e-12);
+}
+
+TEST(ArmaModel, ForecastVarianceRejectsZeroHorizon) {
+  const auto xs = simulate_arma(std::vector<double>{0.5}, {}, 0.0, 1.0, 500, 37);
+  ArmaModel m({1, 0});
+  m.fit(xs);
+  EXPECT_THROW((void)m.forecast_variance(0), std::invalid_argument);
+}
+
+// Property: one-step predictions only depend on the past. Changing future
+// values must not change earlier predictions.
+class CausalityProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CausalityProperty, PredictionsAreCausal) {
+  auto xs = simulate_arma(std::vector<double>{0.5}, std::vector<double>{0.3},
+                          0.0, 1.0, 400, GetParam());
+  ArmaModel m({1, 1});
+  m.fit(xs);
+  const std::size_t start = 300;
+  const std::vector<double> before = m.one_step_predictions(xs, start);
+  auto mutated = xs;
+  mutated.back() += 1000.0;  // Tamper with the last observation only.
+  const std::vector<double> after = m.one_step_predictions(mutated, start);
+  ASSERT_EQ(before.size(), after.size());
+  // All predictions except the final one (which still only uses values
+  // *before* the tampered point) must be identical.
+  for (std::size_t i = 0; i + 1 < before.size(); ++i) {
+    EXPECT_DOUBLE_EQ(before[i], after[i]);
+  }
+  EXPECT_DOUBLE_EQ(before.back(), after.back());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CausalityProperty,
+                         ::testing::Values(21u, 22u, 23u));
+
+// Parameter-recovery sweep across the (phi, theta) stationary region.
+class ArmaRecoverySweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(ArmaRecoverySweep, RecoversCoefficientsAcrossParameterSpace) {
+  const auto [phi, theta] = GetParam();
+  const auto xs = simulate_arma(std::vector<double>{phi},
+                                std::vector<double>{theta}, 0.0, 1.0, 12000,
+                                777);
+  ArmaModel m({1, 1});
+  m.fit(xs);
+  EXPECT_NEAR(m.phi()[0], phi, 0.12) << "phi=" << phi << " theta=" << theta;
+  EXPECT_NEAR(m.theta()[0], theta, 0.15)
+      << "phi=" << phi << " theta=" << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StationaryGrid, ArmaRecoverySweep,
+    ::testing::Values(std::make_pair(-0.6, 0.3), std::make_pair(-0.3, -0.4),
+                      std::make_pair(0.0, 0.5), std::make_pair(0.3, 0.4),
+                      std::make_pair(0.5, -0.3), std::make_pair(0.7, 0.2),
+                      std::make_pair(0.85, -0.5)));
+
+}  // namespace
+}  // namespace acbm::ts

@@ -1,0 +1,82 @@
+#include "ts/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.h"
+#include "ts/arma.h"
+
+namespace acbm::ts {
+namespace {
+
+TEST(ChiSquaredSf, KnownValues) {
+  // P(X > k) for X ~ chi2(k) is around 0.4-0.45 for small k.
+  EXPECT_NEAR(chi_squared_sf(1.0, 1.0), 0.3173, 1e-3);
+  EXPECT_NEAR(chi_squared_sf(2.0, 2.0), std::exp(-1.0), 1e-6);
+  // chi2(2) has SF exp(-x/2).
+  EXPECT_NEAR(chi_squared_sf(5.0, 2.0), std::exp(-2.5), 1e-6);
+  EXPECT_DOUBLE_EQ(chi_squared_sf(0.0, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(chi_squared_sf(-1.0, 3.0), 1.0);
+}
+
+TEST(ChiSquaredSf, MonotoneDecreasingInX) {
+  double prev = 1.0;
+  for (double x = 0.5; x < 30.0; x += 0.5) {
+    const double cur = chi_squared_sf(x, 5.0);
+    EXPECT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(ChiSquaredSf, RejectsBadDof) {
+  EXPECT_THROW((void)chi_squared_sf(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(LjungBox, WhiteNoiseIsNotRejected) {
+  acbm::stats::Rng rng(3);
+  std::vector<double> noise(2000);
+  for (double& v : noise) v = rng.normal();
+  const LjungBoxResult result = ljung_box(noise, 10);
+  EXPECT_EQ(result.dof, 10u);
+  // White noise: p-value should usually be comfortably above 0.01.
+  EXPECT_GT(result.p_value, 0.01);
+}
+
+TEST(LjungBox, StronglyCorrelatedSeriesIsRejected) {
+  acbm::stats::Rng rng(5);
+  std::vector<double> xs{0.0};
+  for (int t = 1; t < 2000; ++t) xs.push_back(0.9 * xs.back() + rng.normal());
+  const LjungBoxResult result = ljung_box(xs, 10);
+  EXPECT_LT(result.p_value, 1e-6);
+  EXPECT_GT(result.statistic, 100.0);
+}
+
+TEST(LjungBox, ArmaResidualsPassWhereRawSeriesFails) {
+  // Fit ARMA on an AR(1) series: the residuals must look like white noise
+  // even though the raw series does not.
+  acbm::stats::Rng rng(7);
+  std::vector<double> xs{0.0};
+  for (int t = 1; t < 3000; ++t) xs.push_back(0.7 * xs.back() + rng.normal());
+  ArmaModel model({1, 0});
+  model.fit(xs);
+  std::vector<double> resid = model.innovations(xs);
+  resid.erase(resid.begin(), resid.begin() + 10);  // Drop burn-in.
+
+  const LjungBoxResult raw = ljung_box(xs, 10);
+  const LjungBoxResult fitted = ljung_box(resid, 10, /*fitted_params=*/1);
+  EXPECT_LT(raw.p_value, 1e-6);
+  EXPECT_GT(fitted.p_value, 0.005);
+}
+
+TEST(LjungBox, RejectsDegenerateArguments) {
+  std::vector<double> xs(20, 1.0);
+  EXPECT_THROW((void)ljung_box(xs, 0), std::invalid_argument);
+  EXPECT_THROW((void)ljung_box(xs, 19), std::invalid_argument);
+  EXPECT_THROW((void)ljung_box(xs, 5, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acbm::ts

@@ -1,0 +1,92 @@
+#include "ts/differencing.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace acbm::ts {
+namespace {
+
+TEST(Differencing, FirstDifference) {
+  const std::vector<double> xs{1.0, 4.0, 9.0, 16.0};
+  const std::vector<double> d = difference(xs);
+  EXPECT_EQ(d, (std::vector<double>{3.0, 5.0, 7.0}));
+}
+
+TEST(Differencing, TooShortThrows) {
+  EXPECT_THROW(difference(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Differencing, OrderZeroCopies) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_EQ(difference(xs, 0), xs);
+}
+
+TEST(Differencing, SecondDifferenceOfQuadraticIsConstant) {
+  std::vector<double> xs;
+  for (int t = 0; t < 10; ++t) xs.push_back(static_cast<double>(t * t));
+  const std::vector<double> d2 = difference(xs, 2);
+  for (double v : d2) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(Differencing, UndifferenceInvertsDifference) {
+  const std::vector<double> xs{5.0, 2.0, 7.0, 7.0, -1.0};
+  const std::vector<double> d = difference(xs);
+  const std::vector<double> back = undifference(d, xs.front());
+  ASSERT_EQ(back.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_NEAR(back[i], xs[i], 1e-12);
+}
+
+TEST(Differencing, IntegrateForecastOrderOne) {
+  // Series ends at 10; differenced forecast of {2, 3} means {12, 15}.
+  const std::vector<double> tail{8.0, 10.0};
+  const std::vector<double> f = integrate_forecast(
+      std::vector<double>{2.0, 3.0}, tail, 1);
+  EXPECT_EQ(f, (std::vector<double>{12.0, 15.0}));
+}
+
+TEST(Differencing, IntegrateForecastOrderZeroIsIdentity) {
+  const std::vector<double> f = integrate_forecast(
+      std::vector<double>{1.0, 2.0}, std::vector<double>{}, 0);
+  EXPECT_EQ(f, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Differencing, IntegrateForecastShortTailThrows) {
+  EXPECT_THROW(integrate_forecast(std::vector<double>{1.0},
+                                  std::vector<double>{1.0}, 2),
+               std::invalid_argument);
+}
+
+// Property: integrating the true future differences reconstructs the future.
+class IntegrateRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IntegrateRoundTrip, ReconstructsFutureExactly) {
+  const std::size_t d = GetParam();
+  acbm::stats::Rng rng(99);
+  std::vector<double> xs(40);
+  for (double& v : xs) v = rng.normal(0.0, 3.0);
+
+  const std::size_t split = 30;
+  const std::vector<double> full_diff = difference(xs, d);
+  // Differences that belong to the future of the split point.
+  const std::size_t past_count = split - d;
+  const std::vector<double> future_diffs(
+      full_diff.begin() + static_cast<std::ptrdiff_t>(past_count),
+      full_diff.end());
+  const std::vector<double> history(xs.begin(),
+                                    xs.begin() + static_cast<std::ptrdiff_t>(split));
+  const std::vector<double> rebuilt = integrate_forecast(future_diffs, history, d);
+  ASSERT_EQ(rebuilt.size(), xs.size() - split);
+  for (std::size_t i = 0; i < rebuilt.size(); ++i) {
+    EXPECT_NEAR(rebuilt[i], xs[split + i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, IntegrateRoundTrip,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace acbm::ts

@@ -1,0 +1,130 @@
+#include "ts/seasonal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/metrics.h"
+#include "stats/rng.h"
+#include "ts/arima.h"
+
+namespace acbm::ts {
+namespace {
+
+// Seasonal signal: period-24 sinusoid + AR(1) noise + slow level drift.
+std::vector<double> seasonal_series(std::size_t n, std::uint64_t seed,
+                                    double noise_sd = 0.5) {
+  acbm::stats::Rng rng(seed);
+  std::vector<double> xs;
+  double ar = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    ar = 0.5 * ar + rng.normal(0.0, noise_sd);
+    const double season =
+        3.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(t) / 24.0);
+    xs.push_back(10.0 + season + ar);
+  }
+  return xs;
+}
+
+TEST(SeasonalArima, RejectsBadConstruction) {
+  SeasonalOrder bad;
+  bad.period = 1;
+  EXPECT_THROW(SeasonalArimaModel{bad}, std::invalid_argument);
+}
+
+TEST(SeasonalArima, FitRejectsShortSeries) {
+  SeasonalArimaModel model({.p = 1, .d = 0, .q = 0, .P = 1, .D = 1,
+                            .period = 24});
+  const std::vector<double> xs(30, 1.0);
+  EXPECT_THROW(model.fit(xs), std::invalid_argument);
+}
+
+TEST(SeasonalArima, UnfittedUseThrows) {
+  SeasonalArimaModel model({.p = 1, .d = 0, .q = 0, .P = 1, .D = 0,
+                            .period = 24});
+  const std::vector<double> xs(100, 1.0);
+  EXPECT_THROW((void)model.forecast(xs, 1), std::logic_error);
+  EXPECT_THROW((void)model.one_step_predictions(xs, 50), std::logic_error);
+}
+
+TEST(SeasonalArima, ArLagSetCombinesOrdinaryAndSeasonal) {
+  SeasonalArimaModel model({.p = 2, .d = 0, .q = 1, .P = 2, .D = 0,
+                            .period = 24});
+  EXPECT_EQ(model.ar_lags(), (std::vector<std::size_t>{1, 2, 24, 48}));
+}
+
+TEST(SeasonalArima, TracksSeasonalSignalBetterThanPlainArima) {
+  const auto xs = seasonal_series(24 * 40, 7);
+  const std::size_t split = 24 * 32;
+
+  SeasonalArimaModel seasonal({.p = 1, .d = 0, .q = 1, .P = 1, .D = 1,
+                               .period = 24});
+  seasonal.fit(std::span<const double>(xs).subspan(0, split));
+  const auto s_preds = seasonal.one_step_predictions(xs, split);
+
+  ArimaModel plain({1, 0, 1});
+  plain.fit(std::span<const double>(xs).subspan(0, split));
+  const auto p_preds = plain.one_step_predictions(xs, split);
+
+  const std::vector<double> truth(xs.begin() + split, xs.end());
+  const double s_rmse = acbm::stats::rmse(truth, s_preds);
+  const double p_rmse = acbm::stats::rmse(truth, p_preds);
+  EXPECT_LT(s_rmse, 0.8 * p_rmse)
+      << "seasonal " << s_rmse << " vs plain " << p_rmse;
+}
+
+TEST(SeasonalArima, ForecastReproducesPureSeasonalPattern) {
+  // Deterministic period-24 sawtooth: D=1 seasonal differencing removes it
+  // entirely, so multi-step forecasts should continue the pattern closely.
+  std::vector<double> xs;
+  for (int t = 0; t < 24 * 20; ++t) xs.push_back(static_cast<double>(t % 24));
+  SeasonalArimaModel model({.p = 1, .d = 0, .q = 0, .P = 1, .D = 1,
+                            .period = 24});
+  model.fit(xs);
+  const auto f = model.forecast(xs, 48);
+  for (std::size_t k = 0; k < f.size(); ++k) {
+    const double expected = static_cast<double>((xs.size() + k) % 24);
+    EXPECT_NEAR(f[k], expected, 0.5) << "step " << k;
+  }
+}
+
+TEST(SeasonalArima, OneStepPredictionsAreCausal) {
+  auto xs = seasonal_series(24 * 30, 11);
+  SeasonalArimaModel model({.p = 1, .d = 0, .q = 1, .P = 1, .D = 1,
+                            .period = 24});
+  const std::size_t split = 24 * 25;
+  model.fit(std::span<const double>(xs).subspan(0, split));
+  const auto before = model.one_step_predictions(xs, split);
+  auto mutated = xs;
+  mutated.back() += 500.0;
+  const auto after = model.one_step_predictions(mutated, split);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_DOUBLE_EQ(before[i], after[i]);
+  }
+}
+
+TEST(SeasonalArima, ForecastOneMatchesForecastHead) {
+  const auto xs = seasonal_series(24 * 30, 13);
+  SeasonalArimaModel model({.p = 1, .d = 1, .q = 0, .P = 1, .D = 1,
+                            .period = 24});
+  model.fit(xs);
+  EXPECT_DOUBLE_EQ(model.forecast_one(xs), model.forecast(xs, 6).front());
+}
+
+TEST(SeasonalArima, BadStartThrows) {
+  const auto xs = seasonal_series(24 * 20, 17);
+  SeasonalArimaModel model({.p = 1, .d = 0, .q = 0, .P = 1, .D = 1,
+                            .period = 24});
+  model.fit(xs);
+  EXPECT_THROW((void)model.one_step_predictions(xs, 5), std::invalid_argument);
+  EXPECT_THROW((void)model.one_step_predictions(xs, xs.size() + 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acbm::ts

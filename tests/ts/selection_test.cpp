@@ -1,0 +1,67 @@
+#include "ts/selection.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace acbm::ts {
+namespace {
+
+TEST(AutoArima, FindsLowOrderForAr1) {
+  acbm::stats::Rng rng(43);
+  std::vector<double> xs;
+  double prev = 0.0;
+  for (int t = 0; t < 2000; ++t) {
+    prev = 0.7 * prev + rng.normal();
+    xs.push_back(prev);
+  }
+  const auto result = auto_arima(xs, {.max_p = 3, .max_d = 1, .max_q = 2});
+  ASSERT_TRUE(result.has_value());
+  // The chosen model should not over-difference a stationary series.
+  EXPECT_EQ(result->order.d, 0u);
+  EXPECT_TRUE(result->model.fitted());
+  EXPECT_GE(result->order.p + result->order.q, 1u);
+}
+
+TEST(AutoArima, ReturnsNulloptOnHopelesslyShortSeries) {
+  const std::vector<double> xs{1.0, 2.0};
+  const auto result = auto_arima(xs, {.max_p = 2, .max_d = 1, .max_q = 2});
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(AutoArima, BicSelectsSparserModelThanAicOnNoise) {
+  acbm::stats::Rng rng(47);
+  std::vector<double> noise(1500);
+  for (double& v : noise) v = rng.normal();
+  const auto aic = auto_arima(noise, {.max_p = 3, .max_d = 0, .max_q = 2,
+                                      .criterion = Criterion::kAic});
+  const auto bic = auto_arima(noise, {.max_p = 3, .max_d = 0, .max_q = 2,
+                                      .criterion = Criterion::kBic});
+  ASSERT_TRUE(aic.has_value());
+  ASSERT_TRUE(bic.has_value());
+  EXPECT_LE(bic->order.p + bic->order.q, aic->order.p + aic->order.q);
+}
+
+TEST(AutoArima, WinningModelIsUsableForForecasting) {
+  acbm::stats::Rng rng(53);
+  std::vector<double> xs;
+  double prev = 5.0;
+  for (int t = 0; t < 800; ++t) {
+    prev = 2.0 + 0.6 * prev + rng.normal();
+    xs.push_back(prev);
+  }
+  const auto result = auto_arima(xs);
+  ASSERT_TRUE(result.has_value());
+  const std::vector<double> f = result->model.forecast(xs, 5);
+  EXPECT_EQ(f.size(), 5u);
+  // AR(1) with c=2, phi=0.6 has mean 5; forecasts should be in a sane range.
+  for (double v : f) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 10.0);
+  }
+}
+
+}  // namespace
+}  // namespace acbm::ts

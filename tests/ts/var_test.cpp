@@ -1,0 +1,119 @@
+#include "ts/var.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/metrics.h"
+#include "stats/rng.h"
+#include "ts/arma.h"
+
+namespace acbm::ts {
+namespace {
+
+// Two coupled series: y follows x with a lag — exactly the structure a VAR
+// captures and independent ARs cannot.
+std::vector<std::vector<double>> simulate_coupled(std::size_t n,
+                                                  std::uint64_t seed) {
+  acbm::stats::Rng rng(seed);
+  std::vector<double> x{0.0};
+  std::vector<double> y{0.0};
+  for (std::size_t t = 1; t < n; ++t) {
+    x.push_back(0.6 * x[t - 1] + rng.normal());
+    y.push_back(0.8 * x[t - 1] + 0.1 * y[t - 1] + rng.normal(0.0, 0.3));
+  }
+  return {x, y};
+}
+
+TEST(VarModel, RejectsDegenerateConstruction) {
+  EXPECT_THROW(VarModel{0}, std::invalid_argument);
+}
+
+TEST(VarModel, FitValidation) {
+  VarModel model(1);
+  EXPECT_THROW(model.fit({}), std::invalid_argument);
+  EXPECT_THROW(model.fit({{1.0, 2.0}, {1.0}}), std::invalid_argument);
+  EXPECT_THROW(model.fit({{1.0, 2.0, 3.0}}), std::invalid_argument);
+}
+
+TEST(VarModel, RecoversCrossCoefficients) {
+  const auto series = simulate_coupled(6000, 3);
+  VarModel model(1);
+  model.fit(series);
+  ASSERT_TRUE(model.fitted());
+  EXPECT_EQ(model.dimension(), 2u);
+  // Equation for x: depends on its own lag, not on y.
+  EXPECT_NEAR(model.coefficient(0, 0, 1), 0.6, 0.05);
+  EXPECT_NEAR(model.coefficient(0, 1, 1), 0.0, 0.05);
+  // Equation for y: strong dependence on lagged x.
+  EXPECT_NEAR(model.coefficient(1, 0, 1), 0.8, 0.05);
+  EXPECT_NEAR(model.coefficient(1, 1, 1), 0.1, 0.05);
+}
+
+TEST(VarModel, BeatsUnivariateArOnCoupledSeries) {
+  const auto series = simulate_coupled(4000, 7);
+  const std::size_t split = 3200;
+  std::vector<std::vector<double>> train(2);
+  for (std::size_t v = 0; v < 2; ++v) {
+    train[v].assign(series[v].begin(),
+                    series[v].begin() + static_cast<std::ptrdiff_t>(split));
+  }
+
+  VarModel var(1);
+  var.fit(train);
+  const auto var_preds = var.one_step_predictions(series, 1, split);
+
+  ArmaModel ar({1, 0});
+  ar.fit(train[1]);
+  const auto ar_preds = ar.one_step_predictions(series[1], split);
+
+  const std::vector<double> truth(series[1].begin() + split, series[1].end());
+  const double var_rmse = acbm::stats::rmse(truth, var_preds);
+  const double ar_rmse = acbm::stats::rmse(truth, ar_preds);
+  EXPECT_LT(var_rmse, 0.7 * ar_rmse)
+      << "VAR " << var_rmse << " vs AR " << ar_rmse;
+}
+
+TEST(VarModel, ForecastShapeAndConvergence) {
+  const auto series = simulate_coupled(3000, 11);
+  VarModel model(2);
+  model.fit(series);
+  const auto f = model.forecast(series, 50);
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].size(), 50u);
+  EXPECT_EQ(f[1].size(), 50u);
+  // Stationary system: far forecasts settle near the series means (0).
+  EXPECT_NEAR(f[0].back(), 0.0, 0.5);
+  EXPECT_NEAR(f[1].back(), 0.0, 0.5);
+}
+
+TEST(VarModel, PredictionsAreCausal) {
+  auto series = simulate_coupled(1000, 13);
+  VarModel model(1);
+  model.fit(series);
+  const auto before = model.one_step_predictions(series, 0, 900);
+  series[0].back() += 1000.0;
+  series[1].back() -= 1000.0;
+  const auto after = model.one_step_predictions(series, 0, 900);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_DOUBLE_EQ(before[i], after[i]);
+  }
+}
+
+TEST(VarModel, AccessorValidation) {
+  const auto series = simulate_coupled(500, 17);
+  VarModel model(1);
+  model.fit(series);
+  EXPECT_THROW((void)model.coefficient(2, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)model.coefficient(0, 0, 0), std::invalid_argument);
+  EXPECT_THROW((void)model.coefficient(0, 0, 2), std::invalid_argument);
+  EXPECT_THROW((void)model.intercept(5), std::invalid_argument);
+  VarModel unfitted(1);
+  EXPECT_THROW((void)unfitted.coefficient(0, 0, 1), std::logic_error);
+  EXPECT_THROW((void)unfitted.forecast(series, 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace acbm::ts

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_attribution.dir/bench_ext_attribution.cpp.o"
+  "CMakeFiles/bench_ext_attribution.dir/bench_ext_attribution.cpp.o.d"
+  "bench_ext_attribution"
+  "bench_ext_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

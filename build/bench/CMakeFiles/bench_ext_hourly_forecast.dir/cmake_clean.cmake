@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_hourly_forecast.dir/bench_ext_hourly_forecast.cpp.o"
+  "CMakeFiles/bench_ext_hourly_forecast.dir/bench_ext_hourly_forecast.cpp.o.d"
+  "bench_ext_hourly_forecast"
+  "bench_ext_hourly_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_hourly_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

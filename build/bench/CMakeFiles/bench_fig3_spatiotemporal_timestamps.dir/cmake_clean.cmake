@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_spatiotemporal_timestamps.dir/bench_fig3_spatiotemporal_timestamps.cpp.o"
+  "CMakeFiles/bench_fig3_spatiotemporal_timestamps.dir/bench_fig3_spatiotemporal_timestamps.cpp.o.d"
+  "bench_fig3_spatiotemporal_timestamps"
+  "bench_fig3_spatiotemporal_timestamps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_spatiotemporal_timestamps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_usecases.dir/bench_fig5_usecases.cpp.o"
+  "CMakeFiles/bench_fig5_usecases.dir/bench_fig5_usecases.cpp.o.d"
+  "bench_fig5_usecases"
+  "bench_fig5_usecases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_usecases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

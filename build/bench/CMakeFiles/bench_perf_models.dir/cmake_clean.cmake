@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_models.dir/bench_perf_models.cpp.o"
+  "CMakeFiles/bench_perf_models.dir/bench_perf_models.cpp.o.d"
+  "bench_perf_models"
+  "bench_perf_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

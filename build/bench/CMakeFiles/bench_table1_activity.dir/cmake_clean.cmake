@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_activity.dir/bench_table1_activity.cpp.o"
+  "CMakeFiles/bench_table1_activity.dir/bench_table1_activity.cpp.o.d"
+  "bench_table1_activity"
+  "bench_table1_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

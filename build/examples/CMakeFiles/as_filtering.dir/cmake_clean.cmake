@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/as_filtering.dir/as_filtering.cpp.o"
+  "CMakeFiles/as_filtering.dir/as_filtering.cpp.o.d"
+  "as_filtering"
+  "as_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/as_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

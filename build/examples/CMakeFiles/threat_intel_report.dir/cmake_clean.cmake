@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threat_intel_report.dir/threat_intel_report.cpp.o"
+  "CMakeFiles/threat_intel_report.dir/threat_intel_report.cpp.o.d"
+  "threat_intel_report"
+  "threat_intel_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threat_intel_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

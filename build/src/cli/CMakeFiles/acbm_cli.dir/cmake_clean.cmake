@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acbm_cli.dir/cli.cpp.o"
+  "CMakeFiles/acbm_cli.dir/cli.cpp.o.d"
+  "libacbm_cli.a"
+  "libacbm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acbm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acbm_tool.dir/main.cpp.o"
+  "CMakeFiles/acbm_tool.dir/main.cpp.o.d"
+  "acbm"
+  "acbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acbm_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

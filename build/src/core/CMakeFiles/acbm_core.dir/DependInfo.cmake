@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/acbm_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/acbm_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/detection.cpp" "src/core/CMakeFiles/acbm_core.dir/detection.cpp.o" "gcc" "src/core/CMakeFiles/acbm_core.dir/detection.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/core/CMakeFiles/acbm_core.dir/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/acbm_core.dir/evaluation.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/acbm_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/acbm_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/acbm_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/acbm_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/spatial_model.cpp" "src/core/CMakeFiles/acbm_core.dir/spatial_model.cpp.o" "gcc" "src/core/CMakeFiles/acbm_core.dir/spatial_model.cpp.o.d"
+  "/root/repo/src/core/spatiotemporal_model.cpp" "src/core/CMakeFiles/acbm_core.dir/spatiotemporal_model.cpp.o" "gcc" "src/core/CMakeFiles/acbm_core.dir/spatiotemporal_model.cpp.o.d"
+  "/root/repo/src/core/temporal_model.cpp" "src/core/CMakeFiles/acbm_core.dir/temporal_model.cpp.o" "gcc" "src/core/CMakeFiles/acbm_core.dir/temporal_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/acbm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/acbm_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/acbm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/acbm_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/acbm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/acbm_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

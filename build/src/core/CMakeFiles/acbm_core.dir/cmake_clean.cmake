@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acbm_core.dir/baselines.cpp.o"
+  "CMakeFiles/acbm_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/acbm_core.dir/detection.cpp.o"
+  "CMakeFiles/acbm_core.dir/detection.cpp.o.d"
+  "CMakeFiles/acbm_core.dir/evaluation.cpp.o"
+  "CMakeFiles/acbm_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/acbm_core.dir/features.cpp.o"
+  "CMakeFiles/acbm_core.dir/features.cpp.o.d"
+  "CMakeFiles/acbm_core.dir/pipeline.cpp.o"
+  "CMakeFiles/acbm_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/acbm_core.dir/spatial_model.cpp.o"
+  "CMakeFiles/acbm_core.dir/spatial_model.cpp.o.d"
+  "CMakeFiles/acbm_core.dir/spatiotemporal_model.cpp.o"
+  "CMakeFiles/acbm_core.dir/spatiotemporal_model.cpp.o.d"
+  "CMakeFiles/acbm_core.dir/temporal_model.cpp.o"
+  "CMakeFiles/acbm_core.dir/temporal_model.cpp.o.d"
+  "libacbm_core.a"
+  "libacbm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acbm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/as_graph.cpp" "src/net/CMakeFiles/acbm_net.dir/as_graph.cpp.o" "gcc" "src/net/CMakeFiles/acbm_net.dir/as_graph.cpp.o.d"
+  "/root/repo/src/net/gao.cpp" "src/net/CMakeFiles/acbm_net.dir/gao.cpp.o" "gcc" "src/net/CMakeFiles/acbm_net.dir/gao.cpp.o.d"
+  "/root/repo/src/net/ip_space.cpp" "src/net/CMakeFiles/acbm_net.dir/ip_space.cpp.o" "gcc" "src/net/CMakeFiles/acbm_net.dir/ip_space.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/net/CMakeFiles/acbm_net.dir/ipv4.cpp.o" "gcc" "src/net/CMakeFiles/acbm_net.dir/ipv4.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/net/CMakeFiles/acbm_net.dir/routing.cpp.o" "gcc" "src/net/CMakeFiles/acbm_net.dir/routing.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/acbm_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/acbm_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/acbm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acbm_net.dir/as_graph.cpp.o"
+  "CMakeFiles/acbm_net.dir/as_graph.cpp.o.d"
+  "CMakeFiles/acbm_net.dir/gao.cpp.o"
+  "CMakeFiles/acbm_net.dir/gao.cpp.o.d"
+  "CMakeFiles/acbm_net.dir/ip_space.cpp.o"
+  "CMakeFiles/acbm_net.dir/ip_space.cpp.o.d"
+  "CMakeFiles/acbm_net.dir/ipv4.cpp.o"
+  "CMakeFiles/acbm_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/acbm_net.dir/routing.cpp.o"
+  "CMakeFiles/acbm_net.dir/routing.cpp.o.d"
+  "CMakeFiles/acbm_net.dir/topology.cpp.o"
+  "CMakeFiles/acbm_net.dir/topology.cpp.o.d"
+  "libacbm_net.a"
+  "libacbm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acbm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

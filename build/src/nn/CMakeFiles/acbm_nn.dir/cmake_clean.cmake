@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acbm_nn.dir/grid_search.cpp.o"
+  "CMakeFiles/acbm_nn.dir/grid_search.cpp.o.d"
+  "CMakeFiles/acbm_nn.dir/mlp.cpp.o"
+  "CMakeFiles/acbm_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/acbm_nn.dir/nar.cpp.o"
+  "CMakeFiles/acbm_nn.dir/nar.cpp.o.d"
+  "libacbm_nn.a"
+  "libacbm_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acbm_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acbm_sdnsim.dir/middlebox.cpp.o"
+  "CMakeFiles/acbm_sdnsim.dir/middlebox.cpp.o.d"
+  "CMakeFiles/acbm_sdnsim.dir/policy.cpp.o"
+  "CMakeFiles/acbm_sdnsim.dir/policy.cpp.o.d"
+  "CMakeFiles/acbm_sdnsim.dir/simulator.cpp.o"
+  "CMakeFiles/acbm_sdnsim.dir/simulator.cpp.o.d"
+  "CMakeFiles/acbm_sdnsim.dir/traffic.cpp.o"
+  "CMakeFiles/acbm_sdnsim.dir/traffic.cpp.o.d"
+  "libacbm_sdnsim.a"
+  "libacbm_sdnsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acbm_sdnsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

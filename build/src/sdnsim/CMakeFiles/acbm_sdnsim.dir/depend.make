@@ -1,0 +1,2 @@
+# Empty dependencies file for acbm_sdnsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acbm_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/acbm_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/acbm_stats.dir/distribution.cpp.o"
+  "CMakeFiles/acbm_stats.dir/distribution.cpp.o.d"
+  "CMakeFiles/acbm_stats.dir/kmeans.cpp.o"
+  "CMakeFiles/acbm_stats.dir/kmeans.cpp.o.d"
+  "CMakeFiles/acbm_stats.dir/matrix.cpp.o"
+  "CMakeFiles/acbm_stats.dir/matrix.cpp.o.d"
+  "CMakeFiles/acbm_stats.dir/metrics.cpp.o"
+  "CMakeFiles/acbm_stats.dir/metrics.cpp.o.d"
+  "CMakeFiles/acbm_stats.dir/ols.cpp.o"
+  "CMakeFiles/acbm_stats.dir/ols.cpp.o.d"
+  "CMakeFiles/acbm_stats.dir/rng.cpp.o"
+  "CMakeFiles/acbm_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/acbm_stats.dir/silhouette.cpp.o"
+  "CMakeFiles/acbm_stats.dir/silhouette.cpp.o.d"
+  "CMakeFiles/acbm_stats.dir/split.cpp.o"
+  "CMakeFiles/acbm_stats.dir/split.cpp.o.d"
+  "libacbm_stats.a"
+  "libacbm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acbm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/botnet.cpp" "src/trace/CMakeFiles/acbm_trace.dir/botnet.cpp.o" "gcc" "src/trace/CMakeFiles/acbm_trace.dir/botnet.cpp.o.d"
+  "/root/repo/src/trace/dataset.cpp" "src/trace/CMakeFiles/acbm_trace.dir/dataset.cpp.o" "gcc" "src/trace/CMakeFiles/acbm_trace.dir/dataset.cpp.o.d"
+  "/root/repo/src/trace/family.cpp" "src/trace/CMakeFiles/acbm_trace.dir/family.cpp.o" "gcc" "src/trace/CMakeFiles/acbm_trace.dir/family.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/acbm_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/acbm_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/world.cpp" "src/trace/CMakeFiles/acbm_trace.dir/world.cpp.o" "gcc" "src/trace/CMakeFiles/acbm_trace.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/acbm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/acbm_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acbm_trace.dir/botnet.cpp.o"
+  "CMakeFiles/acbm_trace.dir/botnet.cpp.o.d"
+  "CMakeFiles/acbm_trace.dir/dataset.cpp.o"
+  "CMakeFiles/acbm_trace.dir/dataset.cpp.o.d"
+  "CMakeFiles/acbm_trace.dir/family.cpp.o"
+  "CMakeFiles/acbm_trace.dir/family.cpp.o.d"
+  "CMakeFiles/acbm_trace.dir/generator.cpp.o"
+  "CMakeFiles/acbm_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/acbm_trace.dir/world.cpp.o"
+  "CMakeFiles/acbm_trace.dir/world.cpp.o.d"
+  "libacbm_trace.a"
+  "libacbm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acbm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

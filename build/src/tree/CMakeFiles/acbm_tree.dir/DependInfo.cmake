@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/cart.cpp" "src/tree/CMakeFiles/acbm_tree.dir/cart.cpp.o" "gcc" "src/tree/CMakeFiles/acbm_tree.dir/cart.cpp.o.d"
+  "/root/repo/src/tree/model_tree.cpp" "src/tree/CMakeFiles/acbm_tree.dir/model_tree.cpp.o" "gcc" "src/tree/CMakeFiles/acbm_tree.dir/model_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/acbm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

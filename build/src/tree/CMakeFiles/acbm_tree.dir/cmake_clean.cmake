@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acbm_tree.dir/cart.cpp.o"
+  "CMakeFiles/acbm_tree.dir/cart.cpp.o.d"
+  "CMakeFiles/acbm_tree.dir/model_tree.cpp.o"
+  "CMakeFiles/acbm_tree.dir/model_tree.cpp.o.d"
+  "libacbm_tree.a"
+  "libacbm_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acbm_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

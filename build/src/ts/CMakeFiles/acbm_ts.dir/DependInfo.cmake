@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ts/ar.cpp" "src/ts/CMakeFiles/acbm_ts.dir/ar.cpp.o" "gcc" "src/ts/CMakeFiles/acbm_ts.dir/ar.cpp.o.d"
+  "/root/repo/src/ts/arima.cpp" "src/ts/CMakeFiles/acbm_ts.dir/arima.cpp.o" "gcc" "src/ts/CMakeFiles/acbm_ts.dir/arima.cpp.o.d"
+  "/root/repo/src/ts/arma.cpp" "src/ts/CMakeFiles/acbm_ts.dir/arma.cpp.o" "gcc" "src/ts/CMakeFiles/acbm_ts.dir/arma.cpp.o.d"
+  "/root/repo/src/ts/diagnostics.cpp" "src/ts/CMakeFiles/acbm_ts.dir/diagnostics.cpp.o" "gcc" "src/ts/CMakeFiles/acbm_ts.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/ts/differencing.cpp" "src/ts/CMakeFiles/acbm_ts.dir/differencing.cpp.o" "gcc" "src/ts/CMakeFiles/acbm_ts.dir/differencing.cpp.o.d"
+  "/root/repo/src/ts/pacf.cpp" "src/ts/CMakeFiles/acbm_ts.dir/pacf.cpp.o" "gcc" "src/ts/CMakeFiles/acbm_ts.dir/pacf.cpp.o.d"
+  "/root/repo/src/ts/seasonal.cpp" "src/ts/CMakeFiles/acbm_ts.dir/seasonal.cpp.o" "gcc" "src/ts/CMakeFiles/acbm_ts.dir/seasonal.cpp.o.d"
+  "/root/repo/src/ts/selection.cpp" "src/ts/CMakeFiles/acbm_ts.dir/selection.cpp.o" "gcc" "src/ts/CMakeFiles/acbm_ts.dir/selection.cpp.o.d"
+  "/root/repo/src/ts/var.cpp" "src/ts/CMakeFiles/acbm_ts.dir/var.cpp.o" "gcc" "src/ts/CMakeFiles/acbm_ts.dir/var.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/acbm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acbm_ts.dir/ar.cpp.o"
+  "CMakeFiles/acbm_ts.dir/ar.cpp.o.d"
+  "CMakeFiles/acbm_ts.dir/arima.cpp.o"
+  "CMakeFiles/acbm_ts.dir/arima.cpp.o.d"
+  "CMakeFiles/acbm_ts.dir/arma.cpp.o"
+  "CMakeFiles/acbm_ts.dir/arma.cpp.o.d"
+  "CMakeFiles/acbm_ts.dir/diagnostics.cpp.o"
+  "CMakeFiles/acbm_ts.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/acbm_ts.dir/differencing.cpp.o"
+  "CMakeFiles/acbm_ts.dir/differencing.cpp.o.d"
+  "CMakeFiles/acbm_ts.dir/pacf.cpp.o"
+  "CMakeFiles/acbm_ts.dir/pacf.cpp.o.d"
+  "CMakeFiles/acbm_ts.dir/seasonal.cpp.o"
+  "CMakeFiles/acbm_ts.dir/seasonal.cpp.o.d"
+  "CMakeFiles/acbm_ts.dir/selection.cpp.o"
+  "CMakeFiles/acbm_ts.dir/selection.cpp.o.d"
+  "CMakeFiles/acbm_ts.dir/var.cpp.o"
+  "CMakeFiles/acbm_ts.dir/var.cpp.o.d"
+  "libacbm_ts.a"
+  "libacbm_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acbm_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_detection.dir/core/detection_test.cpp.o"
+  "CMakeFiles/test_core_detection.dir/core/detection_test.cpp.o.d"
+  "test_core_detection"
+  "test_core_detection.pdb"
+  "test_core_detection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

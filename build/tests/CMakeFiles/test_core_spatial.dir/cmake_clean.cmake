@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_spatial.dir/core/spatial_model_test.cpp.o"
+  "CMakeFiles/test_core_spatial.dir/core/spatial_model_test.cpp.o.d"
+  "test_core_spatial"
+  "test_core_spatial.pdb"
+  "test_core_spatial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

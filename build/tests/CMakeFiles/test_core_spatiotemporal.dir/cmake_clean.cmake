@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_spatiotemporal.dir/core/spatiotemporal_model_test.cpp.o"
+  "CMakeFiles/test_core_spatiotemporal.dir/core/spatiotemporal_model_test.cpp.o.d"
+  "test_core_spatiotemporal"
+  "test_core_spatiotemporal.pdb"
+  "test_core_spatiotemporal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_spatiotemporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_temporal.dir/core/temporal_model_test.cpp.o"
+  "CMakeFiles/test_core_temporal.dir/core/temporal_model_test.cpp.o.d"
+  "test_core_temporal"
+  "test_core_temporal.pdb"
+  "test_core_temporal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_serialization.dir/integration/serialization_test.cpp.o"
+  "CMakeFiles/test_integration_serialization.dir/integration/serialization_test.cpp.o.d"
+  "test_integration_serialization"
+  "test_integration_serialization.pdb"
+  "test_integration_serialization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_serialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

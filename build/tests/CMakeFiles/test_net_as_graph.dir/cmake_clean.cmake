@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_as_graph.dir/net/as_graph_test.cpp.o"
+  "CMakeFiles/test_net_as_graph.dir/net/as_graph_test.cpp.o.d"
+  "test_net_as_graph"
+  "test_net_as_graph.pdb"
+  "test_net_as_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_as_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_gao.dir/net/gao_test.cpp.o"
+  "CMakeFiles/test_net_gao.dir/net/gao_test.cpp.o.d"
+  "test_net_gao"
+  "test_net_gao.pdb"
+  "test_net_gao[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_gao.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

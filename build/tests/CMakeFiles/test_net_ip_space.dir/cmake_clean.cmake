@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_ip_space.dir/net/ip_space_test.cpp.o"
+  "CMakeFiles/test_net_ip_space.dir/net/ip_space_test.cpp.o.d"
+  "test_net_ip_space"
+  "test_net_ip_space.pdb"
+  "test_net_ip_space[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_ip_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

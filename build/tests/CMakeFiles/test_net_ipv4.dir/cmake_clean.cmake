@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_ipv4.dir/net/ipv4_test.cpp.o"
+  "CMakeFiles/test_net_ipv4.dir/net/ipv4_test.cpp.o.d"
+  "test_net_ipv4"
+  "test_net_ipv4.pdb"
+  "test_net_ipv4[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_ipv4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_routing.dir/net/routing_test.cpp.o"
+  "CMakeFiles/test_net_routing.dir/net/routing_test.cpp.o.d"
+  "test_net_routing"
+  "test_net_routing.pdb"
+  "test_net_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

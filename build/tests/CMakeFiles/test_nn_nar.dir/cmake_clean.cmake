@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_nar.dir/nn/nar_test.cpp.o"
+  "CMakeFiles/test_nn_nar.dir/nn/nar_test.cpp.o.d"
+  "test_nn_nar"
+  "test_nn_nar.pdb"
+  "test_nn_nar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_nar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

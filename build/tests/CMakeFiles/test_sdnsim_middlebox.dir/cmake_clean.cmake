@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdnsim_middlebox.dir/sdnsim/middlebox_test.cpp.o"
+  "CMakeFiles/test_sdnsim_middlebox.dir/sdnsim/middlebox_test.cpp.o.d"
+  "test_sdnsim_middlebox"
+  "test_sdnsim_middlebox.pdb"
+  "test_sdnsim_middlebox[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdnsim_middlebox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

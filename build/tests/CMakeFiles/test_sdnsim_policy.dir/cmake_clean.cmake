@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdnsim_policy.dir/sdnsim/policy_test.cpp.o"
+  "CMakeFiles/test_sdnsim_policy.dir/sdnsim/policy_test.cpp.o.d"
+  "test_sdnsim_policy"
+  "test_sdnsim_policy.pdb"
+  "test_sdnsim_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdnsim_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdnsim_simulator.dir/sdnsim/simulator_test.cpp.o"
+  "CMakeFiles/test_sdnsim_simulator.dir/sdnsim/simulator_test.cpp.o.d"
+  "test_sdnsim_simulator"
+  "test_sdnsim_simulator.pdb"
+  "test_sdnsim_simulator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdnsim_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

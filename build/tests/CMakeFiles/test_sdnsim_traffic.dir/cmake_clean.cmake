@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdnsim_traffic.dir/sdnsim/traffic_test.cpp.o"
+  "CMakeFiles/test_sdnsim_traffic.dir/sdnsim/traffic_test.cpp.o.d"
+  "test_sdnsim_traffic"
+  "test_sdnsim_traffic.pdb"
+  "test_sdnsim_traffic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdnsim_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

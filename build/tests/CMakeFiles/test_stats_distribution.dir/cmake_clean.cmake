@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_distribution.dir/stats/distribution_test.cpp.o"
+  "CMakeFiles/test_stats_distribution.dir/stats/distribution_test.cpp.o.d"
+  "test_stats_distribution"
+  "test_stats_distribution.pdb"
+  "test_stats_distribution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_kmeans.dir/stats/kmeans_test.cpp.o"
+  "CMakeFiles/test_stats_kmeans.dir/stats/kmeans_test.cpp.o.d"
+  "test_stats_kmeans"
+  "test_stats_kmeans.pdb"
+  "test_stats_kmeans[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

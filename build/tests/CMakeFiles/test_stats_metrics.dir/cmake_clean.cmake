@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_metrics.dir/stats/metrics_test.cpp.o"
+  "CMakeFiles/test_stats_metrics.dir/stats/metrics_test.cpp.o.d"
+  "test_stats_metrics"
+  "test_stats_metrics.pdb"
+  "test_stats_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_ols.dir/stats/ols_test.cpp.o"
+  "CMakeFiles/test_stats_ols.dir/stats/ols_test.cpp.o.d"
+  "test_stats_ols"
+  "test_stats_ols.pdb"
+  "test_stats_ols[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_ols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/silhouette_test.cpp" "tests/CMakeFiles/test_stats_silhouette.dir/stats/silhouette_test.cpp.o" "gcc" "tests/CMakeFiles/test_stats_silhouette.dir/stats/silhouette_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/acbm_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdnsim/CMakeFiles/acbm_sdnsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/acbm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/acbm_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/acbm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/acbm_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/acbm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/acbm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/acbm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_silhouette.dir/stats/silhouette_test.cpp.o"
+  "CMakeFiles/test_stats_silhouette.dir/stats/silhouette_test.cpp.o.d"
+  "test_stats_silhouette"
+  "test_stats_silhouette.pdb"
+  "test_stats_silhouette[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_silhouette.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_split.dir/stats/split_test.cpp.o"
+  "CMakeFiles/test_stats_split.dir/stats/split_test.cpp.o.d"
+  "test_stats_split"
+  "test_stats_split.pdb"
+  "test_stats_split[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_botnet.dir/trace/botnet_test.cpp.o"
+  "CMakeFiles/test_trace_botnet.dir/trace/botnet_test.cpp.o.d"
+  "test_trace_botnet"
+  "test_trace_botnet.pdb"
+  "test_trace_botnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_botnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_dataset.dir/trace/dataset_test.cpp.o"
+  "CMakeFiles/test_trace_dataset.dir/trace/dataset_test.cpp.o.d"
+  "test_trace_dataset"
+  "test_trace_dataset.pdb"
+  "test_trace_dataset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

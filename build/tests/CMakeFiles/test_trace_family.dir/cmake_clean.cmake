@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_family.dir/trace/family_test.cpp.o"
+  "CMakeFiles/test_trace_family.dir/trace/family_test.cpp.o.d"
+  "test_trace_family"
+  "test_trace_family.pdb"
+  "test_trace_family[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

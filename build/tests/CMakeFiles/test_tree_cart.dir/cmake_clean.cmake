@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_cart.dir/tree/cart_test.cpp.o"
+  "CMakeFiles/test_tree_cart.dir/tree/cart_test.cpp.o.d"
+  "test_tree_cart"
+  "test_tree_cart.pdb"
+  "test_tree_cart[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_cart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ts_ar.dir/ts/ar_test.cpp.o"
+  "CMakeFiles/test_ts_ar.dir/ts/ar_test.cpp.o.d"
+  "test_ts_ar"
+  "test_ts_ar.pdb"
+  "test_ts_ar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ts_ar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

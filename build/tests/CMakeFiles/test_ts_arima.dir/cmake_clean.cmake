@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ts_arima.dir/ts/arima_test.cpp.o"
+  "CMakeFiles/test_ts_arima.dir/ts/arima_test.cpp.o.d"
+  "test_ts_arima"
+  "test_ts_arima.pdb"
+  "test_ts_arima[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ts_arima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

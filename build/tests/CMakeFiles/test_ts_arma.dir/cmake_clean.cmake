@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ts_arma.dir/ts/arma_test.cpp.o"
+  "CMakeFiles/test_ts_arma.dir/ts/arma_test.cpp.o.d"
+  "test_ts_arma"
+  "test_ts_arma.pdb"
+  "test_ts_arma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ts_arma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

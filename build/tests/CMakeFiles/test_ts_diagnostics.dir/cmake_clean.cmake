@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ts_diagnostics.dir/ts/diagnostics_test.cpp.o"
+  "CMakeFiles/test_ts_diagnostics.dir/ts/diagnostics_test.cpp.o.d"
+  "test_ts_diagnostics"
+  "test_ts_diagnostics.pdb"
+  "test_ts_diagnostics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ts_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

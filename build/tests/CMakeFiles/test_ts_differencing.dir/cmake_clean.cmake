@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ts_differencing.dir/ts/differencing_test.cpp.o"
+  "CMakeFiles/test_ts_differencing.dir/ts/differencing_test.cpp.o.d"
+  "test_ts_differencing"
+  "test_ts_differencing.pdb"
+  "test_ts_differencing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ts_differencing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

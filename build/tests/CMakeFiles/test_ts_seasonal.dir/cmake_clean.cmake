@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ts_seasonal.dir/ts/seasonal_test.cpp.o"
+  "CMakeFiles/test_ts_seasonal.dir/ts/seasonal_test.cpp.o.d"
+  "test_ts_seasonal"
+  "test_ts_seasonal.pdb"
+  "test_ts_seasonal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ts_seasonal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ts_selection.dir/ts/selection_test.cpp.o"
+  "CMakeFiles/test_ts_selection.dir/ts/selection_test.cpp.o.d"
+  "test_ts_selection"
+  "test_ts_selection.pdb"
+  "test_ts_selection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ts_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

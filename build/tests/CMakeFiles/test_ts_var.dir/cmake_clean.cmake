@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ts_var.dir/ts/var_test.cpp.o"
+  "CMakeFiles/test_ts_var.dir/ts/var_test.cpp.o.d"
+  "test_ts_var"
+  "test_ts_var.pdb"
+  "test_ts_var[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ts_var.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -5,10 +5,13 @@
 #include <benchmark/benchmark.h>
 
 #include "core/features.h"
+#include "core/parallel.h"
 #include "core/temporal_model.h"
 #include "net/gao.h"
 #include "net/routing.h"
+#include "nn/grid_search.h"
 #include "nn/nar.h"
+#include "stats/matrix.h"
 #include "stats/rng.h"
 #include "tree/model_tree.h"
 #include "trace/world.h"
@@ -195,6 +198,61 @@ void BM_TemporalModelFit(benchmark::State& state) {
   state.SetLabel(std::to_string(series.magnitude.size()) + " attacks");
 }
 BENCHMARK(BM_TemporalModelFit)->Unit(benchmark::kMillisecond);
+
+// --- Thread sweeps --------------------------------------------------------
+//
+// Each sweep pins the parallel runtime to state.range(0) threads; Arg(1) is
+// the serial baseline, so the per-arg ratio is the parallel speedup. The
+// output is bit-identical across the sweep (the determinism contract), so
+// every arg does the same work.
+
+void BM_NarGridSearchThreads(benchmark::State& state) {
+  core::set_num_threads(static_cast<std::size_t>(state.range(0)));
+  const auto xs = ar_series(300);
+  nn::NarGridOptions opts;
+  opts.mlp.max_epochs = 80;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::nar_grid_search(xs, opts));
+  }
+  core::set_num_threads(0);
+}
+BENCHMARK(BM_NarGridSearchThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TraceGenerationThreads(benchmark::State& state) {
+  core::set_num_threads(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    trace::WorldOptions opts = trace::small_world_options(17);
+    opts.generator.days = 70;
+    benchmark::DoNotOptimize(trace::build_world(opts).dataset.size());
+  }
+  core::set_num_threads(0);
+}
+BENCHMARK(BM_TraceGenerationThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MatrixMultiplyThreads(benchmark::State& state) {
+  core::set_num_threads(static_cast<std::size_t>(state.range(0)));
+  stats::Rng rng(29);
+  const std::size_t n = 192;
+  stats::Matrix a(n, n);
+  stats::Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = rng.uniform(-1.0, 1.0);
+      b(i, j) = rng.uniform(-1.0, 1.0);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((a * b).frobenius_norm());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * n * n));
+  core::set_num_threads(0);
+}
+BENCHMARK(BM_MatrixMultiplyThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 

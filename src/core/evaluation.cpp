@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/parallel.h"
 #include "stats/metrics.h"
 
 namespace acbm::core {
@@ -153,9 +154,21 @@ SpatialEvaluation evaluate_spatial_series(const trace::Dataset& dataset,
   for (const auto& [asn, list] : per_target) targets.push_back(asn);
   std::sort(targets.begin(), targets.end());
 
-  for (net::Asn asn : targets) {
-    const auto& indices = per_target[asn];
-    if (indices.size() < min_target_attacks) continue;
+  // Per-target fit+score tasks are independent; their per-attack outputs
+  // are concatenated in sorted-target order, matching the serial sweep.
+  struct TargetBlock {
+    std::vector<double> truth;
+    std::vector<double> model_pred;
+    std::vector<double> same_pred;
+    std::vector<double> mean_pred;
+    bool evaluated = false;
+  };
+  const std::vector<TargetBlock> blocks = parallel_map(
+      targets.size(), [&](std::size_t ti) -> TargetBlock {
+    TargetBlock block;
+    const net::Asn asn = targets[ti];
+    const auto& indices = per_target.at(asn);
+    if (indices.size() < min_target_attacks) return block;
     // Build the target series restricted to this family.
     TargetSeries ts;
     ts.asn = asn;
@@ -177,7 +190,7 @@ SpatialEvaluation evaluate_spatial_series(const trace::Dataset& dataset,
     const std::span<const double> series = series_of(ts, which);
     const auto split = static_cast<std::size_t>(
         static_cast<double>(series.size()) * train_fraction);
-    if (split < 3 || split >= series.size()) continue;
+    if (split < 3 || split >= series.size()) return block;
 
     TargetSeries train = ts;
     train.attack_indices.resize(split);
@@ -194,11 +207,23 @@ SpatialEvaluation evaluate_spatial_series(const trace::Dataset& dataset,
     const std::vector<double> same = always_same_predictions(series, split);
     const std::vector<double> mean = always_mean_predictions(series, split);
     for (std::size_t i = 0; i < pred.size(); ++i) {
-      out.truth.push_back(series[split + i]);
-      out.model_pred.push_back(pred[i]);
-      out.same_pred.push_back(same[i]);
-      out.mean_pred.push_back(mean[i]);
+      block.truth.push_back(series[split + i]);
+      block.model_pred.push_back(pred[i]);
+      block.same_pred.push_back(same[i]);
+      block.mean_pred.push_back(mean[i]);
     }
+    block.evaluated = true;
+    return block;
+  });
+  for (const TargetBlock& block : blocks) {
+    if (!block.evaluated) continue;
+    out.truth.insert(out.truth.end(), block.truth.begin(), block.truth.end());
+    out.model_pred.insert(out.model_pred.end(), block.model_pred.begin(),
+                          block.model_pred.end());
+    out.same_pred.insert(out.same_pred.end(), block.same_pred.begin(),
+                         block.same_pred.end());
+    out.mean_pred.insert(out.mean_pred.end(), block.mean_pred.begin(),
+                         block.mean_pred.end());
     ++out.targets_evaluated;
   }
   if (!out.truth.empty()) {
@@ -233,12 +258,25 @@ SourceDistributionEvaluation evaluate_source_distribution(
   std::vector<double> mean_tv;
   std::size_t samples = 0;
 
-  for (net::Asn asn : targets) {
-    const auto& indices = per_target[asn];
-    if (indices.size() < min_target_attacks) continue;
+  // Per-target prediction tasks run concurrently; their partial aggregates
+  // merge below in sorted-target order, so the reduction is deterministic.
+  struct TargetAgg {
+    std::vector<double> per_attack_tv;
+    std::vector<double> same_tv;
+    std::vector<double> mean_tv;
+    std::unordered_map<net::Asn, double> agg_truth;
+    std::unordered_map<net::Asn, double> agg_pred;
+    std::size_t samples = 0;
+  };
+  const std::vector<TargetAgg> aggs = parallel_map(
+      targets.size(), [&](std::size_t ti) -> TargetAgg {
+    TargetAgg agg;
+    const net::Asn asn = targets[ti];
+    const auto& indices = per_target.at(asn);
+    if (indices.size() < min_target_attacks) return agg;
     const auto split = static_cast<std::size_t>(
         static_cast<double>(indices.size()) * train_fraction);
-    if (split < 2 || split >= indices.size()) continue;
+    if (split < 2 || split >= indices.size()) return agg;
 
     // Distributions of every attack on this target, chronological.
     std::vector<std::unordered_map<net::Asn, double>> dists;
@@ -268,20 +306,33 @@ SourceDistributionEvaluation evaluate_source_distribution(
       const auto pred = model.predict_source_distribution(history);
       const auto& truth = dists[k];
 
-      out.per_attack_tv.push_back(tv_distance(truth, pred));
-      same_tv.push_back(tv_distance(truth, dists[k - 1]));
+      agg.per_attack_tv.push_back(tv_distance(truth, pred));
+      agg.same_tv.push_back(tv_distance(truth, dists[k - 1]));
       std::unordered_map<net::Asn, double> mean_dist;
       for (const auto& [a, total] : running_sum) {
         mean_dist[a] = total / static_cast<double>(k);
       }
-      mean_tv.push_back(tv_distance(truth, mean_dist));
+      agg.mean_tv.push_back(tv_distance(truth, mean_dist));
 
-      for (const auto& [a, share] : truth) agg_truth[a] += share;
-      for (const auto& [a, share] : pred) agg_pred[a] += share;
-      ++samples;
+      for (const auto& [a, share] : truth) agg.agg_truth[a] += share;
+      for (const auto& [a, share] : pred) agg.agg_pred[a] += share;
+      ++agg.samples;
 
       for (const auto& [a, share] : dists[k]) running_sum[a] += share;
     }
+    return agg;
+  });
+  for (const TargetAgg& agg : aggs) {
+    out.per_attack_tv.insert(out.per_attack_tv.end(),
+                             agg.per_attack_tv.begin(),
+                             agg.per_attack_tv.end());
+    same_tv.insert(same_tv.end(), agg.same_tv.begin(), agg.same_tv.end());
+    mean_tv.insert(mean_tv.end(), agg.mean_tv.begin(), agg.mean_tv.end());
+    // Keys merge in each task's (deterministic) map order; values were
+    // summed per target first, so totals do not depend on thread count.
+    for (const auto& [a, share] : agg.agg_truth) agg_truth[a] += share;
+    for (const auto& [a, share] : agg.agg_pred) agg_pred[a] += share;
+    samples += agg.samples;
   }
 
   if (samples > 0) {
@@ -451,25 +502,36 @@ std::vector<ComparisonRow> comparison_table(const trace::Dataset& dataset,
                                             const net::IpToAsnMap& ip_map,
                                             std::size_t top_families,
                                             double train_fraction) {
-  std::vector<ComparisonRow> out;
-  for (std::uint32_t family : most_active_families(dataset, top_families)) {
+  // One task per family (each runs all three §VII-A evaluations); results
+  // concatenate in activity-rank order, identical to the serial sweep.
+  const std::vector<std::uint32_t> families =
+      most_active_families(dataset, top_families);
+  const std::vector<std::vector<ComparisonRow>> family_rows = parallel_map(
+      families.size(), [&](std::size_t fi) -> std::vector<ComparisonRow> {
+    const std::uint32_t family = families[fi];
     const std::string& name = dataset.family_names()[family];
+    std::vector<ComparisonRow> rows;
 
     const SeriesEvaluation magnitude = evaluate_temporal_series(
         dataset, ip_map, family, TemporalSeries::kMagnitude, {}, train_fraction);
-    out.push_back({name, "magnitude", magnitude.model_rmse,
-                   magnitude.same_rmse, magnitude.mean_rmse});
+    rows.push_back({name, "magnitude", magnitude.model_rmse,
+                    magnitude.same_rmse, magnitude.mean_rmse});
 
     const SpatialEvaluation duration = evaluate_spatial_series(
         dataset, ip_map, family, SpatialSeries::kDuration, {}, train_fraction,
         /*min_target_attacks=*/10);
-    out.push_back({name, "duration_s", duration.model_rmse,
-                   duration.same_rmse, duration.mean_rmse});
+    rows.push_back({name, "duration_s", duration.model_rmse,
+                    duration.same_rmse, duration.mean_rmse});
 
     const SourceDistributionEvaluation sources = evaluate_source_distribution(
         dataset, ip_map, family, {}, train_fraction, /*min_target_attacks=*/10);
-    out.push_back({name, "source_distribution", sources.model_rmse,
-                   sources.same_rmse, sources.mean_rmse});
+    rows.push_back({name, "source_distribution", sources.model_rmse,
+                    sources.same_rmse, sources.mean_rmse});
+    return rows;
+  });
+  std::vector<ComparisonRow> out;
+  for (const std::vector<ComparisonRow>& rows : family_rows) {
+    out.insert(out.end(), rows.begin(), rows.end());
   }
   return out;
 }

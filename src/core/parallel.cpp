@@ -1,0 +1,182 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+
+namespace acbm::core {
+
+namespace {
+
+// Set for the lifetime of every worker thread; parallel fan-out degrades to
+// a serial inline loop on these threads so nesting cannot deadlock.
+thread_local bool t_pool_worker = false;
+
+// Shared-runtime state behind num_threads()/set_num_threads()/parallel_for.
+std::mutex g_runtime_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+std::size_t g_thread_override = 0;
+
+std::size_t env_threads() {
+  const char* value = std::getenv("ACBM_THREADS");
+  if (value == nullptr || *value == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(value, &end, 10);
+  if (end == nullptr || *end != '\0') return 0;
+  return static_cast<std::size_t>(parsed);
+}
+
+std::size_t resolve_threads_locked() {
+  if (g_thread_override > 0) return g_thread_override;
+  if (const std::size_t from_env = env_threads(); from_env > 0) return from_env;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count = std::max<std::size_t>(1, threads);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::on_worker_thread() noexcept { return t_pool_worker; }
+
+void ThreadPool::worker_loop() {
+  t_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained.
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::for_each_index(std::size_t begin, std::size_t end,
+                                const std::function<void(std::size_t)>& fn,
+                                std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t chunk = std::max<std::size_t>(1, grain);
+  // Serial fast paths: a single index, or a caller that is itself a pool
+  // worker (nested fan-out must not wait on the queue it runs from).
+  if (end - begin == 1 || t_pool_worker) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // One batch shared by every participating worker: each grabs the next
+  // `chunk` indices until the range (or the batch, on failure) is spent.
+  struct Batch {
+    std::atomic<std::size_t> next;
+    std::atomic<bool> failed{false};
+    std::size_t end;
+    std::size_t grain;
+    const std::function<void(std::size_t)>* fn;
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t pending;
+    std::exception_ptr error;
+    std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  };
+  Batch batch;
+  batch.next.store(begin);
+  batch.end = end;
+  batch.grain = chunk;
+  batch.fn = &fn;
+
+  const std::size_t spans = (end - begin + chunk - 1) / chunk;
+  const std::size_t tasks = std::min(workers_.size(), spans);
+  batch.pending = tasks;
+
+  const auto drain = [&batch] {
+    for (;;) {
+      if (batch.failed.load(std::memory_order_relaxed)) break;
+      const std::size_t start = batch.next.fetch_add(batch.grain);
+      if (start >= batch.end) break;
+      const std::size_t stop = std::min(batch.end, start + batch.grain);
+      for (std::size_t i = start; i < stop; ++i) {
+        try {
+          (*batch.fn)(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(batch.mutex);
+          if (i < batch.error_index) {
+            batch.error_index = i;
+            batch.error = std::current_exception();
+          }
+          batch.failed.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+    }
+    const std::lock_guard<std::mutex> lock(batch.mutex);
+    if (--batch.pending == 0) batch.done.notify_all();
+  };
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t t = 0; t < tasks; ++t) tasks_.emplace(drain);
+  }
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(batch.mutex);
+  batch.done.wait(lock, [&batch] { return batch.pending == 0; });
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+std::size_t num_threads() {
+  const std::lock_guard<std::mutex> lock(g_runtime_mutex);
+  return resolve_threads_locked();
+}
+
+void set_num_threads(std::size_t n) {
+  const std::lock_guard<std::mutex> lock(g_runtime_mutex);
+  g_thread_override = n;
+  // Drop a stale pool now so shutdown is prompt; parallel_for rebuilds.
+  if (g_pool && g_pool->size() != resolve_threads_locked()) g_pool.reset();
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain) {
+  if (begin >= end) return;
+  if (end - begin == 1 || ThreadPool::on_worker_thread()) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  ThreadPool* pool = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(g_runtime_mutex);
+    const std::size_t threads = resolve_threads_locked();
+    if (threads > 1) {
+      if (!g_pool || g_pool->size() != threads) {
+        g_pool = std::make_unique<ThreadPool>(threads);
+      }
+      pool = g_pool.get();
+    }
+  }
+  if (pool == nullptr) {  // Serial path: ACBM_THREADS=1 or a 1-core host.
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  pool->for_each_index(begin, end, fn, grain);
+}
+
+}  // namespace acbm::core

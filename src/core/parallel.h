@@ -1,0 +1,100 @@
+// The parallel execution runtime: a fixed-size thread pool and the
+// deterministic fan-out primitives (`parallel_for`, `parallel_map`) the hot
+// paths build on — NAR grid search, per-target/per-family model fits,
+// evaluation sweeps, trace generation, and the blocked matrix multiply.
+//
+// Determinism contract: every parallelized call site partitions its work by
+// index, writes results into index-addressed slots, and reduces them in
+// index order, so the output is bit-identical regardless of thread count.
+// Stochastic tasks draw from per-task Rng substreams
+// (stats::substream_seed) instead of a shared stream. `ACBM_THREADS=1`
+// forces the serial path for debugging; `ACBM_THREADS=N` pins the pool
+// size; unset defaults to std::thread::hardware_concurrency().
+//
+// This header lives under core/ but is a dependency-free base layer (its
+// own CMake target, acbm_parallel) so stats/nn/trace can use it without a
+// layering cycle.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace acbm::core {
+
+/// A fixed-size worker pool with a shared task queue. Construction spawns
+/// the workers; destruction drains nothing — it stops accepting work, wakes
+/// every worker, and joins them (pending batches must finish first via
+/// for_each_index, which blocks until its own work completes).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to at least 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs fn(i) for every i in [begin, end), distributing index chunks of
+  /// `grain` across the workers, and blocks until all indices complete.
+  /// If invocations throw, the exception from the lowest throwing index is
+  /// rethrown here (remaining chunks are abandoned once a failure is seen).
+  /// Called from a worker thread of any pool, it degrades to a serial
+  /// inline loop — nested fan-out cannot deadlock.
+  void for_each_index(std::size_t begin, std::size_t end,
+                      const std::function<void(std::size_t)>& fn,
+                      std::size_t grain = 1);
+
+  /// True when the calling thread is a worker of any ThreadPool.
+  [[nodiscard]] static bool on_worker_thread() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+/// Thread count the shared runtime fans out to. Resolution order: the
+/// set_num_threads() override, the ACBM_THREADS environment variable, then
+/// std::thread::hardware_concurrency() (floor 1).
+[[nodiscard]] std::size_t num_threads();
+
+/// Overrides the shared thread count (0 restores automatic resolution).
+/// Takes effect on the next parallel_for; the shared pool is rebuilt
+/// lazily. Not safe to call concurrently with an active parallel_for.
+void set_num_threads(std::size_t n);
+
+/// Runs fn(i) for i in [begin, end) on the shared pool. Serial inline when
+/// the resolved thread count is 1, the range has a single index, or the
+/// caller is already a pool worker (nested fan-out). Exceptions propagate
+/// as in ThreadPool::for_each_index.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 1);
+
+/// Ordered map: returns {fn(0), ..., fn(n-1)} with out[i] written only by
+/// the task that owns index i, so a subsequent index-order reduction is
+/// deterministic regardless of thread count. The result type must be
+/// default-constructible (wrap in std::optional otherwise).
+template <typename F>
+auto parallel_map(std::size_t n, F&& fn) {
+  using R = std::decay_t<std::invoke_result_t<F&, std::size_t>>;
+  static_assert(std::is_default_constructible_v<R>,
+                "parallel_map: result must be default-constructible");
+  std::vector<R> out(n);
+  parallel_for(0, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace acbm::core

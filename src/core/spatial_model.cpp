@@ -1,8 +1,10 @@
 #include "core/spatial_model.h"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
+#include "core/parallel.h"
 #include "stats/descriptive.h"
 #include "stats/serialize.h"
 
@@ -39,9 +41,15 @@ void SpatialModel::fit(const TargetSeries& train,
                        const trace::Dataset& dataset,
                        const net::IpToAsnMap& ip_map) {
   asn_ = train.asn;
-  fit_one(SpatialSeries::kDuration, train.duration_s);
-  fit_one(SpatialSeries::kInterval, train.interval_s);
-  fit_one(SpatialSeries::kHour, train.hour);
+  // The three series models are independent (each writes its own slot and
+  // every candidate network seeds its own Rng), so they fit concurrently.
+  const std::array<std::span<const double>, kSpatialSeriesCount> series = {
+      std::span<const double>(train.duration_s),
+      std::span<const double>(train.interval_s),
+      std::span<const double>(train.hour)};
+  parallel_for(0, kSpatialSeriesCount, [&](std::size_t s) {
+    fit_one(static_cast<SpatialSeries>(s), series[s]);
+  });
 
   // Source-AS share tracking: rank the ASes seen across the training
   // attacks by total share.

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
+
+#include "core/parallel.h"
 #include "stats/serialize.h"
 
 namespace acbm::core {
@@ -49,12 +52,23 @@ std::vector<StRow> assemble_rows(
     family_data.emplace(family, std::move(fd));
   }
 
-  std::vector<StRow> rows;
-  for (const auto& [asn, model] : spatial) {
+  // Fan out over targets (sorted so task indexing is reproducible); each
+  // task builds its own row block and the blocks are concatenated in target
+  // order before the final sort.
+  std::vector<net::Asn> target_order;
+  target_order.reserve(spatial.size());
+  for (const auto& [asn, model] : spatial) target_order.push_back(asn);
+  std::sort(target_order.begin(), target_order.end());
+
+  const std::vector<std::vector<StRow>> row_blocks = parallel_map(
+      target_order.size(), [&](std::size_t ti) -> std::vector<StRow> {
+    const net::Asn asn = target_order[ti];
+    const SpatialModel& model = spatial.at(asn);
+    std::vector<StRow> rows;
     const TargetSeries target = extract_target_series(dataset, asn);
     const std::size_t n = target.attack_indices.size();
     const std::size_t warmup = std::max<std::size_t>(opts.target_warmup, 1);
-    if (n <= warmup) continue;
+    if (n <= warmup) return rows;
     const std::vector<double> spa_hour =
         model.one_step_predictions(SpatialSeries::kHour, target.hour, warmup);
     const std::vector<double> spa_interval = model.one_step_predictions(
@@ -105,6 +119,12 @@ std::vector<StRow> assemble_rows(
       row.features.avg_magnitude = mag / static_cast<double>(window);
       rows.push_back(std::move(row));
     }
+    return rows;
+  });
+
+  std::vector<StRow> rows;
+  for (const std::vector<StRow>& block : row_blocks) {
+    rows.insert(rows.end(), block.begin(), block.end());
   }
   // Deterministic order (by predicted attack) regardless of map iteration.
   std::sort(rows.begin(), rows.end(), [](const StRow& a, const StRow& b) {
@@ -118,40 +138,58 @@ void SpatiotemporalModel::fit(const trace::Dataset& train,
   temporal_.clear();
   spatial_.clear();
 
-  for (std::uint32_t family = 0;
-       family < static_cast<std::uint32_t>(train.family_names().size());
-       ++family) {
-    const FamilySeries series =
-        extract_family_series(train, family, ip_map, nullptr);
-    if (series.attack_indices.size() < 2) continue;
-    TemporalModel model(opts_.temporal);
-    model.fit(series);
-    temporal_.emplace(family, std::move(model));
+  // Per-family temporal fits and per-target spatial fits are independent;
+  // both fan out across the pool and are merged back in index order, so the
+  // fitted model is identical at any thread count.
+  const auto n_families =
+      static_cast<std::uint32_t>(train.family_names().size());
+  std::vector<std::optional<TemporalModel>> family_fits =
+      parallel_map(n_families, [&](std::size_t f) -> std::optional<TemporalModel> {
+        const FamilySeries series = extract_family_series(
+            train, static_cast<std::uint32_t>(f), ip_map, nullptr);
+        if (series.attack_indices.size() < 2) return std::nullopt;
+        TemporalModel model(opts_.temporal);
+        model.fit(series);
+        return model;
+      });
+  for (std::uint32_t family = 0; family < n_families; ++family) {
+    if (family_fits[family]) {
+      temporal_.emplace(family, std::move(*family_fits[family]));
+    }
   }
 
-  for (net::Asn asn : train.target_asns()) {
-    TargetSeries series = extract_target_series(train, asn);
-    if (series.attack_indices.size() < opts_.min_target_attacks) continue;
-    if (opts_.max_target_history > 0 &&
-        series.attack_indices.size() > opts_.max_target_history) {
-      // Limited-information setting: keep only the most recent attacks.
-      const std::size_t drop =
-          series.attack_indices.size() - opts_.max_target_history;
-      const auto trim = [drop](std::vector<double>& v) {
-        v.erase(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(drop));
-      };
-      series.attack_indices.erase(
-          series.attack_indices.begin(),
-          series.attack_indices.begin() + static_cast<std::ptrdiff_t>(drop));
-      trim(series.duration_s);
-      trim(series.interval_s);
-      trim(series.hour);
-      trim(series.day);
-      trim(series.magnitude);
+  const std::vector<net::Asn> targets = train.target_asns();
+  std::vector<std::optional<SpatialModel>> target_fits =
+      parallel_map(targets.size(), [&](std::size_t t) -> std::optional<SpatialModel> {
+        TargetSeries series = extract_target_series(train, targets[t]);
+        if (series.attack_indices.size() < opts_.min_target_attacks) {
+          return std::nullopt;
+        }
+        if (opts_.max_target_history > 0 &&
+            series.attack_indices.size() > opts_.max_target_history) {
+          // Limited-information setting: keep only the most recent attacks.
+          const std::size_t drop =
+              series.attack_indices.size() - opts_.max_target_history;
+          const auto trim = [drop](std::vector<double>& v) {
+            v.erase(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(drop));
+          };
+          series.attack_indices.erase(
+              series.attack_indices.begin(),
+              series.attack_indices.begin() + static_cast<std::ptrdiff_t>(drop));
+          trim(series.duration_s);
+          trim(series.interval_s);
+          trim(series.hour);
+          trim(series.day);
+          trim(series.magnitude);
+        }
+        SpatialModel model(opts_.spatial);
+        model.fit(series, train, ip_map);
+        return model;
+      });
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    if (target_fits[t]) {
+      spatial_.emplace(targets[t], std::move(*target_fits[t]));
     }
-    SpatialModel model(opts_.spatial);
-    model.fit(series, train, ip_map);
-    spatial_.emplace(asn, std::move(model));
   }
 
   const std::vector<StRow> rows =

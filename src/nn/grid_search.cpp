@@ -1,8 +1,11 @@
 #include "nn/grid_search.h"
 
+#include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <tuple>
 
+#include "core/parallel.h"
 #include "stats/metrics.h"
 
 namespace acbm::nn {
@@ -18,45 +21,76 @@ std::optional<NarGridResult> nar_grid_search(std::span<const double> series,
   if (n_val == 0 || n_val >= n) return std::nullopt;
   const std::size_t split = n - n_val;
 
-  std::optional<NarGridResult> best;
-  double best_rmse = std::numeric_limits<double>::infinity();
+  // Flattened delay x hidden grid, evaluated concurrently: every candidate
+  // trains on the chronological head and scores one-step RMSE on the tail,
+  // fully independently (each Mlp seeds its own Rng).
+  struct Candidate {
+    std::size_t delays = 0;
+    std::size_t hidden = 0;
+  };
+  std::vector<Candidate> grid;
+  grid.reserve(opts.delay_grid.size() * opts.hidden_grid.size());
   for (std::size_t delays : opts.delay_grid) {
     for (std::size_t hidden : opts.hidden_grid) {
-      if (split < delays + 2) continue;
-      NarOptions nar_opts;
-      nar_opts.delays = delays;
-      nar_opts.hidden_nodes = hidden;
-      nar_opts.mlp = opts.mlp;
-      NarModel candidate(nar_opts);
-      try {
-        candidate.fit(series.subspan(0, split));
-      } catch (const std::invalid_argument&) {
-        continue;
-      }
-      const std::vector<double> preds =
-          candidate.one_step_predictions(series, split);
-      const std::vector<double> truth(series.begin() + static_cast<std::ptrdiff_t>(split),
-                                      series.end());
-      const double score = acbm::stats::rmse(truth, preds);
-      if (score < best_rmse) {
-        best_rmse = score;
-        NarGridResult result;
-        result.delays = delays;
-        result.hidden_nodes = hidden;
-        result.validation_rmse = score;
-        best = std::move(result);
-      }
+      grid.push_back({delays, hidden});
     }
   }
-  if (!best) return std::nullopt;
+
+  struct Score {
+    double rmse = std::numeric_limits<double>::infinity();
+    bool ok = false;
+  };
+  const std::vector<double> truth(
+      series.begin() + static_cast<std::ptrdiff_t>(split), series.end());
+  const std::vector<Score> scores =
+      core::parallel_map(grid.size(), [&](std::size_t g) {
+        Score score;
+        const Candidate& candidate = grid[g];
+        if (split < candidate.delays + 2) return score;
+        NarOptions nar_opts;
+        nar_opts.delays = candidate.delays;
+        nar_opts.hidden_nodes = candidate.hidden;
+        nar_opts.mlp = opts.mlp;
+        NarModel model(nar_opts);
+        try {
+          model.fit(series.subspan(0, split));
+        } catch (const std::invalid_argument&) {
+          return score;  // Series too short for this delay window.
+        }
+        score.rmse =
+            acbm::stats::rmse(truth, model.one_step_predictions(series, split));
+        score.ok = std::isfinite(score.rmse);
+        return score;
+      });
+
+  // Ordered reduction with an explicit tie-break: equal validation RMSE
+  // prefers the smaller (delays, hidden) pair, so the winner is the same
+  // whatever order the grid was evaluated (or listed) in.
+  std::size_t best_idx = grid.size();
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    if (!scores[g].ok) continue;
+    if (best_idx == grid.size()) {
+      best_idx = g;
+      continue;
+    }
+    const auto key = [&](std::size_t i) {
+      return std::make_tuple(scores[i].rmse, grid[i].delays, grid[i].hidden);
+    };
+    if (key(g) < key(best_idx)) best_idx = g;
+  }
+  if (best_idx == grid.size()) return std::nullopt;
 
   // Refit the winning architecture on the full series.
+  NarGridResult best;
+  best.delays = grid[best_idx].delays;
+  best.hidden_nodes = grid[best_idx].hidden;
+  best.validation_rmse = scores[best_idx].rmse;
   NarOptions nar_opts;
-  nar_opts.delays = best->delays;
-  nar_opts.hidden_nodes = best->hidden_nodes;
+  nar_opts.delays = best.delays;
+  nar_opts.hidden_nodes = best.hidden_nodes;
   nar_opts.mlp = opts.mlp;
-  best->model = NarModel(nar_opts);
-  best->model.fit(series);
+  best.model = NarModel(nar_opts);
+  best.model.fit(series);
   return best;
 }
 

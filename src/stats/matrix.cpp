@@ -1,10 +1,24 @@
 #include "stats/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/parallel.h"
+
 namespace acbm::stats {
+
+namespace {
+
+// Below this flop count the naive kernel wins (no transpose copy, no pool
+// dispatch); typical OLS normal equations (tens of columns) stay under it.
+constexpr std::size_t kBlockedMultiplyFlops = 32768;
+
+// Rows of the output each parallel task computes at a time.
+constexpr std::size_t kRowGrain = 8;
+
+}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -62,15 +76,39 @@ Matrix Matrix::operator*(const Matrix& rhs) const {
     throw std::invalid_argument("Matrix::operator*: dimension mismatch");
   }
   Matrix out(rows_, rhs.cols_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double aik = (*this)(i, k);
-      if (aik == 0.0) continue;
-      for (std::size_t j = 0; j < rhs.cols_; ++j) {
-        out(i, j) += aik * rhs(k, j);
+  if (rows_ * cols_ * rhs.cols_ < kBlockedMultiplyFlops) {
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const double aik = (*this)(i, k);
+        if (aik == 0.0) continue;
+        for (std::size_t j = 0; j < rhs.cols_; ++j) {
+          out(i, j) += aik * rhs(k, j);
+        }
       }
     }
+    return out;
   }
+  // Transpose-aware blocked kernel for the MLP/OLS inner loops: with B^T
+  // materialized, out(i, j) is a dot product of two contiguous rows, and a
+  // j-block keeps a stripe of B^T hot while one A row streams through.
+  // Each output row is computed entirely by one task in a fixed k-order, so
+  // the result is bit-identical at any thread count.
+  const Matrix bt = rhs.transpose();
+  const std::size_t n = rhs.cols_;
+  constexpr std::size_t kColBlock = 64;
+  acbm::core::parallel_for(0, rows_, [&](std::size_t i) {
+    const std::span<const double> a_row = row(i);
+    const std::span<double> out_row = out.row(i);
+    for (std::size_t j0 = 0; j0 < n; j0 += kColBlock) {
+      const std::size_t j1 = std::min(n, j0 + kColBlock);
+      for (std::size_t j = j0; j < j1; ++j) {
+        const std::span<const double> b_row = bt.row(j);
+        double acc = 0.0;
+        for (std::size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
+        out_row[j] = acc;
+      }
+    }
+  }, kRowGrain);
   return out;
 }
 

@@ -6,6 +6,18 @@
 
 namespace acbm::stats {
 
+std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t index) {
+  // splitmix64 finalizer over the index, xored into the seed and finalized
+  // again: adjacent indices land on well-separated engine seeds.
+  const auto mix = [](std::uint64_t z) {
+    z += 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  };
+  return mix(seed ^ mix(index));
+}
+
 double Rng::uniform(double lo, double hi) {
   if (!(lo <= hi)) throw std::invalid_argument("Rng::uniform: lo > hi");
   return std::uniform_real_distribution<double>(lo, hi)(engine_);

@@ -9,11 +9,18 @@
 
 namespace acbm::stats {
 
+/// Mixes a base seed and a task index into an independent substream seed
+/// (a splitmix64 finalizer over seed ^ hash(index)). Parallel tasks seeded
+/// this way draw identical streams regardless of scheduling or thread
+/// count — the foundation of the runtime's determinism contract.
+[[nodiscard]] std::uint64_t substream_seed(std::uint64_t seed,
+                                           std::uint64_t index);
+
 /// Deterministic pseudo-random source wrapping std::mt19937_64 with the draw
 /// helpers the trace generator and model trainers need.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(seed) {}
 
   /// Uniform double in [lo, hi).
   [[nodiscard]] double uniform(double lo = 0.0, double hi = 1.0);
@@ -61,12 +68,21 @@ class Rng {
   }
 
   /// Derives an independent child generator (for parallel components that
-  /// must not share a stream).
+  /// must not share a stream). Advances this generator, so successive forks
+  /// differ; use substream() when the derivation must be order-independent.
   [[nodiscard]] Rng fork();
+
+  /// Derives the `index`-th independent substream from this generator's
+  /// construction seed without advancing it: substream(i) is the same Rng
+  /// no matter when, how often, or from which thread it is requested.
+  [[nodiscard]] Rng substream(std::uint64_t index) const {
+    return Rng(substream_seed(seed_, index));
+  }
 
   [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
 
  private:
+  std::uint64_t seed_ = 0;
   std::mt19937_64 engine_;
 };
 

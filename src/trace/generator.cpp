@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/parallel.h"
 #include "stats/descriptive.h"
 #include "trace/botnet.h"
 
@@ -194,13 +195,21 @@ Dataset generate_dataset(const net::Topology& topo,
     family_names.push_back(profile.name);
   }
 
-  std::vector<Attack> attacks;
-  std::vector<FamilySnapshot> snapshots;
-  std::uint64_t next_id = 1;
-
-  for (std::size_t fi = 0; fi < opts.families.size(); ++fi) {
+  // Each family's attack stream is generated on its own worker from its own
+  // Rng substream (seed ^ hash(family_index), via Rng::substream), so the
+  // draws per family — and therefore the whole trace — are bit-identical
+  // regardless of thread count or scheduling. Attack ids are assigned in
+  // the ordered merge below, reproducing the serial numbering.
+  struct FamilyOutput {
+    std::vector<Attack> attacks;
+    std::vector<FamilySnapshot> snapshots;
+  };
+  std::vector<FamilyOutput> outputs = acbm::core::parallel_map(
+      opts.families.size(), [&](std::size_t fi) -> FamilyOutput {
+    FamilyOutput out;
+    std::vector<Attack>& attacks = out.attacks;
     const FamilyProfile& profile = opts.families[fi];
-    acbm::stats::Rng family_rng = rng.fork();
+    acbm::stats::Rng family_rng = rng.substream(fi);
 
     // --- Static family structure ---
     const std::vector<net::Asn> source_ases =
@@ -287,7 +296,7 @@ Dataset generate_dataset(const net::Topology& topo,
 
       for (std::size_t a = 0; a < n_attacks; ++a) {
         Attack attack;
-        attack.id = next_id++;
+        attack.id = 0;  // Assigned in the ordered merge below.
         attack.family = static_cast<std::uint32_t>(fi);
 
         const auto pick = static_cast<std::size_t>(family_rng.uniform_int(
@@ -392,18 +401,14 @@ Dataset generate_dataset(const net::Topology& topo,
         attacks.push_back(std::move(attack));
       }
     }
-  }
 
-  // Hourly snapshots: per family, unique bots over the trailing 24 hours
-  // (§II-C: "the set of bots listed in each report are cumulative over the
-  // past 24 hours").
-  if (opts.emit_snapshots) {
-    std::vector<std::vector<const Attack*>> per_family(opts.families.size());
-    for (const Attack& attack : attacks) {
-      per_family[attack.family].push_back(&attack);
-    }
-    for (std::size_t fi = 0; fi < per_family.size(); ++fi) {
-      auto& list = per_family[fi];
+    // Hourly snapshots for this family: unique bots over the trailing 24
+    // hours (§II-C: "the set of bots listed in each report are cumulative
+    // over the past 24 hours").
+    if (opts.emit_snapshots) {
+      std::vector<const Attack*> list;
+      list.reserve(attacks.size());
+      for (const Attack& attack : attacks) list.push_back(&attack);
       std::sort(list.begin(), list.end(),
                 [](const Attack* a, const Attack* b) {
                   return a->start < b->start;
@@ -436,10 +441,26 @@ Dataset generate_dataset(const net::Topology& topo,
           remove(list[tail++]);
         }
         if (unique > 0) {
-          snapshots.push_back({now, static_cast<std::uint32_t>(fi), unique});
+          out.snapshots.push_back(
+              {now, static_cast<std::uint32_t>(fi), unique});
         }
       }
     }
+    return out;
+  });
+
+  // Ordered merge: family index order reproduces the serial id numbering
+  // and snapshot layout exactly (the Dataset constructor re-sorts both).
+  std::vector<Attack> attacks;
+  std::vector<FamilySnapshot> snapshots;
+  std::uint64_t next_id = 1;
+  for (FamilyOutput& out : outputs) {
+    for (Attack& attack : out.attacks) {
+      attack.id = next_id++;
+      attacks.push_back(std::move(attack));
+    }
+    snapshots.insert(snapshots.end(), out.snapshots.begin(),
+                     out.snapshots.end());
   }
 
   return Dataset(std::move(family_names), std::move(attacks),

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# ASan+UBSan build of the fault-tolerance surface: configures a dedicated
+# build tree with ACBM_SANITIZE=address+undefined and runs the fault-injection
+# and parallel-runtime suites (ctest labels `robust` and `parallel`).
+#
+# Usage: scripts/sanitize.sh [build-dir]   (default: build-asan-ubsan)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-asan-ubsan}"
+
+cmake -S "$repo_root" -B "$build_dir" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DACBM_SANITIZE=address+undefined \
+  -DACBM_BUILD_BENCH=OFF \
+  -DACBM_BUILD_EXAMPLES=OFF
+cmake --build "$build_dir" -j"$(nproc)"
+ctest --test-dir "$build_dir" -L 'robust|parallel' --output-on-failure -j"$(nproc)"

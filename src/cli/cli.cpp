@@ -83,19 +83,37 @@ void print_usage(std::ostream& out) {
          "             --dataset FILE\n"
          "  fit        fit the full model and save it for later prediction\n"
          "             --dataset FILE --ipmap FILE --model FILE\n"
+         "             [--fit-report FILE|-]\n"
          "  predict    predict the next attack per target (fits on the fly\n"
          "             from --dataset/--ipmap, or loads --model FILE)\n"
          "             [--dataset FILE --ipmap FILE | --model FILE]\n"
-         "             [--target ASN] [--top K]\n"
+         "             [--target ASN] [--top K] [--fit-report FILE|-]\n"
          "  evaluate   timestamp-prediction RMSE report (Fig. 4 format)\n"
          "             --dataset FILE --ipmap FILE [--train-fraction F]\n"
          "  help       this message\n";
 }
 
-trace::Dataset load_dataset(const std::string& path) {
+trace::Dataset load_dataset(const std::string& path, std::ostream& out) {
   std::ifstream in(path);
   if (!in) throw std::invalid_argument("cannot open dataset file " + path);
-  return trace::Dataset::load_csv(in);
+  trace::Dataset dataset = trace::Dataset::load_csv(in);
+  if (!dataset.validation().clean()) {
+    out << "dataset " << path << " needed repair:\n";
+    dataset.validation().write(out);
+  }
+  return dataset;
+}
+
+/// --fit-report destination: "-" writes to the command's output stream.
+void write_fit_report(const core::AdversaryModel& model,
+                      const std::string& dest, std::ostream& out) {
+  if (dest == "-") {
+    model.fit_report().write(out);
+    return;
+  }
+  std::ofstream report_out(dest);
+  if (!report_out) throw std::invalid_argument("cannot write " + dest);
+  model.fit_report().write(report_out);
 }
 
 net::IpToAsnMap load_ipmap(const std::string& path) {
@@ -132,7 +150,7 @@ int cmd_generate(const ArgMap& args, std::ostream& out) {
 
 int cmd_stats(const ArgMap& args, std::ostream& out) {
   args.reject_unknown({"dataset"});
-  const trace::Dataset dataset = load_dataset(args.require("dataset"));
+  const trace::Dataset dataset = load_dataset(args.require("dataset"), out);
   out << dataset.size() << " attacks, " << dataset.family_names().size()
       << " families, " << dataset.target_asns().size() << " target ASes\n\n";
   std::ostringstream header;
@@ -151,8 +169,8 @@ int cmd_stats(const ArgMap& args, std::ostream& out) {
 }
 
 int cmd_fit(const ArgMap& args, std::ostream& out) {
-  args.reject_unknown({"dataset", "ipmap", "model"});
-  const trace::Dataset dataset = load_dataset(args.require("dataset"));
+  args.reject_unknown({"dataset", "ipmap", "model", "fit-report"});
+  const trace::Dataset dataset = load_dataset(args.require("dataset"), out);
   const net::IpToAsnMap ip_map = load_ipmap(args.require("ipmap"));
   const std::string model_path = args.require("model");
 
@@ -165,11 +183,15 @@ int cmd_fit(const ArgMap& args, std::ostream& out) {
   model.save(model_out);
   out << "fitted on " << dataset.size() << " attacks; model saved to "
       << model_path << "\n";
+  if (const auto report = args.get("fit-report")) {
+    write_fit_report(model, *report, out);
+  }
   return 0;
 }
 
 int cmd_predict(const ArgMap& args, std::ostream& out) {
-  args.reject_unknown({"dataset", "ipmap", "model", "target", "top"});
+  args.reject_unknown({"dataset", "ipmap", "model", "target", "top",
+                       "fit-report"});
   core::AdversaryModel model;
   if (const auto model_path = args.get("model")) {
     std::ifstream model_in(*model_path);
@@ -178,12 +200,16 @@ int cmd_predict(const ArgMap& args, std::ostream& out) {
     }
     model = core::AdversaryModel::load(model_in);
   } else {
-    const trace::Dataset fit_dataset = load_dataset(args.require("dataset"));
+    const trace::Dataset fit_dataset =
+        load_dataset(args.require("dataset"), out);
     const net::IpToAsnMap ip_map = load_ipmap(args.require("ipmap"));
     core::SpatiotemporalOptions opts;
     opts.spatial.grid_search = false;  // CLI favors responsiveness.
     model = core::AdversaryModel(opts);
     model.fit(fit_dataset, ip_map);
+  }
+  if (const auto report = args.get("fit-report")) {
+    write_fit_report(model, *report, out);
   }
   const trace::Dataset& dataset = model.dataset();
 
@@ -227,7 +253,7 @@ int cmd_predict(const ArgMap& args, std::ostream& out) {
 
 int cmd_evaluate(const ArgMap& args, std::ostream& out) {
   args.reject_unknown({"dataset", "ipmap", "train-fraction"});
-  const trace::Dataset dataset = load_dataset(args.require("dataset"));
+  const trace::Dataset dataset = load_dataset(args.require("dataset"), out);
   const net::IpToAsnMap ip_map = load_ipmap(args.require("ipmap"));
   const double fraction = args.get_or<double>("train-fraction", 0.8);
 

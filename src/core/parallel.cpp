@@ -6,6 +6,8 @@
 #include <limits>
 #include <memory>
 
+#include "core/robust.h"
+
 namespace acbm::core {
 
 namespace {
@@ -78,7 +80,10 @@ void ThreadPool::for_each_index(std::size_t begin, std::size_t end,
   // Serial fast paths: a single index, or a caller that is itself a pool
   // worker (nested fan-out must not wait on the queue it runs from).
   if (end - begin == 1 || t_pool_worker) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+    for (std::size_t i = begin; i < end; ++i) {
+      throw_if_worker_fault(i);
+      fn(i);
+    }
     return;
   }
 
@@ -114,6 +119,7 @@ void ThreadPool::for_each_index(std::size_t begin, std::size_t end,
       const std::size_t stop = std::min(batch.end, start + batch.grain);
       for (std::size_t i = start; i < stop; ++i) {
         try {
+          throw_if_worker_fault(i);
           (*batch.fn)(i);
         } catch (...) {
           const std::lock_guard<std::mutex> lock(batch.mutex);
@@ -158,7 +164,10 @@ void parallel_for(std::size_t begin, std::size_t end,
                   std::size_t grain) {
   if (begin >= end) return;
   if (end - begin == 1 || ThreadPool::on_worker_thread()) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+    for (std::size_t i = begin; i < end; ++i) {
+      throw_if_worker_fault(i);
+      fn(i);
+    }
     return;
   }
   ThreadPool* pool = nullptr;
@@ -173,7 +182,10 @@ void parallel_for(std::size_t begin, std::size_t end,
     }
   }
   if (pool == nullptr) {  // Serial path: ACBM_THREADS=1 or a 1-core host.
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+    for (std::size_t i = begin; i < end; ++i) {
+      throw_if_worker_fault(i);
+      fn(i);
+    }
     return;
   }
   pool->for_each_index(begin, end, fn, grain);

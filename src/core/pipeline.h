@@ -55,6 +55,12 @@ class AdversaryModel {
   [[nodiscard]] const SpatiotemporalModel& spatiotemporal() const noexcept {
     return st_;
   }
+
+  /// Pipeline-wide degradation-ladder report of the last fit() (empty on a
+  /// loaded model; see SpatiotemporalModel::fit_report).
+  [[nodiscard]] const FitReport& fit_report() const noexcept {
+    return st_.fit_report();
+  }
   [[nodiscard]] const trace::Dataset& dataset() const noexcept {
     return dataset_;
   }

@@ -1,0 +1,159 @@
+#include "core/robust.h"
+
+#include <array>
+#include <cmath>
+#include <cstdlib>
+#include <ostream>
+
+namespace acbm::core {
+
+bool all_finite(std::span<const double> xs) noexcept {
+  for (double x : xs) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+std::vector<double> drop_nonfinite(std::span<const double> xs,
+                                   std::size_t* dropped) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) {
+    if (std::isfinite(x)) out.push_back(x);
+  }
+  if (dropped != nullptr) *dropped = xs.size() - out.size();
+  return out;
+}
+
+const char* to_string(FitError error) noexcept {
+  switch (error) {
+    case FitError::kSeriesTooShort: return "series_too_short";
+    case FitError::kSingularSystem: return "singular_system";
+    case FitError::kNonconvergence: return "nonconvergence";
+    case FitError::kNonfiniteInput: return "nonfinite_input";
+    case FitError::kWorkerFailed: return "worker_failed";
+  }
+  return "unknown";
+}
+
+const char* to_string(FitRung rung) noexcept {
+  switch (rung) {
+    case FitRung::kArima: return "arima";
+    case FitRung::kAr: return "ar";
+    case FitRung::kSeasonalNaive: return "seasonal-naive";
+    case FitRung::kMean: return "mean";
+    case FitRung::kNar: return "nar";
+    case FitRung::kNarRetry: return "nar-retry";
+    case FitRung::kModelTree: return "model-tree";
+    case FitRung::kPooledLinear: return "pooled-linear";
+  }
+  return "unknown";
+}
+
+bool is_primary_rung(FitRung rung) noexcept {
+  return rung == FitRung::kArima || rung == FitRung::kNar ||
+         rung == FitRung::kModelTree;
+}
+
+void FitReport::merge(const std::string& prefix, const FitReport& sub) {
+  records_.reserve(records_.size() + sub.records_.size());
+  for (const FitRecord& record : sub.records_) {
+    FitRecord copy = record;
+    copy.component = prefix + copy.component;
+    records_.push_back(std::move(copy));
+  }
+}
+
+std::size_t FitReport::degraded_count() const noexcept {
+  std::size_t count = 0;
+  for (const FitRecord& record : records_) {
+    if (record.degraded()) ++count;
+  }
+  return count;
+}
+
+std::vector<const FitRecord*> FitReport::degraded() const {
+  std::vector<const FitRecord*> out;
+  for (const FitRecord& record : records_) {
+    if (record.degraded()) out.push_back(&record);
+  }
+  return out;
+}
+
+void FitReport::write(std::ostream& os) const {
+  constexpr std::array<FitRung, 8> kRungs = {
+      FitRung::kArima,     FitRung::kAr,       FitRung::kSeasonalNaive,
+      FitRung::kMean,      FitRung::kNar,      FitRung::kNarRetry,
+      FitRung::kModelTree, FitRung::kPooledLinear};
+  std::array<std::size_t, kRungs.size()> counts{};
+  for (const FitRecord& record : records_) {
+    for (std::size_t r = 0; r < kRungs.size(); ++r) {
+      if (record.rung == kRungs[r]) ++counts[r];
+    }
+  }
+  os << "fit report: " << records_.size() << " components, "
+     << degraded_count() << " degraded\n";
+  os << "rungs:";
+  for (std::size_t r = 0; r < kRungs.size(); ++r) {
+    if (counts[r] == 0) continue;
+    os << ' ' << to_string(kRungs[r]) << '=' << counts[r];
+  }
+  os << '\n';
+  for (const FitRecord& record : records_) {
+    if (!record.degraded()) continue;
+    os << "degraded: " << record.component << " rung=" << to_string(record.rung)
+       << " error=" << to_string(*record.error);
+    if (!record.detail.empty()) os << " (" << record.detail << ")";
+    os << '\n';
+  }
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::FaultInjector() {
+  if (const char* env = std::getenv("ACBM_FAULTS");
+      env != nullptr && *env != '\0') {
+    configure(env);
+  }
+}
+
+void FaultInjector::configure(std::string_view spec) {
+  std::vector<Rule> rules;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(';', begin);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) continue;
+    Rule rule;
+    if (const std::size_t colon = entry.find(':');
+        colon != std::string_view::npos) {
+      rule.point = std::string(entry.substr(0, colon));
+      rule.filter = std::string(entry.substr(colon + 1));
+    } else {
+      rule.point = std::string(entry);
+    }
+    rules.push_back(std::move(rule));
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  rules_ = std::move(rules);
+  enabled_.store(!rules_.empty(), std::memory_order_relaxed);
+}
+
+bool FaultInjector::fires(std::string_view point, std::string_view key) const {
+  if (!enabled()) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Rule& rule : rules_) {
+    if (rule.point != point) continue;
+    if (rule.filter.empty() || key.find(rule.filter) != std::string_view::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace acbm::core

@@ -1,0 +1,240 @@
+// Fault-tolerance substrate shared by every model layer: a structured
+// error taxonomy (FitError / FitFailure / FitOutcome), the degradation
+// ladder bookkeeping (FitRung / FitRecord / FitReport), and a deterministic
+// FaultInjector used by tests to force each degradation path.
+//
+// Like the parallel runtime this lives under core/ but is a dependency-free
+// target of its own (acbm_robust) so the lower libraries (stats, ts, nn,
+// tree, trace) can throw typed failures without a layering cycle.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace acbm::core {
+
+// --- Error taxonomy -------------------------------------------------------
+
+/// Why a fit could not be produced at some rung of the ladder.
+enum class FitError {
+  kSeriesTooShort,  ///< Not enough observations for the requested model.
+  kSingularSystem,  ///< Normal equations (OLS / Hannan-Rissanen) singular.
+  kNonconvergence,  ///< Training ran but produced a non-finite/unusable fit.
+  kNonfiniteInput,  ///< NaN/Inf in the input data.
+  kWorkerFailed,    ///< A parallel_for worker task failed (fault injection).
+};
+
+[[nodiscard]] const char* to_string(FitError error) noexcept;
+
+/// Typed fitting failure. Derives from std::invalid_argument so every
+/// pre-existing `catch (const std::invalid_argument&)` fallback site keeps
+/// working; new code should catch FitFailure and read code().
+class FitFailure : public std::invalid_argument {
+ public:
+  FitFailure(FitError code, const std::string& detail)
+      : std::invalid_argument(detail), code_(code) {}
+
+  [[nodiscard]] FitError code() const noexcept { return code_; }
+
+ private:
+  FitError code_;
+};
+
+/// Result-or-typed-error wrapper for module boundaries that used to return
+/// std::optional (e.g. nn::nar_grid_search). Mirrors the optional API so
+/// existing call sites (`if (auto r = ...)`, `r->field`, `r.has_value()`)
+/// compile unchanged, but a failed outcome also carries why it failed.
+template <typename T>
+class FitOutcome {
+ public:
+  FitOutcome(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)), error_(FitError::kSeriesTooShort) {}
+
+  [[nodiscard]] static FitOutcome failure(FitError error,
+                                          std::string detail = {}) {
+    FitOutcome out;
+    out.error_ = error;
+    out.detail_ = std::move(detail);
+    return out;
+  }
+
+  [[nodiscard]] bool has_value() const noexcept { return value_.has_value(); }
+  [[nodiscard]] explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] T& value() & { return require(); }
+  [[nodiscard]] const T& value() const& {
+    return const_cast<FitOutcome*>(this)->require();
+  }
+  [[nodiscard]] T& operator*() & { return require(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T* operator->() { return &require(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+  /// The failure reason; only meaningful when !has_value().
+  [[nodiscard]] FitError error() const noexcept { return error_; }
+  [[nodiscard]] const std::string& detail() const noexcept { return detail_; }
+
+ private:
+  FitOutcome() = default;
+
+  T& require() {
+    if (!value_) {
+      throw FitFailure(error_, "FitOutcome: accessing failed outcome (" +
+                                   std::string(to_string(error_)) +
+                                   (detail_.empty() ? "" : ": " + detail_) +
+                                   ")");
+    }
+    return *value_;
+  }
+
+  std::optional<T> value_;
+  FitError error_ = FitError::kSeriesTooShort;
+  std::string detail_;
+};
+
+/// True when every element of xs is finite.
+[[nodiscard]] bool all_finite(std::span<const double> xs) noexcept;
+
+/// Copy of xs without its non-finite values; `dropped` (if non-null)
+/// receives the number removed. Used by fit paths to repair corrupt series
+/// before walking the degradation ladder.
+[[nodiscard]] std::vector<double> drop_nonfinite(std::span<const double> xs,
+                                                 std::size_t* dropped = nullptr);
+
+// --- Degradation ladder bookkeeping ---------------------------------------
+
+/// The rung of the degradation ladder a fit landed on. Primary rungs
+/// (ARIMA / NAR / model tree) are the intended models; everything below is
+/// a fallback the fit degraded to.
+enum class FitRung {
+  kArima,         ///< Temporal primary.
+  kAr,            ///< AR(1) fallback (temporal rung 2, spatial rung 3).
+  kSeasonalNaive, ///< Temporal rung 3: repeat the value one period back.
+  kMean,          ///< Last rung everywhere: training-mean constant model.
+  kNar,           ///< Spatial primary.
+  kNarRetry,      ///< Spatial rung 2: NAR refit with a perturbed init seed.
+  kModelTree,     ///< Combining-tree primary.
+  kPooledLinear,  ///< Combining-tree fallback: one pooled linear model.
+};
+
+[[nodiscard]] const char* to_string(FitRung rung) noexcept;
+
+/// True for the top rung of each ladder (the non-degraded outcome).
+[[nodiscard]] bool is_primary_rung(FitRung rung) noexcept;
+
+/// One component's landed rung, plus the first failure (if any) that pushed
+/// it off a higher rung.
+struct FitRecord {
+  std::string component;  ///< e.g. "temporal/DirtJumper/magnitude".
+  FitRung rung = FitRung::kMean;
+  std::optional<FitError> error;  ///< First failure on the way down.
+  std::string detail;
+
+  /// A record is *degraded* when a higher rung was attempted and failed.
+  /// Landing on the mean because the series is simply below the
+  /// minimum-fit-length policy is expected behavior, not degradation.
+  [[nodiscard]] bool degraded() const noexcept {
+    return error.has_value() && *error != FitError::kSeriesTooShort;
+  }
+};
+
+/// Aggregated ladder outcome of a whole fit (one model or the pipeline).
+class FitReport {
+ public:
+  void add(FitRecord record) { records_.push_back(std::move(record)); }
+
+  /// Appends another report's records with "<prefix>" prepended to each
+  /// component name (used to roll sub-model reports up into the pipeline's).
+  void merge(const std::string& prefix, const FitReport& sub);
+
+  [[nodiscard]] const std::vector<FitRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  [[nodiscard]] std::size_t degraded_count() const noexcept;
+  [[nodiscard]] std::vector<const FitRecord*> degraded() const;
+
+  /// Human-readable dump: rung counts plus one line per degraded component.
+  /// Deterministic for a given report (records are in fit order).
+  void write(std::ostream& os) const;
+
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<FitRecord> records_;
+};
+
+// --- Deterministic fault injection ----------------------------------------
+
+/// Process-wide fault-injection switchboard. Faults are keyed by fault-point
+/// name and an optional key-substring filter — never by RNG draws or
+/// execution order — so a faulted run stays bit-identical at any thread
+/// count.
+///
+/// Spec grammar (from ACBM_FAULTS or configure()):
+///   spec  := entry (';' entry)*
+///   entry := point [':' filter]
+/// `fires(point, key)` is true when an entry's point matches exactly and its
+/// filter (if present) is a substring of `key`. Examples:
+///   ACBM_FAULTS="temporal.nonfinite:family=DirtJumper"
+///   ACBM_FAULTS="nar.nonconvergence:attempt=0;tree.fail:hour"
+///
+/// Fault points wired in this repo:
+///   parallel.worker        key "index=<i>"       throw inside a pool worker
+///   temporal.nonfinite     key "family=<name>"   NaN-poison family series
+///   nar.nonconvergence     key "asn=<A>/<series>/attempt=<k>"
+///   tree.fail              key "hour" | "day"    fail a combining tree
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// Replaces the active fault set (overrides ACBM_FAULTS). Call between
+  /// fits, not while a parallel fit is in flight.
+  void configure(std::string_view spec);
+  void clear() { configure({}); }
+
+  /// Lock-free fast path: false when no faults are configured.
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool fires(std::string_view point,
+                           std::string_view key = {}) const;
+
+ private:
+  FaultInjector();
+
+  struct Rule {
+    std::string point;
+    std::string filter;  ///< Empty: any key at this point fires.
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Rule> rules_;
+  std::atomic<bool> enabled_{false};
+};
+
+/// Fault hook for parallel_for workers: throws FitFailure(kWorkerFailed)
+/// when the "parallel.worker" point fires for "index=<i>". No-op (one
+/// relaxed atomic load) when injection is off.
+inline void throw_if_worker_fault(std::size_t index) {
+  FaultInjector& injector = FaultInjector::instance();
+  if (!injector.enabled()) return;
+  const std::string key = "index=" + std::to_string(index);
+  if (injector.fires("parallel.worker", key)) {
+    throw FitFailure(FitError::kWorkerFailed,
+                     "injected fault: parallel.worker " + key);
+  }
+}
+
+}  // namespace acbm::core

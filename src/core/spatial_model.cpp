@@ -2,13 +2,27 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "core/parallel.h"
 #include "stats/descriptive.h"
+#include "stats/rng.h"
 #include "stats/serialize.h"
 
 namespace acbm::core {
+
+namespace {
+const char* series_name(SpatialSeries which) {
+  switch (which) {
+    case SpatialSeries::kDuration: return "duration";
+    case SpatialSeries::kInterval: return "interval";
+    case SpatialSeries::kHour: return "hour";
+  }
+  return "unknown";
+}
+}  // namespace
 
 const SpatialModel::SeriesModel& SpatialModel::series_model(
     SpatialSeries which) const {
@@ -18,23 +32,99 @@ const SpatialModel::SeriesModel& SpatialModel::series_model(
 void SpatialModel::fit_one(SpatialSeries which,
                            std::span<const double> series) {
   SeriesModel& slot = models_[static_cast<std::size_t>(which)];
-  slot.fallback_mean = acbm::stats::mean(series);
   slot.nar.reset();
-  if (series.size() < opts_.min_fit_length) return;
+  slot.ar.reset();
+  slot.rung = FitRung::kMean;
+  slot.record = FitRecord{};
+  slot.record.component = series_name(which);
+  const auto note = [&slot](FitError error, const std::string& detail) {
+    if (slot.record.error) return;  // Keep the first failure.
+    slot.record.error = error;
+    slot.record.detail = detail;
+  };
 
-  if (opts_.grid_search) {
-    if (auto best = nn::nar_grid_search(series, opts_.grid)) {
-      slot.nar = std::move(best->model);
-    }
+  // Repair: strip non-finite observations before fitting anything.
+  std::size_t dropped = 0;
+  std::vector<double> cleaned;
+  std::span<const double> work = series;
+  if (!all_finite(series)) {
+    cleaned = drop_nonfinite(series, &dropped);
+    work = cleaned;
+    note(FitError::kNonfiniteInput,
+         "stripped " + std::to_string(dropped) + " non-finite values");
+  }
+  slot.fallback_mean = acbm::stats::mean(work);
+
+  if (work.size() < opts_.min_fit_length) {
+    note(FitError::kSeriesTooShort,
+         "length " + std::to_string(work.size()) + " < " +
+             std::to_string(opts_.min_fit_length));
+    slot.record.rung = slot.rung;
     return;
   }
-  nn::NarModel model(opts_.fixed);
-  try {
-    model.fit(series);
-    slot.nar = std::move(model);
-  } catch (const std::invalid_argument&) {
-    // Too short for the fixed delay window: mean fallback.
+
+  // Rungs 1..k: NAR, retried with a perturbed substream-seeded init. The
+  // fault key is a pure function of (target, series, attempt) so injected
+  // nonconvergence is identical at every thread count.
+  FaultInjector& injector = FaultInjector::instance();
+  const std::size_t attempts = std::max<std::size_t>(opts_.max_fit_attempts, 1);
+  for (std::size_t attempt = 0; attempt < attempts && !slot.nar; ++attempt) {
+    try {
+      if (injector.enabled() &&
+          injector.fires("nar.nonconvergence",
+                         "asn=" + std::to_string(asn_) + "/" +
+                             series_name(which) +
+                             "/attempt=" + std::to_string(attempt))) {
+        throw FitFailure(FitError::kNonconvergence,
+                         "injected fault: nar.nonconvergence attempt " +
+                             std::to_string(attempt));
+      }
+      nn::NarModel candidate;
+      if (opts_.grid_search) {
+        nn::NarGridOptions grid_opts = opts_.grid;
+        if (attempt > 0) {
+          grid_opts.mlp.seed =
+              acbm::stats::substream_seed(grid_opts.mlp.seed, 0x9e1d + attempt);
+        }
+        auto best = nn::nar_grid_search(work, grid_opts);
+        if (!best) throw FitFailure(best.error(), best.detail());
+        candidate = std::move(best->model);
+      } else {
+        nn::NarOptions fixed_opts = opts_.fixed;
+        if (attempt > 0) {
+          fixed_opts.mlp.seed =
+              acbm::stats::substream_seed(fixed_opts.mlp.seed, 0x9e1d + attempt);
+        }
+        nn::NarModel model(fixed_opts);
+        model.fit(work);
+        candidate = std::move(model);
+      }
+      if (!std::isfinite(candidate.forecast_one(work))) {
+        throw FitFailure(FitError::kNonconvergence,
+                         "NAR forecast is non-finite");
+      }
+      slot.nar = std::move(candidate);
+      slot.rung = attempt == 0 ? FitRung::kNar : FitRung::kNarRetry;
+    } catch (const FitFailure& e) {
+      note(e.code(), e.what());
+    } catch (const std::invalid_argument& e) {
+      note(FitError::kSeriesTooShort, e.what());
+    }
   }
+
+  // Rung: AR(1) fallback when every NAR attempt failed.
+  if (!slot.nar) {
+    try {
+      ts::ArimaModel ar({1, 0, 0});
+      ar.fit(work);
+      slot.ar = std::move(ar);
+      slot.rung = FitRung::kAr;
+    } catch (const std::invalid_argument&) {
+    } catch (const std::domain_error&) {
+    }
+  }
+
+  slot.record.rung = slot.rung;
 }
 
 void SpatialModel::fit(const TargetSeries& train,
@@ -50,6 +140,10 @@ void SpatialModel::fit(const TargetSeries& train,
   parallel_for(0, kSpatialSeriesCount, [&](std::size_t s) {
     fit_one(static_cast<SpatialSeries>(s), series[s]);
   });
+  // Each task staged its record in its own slot; merge in series order so
+  // the report is identical at any thread count.
+  report_.clear();
+  for (const SeriesModel& slot : models_) report_.add(slot.record);
 
   // Source-AS share tracking: rank the ASes seen across the training
   // attacks by total share.
@@ -80,8 +174,20 @@ std::vector<double> SpatialModel::one_step_predictions(
     throw std::invalid_argument("SpatialModel::one_step_predictions: bad start");
   }
   const SeriesModel& slot = series_model(which);
+  std::vector<double> storage;
+  const std::span<const double> series = [&] {
+    if (all_finite(full_series)) return full_series;
+    storage.assign(full_series.begin(), full_series.end());
+    for (double& x : storage) {
+      if (!std::isfinite(x)) x = slot.fallback_mean;
+    }
+    return std::span<const double>(storage);
+  }();
   if (slot.nar && start >= slot.nar->delays()) {
-    return slot.nar->one_step_predictions(full_series, start);
+    return slot.nar->one_step_predictions(series, start);
+  }
+  if (slot.ar && start > 0) {
+    return slot.ar->one_step_predictions(series, start);
   }
   return std::vector<double>(full_series.size() - start, slot.fallback_mean);
 }
@@ -90,15 +196,31 @@ double SpatialModel::forecast_next(SpatialSeries which,
                                    std::span<const double> history) const {
   if (!fitted_) throw std::logic_error("SpatialModel: not fitted");
   const SeriesModel& slot = series_model(which);
-  if (slot.nar && history.size() >= slot.nar->delays()) {
-    return slot.nar->forecast_one(history);
+  std::vector<double> storage;
+  const std::span<const double> series = [&] {
+    if (all_finite(history)) return history;
+    storage.assign(history.begin(), history.end());
+    for (double& x : storage) {
+      if (!std::isfinite(x)) x = slot.fallback_mean;
+    }
+    return std::span<const double>(storage);
+  }();
+  if (slot.nar && series.size() >= slot.nar->delays()) {
+    return slot.nar->forecast_one(series);
+  }
+  if (slot.ar && !series.empty()) {
+    return slot.ar->forecast_one(series);
   }
   return slot.fallback_mean;
 }
 
+FitRung SpatialModel::rung(SpatialSeries which) const {
+  return series_model(which).rung;
+}
+
 void SpatialModel::save(std::ostream& os) const {
   namespace io = acbm::stats::io;
-  io::write_header(os, "spatial", 1);
+  io::write_header(os, "spatial", 2);
   io::write_scalar(os, "fitted", fitted_ ? 1 : 0);
   io::write_scalar(os, "asn", asn_);
   io::write_scalar(os, "share_smoothing", opts_.share_smoothing);
@@ -108,14 +230,17 @@ void SpatialModel::save(std::ostream& os) const {
   io::write_scalar(os, "series_count", models_.size());
   for (const SeriesModel& slot : models_) {
     io::write_scalar(os, "fallback_mean", slot.fallback_mean);
+    io::write_scalar(os, "rung", static_cast<int>(slot.rung));
     io::write_scalar(os, "has_nar", slot.nar.has_value() ? 1 : 0);
     if (slot.nar) slot.nar->save(os);
+    io::write_scalar(os, "has_ar", slot.ar.has_value() ? 1 : 0);
+    if (slot.ar) slot.ar->save(os);
   }
 }
 
 SpatialModel SpatialModel::load(std::istream& is) {
   namespace io = acbm::stats::io;
-  io::expect_header(is, "spatial", 1);
+  io::expect_header(is, "spatial", 2);
   SpatialModel model;
   model.fitted_ = io::read_scalar<int>(is, "fitted") != 0;
   model.asn_ = io::read_scalar<net::Asn>(is, "asn");
@@ -131,8 +256,16 @@ SpatialModel SpatialModel::load(std::istream& is) {
   }
   for (SeriesModel& slot : model.models_) {
     slot.fallback_mean = io::read_scalar<double>(is, "fallback_mean");
+    const int rung = io::read_scalar<int>(is, "rung");
+    if (rung < 0 || rung > static_cast<int>(FitRung::kPooledLinear)) {
+      throw std::invalid_argument("SpatialModel::load: bad rung");
+    }
+    slot.rung = static_cast<FitRung>(rung);
     if (io::read_scalar<int>(is, "has_nar") != 0) {
       slot.nar = nn::NarModel::load(is);
+    }
+    if (io::read_scalar<int>(is, "has_ar") != 0) {
+      slot.ar = ts::ArimaModel::load(is);
     }
   }
   return model;

@@ -12,8 +12,10 @@
 #include <vector>
 
 #include "core/features.h"
+#include "core/robust.h"
 #include "nn/grid_search.h"
 #include "nn/nar.h"
+#include "ts/arima.h"
 
 namespace acbm::core {
 
@@ -32,6 +34,9 @@ struct SpatialModelOptions {
   nn::NarOptions fixed;
   /// Series shorter than this are modeled by their mean.
   std::size_t min_fit_length = 20;
+  /// NAR fit attempts before falling to the AR rung; attempts beyond the
+  /// first reseed the network init from a substream of the base seed.
+  std::size_t max_fit_attempts = 2;
   /// Source-AS distribution: shares tracked for the most common ASes; the
   /// rest aggregate into an "other" bucket.
   std::size_t top_source_ases = 32;
@@ -89,6 +94,15 @@ class SpatialModel {
     return tracked_ases_;
   }
 
+  /// The degradation-ladder rung the series landed on:
+  /// NAR -> NAR retry (perturbed init) -> AR(1) -> mean.
+  [[nodiscard]] FitRung rung(SpatialSeries which) const;
+
+  /// One record per series from the last fit() (not serialized).
+  [[nodiscard]] const FitReport& fit_report() const noexcept {
+    return report_;
+  }
+
   /// Text serialization of the fitted state (prediction-relevant options
   /// are persisted; fitting options reset to defaults on load).
   void save(std::ostream& os) const;
@@ -96,8 +110,11 @@ class SpatialModel {
 
  private:
   struct SeriesModel {
-    std::optional<nn::NarModel> nar;
+    std::optional<nn::NarModel> nar;     ///< kNar / kNarRetry rungs.
+    std::optional<ts::ArimaModel> ar;    ///< kAr rung.
     double fallback_mean = 0.0;
+    FitRung rung = FitRung::kMean;
+    FitRecord record;  ///< Staged per-series, merged in index order by fit().
   };
 
   void fit_one(SpatialSeries which, std::span<const double> series);
@@ -107,6 +124,7 @@ class SpatialModel {
   net::Asn asn_ = 0;
   std::vector<SeriesModel> models_{kSpatialSeriesCount};
   std::vector<net::Asn> tracked_ases_;
+  FitReport report_;
   bool fitted_ = false;
 };
 

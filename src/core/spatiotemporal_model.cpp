@@ -2,13 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <optional>
 #include <stdexcept>
+#include <string>
 
 #include "core/parallel.h"
 #include "stats/serialize.h"
 
 namespace acbm::core {
+
+namespace {
+/// The "temporal.nonfinite" fault point: NaN-poisons every 7th value of each
+/// modeled family series, exercising the repair + degradation path.
+void poison_family_series(FamilySeries& series) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (std::vector<double>* xs :
+       {&series.magnitude, &series.activity, &series.norm_magnitude,
+        &series.source_coeff, &series.interval_s, &series.hour}) {
+    for (std::size_t i = 0; i < xs->size(); i += 7) (*xs)[i] = nan;
+  }
+}
+}  // namespace
 
 std::vector<double> StFeatures::hour_row() const {
   return {tmp_hour, spa_hour, tmp_interval_s / 3600.0, prev_hour, mean_hour,
@@ -137,24 +152,37 @@ void SpatiotemporalModel::fit(const trace::Dataset& train,
                               const net::IpToAsnMap& ip_map) {
   temporal_.clear();
   spatial_.clear();
+  report_.clear();
+  FaultInjector& injector = FaultInjector::instance();
 
   // Per-family temporal fits and per-target spatial fits are independent;
   // both fan out across the pool and are merged back in index order, so the
-  // fitted model is identical at any thread count.
+  // fitted model (and the fit report) is identical at any thread count.
   const auto n_families =
       static_cast<std::uint32_t>(train.family_names().size());
   std::vector<std::optional<TemporalModel>> family_fits =
       parallel_map(n_families, [&](std::size_t f) -> std::optional<TemporalModel> {
-        const FamilySeries series = extract_family_series(
+        FamilySeries series = extract_family_series(
             train, static_cast<std::uint32_t>(f), ip_map, nullptr);
         if (series.attack_indices.size() < 2) return std::nullopt;
+        if (injector.enabled() &&
+            injector.fires("temporal.nonfinite",
+                           "family=" + train.family_names()[f])) {
+          poison_family_series(series);
+        }
         TemporalModel model(opts_.temporal);
         model.fit(series);
         return model;
       });
   for (std::uint32_t family = 0; family < n_families; ++family) {
+    const std::string& name = train.family_names()[family];
     if (family_fits[family]) {
+      report_.merge("temporal/" + name + "/",
+                    family_fits[family]->fit_report());
       temporal_.emplace(family, std::move(*family_fits[family]));
+    } else {
+      report_.add({"temporal/" + name, FitRung::kMean,
+                   FitError::kSeriesTooShort, "fewer than 2 attacks"});
     }
   }
 
@@ -188,7 +216,14 @@ void SpatiotemporalModel::fit(const trace::Dataset& train,
       });
   for (std::size_t t = 0; t < targets.size(); ++t) {
     if (target_fits[t]) {
+      report_.merge("spatial/AS" + std::to_string(targets[t]) + "/",
+                    target_fits[t]->fit_report());
       spatial_.emplace(targets[t], std::move(*target_fits[t]));
+    } else {
+      report_.add({"spatial/AS" + std::to_string(targets[t]), FitRung::kMean,
+                   FitError::kSeriesTooShort,
+                   "fewer than " + std::to_string(opts_.min_target_attacks) +
+                       " attacks"});
     }
   }
 
@@ -196,6 +231,46 @@ void SpatiotemporalModel::fit(const trace::Dataset& train,
       assemble_rows(train, ip_map, temporal_, spatial_, opts_);
   hour_tree_ = tree::ModelTree(opts_.tree);
   day_tree_ = tree::ModelTree(opts_.tree);
+  hour_linear_.reset();
+  day_linear_.reset();
+
+  // Combining-tree ladder: model tree -> pooled linear model over the same
+  // rows -> (at predict time) the fixed sub-model blend.
+  const auto fit_combiner = [&](const char* name, tree::ModelTree& tree,
+                                std::optional<acbm::stats::LinearRegression>&
+                                    linear,
+                                const acbm::stats::Matrix& x,
+                                std::span<const double> y) {
+    FitRecord record;
+    record.component = std::string("tree/") + name;
+    record.rung = FitRung::kModelTree;
+    try {
+      if (injector.enabled() && injector.fires("tree.fail", name)) {
+        throw FitFailure(FitError::kNonconvergence,
+                         std::string("injected fault: tree.fail ") + name);
+      }
+      tree.fit(x, y);
+    } catch (const FitFailure& e) {
+      record.error = e.code();
+      record.detail = e.what();
+    } catch (const std::exception& e) {
+      record.error = FitError::kNonconvergence;
+      record.detail = e.what();
+    }
+    if (!tree.fitted()) {
+      tree = tree::ModelTree(opts_.tree);  // Discard any half-built state.
+      try {
+        acbm::stats::LinearRegression reg;
+        reg.fit(x, y);
+        linear = std::move(reg);
+        record.rung = FitRung::kPooledLinear;
+      } catch (const std::exception&) {
+        record.rung = FitRung::kMean;  // Predict-time sub-model blend.
+      }
+    }
+    report_.add(std::move(record));
+  };
+
   if (rows.size() >= 20) {
     acbm::stats::Matrix hour_x(rows.size(), rows.front().features.hour_row().size());
     acbm::stats::Matrix day_x(rows.size(), rows.front().features.day_row().size());
@@ -209,8 +284,13 @@ void SpatiotemporalModel::fit(const trace::Dataset& train,
       hour_y[i] = rows[i].truth_hour;
       day_y[i] = rows[i].truth_day;
     }
-    hour_tree_.fit(hour_x, hour_y);
-    day_tree_.fit(day_x, day_y);
+    fit_combiner("hour", hour_tree_, hour_linear_, hour_x, hour_y);
+    fit_combiner("day", day_tree_, day_linear_, day_x, day_y);
+  } else {
+    report_.add({"tree/hour", FitRung::kMean, FitError::kSeriesTooShort,
+                 std::to_string(rows.size()) + " rows < 20"});
+    report_.add({"tree/day", FitRung::kMean, FitError::kSeriesTooShort,
+                 std::to_string(rows.size()) + " rows < 20"});
   }
   fitted_ = true;
 }
@@ -220,6 +300,9 @@ double SpatiotemporalModel::predict_hour(const StFeatures& features) const {
   double hour;
   if (hour_tree_.fitted()) {
     hour = hour_tree_.predict(features.hour_row());
+  } else if (hour_linear_) {
+    // Pooled-linear rung: the tree fit failed but a linear combiner fit.
+    hour = hour_linear_->predict(features.hour_row());
   } else {
     // Too few training rows for a tree: blend the two sub-models.
     hour = 0.5 * (features.tmp_hour + features.spa_hour);
@@ -232,12 +315,15 @@ double SpatiotemporalModel::predict_day(const StFeatures& features) const {
   if (day_tree_.fitted()) {
     return day_tree_.predict(features.day_row());
   }
+  if (day_linear_) {
+    return day_linear_->predict(features.day_row());
+  }
   return features.prev_day + features.tmp_interval_s / 86400.0;
 }
 
 void SpatiotemporalModel::save(std::ostream& os) const {
   namespace io = acbm::stats::io;
-  io::write_header(os, "spatiotemporal", 1);
+  io::write_header(os, "spatiotemporal", 2);
   io::write_scalar(os, "fitted", fitted_ ? 1 : 0);
   io::write_scalar(os, "min_target_attacks", opts_.min_target_attacks);
   io::write_scalar(os, "target_warmup", opts_.target_warmup);
@@ -266,11 +352,15 @@ void SpatiotemporalModel::save(std::ostream& os) const {
   if (hour_tree_.fitted()) hour_tree_.save(os);
   io::write_scalar(os, "has_day_tree", day_tree_.fitted() ? 1 : 0);
   if (day_tree_.fitted()) day_tree_.save(os);
+  io::write_scalar(os, "has_hour_linear", hour_linear_.has_value() ? 1 : 0);
+  if (hour_linear_) hour_linear_->save(os);
+  io::write_scalar(os, "has_day_linear", day_linear_.has_value() ? 1 : 0);
+  if (day_linear_) day_linear_->save(os);
 }
 
 SpatiotemporalModel SpatiotemporalModel::load(std::istream& is) {
   namespace io = acbm::stats::io;
-  io::expect_header(is, "spatiotemporal", 1);
+  io::expect_header(is, "spatiotemporal", 2);
   SpatiotemporalModel model;
   model.fitted_ = io::read_scalar<int>(is, "fitted") != 0;
   model.opts_.min_target_attacks =
@@ -296,6 +386,12 @@ SpatiotemporalModel SpatiotemporalModel::load(std::istream& is) {
   }
   if (io::read_scalar<int>(is, "has_day_tree") != 0) {
     model.day_tree_ = tree::ModelTree::load(is);
+  }
+  if (io::read_scalar<int>(is, "has_hour_linear") != 0) {
+    model.hour_linear_ = acbm::stats::LinearRegression::load(is);
+  }
+  if (io::read_scalar<int>(is, "has_day_linear") != 0) {
+    model.day_linear_ = acbm::stats::LinearRegression::load(is);
   }
   return model;
 }

@@ -9,11 +9,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "core/robust.h"
 #include "core/spatial_model.h"
 #include "core/temporal_model.h"
+#include "stats/ols.h"
 #include "tree/model_tree.h"
 
 namespace acbm::core {
@@ -95,6 +98,14 @@ class SpatiotemporalModel {
     return day_tree_;
   }
 
+  /// Aggregated degradation-ladder report of the last fit(): one record per
+  /// temporal series ("temporal/<family>/<series>"), spatial series
+  /// ("spatial/AS<asn>/<series>"), and combining tree ("tree/hour",
+  /// "tree/day"). Not serialized; empty on a loaded model.
+  [[nodiscard]] const FitReport& fit_report() const noexcept {
+    return report_;
+  }
+
   /// Text serialization of the fitted state (prediction-relevant options
   /// are persisted; sub-model fitting options reset to defaults on load).
   void save(std::ostream& os) const;
@@ -107,6 +118,10 @@ class SpatiotemporalModel {
   std::unordered_map<net::Asn, SpatialModel> spatial_;
   tree::ModelTree hour_tree_;
   tree::ModelTree day_tree_;
+  /// Pooled-linear rung: fallback combiners when a tree fit fails.
+  std::optional<stats::LinearRegression> hour_linear_;
+  std::optional<stats::LinearRegression> day_linear_;
+  FitReport report_;
   bool fitted_ = false;
 };
 

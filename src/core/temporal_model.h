@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/features.h"
+#include "core/robust.h"
 #include "ts/arima.h"
 #include "ts/selection.h"
 
@@ -72,6 +73,15 @@ class TemporalModel {
   [[nodiscard]] const std::optional<ts::ArimaModel>& model(
       TemporalSeries which) const;
 
+  /// The degradation-ladder rung the series landed on:
+  /// ARIMA -> AR(1) -> seasonal-naive -> mean.
+  [[nodiscard]] FitRung rung(TemporalSeries which) const;
+
+  /// One record per series from the last fit() (not serialized).
+  [[nodiscard]] const FitReport& fit_report() const noexcept {
+    return report_;
+  }
+
   /// Text serialization of the fitted state (fitting options are not
   /// persisted; a loaded model predicts identically but refits with
   /// defaults).
@@ -80,8 +90,10 @@ class TemporalModel {
 
  private:
   struct SeriesModel {
-    std::optional<ts::ArimaModel> arima;
+    std::optional<ts::ArimaModel> arima;  ///< kArima or (order (1,0,0)) kAr.
+    std::size_t seasonal_period = 0;      ///< kSeasonalNaive rung.
     double fallback_mean = 0.0;
+    FitRung rung = FitRung::kMean;
   };
 
   [[nodiscard]] const SeriesModel& series_model(TemporalSeries which) const;
@@ -89,6 +101,7 @@ class TemporalModel {
 
   TemporalModelOptions opts_;
   std::vector<SeriesModel> models_{kTemporalSeriesCount};
+  FitReport report_;
   bool fitted_ = false;
 };
 

@@ -10,15 +10,20 @@
 
 namespace acbm::nn {
 
-std::optional<NarGridResult> nar_grid_search(std::span<const double> series,
-                                             const NarGridOptions& opts) {
+core::FitOutcome<NarGridResult> nar_grid_search(std::span<const double> series,
+                                                const NarGridOptions& opts) {
+  using Outcome = core::FitOutcome<NarGridResult>;
   if (!(opts.validation_fraction > 0.0 && opts.validation_fraction < 1.0)) {
     throw std::invalid_argument("nar_grid_search: bad validation fraction");
   }
   const std::size_t n = series.size();
   const auto n_val = static_cast<std::size_t>(
       static_cast<double>(n) * opts.validation_fraction);
-  if (n_val == 0 || n_val >= n) return std::nullopt;
+  if (n_val == 0 || n_val >= n) {
+    return Outcome::failure(core::FitError::kSeriesTooShort,
+                            "nar_grid_search: series too short to hold out a "
+                            "validation tail");
+  }
   const std::size_t split = n - n_val;
 
   // Flattened delay x hidden grid, evaluated concurrently: every candidate
@@ -39,6 +44,7 @@ std::optional<NarGridResult> nar_grid_search(std::span<const double> series,
   struct Score {
     double rmse = std::numeric_limits<double>::infinity();
     bool ok = false;
+    core::FitError error = core::FitError::kSeriesTooShort;
   };
   const std::vector<double> truth(
       series.begin() + static_cast<std::ptrdiff_t>(split), series.end());
@@ -54,12 +60,16 @@ std::optional<NarGridResult> nar_grid_search(std::span<const double> series,
         NarModel model(nar_opts);
         try {
           model.fit(series.subspan(0, split));
+        } catch (const core::FitFailure& e) {
+          score.error = e.code();
+          return score;
         } catch (const std::invalid_argument&) {
           return score;  // Series too short for this delay window.
         }
         score.rmse =
             acbm::stats::rmse(truth, model.one_step_predictions(series, split));
         score.ok = std::isfinite(score.rmse);
+        if (!score.ok) score.error = core::FitError::kNonconvergence;
         return score;
       });
 
@@ -78,7 +88,18 @@ std::optional<NarGridResult> nar_grid_search(std::span<const double> series,
     };
     if (key(g) < key(best_idx)) best_idx = g;
   }
-  if (best_idx == grid.size()) return std::nullopt;
+  if (best_idx == grid.size()) {
+    // Every candidate failed: report the most specific error seen (any
+    // non-series-too-short failure beats the generic too-short default).
+    core::FitError error = core::FitError::kSeriesTooShort;
+    for (const Score& score : scores) {
+      if (score.error != core::FitError::kSeriesTooShort) {
+        error = score.error;
+        break;
+      }
+    }
+    return Outcome::failure(error, "nar_grid_search: all candidates failed");
+  }
 
   // Refit the winning architecture on the full series.
   NarGridResult best;
@@ -90,7 +111,13 @@ std::optional<NarGridResult> nar_grid_search(std::span<const double> series,
   nar_opts.hidden_nodes = best.hidden_nodes;
   nar_opts.mlp = opts.mlp;
   best.model = NarModel(nar_opts);
-  best.model.fit(series);
+  try {
+    best.model.fit(series);
+  } catch (const core::FitFailure& e) {
+    return Outcome::failure(e.code(),
+                            std::string("nar_grid_search: winner refit: ") +
+                                e.what());
+  }
   return best;
 }
 

@@ -5,10 +5,10 @@
 #pragma once
 
 #include <cstddef>
-#include <optional>
 #include <span>
 #include <vector>
 
+#include "core/robust.h"
 #include "nn/nar.h"
 
 namespace acbm::nn {
@@ -29,9 +29,11 @@ struct NarGridResult {
 
 /// Trains one NAR per grid point on the chronological head of `series`,
 /// scores one-step RMSE on the tail, then refits the winner on the whole
-/// series. Candidates that cannot be fitted (series too short) are skipped;
-/// returns nullopt if none fit.
-[[nodiscard]] std::optional<NarGridResult> nar_grid_search(
+/// series. Candidates that cannot be fitted or do not converge are skipped;
+/// when every candidate fails the outcome carries a typed FitError (the
+/// most specific failure seen across the grid) instead of silently
+/// selecting an invalid configuration.
+[[nodiscard]] core::FitOutcome<NarGridResult> nar_grid_search(
     std::span<const double> series, const NarGridOptions& opts = {});
 
 }  // namespace acbm::nn

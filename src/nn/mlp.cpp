@@ -6,6 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/robust.h"
 #include "stats/descriptive.h"
 #include "stats/serialize.h"
 
@@ -65,6 +66,18 @@ void Mlp::fit(const std::vector<std::vector<double>>& x,
   for (const auto& row : x) {
     if (row.size() != input_dim_) {
       throw std::invalid_argument("Mlp::fit: ragged rows");
+    }
+    for (double v : row) {
+      if (!std::isfinite(v)) {
+        throw core::FitFailure(core::FitError::kNonfiniteInput,
+                               "Mlp::fit: non-finite feature");
+      }
+    }
+  }
+  for (double v : y) {
+    if (!std::isfinite(v)) {
+      throw core::FitFailure(core::FitError::kNonfiniteInput,
+                             "Mlp::fit: non-finite target");
     }
   }
 
@@ -186,6 +199,21 @@ void Mlp::fit(const std::vector<std::vector<double>>& x,
     double acc = 0.0;
     for (std::size_t i = 0; i < n; ++i) acc += sample_loss(xn[i], yn[i]);
     best_val_loss_ = acc / static_cast<double>(n);
+  }
+
+  // Training can diverge (exploding gradients on pathological scaling);
+  // refuse to hand back a network that predicts non-finite values.
+  for (double p : parameters()) {
+    if (!std::isfinite(p)) {
+      fitted_ = false;
+      throw core::FitFailure(core::FitError::kNonconvergence,
+                             "Mlp::fit: training diverged (non-finite weights)");
+    }
+  }
+  if (!std::isfinite(best_val_loss_)) {
+    fitted_ = false;
+    throw core::FitFailure(core::FitError::kNonconvergence,
+                           "Mlp::fit: training diverged (non-finite loss)");
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/robust.h"
 #include "stats/serialize.h"
 
 namespace acbm::nn {
@@ -29,7 +30,8 @@ std::vector<double> NarModel::window(std::span<const double> values) const {
 
 void NarModel::fit(std::span<const double> series) {
   if (series.size() < opts_.delays + 2) {
-    throw std::invalid_argument("NarModel::fit: series too short for delays");
+    throw core::FitFailure(core::FitError::kSeriesTooShort,
+                           "NarModel::fit: series too short for delays");
   }
   std::vector<std::vector<double>> x;
   std::vector<double> y;

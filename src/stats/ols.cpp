@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/robust.h"
 #include "stats/descriptive.h"
 #include "stats/metrics.h"
 #include "stats/serialize.h"
@@ -28,7 +29,34 @@ void LinearRegression::fit(const Matrix& x, std::span<const double> y) {
     for (std::size_t c = 0; c < k; ++c) design(i, j++) = x(i, c);
   }
 
-  const std::vector<double> beta = solve_least_squares(design, y, opts_.ridge);
+  // A singular (or numerically collapsed) normal-equation system surfaces
+  // either as a solver failure or as non-finite coefficients; both become a
+  // typed FitFailure so callers can walk down their degradation ladder.
+  std::vector<double> beta;
+  try {
+    beta = solve_least_squares(design, y, opts_.ridge);
+  } catch (const std::domain_error& e) {
+    throw core::FitFailure(core::FitError::kSingularSystem,
+                           std::string("LinearRegression::fit: ") + e.what());
+  }
+  for (double b : beta) {
+    if (std::isfinite(b)) continue;
+    // Distinguish bad inputs from a genuinely singular system.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(y[i])) {
+        throw core::FitFailure(core::FitError::kNonfiniteInput,
+                               "LinearRegression::fit: non-finite target");
+      }
+      for (std::size_t c = 0; c < k; ++c) {
+        if (!std::isfinite(x(i, c))) {
+          throw core::FitFailure(core::FitError::kNonfiniteInput,
+                                 "LinearRegression::fit: non-finite feature");
+        }
+      }
+    }
+    throw core::FitFailure(core::FitError::kSingularSystem,
+                           "LinearRegression::fit: non-finite coefficients");
+  }
   std::size_t j = 0;
   intercept_ = opts_.fit_intercept ? beta[j++] : 0.0;
   coef_.assign(beta.begin() + static_cast<std::ptrdiff_t>(j), beta.end());

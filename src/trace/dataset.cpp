@@ -7,6 +7,7 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace acbm::trace {
 
@@ -22,6 +23,22 @@ DayHour decompose_timestamp(EpochSeconds ts, EpochSeconds window_start) {
   return out;
 }
 
+void ValidationReport::write(std::ostream& os) const {
+  if (nonfinite_durations > 0) {
+    os << "repaired " << nonfinite_durations
+       << " non-finite duration(s) -> 0\n";
+  }
+  if (negative_durations > 0) {
+    os << "repaired " << negative_durations << " negative duration(s) -> 0\n";
+  }
+  if (out_of_order > 0) {
+    os << "sorted " << out_of_order << " out-of-order start timestamp(s)\n";
+  }
+  if (duplicate_ids > 0) {
+    os << "reassigned " << duplicate_ids << " duplicate attack id(s)\n";
+  }
+}
+
 Dataset::Dataset(std::vector<std::string> family_names,
                  std::vector<Attack> attacks,
                  std::vector<FamilySnapshot> snapshots,
@@ -30,11 +47,43 @@ Dataset::Dataset(std::vector<std::string> family_names,
       attacks_(std::move(attacks)),
       snapshots_(std::move(snapshots)),
       window_start_(window_start) {
-  std::sort(attacks_.begin(), attacks_.end(),
-            [](const Attack& a, const Attack& b) {
-              if (a.start != b.start) return a.start < b.start;
-              return a.id < b.id;
-            });
+  // Validated ingestion: repair what can be repaired, count what was wrong.
+  for (Attack& attack : attacks_) {
+    if (!std::isfinite(attack.duration_s)) {
+      attack.duration_s = 0.0;
+      ++validation_.nonfinite_durations;
+    } else if (attack.duration_s < 0.0) {
+      attack.duration_s = 0.0;
+      ++validation_.negative_durations;
+    }
+  }
+  for (std::size_t i = 1; i < attacks_.size(); ++i) {
+    if (attacks_[i].start < attacks_[i - 1].start) ++validation_.out_of_order;
+  }
+  const auto chronological = [](const Attack& a, const Attack& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.id < b.id;
+  };
+  std::sort(attacks_.begin(), attacks_.end(), chronological);
+  // Duplicate ids break cross-referencing; later holders (chronological
+  // order) get fresh ids past the maximum. Re-sort afterwards because id is
+  // the tie-breaker for simultaneous attacks.
+  if (!attacks_.empty()) {
+    std::uint64_t max_id = 0;
+    for (const Attack& attack : attacks_) max_id = std::max(max_id, attack.id);
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(attacks_.size());
+    for (Attack& attack : attacks_) {
+      if (!seen.insert(attack.id).second) {
+        attack.id = ++max_id;
+        seen.insert(attack.id);
+        ++validation_.duplicate_ids;
+      }
+    }
+    if (validation_.duplicate_ids > 0) {
+      std::sort(attacks_.begin(), attacks_.end(), chronological);
+    }
+  }
   std::sort(snapshots_.begin(), snapshots_.end(),
             [](const FamilySnapshot& a, const FamilySnapshot& b) {
               if (a.ts != b.ts) return a.ts < b.ts;

@@ -3,6 +3,7 @@
 // snapshots, mirroring the structure described in §II of the paper.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <span>
@@ -49,6 +50,26 @@ struct FamilySnapshot {
   std::size_t active_bots = 0;  ///< Unique bots seen in the trailing 24 h.
 };
 
+/// What Dataset construction found wrong with its inputs and repaired:
+/// non-finite durations are zeroed, negative durations are zeroed,
+/// out-of-order start timestamps are sorted, and duplicate attack ids are
+/// reassigned to fresh ids past the maximum. A report with total() == 0
+/// means the input was already clean.
+struct ValidationReport {
+  std::size_t nonfinite_durations = 0;  ///< NaN/inf durations zeroed.
+  std::size_t negative_durations = 0;   ///< Negative durations zeroed.
+  std::size_t out_of_order = 0;         ///< Adjacent start-time inversions.
+  std::size_t duplicate_ids = 0;        ///< Attack ids reassigned.
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return nonfinite_durations + negative_durations + out_of_order +
+           duplicate_ids;
+  }
+  [[nodiscard]] bool clean() const noexcept { return total() == 0; }
+  /// One human-readable line per nonzero counter.
+  void write(std::ostream& os) const;
+};
+
 /// The full trace: chronologically sorted attacks plus snapshots.
 class Dataset {
  public:
@@ -88,6 +109,11 @@ class Dataset {
   /// form the training set (paper §III-C).
   [[nodiscard]] std::pair<Dataset, Dataset> split(double train_fraction) const;
 
+  /// What construction repaired in the input (clean() when nothing).
+  [[nodiscard]] const ValidationReport& validation() const noexcept {
+    return validation_;
+  }
+
   /// CSV serialization (attacks only; snapshots are derivable).
   void save_csv(std::ostream& os) const;
   [[nodiscard]] static Dataset load_csv(std::istream& is);
@@ -99,6 +125,7 @@ class Dataset {
   std::vector<Attack> attacks_;              // Sorted by start time.
   std::vector<FamilySnapshot> snapshots_;    // Sorted by ts.
   EpochSeconds window_start_ = 0;
+  ValidationReport validation_;
   std::unordered_map<std::uint32_t, std::vector<std::size_t>> by_family_;
   std::unordered_map<net::Asn, std::vector<std::size_t>> by_target_asn_;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/robust.h"
 #include "stats/descriptive.h"
 #include "stats/matrix.h"
 #include "stats/ols.h"
@@ -22,19 +23,37 @@ std::size_t long_ar_order(std::size_t n, ArmaOrder order) {
   while (m > order.p + order.q + 1 && n < 4 * m) --m;
   return m;
 }
+
+bool all_finite(std::span<const double> xs) {
+  for (double x : xs) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
 }  // namespace
 
 void ArmaModel::fit(std::span<const double> series) {
   const std::size_t n = series.size();
   const std::size_t params = order_.p + order_.q + 1;
   if (n < params + 4) {
-    throw std::invalid_argument("ArmaModel::fit: series too short for order");
+    throw core::FitFailure(core::FitError::kSeriesTooShort,
+                           "ArmaModel::fit: series too short for order");
+  }
+  if (!all_finite(series)) {
+    throw core::FitFailure(core::FitError::kNonfiniteInput,
+                           "ArmaModel::fit: non-finite input");
   }
 
   if (order_.q == 0) {
     // Pure AR: conditional least squares directly (skip residual proxying).
     ArFit ar = n >= 2 * order_.p + 2 ? fit_ar_least_squares(series, order_.p)
                                      : fit_ar_yule_walker(series, order_.p);
+    if (!all_finite(ar.phi) || !std::isfinite(ar.intercept)) {
+      // Yule-Walker on a degenerate (e.g. constant) series divides by a
+      // zero lag-0 autocovariance; surface it as a singular system.
+      throw core::FitFailure(core::FitError::kSingularSystem,
+                             "ArmaModel::fit: singular AR system");
+    }
     phi_ = std::move(ar.phi);
     theta_.clear();
     intercept_ = ar.intercept;
@@ -59,7 +78,8 @@ void ArmaModel::fit(std::span<const double> series) {
   // Stage 2: regress x_t on p lags of x and q lags of e.
   const std::size_t start = std::max(order_.p, std::max(order_.q, m));
   if (n - start < params + 2) {
-    throw std::invalid_argument("ArmaModel::fit: too few effective samples");
+    throw core::FitFailure(core::FitError::kSeriesTooShort,
+                           "ArmaModel::fit: too few effective samples");
   }
   const std::size_t rows = n - start;
   acbm::stats::Matrix x(rows, order_.p + order_.q);
@@ -72,6 +92,9 @@ void ArmaModel::fit(std::span<const double> series) {
       x(r, order_.p + j) = e[t - 1 - j];
     }
   }
+  // The Hannan-Rissanen regression throws FitFailure(kSingularSystem) when
+  // the lag matrix is singular (constant series, collinear lags); let it
+  // propagate typed instead of producing non-finite coefficients.
   acbm::stats::LinearRegression reg;
   reg.fit(x, y);
   const std::vector<double>& beta = reg.coefficients();

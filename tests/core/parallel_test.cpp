@@ -189,6 +189,45 @@ TEST(ParallelDeterminism, SpatialFitBitIdentical) {
   EXPECT_EQ(saved[2], saved[0]);
 }
 
+TEST(ParallelDeterminism, FaultedSpatialFitBitIdentical) {
+  // Fault injection composes with the determinism contract: faults are keyed
+  // by fault-point name, not RNG draws or execution order, so a faulted fit
+  // (forced NAR retry on every series) is byte-identical at every width.
+  ThreadCountGuard guard;
+  struct FaultGuard {
+    ~FaultGuard() { FaultInjector::instance().clear(); }
+  } fault_guard;
+  FaultInjector::instance().configure("nar.nonconvergence:attempt=0");
+
+  const trace::World world = trace::build_world(trace::small_world_options(23));
+  const net::Asn busiest = world.dataset.target_asns().front();
+  const TargetSeries series = extract_target_series(world.dataset, busiest);
+
+  SpatialModelOptions opts;
+  opts.grid_search = false;
+  opts.fixed.mlp.max_epochs = 60;
+
+  std::vector<std::string> saved;
+  std::vector<std::string> reports;
+  for (std::size_t threads : {1u, 3u, 8u}) {
+    set_num_threads(threads);
+    SpatialModel model(opts);
+    model.fit(series, world.dataset, world.ip_map);
+    ASSERT_TRUE(model.fitted());
+    EXPECT_EQ(model.rung(SpatialSeries::kDuration), FitRung::kNarRetry);
+    std::ostringstream os;
+    model.save(os);
+    saved.push_back(os.str());
+    std::ostringstream ro;
+    model.fit_report().write(ro);
+    reports.push_back(ro.str());
+  }
+  EXPECT_EQ(saved[1], saved[0]);
+  EXPECT_EQ(saved[2], saved[0]);
+  EXPECT_EQ(reports[1], reports[0]);
+  EXPECT_EQ(reports[2], reports[0]);
+}
+
 TEST(ParallelDeterminism, BuildWorldBitIdentical) {
   ThreadCountGuard guard;
   std::vector<trace::World> worlds;

@@ -1,0 +1,173 @@
+#include "core/robust.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/parallel.h"
+
+namespace acbm::core {
+namespace {
+
+// Clears injected faults (and the thread override) when a test returns or
+// throws, so one test's configuration cannot leak into the next.
+struct FaultGuard {
+  ~FaultGuard() {
+    FaultInjector::instance().clear();
+    set_num_threads(0);
+  }
+};
+
+TEST(FitError, NamesAreStable) {
+  EXPECT_STREQ(to_string(FitError::kSeriesTooShort), "series_too_short");
+  EXPECT_STREQ(to_string(FitError::kSingularSystem), "singular_system");
+  EXPECT_STREQ(to_string(FitError::kNonconvergence), "nonconvergence");
+  EXPECT_STREQ(to_string(FitError::kNonfiniteInput), "nonfinite_input");
+  EXPECT_STREQ(to_string(FitError::kWorkerFailed), "worker_failed");
+}
+
+TEST(FitFailure, CarriesCodeAndIsAnInvalidArgument) {
+  const FitFailure failure(FitError::kSingularSystem, "rank deficient");
+  EXPECT_EQ(failure.code(), FitError::kSingularSystem);
+  EXPECT_STREQ(failure.what(), "rank deficient");
+  // Legacy fallback sites catch std::invalid_argument; FitFailure must land
+  // in those handlers.
+  try {
+    throw FitFailure(FitError::kNonconvergence, "diverged");
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "diverged");
+  }
+}
+
+TEST(FitOutcome, ValueAndFailurePaths) {
+  FitOutcome<int> ok(42);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.value(), 42);
+
+  const auto bad =
+      FitOutcome<int>::failure(FitError::kNonconvergence, "all diverged");
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error(), FitError::kNonconvergence);
+  EXPECT_EQ(bad.detail(), "all diverged");
+  try {
+    (void)bad.value();
+    FAIL() << "value() on a failed outcome must throw";
+  } catch (const FitFailure& e) {
+    EXPECT_EQ(e.code(), FitError::kNonconvergence);
+    EXPECT_NE(std::string(e.what()).find("all diverged"), std::string::npos);
+  }
+}
+
+TEST(Finiteness, AllFiniteAndDropNonfinite) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(all_finite(std::vector<double>{}));
+  EXPECT_TRUE(all_finite(std::vector<double>{1.0, -2.0, 0.0}));
+  EXPECT_FALSE(all_finite(std::vector<double>{1.0, nan}));
+  EXPECT_FALSE(all_finite(std::vector<double>{inf, 1.0}));
+
+  std::size_t dropped = 0;
+  const std::vector<double> cleaned =
+      drop_nonfinite(std::vector<double>{1.0, nan, 2.0, inf, 3.0}, &dropped);
+  EXPECT_EQ(dropped, 2u);
+  EXPECT_EQ(cleaned, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(FitRecordTest, DegradedExcludesPolicyFallbacks) {
+  FitRecord plain{"a", FitRung::kArima, std::nullopt, ""};
+  EXPECT_FALSE(plain.degraded());
+  // Too-short series falling to the mean is policy, not degradation.
+  FitRecord policy{"b", FitRung::kMean, FitError::kSeriesTooShort, ""};
+  EXPECT_FALSE(policy.degraded());
+  FitRecord degraded{"c", FitRung::kAr, FitError::kNonconvergence, ""};
+  EXPECT_TRUE(degraded.degraded());
+}
+
+TEST(FitReportTest, MergeCountsAndWrite) {
+  FitReport sub;
+  sub.add({"magnitude", FitRung::kArima, std::nullopt, ""});
+  sub.add({"hour", FitRung::kAr, FitError::kNonconvergence, "diverged"});
+
+  FitReport report;
+  report.merge("temporal/Blackenergy/", sub);
+  report.add({"tree/day", FitRung::kModelTree, std::nullopt, ""});
+  ASSERT_EQ(report.size(), 3u);
+  EXPECT_EQ(report.records()[0].component, "temporal/Blackenergy/magnitude");
+  EXPECT_EQ(report.degraded_count(), 1u);
+  ASSERT_EQ(report.degraded().size(), 1u);
+  EXPECT_EQ(report.degraded()[0]->component, "temporal/Blackenergy/hour");
+
+  std::ostringstream os;
+  report.write(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("3 components"), std::string::npos);
+  EXPECT_NE(text.find("1 degraded"), std::string::npos);
+  EXPECT_NE(text.find("temporal/Blackenergy/hour"), std::string::npos);
+  EXPECT_NE(text.find("rung=ar"), std::string::npos);
+  EXPECT_NE(text.find("error=nonconvergence"), std::string::npos);
+}
+
+TEST(FitRungTest, PrimaryRungs) {
+  EXPECT_TRUE(is_primary_rung(FitRung::kArima));
+  EXPECT_TRUE(is_primary_rung(FitRung::kNar));
+  EXPECT_TRUE(is_primary_rung(FitRung::kModelTree));
+  EXPECT_FALSE(is_primary_rung(FitRung::kAr));
+  EXPECT_FALSE(is_primary_rung(FitRung::kSeasonalNaive));
+  EXPECT_FALSE(is_primary_rung(FitRung::kMean));
+  EXPECT_FALSE(is_primary_rung(FitRung::kNarRetry));
+  EXPECT_FALSE(is_primary_rung(FitRung::kPooledLinear));
+}
+
+TEST(FaultInjectorTest, SpecParsingAndFiltering) {
+  FaultGuard guard;
+  FaultInjector& injector = FaultInjector::instance();
+  EXPECT_FALSE(injector.fires("temporal.nonfinite", "family=X"));
+
+  injector.configure("temporal.nonfinite:family=DirtJumper;tree.fail");
+  EXPECT_TRUE(injector.enabled());
+  EXPECT_TRUE(injector.fires("temporal.nonfinite", "family=DirtJumper"));
+  EXPECT_FALSE(injector.fires("temporal.nonfinite", "family=Blackenergy"));
+  // Entry without a filter fires for any key at that point.
+  EXPECT_TRUE(injector.fires("tree.fail", "hour"));
+  EXPECT_TRUE(injector.fires("tree.fail", "day"));
+  // Points must match exactly; filters are substrings.
+  EXPECT_FALSE(injector.fires("tree", "hour"));
+  EXPECT_TRUE(injector.fires("temporal.nonfinite", "x/family=DirtJumper/y"));
+
+  injector.clear();
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_FALSE(injector.fires("tree.fail", "hour"));
+}
+
+TEST(FaultInjectorTest, WorkerFaultPropagatesThroughPool) {
+  FaultGuard guard;
+  FaultInjector::instance().configure("parallel.worker:index=13");
+  for (std::size_t threads : {1u, 4u}) {
+    set_num_threads(threads);
+    try {
+      parallel_for(0, 64, [](std::size_t) {});
+      FAIL() << "injected worker fault must propagate (" << threads
+             << " threads)";
+    } catch (const FitFailure& e) {
+      EXPECT_EQ(e.code(), FitError::kWorkerFailed);
+      EXPECT_NE(std::string(e.what()).find("index=13"), std::string::npos);
+    }
+  }
+  // The pool survives the faulted batch once injection is off.
+  FaultInjector::instance().clear();
+  std::vector<std::size_t> out = parallel_map(8, [](std::size_t i) {
+    return i;
+  });
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(out[7], 7u);
+}
+
+}  // namespace
+}  // namespace acbm::core

@@ -5,6 +5,8 @@
 #include "nn/grid_search.h"
 
 #include <cmath>
+
+#include "core/robust.h"
 #include <stdexcept>
 #include <vector>
 
@@ -124,12 +126,16 @@ TEST(NarGridSearch, PicksAWorkingConfiguration) {
   EXPECT_TRUE(result->hidden_nodes == 2 || result->hidden_nodes == 6);
 }
 
-TEST(NarGridSearch, ReturnsNulloptWhenNothingFits) {
+TEST(NarGridSearch, ReturnsTypedErrorWhenNothingFits) {
   const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
   NarGridOptions opts;
   opts.delay_grid = {10};
   opts.hidden_grid = {4};
-  EXPECT_FALSE(nar_grid_search(xs, opts).has_value());
+  const auto result = nar_grid_search(xs, opts);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(result.error(), core::FitError::kSeriesTooShort);
+  EXPECT_FALSE(result.detail().empty());
+  EXPECT_THROW((void)result.value(), core::FitFailure);
 }
 
 TEST(NarGridSearch, RejectsBadValidationFraction) {

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
+#include "core/robust.h"
 #include "stats/rng.h"
 
 namespace acbm::stats {
@@ -75,6 +77,36 @@ TEST(LinearRegression, CollinearFeaturesStillSolvable) {
   // Predictions should still be accurate even if coefficients are not unique.
   for (std::size_t i = 0; i < x.rows(); ++i) {
     EXPECT_NEAR(reg.predict(x.row(i)), y[i], 1e-3);
+  }
+}
+
+TEST(LinearRegression, SingularSystemThrowsTypedFailure) {
+  // With the ridge disabled, an all-zero column makes the normal equations
+  // exactly singular; the failure must be typed, not NaN coefficients.
+  Matrix x{{1.0, 0.0}, {2.0, 0.0}, {3.0, 0.0}, {4.0, 0.0}};
+  std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  LinearRegression reg({.fit_intercept = true, .ridge = 0.0});
+  try {
+    reg.fit(x, y);
+    FAIL() << "singular fit must throw";
+  } catch (const core::FitFailure& e) {
+    EXPECT_EQ(e.code(), core::FitError::kSingularSystem);
+  }
+  // FitFailure derives from invalid_argument, so legacy call sites that
+  // catch the base type still handle it.
+  EXPECT_THROW(reg.fit(x, y), std::invalid_argument);
+}
+
+TEST(LinearRegression, NonfiniteInputThrowsTypedFailure) {
+  Matrix x{{1.0}, {2.0}, {3.0}, {4.0}};
+  std::vector<double> y{2.0, std::numeric_limits<double>::quiet_NaN(), 6.0,
+                        8.0};
+  LinearRegression reg;
+  try {
+    reg.fit(x, y);
+    FAIL() << "non-finite target must throw";
+  } catch (const core::FitFailure& e) {
+    EXPECT_EQ(e.code(), core::FitError::kNonfiniteInput);
   }
 }
 

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <unordered_set>
 
 namespace acbm::trace {
 namespace {
@@ -129,6 +132,94 @@ TEST(Dataset, CsvRoundTrip) {
 TEST(Dataset, LoadCsvRejectsGarbage) {
   std::stringstream ss("not a dataset\n");
   EXPECT_THROW((void)Dataset::load_csv(ss), std::invalid_argument);
+}
+
+TEST(DatasetValidation, CleanInputReportsClean) {
+  std::vector<Attack> attacks{
+      make_attack(1, 0, 100, kStart + 100),
+      make_attack(2, 0, 100, kStart + 3600),
+  };
+  const Dataset ds = Dataset({"FamA"}, std::move(attacks), {}, kStart);
+  EXPECT_TRUE(ds.validation().clean());
+  EXPECT_EQ(ds.validation().total(), 0u);
+}
+
+TEST(DatasetValidation, CountsOutOfOrderTimestamps) {
+  const Dataset ds = make_dataset();  // Constructed deliberately shuffled.
+  EXPECT_FALSE(ds.validation().clean());
+  EXPECT_GT(ds.validation().out_of_order, 0u);
+  EXPECT_EQ(ds.validation().duplicate_ids, 0u);
+  for (std::size_t i = 0; i + 1 < ds.size(); ++i) {
+    EXPECT_LE(ds.attacks()[i].start, ds.attacks()[i + 1].start);
+  }
+}
+
+TEST(DatasetValidation, RepairsNonfiniteAndNegativeDurations) {
+  std::vector<Attack> attacks{
+      make_attack(1, 0, 100, kStart + 100,
+                  std::numeric_limits<double>::quiet_NaN()),
+      make_attack(2, 0, 100, kStart + 200,
+                  std::numeric_limits<double>::infinity()),
+      make_attack(3, 0, 100, kStart + 300, -50.0),
+      make_attack(4, 0, 100, kStart + 400, 600.0),
+  };
+  const Dataset ds = Dataset({"FamA"}, std::move(attacks), {}, kStart);
+  EXPECT_EQ(ds.validation().nonfinite_durations, 2u);
+  EXPECT_EQ(ds.validation().negative_durations, 1u);
+  EXPECT_DOUBLE_EQ(ds.attacks()[0].duration_s, 0.0);
+  EXPECT_DOUBLE_EQ(ds.attacks()[1].duration_s, 0.0);
+  EXPECT_DOUBLE_EQ(ds.attacks()[2].duration_s, 0.0);
+  EXPECT_DOUBLE_EQ(ds.attacks()[3].duration_s, 600.0);
+}
+
+TEST(DatasetValidation, ReassignsDuplicateIdsPastTheMaximum) {
+  std::vector<Attack> attacks{
+      make_attack(5, 0, 100, kStart + 100),
+      make_attack(5, 0, 200, kStart + 3600),
+      make_attack(9, 0, 300, kStart + 7200),
+  };
+  const Dataset ds = Dataset({"FamA"}, std::move(attacks), {}, kStart);
+  EXPECT_EQ(ds.validation().duplicate_ids, 1u);
+  // Chronologically first holder keeps the id; the later one gets a fresh
+  // id past the maximum.
+  EXPECT_EQ(ds.attacks()[0].id, 5u);
+  EXPECT_EQ(ds.attacks()[1].id, 10u);
+  EXPECT_EQ(ds.attacks()[2].id, 9u);
+  std::unordered_set<std::uint64_t> ids;
+  for (const Attack& a : ds.attacks()) {
+    EXPECT_TRUE(ids.insert(a.id).second) << "duplicate id " << a.id;
+  }
+}
+
+TEST(DatasetValidation, WriteListsOnlyNonzeroCounters) {
+  std::vector<Attack> attacks{
+      make_attack(1, 0, 100, kStart + 100, -1.0),
+      make_attack(2, 0, 100, kStart + 200),
+  };
+  const Dataset ds = Dataset({"FamA"}, std::move(attacks), {}, kStart);
+  std::ostringstream os;
+  ds.validation().write(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("1 negative duration"), std::string::npos);
+  EXPECT_EQ(text.find("non-finite"), std::string::npos);
+  EXPECT_EQ(text.find("duplicate"), std::string::npos);
+}
+
+TEST(DatasetValidation, CorruptCsvRoundTripsThroughRepair) {
+  // A dataset written with a NaN duration loads back repaired.
+  std::vector<Attack> attacks{
+      make_attack(1, 0, 100, kStart + 100,
+                  std::numeric_limits<double>::quiet_NaN()),
+      make_attack(2, 0, 100, kStart + 200),
+  };
+  const Dataset dirty = Dataset({"FamA"}, std::move(attacks), {}, kStart);
+  EXPECT_EQ(dirty.validation().nonfinite_durations, 1u);
+  std::stringstream ss;
+  dirty.save_csv(ss);
+  const Dataset back = Dataset::load_csv(ss);
+  // The repair happened at construction, so the round trip is clean.
+  EXPECT_TRUE(back.validation().clean());
+  EXPECT_DOUBLE_EQ(back.attacks()[0].duration_s, 0.0);
 }
 
 TEST(Attack, EndAndMagnitude) {

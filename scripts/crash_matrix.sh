@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Crash matrix: run `acbm fit` under every durable-I/O fault point at 1 and
+# 8 threads, resume each crashed run, and require the resumed model to be
+# byte-identical to an uninterrupted run's. This is the shell-level
+# acceptance check for crash-safe checkpointing; it is registered with ctest
+# under the `durable` label (see tests/CMakeLists.txt).
+#
+# Usage: scripts/crash_matrix.sh <acbm-binary> [work-dir]
+set -euo pipefail
+
+acbm="${1:?usage: crash_matrix.sh <acbm-binary> [work-dir]}"
+work="${2:-$(mktemp -d /tmp/acbm_crash_matrix.XXXXXX)}"
+mkdir -p "$work"
+trap 'rm -rf "$work"' EXIT
+
+# Each entry is an ACBM_FAULTS spec that must abort the fit mid-run. Filters
+# pick stages that exist in every fit: a temporal family artifact, the
+# spatial stage, the tree stage, and fsync on any checkpoint write.
+faults=(
+  "io.write:spatial"
+  "io.write:tree"
+  "io.fsync:spatial"
+  "checkpoint.stage:spatial"
+  "checkpoint.stage:tree"
+)
+
+dataset="$work/trace.csv"
+ipmap="$work/ipmap.txt"
+"$acbm" generate --seed 5 --days 20 --dataset "$dataset" --ipmap "$ipmap" \
+  >/dev/null
+
+clean="$work/clean.model"
+"$acbm" fit --dataset "$dataset" --ipmap "$ipmap" --model "$clean" >/dev/null
+
+failures=0
+for threads in 1 8; do
+  for i in "${!faults[@]}"; do
+    fault="${faults[$i]}"
+    # Numeric tags keep stage names out of the work paths — io.* filters
+    # match on path substrings, and a directory named after the fault would
+    # make every write in it match instead of only the targeted stage.
+    tag="case${i}_t${threads}"
+    model="$work/$tag.model"
+    ckpt="$work/$tag.ckpt"
+
+    # The faulted run must fail with the corruption exit code (3) and must
+    # not publish a model artifact.
+    set +e
+    ACBM_FAULTS="$fault" ACBM_THREADS="$threads" \
+      "$acbm" fit --dataset "$dataset" --ipmap "$ipmap" \
+      --model "$model" --checkpoint-dir "$ckpt" >/dev/null 2>"$work/$tag.err"
+    code=$?
+    set -e
+    if [[ $code -ne 3 ]]; then
+      echo "FAIL [$fault t=$threads]: crashed run exited $code, expected 3" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    if [[ -e $model ]]; then
+      echo "FAIL [$fault t=$threads]: crashed run published a model" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+
+    # Resume with injection off: must succeed and reproduce the clean model
+    # byte for byte.
+    if ! ACBM_THREADS="$threads" "$acbm" fit --dataset "$dataset" \
+        --ipmap "$ipmap" --model "$model" --checkpoint-dir "$ckpt" \
+        --resume >/dev/null 2>>"$work/$tag.err"; then
+      echo "FAIL [$fault t=$threads]: resume did not complete" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    if ! cmp -s "$model" "$clean"; then
+      echo "FAIL [$fault t=$threads]: resumed model differs from clean" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    echo "ok   [$fault t=$threads]: crash -> resume -> byte-identical"
+  done
+done
+
+if [[ $failures -gt 0 ]]; then
+  echo "crash matrix: $failures case(s) failed" >&2
+  exit 1
+fi
+echo "crash matrix: all $((2 * ${#faults[@]})) cases byte-identical"

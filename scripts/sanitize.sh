@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # ASan+UBSan build of the fault-tolerance surface: configures a dedicated
-# build tree with ACBM_SANITIZE=address+undefined and runs the fault-injection
-# and parallel-runtime suites (ctest labels `robust` and `parallel`).
+# build tree with ACBM_SANITIZE=address+undefined and runs the fault-injection,
+# parallel-runtime, and durability suites (ctest labels `robust`, `parallel`,
+# and `durable`).
 #
 # Usage: scripts/sanitize.sh [build-dir]   (default: build-asan-ubsan)
 set -euo pipefail
@@ -15,4 +16,4 @@ cmake -S "$repo_root" -B "$build_dir" \
   -DACBM_BUILD_BENCH=OFF \
   -DACBM_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" -j"$(nproc)"
-ctest --test-dir "$build_dir" -L 'robust|parallel' --output-on-failure -j"$(nproc)"
+ctest --test-dir "$build_dir" -L 'robust|parallel|durable' --output-on-failure -j"$(nproc)"

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "core/checkpoint.h"
+#include "core/durable.h"
 #include "core/evaluation.h"
 #include "core/pipeline.h"
 #include "trace/generator.h"
@@ -17,15 +19,27 @@ namespace acbm::cli {
 
 namespace {
 
-/// Minimal --key value parser; flags must all be known.
+namespace durable = acbm::core::durable;
+
+/// Minimal --key value parser; flags must all be known. Options named in
+/// `flags` are boolean switches and take no value.
 class ArgMap {
  public:
-  ArgMap(std::span<const std::string> args, std::size_t first) {
+  ArgMap(std::span<const std::string> args, std::size_t first,
+         std::initializer_list<const char*> flags = {}) {
     for (std::size_t i = first; i < args.size(); ++i) {
       if (args[i].rfind("--", 0) != 0) {
         throw std::invalid_argument("expected --option, got '" + args[i] + "'");
       }
       const std::string key = args[i].substr(2);
+      const bool is_flag =
+          std::find_if(flags.begin(), flags.end(), [&](const char* f) {
+            return key == f;
+          }) != flags.end();
+      if (is_flag) {
+        values_.insert_or_assign(key, std::string("1"));
+        continue;
+      }
       if (i + 1 >= args.size()) {
         throw std::invalid_argument("option --" + key + " needs a value");
       }
@@ -37,6 +51,10 @@ class ArgMap {
     const auto it = values_.find(key);
     return it == values_.end() ? std::nullopt
                                : std::optional<std::string>(it->second);
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) != 0;
   }
 
   [[nodiscard]] std::string require(const std::string& key) const {
@@ -83,46 +101,105 @@ void print_usage(std::ostream& out) {
          "             --dataset FILE\n"
          "  fit        fit the full model and save it for later prediction\n"
          "             --dataset FILE --ipmap FILE --model FILE\n"
-         "             [--fit-report FILE|-]\n"
+         "             [--fit-report FILE|-] [--checkpoint-dir DIR] [--resume]\n"
+         "             [--degraded-floor N]\n"
          "  predict    predict the next attack per target (fits on the fly\n"
          "             from --dataset/--ipmap, or loads --model FILE)\n"
          "             [--dataset FILE --ipmap FILE | --model FILE]\n"
          "             [--target ASN] [--top K] [--fit-report FILE|-]\n"
          "  evaluate   timestamp-prediction RMSE report (Fig. 4 format)\n"
          "             --dataset FILE --ipmap FILE [--train-fraction F]\n"
-         "  help       this message\n";
+         "             [--horizons F1,F2,...] [--out FILE]\n"
+         "             [--checkpoint-dir DIR] [--resume]\n"
+         "  help       this message\n"
+         "\n"
+         "exit codes: 0 ok, 1 internal error, 2 bad arguments,\n"
+         "            3 load/corruption/write failure, 4 fit degraded beyond\n"
+         "            --degraded-floor\n";
 }
 
-trace::Dataset load_dataset(const std::string& path, std::ostream& out) {
-  std::ifstream in(path);
-  if (!in) throw std::invalid_argument("cannot open dataset file " + path);
-  trace::Dataset dataset = trace::Dataset::load_csv(in);
+/// Whole-file read with a command-oriented error message (exit code 3).
+std::string read_input(const std::string& path, const char* what) {
+  try {
+    return durable::read_file(path);
+  } catch (const durable::LoadFailure&) {
+    throw durable::LoadFailure(
+        durable::LoadError::kIo,
+        std::string("cannot open ") + what + " file " + path);
+  }
+}
+
+/// Framed ("dataset" v1) or legacy bare-CSV dataset bytes -> Dataset.
+trace::Dataset parse_dataset(const std::string& bytes, const std::string& path,
+                             std::ostream& info) {
+  std::istringstream in(durable::looks_framed(bytes)
+                            ? durable::unwrap(bytes, "dataset", 1, 1)
+                            : bytes);
+  trace::Dataset dataset;
+  try {
+    dataset = trace::Dataset::load_csv(in);
+  } catch (const std::exception& e) {
+    throw durable::LoadFailure(durable::LoadError::kParse,
+                               "dataset " + path + ": " + e.what());
+  }
   if (!dataset.validation().clean()) {
-    out << "dataset " << path << " needed repair:\n";
-    dataset.validation().write(out);
+    info << "dataset " << path << " needed repair:\n";
+    dataset.validation().write(info);
   }
   return dataset;
 }
 
-/// --fit-report destination: "-" writes to the command's output stream.
+/// Framed ("ipmap" v1) or legacy bare ipmap bytes -> IpToAsnMap.
+net::IpToAsnMap parse_ipmap(const std::string& bytes, const std::string& path) {
+  std::istringstream in(durable::looks_framed(bytes)
+                            ? durable::unwrap(bytes, "ipmap", 1, 1)
+                            : bytes);
+  try {
+    return net::IpToAsnMap::load(in);
+  } catch (const std::exception& e) {
+    throw durable::LoadFailure(durable::LoadError::kParse,
+                               "ipmap " + path + ": " + e.what());
+  }
+}
+
+/// --fit-report destination: "-" writes to the command's output stream,
+/// anything else is a durably written framed artifact.
 void write_fit_report(const core::AdversaryModel& model,
                       const std::string& dest, std::ostream& out) {
   if (dest == "-") {
     model.fit_report().write(out);
     return;
   }
-  std::ofstream report_out(dest);
-  if (!report_out) throw std::invalid_argument("cannot write " + dest);
-  model.fit_report().write(report_out);
+  std::ostringstream text;
+  model.fit_report().write(text);
+  durable::save_artifact(dest, "fit_report", 1, text.str());
 }
 
-net::IpToAsnMap load_ipmap(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::invalid_argument("cannot open ipmap file " + path);
-  return net::IpToAsnMap::load(in);
+/// Content hash keying a checkpointed run: the exact input bytes plus the
+/// configuration that shapes the fit.
+std::uint64_t run_config_hash(std::initializer_list<std::string_view> parts) {
+  std::uint64_t hash = durable::fnv1a64("acbm-run");
+  for (std::string_view part : parts) hash = durable::fnv1a64(part, hash);
+  return hash;
 }
 
-int cmd_generate(const ArgMap& args, std::ostream& out) {
+/// Opens --checkpoint-dir/--resume when given; nullopt otherwise.
+std::optional<core::CheckpointDir> open_checkpoint(const ArgMap& args,
+                                                   std::uint64_t config_hash) {
+  const auto dir = args.get("checkpoint-dir");
+  if (!dir) {
+    if (args.has("resume")) {
+      throw std::invalid_argument("--resume requires --checkpoint-dir");
+    }
+    return std::nullopt;
+  }
+  core::CheckpointDir::Options opts;
+  opts.config_hash = config_hash;
+  opts.resume = args.has("resume");
+  return std::make_optional<core::CheckpointDir>(*dir, opts);
+}
+
+int cmd_generate(const ArgMap& args, std::ostream& out, std::ostream&) {
   args.reject_unknown({"seed", "days", "scale", "dataset", "ipmap"});
   trace::WorldOptions opts = trace::small_world_options(
       args.get_or<std::uint64_t>("seed", 1));
@@ -132,14 +209,12 @@ int cmd_generate(const ArgMap& args, std::ostream& out) {
   const std::string ipmap_path = args.require("ipmap");
 
   const trace::World world = trace::build_world(opts);
-  std::ofstream dataset_out(dataset_path);
-  if (!dataset_out) {
-    throw std::invalid_argument("cannot write " + dataset_path);
-  }
-  world.dataset.save_csv(dataset_out);
-  std::ofstream ipmap_out(ipmap_path);
-  if (!ipmap_out) throw std::invalid_argument("cannot write " + ipmap_path);
-  world.ip_map.save(ipmap_out);
+  std::ostringstream dataset_text;
+  world.dataset.save_csv(dataset_text);
+  durable::save_artifact(dataset_path, "dataset", 1, dataset_text.str());
+  std::ostringstream ipmap_text;
+  world.ip_map.save(ipmap_text);
+  durable::save_artifact(ipmap_path, "ipmap", 1, ipmap_text.str());
 
   out << "generated " << world.dataset.size() << " attacks over "
       << opts.generator.days << " days (" << world.topology.graph.as_count()
@@ -148,9 +223,11 @@ int cmd_generate(const ArgMap& args, std::ostream& out) {
   return 0;
 }
 
-int cmd_stats(const ArgMap& args, std::ostream& out) {
+int cmd_stats(const ArgMap& args, std::ostream& out, std::ostream&) {
   args.reject_unknown({"dataset"});
-  const trace::Dataset dataset = load_dataset(args.require("dataset"), out);
+  const std::string dataset_path = args.require("dataset");
+  const trace::Dataset dataset =
+      parse_dataset(read_input(dataset_path, "dataset"), dataset_path, out);
   out << dataset.size() << " attacks, " << dataset.family_names().size()
       << " families, " << dataset.target_asns().size() << " target ASes\n\n";
   std::ostringstream header;
@@ -168,49 +245,80 @@ int cmd_stats(const ArgMap& args, std::ostream& out) {
   return 0;
 }
 
-int cmd_fit(const ArgMap& args, std::ostream& out) {
-  args.reject_unknown({"dataset", "ipmap", "model", "fit-report"});
-  const trace::Dataset dataset = load_dataset(args.require("dataset"), out);
-  const net::IpToAsnMap ip_map = load_ipmap(args.require("ipmap"));
+int cmd_fit(const ArgMap& args, std::ostream& out, std::ostream& err) {
+  args.reject_unknown({"dataset", "ipmap", "model", "fit-report",
+                       "checkpoint-dir", "resume", "degraded-floor"});
+  const std::string report_dest = args.get("fit-report").value_or("");
+  // `--fit-report -` owns stdout: progress/info lines move to stderr so the
+  // report is machine-readable without interleaving.
+  std::ostream& info = report_dest == "-" ? err : out;
+
+  const std::string dataset_path = args.require("dataset");
+  const std::string ipmap_path = args.require("ipmap");
   const std::string model_path = args.require("model");
+  const std::string dataset_bytes = read_input(dataset_path, "dataset");
+  const std::string ipmap_bytes = read_input(ipmap_path, "ipmap");
+  const trace::Dataset dataset =
+      parse_dataset(dataset_bytes, dataset_path, info);
+  const net::IpToAsnMap ip_map = parse_ipmap(ipmap_bytes, ipmap_path);
 
   core::SpatiotemporalOptions opts;
   opts.spatial.grid_search = false;  // CLI favors responsiveness.
+  std::optional<core::CheckpointDir> checkpoint = open_checkpoint(
+      args,
+      run_config_hash({"fit", dataset_bytes, ipmap_bytes, "grid_search=0"}));
+  if (checkpoint) opts.checkpoint = &*checkpoint;
+
   core::AdversaryModel model(opts);
   model.fit(dataset, ip_map);
-  std::ofstream model_out(model_path);
-  if (!model_out) throw std::invalid_argument("cannot write " + model_path);
-  model.save(model_out);
-  out << "fitted on " << dataset.size() << " attacks; model saved to "
-      << model_path << "\n";
-  if (const auto report = args.get("fit-report")) {
-    write_fit_report(model, *report, out);
+  std::ostringstream body;
+  model.save(body);
+  durable::save_artifact(model_path, "adversary_model", 3, body.str());
+  info << "fitted on " << dataset.size() << " attacks; model saved to "
+       << model_path << "\n";
+  if (checkpoint && !checkpoint->report().clean()) {
+    err << "checkpoint recovery:\n";
+    checkpoint->report().write(err);
+  }
+  if (!report_dest.empty()) write_fit_report(model, report_dest, out);
+  if (const auto floor = args.get("degraded-floor")) {
+    const std::size_t degraded = model.fit_report().degraded_count();
+    const auto limit = static_cast<std::size_t>(std::stoull(*floor));
+    if (degraded > limit) {
+      err << "fit degraded on " << degraded << " components (floor " << limit
+          << ")\n";
+      return 4;
+    }
   }
   return 0;
 }
 
-int cmd_predict(const ArgMap& args, std::ostream& out) {
+int cmd_predict(const ArgMap& args, std::ostream& out, std::ostream& err) {
   args.reject_unknown({"dataset", "ipmap", "model", "target", "top",
                        "fit-report"});
+  const std::string report_dest = args.get("fit-report").value_or("");
+  std::ostream& info = report_dest == "-" ? err : out;
   core::AdversaryModel model;
   if (const auto model_path = args.get("model")) {
     std::ifstream model_in(*model_path);
     if (!model_in) {
-      throw std::invalid_argument("cannot open model file " + *model_path);
+      throw durable::LoadFailure(durable::LoadError::kIo,
+                                 "cannot open model file " + *model_path);
     }
-    model = core::AdversaryModel::load(model_in);
+    model = core::AdversaryModel::load_framed(model_in);
   } else {
-    const trace::Dataset fit_dataset =
-        load_dataset(args.require("dataset"), out);
-    const net::IpToAsnMap ip_map = load_ipmap(args.require("ipmap"));
+    const std::string dataset_path = args.require("dataset");
+    const trace::Dataset fit_dataset = parse_dataset(
+        read_input(dataset_path, "dataset"), dataset_path, info);
+    const std::string ipmap_path = args.require("ipmap");
+    const net::IpToAsnMap ip_map =
+        parse_ipmap(read_input(ipmap_path, "ipmap"), ipmap_path);
     core::SpatiotemporalOptions opts;
     opts.spatial.grid_search = false;  // CLI favors responsiveness.
     model = core::AdversaryModel(opts);
     model.fit(fit_dataset, ip_map);
   }
-  if (const auto report = args.get("fit-report")) {
-    write_fit_report(model, *report, out);
-  }
+  if (!report_dest.empty()) write_fit_report(model, report_dest, out);
   const trace::Dataset& dataset = model.dataset();
 
   std::vector<net::Asn> targets;
@@ -222,11 +330,12 @@ int cmd_predict(const ArgMap& args, std::ostream& out) {
                                          args.get_or<std::size_t>("top", 5)));
   }
 
-  out << "target      family        bots   duration      day  hour  top sources\n";
+  std::ostream& table = report_dest == "-" ? err : out;
+  table << "target      family        bots   duration      day  hour  top sources\n";
   for (net::Asn asn : targets) {
     const auto pred = model.predict_next_attack(asn);
     if (!pred) {
-      out << "AS" << asn << "  (no history)\n";
+      table << "AS" << asn << "  (no history)\n";
       continue;
     }
     std::vector<std::pair<net::Asn, double>> sources(
@@ -238,42 +347,96 @@ int cmd_predict(const ArgMap& args, std::ostream& out) {
                   "AS%-8u  %-12s %5.0f %9.0fs %7.1f %5.1f  ", asn,
                   dataset.family_names()[pred->assumed_family].c_str(),
                   pred->magnitude, pred->duration_s, pred->day, pred->hour);
-    out << line;
+    table << line;
     for (std::size_t i = 0; i < sources.size() && i < 3; ++i) {
       if (sources[i].first == 0) continue;
       char src[48];
       std::snprintf(src, sizeof src, "AS%u(%.0f%%) ", sources[i].first,
                     100.0 * sources[i].second);
-      out << src;
+      table << src;
     }
-    out << "\n";
+    table << "\n";
   }
   return 0;
 }
 
-int cmd_evaluate(const ArgMap& args, std::ostream& out) {
-  args.reject_unknown({"dataset", "ipmap", "train-fraction"});
-  const trace::Dataset dataset = load_dataset(args.require("dataset"), out);
-  const net::IpToAsnMap ip_map = load_ipmap(args.require("ipmap"));
-  const double fraction = args.get_or<double>("train-fraction", 0.8);
+/// One horizon's evaluation rendered as stable text: printed, checkpointed,
+/// and concatenated into --out verbatim, so a resumed run's output is
+/// byte-identical to an uninterrupted one.
+std::string render_evaluation(const std::string& label,
+                              const core::TimestampEvaluation& eval) {
+  if (eval.truth_hour.empty()) {
+    return "h=" + label + ": not enough data to evaluate\n";
+  }
+  char buffer[320];
+  std::snprintf(buffer, sizeof buffer,
+                "h=%s: %zu test attacks\n"
+                "hour RMSE: spatial %.2f  temporal %.2f  spatiotemporal %.2f\n"
+                "date RMSE: spatial %.2f  temporal %.2f  spatiotemporal %.2f\n",
+                label.c_str(), eval.truth_hour.size(), eval.rmse_hour_spa,
+                eval.rmse_hour_tmp, eval.rmse_hour_st, eval.rmse_day_spa,
+                eval.rmse_day_tmp, eval.rmse_day_st);
+  return buffer;
+}
+
+int cmd_evaluate(const ArgMap& args, std::ostream& out, std::ostream& err) {
+  args.reject_unknown({"dataset", "ipmap", "train-fraction", "horizons", "out",
+                       "checkpoint-dir", "resume"});
+  const std::string dataset_path = args.require("dataset");
+  const std::string ipmap_path = args.require("ipmap");
+  const std::string dataset_bytes = read_input(dataset_path, "dataset");
+  const std::string ipmap_bytes = read_input(ipmap_path, "ipmap");
+  const trace::Dataset dataset =
+      parse_dataset(dataset_bytes, dataset_path, out);
+  const net::IpToAsnMap ip_map = parse_ipmap(ipmap_bytes, ipmap_path);
+
+  // Horizons keep their CLI spelling: the token names the checkpoint stage
+  // and labels the output, so "0.80" and "0.8" are distinct stages.
+  std::vector<std::string> horizons;
+  if (const auto list = args.get("horizons")) {
+    std::istringstream tokens(*list);
+    std::string token;
+    while (std::getline(tokens, token, ',')) {
+      if (!token.empty()) horizons.push_back(token);
+    }
+    if (horizons.empty()) {
+      throw std::invalid_argument("--horizons needs at least one fraction");
+    }
+  } else {
+    horizons.push_back(args.get("train-fraction").value_or("0.8"));
+  }
 
   core::SpatiotemporalOptions opts;
   opts.spatial.grid_search = false;
-  const core::TimestampEvaluation eval =
-      core::evaluate_timestamps(dataset, ip_map, opts, fraction);
-  if (eval.truth_hour.empty()) {
-    out << "not enough data to evaluate\n";
-    return 0;
+  std::optional<core::CheckpointDir> checkpoint =
+      open_checkpoint(args, run_config_hash({"evaluate", dataset_bytes,
+                                             ipmap_bytes, "grid_search=0"}));
+
+  std::string results;
+  for (const std::string& token : horizons) {
+    const double fraction = std::stod(token);
+    if (!(fraction > 0.0 && fraction < 1.0)) {
+      throw std::invalid_argument("train fraction must be in (0, 1), got " +
+                                  token);
+    }
+    const std::string stage = "eval/h=" + token;
+    std::optional<std::string> text;
+    if (checkpoint) text = checkpoint->load(stage);
+    if (!text) {
+      text = render_evaluation(
+          token, core::evaluate_timestamps(dataset, ip_map, opts, fraction));
+      if (checkpoint) checkpoint->store(stage, *text);
+    }
+    out << *text;
+    results += *text;
   }
-  char buffer[256];
-  std::snprintf(buffer, sizeof buffer,
-                "%zu test attacks\n"
-                "hour RMSE: spatial %.2f  temporal %.2f  spatiotemporal %.2f\n"
-                "date RMSE: spatial %.2f  temporal %.2f  spatiotemporal %.2f\n",
-                eval.truth_hour.size(), eval.rmse_hour_spa, eval.rmse_hour_tmp,
-                eval.rmse_hour_st, eval.rmse_day_spa, eval.rmse_day_tmp,
-                eval.rmse_day_st);
-  out << buffer;
+  if (checkpoint && !checkpoint->report().clean()) {
+    err << "checkpoint recovery:\n";
+    checkpoint->report().write(err);
+  }
+  if (const auto out_path = args.get("out")) {
+    durable::save_artifact(*out_path, "evaluation", 1, results);
+  }
   return 0;
 }
 
@@ -283,24 +446,31 @@ int run(std::span<const std::string> args, std::ostream& out,
         std::ostream& err) {
   if (args.empty() || args[0] == "help" || args[0] == "--help") {
     print_usage(out);
-    return args.empty() ? 1 : 0;
+    return args.empty() ? 2 : 0;
   }
   try {
-    const ArgMap options(args, 1);
-    if (args[0] == "generate") return cmd_generate(options, out);
-    if (args[0] == "fit") return cmd_fit(options, out);
-    if (args[0] == "stats") return cmd_stats(options, out);
-    if (args[0] == "predict") return cmd_predict(options, out);
-    if (args[0] == "evaluate") return cmd_evaluate(options, out);
+    const ArgMap options(args, 1, {"resume"});
+    if (args[0] == "generate") return cmd_generate(options, out, err);
+    if (args[0] == "fit") return cmd_fit(options, out, err);
+    if (args[0] == "stats") return cmd_stats(options, out, err);
+    if (args[0] == "predict") return cmd_predict(options, out, err);
+    if (args[0] == "evaluate") return cmd_evaluate(options, out, err);
     err << "unknown command '" << args[0] << "'\n";
     print_usage(err);
-    return 1;
+    return 2;
+  } catch (const durable::LoadFailure& e) {
+    err << "error (" << durable::to_string(e.code()) << "): " << e.what()
+        << "\n";
+    return 3;
+  } catch (const durable::WriteFailure& e) {
+    err << "error (write): " << e.what() << "\n";
+    return 3;
   } catch (const std::invalid_argument& e) {
     err << "error: " << e.what() << "\n";
-    return 1;
+    return 2;
   } catch (const std::exception& e) {
     err << "internal error: " << e.what() << "\n";
-    return 2;
+    return 1;
   }
 }
 

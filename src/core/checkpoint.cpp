@@ -1,0 +1,234 @@
+#include "core/checkpoint.h"
+
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <vector>
+
+#include "core/robust.h"
+
+namespace acbm::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr int kManifestFormat = 1;
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Extracts the value of `"key": "<value>"` from a JSON line, unescaping
+/// \" and \\. Returns nullopt when the key is absent.
+std::optional<std::string> json_string_field(std::string_view line,
+                                             std::string_view key) {
+  std::string needle("\"");
+  needle += key;
+  needle += "\": \"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string_view::npos) return std::nullopt;
+  std::string out;
+  bool escaped = false;
+  for (std::size_t i = at + needle.size(); i < line.size(); ++i) {
+    const char c = line[i];
+    if (escaped) {
+      out += c;
+      escaped = false;
+    } else if (c == '\\') {
+      escaped = true;
+    } else if (c == '"') {
+      return out;
+    } else {
+      out += c;
+    }
+  }
+  return std::nullopt;  // Unterminated string: treat as absent.
+}
+
+}  // namespace
+
+CheckpointDir::CheckpointDir(fs::path dir, Options opts)
+    : dir_(std::move(dir)), opts_(opts) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw durable::WriteFailure("checkpoint: cannot create directory " +
+                                dir_.string() + ": " + ec.message());
+  }
+  if (opts_.resume) read_manifest();
+  write_manifest();
+  journal("open config_hash=" + durable::to_hex(opts_.config_hash) +
+          (opts_.resume ? " resume" : " fresh") + " stages=" +
+          std::to_string(stages_.size()));
+}
+
+std::string CheckpointDir::slug(std::string_view stage) {
+  std::string out;
+  out.reserve(stage.size());
+  for (char c : stage) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '-' || c == '=';
+    out += safe ? c : '-';
+  }
+  return out.empty() ? std::string("stage") : out;
+}
+
+fs::path CheckpointDir::artifact_path(std::string_view stage) const {
+  return dir_ / (slug(stage) + ".art");
+}
+
+bool CheckpointDir::is_complete(std::string_view stage) const {
+  return stages_.find(std::string(stage)) != stages_.end();
+}
+
+std::optional<std::string> CheckpointDir::load(std::string_view stage) {
+  const auto it = stages_.find(std::string(stage));
+  if (it == stages_.end()) return std::nullopt;
+  const std::string kind = slug(stage);
+  const fs::path primary = artifact_path(stage);
+  for (int gen = 0; gen <= opts_.keep_generations; ++gen) {
+    const fs::path candidate =
+        gen == 0 ? primary
+                 : fs::path(primary.string() + ".g" + std::to_string(gen));
+    std::error_code ec;
+    if (gen > 0 && !fs::exists(candidate, ec)) continue;
+    try {
+      std::string payload =
+          durable::load_artifact(candidate, kind, 1, 1, false, &report_);
+      if (gen > 0) {
+        report_.generation = gen;
+        journal("load " + std::string(stage) + " fallback-generation=" +
+                std::to_string(gen));
+      } else {
+        journal("load " + std::string(stage) + " ok");
+      }
+      return payload;
+    } catch (const durable::LoadFailure& e) {
+      journal("load " + std::string(stage) + " corrupt file=" +
+              candidate.string() + " error=" + to_string(e.code()));
+      // load_artifact already quarantined the bad copy and recorded the
+      // event; fall through to the next generation.
+    }
+  }
+  journal("load " + std::string(stage) + " unrecoverable; stage will rerun");
+  stages_.erase(std::string(stage));
+  write_manifest();
+  return std::nullopt;
+}
+
+void CheckpointDir::store(std::string_view stage, std::string_view payload) {
+  const fs::path primary = artifact_path(stage);
+  // Rotate prior copies: art -> .g1 -> .g2 -> dropped.
+  std::error_code ec;
+  const fs::path oldest =
+      primary.string() + ".g" + std::to_string(opts_.keep_generations);
+  fs::remove(oldest, ec);
+  for (int gen = opts_.keep_generations - 1; gen >= 0; --gen) {
+    const fs::path from =
+        gen == 0 ? primary
+                 : fs::path(primary.string() + ".g" + std::to_string(gen));
+    if (!fs::exists(from, ec)) continue;
+    fs::rename(from,
+               fs::path(primary.string() + ".g" + std::to_string(gen + 1)), ec);
+  }
+
+  durable::save_artifact(primary, slug(stage), 1, payload);
+
+  // Crash window between artifact and marker: the artifact exists but the
+  // manifest never records completion, so resume reruns the stage.
+  FaultInjector& injector = FaultInjector::instance();
+  if (injector.enabled() && injector.fires("checkpoint.stage", stage)) {
+    throw durable::WriteFailure("injected fault: checkpoint.stage " +
+                                std::string(stage));
+  }
+
+  stages_[std::string(stage)] = durable::crc32c(payload);
+  write_manifest();
+  journal("store " + std::string(stage) + " crc32c=" +
+          durable::to_hex(stages_[std::string(stage)]));
+}
+
+void CheckpointDir::read_manifest() {
+  const fs::path manifest = dir_ / "run.json";
+  std::error_code ec;
+  if (!fs::exists(manifest, ec)) return;
+  std::string text;
+  try {
+    text = durable::read_file(manifest);
+  } catch (const durable::LoadFailure&) {
+    return;
+  }
+  // Line-oriented parse of our own writer's output. Any structural surprise
+  // quarantines the manifest and starts fresh — stage artifacts keep their
+  // own checksums, so the worst case is rerunning completed stages.
+  std::istringstream in(text);
+  std::string line;
+  bool saw_hash = false;
+  std::map<std::string, std::uint32_t> stages;
+  while (std::getline(in, line)) {
+    if (const auto hash = json_string_field(line, "config_hash")) {
+      saw_hash = true;
+      if (*hash != durable::to_hex(opts_.config_hash)) {
+        journal("manifest config_hash mismatch (" + *hash +
+                "); prior stages ignored");
+        return;
+      }
+      continue;
+    }
+    const auto name = json_string_field(line, "name");
+    const auto crc = json_string_field(line, "crc32c");
+    if (name && crc) {
+      try {
+        stages[*name] =
+            static_cast<std::uint32_t>(std::stoul(*crc, nullptr, 16));
+      } catch (const std::exception&) {
+        saw_hash = false;  // Malformed entry: treat the manifest as corrupt.
+        break;
+      }
+    }
+  }
+  if (!saw_hash) {
+    const fs::path dest = durable::quarantine(manifest);
+    report_.events.push_back({manifest.string(), durable::LoadError::kParse,
+                              "unparseable run manifest", dest.string()});
+    journal("manifest corrupt; quarantined to " + dest.string());
+    return;
+  }
+  stages_ = std::move(stages);
+}
+
+void CheckpointDir::write_manifest() {
+  std::ostringstream json;
+  json << "{\n";
+  json << "  \"format\": " << kManifestFormat << ",\n";
+  json << "  \"config_hash\": \"" << durable::to_hex(opts_.config_hash)
+       << "\",\n";
+  json << "  \"stages\": [";
+  bool first = true;
+  for (const auto& [stage, crc] : stages_) {
+    json << (first ? "\n" : ",\n");
+    first = false;
+    json << "    {\"name\": \"" << json_escape(stage) << "\", \"file\": \""
+         << json_escape(slug(stage) + ".art") << "\", \"crc32c\": \""
+         << durable::to_hex(crc) << "\"}";
+  }
+  json << (first ? "]\n" : "\n  ]\n");
+  json << "}\n";
+  durable::atomic_write_file(dir_ / "run.json", json.str());
+}
+
+void CheckpointDir::journal(std::string_view line) {
+  std::ofstream out(dir_ / "journal.log", std::ios::app);
+  if (!out) return;  // The journal is an audit aid, never load-bearing.
+  out << line << '\n';
+}
+
+}  // namespace acbm::core

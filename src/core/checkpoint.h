@@ -1,0 +1,96 @@
+// Stage checkpointing for long pipeline runs: a run manifest (`run.json`) +
+// append-only journal plus per-stage framed artifacts, all keyed by a
+// content hash of the run's inputs and configuration. `acbm fit` and
+// `acbm evaluate` point a CheckpointDir at --checkpoint-dir and, with
+// --resume, skip per-family fits and per-horizon evaluations whose stage
+// already completed — reaching the bit-identical final result an
+// uninterrupted run produces.
+//
+// Recovery policy on load: a corrupt stage artifact is quarantined
+// (`*.corrupt-<n>`), the newest valid generation (`.g1`, `.g2`, ...) is
+// used instead, and when no generation survives the stage simply reruns.
+//
+// Fault point wired here (see robust.h FaultInjector):
+//   checkpoint.stage   key "<stage>"  crash between the stage artifact
+//                                     write and the manifest update
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/durable.h"
+
+namespace acbm::core {
+
+/// Abstract stage store threaded through fit/eval code. Implementations
+/// must be used from one thread at a time (the pipeline checkpoints at
+/// stage boundaries, outside its parallel sections).
+class StageStore {
+ public:
+  virtual ~StageStore() = default;
+
+  /// Payload of a completed stage, or nullopt when the stage has not
+  /// completed (or every copy of its artifact was corrupt).
+  [[nodiscard]] virtual std::optional<std::string> load(
+      std::string_view stage) = 0;
+
+  /// Durably records a completed stage and its artifact payload.
+  virtual void store(std::string_view stage, std::string_view payload) = 0;
+};
+
+/// Filesystem-backed StageStore: one framed artifact per stage, a durable
+/// `run.json` manifest naming the completed stages, and a `journal.log`
+/// recording every store/load/recovery event.
+class CheckpointDir final : public StageStore {
+ public:
+  struct Options {
+    /// Content hash of the run's inputs + config. A manifest written under
+    /// a different hash is stale: its stages are ignored.
+    std::uint64_t config_hash = 0;
+    /// Reuse compatible completed stages from a previous run. When false
+    /// the manifest starts empty (prior artifacts rotate to generations).
+    bool resume = false;
+    /// Prior artifact copies kept per stage for corruption fallback.
+    int keep_generations = 2;
+  };
+
+  CheckpointDir(std::filesystem::path dir, Options opts);
+
+  [[nodiscard]] std::optional<std::string> load(std::string_view stage) override;
+  void store(std::string_view stage, std::string_view payload) override;
+
+  /// True when the manifest records the stage as completed under this run's
+  /// config hash (the artifact may still turn out corrupt on load()).
+  [[nodiscard]] bool is_complete(std::string_view stage) const;
+
+  /// Recovery events accumulated across load() calls.
+  [[nodiscard]] const durable::LoadReport& report() const noexcept {
+    return report_;
+  }
+
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept {
+    return dir_;
+  }
+
+  /// Filesystem-safe stage name ('/' and other separators become '-').
+  [[nodiscard]] static std::string slug(std::string_view stage);
+
+ private:
+  void read_manifest();
+  void write_manifest();
+  void journal(std::string_view line);
+  [[nodiscard]] std::filesystem::path artifact_path(
+      std::string_view stage) const;
+
+  std::filesystem::path dir_;
+  Options opts_;
+  /// stage name -> payload CRC32C (ordered so run.json is deterministic).
+  std::map<std::string, std::uint32_t> stages_;
+  durable::LoadReport report_;
+};
+
+}  // namespace acbm::core

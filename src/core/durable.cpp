@@ -1,0 +1,353 @@
+#include "core/durable.h"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <system_error>
+
+#include "core/robust.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define ACBM_POSIX_IO 1
+#endif
+
+namespace acbm::core::durable {
+
+namespace {
+
+/// CRC32C (Castagnoli, reflected polynomial 0x82F63B78) lookup table.
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1U) ? 0x82F63B78U : 0U);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrc32cTable = make_crc32c_table();
+
+[[nodiscard]] std::string hex_digits(std::uint64_t value, int digits) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(static_cast<std::size_t>(digits), '0');
+  for (int i = digits - 1; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::string_view data, std::uint32_t crc) noexcept {
+  crc = ~crc;
+  for (unsigned char byte : data) {
+    crc = (crc >> 8) ^ kCrc32cTable[(crc ^ byte) & 0xFFU];
+  }
+  return ~crc;
+}
+
+std::uint64_t fnv1a64(std::string_view data, std::uint64_t hash) noexcept {
+  for (unsigned char byte : data) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string to_hex(std::uint64_t value) { return hex_digits(value, 16); }
+std::string to_hex(std::uint32_t value) { return hex_digits(value, 8); }
+
+const char* to_string(LoadError error) noexcept {
+  switch (error) {
+    case LoadError::kIo: return "io";
+    case LoadError::kTruncated: return "truncated";
+    case LoadError::kBadChecksum: return "bad_checksum";
+    case LoadError::kBadMagic: return "bad_magic";
+    case LoadError::kVersionUnsupported: return "version_unsupported";
+    case LoadError::kParse: return "parse";
+  }
+  return "unknown";
+}
+
+std::string frame_payload(std::string_view kind, int version,
+                          std::string_view payload) {
+  if (kind.empty() || kind.find_first_of(" \n") != std::string_view::npos) {
+    throw std::invalid_argument("frame_payload: kind must be a single token");
+  }
+  std::string out;
+  out.reserve(payload.size() + kind.size() + 64);
+  out += kFrameMagic;
+  out += ' ';
+  out += kind;
+  out += " v";
+  out += std::to_string(version);
+  out += " len=";
+  out += std::to_string(payload.size());
+  out += " crc32c=";
+  out += to_hex(crc32c(payload));
+  out += '\n';
+  out += payload;
+  return out;
+}
+
+bool looks_framed(std::string_view data) noexcept {
+  return data.substr(0, kFrameMagic.size()) == kFrameMagic;
+}
+
+Frame parse_frame(std::string_view data) {
+  if (!looks_framed(data)) {
+    throw LoadFailure(LoadError::kBadMagic,
+                      "durable: not a framed artifact (missing " +
+                          std::string(kFrameMagic) + " magic)");
+  }
+  const std::size_t eol = data.find('\n');
+  if (eol == std::string_view::npos) {
+    throw LoadFailure(LoadError::kTruncated,
+                      "durable: frame header line is truncated");
+  }
+  std::istringstream header{std::string(data.substr(0, eol))};
+  std::string magic;
+  std::string kind;
+  std::string vtok;
+  std::string lentok;
+  std::string crctok;
+  header >> magic >> kind >> vtok >> lentok >> crctok;
+  if (header.fail() || kind.empty() || vtok.size() < 2 || vtok[0] != 'v' ||
+      lentok.rfind("len=", 0) != 0 || crctok.rfind("crc32c=", 0) != 0) {
+    throw LoadFailure(LoadError::kParse, "durable: malformed frame header '" +
+                                             std::string(data.substr(0, eol)) +
+                                             "'");
+  }
+  Frame frame;
+  frame.kind = kind;
+  std::size_t length = 0;
+  std::uint32_t expected_crc = 0;
+  try {
+    frame.version = std::stoi(vtok.substr(1));
+    length = std::stoull(lentok.substr(4));
+    expected_crc =
+        static_cast<std::uint32_t>(std::stoul(crctok.substr(7), nullptr, 16));
+  } catch (const std::exception&) {
+    throw LoadFailure(LoadError::kParse, "durable: malformed frame header '" +
+                                             std::string(data.substr(0, eol)) +
+                                             "'");
+  }
+  const std::string_view payload = data.substr(eol + 1);
+  if (payload.size() < length) {
+    throw LoadFailure(
+        LoadError::kTruncated,
+        "durable: frame promises " + std::to_string(length) + " payload bytes, "
+            "found " + std::to_string(payload.size()));
+  }
+  if (payload.size() > length) {
+    throw LoadFailure(LoadError::kParse,
+                      "durable: " + std::to_string(payload.size() - length) +
+                          " trailing byte(s) after framed payload");
+  }
+  const std::uint32_t actual_crc = crc32c(payload);
+  if (actual_crc != expected_crc) {
+    throw LoadFailure(LoadError::kBadChecksum,
+                      "durable: payload CRC32C mismatch (expected " +
+                          to_hex(expected_crc) + ", got " + to_hex(actual_crc) +
+                          ")");
+  }
+  frame.payload = std::string(payload);
+  return frame;
+}
+
+std::string unwrap(std::string_view data, std::string_view kind,
+                   int min_version, int max_version) {
+  Frame frame = parse_frame(data);
+  if (frame.kind != kind) {
+    throw LoadFailure(LoadError::kParse, "durable: expected kind '" +
+                                             std::string(kind) + "', got '" +
+                                             frame.kind + "'");
+  }
+  if (frame.version < min_version || frame.version > max_version) {
+    throw LoadFailure(LoadError::kVersionUnsupported,
+                      "durable: " + frame.kind + " v" +
+                          std::to_string(frame.version) +
+                          " is outside the supported range [v" +
+                          std::to_string(min_version) + ", v" +
+                          std::to_string(max_version) + "]");
+  }
+  return std::move(frame.payload);
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw LoadFailure(LoadError::kIo,
+                      "durable: cannot open " + path.string());
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (in.bad()) {
+    throw LoadFailure(LoadError::kIo, "durable: read error on " +
+                                          path.string());
+  }
+  return contents.str();
+}
+
+std::string read_stream(std::istream& is) {
+  std::ostringstream contents;
+  contents << is.rdbuf();
+  return contents.str();
+}
+
+void atomic_write_file(const std::filesystem::path& path,
+                       std::string_view contents) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  FaultInjector& injector = FaultInjector::instance();
+  const std::string key = "path=" + path.string();
+  // Crash injection: write only half the payload, skip the rename, throw.
+  // The final name keeps its previous content (or stays absent) — exactly
+  // what a kill between write() calls produces.
+  const bool crash_write = injector.enabled() && injector.fires("io.write", key);
+  const std::size_t write_len =
+      crash_write ? contents.size() / 2 : contents.size();
+
+#ifdef ACBM_POSIX_IO
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw WriteFailure("durable: cannot create " + tmp.string() + ": " +
+                       std::strerror(errno));
+  }
+  std::size_t written = 0;
+  while (written < write_len) {
+    const ::ssize_t n =
+        ::write(fd, contents.data() + written, write_len - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      throw WriteFailure("durable: write failed on " + tmp.string() + ": " +
+                         std::strerror(saved));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (crash_write) {
+    ::close(fd);
+    throw WriteFailure("injected fault: io.write " + key);
+  }
+  if (injector.enabled() && injector.fires("io.fsync", key)) {
+    ::close(fd);
+    throw WriteFailure("injected fault: io.fsync " + key);
+  }
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw WriteFailure("durable: fsync failed on " + tmp.string() + ": " +
+                       std::strerror(saved));
+  }
+  ::close(fd);
+#else
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw WriteFailure("durable: cannot create " + tmp.string());
+    out.write(contents.data(), static_cast<std::streamsize>(write_len));
+    out.flush();
+    if (!out) throw WriteFailure("durable: write failed on " + tmp.string());
+  }
+  if (crash_write) throw WriteFailure("injected fault: io.write " + key);
+  if (injector.enabled() && injector.fires("io.fsync", key)) {
+    throw WriteFailure("injected fault: io.fsync " + key);
+  }
+#endif
+
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw WriteFailure("durable: rename " + tmp.string() + " -> " +
+                       path.string() + " failed: " + ec.message());
+  }
+
+#ifdef ACBM_POSIX_IO
+  // Durability of the rename itself: fsync the containing directory.
+  const std::filesystem::path dir =
+      path.has_parent_path() ? path.parent_path() : std::filesystem::path(".");
+  const int dirfd = ::open(dir.c_str(), O_RDONLY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);  // Best effort; some filesystems reject directory fsync.
+    ::close(dirfd);
+  }
+#endif
+}
+
+void save_artifact(const std::filesystem::path& path, std::string_view kind,
+                   int version, std::string_view payload) {
+  atomic_write_file(path, frame_payload(kind, version, payload));
+}
+
+void LoadReport::write(std::ostream& os) const {
+  for (const LoadEvent& event : events) {
+    os << "corrupt artifact: " << event.path << " (" << to_string(event.error);
+    if (!event.detail.empty()) os << ": " << event.detail;
+    os << ")";
+    if (!event.quarantined_to.empty()) {
+      os << " quarantined to " << event.quarantined_to;
+    }
+    os << '\n';
+  }
+  if (legacy) os << "loaded legacy unframed artifact\n";
+  if (generation > 0) {
+    os << "fell back to checkpoint generation " << generation << '\n';
+  }
+}
+
+std::filesystem::path quarantine(const std::filesystem::path& path) {
+  for (int n = 1; n < 10000; ++n) {
+    const std::filesystem::path dest =
+        path.string() + ".corrupt-" + std::to_string(n);
+    std::error_code ec;
+    if (std::filesystem::exists(dest, ec)) continue;
+    std::filesystem::rename(path, dest, ec);
+    if (!ec) return dest;
+    return {};  // Rename failed (permissions?); leave the file in place.
+  }
+  return {};
+}
+
+std::string load_artifact(const std::filesystem::path& path,
+                          std::string_view kind, int min_version,
+                          int max_version, bool legacy_ok, LoadReport* report) {
+  const std::string data = read_file(path);
+  if (!looks_framed(data)) {
+    if (legacy_ok) {
+      if (report != nullptr) report->legacy = true;
+      return data;
+    }
+    throw LoadFailure(LoadError::kBadMagic,
+                      "durable: " + path.string() + " is not a framed " +
+                          std::string(kind) + " artifact");
+  }
+  try {
+    return unwrap(data, kind, min_version, max_version);
+  } catch (const LoadFailure& e) {
+    // A merely-newer schema is an intact file: report, don't quarantine.
+    if (e.code() == LoadError::kVersionUnsupported) {
+      throw LoadFailure(e.code(), path.string() + ": " + e.what());
+    }
+    const std::filesystem::path dest = quarantine(path);
+    if (report != nullptr) {
+      report->events.push_back(
+          {path.string(), e.code(), e.what(), dest.string()});
+    }
+    std::string detail = path.string() + ": " + e.what();
+    if (!dest.empty()) detail += " (quarantined to " + dest.string() + ")";
+    throw LoadFailure(e.code(), detail);
+  }
+}
+
+}  // namespace acbm::core::durable

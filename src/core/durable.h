@@ -1,0 +1,203 @@
+// Durable artifact I/O shared by every writer and reader of on-disk state
+// (datasets, model files, fit reports, evaluation results, checkpoints):
+//
+//  * a framed envelope (magic, kind, schema version, payload length,
+//    CRC32C) so partial writes and bit flips are detected before parsing;
+//  * atomic durable writes (write-to-temp + fsync + rename + directory
+//    fsync) so a kill mid-write can never leave a half-written artifact
+//    under the final name;
+//  * a typed LoadError taxonomy mirroring robust.h's FitError, plus a
+//    quarantine policy (`<file>.corrupt-<n>`) and a LoadReport recording
+//    what recovery did.
+//
+// Like acbm_robust this is a dependency-free target of its own
+// (acbm_durable) sitting just above the fault-injection substrate, so every
+// layer that touches the filesystem can use it without a layering cycle.
+//
+// Fault points wired here (see robust.h FaultInjector):
+//   io.write          key "path=<p>"  crash mid-write: half the payload is
+//                                     written to the temp file, then throws
+//   io.fsync          key "path=<p>"  fail the durability fsync
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <istream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace acbm::core::durable {
+
+// --- Checksums and content hashes -----------------------------------------
+
+/// CRC32C (Castagnoli) of `data`, continuing from `crc` (0 to start).
+/// Software slice-by-one table implementation; the check value of
+/// "123456789" is 0xE3069283.
+[[nodiscard]] std::uint32_t crc32c(std::string_view data,
+                                   std::uint32_t crc = 0) noexcept;
+
+/// FNV-1a 64-bit content hash, used to key checkpoint stages by the exact
+/// bytes of their inputs and configuration.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data,
+                                    std::uint64_t hash = 0xcbf29ce484222325ULL)
+    noexcept;
+
+/// Lower-case hex rendering (no 0x prefix) of a hash/checksum.
+[[nodiscard]] std::string to_hex(std::uint64_t value);
+[[nodiscard]] std::string to_hex(std::uint32_t value);
+
+// --- Error taxonomy --------------------------------------------------------
+
+/// Why an artifact could not be loaded. Mirrors robust.h's FitError: every
+/// reader fails with one of these, never a crash or a silently wrong model.
+enum class LoadError {
+  kIo,                  ///< File missing/unreadable or a write failed.
+  kTruncated,           ///< Fewer bytes than the frame header promised.
+  kBadChecksum,         ///< Payload CRC32C mismatch (bit rot, partial write).
+  kBadMagic,            ///< Not a framed artifact (and legacy not allowed).
+  kVersionUnsupported,  ///< Framed, intact, but a schema we cannot read.
+  kParse,               ///< Frame/payload intact but contents unparseable.
+};
+
+[[nodiscard]] const char* to_string(LoadError error) noexcept;
+
+/// Typed load failure carrying the taxonomy code.
+class LoadFailure : public std::runtime_error {
+ public:
+  LoadFailure(LoadError code, const std::string& detail)
+      : std::runtime_error(detail), code_(code) {}
+
+  [[nodiscard]] LoadError code() const noexcept { return code_; }
+
+ private:
+  LoadError code_;
+};
+
+/// Typed durable-write failure (also thrown by the io.write / io.fsync
+/// crash-injection points).
+class WriteFailure : public std::runtime_error {
+ public:
+  explicit WriteFailure(const std::string& detail)
+      : std::runtime_error(detail) {}
+};
+
+// --- Framed envelope --------------------------------------------------------
+
+/// Every framed artifact starts with one header line:
+///   ACBMF1 <kind> v<version> len=<payload-bytes> crc32c=<8 hex>\n
+/// followed by exactly `len` payload bytes. The CRC covers the payload.
+inline constexpr std::string_view kFrameMagic = "ACBMF1";
+
+struct Frame {
+  std::string kind;
+  int version = 0;
+  std::string payload;
+};
+
+/// Wraps a payload in the framed envelope.
+[[nodiscard]] std::string frame_payload(std::string_view kind, int version,
+                                        std::string_view payload);
+
+/// True when `data` begins with the frame magic (cheap pre-check used to
+/// route legacy unframed artifacts to their old parser).
+[[nodiscard]] bool looks_framed(std::string_view data) noexcept;
+
+/// Parses a framed blob. Throws LoadFailure with kBadMagic / kTruncated /
+/// kBadChecksum / kParse.
+[[nodiscard]] Frame parse_frame(std::string_view data);
+
+/// parse_frame plus kind/version policing: a kind mismatch is kParse, a
+/// version outside [min_version, max_version] is kVersionUnsupported.
+/// Returns the verified payload.
+[[nodiscard]] std::string unwrap(std::string_view data, std::string_view kind,
+                                 int min_version, int max_version);
+
+// --- Durable file I/O -------------------------------------------------------
+
+/// Whole-file read; throws LoadFailure(kIo) when the file cannot be opened
+/// or read.
+[[nodiscard]] std::string read_file(const std::filesystem::path& path);
+
+/// Drains a stream to a string (for the framed stream-based loaders).
+[[nodiscard]] std::string read_stream(std::istream& is);
+
+/// Atomic durable write: contents go to `<path>.tmp`, are fsynced, then
+/// renamed over `path`, and the parent directory is fsynced. A crash (or an
+/// injected io.write / io.fsync fault) at any point leaves either the old
+/// file or no file under `path` — never a partial one.
+void atomic_write_file(const std::filesystem::path& path,
+                       std::string_view contents);
+
+/// frame_payload + atomic_write_file: the one call every artifact writer
+/// goes through.
+void save_artifact(const std::filesystem::path& path, std::string_view kind,
+                   int version, std::string_view payload);
+
+// --- Corruption-tolerant loading -------------------------------------------
+
+/// One corrupt file encountered during a load, and where it was moved.
+struct LoadEvent {
+  std::string path;
+  LoadError error = LoadError::kIo;
+  std::string detail;
+  std::string quarantined_to;  ///< Empty when the file was left in place.
+};
+
+/// What recovery did while loading an artifact (or a checkpoint run).
+struct LoadReport {
+  std::vector<LoadEvent> events;  ///< Corrupt files, in encounter order.
+  bool legacy = false;       ///< Parsed as a legacy unframed artifact.
+  int generation = 0;        ///< 0 = primary file; N = fell back N gens.
+
+  [[nodiscard]] bool clean() const noexcept {
+    return events.empty() && !legacy && generation == 0;
+  }
+  /// One human-readable line per event/flag.
+  void write(std::ostream& os) const;
+};
+
+/// Moves a bad file aside as `<path>.corrupt-<n>` (first free n >= 1).
+/// Returns the quarantine destination, or an empty path when the rename
+/// failed (the caller still treats the artifact as unusable).
+std::filesystem::path quarantine(const std::filesystem::path& path);
+
+/// Shared framed-or-legacy stream loader used by every model's
+/// load_framed(): unwraps a framed stream (kind policing, supported
+/// [min_version, max_version]) or passes legacy unframed bytes straight
+/// through, then invokes `parse(std::istream&)` on the payload. Any parse
+/// exception surfaces as LoadFailure(kParse) — corruption or schema drift
+/// is always a typed error, never a crash.
+template <typename Parse>
+auto load_framed_stream(std::istream& is, std::string_view kind,
+                        int min_version, int max_version, Parse&& parse) {
+  const std::string data = read_stream(is);
+  const bool legacy = !looks_framed(data);
+  std::istringstream body(legacy ? data
+                                 : unwrap(data, kind, min_version,
+                                          max_version));
+  try {
+    return parse(body);
+  } catch (const LoadFailure&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw LoadFailure(LoadError::kParse,
+                      std::string(kind) + (legacy ? " (legacy format)" : "") +
+                          ": " + e.what());
+  }
+}
+
+/// Reads and verifies a framed artifact file. On corruption the file is
+/// quarantined, the event is recorded in `report`, and a typed LoadFailure
+/// is thrown. When `legacy_ok`, unframed content is returned as-is with
+/// `report->legacy` set (for pre-framing v2 artifacts); intact files with a
+/// merely unsupported version are NOT quarantined.
+[[nodiscard]] std::string load_artifact(const std::filesystem::path& path,
+                                        std::string_view kind, int min_version,
+                                        int max_version, bool legacy_ok,
+                                        LoadReport* report = nullptr);
+
+}  // namespace acbm::core::durable

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <sstream>
 
+#include "core/durable.h"
 #include "stats/serialize.h"
 
 namespace acbm::core {
@@ -75,6 +76,18 @@ AdversaryModel AdversaryModel::load(std::istream& is) {
   std::istringstream ipmap_text(read_block(ipmap_lines));
   model.ip_map_ = net::IpToAsnMap::load(ipmap_text);
   return model;
+}
+
+void AdversaryModel::save_framed(std::ostream& os) const {
+  std::ostringstream body;
+  save(body);
+  os << durable::frame_payload("adversary_model", 3, body.str());
+}
+
+AdversaryModel AdversaryModel::load_framed(std::istream& is) {
+  return durable::load_framed_stream(
+      is, "adversary_model", 3, 3,
+      [](std::istream& body) { return load(body); });
 }
 
 std::optional<AttackPrediction> AdversaryModel::predict_next_attack(

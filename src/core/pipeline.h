@@ -71,6 +71,15 @@ class AdversaryModel {
   void save(std::ostream& os) const;
   [[nodiscard]] static AdversaryModel load(std::istream& is);
 
+  /// Framed (v3) serialization: the v1 body wrapped in durable.h's
+  /// magic/version/CRC32C envelope. load_framed also accepts legacy bare
+  /// v1 streams; corruption throws a typed durable::LoadFailure.
+  void save_framed(std::ostream& os) const;
+  [[nodiscard]] static AdversaryModel load_framed(std::istream& is);
+
+  /// Stage checkpointing for fit() (see SpatiotemporalOptions::checkpoint).
+  void set_checkpoint(StageStore* store) { opts_.checkpoint = store; }
+
  private:
   SpatiotemporalOptions opts_;
   SpatiotemporalModel st_;

@@ -194,6 +194,11 @@ class FitReport {
 ///   temporal.nonfinite     key "family=<name>"   NaN-poison family series
 ///   nar.nonconvergence     key "asn=<A>/<series>/attempt=<k>"
 ///   tree.fail              key "hour" | "day"    fail a combining tree
+///   io.write               key "path=<p>"        crash a durable write
+///                                                mid-stream (durable.h)
+///   io.fsync               key "path=<p>"        fail the durability fsync
+///   checkpoint.stage       key "<stage>"         crash between a stage's
+///                                                artifact and its marker
 class FaultInjector {
  public:
   static FaultInjector& instance();

@@ -1,18 +1,48 @@
 #include "core/spatiotemporal_model.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
+#include "core/checkpoint.h"
+#include "core/durable.h"
 #include "core/parallel.h"
 #include "stats/serialize.h"
 
 namespace acbm::core {
 
 namespace {
+constexpr std::array<std::pair<TemporalSeries, const char*>,
+                     kTemporalSeriesCount>
+    kTemporalSeriesNames = {{{TemporalSeries::kMagnitude, "magnitude"},
+                             {TemporalSeries::kActivity, "activity"},
+                             {TemporalSeries::kNormMagnitude, "norm_magnitude"},
+                             {TemporalSeries::kSourceCoeff, "source_coeff"},
+                             {TemporalSeries::kInterval, "interval"},
+                             {TemporalSeries::kHour, "hour"}}};
+
+constexpr std::array<std::pair<SpatialSeries, const char*>, kSpatialSeriesCount>
+    kSpatialSeriesNames = {{{SpatialSeries::kDuration, "duration"},
+                            {SpatialSeries::kInterval, "interval"},
+                            {SpatialSeries::kHour, "hour"}}};
+
+/// Report records for a sub-model restored from a checkpoint: the landed
+/// rung is persisted, the original failure detail is not, so resumed
+/// records carry the rung with a "resumed" note and no error.
+template <typename Model, typename Names>
+void add_resumed_records(FitReport& report, const std::string& prefix,
+                         const Model& model, const Names& names) {
+  for (const auto& [series, name] : names) {
+    report.add({prefix + name, model.rung(series), std::nullopt,
+                "resumed from checkpoint"});
+  }
+}
+
 /// The "temporal.nonfinite" fault point: NaN-poisons every 7th value of each
 /// modeled family series, exercising the repair + degradation path.
 void poison_family_series(FamilySeries& series) {
@@ -154,14 +184,33 @@ void SpatiotemporalModel::fit(const trace::Dataset& train,
   spatial_.clear();
   report_.clear();
   FaultInjector& injector = FaultInjector::instance();
+  StageStore* checkpoint = opts_.checkpoint;
 
   // Per-family temporal fits and per-target spatial fits are independent;
   // both fan out across the pool and are merged back in index order, so the
   // fitted model (and the fit report) is identical at any thread count.
+  // Checkpoint loads happen before the fan-out and stores after the merge:
+  // the store only ever sees single-threaded access at stage boundaries.
   const auto n_families =
       static_cast<std::uint32_t>(train.family_names().size());
+  std::vector<std::optional<std::string>> cached_family(n_families);
+  if (checkpoint != nullptr) {
+    for (std::uint32_t f = 0; f < n_families; ++f) {
+      cached_family[f] = checkpoint->load("temporal/" + train.family_names()[f]);
+    }
+  }
   std::vector<std::optional<TemporalModel>> family_fits =
       parallel_map(n_families, [&](std::size_t f) -> std::optional<TemporalModel> {
+        if (cached_family[f]) {
+          // Empty payload = completed stage with too little data to model.
+          if (cached_family[f]->empty()) return std::nullopt;
+          try {
+            std::istringstream body(*cached_family[f]);
+            return TemporalModel::load(body);
+          } catch (const std::exception&) {
+            cached_family[f].reset();  // Unusable payload: refit below.
+          }
+        }
         FamilySeries series = extract_family_series(
             train, static_cast<std::uint32_t>(f), ip_map, nullptr);
         if (series.attack_indices.size() < 2) return std::nullopt;
@@ -176,63 +225,132 @@ void SpatiotemporalModel::fit(const trace::Dataset& train,
       });
   for (std::uint32_t family = 0; family < n_families; ++family) {
     const std::string& name = train.family_names()[family];
+    const bool resumed = cached_family[family].has_value();
     if (family_fits[family]) {
-      report_.merge("temporal/" + name + "/",
-                    family_fits[family]->fit_report());
+      if (resumed) {
+        add_resumed_records(report_, "temporal/" + name + "/",
+                            *family_fits[family], kTemporalSeriesNames);
+      } else {
+        report_.merge("temporal/" + name + "/",
+                      family_fits[family]->fit_report());
+        if (checkpoint != nullptr) {
+          std::ostringstream body;
+          family_fits[family]->save(body);
+          checkpoint->store("temporal/" + name, body.str());
+        }
+      }
       temporal_.emplace(family, std::move(*family_fits[family]));
     } else {
       report_.add({"temporal/" + name, FitRung::kMean,
                    FitError::kSeriesTooShort, "fewer than 2 attacks"});
+      if (checkpoint != nullptr && !resumed) {
+        checkpoint->store("temporal/" + name, "");
+      }
     }
   }
 
   const std::vector<net::Asn> targets = train.target_asns();
-  std::vector<std::optional<SpatialModel>> target_fits =
-      parallel_map(targets.size(), [&](std::size_t t) -> std::optional<SpatialModel> {
-        TargetSeries series = extract_target_series(train, targets[t]);
-        if (series.attack_indices.size() < opts_.min_target_attacks) {
-          return std::nullopt;
-        }
-        if (opts_.max_target_history > 0 &&
-            series.attack_indices.size() > opts_.max_target_history) {
-          // Limited-information setting: keep only the most recent attacks.
-          const std::size_t drop =
-              series.attack_indices.size() - opts_.max_target_history;
-          const auto trim = [drop](std::vector<double>& v) {
-            v.erase(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(drop));
-          };
-          series.attack_indices.erase(
-              series.attack_indices.begin(),
-              series.attack_indices.begin() + static_cast<std::ptrdiff_t>(drop));
-          trim(series.duration_s);
-          trim(series.interval_s);
-          trim(series.hour);
-          trim(series.day);
-          trim(series.magnitude);
-        }
-        SpatialModel model(opts_.spatial);
-        model.fit(series, train, ip_map);
-        return model;
-      });
-  for (std::size_t t = 0; t < targets.size(); ++t) {
-    if (target_fits[t]) {
-      report_.merge("spatial/AS" + std::to_string(targets[t]) + "/",
-                    target_fits[t]->fit_report());
-      spatial_.emplace(targets[t], std::move(*target_fits[t]));
-    } else {
-      report_.add({"spatial/AS" + std::to_string(targets[t]), FitRung::kMean,
-                   FitError::kSeriesTooShort,
-                   "fewer than " + std::to_string(opts_.min_target_attacks) +
-                       " attacks"});
+  bool spatial_resumed = false;
+  if (checkpoint != nullptr) {
+    if (const std::optional<std::string> payload = checkpoint->load("spatial")) {
+      try {
+        load_spatial_stage(*payload);
+        spatial_resumed = true;
+      } catch (const std::exception&) {
+        spatial_.clear();  // Unusable payload: refit below.
+      }
+    }
+  }
+  if (spatial_resumed) {
+    for (net::Asn asn : targets) {
+      const auto it = spatial_.find(asn);
+      if (it != spatial_.end()) {
+        add_resumed_records(report_, "spatial/AS" + std::to_string(asn) + "/",
+                            it->second, kSpatialSeriesNames);
+      } else {
+        report_.add({"spatial/AS" + std::to_string(asn), FitRung::kMean,
+                     FitError::kSeriesTooShort,
+                     "fewer than " + std::to_string(opts_.min_target_attacks) +
+                         " attacks"});
+      }
+    }
+  } else {
+    std::vector<std::optional<SpatialModel>> target_fits =
+        parallel_map(targets.size(), [&](std::size_t t) -> std::optional<SpatialModel> {
+          TargetSeries series = extract_target_series(train, targets[t]);
+          if (series.attack_indices.size() < opts_.min_target_attacks) {
+            return std::nullopt;
+          }
+          if (opts_.max_target_history > 0 &&
+              series.attack_indices.size() > opts_.max_target_history) {
+            // Limited-information setting: keep only the most recent attacks.
+            const std::size_t drop =
+                series.attack_indices.size() - opts_.max_target_history;
+            const auto trim = [drop](std::vector<double>& v) {
+              v.erase(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(drop));
+            };
+            series.attack_indices.erase(
+                series.attack_indices.begin(),
+                series.attack_indices.begin() + static_cast<std::ptrdiff_t>(drop));
+            trim(series.duration_s);
+            trim(series.interval_s);
+            trim(series.hour);
+            trim(series.day);
+            trim(series.magnitude);
+          }
+          SpatialModel model(opts_.spatial);
+          model.fit(series, train, ip_map);
+          return model;
+        });
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      if (target_fits[t]) {
+        report_.merge("spatial/AS" + std::to_string(targets[t]) + "/",
+                      target_fits[t]->fit_report());
+        spatial_.emplace(targets[t], std::move(*target_fits[t]));
+      } else {
+        report_.add({"spatial/AS" + std::to_string(targets[t]), FitRung::kMean,
+                     FitError::kSeriesTooShort,
+                     "fewer than " + std::to_string(opts_.min_target_attacks) +
+                         " attacks"});
+      }
+    }
+    if (checkpoint != nullptr) checkpoint->store("spatial", save_spatial_stage());
+  }
+
+  hour_tree_ = tree::ModelTree(opts_.tree);
+  day_tree_ = tree::ModelTree(opts_.tree);
+  hour_linear_.reset();
+  day_linear_.reset();
+  if (checkpoint != nullptr) {
+    if (const std::optional<std::string> payload = checkpoint->load("tree")) {
+      try {
+        load_tree_stage(*payload);
+        const auto combiner_rung = [this](const tree::ModelTree& tree,
+                                          const std::optional<
+                                              acbm::stats::LinearRegression>&
+                                              linear) {
+          return tree.fitted()  ? FitRung::kModelTree
+                 : linear       ? FitRung::kPooledLinear
+                                : FitRung::kMean;
+        };
+        report_.add({"tree/hour", combiner_rung(hour_tree_, hour_linear_),
+                     std::nullopt, "resumed from checkpoint"});
+        report_.add({"tree/day", combiner_rung(day_tree_, day_linear_),
+                     std::nullopt, "resumed from checkpoint"});
+        fitted_ = true;
+        return;
+      } catch (const std::exception&) {
+        // Unusable payload: refit below.
+        hour_tree_ = tree::ModelTree(opts_.tree);
+        day_tree_ = tree::ModelTree(opts_.tree);
+        hour_linear_.reset();
+        day_linear_.reset();
+      }
     }
   }
 
   const std::vector<StRow> rows =
       assemble_rows(train, ip_map, temporal_, spatial_, opts_);
-  hour_tree_ = tree::ModelTree(opts_.tree);
-  day_tree_ = tree::ModelTree(opts_.tree);
-  hour_linear_.reset();
-  day_linear_.reset();
 
   // Combining-tree ladder: model tree -> pooled linear model over the same
   // rows -> (at predict time) the fixed sub-model blend.
@@ -292,6 +410,7 @@ void SpatiotemporalModel::fit(const trace::Dataset& train,
     report_.add({"tree/day", FitRung::kMean, FitError::kSeriesTooShort,
                  std::to_string(rows.size()) + " rows < 20"});
   }
+  if (checkpoint != nullptr) checkpoint->store("tree", save_tree_stage());
   fitted_ = true;
 }
 
@@ -394,6 +513,74 @@ SpatiotemporalModel SpatiotemporalModel::load(std::istream& is) {
     model.day_linear_ = acbm::stats::LinearRegression::load(is);
   }
   return model;
+}
+
+void SpatiotemporalModel::save_framed(std::ostream& os) const {
+  std::ostringstream body;
+  save(body);
+  os << durable::frame_payload("spatiotemporal", 3, body.str());
+}
+
+SpatiotemporalModel SpatiotemporalModel::load_framed(std::istream& is) {
+  return durable::load_framed_stream(
+      is, "spatiotemporal", 3, 3,
+      [](std::istream& body) { return load(body); });
+}
+
+std::string SpatiotemporalModel::save_spatial_stage() const {
+  namespace io = acbm::stats::io;
+  std::ostringstream os;
+  io::write_scalar(os, "spatial_count", spatial_.size());
+  std::vector<net::Asn> targets;
+  for (const auto& [asn, model] : spatial_) targets.push_back(asn);
+  std::sort(targets.begin(), targets.end());
+  for (net::Asn asn : targets) {
+    io::write_scalar(os, "target", asn);
+    spatial_.at(asn).save(os);
+  }
+  return os.str();
+}
+
+void SpatiotemporalModel::load_spatial_stage(const std::string& payload) {
+  namespace io = acbm::stats::io;
+  spatial_.clear();
+  std::istringstream is(payload);
+  const auto count = io::read_scalar<std::size_t>(is, "spatial_count");
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto asn = io::read_scalar<net::Asn>(is, "target");
+    spatial_.emplace(asn, SpatialModel::load(is));
+  }
+}
+
+std::string SpatiotemporalModel::save_tree_stage() const {
+  namespace io = acbm::stats::io;
+  std::ostringstream os;
+  io::write_scalar(os, "has_hour_tree", hour_tree_.fitted() ? 1 : 0);
+  if (hour_tree_.fitted()) hour_tree_.save(os);
+  io::write_scalar(os, "has_day_tree", day_tree_.fitted() ? 1 : 0);
+  if (day_tree_.fitted()) day_tree_.save(os);
+  io::write_scalar(os, "has_hour_linear", hour_linear_.has_value() ? 1 : 0);
+  if (hour_linear_) hour_linear_->save(os);
+  io::write_scalar(os, "has_day_linear", day_linear_.has_value() ? 1 : 0);
+  if (day_linear_) day_linear_->save(os);
+  return os.str();
+}
+
+void SpatiotemporalModel::load_tree_stage(const std::string& payload) {
+  namespace io = acbm::stats::io;
+  std::istringstream is(payload);
+  if (io::read_scalar<int>(is, "has_hour_tree") != 0) {
+    hour_tree_ = tree::ModelTree::load(is);
+  }
+  if (io::read_scalar<int>(is, "has_day_tree") != 0) {
+    day_tree_ = tree::ModelTree::load(is);
+  }
+  if (io::read_scalar<int>(is, "has_hour_linear") != 0) {
+    hour_linear_ = acbm::stats::LinearRegression::load(is);
+  }
+  if (io::read_scalar<int>(is, "has_day_linear") != 0) {
+    day_linear_ = acbm::stats::LinearRegression::load(is);
+  }
 }
 
 const TemporalModel* SpatiotemporalModel::temporal(

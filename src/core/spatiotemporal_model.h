@@ -21,6 +21,8 @@
 
 namespace acbm::core {
 
+class StageStore;  // checkpoint.h
+
 struct SpatiotemporalOptions {
   TemporalModelOptions temporal;
   SpatialModelOptions spatial;
@@ -49,6 +51,12 @@ struct SpatiotemporalOptions {
   /// paper's per-target experiment uses 10 historical attacks per group;
   /// this knob reproduces that limited-information setting (§VI-B).
   std::size_t max_target_history = 0;
+  /// Stage checkpointing (checkpoint.h): when set, fit() loads completed
+  /// stages ("temporal/<family>", "spatial", "tree") from the store instead
+  /// of refitting them, and records each stage as it completes. Non-owning;
+  /// the store must outlive the fit. Fits are bit-identical with or without
+  /// resume at any thread count.
+  StageStore* checkpoint = nullptr;
 };
 
 /// Inputs to the combining trees for one prediction.
@@ -111,7 +119,20 @@ class SpatiotemporalModel {
   void save(std::ostream& os) const;
   [[nodiscard]] static SpatiotemporalModel load(std::istream& is);
 
+  /// Framed (v3) serialization: the v2 body wrapped in durable.h's
+  /// magic/version/CRC32C envelope. load_framed also accepts legacy bare
+  /// v2 streams; corruption throws a typed durable::LoadFailure.
+  void save_framed(std::ostream& os) const;
+  [[nodiscard]] static SpatiotemporalModel load_framed(std::istream& is);
+
  private:
+  /// Checkpoint-stage payloads for fit(): the spatial map and the combining
+  /// trees serialized standalone (the temporal stage reuses
+  /// TemporalModel::save/load directly).
+  [[nodiscard]] std::string save_spatial_stage() const;
+  void load_spatial_stage(const std::string& payload);
+  [[nodiscard]] std::string save_tree_stage() const;
+  void load_tree_stage(const std::string& payload);
   friend struct RowAssembler;
   SpatiotemporalOptions opts_;
   std::unordered_map<std::uint32_t, TemporalModel> temporal_;

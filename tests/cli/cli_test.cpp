@@ -48,30 +48,30 @@ TEST(Cli, HelpPrintsUsage) {
   EXPECT_NE(out.find("generate"), std::string::npos);
 }
 
-TEST(Cli, NoArgumentsIsAnError) {
+TEST(Cli, NoArgumentsIsAUsageError) {
   std::string out;
-  EXPECT_EQ(run_cli({}, &out), 1);
+  EXPECT_EQ(run_cli({}, &out), 2);
   EXPECT_NE(out.find("usage"), std::string::npos);
 }
 
 TEST(Cli, UnknownCommandFails) {
   std::string out;
   std::string err;
-  EXPECT_EQ(run_cli({"frobnicate"}, &out, &err), 1);
+  EXPECT_EQ(run_cli({"frobnicate"}, &out, &err), 2);
   EXPECT_NE(err.find("unknown command"), std::string::npos);
 }
 
 TEST(Cli, UnknownOptionFails) {
   std::string out;
   std::string err;
-  EXPECT_EQ(run_cli({"stats", "--bogus", "1"}, &out, &err), 1);
+  EXPECT_EQ(run_cli({"stats", "--bogus", "1"}, &out, &err), 2);
   EXPECT_NE(err.find("unknown option"), std::string::npos);
 }
 
 TEST(Cli, MissingRequiredOptionFails) {
   std::string out;
   std::string err;
-  EXPECT_EQ(run_cli({"generate", "--seed", "1"}, &out, &err), 1);
+  EXPECT_EQ(run_cli({"generate", "--seed", "1"}, &out, &err), 2);
   EXPECT_NE(err.find("missing required"), std::string::npos);
 }
 
@@ -79,7 +79,7 @@ TEST(Cli, MissingFileFails) {
   std::string out;
   std::string err;
   EXPECT_EQ(run_cli({"stats", "--dataset", "/nonexistent/x.csv"}, &out, &err),
-            1);
+            3);
   EXPECT_NE(err.find("cannot open"), std::string::npos);
 }
 

@@ -1,0 +1,205 @@
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/durable.h"
+#include "core/robust.h"
+
+namespace acbm::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct FaultGuard {
+  FaultGuard() { FaultInjector::instance().clear(); }
+  ~FaultGuard() { FaultInjector::instance().clear(); }
+};
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("acbm_checkpoint_test_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+CheckpointDir::Options opts_with(std::uint64_t hash, bool resume) {
+  CheckpointDir::Options opts;
+  opts.config_hash = hash;
+  opts.resume = resume;
+  return opts;
+}
+
+TEST(CheckpointSlug, KeepsSafeCharsAndMapsSeparators) {
+  EXPECT_EQ(CheckpointDir::slug("temporal/DirtJumper"), "temporal-DirtJumper");
+  EXPECT_EQ(CheckpointDir::slug("eval/h=0.8"), "eval-h=0.8");
+  EXPECT_EQ(CheckpointDir::slug("a b\tc"), "a-b-c");
+  EXPECT_EQ(CheckpointDir::slug(""), "stage");
+}
+
+TEST(CheckpointDirTest, StoreThenLoadWithinOneRun) {
+  TempDir tmp;
+  CheckpointDir ckpt(tmp.path / "run", opts_with(1, false));
+  EXPECT_FALSE(ckpt.load("temporal/BotA").has_value());
+  ckpt.store("temporal/BotA", "payload bytes");
+  EXPECT_TRUE(ckpt.is_complete("temporal/BotA"));
+  EXPECT_EQ(ckpt.load("temporal/BotA"), "payload bytes");
+  EXPECT_TRUE(fs::exists(tmp.path / "run" / "run.json"));
+  EXPECT_TRUE(fs::exists(tmp.path / "run" / "journal.log"));
+}
+
+TEST(CheckpointDirTest, EmptyPayloadRoundTrips) {
+  TempDir tmp;
+  CheckpointDir ckpt(tmp.path / "run", opts_with(1, false));
+  ckpt.store("temporal/TinyBot", "");
+  const auto loaded = ckpt.load("temporal/TinyBot");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST(CheckpointDirTest, ResumeSeesPriorStagesFreshDoesNot) {
+  TempDir tmp;
+  const fs::path dir = tmp.path / "run";
+  {
+    CheckpointDir ckpt(dir, opts_with(42, false));
+    ckpt.store("spatial", "spatial payload");
+  }
+  {
+    CheckpointDir resumed(dir, opts_with(42, true));
+    EXPECT_TRUE(resumed.is_complete("spatial"));
+    EXPECT_EQ(resumed.load("spatial"), "spatial payload");
+  }
+  {
+    CheckpointDir fresh(dir, opts_with(42, false));
+    EXPECT_FALSE(fresh.is_complete("spatial"));
+    EXPECT_FALSE(fresh.load("spatial").has_value());
+  }
+}
+
+TEST(CheckpointDirTest, ConfigHashMismatchIgnoresPriorStages) {
+  TempDir tmp;
+  const fs::path dir = tmp.path / "run";
+  {
+    CheckpointDir ckpt(dir, opts_with(42, false));
+    ckpt.store("spatial", "old config payload");
+  }
+  CheckpointDir resumed(dir, opts_with(43, true));
+  EXPECT_FALSE(resumed.is_complete("spatial"));
+  EXPECT_FALSE(resumed.load("spatial").has_value());
+}
+
+TEST(CheckpointDirTest, CorruptArtifactFallsBackToPriorGeneration) {
+  TempDir tmp;
+  const fs::path dir = tmp.path / "run";
+  {
+    CheckpointDir ckpt(dir, opts_with(7, false));
+    ckpt.store("spatial", "generation one");
+    ckpt.store("spatial", "generation two");  // g1 now holds "generation one".
+  }
+  // Bit-flip the primary artifact's payload.
+  const fs::path primary = dir / "spatial.art";
+  std::string bytes = durable::read_file(primary);
+  bytes.back() ^= 0x20;
+  std::ofstream(primary, std::ios::binary | std::ios::trunc) << bytes;
+
+  CheckpointDir resumed(dir, opts_with(7, true));
+  const auto loaded = resumed.load("spatial");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, "generation one");
+  EXPECT_EQ(resumed.report().generation, 1);
+  ASSERT_EQ(resumed.report().events.size(), 1U);
+  EXPECT_EQ(resumed.report().events[0].error, durable::LoadError::kBadChecksum);
+  // The bad primary was quarantined, not left to poison the next run.
+  EXPECT_FALSE(fs::exists(primary));
+  EXPECT_TRUE(fs::exists(dir / "spatial.art.corrupt-1"));
+}
+
+TEST(CheckpointDirTest, AllGenerationsCorruptRerunsTheStage) {
+  TempDir tmp;
+  const fs::path dir = tmp.path / "run";
+  {
+    CheckpointDir ckpt(dir, opts_with(7, false));
+    ckpt.store("tree", "only copy");
+  }
+  const fs::path primary = dir / "tree.art";
+  std::ofstream(primary, std::ios::binary | std::ios::trunc) << "garbage";
+
+  CheckpointDir resumed(dir, opts_with(7, true));
+  EXPECT_FALSE(resumed.load("tree").has_value());
+  // The stage was dropped from the manifest: a rerun can store it again.
+  EXPECT_FALSE(resumed.is_complete("tree"));
+  resumed.store("tree", "rebuilt");
+  EXPECT_EQ(resumed.load("tree"), "rebuilt");
+}
+
+TEST(CheckpointDirTest, GenerationRotationKeepsABoundedSet) {
+  TempDir tmp;
+  const fs::path dir = tmp.path / "run";
+  CheckpointDir ckpt(dir, opts_with(1, false));
+  for (int i = 0; i < 5; ++i) {
+    ckpt.store("spatial", "copy " + std::to_string(i));
+  }
+  EXPECT_TRUE(fs::exists(dir / "spatial.art"));
+  EXPECT_TRUE(fs::exists(dir / "spatial.art.g1"));
+  EXPECT_TRUE(fs::exists(dir / "spatial.art.g2"));
+  EXPECT_FALSE(fs::exists(dir / "spatial.art.g3"));
+}
+
+TEST(CheckpointDirTest, CorruptManifestIsQuarantinedAndRunStartsFresh) {
+  TempDir tmp;
+  const fs::path dir = tmp.path / "run";
+  {
+    CheckpointDir ckpt(dir, opts_with(5, false));
+    ckpt.store("spatial", "payload");
+  }
+  std::ofstream(dir / "run.json", std::ios::trunc) << "{ not json at all";
+
+  CheckpointDir resumed(dir, opts_with(5, true));
+  EXPECT_FALSE(resumed.is_complete("spatial"));
+  EXPECT_FALSE(resumed.report().clean());
+  EXPECT_TRUE(fs::exists(dir / "run.json.corrupt-1"));
+  // A fresh, valid manifest was rewritten in its place.
+  EXPECT_TRUE(fs::exists(dir / "run.json"));
+}
+
+TEST(CheckpointDirTest, StageFaultCrashesBeforeTheManifestUpdate) {
+  FaultGuard guard;
+  TempDir tmp;
+  const fs::path dir = tmp.path / "run";
+  {
+    CheckpointDir ckpt(dir, opts_with(9, false));
+    FaultInjector::instance().configure("checkpoint.stage:spatial");
+    EXPECT_THROW(ckpt.store("spatial", "payload"), durable::WriteFailure);
+  }
+  FaultInjector::instance().clear();
+  // The artifact landed but completion was never recorded: resume reruns.
+  EXPECT_TRUE(fs::exists(dir / "spatial.art"));
+  CheckpointDir resumed(dir, opts_with(9, true));
+  EXPECT_FALSE(resumed.is_complete("spatial"));
+  EXPECT_FALSE(resumed.load("spatial").has_value());
+}
+
+TEST(CheckpointDirTest, IoWriteFaultDuringStoreLeavesStageIncomplete) {
+  FaultGuard guard;
+  TempDir tmp;
+  const fs::path dir = tmp.path / "run";
+  CheckpointDir ckpt(dir, opts_with(9, false));
+  FaultInjector::instance().configure("io.write:spatial");
+  EXPECT_THROW(ckpt.store("spatial", "payload"), durable::WriteFailure);
+  FaultInjector::instance().clear();
+  EXPECT_FALSE(ckpt.is_complete("spatial"));
+  EXPECT_FALSE(fs::exists(dir / "spatial.art"));
+}
+
+}  // namespace
+}  // namespace acbm::core

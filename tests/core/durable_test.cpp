@@ -1,0 +1,314 @@
+#include "core/durable.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/robust.h"
+
+namespace acbm::core::durable {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct FaultGuard {
+  FaultGuard() { FaultInjector::instance().clear(); }
+  ~FaultGuard() { FaultInjector::instance().clear(); }
+};
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("acbm_durable_test_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  [[nodiscard]] fs::path file(const char* name) const { return path / name; }
+};
+
+std::string slurp(const fs::path& path) { return read_file(path); }
+
+TEST(Crc32c, MatchesTheCastagnoliCheckValue) {
+  // The canonical CRC32C check value.
+  EXPECT_EQ(crc32c("123456789"), 0xE3069283U);
+  EXPECT_EQ(crc32c(""), 0U);
+}
+
+TEST(Crc32c, IncrementalEqualsOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t oneshot = crc32c(data);
+  const std::uint32_t chained =
+      crc32c(data.substr(10), crc32c(data.substr(0, 10)));
+  EXPECT_EQ(chained, oneshot);
+}
+
+TEST(Fnv1a64, KnownValuesAndChaining) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("b", fnv1a64("a")), fnv1a64("ab"));
+}
+
+TEST(ToHex, FixedWidthLowercase) {
+  EXPECT_EQ(to_hex(std::uint32_t{0}), "00000000");
+  EXPECT_EQ(to_hex(std::uint32_t{0xE3069283U}), "e3069283");
+  EXPECT_EQ(to_hex(std::uint64_t{0xcbf29ce484222325ULL}), "cbf29ce484222325");
+}
+
+TEST(LoadErrorTest, NamesAreStable) {
+  EXPECT_STREQ(to_string(LoadError::kIo), "io");
+  EXPECT_STREQ(to_string(LoadError::kTruncated), "truncated");
+  EXPECT_STREQ(to_string(LoadError::kBadChecksum), "bad_checksum");
+  EXPECT_STREQ(to_string(LoadError::kBadMagic), "bad_magic");
+  EXPECT_STREQ(to_string(LoadError::kVersionUnsupported),
+               "version_unsupported");
+  EXPECT_STREQ(to_string(LoadError::kParse), "parse");
+}
+
+TEST(Frame, RoundTripsKindVersionAndPayload) {
+  const std::string framed = frame_payload("model", 3, "hello\npayload\n");
+  EXPECT_TRUE(looks_framed(framed));
+  const Frame frame = parse_frame(framed);
+  EXPECT_EQ(frame.kind, "model");
+  EXPECT_EQ(frame.version, 3);
+  EXPECT_EQ(frame.payload, "hello\npayload\n");
+  EXPECT_EQ(unwrap(framed, "model", 3, 3), "hello\npayload\n");
+}
+
+TEST(Frame, EmptyPayloadIsValid) {
+  const std::string framed = frame_payload("marker", 1, "");
+  EXPECT_EQ(parse_frame(framed).payload, "");
+}
+
+TEST(Frame, RejectsMultiTokenKind) {
+  EXPECT_THROW((void)frame_payload("two words", 1, "x"), std::invalid_argument);
+}
+
+TEST(Frame, MissingMagicIsBadMagic) {
+  try {
+    (void)parse_frame("not a framed artifact");
+    FAIL() << "expected LoadFailure";
+  } catch (const LoadFailure& e) {
+    EXPECT_EQ(e.code(), LoadError::kBadMagic);
+  }
+}
+
+TEST(Frame, ShortPayloadIsTruncated) {
+  std::string framed = frame_payload("model", 1, "0123456789");
+  framed.resize(framed.size() - 4);  // Drop payload bytes, keep the header.
+  try {
+    (void)parse_frame(framed);
+    FAIL() << "expected LoadFailure";
+  } catch (const LoadFailure& e) {
+    EXPECT_EQ(e.code(), LoadError::kTruncated);
+  }
+}
+
+TEST(Frame, HeaderWithoutNewlineIsTruncated) {
+  const std::string framed = frame_payload("model", 1, "payload");
+  const std::string header_only = framed.substr(0, framed.find('\n'));
+  try {
+    (void)parse_frame(header_only);
+    FAIL() << "expected LoadFailure";
+  } catch (const LoadFailure& e) {
+    EXPECT_EQ(e.code(), LoadError::kTruncated);
+  }
+}
+
+TEST(Frame, FlippedPayloadBitIsBadChecksum) {
+  std::string framed = frame_payload("model", 1, "0123456789");
+  framed[framed.size() - 3] ^= 0x01;
+  try {
+    (void)parse_frame(framed);
+    FAIL() << "expected LoadFailure";
+  } catch (const LoadFailure& e) {
+    EXPECT_EQ(e.code(), LoadError::kBadChecksum);
+  }
+}
+
+TEST(Frame, TrailingBytesAreParseError) {
+  const std::string framed = frame_payload("model", 1, "0123456789") + "xx";
+  try {
+    (void)parse_frame(framed);
+    FAIL() << "expected LoadFailure";
+  } catch (const LoadFailure& e) {
+    EXPECT_EQ(e.code(), LoadError::kParse);
+  }
+}
+
+TEST(Frame, MangledHeaderTokensAreParseError) {
+  for (const char* bad :
+       {"ACBMF1 model vX len=1 crc32c=00000000\nx",
+        "ACBMF1 model v1 len=one crc32c=00000000\nx",
+        "ACBMF1 model v1 len=1 checksum=00000000\nx", "ACBMF1 model\nx"}) {
+    try {
+      (void)parse_frame(bad);
+      FAIL() << "expected LoadFailure for: " << bad;
+    } catch (const LoadFailure& e) {
+      EXPECT_EQ(e.code(), LoadError::kParse) << bad;
+    }
+  }
+}
+
+TEST(Unwrap, KindMismatchIsParseError) {
+  const std::string framed = frame_payload("model", 1, "x");
+  try {
+    (void)unwrap(framed, "dataset", 1, 1);
+    FAIL() << "expected LoadFailure";
+  } catch (const LoadFailure& e) {
+    EXPECT_EQ(e.code(), LoadError::kParse);
+  }
+}
+
+TEST(Unwrap, VersionOutsideRangeIsUnsupported) {
+  const std::string framed = frame_payload("model", 9, "x");
+  try {
+    (void)unwrap(framed, "model", 1, 3);
+    FAIL() << "expected LoadFailure";
+  } catch (const LoadFailure& e) {
+    EXPECT_EQ(e.code(), LoadError::kVersionUnsupported);
+  }
+}
+
+TEST(AtomicWrite, CreatesAndReplacesWithoutLeftovers) {
+  TempDir tmp;
+  const fs::path target = tmp.file("artifact.txt");
+  atomic_write_file(target, "first");
+  EXPECT_EQ(slurp(target), "first");
+  atomic_write_file(target, "second");
+  EXPECT_EQ(slurp(target), "second");
+  EXPECT_FALSE(fs::exists(tmp.file("artifact.txt.tmp")));
+}
+
+TEST(AtomicWrite, MissingFileIsTypedIoError) {
+  try {
+    (void)read_file("/nonexistent/acbm/artifact");
+    FAIL() << "expected LoadFailure";
+  } catch (const LoadFailure& e) {
+    EXPECT_EQ(e.code(), LoadError::kIo);
+  }
+}
+
+TEST(AtomicWrite, InjectedWriteCrashKeepsThePreviousContent) {
+  FaultGuard guard;
+  TempDir tmp;
+  const fs::path target = tmp.file("artifact.txt");
+  atomic_write_file(target, "intact old content");
+  FaultInjector::instance().configure("io.write:artifact.txt");
+  EXPECT_THROW(atomic_write_file(target, "replacement that never lands"),
+               WriteFailure);
+  // The crash hit the temp file: the final name still has the old bytes.
+  FaultInjector::instance().clear();
+  EXPECT_EQ(slurp(target), "intact old content");
+}
+
+TEST(AtomicWrite, InjectedFsyncFailureKeepsThePreviousContent) {
+  FaultGuard guard;
+  TempDir tmp;
+  const fs::path target = tmp.file("artifact.txt");
+  atomic_write_file(target, "intact old content");
+  FaultInjector::instance().configure("io.fsync:artifact.txt");
+  EXPECT_THROW(atomic_write_file(target, "unsynced replacement"),
+               WriteFailure);
+  FaultInjector::instance().clear();
+  EXPECT_EQ(slurp(target), "intact old content");
+}
+
+TEST(Quarantine, MovesFilesAsideWithIncreasingSuffixes) {
+  TempDir tmp;
+  const fs::path target = tmp.file("bad.art");
+  std::ofstream(target) << "junk";
+  EXPECT_EQ(quarantine(target), tmp.file("bad.art.corrupt-1"));
+  EXPECT_FALSE(fs::exists(target));
+  std::ofstream(target) << "more junk";
+  EXPECT_EQ(quarantine(target), tmp.file("bad.art.corrupt-2"));
+}
+
+TEST(LoadArtifactTest, RoundTripsWithCleanReport) {
+  TempDir tmp;
+  const fs::path target = tmp.file("model.art");
+  save_artifact(target, "model", 2, "the payload");
+  LoadReport report;
+  EXPECT_EQ(load_artifact(target, "model", 1, 3, false, &report),
+            "the payload");
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(LoadArtifactTest, CorruptFileIsQuarantinedAndTyped) {
+  TempDir tmp;
+  const fs::path target = tmp.file("model.art");
+  save_artifact(target, "model", 2, "the payload");
+  std::string bytes = slurp(target);
+  bytes.back() ^= 0x40;
+  std::ofstream(target, std::ios::binary | std::ios::trunc) << bytes;
+
+  LoadReport report;
+  try {
+    (void)load_artifact(target, "model", 1, 3, false, &report);
+    FAIL() << "expected LoadFailure";
+  } catch (const LoadFailure& e) {
+    EXPECT_EQ(e.code(), LoadError::kBadChecksum);
+  }
+  EXPECT_FALSE(fs::exists(target));
+  EXPECT_TRUE(fs::exists(tmp.file("model.art.corrupt-1")));
+  ASSERT_EQ(report.events.size(), 1U);
+  EXPECT_EQ(report.events[0].error, LoadError::kBadChecksum);
+  EXPECT_FALSE(report.events[0].quarantined_to.empty());
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(LoadArtifactTest, LegacyPassthroughOnlyWhenAllowed) {
+  TempDir tmp;
+  const fs::path target = tmp.file("legacy.art");
+  std::ofstream(target) << "acbm:model:v2\nold body\n";
+
+  LoadReport report;
+  EXPECT_EQ(load_artifact(target, "model", 1, 3, true, &report),
+            "acbm:model:v2\nold body\n");
+  EXPECT_TRUE(report.legacy);
+  EXPECT_TRUE(fs::exists(target));  // Legacy reads never quarantine.
+
+  try {
+    (void)load_artifact(target, "model", 1, 3, false);
+    FAIL() << "expected LoadFailure";
+  } catch (const LoadFailure& e) {
+    EXPECT_EQ(e.code(), LoadError::kBadMagic);
+  }
+}
+
+TEST(LoadArtifactTest, NewerSchemaIsReportedButNotQuarantined) {
+  TempDir tmp;
+  const fs::path target = tmp.file("model.art");
+  save_artifact(target, "model", 9, "from the future");
+  try {
+    (void)load_artifact(target, "model", 1, 3, false);
+    FAIL() << "expected LoadFailure";
+  } catch (const LoadFailure& e) {
+    EXPECT_EQ(e.code(), LoadError::kVersionUnsupported);
+  }
+  EXPECT_TRUE(fs::exists(target));  // The file is intact: keep it.
+}
+
+TEST(LoadReportTest, WriteListsEventsAndFlags) {
+  LoadReport report;
+  report.events.push_back({"/tmp/x.art", LoadError::kBadChecksum, "crc",
+                           "/tmp/x.art.corrupt-1"});
+  report.legacy = true;
+  report.generation = 2;
+  std::ostringstream os;
+  report.write(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("bad_checksum"), std::string::npos);
+  EXPECT_NE(text.find("corrupt-1"), std::string::npos);
+  EXPECT_NE(text.find("legacy"), std::string::npos);
+  EXPECT_NE(text.find("generation 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace acbm::core::durable

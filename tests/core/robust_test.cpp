@@ -146,6 +146,67 @@ TEST(FaultInjectorTest, SpecParsingAndFiltering) {
   EXPECT_FALSE(injector.fires("tree.fail", "hour"));
 }
 
+TEST(FaultInjectorTest, EmptySpecDisablesInjection) {
+  FaultGuard guard;
+  FaultInjector& injector = FaultInjector::instance();
+  injector.configure("tree.fail");
+  ASSERT_TRUE(injector.enabled());
+  injector.configure("");
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_FALSE(injector.fires("tree.fail", "hour"));
+}
+
+TEST(FaultInjectorTest, UnknownPointsAreInertNotErrors) {
+  // An unrecognized point name parses fine and simply never matches any
+  // instrumented site — a spec typo degrades to a no-op, not a crash.
+  FaultGuard guard;
+  FaultInjector& injector = FaultInjector::instance();
+  injector.configure("no.such.point:whatever");
+  EXPECT_TRUE(injector.enabled());
+  EXPECT_FALSE(injector.fires("tree.fail", "hour"));
+  EXPECT_FALSE(injector.fires("io.write", "path=/tmp/x"));
+  EXPECT_TRUE(injector.fires("no.such.point", "key=whatever"));
+}
+
+TEST(FaultInjectorTest, TrailingAndRepeatedSemicolonsAreSkipped) {
+  FaultGuard guard;
+  FaultInjector& injector = FaultInjector::instance();
+  injector.configure("tree.fail:hour;");
+  EXPECT_TRUE(injector.fires("tree.fail", "hour"));
+  EXPECT_FALSE(injector.fires("tree.fail", "day"));
+
+  injector.configure(";;io.write:spatial;;io.fsync;");
+  EXPECT_TRUE(injector.fires("io.write", "path=ckpt/spatial.art"));
+  EXPECT_FALSE(injector.fires("io.write", "path=ckpt/tree.art"));
+  EXPECT_TRUE(injector.fires("io.fsync", "path=anything"));
+
+  injector.configure(";");
+  EXPECT_FALSE(injector.enabled());
+}
+
+TEST(FaultInjectorTest, DuplicatePointsWithDifferentFiltersUnion) {
+  FaultGuard guard;
+  FaultInjector& injector = FaultInjector::instance();
+  injector.configure("tree.fail:hour;tree.fail:day");
+  EXPECT_TRUE(injector.fires("tree.fail", "hour"));
+  EXPECT_TRUE(injector.fires("tree.fail", "day"));
+  EXPECT_FALSE(injector.fires("tree.fail", "week"));
+
+  // An unfiltered duplicate widens the point to every key.
+  injector.configure("tree.fail:hour;tree.fail");
+  EXPECT_TRUE(injector.fires("tree.fail", "week"));
+}
+
+TEST(FaultInjectorTest, ColonOnlyFilterMatchesEverything) {
+  // "point:" is an entry with an empty filter: an empty string is a
+  // substring of every key, so it behaves like the unfiltered form.
+  FaultGuard guard;
+  FaultInjector& injector = FaultInjector::instance();
+  injector.configure("tree.fail:");
+  EXPECT_TRUE(injector.fires("tree.fail", "hour"));
+  EXPECT_TRUE(injector.fires("tree.fail", ""));
+}
+
 TEST(FaultInjectorTest, WorkerFaultPropagatesThroughPool) {
   FaultGuard guard;
   FaultInjector::instance().configure("parallel.worker:index=13");

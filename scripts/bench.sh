@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Runs the kernel micro-benchmarks and writes results/BENCH_kernels.json.
+#
+# The JSON document goes to stdout of bench_kernels (captured into the file);
+# progress goes to stderr, so the artifact stays machine-parseable. Each
+# record carries the git SHA, thread count, and median-of-N wall times.
+#
+# A benchmark result is only comparable when it describes a commit, so this
+# refuses to run on a dirty tree (set ACBM_BENCH_ALLOW_DIRTY=1 to override
+# while iterating locally — the SHA is then suffixed with "-dirty").
+#
+# Usage: scripts/bench.sh [extra bench_kernels args, e.g. --repeat 9]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${ACBM_BENCH_BUILD_DIR:-$repo_root/build}"
+out_file="${ACBM_BENCH_OUT:-$repo_root/results/BENCH_kernels.json}"
+
+sha="$(git -C "$repo_root" rev-parse HEAD)"
+if [[ -n "$(git -C "$repo_root" status --porcelain)" ]]; then
+  if [[ "${ACBM_BENCH_ALLOW_DIRTY:-0}" != "1" ]]; then
+    echo "bench.sh: working tree is dirty; benchmark numbers must describe" >&2
+    echo "bench.sh: a commit. Commit or stash first, or set" >&2
+    echo "bench.sh: ACBM_BENCH_ALLOW_DIRTY=1 to tag the result as dirty." >&2
+    exit 1
+  fi
+  sha="$sha-dirty"
+fi
+
+cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release \
+  -DACBM_BUILD_BENCH=ON >&2
+cmake --build "$build_dir" -j"$(nproc)" --target bench_kernels >&2
+
+mkdir -p "$(dirname "$out_file")"
+"$build_dir/bench/bench_kernels" --sha "$sha" "$@" > "$out_file"
+echo "bench.sh: wrote $out_file" >&2

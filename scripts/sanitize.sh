@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # ASan+UBSan build of the fault-tolerance surface: configures a dedicated
 # build tree with ACBM_SANITIZE=address+undefined and runs the fault-injection,
-# parallel-runtime, and durability suites (ctest labels `robust`, `parallel`,
-# and `durable`).
+# parallel-runtime, durability, and kernel-benchmark smoke suites (ctest
+# labels `robust`, `parallel`, `durable`, and `perf-smoke` — the last runs
+# bench_kernels at tiny sizes so the optimized kernels sweep under the
+# sanitizers too).
 #
 # Usage: scripts/sanitize.sh [build-dir]   (default: build-asan-ubsan)
 set -euo pipefail
@@ -13,7 +15,8 @@ build_dir="${1:-$repo_root/build-asan-ubsan}"
 cmake -S "$repo_root" -B "$build_dir" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DACBM_SANITIZE=address+undefined \
-  -DACBM_BUILD_BENCH=OFF \
+  -DACBM_BUILD_BENCH=ON \
   -DACBM_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" -j"$(nproc)"
-ctest --test-dir "$build_dir" -L 'robust|parallel|durable' --output-on-failure -j"$(nproc)"
+ctest --test-dir "$build_dir" -L 'robust|parallel|durable|perf-smoke' \
+  --output-on-failure -j"$(nproc)"

@@ -1,0 +1,58 @@
+#include "core/feature_cache.h"
+
+#include <utility>
+
+namespace acbm::core {
+
+std::shared_ptr<const FamilySeries> FeatureCache::family(
+    std::uint32_t family) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = families_.find(family);
+    if (it != families_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  auto built = std::make_shared<const FamilySeries>(
+      extract_family_series(dataset_, family, ip_map_, distance_));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = families_.emplace(family, std::move(built));
+  return it->second;
+}
+
+std::shared_ptr<const TargetSeries> FeatureCache::target(net::Asn asn) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = targets_.find(asn);
+    if (it != targets_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  auto built = std::make_shared<const TargetSeries>(
+      extract_target_series(dataset_, asn));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = targets_.emplace(asn, std::move(built));
+  return it->second;
+}
+
+void FeatureCache::invalidate() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  families_.clear();
+  targets_.clear();
+}
+
+std::size_t FeatureCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t FeatureCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace acbm::core

@@ -1,0 +1,64 @@
+// Shared, immutable cache of extracted feature series for one dataset.
+// Feature extraction (features.h) walks every attack of a family or target
+// per call, and the fitting pipeline historically re-extracted the same
+// series in each stage: the temporal stage per family, the spatial stage
+// per target, and row assembly for the combining tree re-extracting both.
+// A FeatureCache computes each series once and hands out shared_ptrs to the
+// immutable result, so the three stages share one extraction pass.
+//
+// The cache holds references to the dataset/IP map it was built over and
+// must not outlive them. get() is safe to call concurrently (the fitting
+// stages fan out over families/targets): entries are built outside the
+// lock and inserted first-writer-wins, which is deterministic because
+// extraction is a pure function of the dataset.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/features.h"
+
+namespace acbm::core {
+
+class FeatureCache {
+ public:
+  /// `distance` may be null (unit inter-AS distance), matching
+  /// extract_family_series; it applies to every family extraction served
+  /// by this cache.
+  FeatureCache(const trace::Dataset& dataset, const net::IpToAsnMap& ip_map,
+               net::ValleyFreeDistance* distance = nullptr)
+      : dataset_(dataset), ip_map_(ip_map), distance_(distance) {}
+
+  FeatureCache(const FeatureCache&) = delete;
+  FeatureCache& operator=(const FeatureCache&) = delete;
+
+  /// The family series for `family`, extracting on first use.
+  [[nodiscard]] std::shared_ptr<const FamilySeries> family(
+      std::uint32_t family);
+
+  /// The target series for `asn`, extracting on first use.
+  [[nodiscard]] std::shared_ptr<const TargetSeries> target(net::Asn asn);
+
+  /// Drops every cached series (e.g. if the underlying dataset mutated).
+  /// Outstanding shared_ptrs stay valid.
+  void invalidate();
+
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;
+
+ private:
+  const trace::Dataset& dataset_;
+  const net::IpToAsnMap& ip_map_;
+  net::ValleyFreeDistance* distance_;
+
+  mutable std::mutex mutex_;
+  std::map<std::uint32_t, std::shared_ptr<const FamilySeries>> families_;
+  std::map<net::Asn, std::shared_ptr<const TargetSeries>> targets_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace acbm::core

@@ -68,7 +68,13 @@ void SpatialModel::fit_one(SpatialSeries which,
   // Rungs 1..k: NAR, retried with a perturbed substream-seeded init. The
   // fault key is a pure function of (target, series, attempt) so injected
   // nonconvergence is identical at every thread count.
+  //
+  // Retries change only the network seed, never the data, so the lag
+  // embeddings (and their z-score column scalers) are built once per delay
+  // count and shared across every attempt — and, under grid search, across
+  // every candidate within each attempt.
   FaultInjector& injector = FaultInjector::instance();
+  nn::LagMatrixCache lag_cache;
   const std::size_t attempts = std::max<std::size_t>(opts_.max_fit_attempts, 1);
   for (std::size_t attempt = 0; attempt < attempts && !slot.nar; ++attempt) {
     try {
@@ -88,7 +94,7 @@ void SpatialModel::fit_one(SpatialSeries which,
           grid_opts.mlp.seed =
               acbm::stats::substream_seed(grid_opts.mlp.seed, 0x9e1d + attempt);
         }
-        auto best = nn::nar_grid_search(work, grid_opts);
+        auto best = nn::nar_grid_search(work, grid_opts, &lag_cache);
         if (!best) throw FitFailure(best.error(), best.detail());
         candidate = std::move(best->model);
       } else {
@@ -98,7 +104,8 @@ void SpatialModel::fit_one(SpatialSeries which,
               acbm::stats::substream_seed(fixed_opts.mlp.seed, 0x9e1d + attempt);
         }
         nn::NarModel model(fixed_opts);
-        model.fit(work);
+        model.fit_prepared(
+            *lag_cache.get(0, work, fixed_opts.delays, work.size()));
         candidate = std::move(model);
       }
       if (!std::isfinite(candidate.forecast_one(work))) {

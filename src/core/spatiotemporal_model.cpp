@@ -71,7 +71,12 @@ std::vector<StRow> assemble_rows(
     const trace::Dataset& dataset, const net::IpToAsnMap& ip_map,
     const std::unordered_map<std::uint32_t, TemporalModel>& temporal,
     const std::unordered_map<net::Asn, SpatialModel>& spatial,
-    const SpatiotemporalOptions& opts) {
+    const SpatiotemporalOptions& opts, FeatureCache* cache) {
+  // With no caller-provided cache the series are still extracted (and
+  // shared) through a local one.
+  FeatureCache local_cache(dataset, ip_map, nullptr);
+  if (cache == nullptr) cache = &local_cache;
+
   // Per-family series plus the mapping from a global attack index to its
   // position in the family series. Temporal features for a row are
   // multi-step forecasts: the information cutoff is the target's previous
@@ -80,19 +85,19 @@ std::vector<StRow> assemble_rows(
   // experiment demands — a one-step family forecast would leak near-future
   // information from parallel campaigns).
   struct FamilyData {
-    FamilySeries series;
+    std::shared_ptr<const FamilySeries> series;
     const TemporalModel* model = nullptr;
     std::unordered_map<std::size_t, std::size_t> position_of;
   };
   std::unordered_map<std::uint32_t, FamilyData> family_data;
   for (const auto& [family, model] : temporal) {
     FamilyData fd;
-    fd.series = extract_family_series(dataset, family, ip_map, nullptr);
-    const std::size_t n = fd.series.attack_indices.size();
+    fd.series = cache->family(family);
+    const std::size_t n = fd.series->attack_indices.size();
     if (n < 2) continue;
     fd.model = &model;
     for (std::size_t pos = 0; pos < n; ++pos) {
-      fd.position_of[fd.series.attack_indices[pos]] = pos;
+      fd.position_of[fd.series->attack_indices[pos]] = pos;
     }
     family_data.emplace(family, std::move(fd));
   }
@@ -110,7 +115,8 @@ std::vector<StRow> assemble_rows(
     const net::Asn asn = target_order[ti];
     const SpatialModel& model = spatial.at(asn);
     std::vector<StRow> rows;
-    const TargetSeries target = extract_target_series(dataset, asn);
+    const std::shared_ptr<const TargetSeries> target_ptr = cache->target(asn);
+    const TargetSeries& target = *target_ptr;
     const std::size_t n = target.attack_indices.size();
     const std::size_t warmup = std::max<std::size_t>(opts.target_warmup, 1);
     if (n <= warmup) return rows;
@@ -132,14 +138,14 @@ std::vector<StRow> assemble_rows(
 
       // Information cutoff: the last family attack at or before the
       // target's previous attack.
-      const auto& fidx = fd.series.attack_indices;
+      const auto& fidx = fd.series->attack_indices;
       const auto cut = std::upper_bound(fidx.begin(), fidx.end(), prev_idx);
       if (cut == fidx.begin()) continue;
       const auto q = static_cast<std::size_t>(cut - fidx.begin() - 1);
       const std::size_t horizon = fpos > q ? fpos - q : 1;
-      const std::span<const double> hour_prefix(fd.series.hour.data(), q + 1);
-      const std::span<const double> interval_prefix(fd.series.interval_s.data(),
-                                                    q + 1);
+      const std::span<const double> hour_prefix(fd.series->hour.data(), q + 1);
+      const std::span<const double> interval_prefix(
+          fd.series->interval_s.data(), q + 1);
 
       StRow row;
       row.attack_index = attack_idx;
@@ -186,6 +192,11 @@ void SpatiotemporalModel::fit(const trace::Dataset& train,
   FaultInjector& injector = FaultInjector::instance();
   StageStore* checkpoint = opts_.checkpoint;
 
+  // One extraction pass shared by the temporal stage, the spatial stage,
+  // and row assembly for the combining tree (each used to re-extract the
+  // same series independently).
+  FeatureCache features(train, ip_map, nullptr);
+
   // Per-family temporal fits and per-target spatial fits are independent;
   // both fan out across the pool and are merged back in index order, so the
   // fitted model (and the fit report) is identical at any thread count.
@@ -211,16 +222,21 @@ void SpatiotemporalModel::fit(const trace::Dataset& train,
             cached_family[f].reset();  // Unusable payload: refit below.
           }
         }
-        FamilySeries series = extract_family_series(
-            train, static_cast<std::uint32_t>(f), ip_map, nullptr);
-        if (series.attack_indices.size() < 2) return std::nullopt;
+        const std::shared_ptr<const FamilySeries> series =
+            features.family(static_cast<std::uint32_t>(f));
+        if (series->attack_indices.size() < 2) return std::nullopt;
+        TemporalModel model(opts_.temporal);
         if (injector.enabled() &&
             injector.fires("temporal.nonfinite",
                            "family=" + train.family_names()[f])) {
-          poison_family_series(series);
+          // Poison a private copy; the cached series stays pristine for
+          // the other stages.
+          FamilySeries poisoned = *series;
+          poison_family_series(poisoned);
+          model.fit(poisoned);
+        } else {
+          model.fit(*series);
         }
-        TemporalModel model(opts_.temporal);
-        model.fit(series);
         return model;
       });
   for (std::uint32_t family = 0; family < n_families; ++family) {
@@ -277,13 +293,18 @@ void SpatiotemporalModel::fit(const trace::Dataset& train,
   } else {
     std::vector<std::optional<SpatialModel>> target_fits =
         parallel_map(targets.size(), [&](std::size_t t) -> std::optional<SpatialModel> {
-          TargetSeries series = extract_target_series(train, targets[t]);
-          if (series.attack_indices.size() < opts_.min_target_attacks) {
+          const std::shared_ptr<const TargetSeries> shared =
+              features.target(targets[t]);
+          if (shared->attack_indices.size() < opts_.min_target_attacks) {
             return std::nullopt;
           }
+          SpatialModel model(opts_.spatial);
           if (opts_.max_target_history > 0 &&
-              series.attack_indices.size() > opts_.max_target_history) {
-            // Limited-information setting: keep only the most recent attacks.
+              shared->attack_indices.size() > opts_.max_target_history) {
+            // Limited-information setting: keep only the most recent
+            // attacks. Trim a private copy — row assembly below needs the
+            // cached full-history series.
+            TargetSeries series = *shared;
             const std::size_t drop =
                 series.attack_indices.size() - opts_.max_target_history;
             const auto trim = [drop](std::vector<double>& v) {
@@ -297,9 +318,10 @@ void SpatiotemporalModel::fit(const trace::Dataset& train,
             trim(series.hour);
             trim(series.day);
             trim(series.magnitude);
+            model.fit(series, train, ip_map);
+          } else {
+            model.fit(*shared, train, ip_map);
           }
-          SpatialModel model(opts_.spatial);
-          model.fit(series, train, ip_map);
           return model;
         });
     for (std::size_t t = 0; t < targets.size(); ++t) {
@@ -350,7 +372,7 @@ void SpatiotemporalModel::fit(const trace::Dataset& train,
   }
 
   const std::vector<StRow> rows =
-      assemble_rows(train, ip_map, temporal_, spatial_, opts_);
+      assemble_rows(train, ip_map, temporal_, spatial_, opts_, &features);
 
   // Combining-tree ladder: model tree -> pooled linear model over the same
   // rows -> (at predict time) the fixed sub-model blend.

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/feature_cache.h"
 #include "core/robust.h"
 #include "core/spatial_model.h"
 #include "core/temporal_model.h"
@@ -163,10 +164,15 @@ struct StRow {
 /// warmup gets a row whose sub-model predictions use only earlier attacks.
 /// When evaluating, fit the sub-models on the train split and assemble over
 /// the full dataset, then keep rows with attack_index in the test range.
+/// `cache` (optional) serves the family/target series from a shared
+/// FeatureCache — pass the cache used to fit the sub-models so assembly
+/// reuses those extractions instead of re-walking the dataset; with the
+/// default nullptr the series are extracted locally. Rows are identical
+/// either way.
 [[nodiscard]] std::vector<StRow> assemble_rows(
     const trace::Dataset& dataset, const net::IpToAsnMap& ip_map,
     const std::unordered_map<std::uint32_t, TemporalModel>& temporal,
     const std::unordered_map<net::Asn, SpatialModel>& spatial,
-    const SpatiotemporalOptions& opts);
+    const SpatiotemporalOptions& opts, FeatureCache* cache = nullptr);
 
 }  // namespace acbm::core

@@ -11,11 +11,17 @@
 namespace acbm::nn {
 
 core::FitOutcome<NarGridResult> nar_grid_search(std::span<const double> series,
-                                                const NarGridOptions& opts) {
+                                                const NarGridOptions& opts,
+                                                LagMatrixCache* cache,
+                                                std::uint64_t series_id) {
   using Outcome = core::FitOutcome<NarGridResult>;
   if (!(opts.validation_fraction > 0.0 && opts.validation_fraction < 1.0)) {
     throw std::invalid_argument("nar_grid_search: bad validation fraction");
   }
+  // With no caller-provided cache the embeddings are still shared across
+  // candidates within this search.
+  LagMatrixCache local_cache;
+  if (cache == nullptr) cache = &local_cache;
   const std::size_t n = series.size();
   const auto n_val = static_cast<std::size_t>(
       static_cast<double>(n) * opts.validation_fraction);
@@ -41,6 +47,18 @@ core::FitOutcome<NarGridResult> nar_grid_search(std::span<const double> series,
     }
   }
 
+  // Prebuild the lag embedding once per distinct viable delay count, so the
+  // concurrent candidate fits below all hit the cache instead of racing to
+  // build duplicates. Build failures are swallowed here — the per-candidate
+  // path rebuilds, fails the same way, and records the typed error.
+  for (std::size_t delays : opts.delay_grid) {
+    if (split < delays + 2) continue;
+    try {
+      (void)cache->get(series_id, series, delays, split);
+    } catch (...) {
+    }
+  }
+
   struct Score {
     double rmse = std::numeric_limits<double>::infinity();
     bool ok = false;
@@ -59,7 +77,8 @@ core::FitOutcome<NarGridResult> nar_grid_search(std::span<const double> series,
         nar_opts.mlp = opts.mlp;
         NarModel model(nar_opts);
         try {
-          model.fit(series.subspan(0, split));
+          model.fit_prepared(
+              *cache->get(series_id, series, candidate.delays, split));
         } catch (const core::FitFailure& e) {
           score.error = e.code();
           return score;
@@ -112,7 +131,8 @@ core::FitOutcome<NarGridResult> nar_grid_search(std::span<const double> series,
   nar_opts.mlp = opts.mlp;
   best.model = NarModel(nar_opts);
   try {
-    best.model.fit(series);
+    best.model.fit_prepared(
+        *cache->get(series_id, series, best.delays, series.size()));
   } catch (const core::FitFailure& e) {
     return Outcome::failure(e.code(),
                             std::string("nar_grid_search: winner refit: ") +

@@ -8,7 +8,10 @@
 #include <span>
 #include <vector>
 
+#include <cstdint>
+
 #include "core/robust.h"
+#include "nn/lag_cache.h"
 #include "nn/nar.h"
 
 namespace acbm::nn {
@@ -33,7 +36,17 @@ struct NarGridResult {
 /// when every candidate fails the outcome carries a typed FitError (the
 /// most specific failure seen across the grid) instead of silently
 /// selecting an invalid configuration.
+///
+/// Candidates sharing a delay count train on the same lag embedding, so the
+/// embedding (and its z-score column scalers) is built once per distinct
+/// delay value through a LagMatrixCache. Pass `cache` (with a `series_id`
+/// that uniquely names this series for that cache) to also share the
+/// embeddings across repeated searches over the same series — e.g. the
+/// spatial model's retry rungs; with the default nullptr a search-local
+/// cache still deduplicates within the grid. Results are bit-identical
+/// either way.
 [[nodiscard]] core::FitOutcome<NarGridResult> nar_grid_search(
-    std::span<const double> series, const NarGridOptions& opts = {});
+    std::span<const double> series, const NarGridOptions& opts = {},
+    LagMatrixCache* cache = nullptr, std::uint64_t series_id = 0);
 
 }  // namespace acbm::nn

@@ -1,0 +1,62 @@
+#include "nn/lag_cache.h"
+
+#include <utility>
+
+namespace acbm::nn {
+
+std::shared_ptr<const MlpTrainingSet> LagMatrixCache::get(
+    std::uint64_t series_id, std::span<const double> series,
+    std::size_t delays, std::size_t length) {
+  const Key key{series_id, delays, length};
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+
+  // Build outside the lock: embeddings can be large and building is pure,
+  // so concurrent duplicate work is safe (first insert wins below).
+  auto built = std::make_shared<const MlpTrainingSet>(
+      MlpTrainingSet::build_lagged(series, delays, length));
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = entries_.emplace(key, std::move(built));
+  return it->second;
+}
+
+void LagMatrixCache::invalidate(std::uint64_t series_id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (std::get<0>(it->first) == series_id) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LagMatrixCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+std::size_t LagMatrixCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t LagMatrixCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t LagMatrixCache::entries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace acbm::nn

@@ -1,0 +1,62 @@
+// Shared, immutable cache of lag-embedded NAR training sets. A grid search
+// trains delay_grid x hidden_grid candidates, but candidates that share a
+// delay count train on byte-identical design matrices — and the spatial
+// model's retry/degradation ladder refits the same series several times.
+// The cache builds each (series, delays, length) embedding (and its z-score
+// column scalers) once and hands out shared_ptrs to the immutable result.
+//
+// Thread-safety: get() is safe to call concurrently. Entries are built
+// outside the lock and inserted first-writer-wins; because the embedding is
+// a pure function of its key, a losing duplicate build is byte-identical to
+// the winner, so concurrency never changes results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <tuple>
+
+#include "nn/mlp.h"
+
+namespace acbm::nn {
+
+class LagMatrixCache {
+ public:
+  LagMatrixCache() = default;
+  LagMatrixCache(const LagMatrixCache&) = delete;
+  LagMatrixCache& operator=(const LagMatrixCache&) = delete;
+
+  /// Returns the lag embedding of series[0..length) with the given delay
+  /// count, building it on a miss. `series_id` identifies the underlying
+  /// series — the caller owns the contract that the same id always refers
+  /// to the same values (use invalidate() when a series changes).
+  /// Build failures (e.g. FitError::kSeriesTooShort) propagate and are not
+  /// cached.
+  [[nodiscard]] std::shared_ptr<const MlpTrainingSet> get(
+      std::uint64_t series_id, std::span<const double> series,
+      std::size_t delays, std::size_t length);
+
+  /// Drops every cached embedding for `series_id` (all delay/length
+  /// combinations). Outstanding shared_ptrs stay valid.
+  void invalidate(std::uint64_t series_id);
+
+  /// Drops everything.
+  void clear();
+
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;
+  [[nodiscard]] std::size_t entries() const;
+
+ private:
+  using Key = std::tuple<std::uint64_t, std::size_t, std::size_t>;
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::shared_ptr<const MlpTrainingSet>> entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace acbm::nn

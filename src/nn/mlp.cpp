@@ -8,14 +8,118 @@
 
 #include "core/robust.h"
 #include "stats/descriptive.h"
+#include "stats/kernels.h"
 #include "stats/serialize.h"
 
 namespace acbm::nn {
 
 namespace {
-double tanh_activation(double x) { return std::tanh(x); }
 double tanh_derivative_from_output(double y) { return 1.0 - y * y; }
 }  // namespace
+
+MlpTrainingSet MlpTrainingSet::build(const std::vector<std::vector<double>>& x,
+                                     std::span<const double> y) {
+  if (x.empty() || y.size() != x.size()) {
+    throw std::invalid_argument("Mlp::fit: empty input or size mismatch");
+  }
+  MlpTrainingSet out;
+  out.rows = x.size();
+  out.cols = x.front().size();
+  if (out.cols == 0) throw std::invalid_argument("Mlp::fit: zero-width rows");
+  for (const auto& row : x) {
+    if (row.size() != out.cols) {
+      throw std::invalid_argument("Mlp::fit: ragged rows");
+    }
+    for (double v : row) {
+      if (!std::isfinite(v)) {
+        throw core::FitFailure(core::FitError::kNonfiniteInput,
+                               "Mlp::fit: non-finite feature");
+      }
+    }
+  }
+  for (double v : y) {
+    if (!std::isfinite(v)) {
+      throw core::FitFailure(core::FitError::kNonfiniteInput,
+                             "Mlp::fit: non-finite target");
+    }
+  }
+
+  // Fit the per-column scalers exactly as Mlp::fit(x, y) historically did:
+  // gather each column and z-score it.
+  std::vector<double> col(out.rows);
+  for (std::size_t j = 0; j < out.cols; ++j) {
+    for (std::size_t i = 0; i < out.rows; ++i) col[i] = x[i][j];
+    out.input_scalers.push_back(acbm::stats::fit_zscore(col));
+  }
+  out.output_scaler = acbm::stats::fit_zscore(y);
+
+  out.x_norm.resize(out.rows * out.cols);
+  out.y_norm.resize(out.rows);
+  for (std::size_t i = 0; i < out.rows; ++i) {
+    double* dst = out.x_norm.data() + i * out.cols;
+    for (std::size_t j = 0; j < out.cols; ++j) {
+      dst[j] = out.input_scalers[j].transform(x[i][j]);
+    }
+    out.y_norm[i] = out.output_scaler.transform(y[i]);
+  }
+  return out;
+}
+
+MlpTrainingSet MlpTrainingSet::build_lagged(std::span<const double> series,
+                                            std::size_t delays,
+                                            std::size_t length) {
+  if (delays == 0 || length > series.size()) {
+    throw std::invalid_argument("MlpTrainingSet::build_lagged: bad shape");
+  }
+  if (length < delays + 2) {
+    throw core::FitFailure(core::FitError::kSeriesTooShort,
+                           "NarModel::fit: series too short for delays");
+  }
+  MlpTrainingSet out;
+  out.rows = length - delays;
+  out.cols = delays;
+
+  // Same validation order (and messages) as the nested-vector path: rows
+  // first, feature by feature, then targets.
+  for (std::size_t t = delays; t < length; ++t) {
+    for (std::size_t j = 0; j < delays; ++j) {
+      if (!std::isfinite(series[t - 1 - j])) {
+        throw core::FitFailure(core::FitError::kNonfiniteInput,
+                               "Mlp::fit: non-finite feature");
+      }
+    }
+  }
+  for (std::size_t t = delays; t < length; ++t) {
+    if (!std::isfinite(series[t])) {
+      throw core::FitFailure(core::FitError::kNonfiniteInput,
+                             "Mlp::fit: non-finite target");
+    }
+  }
+
+  // Column j of the lag embedding is series[t - 1 - j] for t in
+  // [delays, length) — the values NarModel::window() would place there.
+  std::vector<double> col(out.rows);
+  for (std::size_t j = 0; j < delays; ++j) {
+    for (std::size_t r = 0; r < out.rows; ++r) {
+      col[r] = series[delays + r - 1 - j];
+    }
+    out.input_scalers.push_back(acbm::stats::fit_zscore(col));
+  }
+  out.output_scaler =
+      acbm::stats::fit_zscore(series.subspan(delays, out.rows));
+
+  out.x_norm.resize(out.rows * out.cols);
+  out.y_norm.resize(out.rows);
+  for (std::size_t r = 0; r < out.rows; ++r) {
+    const std::size_t t = delays + r;
+    double* dst = out.x_norm.data() + r * out.cols;
+    for (std::size_t j = 0; j < delays; ++j) {
+      dst[j] = out.input_scalers[j].transform(series[t - 1 - j]);
+    }
+    out.y_norm[r] = out.output_scaler.transform(series[t]);
+  }
+  return out;
+}
 
 void Mlp::init_layers(std::size_t input_dim, acbm::stats::Rng& rng) {
   layers_.clear();
@@ -37,73 +141,96 @@ void Mlp::init_layers(std::size_t input_dim, acbm::stats::Rng& rng) {
   }
 }
 
-std::vector<double> Mlp::forward_normalized(
-    std::span<const double> x_norm) const {
-  std::vector<double> activation(x_norm.begin(), x_norm.end());
+void Mlp::prepare_workspace(Workspace& ws) const {
+  ws.acts.resize(layers_.size() + 1);
+  ws.acts[0].resize(input_dim_);
+  std::size_t total = 0;
+  std::size_t max_width = input_dim_;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    ws.acts[l + 1].resize(layers_[l].out);
+    total += layers_[l].weights.size() + layers_[l].biases.size();
+    max_width = std::max(max_width, layers_[l].out);
+  }
+  ws.sample_grad.resize(total);
+  ws.delta.resize(max_width);
+  ws.prev_delta.resize(max_width);
+  ws.xn.resize(input_dim_);
+}
+
+double Mlp::forward_into(Workspace& ws, std::span<const double> x_norm) const {
+  // acts[0] keeps the input so the backward pass can read it.
+  std::copy(x_norm.begin(), x_norm.end(), ws.acts[0].begin());
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     const Layer& layer = layers_[l];
-    std::vector<double> next(layer.out);
-    for (std::size_t o = 0; o < layer.out; ++o) {
-      double z = layer.biases[o];
-      for (std::size_t i = 0; i < layer.in; ++i) {
-        z += layer.weights[o * layer.in + i] * activation[i];
-      }
-      // Hidden layers use tanh; the final layer is linear.
-      next[o] = (l + 1 < layers_.size()) ? tanh_activation(z) : z;
+    std::span<const double> in{ws.acts[l].data(), layer.in};
+    std::span<double> out{ws.acts[l + 1].data(), layer.out};
+    // Hidden layers use tanh; the final layer is linear. The fused kernels
+    // accumulate bias-first in sequential order, matching the reference
+    // per-neuron loop bit for bit.
+    if (l + 1 < layers_.size()) {
+      acbm::stats::gemv_tanh(layer.weights, layer.biases, in, out);
+    } else {
+      acbm::stats::gemv(layer.weights, layer.biases, in, out);
     }
-    activation = std::move(next);
   }
-  return activation;
+  return ws.acts.back().front();
+}
+
+void Mlp::gradient_into(Workspace& ws, std::span<const double> x_norm,
+                        double target_norm) const {
+  const double output = forward_into(ws, x_norm);
+
+  // Backward pass: delta is dLoss/dz for the current layer. Every element
+  // of sample_grad is overwritten below, so no zero-fill is needed.
+  ws.delta[0] = output - target_norm;
+  std::size_t block_end = ws.sample_grad.size();
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    const Layer& layer = layers_[li];
+    const std::vector<double>& input = ws.acts[li];
+    const std::size_t block_start =
+        block_end - layer.weights.size() - layer.biases.size();
+    double* grad = ws.sample_grad.data();
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      const double d = ws.delta[o];
+      double* grad_row = grad + block_start + o * layer.in;
+      for (std::size_t i = 0; i < layer.in; ++i) {
+        grad_row[i] = d * input[i];
+      }
+      grad[block_start + layer.weights.size() + o] = d;
+    }
+    if (li > 0) {
+      for (std::size_t i = 0; i < layer.in; ++i) {
+        double acc = 0.0;
+        for (std::size_t o = 0; o < layer.out; ++o) {
+          acc += layer.weights[o * layer.in + i] * ws.delta[o];
+        }
+        ws.prev_delta[i] = acc * tanh_derivative_from_output(input[i]);
+      }
+      std::swap(ws.delta, ws.prev_delta);
+    }
+    block_end = block_start;
+  }
 }
 
 void Mlp::fit(const std::vector<std::vector<double>>& x,
               std::span<const double> y) {
-  if (x.empty() || y.size() != x.size()) {
-    throw std::invalid_argument("Mlp::fit: empty input or size mismatch");
-  }
-  input_dim_ = x.front().size();
-  if (input_dim_ == 0) throw std::invalid_argument("Mlp::fit: zero-width rows");
-  for (const auto& row : x) {
-    if (row.size() != input_dim_) {
-      throw std::invalid_argument("Mlp::fit: ragged rows");
-    }
-    for (double v : row) {
-      if (!std::isfinite(v)) {
-        throw core::FitFailure(core::FitError::kNonfiniteInput,
-                               "Mlp::fit: non-finite feature");
-      }
-    }
-  }
-  for (double v : y) {
-    if (!std::isfinite(v)) {
-      throw core::FitFailure(core::FitError::kNonfiniteInput,
-                             "Mlp::fit: non-finite target");
-    }
-  }
+  fit(MlpTrainingSet::build(x, y));
+}
 
-  // Normalize inputs per-feature and the target globally.
-  input_scalers_.clear();
-  for (std::size_t j = 0; j < input_dim_; ++j) {
-    std::vector<double> col;
-    col.reserve(x.size());
-    for (const auto& row : x) col.push_back(row[j]);
-    input_scalers_.push_back(acbm::stats::fit_zscore(col));
-  }
-  output_scaler_ = acbm::stats::fit_zscore(y);
-
-  const std::size_t n = x.size();
-  std::vector<std::vector<double>> xn(n, std::vector<double>(input_dim_));
-  std::vector<double> yn(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < input_dim_; ++j) {
-      xn[i][j] = input_scalers_[j].transform(x[i][j]);
-    }
-    yn[i] = output_scaler_.transform(y[i]);
-  }
+void Mlp::fit(const MlpTrainingSet& data) {
+  input_dim_ = data.cols;
+  input_scalers_ = data.input_scalers;
+  output_scaler_ = data.output_scaler;
+  const std::size_t n = data.rows;
 
   acbm::stats::Rng rng(opts_.seed);
   init_layers(input_dim_, rng);
   fitted_ = true;  // forward/gradient helpers below require this.
+
+  static thread_local Workspace tl_ws;
+  Workspace& ws = tl_ws;
+  prepare_workspace(ws);
+  const std::size_t total = ws.sample_grad.size();
 
   // Validation holdout (tail of a shuffled order) for early stopping.
   std::vector<std::size_t> order(n);
@@ -114,15 +241,27 @@ void Mlp::fit(const std::vector<std::vector<double>>& x,
   if (n <= 8) n_val = 0;  // Tiny datasets: train on everything.
   const std::size_t n_train = n - n_val;
 
+  // Optimizer state and parameter mirrors live in the workspace so a
+  // refit (grid search, retry rungs) reuses the same storage.
+  std::vector<double>& params = ws.params;
+  params.resize(total);
+  {
+    std::size_t pos = 0;
+    for (const Layer& layer : layers_) {
+      std::copy(layer.weights.begin(), layer.weights.end(),
+                params.begin() + static_cast<std::ptrdiff_t>(pos));
+      pos += layer.weights.size();
+      std::copy(layer.biases.begin(), layer.biases.end(),
+                params.begin() + static_cast<std::ptrdiff_t>(pos));
+      pos += layer.biases.size();
+    }
+  }
   // Adam state (also reused as momentum buffers for SGD).
-  std::vector<double> m_state;
-  std::vector<double> v_state;
-  std::vector<double> params = parameters();
-  m_state.assign(params.size(), 0.0);
-  v_state.assign(params.size(), 0.0);
+  ws.m_state.assign(total, 0.0);
+  ws.v_state.assign(total, 0.0);
   std::size_t adam_t = 0;
 
-  std::vector<double> best_params = params;
+  ws.best_params.assign(params.begin(), params.end());
   double best_val = std::numeric_limits<double>::infinity();
   std::size_t since_best = 0;
 
@@ -131,7 +270,8 @@ void Mlp::fit(const std::vector<std::vector<double>>& x,
     double acc = 0.0;
     for (std::size_t k = n_train; k < n; ++k) {
       const std::size_t i = order[k];
-      acc += sample_loss(xn[i], yn[i]);
+      const double d = forward_into(ws, data.row(i)) - data.y_norm[i];
+      acc += 0.5 * d * d;
     }
     return acc / static_cast<double>(n_val);
   };
@@ -148,15 +288,17 @@ void Mlp::fit(const std::vector<std::vector<double>>& x,
          batch_start += opts_.batch_size) {
       const std::size_t batch_end =
           std::min(batch_start + opts_.batch_size, n_train);
-      std::vector<double> grad(params.size(), 0.0);
+      ws.batch_grad.assign(total, 0.0);
       for (std::size_t k = batch_start; k < batch_end; ++k) {
         const std::size_t i = order[k];
-        const std::vector<double> g = loss_gradient(xn[i], yn[i]);
-        for (std::size_t p = 0; p < grad.size(); ++p) grad[p] += g[p];
+        gradient_into(ws, data.row(i), data.y_norm[i]);
+        for (std::size_t p = 0; p < total; ++p) {
+          ws.batch_grad[p] += ws.sample_grad[p];
+        }
       }
       const double inv = 1.0 / static_cast<double>(batch_end - batch_start);
-      for (std::size_t p = 0; p < grad.size(); ++p) {
-        grad[p] = grad[p] * inv + opts_.weight_decay * params[p];
+      for (std::size_t p = 0; p < total; ++p) {
+        ws.batch_grad[p] = ws.batch_grad[p] * inv + opts_.weight_decay * params[p];
       }
 
       if (opts_.optimizer == Optimizer::kAdam) {
@@ -164,17 +306,19 @@ void Mlp::fit(const std::vector<std::vector<double>>& x,
         constexpr double kBeta1 = 0.9;
         constexpr double kBeta2 = 0.999;
         constexpr double kEps = 1e-8;
-        for (std::size_t p = 0; p < params.size(); ++p) {
-          m_state[p] = kBeta1 * m_state[p] + (1.0 - kBeta1) * grad[p];
-          v_state[p] = kBeta2 * v_state[p] + (1.0 - kBeta2) * grad[p] * grad[p];
-          const double mh = m_state[p] / (1.0 - std::pow(kBeta1, static_cast<double>(adam_t)));
-          const double vh = v_state[p] / (1.0 - std::pow(kBeta2, static_cast<double>(adam_t)));
+        for (std::size_t p = 0; p < total; ++p) {
+          const double g = ws.batch_grad[p];
+          ws.m_state[p] = kBeta1 * ws.m_state[p] + (1.0 - kBeta1) * g;
+          ws.v_state[p] = kBeta2 * ws.v_state[p] + (1.0 - kBeta2) * g * g;
+          const double mh = ws.m_state[p] / (1.0 - std::pow(kBeta1, static_cast<double>(adam_t)));
+          const double vh = ws.v_state[p] / (1.0 - std::pow(kBeta2, static_cast<double>(adam_t)));
           params[p] -= opts_.learning_rate * mh / (std::sqrt(vh) + kEps);
         }
       } else {
-        for (std::size_t p = 0; p < params.size(); ++p) {
-          m_state[p] = opts_.momentum * m_state[p] - opts_.learning_rate * grad[p];
-          params[p] += m_state[p];
+        for (std::size_t p = 0; p < total; ++p) {
+          ws.m_state[p] = opts_.momentum * ws.m_state[p] -
+                          opts_.learning_rate * ws.batch_grad[p];
+          params[p] += ws.m_state[p];
         }
       }
       set_parameters(params);
@@ -184,7 +328,7 @@ void Mlp::fit(const std::vector<std::vector<double>>& x,
       const double vl = validation_loss();
       if (vl < best_val - 1e-12) {
         best_val = vl;
-        best_params = params;
+        ws.best_params.assign(params.begin(), params.end());
         since_best = 0;
       } else if (++since_best >= opts_.patience) {
         break;
@@ -193,18 +337,28 @@ void Mlp::fit(const std::vector<std::vector<double>>& x,
   }
 
   if (n_val > 0) {
-    set_parameters(best_params);
+    set_parameters(ws.best_params);
     best_val_loss_ = best_val;
   } else {
     double acc = 0.0;
-    for (std::size_t i = 0; i < n; ++i) acc += sample_loss(xn[i], yn[i]);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = forward_into(ws, data.row(i)) - data.y_norm[i];
+      acc += 0.5 * d * d;
+    }
     best_val_loss_ = acc / static_cast<double>(n);
   }
 
   // Training can diverge (exploding gradients on pathological scaling);
   // refuse to hand back a network that predicts non-finite values.
-  for (double p : parameters()) {
-    if (!std::isfinite(p)) {
+  for (const Layer& layer : layers_) {
+    for (double p : layer.weights) {
+      if (std::isfinite(p)) continue;
+      fitted_ = false;
+      throw core::FitFailure(core::FitError::kNonconvergence,
+                             "Mlp::fit: training diverged (non-finite weights)");
+    }
+    for (double p : layer.biases) {
+      if (std::isfinite(p)) continue;
       fitted_ = false;
       throw core::FitFailure(core::FitError::kNonconvergence,
                              "Mlp::fit: training diverged (non-finite weights)");
@@ -218,81 +372,38 @@ void Mlp::fit(const std::vector<std::vector<double>>& x,
 }
 
 double Mlp::predict(std::span<const double> features) const {
+  static thread_local Workspace tl_ws;
+  return predict(tl_ws, features);
+}
+
+double Mlp::predict(Workspace& ws, std::span<const double> features) const {
   if (!fitted_) throw std::logic_error("Mlp::predict: not fitted");
   if (features.size() != input_dim_) {
     throw std::invalid_argument("Mlp::predict: feature count mismatch");
   }
-  std::vector<double> xn(input_dim_);
+  prepare_workspace(ws);
   for (std::size_t j = 0; j < input_dim_; ++j) {
-    xn[j] = input_scalers_[j].transform(features[j]);
+    ws.xn[j] = input_scalers_[j].transform(features[j]);
   }
-  const std::vector<double> out = forward_normalized(xn);
-  return output_scaler_.inverse(out.front());
+  return output_scaler_.inverse(forward_into(ws, ws.xn));
 }
 
 double Mlp::sample_loss(std::span<const double> features_norm,
                         double target_norm) const {
   if (!fitted_) throw std::logic_error("Mlp::sample_loss: not fitted");
-  const std::vector<double> out = forward_normalized(features_norm);
-  const double d = out.front() - target_norm;
+  static thread_local Workspace tl_ws;
+  prepare_workspace(tl_ws);
+  const double d = forward_into(tl_ws, features_norm) - target_norm;
   return 0.5 * d * d;
 }
 
 std::vector<double> Mlp::loss_gradient(std::span<const double> features_norm,
                                        double target_norm) const {
   if (!fitted_) throw std::logic_error("Mlp::loss_gradient: not fitted");
-  // Forward pass, keeping each layer's activations.
-  std::vector<std::vector<double>> acts;
-  acts.emplace_back(features_norm.begin(), features_norm.end());
-  for (std::size_t l = 0; l < layers_.size(); ++l) {
-    const Layer& layer = layers_[l];
-    std::vector<double> next(layer.out);
-    for (std::size_t o = 0; o < layer.out; ++o) {
-      double z = layer.biases[o];
-      for (std::size_t i = 0; i < layer.in; ++i) {
-        z += layer.weights[o * layer.in + i] * acts.back()[i];
-      }
-      next[o] = (l + 1 < layers_.size()) ? tanh_activation(z) : z;
-    }
-    acts.push_back(std::move(next));
-  }
-
-  // Backward pass: delta is dLoss/dz for the current layer.
-  std::vector<double> grad;
-  std::size_t total = 0;
-  for (const Layer& layer : layers_) {
-    total += layer.weights.size() + layer.biases.size();
-  }
-  grad.assign(total, 0.0);
-
-  std::vector<double> delta{acts.back().front() - target_norm};
-  // Walk layers from last to first, writing each layer's gradient block.
-  std::size_t block_end = total;
-  for (std::size_t li = layers_.size(); li-- > 0;) {
-    const Layer& layer = layers_[li];
-    const std::vector<double>& input = acts[li];
-    const std::size_t block_start =
-        block_end - layer.weights.size() - layer.biases.size();
-    for (std::size_t o = 0; o < layer.out; ++o) {
-      for (std::size_t i = 0; i < layer.in; ++i) {
-        grad[block_start + o * layer.in + i] = delta[o] * input[i];
-      }
-      grad[block_start + layer.weights.size() + o] = delta[o];
-    }
-    if (li > 0) {
-      std::vector<double> prev_delta(layer.in, 0.0);
-      for (std::size_t i = 0; i < layer.in; ++i) {
-        double acc = 0.0;
-        for (std::size_t o = 0; o < layer.out; ++o) {
-          acc += layer.weights[o * layer.in + i] * delta[o];
-        }
-        prev_delta[i] = acc * tanh_derivative_from_output(input[i]);
-      }
-      delta = std::move(prev_delta);
-    }
-    block_end = block_start;
-  }
-  return grad;
+  static thread_local Workspace tl_ws;
+  prepare_workspace(tl_ws);
+  gradient_into(tl_ws, features_norm, target_norm);
+  return {tl_ws.sample_grad.begin(), tl_ws.sample_grad.end()};
 }
 
 void Mlp::save(std::ostream& os) const {

@@ -2,9 +2,17 @@
 // output — the network family the paper's spatial model uses (§V-A: one
 // hidden layer with the Tan-Sigmoid transfer function). Trained by
 // backpropagation with Adam or SGD+momentum and optional early stopping.
+//
+// Training is allocation-free inside the epoch loop: all scratch lives in
+// a per-thread Workspace sized once per fit, and the layer transforms run
+// through the fused GEMV+activation kernels (stats/kernels.h). The
+// normalized design matrix plus its column scalers can be prebuilt once as
+// an MlpTrainingSet and shared across fits (grid-search candidates and
+// degradation-ladder retry rungs reuse one set via nn::LagMatrixCache).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <span>
 #include <vector>
@@ -29,6 +37,61 @@ struct MlpOptions {
   std::uint64_t seed = 1;
 };
 
+/// An immutable, normalization-ready training set: the z-scored design
+/// matrix (row-major, rows x cols) together with the fitted per-column and
+/// target scalers. Building one performs exactly the validation and
+/// normalization Mlp::fit(x, y) would, so a set built once can be shared
+/// by every fit over the same data — column means/sds are computed once
+/// instead of once per refit rung or grid candidate.
+struct MlpTrainingSet {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<double> x_norm;  ///< rows * cols, z-scored per column.
+  std::vector<double> y_norm;  ///< rows, z-scored.
+  std::vector<acbm::stats::ZScore> input_scalers;
+  acbm::stats::ZScore output_scaler;
+
+  [[nodiscard]] std::span<const double> row(std::size_t i) const {
+    return {x_norm.data() + i * cols, cols};
+  }
+
+  /// Validates (non-empty, non-ragged, finite) and normalizes. Throws
+  /// std::invalid_argument / core::FitFailure exactly like Mlp::fit(x, y).
+  [[nodiscard]] static MlpTrainingSet build(
+      const std::vector<std::vector<double>>& x, std::span<const double> y);
+
+  /// Builds the lag-embedded set for a NAR model directly from a series:
+  /// row t-delays is [series[t-1], ..., series[t-delays]] -> series[t] for
+  /// t in [delays, length). Identical values (and scalers) to building via
+  /// the nested-vector overload on the explicit lag windows.
+  /// Requires length >= delays + 2 and length <= series.size(); throws
+  /// core::FitFailure(kSeriesTooShort) otherwise.
+  [[nodiscard]] static MlpTrainingSet build_lagged(
+      std::span<const double> series, std::size_t delays, std::size_t length);
+};
+
+/// Preallocated training/inference scratch. Methods taking a Workspace
+/// size it for the network once and then run allocation-free; one
+/// Workspace per thread (the trainers keep a thread_local instance), never
+/// shared concurrently.
+class Workspace {
+ public:
+  Workspace() = default;
+
+ private:
+  friend class Mlp;
+  std::vector<std::vector<double>> acts;  ///< Activations per layer edge.
+  std::vector<double> sample_grad;
+  std::vector<double> batch_grad;
+  std::vector<double> delta;
+  std::vector<double> prev_delta;
+  std::vector<double> xn;  ///< Normalized features for predict().
+  std::vector<double> params;
+  std::vector<double> best_params;
+  std::vector<double> m_state;
+  std::vector<double> v_state;
+};
+
 /// A fully connected regression network: inputs -> tanh hidden layer(s) ->
 /// linear output. Inputs and targets are z-score normalized internally, so
 /// callers work on the original scale.
@@ -42,8 +105,17 @@ class Mlp {
   void fit(const std::vector<std::vector<double>>& x,
            std::span<const double> y);
 
+  /// Trains on a prebuilt (already validated + normalized) set. Bit-
+  /// identical to fit(x, y) on the data the set was built from.
+  void fit(const MlpTrainingSet& data);
+
   /// Predicts one sample (original scale).
   [[nodiscard]] double predict(std::span<const double> features) const;
+
+  /// Allocation-free predict against a caller-owned workspace — for tight
+  /// walk-forward loops (NarModel::one_step_predictions).
+  [[nodiscard]] double predict(Workspace& ws,
+                               std::span<const double> features) const;
 
   [[nodiscard]] bool fitted() const noexcept { return fitted_; }
   [[nodiscard]] std::size_t input_dim() const noexcept { return input_dim_; }
@@ -83,10 +155,19 @@ class Mlp {
     std::size_t out = 0;
   };
 
-  [[nodiscard]] std::vector<double> forward_normalized(
-      std::span<const double> x_norm) const;
-
   void init_layers(std::size_t input_dim, acbm::stats::Rng& rng);
+
+  /// Sizes ws for this topology (idempotent; no-op once sized).
+  void prepare_workspace(Workspace& ws) const;
+
+  /// Forward pass into ws.acts; returns the scalar output. No allocation
+  /// once ws is prepared.
+  double forward_into(Workspace& ws, std::span<const double> x_norm) const;
+
+  /// Forward + backward for one sample, writing the flattened gradient
+  /// into ws.sample_grad. No allocation once ws is prepared.
+  void gradient_into(Workspace& ws, std::span<const double> x_norm,
+                     double target_norm) const;
 
   MlpOptions opts_;
   std::vector<Layer> layers_;

@@ -33,13 +33,16 @@ void NarModel::fit(std::span<const double> series) {
     throw core::FitFailure(core::FitError::kSeriesTooShort,
                            "NarModel::fit: series too short for delays");
   }
-  std::vector<std::vector<double>> x;
-  std::vector<double> y;
-  for (std::size_t t = opts_.delays; t < series.size(); ++t) {
-    x.push_back(window(series.subspan(0, t)));
-    y.push_back(series[t]);
+  fit_prepared(
+      MlpTrainingSet::build_lagged(series, opts_.delays, series.size()));
+}
+
+void NarModel::fit_prepared(const MlpTrainingSet& data) {
+  if (data.cols != opts_.delays) {
+    throw std::invalid_argument(
+        "NarModel::fit_prepared: training set delay count mismatch");
   }
-  mlp_.fit(x, y);
+  mlp_.fit(data);
 }
 
 double NarModel::forecast_one(std::span<const double> history) const {
@@ -50,11 +53,20 @@ double NarModel::forecast_one(std::span<const double> history) const {
 std::vector<double> NarModel::forecast(std::span<const double> history,
                                        std::size_t h) const {
   if (!fitted()) throw std::logic_error("NarModel::forecast: not fitted");
+  if (h > 0 && history.size() < opts_.delays) {
+    throw std::invalid_argument("NarModel: history shorter than delay window");
+  }
   std::vector<double> extended(history.begin(), history.end());
+  extended.reserve(history.size() + h);
   std::vector<double> out;
   out.reserve(h);
+  Workspace ws;
+  std::vector<double> w(opts_.delays);
   for (std::size_t k = 0; k < h; ++k) {
-    const double next = mlp_.predict(window(extended));
+    for (std::size_t i = 0; i < opts_.delays; ++i) {
+      w[i] = extended[extended.size() - 1 - i];
+    }
+    const double next = mlp_.predict(ws, w);
     extended.push_back(next);
     out.push_back(next);
   }
@@ -90,8 +102,15 @@ std::vector<double> NarModel::one_step_predictions(
   }
   std::vector<double> out;
   out.reserve(series.size() - start);
+  // One window buffer and one workspace for the whole walk — the scoring
+  // loop in nar_grid_search calls this for every candidate.
+  Workspace ws;
+  std::vector<double> w(opts_.delays);
   for (std::size_t t = start; t < series.size(); ++t) {
-    out.push_back(mlp_.predict(window(series.subspan(0, t))));
+    for (std::size_t i = 0; i < opts_.delays; ++i) {
+      w[i] = series[t - 1 - i];
+    }
+    out.push_back(mlp_.predict(ws, w));
   }
   return out;
 }

@@ -29,6 +29,14 @@ class NarModel {
   /// Requires series.size() >= delays + 2; throws std::invalid_argument.
   void fit(std::span<const double> series);
 
+  /// Fits from a prebuilt lag-embedded training set (see
+  /// MlpTrainingSet::build_lagged) — bit-identical to fit() on the series
+  /// the set was built from, but the embedding and its column scalers are
+  /// computed once and shared across fits (grid-search candidates with the
+  /// same delay count, degradation-ladder retry rungs). The set's column
+  /// count must equal this model's delays.
+  void fit_prepared(const MlpTrainingSet& data);
+
   /// One-step forecast from the last `delays` values of `history`.
   [[nodiscard]] double forecast_one(std::span<const double> history) const;
 

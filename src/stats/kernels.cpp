@@ -1,0 +1,61 @@
+#include "stats/kernels.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace acbm::stats {
+
+namespace {
+
+[[maybe_unused]] bool ranges_overlap(const double* p, std::size_t n,
+                                     const double* q, std::size_t m) {
+  return p < q + m && q < p + n;
+}
+
+/// Single-accumulator 4-wide unrolled dot seeded with `acc` (the bias, so
+/// the accumulation order matches the reference `z = b; z += w*x` loop
+/// exactly): the same sequential term order as the scalar loop
+/// (bit-identical), with the loop overhead amortized.
+double dot_unrolled(double acc, const double* a, const double* b,
+                    std::size_t n) {
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    acc += a[k] * b[k];
+    acc += a[k + 1] * b[k + 1];
+    acc += a[k + 2] * b[k + 2];
+    acc += a[k + 3] * b[k + 3];
+  }
+  for (; k < n; ++k) acc += a[k] * b[k];
+  return acc;
+}
+
+template <bool kTanh>
+void gemv_impl(std::span<const double> weights, std::span<const double> bias,
+               std::span<const double> x, std::span<double> out) {
+  assert(weights.size() == out.size() * x.size());
+  assert(bias.size() == out.size());
+  assert(!ranges_overlap(out.data(), out.size(), weights.data(),
+                         weights.size()) &&
+         !ranges_overlap(out.data(), out.size(), bias.data(), bias.size()) &&
+         !ranges_overlap(out.data(), out.size(), x.data(), x.size()));
+  const std::size_t in_dim = x.size();
+  for (std::size_t o = 0; o < out.size(); ++o) {
+    const double z =
+        dot_unrolled(bias[o], weights.data() + o * in_dim, x.data(), in_dim);
+    out[o] = kTanh ? std::tanh(z) : z;
+  }
+}
+
+}  // namespace
+
+void gemv(std::span<const double> weights, std::span<const double> bias,
+          std::span<const double> x, std::span<double> out) {
+  gemv_impl<false>(weights, bias, x, out);
+}
+
+void gemv_tanh(std::span<const double> weights, std::span<const double> bias,
+               std::span<const double> x, std::span<double> out) {
+  gemv_impl<true>(weights, bias, x, out);
+}
+
+}  // namespace acbm::stats

@@ -1,0 +1,26 @@
+// Small fused dense kernels for the model-fitting hot loops: GEMV with an
+// optionally fused tanh activation, written against preallocated output
+// spans so callers (the MLP trainer) run allocation-free inside their epoch
+// loops. All kernels accumulate in plain sequential order — they are
+// drop-in bit-identical replacements for the naive loops they fuse.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace acbm::stats {
+
+/// out[o] = bias[o] + sum_i weights[o * x.size() + i] * x[i].
+/// weights is row-major [out.size() x x.size()]. `out` must not alias
+/// `weights`, `bias`, or `x` (asserted in debug builds).
+void gemv(std::span<const double> weights, std::span<const double> bias,
+          std::span<const double> x, std::span<double> out);
+
+/// Fused GEMV + tanh: out[o] = tanh(bias[o] + sum_i w[o][i] * x[i]).
+/// Identical accumulation order to gemv; the activation is applied to the
+/// finished accumulator, so the result is bit-identical to
+/// gemv-then-tanh without the intermediate store/reload pass.
+void gemv_tanh(std::span<const double> weights, std::span<const double> bias,
+               std::span<const double> x, std::span<double> out);
+
+}  // namespace acbm::stats

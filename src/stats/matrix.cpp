@@ -1,6 +1,7 @@
 #include "stats/matrix.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -18,10 +19,47 @@ constexpr std::size_t kBlockedMultiplyFlops = 32768;
 // Rows of the output each parallel task computes at a time.
 constexpr std::size_t kRowGrain = 8;
 
+// Square tile for the cache-blocked transpose.
+constexpr std::size_t kTransposeTile = 32;
+
+/// 4-wide unrolled dot product with a single accumulator: the terms are
+/// added in the same sequential order as the scalar loop, so the result is
+/// bit-identical while the loop overhead amortizes over four elements.
+double dot_unrolled(const double* a, const double* b, std::size_t n) {
+  double acc = 0.0;
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    acc += a[k] * b[k];
+    acc += a[k + 1] * b[k + 1];
+    acc += a[k + 2] * b[k + 2];
+    acc += a[k + 3] * b[k + 3];
+  }
+  for (; k < n; ++k) acc += a[k] * b[k];
+  return acc;
+}
+
+/// True when [p, p+n) and [q, q+m) overlap — the kernels below require
+/// their output storage to be distinct from their inputs.
+[[maybe_unused]] bool ranges_overlap(const double* p, std::size_t n,
+                                     const double* q, std::size_t m) {
+  return p < q + m && q < p + n;
+}
+
 }  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, Uninit)
+    : rows_(rows), cols_(cols) {
+  // resize() default-initializes through DefaultInitAllocator: the storage
+  // is sized exactly once with no zero-fill pass.
+  data_.resize(rows * cols);
+}
+
+Matrix Matrix::uninitialized(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols, Uninit{});
+}
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
   rows_ = rows.size();
@@ -62,10 +100,21 @@ Matrix Matrix::identity(std::size_t n) {
 }
 
 Matrix Matrix::transpose() const {
-  Matrix t(cols_, rows_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t c = 0; c < cols_; ++c) {
-      t(c, r) = (*this)(r, c);
+  // Output storage is sized exactly once (no zero-fill — every element is
+  // written below) and walked in square tiles so both the read and the
+  // write side stay cache-resident for large matrices.
+  Matrix t(cols_, rows_, Uninit{});
+  assert(!ranges_overlap(t.data_.data(), t.data_.size(), data_.data(),
+                         data_.size()));
+  for (std::size_t r0 = 0; r0 < rows_; r0 += kTransposeTile) {
+    const std::size_t r1 = std::min(rows_, r0 + kTransposeTile);
+    for (std::size_t c0 = 0; c0 < cols_; c0 += kTransposeTile) {
+      const std::size_t c1 = std::min(cols_, c0 + kTransposeTile);
+      for (std::size_t r = r0; r < r1; ++r) {
+        for (std::size_t c = c0; c < c1; ++c) {
+          t(c, r) = (*this)(r, c);
+        }
+      }
     }
   }
   return t;
@@ -75,8 +124,9 @@ Matrix Matrix::operator*(const Matrix& rhs) const {
   if (cols_ != rhs.rows_) {
     throw std::invalid_argument("Matrix::operator*: dimension mismatch");
   }
-  Matrix out(rows_, rhs.cols_);
   if (rows_ * cols_ * rhs.cols_ < kBlockedMultiplyFlops) {
+    // Accumulating kernel: the output must start zero-filled.
+    Matrix out(rows_, rhs.cols_);
     for (std::size_t i = 0; i < rows_; ++i) {
       for (std::size_t k = 0; k < cols_; ++k) {
         const double aik = (*this)(i, k);
@@ -92,8 +142,14 @@ Matrix Matrix::operator*(const Matrix& rhs) const {
   // materialized, out(i, j) is a dot product of two contiguous rows, and a
   // j-block keeps a stripe of B^T hot while one A row streams through.
   // Each output row is computed entirely by one task in a fixed k-order, so
-  // the result is bit-identical at any thread count.
+  // the result is bit-identical at any thread count. Every out(i, j) is
+  // fully overwritten, so the output storage is sized once, uninitialized.
   const Matrix bt = rhs.transpose();
+  Matrix out(rows_, rhs.cols_, Uninit{});
+  assert(!ranges_overlap(out.data_.data(), out.data_.size(), data_.data(),
+                         data_.size()) &&
+         !ranges_overlap(out.data_.data(), out.data_.size(), bt.data_.data(),
+                         bt.data_.size()));
   const std::size_t n = rhs.cols_;
   constexpr std::size_t kColBlock = 64;
   acbm::core::parallel_for(0, rows_, [&](std::size_t i) {
@@ -102,10 +158,7 @@ Matrix Matrix::operator*(const Matrix& rhs) const {
     for (std::size_t j0 = 0; j0 < n; j0 += kColBlock) {
       const std::size_t j1 = std::min(n, j0 + kColBlock);
       for (std::size_t j = j0; j < j1; ++j) {
-        const std::span<const double> b_row = bt.row(j);
-        double acc = 0.0;
-        for (std::size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
-        out_row[j] = acc;
+        out_row[j] = dot_unrolled(a_row.data(), bt.row(j).data(), cols_);
       }
     }
   }, kRowGrain);
@@ -140,11 +193,9 @@ std::vector<double> Matrix::apply(std::span<const double> x) const {
   if (x.size() != cols_) {
     throw std::invalid_argument("Matrix::apply: dimension mismatch");
   }
-  std::vector<double> y(rows_, 0.0);
+  std::vector<double> y(rows_);
   for (std::size_t i = 0; i < rows_; ++i) {
-    double acc = 0.0;
-    for (std::size_t j = 0; j < cols_; ++j) acc += (*this)(i, j) * x[j];
-    y[i] = acc;
+    y[i] = dot_unrolled(data_.data() + i * cols_, x.data(), cols_);
   }
   return y;
 }
@@ -243,6 +294,54 @@ std::vector<double> solve_lu(const Matrix& a, std::span<const double> b) {
   return x;
 }
 
+NormalEquations fused_normal_equations(const Matrix& a,
+                                       std::span<const double> y,
+                                       double ridge) {
+  const std::size_t n = a.rows();
+  const std::size_t k = a.cols();
+  if (y.size() != n) {
+    throw std::invalid_argument("fused_normal_equations: dimension mismatch");
+  }
+  NormalEquations out;
+  out.ata = Matrix(k, k);  // Zero-filled: both kernels below accumulate.
+  out.atb.assign(k, 0.0);
+  assert(!ranges_overlap(out.atb.data(), out.atb.size(), y.data(), y.size()));
+  // One streaming pass over A's rows: each row contributes a rank-1 update
+  // to the upper triangle of A^T A and one term to every A^T y entry. The
+  // k x k accumulator stays cache-resident (k is tens of columns), and the
+  // row-major traversal reads A exactly once with no transpose copy.
+  // Accumulation is in ascending row order — the same term order as the
+  // reference (a.transpose() * a, a.transpose().apply(y)) — so the result
+  // is bit-identical for finite inputs.
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::span<const double> a_row = a.row(r);
+    const double yr = y[r];
+    for (std::size_t i = 0; i < k; ++i) {
+      const double ai = a_row[i];
+      out.atb[i] += ai * yr;
+      double* ata_row = &out.ata(i, 0);
+      // 4-wide unrolled rank-1 (syrk) update; each ata entry is its own
+      // accumulator, so unrolling does not reorder any sum.
+      std::size_t j = i;
+      for (; j + 4 <= k; j += 4) {
+        ata_row[j] += ai * a_row[j];
+        ata_row[j + 1] += ai * a_row[j + 1];
+        ata_row[j + 2] += ai * a_row[j + 2];
+        ata_row[j + 3] += ai * a_row[j + 3];
+      }
+      for (; j < k; ++j) ata_row[j] += ai * a_row[j];
+    }
+  }
+  // Mirror the upper triangle (a(r,i)*a(r,j) and a(r,j)*a(r,i) are the
+  // same IEEE products, so the mirrored entries match the reference), then
+  // apply the ridge.
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) out.ata(j, i) = out.ata(i, j);
+    out.ata(i, i) += ridge;
+  }
+  return out;
+}
+
 std::vector<double> solve_least_squares(const Matrix& a,
                                         std::span<const double> b,
                                         double ridge) {
@@ -252,16 +351,13 @@ std::vector<double> solve_least_squares(const Matrix& a,
   if (b.size() != a.rows()) {
     throw std::invalid_argument("solve_least_squares: dimension mismatch");
   }
-  const Matrix at = a.transpose();
-  Matrix ata = at * a;
-  for (std::size_t i = 0; i < ata.rows(); ++i) ata(i, i) += ridge;
-  const std::vector<double> atb = at.apply(b);
+  const NormalEquations ne = fused_normal_equations(a, b, ridge);
   // Cholesky is valid because A^T A + ridge I is SPD whenever ridge > 0;
   // fall back to LU if the ridge was set to zero and conditioning is bad.
   try {
-    return solve_cholesky(ata, atb);
+    return solve_cholesky(ne.ata, ne.atb);
   } catch (const std::domain_error&) {
-    return solve_lu(ata, atb);
+    return solve_lu(ne.ata, ne.atb);
   }
 }
 

@@ -1,15 +1,43 @@
 // Dense row-major matrix and the small set of linear-algebra routines the
-// modeling stack needs: products, transpose, Cholesky and partially-pivoted
-// LU solves. Sized for regression problems (tens of columns), not HPC.
+// modeling stack needs: products, transpose, fused normal equations,
+// Cholesky and partially-pivoted LU solves. Sized for regression problems
+// (tens of columns), not HPC.
 #pragma once
 
 #include <cstddef>
 #include <initializer_list>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 namespace acbm::stats {
+
+namespace detail {
+
+/// std::allocator whose value-initialization is default-initialization:
+/// `resize` on a vector of doubles leaves the elements uninitialized, so a
+/// kernel that fully overwrites its output (transpose, the blocked GEMM
+/// path) skips the redundant zero-fill pass over the storage. Explicit
+/// fills (Matrix(r, c, fill), assign) are unaffected — they construct with
+/// an argument.
+template <typename T>
+struct DefaultInitAllocator : std::allocator<T> {
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    if constexpr (sizeof...(Args) == 0) {
+      ::new (static_cast<void*>(p)) U;
+    } else {
+      ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+    }
+  }
+};
+
+}  // namespace detail
 
 /// Dense row-major matrix of doubles with value semantics.
 ///
@@ -48,6 +76,13 @@ class Matrix {
   /// Returns the identity matrix of size n.
   [[nodiscard]] static Matrix identity(std::size_t n);
 
+  /// Returns a rows x cols matrix whose storage is sized but NOT
+  /// initialized: every element must be written before it is read. For
+  /// kernels that fully overwrite their output and would waste a pass
+  /// zero-filling it first.
+  [[nodiscard]] static Matrix uninitialized(std::size_t rows,
+                                            std::size_t cols);
+
   [[nodiscard]] Matrix transpose() const;
 
   /// Matrix product; throws std::invalid_argument on dimension mismatch.
@@ -68,9 +103,12 @@ class Matrix {
   friend bool operator==(const Matrix&, const Matrix&) = default;
 
  private:
+  struct Uninit {};  // Tag: size the storage without initializing it.
+  Matrix(std::size_t rows, std::size_t cols, Uninit);
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  std::vector<double, detail::DefaultInitAllocator<double>> data_;
 };
 
 /// Solves A x = b for symmetric positive-definite A via Cholesky.
@@ -82,6 +120,23 @@ class Matrix {
 /// Throws std::domain_error if A is singular to working precision.
 [[nodiscard]] std::vector<double> solve_lu(const Matrix& a,
                                            std::span<const double> b);
+
+/// The normal-equations system A^T A (+ ridge I) and A^T y.
+struct NormalEquations {
+  Matrix ata;
+  std::vector<double> atb;
+};
+
+/// Fused normal-equations kernel: accumulates A^T A and A^T y in one pass
+/// over A's rows without materializing the transpose, exploiting symmetry
+/// (only the upper triangle is computed, then mirrored). For finite inputs
+/// the result is bit-identical to the reference
+/// (a.transpose() * a, a.transpose().apply(y)) — products are accumulated
+/// in the same row order. `ridge` is added to the diagonal afterwards.
+/// Requires y.size() == a.rows(); throws std::invalid_argument otherwise.
+[[nodiscard]] NormalEquations fused_normal_equations(const Matrix& a,
+                                                     std::span<const double> y,
+                                                     double ridge = 0.0);
 
 /// Solves the least-squares problem min ||A x - b||_2 via the normal
 /// equations with a small ridge term for numerical stability.

@@ -22,7 +22,9 @@ void LinearRegression::fit(const Matrix& x, std::span<const double> y) {
         "LinearRegression::fit: not enough samples for parameter count");
   }
 
-  Matrix design(n, params);
+  // Every element is written below, so the design storage is sized once
+  // with no zero-fill pass.
+  Matrix design = Matrix::uninitialized(n, params);
   for (std::size_t i = 0; i < n; ++i) {
     std::size_t j = 0;
     if (opts_.fit_intercept) design(i, j++) = 1.0;
@@ -62,12 +64,19 @@ void LinearRegression::fit(const Matrix& x, std::span<const double> y) {
   coef_.assign(beta.begin() + static_cast<std::ptrdiff_t>(j), beta.end());
   fitted_ = true;
 
+  // In-sample diagnostics in one residual pass: ss_res and ss_tot are
+  // accumulated exactly as stats::r_squared does (same term order, so r2_
+  // is bit-identical), but the predictions are consumed as they stream and
+  // the former third pass over the residuals is gone.
   const std::vector<double> fit_pred = predict(x);
-  r2_ = stats::r_squared(y, fit_pred);
+  const double y_mean = stats::mean(y);
   double ss_res = 0.0;
+  double ss_tot = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     ss_res += (y[i] - fit_pred[i]) * (y[i] - fit_pred[i]);
+    ss_tot += (y[i] - y_mean) * (y[i] - y_mean);
   }
+  r2_ = ss_tot <= 0.0 ? 0.0 : 1.0 - ss_res / ss_tot;
   const std::size_t dof = n > params ? n - params : 1;
   residual_sd_ = std::sqrt(ss_res / static_cast<double>(dof));
 }

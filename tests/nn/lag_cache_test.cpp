@@ -1,0 +1,157 @@
+// LagMatrixCache: hit/miss accounting, invalidation, and the equivalence
+// guarantees that make sharing embeddings safe — a prepared fit must be
+// bit-identical to the classic series fit.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/robust.h"
+#include "nn/grid_search.h"
+#include "nn/lag_cache.h"
+#include "nn/mlp.h"
+#include "nn/nar.h"
+#include "stats/rng.h"
+
+namespace {
+
+using acbm::nn::LagMatrixCache;
+using acbm::nn::MlpTrainingSet;
+
+std::vector<double> noisy_wave(std::size_t n, std::uint64_t seed) {
+  acbm::stats::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    xs[t] = 5.0 + 2.0 * std::sin(static_cast<double>(t) * 0.4) +
+            rng.normal(0.0, 0.3);
+  }
+  return xs;
+}
+
+TEST(LagMatrixCacheTest, HitMissAccountingAndInvalidation) {
+  const std::vector<double> series = noisy_wave(40, 1);
+  LagMatrixCache cache;
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.entries(), 0u);
+
+  const auto a = cache.get(1, series, 3, series.size());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.entries(), 1u);
+
+  // Same key: a hit returning the same object.
+  const auto b = cache.get(1, series, 3, series.size());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(a.get(), b.get());
+
+  // Different delays / length / series id are distinct entries.
+  (void)cache.get(1, series, 2, series.size());
+  (void)cache.get(1, series, 3, series.size() - 5);
+  (void)cache.get(2, series, 3, series.size());
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.entries(), 4u);
+
+  // Invalidation drops only the named series; held pointers stay valid.
+  cache.invalidate(1);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(a->cols, 3u);
+  const auto c = cache.get(1, series, 3, series.size());
+  EXPECT_EQ(cache.misses(), 5u);
+  EXPECT_EQ(c->rows, a->rows);
+
+  cache.clear();
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(LagMatrixCacheTest, LaggedBuildMatchesExplicitWindows) {
+  const std::vector<double> series = noisy_wave(30, 2);
+  const std::size_t delays = 4;
+
+  // The explicit windows NarModel::fit historically built.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (std::size_t t = delays; t < series.size(); ++t) {
+    std::vector<double> w(delays);
+    for (std::size_t i = 0; i < delays; ++i) w[i] = series[t - 1 - i];
+    x.push_back(std::move(w));
+    y.push_back(series[t]);
+  }
+  const MlpTrainingSet from_rows = MlpTrainingSet::build(x, y);
+  const MlpTrainingSet lagged =
+      MlpTrainingSet::build_lagged(series, delays, series.size());
+
+  ASSERT_EQ(lagged.rows, from_rows.rows);
+  ASSERT_EQ(lagged.cols, from_rows.cols);
+  for (std::size_t i = 0; i < lagged.x_norm.size(); ++i) {
+    EXPECT_EQ(lagged.x_norm[i], from_rows.x_norm[i]);
+  }
+  for (std::size_t i = 0; i < lagged.y_norm.size(); ++i) {
+    EXPECT_EQ(lagged.y_norm[i], from_rows.y_norm[i]);
+  }
+  for (std::size_t j = 0; j < delays; ++j) {
+    EXPECT_EQ(lagged.input_scalers[j].mean, from_rows.input_scalers[j].mean);
+    EXPECT_EQ(lagged.input_scalers[j].sd, from_rows.input_scalers[j].sd);
+  }
+  EXPECT_EQ(lagged.output_scaler.mean, from_rows.output_scaler.mean);
+  EXPECT_EQ(lagged.output_scaler.sd, from_rows.output_scaler.sd);
+}
+
+TEST(LagMatrixCacheTest, BuildLaggedRejectsShortSeries) {
+  const std::vector<double> series = noisy_wave(4, 3);
+  EXPECT_THROW((void)MlpTrainingSet::build_lagged(series, 3, series.size()),
+               acbm::core::FitFailure);
+}
+
+TEST(LagMatrixCacheTest, PreparedFitBitIdenticalToSeriesFit) {
+  const std::vector<double> series = noisy_wave(60, 4);
+  acbm::nn::NarOptions opts;
+  opts.delays = 3;
+  opts.hidden_nodes = 4;
+  opts.mlp.max_epochs = 30;
+  opts.mlp.seed = 9;
+
+  acbm::nn::NarModel classic(opts);
+  classic.fit(series);
+
+  LagMatrixCache cache;
+  acbm::nn::NarModel prepared(opts);
+  prepared.fit_prepared(*cache.get(0, series, opts.delays, series.size()));
+
+  // Same weights => identical predictions everywhere.
+  const auto classic_pred = classic.one_step_predictions(series, opts.delays);
+  const auto prepared_pred = prepared.one_step_predictions(series, opts.delays);
+  ASSERT_EQ(classic_pred.size(), prepared_pred.size());
+  for (std::size_t i = 0; i < classic_pred.size(); ++i) {
+    EXPECT_EQ(classic_pred[i], prepared_pred[i]);
+  }
+}
+
+TEST(LagMatrixCacheTest, GridSearchWithSharedCacheMatchesDefault) {
+  const std::vector<double> series = noisy_wave(80, 5);
+  acbm::nn::NarGridOptions opts;
+  opts.delay_grid = {1, 2, 3};
+  opts.hidden_grid = {2, 4};
+  opts.mlp.max_epochs = 20;
+
+  const auto plain = acbm::nn::nar_grid_search(series, opts);
+  LagMatrixCache cache;
+  const auto cached = acbm::nn::nar_grid_search(series, opts, &cache, 7);
+  ASSERT_TRUE(static_cast<bool>(plain));
+  ASSERT_TRUE(static_cast<bool>(cached));
+  EXPECT_EQ(plain->delays, cached->delays);
+  EXPECT_EQ(plain->hidden_nodes, cached->hidden_nodes);
+  EXPECT_EQ(plain->validation_rmse, cached->validation_rmse);
+  // The shared cache was actually consulted: one entry per distinct viable
+  // delay for the candidate split, plus the winner's full-length refit.
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_EQ(cache.entries(), opts.delay_grid.size() + 1);
+
+  // A second search over the same cache reuses everything.
+  const std::size_t misses_before = cache.misses();
+  const auto again = acbm::nn::nar_grid_search(series, opts, &cache, 7);
+  ASSERT_TRUE(static_cast<bool>(again));
+  EXPECT_EQ(cache.misses(), misses_before);
+  EXPECT_EQ(again->validation_rmse, cached->validation_rmse);
+}
+
+}  // namespace

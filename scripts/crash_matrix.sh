@@ -11,6 +11,9 @@ set -euo pipefail
 acbm="${1:?usage: crash_matrix.sh <acbm-binary> [work-dir]}"
 work="${2:-$(mktemp -d /tmp/acbm_crash_matrix.XXXXXX)}"
 mkdir -p "$work"
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+echo "crash_matrix.sh @ $(git -C "$repo_root" describe --always --dirty 2>/dev/null || echo unknown)"
 trap 'rm -rf "$work"' EXIT
 
 # Each entry is an ACBM_FAULTS spec that must abort the fit mid-run. Filters

@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
 # ASan+UBSan build of the fault-tolerance surface: configures a dedicated
 # build tree with ACBM_SANITIZE=address+undefined and runs the fault-injection,
-# parallel-runtime, durability, and kernel-benchmark smoke suites (ctest
-# labels `robust`, `parallel`, `durable`, and `perf-smoke` — the last runs
-# bench_kernels at tiny sizes so the optimized kernels sweep under the
-# sanitizers too).
+# parallel-runtime, durability, observability, and kernel-benchmark smoke
+# suites (ctest labels `robust`, `parallel`, `durable`, `observe`, and
+# `perf-smoke` — the last runs bench_kernels at tiny sizes so the optimized
+# kernels sweep under the sanitizers too). A second TSan build then reruns
+# the `observe` and `parallel` labels so the span-ring SPSC protocol and the
+# metric atomics are exercised under the race detector.
 #
-# Usage: scripts/sanitize.sh [build-dir]   (default: build-asan-ubsan)
+# Usage: scripts/sanitize.sh [build-dir]   (default: build-asan-ubsan; the
+#        TSan tree lands next to it with a -tsan suffix)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-asan-ubsan}"
+
+echo "sanitize.sh @ $(git -C "$repo_root" describe --always --dirty 2>/dev/null || echo unknown)"
 
 cmake -S "$repo_root" -B "$build_dir" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -18,5 +23,15 @@ cmake -S "$repo_root" -B "$build_dir" \
   -DACBM_BUILD_BENCH=ON \
   -DACBM_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" -j"$(nproc)"
-ctest --test-dir "$build_dir" -L 'robust|parallel|durable|perf-smoke' \
+ctest --test-dir "$build_dir" -L 'robust|parallel|durable|observe|perf-smoke' \
+  --output-on-failure -j"$(nproc)"
+
+tsan_dir="${build_dir%/}-tsan"
+cmake -S "$repo_root" -B "$tsan_dir" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DACBM_SANITIZE=thread \
+  -DACBM_BUILD_BENCH=OFF \
+  -DACBM_BUILD_EXAMPLES=OFF
+cmake --build "$tsan_dir" -j"$(nproc)"
+ctest --test-dir "$tsan_dir" -L 'observe|parallel' \
   --output-on-failure -j"$(nproc)"

@@ -1,16 +1,19 @@
 #include "cli/cli.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
+#include <vector>
 
 #include "core/checkpoint.h"
 #include "core/durable.h"
 #include "core/evaluation.h"
+#include "core/observe.h"
 #include "core/pipeline.h"
 #include "trace/generator.h"
 #include "trace/world.h"
@@ -112,6 +115,14 @@ void print_usage(std::ostream& out) {
          "             [--horizons F1,F2,...] [--out FILE]\n"
          "             [--checkpoint-dir DIR] [--resume]\n"
          "  help       this message\n"
+         "\n"
+         "observability (any command; see OBSERVABILITY.md):\n"
+         "  --trace FILE     write a Chrome trace_event JSON of the run\n"
+         "                   (chrome://tracing / Perfetto; env ACBM_TRACE)\n"
+         "  --metrics FILE|- write a Prometheus-style metrics dump\n"
+         "                   (- = stdout; env ACBM_METRICS)\n"
+         "  --profile        print the merged span tree to stderr\n"
+         "                   (env ACBM_PROFILE=1)\n"
          "\n"
          "exit codes: 0 ok, 1 internal error, 2 bad arguments,\n"
          "            3 load/corruption/write failure, 4 fit degraded beyond\n"
@@ -440,24 +451,155 @@ int cmd_evaluate(const ArgMap& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+namespace observe = acbm::core::observe;
+
+/// Observability switches, shared by every command. They are stripped from
+/// the argument list before the per-command ArgMap parses it, so each
+/// command's reject_unknown list stays untouched.
+struct ObserveOptions {
+  std::string trace_path;    ///< --trace FILE / ACBM_TRACE; empty = off.
+  std::string metrics_dest;  ///< --metrics FILE|- / ACBM_METRICS; empty = off.
+  bool profile = false;      ///< --profile / ACBM_PROFILE=1.
+
+  [[nodiscard]] bool any() const noexcept {
+    return profile || !trace_path.empty() || !metrics_dest.empty();
+  }
+};
+
+ObserveOptions extract_observe_options(std::vector<std::string>& args) {
+  ObserveOptions opts;
+  std::vector<std::string> kept;
+  kept.reserve(args.size());
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--profile") {
+      opts.profile = true;
+      continue;
+    }
+    if (arg == "--trace" || arg == "--metrics") {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument("option " + arg + " needs a value");
+      }
+      (arg == "--trace" ? opts.trace_path : opts.metrics_dest) = args[++i];
+      continue;
+    }
+    kept.push_back(arg);
+  }
+  args = std::move(kept);
+  const auto env = [](const char* name) -> std::string {
+    const char* value = std::getenv(name);
+    return value != nullptr ? std::string(value) : std::string();
+  };
+  if (opts.trace_path.empty()) opts.trace_path = env("ACBM_TRACE");
+  if (opts.metrics_dest.empty()) opts.metrics_dest = env("ACBM_METRICS");
+  if (!opts.profile) {
+    const std::string flag = env("ACBM_PROFILE");
+    opts.profile = !flag.empty() && flag != "0";
+  }
+  return opts;
+}
+
+/// Turns collection on for the lifetime of one command and writes the
+/// requested sinks in finish(). The destructor disables collection even on
+/// exception paths (the sinks are only written for completed commands).
+class ObserveSession {
+ public:
+  explicit ObserveSession(ObserveOptions opts) : opts_(std::move(opts)) {
+    if (opts_.any()) {
+      // Fresh window per command so in-process callers (tests) get
+      // per-run output; quiescent here — nothing is instrumented yet.
+      observe::Tracer::instance().reset();
+      observe::Metrics::instance().reset();
+      observe::set_enabled(true);
+    }
+  }
+  ~ObserveSession() {
+    if (opts_.any()) observe::set_enabled(false);
+  }
+  ObserveSession(const ObserveSession&) = delete;
+  ObserveSession& operator=(const ObserveSession&) = delete;
+
+  /// Drains the tracer and writes --trace/--metrics/--profile. Call after
+  /// the command's root span has closed.
+  void finish(std::ostream& out, std::ostream& err) {
+    if (!opts_.any()) return;
+    observe::set_enabled(false);
+    const std::vector<observe::SpanEvent> events =
+        observe::Tracer::instance().collect();
+    const std::uint64_t dropped = observe::Tracer::instance().dropped();
+    if (!opts_.trace_path.empty()) {
+      std::ofstream trace_out(opts_.trace_path);
+      if (trace_out) {
+        observe::write_chrome_trace(trace_out, events);
+      } else {
+        err << "warning: cannot write trace file " << opts_.trace_path << "\n";
+      }
+    }
+    if (!opts_.metrics_dest.empty()) {
+      if (opts_.metrics_dest == "-") {
+        observe::Metrics::instance().write_prometheus(out);
+      } else {
+        std::ofstream metrics_out(opts_.metrics_dest);
+        if (metrics_out) {
+          observe::Metrics::instance().write_prometheus(metrics_out);
+        } else {
+          err << "warning: cannot write metrics file " << opts_.metrics_dest
+              << "\n";
+        }
+      }
+    }
+    if (opts_.profile) observe::write_profile(err, events, dropped);
+  }
+
+ private:
+  ObserveOptions opts_;
+};
+
 }  // namespace
 
-int run(std::span<const std::string> args, std::ostream& out,
+int run(std::span<const std::string> args_in, std::ostream& out,
         std::ostream& err) {
-  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+  if (args_in.empty() || args_in[0] == "help" || args_in[0] == "--help") {
     print_usage(out);
-    return args.empty() ? 2 : 0;
+    return args_in.empty() ? 2 : 0;
   }
   try {
+    std::vector<std::string> args(args_in.begin(), args_in.end());
+    ObserveSession session(extract_observe_options(args));
     const ArgMap options(args, 1, {"resume"});
-    if (args[0] == "generate") return cmd_generate(options, out, err);
-    if (args[0] == "fit") return cmd_fit(options, out, err);
-    if (args[0] == "stats") return cmd_stats(options, out, err);
-    if (args[0] == "predict") return cmd_predict(options, out, err);
-    if (args[0] == "evaluate") return cmd_evaluate(options, out, err);
-    err << "unknown command '" << args[0] << "'\n";
-    print_usage(err);
-    return 2;
+    // Dispatch inside a lambda so each command's root span closes before
+    // session.finish() drains the tracer.
+    const auto dispatch = [&]() -> int {
+      if (args[0] == "generate") {
+        ACBM_SPAN("cli.generate");
+        return cmd_generate(options, out, err);
+      }
+      if (args[0] == "fit") {
+        ACBM_SPAN("cli.fit");
+        return cmd_fit(options, out, err);
+      }
+      if (args[0] == "stats") {
+        ACBM_SPAN("cli.stats");
+        return cmd_stats(options, out, err);
+      }
+      if (args[0] == "predict") {
+        ACBM_SPAN("cli.predict");
+        return cmd_predict(options, out, err);
+      }
+      if (args[0] == "evaluate") {
+        ACBM_SPAN("cli.evaluate");
+        return cmd_evaluate(options, out, err);
+      }
+      return -1;
+    };
+    const int code = dispatch();
+    if (code == -1) {
+      err << "unknown command '" << args[0] << "'\n";
+      print_usage(err);
+      return 2;
+    }
+    session.finish(out, err);
+    return code;
   } catch (const durable::LoadFailure& e) {
     err << "error (" << durable::to_string(e.code()) << "): " << e.what()
         << "\n";

@@ -5,6 +5,7 @@
 #include <system_error>
 #include <vector>
 
+#include "core/observe.h"
 #include "core/robust.h"
 
 namespace acbm::core {
@@ -91,7 +92,10 @@ bool CheckpointDir::is_complete(std::string_view stage) const {
 
 std::optional<std::string> CheckpointDir::load(std::string_view stage) {
   const auto it = stages_.find(std::string(stage));
-  if (it == stages_.end()) return std::nullopt;
+  if (it == stages_.end()) {
+    ACBM_COUNT("checkpoint.load.miss", 1);
+    return std::nullopt;
+  }
   const std::string kind = slug(stage);
   const fs::path primary = artifact_path(stage);
   for (int gen = 0; gen <= opts_.keep_generations; ++gen) {
@@ -110,6 +114,7 @@ std::optional<std::string> CheckpointDir::load(std::string_view stage) {
       } else {
         journal("load " + std::string(stage) + " ok");
       }
+      ACBM_COUNT("checkpoint.load.hit", 1);
       return payload;
     } catch (const durable::LoadFailure& e) {
       journal("load " + std::string(stage) + " corrupt file=" +
@@ -121,6 +126,7 @@ std::optional<std::string> CheckpointDir::load(std::string_view stage) {
   journal("load " + std::string(stage) + " unrecoverable; stage will rerun");
   stages_.erase(std::string(stage));
   write_manifest();
+  ACBM_COUNT("checkpoint.load.miss", 1);
   return std::nullopt;
 }
 
@@ -152,6 +158,7 @@ void CheckpointDir::store(std::string_view stage, std::string_view payload) {
 
   stages_[std::string(stage)] = durable::crc32c(payload);
   write_manifest();
+  ACBM_COUNT("checkpoint.store", 1);
   journal("store " + std::string(stage) + " crc32c=" +
           durable::to_hex(stages_[std::string(stage)]));
 }

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "core/observe.h"
+
 namespace acbm::core {
 
 std::shared_ptr<const FamilySeries> FeatureCache::family(
@@ -11,10 +13,12 @@ std::shared_ptr<const FamilySeries> FeatureCache::family(
     const auto it = families_.find(family);
     if (it != families_.end()) {
       ++hits_;
+      ACBM_COUNT("feature_cache.hit", 1);
       return it->second;
     }
     ++misses_;
   }
+  ACBM_COUNT("feature_cache.miss", 1);
   auto built = std::make_shared<const FamilySeries>(
       extract_family_series(dataset_, family, ip_map_, distance_));
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -28,10 +32,12 @@ std::shared_ptr<const TargetSeries> FeatureCache::target(net::Asn asn) {
     const auto it = targets_.find(asn);
     if (it != targets_.end()) {
       ++hits_;
+      ACBM_COUNT("feature_cache.hit", 1);
       return it->second;
     }
     ++misses_;
   }
+  ACBM_COUNT("feature_cache.miss", 1);
   auto built = std::make_shared<const TargetSeries>(
       extract_target_series(dataset_, asn));
   const std::lock_guard<std::mutex> lock(mutex_);

@@ -6,11 +6,22 @@
 // A FeatureCache computes each series once and hands out shared_ptrs to the
 // immutable result, so the three stages share one extraction pass.
 //
-// The cache holds references to the dataset/IP map it was built over and
-// must not outlive them. get() is safe to call concurrently (the fitting
-// stages fan out over families/targets): entries are built outside the
-// lock and inserted first-writer-wins, which is deterministic because
-// extraction is a pure function of the dataset.
+// Thread-safety contract: family()/target() are safe to call concurrently
+// from any thread (the fitting stages fan out over families/targets).
+// Entries are built outside the lock and inserted first-writer-wins; a
+// losing duplicate build is byte-identical to the winner because
+// extraction is a pure function of the dataset, so concurrency never
+// changes results. hits()/misses() are approximate under concurrency
+// (each is read under the lock, but a racing miss may be counted before
+// its entry lands). When observability is enabled (core/observe.h) every
+// lookup also bumps the global feature_cache.hit / feature_cache.miss
+// counters.
+//
+// Invalidation contract: the cache holds references to the dataset/IP map
+// it was built over and must not outlive them. If the underlying dataset
+// mutates, call invalidate() while no other thread is using the cache —
+// it drops every cached series, but shared_ptrs already handed out stay
+// valid (they keep the old extraction alive and go stale, by design).
 #pragma once
 
 #include <cstddef>

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <limits>
 #include <memory>
 
+#include "core/observe.h"
 #include "core/robust.h"
 
 namespace acbm::core {
@@ -111,7 +113,17 @@ void ThreadPool::for_each_index(std::size_t begin, std::size_t end,
   const std::size_t tasks = std::min(workers_.size(), spans);
   batch.pending = tasks;
 
-  const auto drain = [&batch] {
+  // Carry the submitting thread's innermost span into the workers: spans
+  // opened inside fn() then parent identically whether fn runs inline (1
+  // thread, nested fan-out) or on a pool worker — the merged span tree is
+  // the same at any thread count.
+  const std::uint64_t parent_span = observe::current_span();
+
+  const auto drain = [&batch, parent_span] {
+    const observe::ScopedParent inherit(parent_span);
+    const bool observing = observe::enabled();
+    const auto task_start = observing ? std::chrono::steady_clock::now()
+                                      : std::chrono::steady_clock::time_point{};
     for (;;) {
       if (batch.failed.load(std::memory_order_relaxed)) break;
       const std::size_t start = batch.next.fetch_add(batch.grain);
@@ -132,6 +144,14 @@ void ThreadPool::for_each_index(std::size_t begin, std::size_t end,
         }
       }
     }
+    if (observing) {
+      const double task_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - task_start)
+              .count();
+      ACBM_COUNT("pool.tasks", 1);
+      ACBM_HISTOGRAM("pool.task_ms", task_ms);
+    }
     const std::lock_guard<std::mutex> lock(batch.mutex);
     if (--batch.pending == 0) batch.done.notify_all();
   };
@@ -139,6 +159,7 @@ void ThreadPool::for_each_index(std::size_t begin, std::size_t end,
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t t = 0; t < tasks; ++t) tasks_.emplace(drain);
+    ACBM_GAUGE_SET("pool.queue_depth", tasks_.size());
   }
   cv_.notify_all();
 

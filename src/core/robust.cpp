@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <ostream>
 
+#include "core/observe.h"
+
 namespace acbm::core {
 
 bool all_finite(std::span<const double> xs) noexcept {
@@ -53,6 +55,17 @@ const char* to_string(FitRung rung) noexcept {
 bool is_primary_rung(FitRung rung) noexcept {
   return rung == FitRung::kArima || rung == FitRung::kNar ||
          rung == FitRung::kModelTree;
+}
+
+void FitReport::add(FitRecord record) {
+  if (observe::enabled()) {
+    ACBM_COUNT("fit.records", 1);
+    if (record.degraded()) ACBM_COUNT("fit.degraded", 1);
+    observe::Metrics::instance()
+        .counter(std::string("fit.rung.") + to_string(record.rung))
+        .add(1);
+  }
+  records_.push_back(std::move(record));
 }
 
 void FitReport::merge(const std::string& prefix, const FitReport& sub) {
@@ -150,6 +163,11 @@ bool FaultInjector::fires(std::string_view point, std::string_view key) const {
   for (const Rule& rule : rules_) {
     if (rule.point != point) continue;
     if (rule.filter.empty() || key.find(rule.filter) != std::string_view::npos) {
+      if (observe::enabled()) {
+        observe::Metrics::instance()
+            .counter(std::string("fault.trip.") + std::string(point))
+            .add(1);
+      }
       return true;
     }
   }

@@ -150,7 +150,9 @@ struct FitRecord {
 /// Aggregated ladder outcome of a whole fit (one model or the pipeline).
 class FitReport {
  public:
-  void add(FitRecord record) { records_.push_back(std::move(record)); }
+  /// Appends a record, and (when observability is on) bumps the
+  /// fit.records / fit.degraded / fit.rung.<rung> counters.
+  void add(FitRecord record);
 
   /// Appends another report's records with "<prefix>" prepended to each
   /// component name (used to roll sub-model reports up into the pipeline's).

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/durable.h"
+#include "core/observe.h"
 #include "core/parallel.h"
 #include "stats/descriptive.h"
 #include "stats/rng.h"
@@ -33,6 +34,8 @@ const SpatialModel::SeriesModel& SpatialModel::series_model(
 
 void SpatialModel::fit_one(SpatialSeries which,
                            std::span<const double> series) {
+  ACBM_SPAN_KV("spatial.series", std::string("asn=") + std::to_string(asn_) +
+                                     ",series=" + series_name(which));
   SeriesModel& slot = models_[static_cast<std::size_t>(which)];
   slot.nar.reset();
   slot.ar.reset();
@@ -77,6 +80,7 @@ void SpatialModel::fit_one(SpatialSeries which,
   nn::LagMatrixCache lag_cache;
   const std::size_t attempts = std::max<std::size_t>(opts_.max_fit_attempts, 1);
   for (std::size_t attempt = 0; attempt < attempts && !slot.nar; ++attempt) {
+    if (attempt > 0) ACBM_COUNT("spatial.nar_retry", 1);
     try {
       if (injector.enabled() &&
           injector.fires("nar.nonconvergence",

@@ -11,6 +11,7 @@
 
 #include "core/checkpoint.h"
 #include "core/durable.h"
+#include "core/observe.h"
 #include "core/parallel.h"
 #include "stats/serialize.h"
 
@@ -186,6 +187,7 @@ std::vector<StRow> assemble_rows(
 
 void SpatiotemporalModel::fit(const trace::Dataset& train,
                               const net::IpToAsnMap& ip_map) {
+  ACBM_SPAN("fit.spatiotemporal");
   temporal_.clear();
   spatial_.clear();
   report_.clear();
@@ -204,139 +206,156 @@ void SpatiotemporalModel::fit(const trace::Dataset& train,
   // the store only ever sees single-threaded access at stage boundaries.
   const auto n_families =
       static_cast<std::uint32_t>(train.family_names().size());
-  std::vector<std::optional<std::string>> cached_family(n_families);
-  if (checkpoint != nullptr) {
-    for (std::uint32_t f = 0; f < n_families; ++f) {
-      cached_family[f] = checkpoint->load("temporal/" + train.family_names()[f]);
+  {
+    ACBM_SPAN("fit.temporal");
+    std::vector<std::optional<std::string>> cached_family(n_families);
+    if (checkpoint != nullptr) {
+      for (std::uint32_t f = 0; f < n_families; ++f) {
+        cached_family[f] =
+            checkpoint->load("temporal/" + train.family_names()[f]);
+      }
     }
-  }
-  std::vector<std::optional<TemporalModel>> family_fits =
-      parallel_map(n_families, [&](std::size_t f) -> std::optional<TemporalModel> {
-        if (cached_family[f]) {
-          // Empty payload = completed stage with too little data to model.
-          if (cached_family[f]->empty()) return std::nullopt;
-          try {
-            std::istringstream body(*cached_family[f]);
-            return TemporalModel::load(body);
-          } catch (const std::exception&) {
-            cached_family[f].reset();  // Unusable payload: refit below.
+    std::vector<std::optional<TemporalModel>> family_fits = parallel_map(
+        n_families, [&](std::size_t f) -> std::optional<TemporalModel> {
+          ACBM_SPAN_KV("fit.family", "family=" + train.family_names()[f]);
+          if (cached_family[f]) {
+            // Empty payload = completed stage with too little data to model.
+            if (cached_family[f]->empty()) return std::nullopt;
+            try {
+              std::istringstream body(*cached_family[f]);
+              return TemporalModel::load(body);
+            } catch (const std::exception&) {
+              cached_family[f].reset();  // Unusable payload: refit below.
+            }
+          }
+          const std::shared_ptr<const FamilySeries> series =
+              features.family(static_cast<std::uint32_t>(f));
+          if (series->attack_indices.size() < 2) return std::nullopt;
+          TemporalModel model(opts_.temporal);
+          if (injector.enabled() &&
+              injector.fires("temporal.nonfinite",
+                             "family=" + train.family_names()[f])) {
+            // Poison a private copy; the cached series stays pristine for
+            // the other stages.
+            FamilySeries poisoned = *series;
+            poison_family_series(poisoned);
+            model.fit(poisoned);
+          } else {
+            model.fit(*series);
+          }
+          return model;
+        });
+    for (std::uint32_t family = 0; family < n_families; ++family) {
+      const std::string& name = train.family_names()[family];
+      const bool resumed = cached_family[family].has_value();
+      if (family_fits[family]) {
+        if (resumed) {
+          add_resumed_records(report_, "temporal/" + name + "/",
+                              *family_fits[family], kTemporalSeriesNames);
+        } else {
+          report_.merge("temporal/" + name + "/",
+                        family_fits[family]->fit_report());
+          if (checkpoint != nullptr) {
+            std::ostringstream body;
+            family_fits[family]->save(body);
+            checkpoint->store("temporal/" + name, body.str());
           }
         }
-        const std::shared_ptr<const FamilySeries> series =
-            features.family(static_cast<std::uint32_t>(f));
-        if (series->attack_indices.size() < 2) return std::nullopt;
-        TemporalModel model(opts_.temporal);
-        if (injector.enabled() &&
-            injector.fires("temporal.nonfinite",
-                           "family=" + train.family_names()[f])) {
-          // Poison a private copy; the cached series stays pristine for
-          // the other stages.
-          FamilySeries poisoned = *series;
-          poison_family_series(poisoned);
-          model.fit(poisoned);
-        } else {
-          model.fit(*series);
-        }
-        return model;
-      });
-  for (std::uint32_t family = 0; family < n_families; ++family) {
-    const std::string& name = train.family_names()[family];
-    const bool resumed = cached_family[family].has_value();
-    if (family_fits[family]) {
-      if (resumed) {
-        add_resumed_records(report_, "temporal/" + name + "/",
-                            *family_fits[family], kTemporalSeriesNames);
+        temporal_.emplace(family, std::move(*family_fits[family]));
       } else {
-        report_.merge("temporal/" + name + "/",
-                      family_fits[family]->fit_report());
-        if (checkpoint != nullptr) {
-          std::ostringstream body;
-          family_fits[family]->save(body);
-          checkpoint->store("temporal/" + name, body.str());
+        report_.add({"temporal/" + name, FitRung::kMean,
+                     FitError::kSeriesTooShort, "fewer than 2 attacks"});
+        if (checkpoint != nullptr && !resumed) {
+          checkpoint->store("temporal/" + name, "");
         }
-      }
-      temporal_.emplace(family, std::move(*family_fits[family]));
-    } else {
-      report_.add({"temporal/" + name, FitRung::kMean,
-                   FitError::kSeriesTooShort, "fewer than 2 attacks"});
-      if (checkpoint != nullptr && !resumed) {
-        checkpoint->store("temporal/" + name, "");
       }
     }
   }
 
-  const std::vector<net::Asn> targets = train.target_asns();
-  bool spatial_resumed = false;
-  if (checkpoint != nullptr) {
-    if (const std::optional<std::string> payload = checkpoint->load("spatial")) {
-      try {
-        load_spatial_stage(*payload);
-        spatial_resumed = true;
-      } catch (const std::exception&) {
-        spatial_.clear();  // Unusable payload: refit below.
+  {
+    ACBM_SPAN("fit.spatial");
+    const std::vector<net::Asn> targets = train.target_asns();
+    bool spatial_resumed = false;
+    if (checkpoint != nullptr) {
+      if (const std::optional<std::string> payload =
+              checkpoint->load("spatial")) {
+        try {
+          load_spatial_stage(*payload);
+          spatial_resumed = true;
+        } catch (const std::exception&) {
+          spatial_.clear();  // Unusable payload: refit below.
+        }
       }
     }
-  }
-  if (spatial_resumed) {
-    for (net::Asn asn : targets) {
-      const auto it = spatial_.find(asn);
-      if (it != spatial_.end()) {
-        add_resumed_records(report_, "spatial/AS" + std::to_string(asn) + "/",
-                            it->second, kSpatialSeriesNames);
-      } else {
-        report_.add({"spatial/AS" + std::to_string(asn), FitRung::kMean,
-                     FitError::kSeriesTooShort,
-                     "fewer than " + std::to_string(opts_.min_target_attacks) +
-                         " attacks"});
+    if (spatial_resumed) {
+      for (net::Asn asn : targets) {
+        const auto it = spatial_.find(asn);
+        if (it != spatial_.end()) {
+          add_resumed_records(report_, "spatial/AS" + std::to_string(asn) + "/",
+                              it->second, kSpatialSeriesNames);
+        } else {
+          report_.add(
+              {"spatial/AS" + std::to_string(asn), FitRung::kMean,
+               FitError::kSeriesTooShort,
+               "fewer than " + std::to_string(opts_.min_target_attacks) +
+                   " attacks"});
+        }
+      }
+    } else {
+      std::vector<std::optional<SpatialModel>> target_fits = parallel_map(
+          targets.size(), [&](std::size_t t) -> std::optional<SpatialModel> {
+            ACBM_SPAN_KV("fit.target",
+                         "asn=" + std::to_string(targets[t]));
+            const std::shared_ptr<const TargetSeries> shared =
+                features.target(targets[t]);
+            if (shared->attack_indices.size() < opts_.min_target_attacks) {
+              return std::nullopt;
+            }
+            SpatialModel model(opts_.spatial);
+            if (opts_.max_target_history > 0 &&
+                shared->attack_indices.size() > opts_.max_target_history) {
+              // Limited-information setting: keep only the most recent
+              // attacks. Trim a private copy — row assembly below needs the
+              // cached full-history series.
+              TargetSeries series = *shared;
+              const std::size_t drop =
+                  series.attack_indices.size() - opts_.max_target_history;
+              const auto trim = [drop](std::vector<double>& v) {
+                v.erase(v.begin(),
+                        v.begin() + static_cast<std::ptrdiff_t>(drop));
+              };
+              series.attack_indices.erase(
+                  series.attack_indices.begin(),
+                  series.attack_indices.begin() +
+                      static_cast<std::ptrdiff_t>(drop));
+              trim(series.duration_s);
+              trim(series.interval_s);
+              trim(series.hour);
+              trim(series.day);
+              trim(series.magnitude);
+              model.fit(series, train, ip_map);
+            } else {
+              model.fit(*shared, train, ip_map);
+            }
+            return model;
+          });
+      for (std::size_t t = 0; t < targets.size(); ++t) {
+        if (target_fits[t]) {
+          report_.merge("spatial/AS" + std::to_string(targets[t]) + "/",
+                        target_fits[t]->fit_report());
+          spatial_.emplace(targets[t], std::move(*target_fits[t]));
+        } else {
+          report_.add(
+              {"spatial/AS" + std::to_string(targets[t]), FitRung::kMean,
+               FitError::kSeriesTooShort,
+               "fewer than " + std::to_string(opts_.min_target_attacks) +
+                   " attacks"});
+        }
+      }
+      if (checkpoint != nullptr) {
+        checkpoint->store("spatial", save_spatial_stage());
       }
     }
-  } else {
-    std::vector<std::optional<SpatialModel>> target_fits =
-        parallel_map(targets.size(), [&](std::size_t t) -> std::optional<SpatialModel> {
-          const std::shared_ptr<const TargetSeries> shared =
-              features.target(targets[t]);
-          if (shared->attack_indices.size() < opts_.min_target_attacks) {
-            return std::nullopt;
-          }
-          SpatialModel model(opts_.spatial);
-          if (opts_.max_target_history > 0 &&
-              shared->attack_indices.size() > opts_.max_target_history) {
-            // Limited-information setting: keep only the most recent
-            // attacks. Trim a private copy — row assembly below needs the
-            // cached full-history series.
-            TargetSeries series = *shared;
-            const std::size_t drop =
-                series.attack_indices.size() - opts_.max_target_history;
-            const auto trim = [drop](std::vector<double>& v) {
-              v.erase(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(drop));
-            };
-            series.attack_indices.erase(
-                series.attack_indices.begin(),
-                series.attack_indices.begin() + static_cast<std::ptrdiff_t>(drop));
-            trim(series.duration_s);
-            trim(series.interval_s);
-            trim(series.hour);
-            trim(series.day);
-            trim(series.magnitude);
-            model.fit(series, train, ip_map);
-          } else {
-            model.fit(*shared, train, ip_map);
-          }
-          return model;
-        });
-    for (std::size_t t = 0; t < targets.size(); ++t) {
-      if (target_fits[t]) {
-        report_.merge("spatial/AS" + std::to_string(targets[t]) + "/",
-                      target_fits[t]->fit_report());
-        spatial_.emplace(targets[t], std::move(*target_fits[t]));
-      } else {
-        report_.add({"spatial/AS" + std::to_string(targets[t]), FitRung::kMean,
-                     FitError::kSeriesTooShort,
-                     "fewer than " + std::to_string(opts_.min_target_attacks) +
-                         " attacks"});
-      }
-    }
-    if (checkpoint != nullptr) checkpoint->store("spatial", save_spatial_stage());
   }
 
   hour_tree_ = tree::ModelTree(opts_.tree);
@@ -344,6 +363,7 @@ void SpatiotemporalModel::fit(const trace::Dataset& train,
   hour_linear_.reset();
   day_linear_.reset();
   if (checkpoint != nullptr) {
+    ACBM_SPAN("fit.tree");
     if (const std::optional<std::string> payload = checkpoint->load("tree")) {
       try {
         load_tree_stage(*payload);
@@ -371,8 +391,11 @@ void SpatiotemporalModel::fit(const trace::Dataset& train,
     }
   }
 
-  const std::vector<StRow> rows =
-      assemble_rows(train, ip_map, temporal_, spatial_, opts_, &features);
+  std::vector<StRow> rows;
+  {
+    ACBM_SPAN("fit.rows");
+    rows = assemble_rows(train, ip_map, temporal_, spatial_, opts_, &features);
+  }
 
   // Combining-tree ladder: model tree -> pooled linear model over the same
   // rows -> (at predict time) the fixed sub-model blend.
@@ -411,6 +434,7 @@ void SpatiotemporalModel::fit(const trace::Dataset& train,
     report_.add(std::move(record));
   };
 
+  ACBM_SPAN("fit.tree");
   if (rows.size() >= 20) {
     acbm::stats::Matrix hour_x(rows.size(), rows.front().features.hour_row().size());
     acbm::stats::Matrix day_x(rows.size(), rows.front().features.day_row().size());

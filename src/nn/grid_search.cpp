@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "core/observe.h"
 #include "core/parallel.h"
 #include "stats/metrics.h"
 
@@ -15,6 +16,9 @@ core::FitOutcome<NarGridResult> nar_grid_search(std::span<const double> series,
                                                 LagMatrixCache* cache,
                                                 std::uint64_t series_id) {
   using Outcome = core::FitOutcome<NarGridResult>;
+  ACBM_SPAN_KV("nar.grid_search",
+               "series_id=" + std::to_string(series_id) +
+                   ",n=" + std::to_string(series.size()));
   if (!(opts.validation_fraction > 0.0 && opts.validation_fraction < 1.0)) {
     throw std::invalid_argument("nar_grid_search: bad validation fraction");
   }
@@ -46,6 +50,7 @@ core::FitOutcome<NarGridResult> nar_grid_search(std::span<const double> series,
       grid.push_back({delays, hidden});
     }
   }
+  ACBM_COUNT("nar.candidates", grid.size());
 
   // Prebuild the lag embedding once per distinct viable delay count, so the
   // concurrent candidate fits below all hit the cache instead of racing to

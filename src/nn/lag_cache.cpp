@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "core/observe.h"
+
 namespace acbm::nn {
 
 std::shared_ptr<const MlpTrainingSet> LagMatrixCache::get(
@@ -13,10 +15,12 @@ std::shared_ptr<const MlpTrainingSet> LagMatrixCache::get(
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++hits_;
+      ACBM_COUNT("lag_cache.hit", 1);
       return it->second;
     }
     ++misses_;
   }
+  ACBM_COUNT("lag_cache.miss", 1);
 
   // Build outside the lock: embeddings can be large and building is pure,
   // so concurrent duplicate work is safe (first insert wins below).

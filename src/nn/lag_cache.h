@@ -5,10 +5,20 @@
 // The cache builds each (series, delays, length) embedding (and its z-score
 // column scalers) once and hands out shared_ptrs to the immutable result.
 //
-// Thread-safety: get() is safe to call concurrently. Entries are built
-// outside the lock and inserted first-writer-wins; because the embedding is
-// a pure function of its key, a losing duplicate build is byte-identical to
-// the winner, so concurrency never changes results.
+// Thread-safety contract: get() is safe to call concurrently from any
+// thread. Entries are built outside the lock and inserted
+// first-writer-wins; because the embedding is a pure function of its key,
+// a losing duplicate build is byte-identical to the winner, so concurrency
+// never changes results. hits()/misses()/entries() take the same lock and
+// may be approximate while builds race. When observability is enabled
+// (core/observe.h) every lookup also bumps the global lag_cache.hit /
+// lag_cache.miss counters.
+//
+// Invalidation contract: the caller owns the guarantee that a series_id
+// always refers to the same values. If a series' data changes under an id,
+// call invalidate(series_id) (or clear()) while no other thread is mid
+// get() for that id; embeddings already handed out as shared_ptrs stay
+// valid and keep the old data alive.
 #pragma once
 
 #include <cstddef>

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/observe.h"
+
 namespace acbm::stats {
 
 namespace {
@@ -50,11 +52,15 @@ void gemv_impl(std::span<const double> weights, std::span<const double> bias,
 
 void gemv(std::span<const double> weights, std::span<const double> bias,
           std::span<const double> x, std::span<double> out) {
+  ACBM_COUNT("gemv.calls", 1);
+  ACBM_COUNT("gemv.flops", 2 * out.size() * x.size());
   gemv_impl<false>(weights, bias, x, out);
 }
 
 void gemv_tanh(std::span<const double> weights, std::span<const double> bias,
                std::span<const double> x, std::span<double> out) {
+  ACBM_COUNT("gemv.calls", 1);
+  ACBM_COUNT("gemv.flops", 2 * out.size() * x.size());
   gemv_impl<true>(weights, bias, x, out);
 }
 

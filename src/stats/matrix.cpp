@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/observe.h"
 #include "core/parallel.h"
 
 namespace acbm::stats {
@@ -124,6 +125,8 @@ Matrix Matrix::operator*(const Matrix& rhs) const {
   if (cols_ != rhs.rows_) {
     throw std::invalid_argument("Matrix::operator*: dimension mismatch");
   }
+  ACBM_COUNT("gemm.calls", 1);
+  ACBM_COUNT("gemm.flops", 2 * rows_ * cols_ * rhs.cols_);
   if (rows_ * cols_ * rhs.cols_ < kBlockedMultiplyFlops) {
     // Accumulating kernel: the output must start zero-filled.
     Matrix out(rows_, rhs.cols_);
@@ -351,6 +354,11 @@ std::vector<double> solve_least_squares(const Matrix& a,
   if (b.size() != a.rows()) {
     throw std::invalid_argument("solve_least_squares: dimension mismatch");
   }
+  // Flop model: the fused A^T A / A^T y pass (~n*k*(k+2)) plus the k^3/3
+  // Cholesky; close enough for a throughput counter.
+  ACBM_COUNT("ols.solves", 1);
+  ACBM_COUNT("ols.flops", a.rows() * a.cols() * (a.cols() + 2) +
+                              a.cols() * a.cols() * a.cols() / 3);
   const NormalEquations ne = fused_normal_equations(a, b, ridge);
   // Cholesky is valid because A^T A + ridge I is SPD whenever ridge > 0;
   // fall back to LU if the ridge was set to zero and conditioning is bad.

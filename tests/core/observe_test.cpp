@@ -1,0 +1,326 @@
+#include "core/observe.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/parallel.h"
+
+namespace acbm::core::observe {
+namespace {
+
+/// Every test starts and ends quiescent: collection off, tracer and
+/// registry emptied, thread count back to automatic resolution.
+class ObserveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    Tracer::instance().reset();
+    Metrics::instance().reset();
+    acbm::core::set_num_threads(0);
+  }
+  void TearDown() override { SetUp(); }
+};
+
+// --- Histogram ------------------------------------------------------------
+
+TEST_F(ObserveTest, HistogramBucketBoundariesUseLeSemantics) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.observe(0.5);
+  h.observe(1.0);  // On-boundary sample lands in its own bucket (le=1).
+  h.observe(1.5);
+  h.observe(2.0);
+  h.observe(5.0);
+  h.observe(10.0);  // Above every bound: +Inf bucket.
+  const std::vector<std::uint64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 10.0);
+}
+
+TEST_F(ObserveTest, HistogramRejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST_F(ObserveTest, HistogramResetKeepsBounds) {
+  Histogram h({1.0, 4.0});
+  h.observe(3.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  ASSERT_EQ(h.bounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(h.bounds()[1], 4.0);
+}
+
+// --- Counters under concurrency ------------------------------------------
+
+TEST_F(ObserveTest, CounterAggregatesExactlyUnderParallelFor) {
+  set_enabled(true);
+  for (const std::size_t threads : {1u, 3u, 8u}) {
+    Metrics::instance().reset();
+    acbm::core::set_num_threads(threads);
+    acbm::core::parallel_for(0, 1000,
+                             [](std::size_t) { ACBM_COUNT("test.ticks", 1); });
+    EXPECT_EQ(Metrics::instance().counter_value("test.ticks"), 1000u)
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(ObserveTest, DisabledMacrosRegisterNothing) {
+  ACBM_COUNT("test.off", 1);
+  ACBM_HISTOGRAM("test.off_hist", 1.0);
+  { ACBM_SPAN("test.off_span"); }
+  EXPECT_EQ(Metrics::instance().counter_value("test.off"), 0u);
+  EXPECT_TRUE(Tracer::instance().collect().empty());
+  std::ostringstream prom;
+  Metrics::instance().write_prometheus(prom);
+  EXPECT_EQ(prom.str().find("test_off"), std::string::npos);
+}
+
+// --- SpanRing -------------------------------------------------------------
+
+SpanEvent make_event(std::uint64_t seq) {
+  SpanEvent e;
+  e.seq = seq;
+  e.name = "ring";
+  return e;
+}
+
+TEST_F(ObserveTest, SpanRingDrainsInPushOrder) {
+  SpanRing ring(8);
+  for (std::uint64_t s = 1; s <= 3; ++s) EXPECT_TRUE(ring.push(make_event(s)));
+  std::vector<SpanEvent> out;
+  EXPECT_EQ(ring.drain(out), 3u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].seq, 1u);
+  EXPECT_EQ(out[2].seq, 3u);
+  // A drained ring is reusable.
+  EXPECT_TRUE(ring.push(make_event(4)));
+  out.clear();
+  EXPECT_EQ(ring.drain(out), 1u);
+}
+
+TEST_F(ObserveTest, SpanRingDropsWhenFullAndCounts) {
+  SpanRing ring(4);
+  ASSERT_EQ(ring.capacity(), 4u);
+  for (std::uint64_t s = 1; s <= 6; ++s) (void)ring.push(make_event(s));
+  EXPECT_EQ(ring.dropped(), 2u);
+  std::vector<SpanEvent> out;
+  EXPECT_EQ(ring.drain(out), 4u);
+  EXPECT_EQ(out.back().seq, 4u);  // The newest events were the ones dropped.
+}
+
+TEST_F(ObserveTest, SpanRingSpscConcurrentDrain) {
+  SpanRing ring(1u << 10);
+  constexpr std::uint64_t kEvents = 20000;
+  std::vector<SpanEvent> out;
+  std::thread producer([&ring] {
+    for (std::uint64_t s = 1; s <= kEvents; ++s) {
+      // Spin until the consumer frees a slot (each failed try counts a
+      // drop, so the drop counter is noise here — only order matters).
+      while (!ring.push(make_event(s))) std::this_thread::yield();
+    }
+  });
+  while (out.size() < kEvents) (void)ring.drain(out);
+  producer.join();
+  ASSERT_EQ(out.size(), kEvents);
+  for (std::uint64_t s = 1; s <= kEvents; ++s) {
+    ASSERT_EQ(out[s - 1].seq, s);  // In-order, no duplicates, no losses.
+  }
+}
+
+// --- Span tree determinism ------------------------------------------------
+
+/// Runs a synthetic instrumented workload and returns its aggregated
+/// (path, count) pairs.
+std::vector<std::pair<std::string, std::uint64_t>> run_workload(
+    std::size_t threads) {
+  Tracer::instance().reset();
+  acbm::core::set_num_threads(threads);
+  set_enabled(true);
+  {
+    ACBM_SPAN("root");
+    acbm::core::parallel_for(0, 17, [](std::size_t i) {
+      ACBM_SPAN_KV("outer", "i=" + std::to_string(i));
+      ACBM_SPAN("inner");
+    });
+    { ACBM_SPAN("tail"); }
+  }
+  set_enabled(false);
+  const std::vector<SpanEvent> events = Tracer::instance().collect();
+  std::vector<std::pair<std::string, std::uint64_t>> shape;
+  for (const SpanAggregate& node : aggregate_spans(events)) {
+    shape.emplace_back(node.path, node.count);
+  }
+  return shape;
+}
+
+TEST_F(ObserveTest, SpanTreeIsIdenticalAtOneThreeAndEightThreads) {
+  const auto baseline = run_workload(1);
+  const std::vector<std::pair<std::string, std::uint64_t>> expected = {
+      {"root", 1}, {"root/outer", 17}, {"root/outer/inner", 17}, {"root/tail", 1}};
+  EXPECT_EQ(baseline, expected);
+  EXPECT_EQ(run_workload(3), baseline);
+  EXPECT_EQ(run_workload(8), baseline);
+}
+
+TEST_F(ObserveTest, NestedSpansRecordParentage) {
+  set_enabled(true);
+  EXPECT_EQ(current_span(), 0u);
+  {
+    ACBM_SPAN("a");
+    const std::uint64_t a_seq = current_span();
+    EXPECT_NE(a_seq, 0u);
+    {
+      ACBM_SPAN("b");
+      EXPECT_NE(current_span(), a_seq);
+    }
+    EXPECT_EQ(current_span(), a_seq);
+  }
+  EXPECT_EQ(current_span(), 0u);
+  set_enabled(false);
+  const std::vector<SpanEvent> events = Tracer::instance().collect();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "a");
+  EXPECT_EQ(events[0].parent, 0u);
+  EXPECT_STREQ(events[1].name, "b");
+  EXPECT_EQ(events[1].parent, events[0].seq);
+}
+
+TEST_F(ObserveTest, ScopedParentReparentsSpans) {
+  set_enabled(true);
+  std::uint64_t root_seq = 0;
+  {
+    ACBM_SPAN("root");
+    root_seq = current_span();
+    std::thread worker([root_seq] {
+      const ScopedParent inherit(root_seq);
+      ACBM_SPAN("child");
+    });
+    worker.join();
+  }
+  set_enabled(false);
+  // collect() sorts by seq (open order), so "root" comes first even though
+  // "child" closed first.
+  const std::vector<SpanEvent> events = Tracer::instance().collect();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "root");
+  EXPECT_EQ(events[0].parent, 0u);
+  EXPECT_STREQ(events[1].name, "child");
+  EXPECT_EQ(events[1].parent, root_seq);
+}
+
+// --- Sinks ----------------------------------------------------------------
+
+TEST_F(ObserveTest, PrometheusDumpIsDeterministicAndWellFormed) {
+  Metrics::instance().counter("fit.records").add(7);
+  Metrics::instance().counter("a.first").add(1);
+  Metrics::instance().gauge("pool.queue_depth").set(3.5);
+  const double bounds[] = {1.0, 2.0};
+  Metrics::instance().histogram("task.ms", bounds).observe(1.5);
+  std::ostringstream first;
+  std::ostringstream second;
+  Metrics::instance().write_prometheus(first);
+  Metrics::instance().write_prometheus(second);
+  EXPECT_EQ(first.str(), second.str());
+  const std::string text = first.str();
+  // Sorted: a.first before fit.records.
+  EXPECT_LT(text.find("acbm_a_first_total 1"),
+            text.find("acbm_fit_records_total 7"));
+  EXPECT_NE(text.find("# TYPE acbm_fit_records_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("acbm_pool_queue_depth 3.5"), std::string::npos);
+  // Histogram exposition is cumulative with an explicit +Inf bucket.
+  EXPECT_NE(text.find("acbm_task_ms_bucket{le=\"2\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("acbm_task_ms_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("acbm_task_ms_count 1"), std::string::npos);
+}
+
+/// Minimal structural JSON check: object/array nesting balances to zero and
+/// never goes negative, honoring string literals and escapes.
+bool json_nesting_balances(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST_F(ObserveTest, ChromeTraceRoundTripsStructurally) {
+  set_enabled(true);
+  {
+    ACBM_SPAN("parent");
+    ACBM_SPAN_KV("child", std::string("k=v,quote=\"x\""));
+  }
+  set_enabled(false);
+  const std::vector<SpanEvent> events = Tracer::instance().collect();
+  ASSERT_EQ(events.size(), 2u);
+  std::ostringstream os;
+  write_chrome_trace(os, events);
+  const std::string text = os.str();
+  EXPECT_TRUE(json_nesting_balances(text)) << text;
+  EXPECT_EQ(text.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"parent\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"child\""), std::string::npos);
+  // The tag's embedded quote must be escaped, not emitted raw.
+  EXPECT_NE(text.find("quote=\\\"x\\\""), std::string::npos);
+}
+
+TEST_F(ObserveTest, WriteProfileRendersTreeAndDrops) {
+  set_enabled(true);
+  {
+    ACBM_SPAN("stage");
+    { ACBM_SPAN("substage"); }
+    { ACBM_SPAN("substage"); }
+  }
+  set_enabled(false);
+  const std::vector<SpanEvent> events = Tracer::instance().collect();
+  std::ostringstream os;
+  write_profile(os, events, 5);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("stage"), std::string::npos);
+  EXPECT_NE(text.find("substage"), std::string::npos);
+  EXPECT_NE(text.find("3 closed"), std::string::npos);
+  EXPECT_NE(text.find("5 dropped"), std::string::npos);
+  // Same-name siblings merged into one row with count 2.
+  EXPECT_NE(text.find("  substage"), std::string::npos);
+}
+
+TEST_F(ObserveTest, CollectIsConsuming) {
+  set_enabled(true);
+  { ACBM_SPAN("once"); }
+  set_enabled(false);
+  EXPECT_EQ(Tracer::instance().collect().size(), 1u);
+  EXPECT_TRUE(Tracer::instance().collect().empty());
+}
+
+}  // namespace
+}  // namespace acbm::core::observe

@@ -20,12 +20,18 @@
 #include <string>
 #include <vector>
 
+#include "core/inference.h"
 #include "core/parallel.h"
 #include "core/spatiotemporal_model.h"
 #include "nn/grid_search.h"
+#include "nn/inference_f32.h"
+#include "nn/nar.h"
+#include "stats/kernels.h"
 #include "stats/matrix.h"
 #include "stats/rng.h"
 #include "trace/world.h"
+#include "tree/model_tree.h"
+#include "ts/arima.h"
 
 namespace {
 
@@ -33,12 +39,15 @@ struct BenchConfig {
   std::size_t repeat = 5;
   bool tiny = false;
   std::string sha = "unknown";
+  std::string cpu = "unknown";
 };
 
 struct BenchResult {
   std::string name;
   std::vector<double> runs_ms;
   double checksum = 0.0;  // Defeats dead-code elimination; sanity-checked.
+  double ops = 0.0;       // Operations per run (forecasts, kernel calls);
+                          // 0 = not a throughput benchmark.
 };
 
 double median(std::vector<double> xs) {
@@ -180,6 +189,161 @@ BenchResult bench_gemm(const BenchConfig& config) {
   });
 }
 
+/// Dense gemv at a SIMD-eligible shape, pinned to one ISA. The scalar and
+/// SIMD variants share the workload (and, fast-math off, the checksum:
+/// the vectorized kernels are lane-stable).
+BenchResult bench_gemv_isa(const BenchConfig& config,
+                           acbm::stats::SimdIsa isa) {
+  const std::size_t rows = config.tiny ? 16 : 64;
+  const std::size_t cols = config.tiny ? 16 : 64;
+  const std::size_t iters = config.tiny ? 50 : 20000;
+  acbm::stats::Rng rng(91);
+  std::vector<double> weights(rows * cols);
+  std::vector<double> bias(rows);
+  std::vector<double> x(cols);
+  std::vector<double> out(rows);
+  for (double& w : weights) w = rng.normal(0.0, 1.0);
+  for (double& b : bias) b = rng.normal(0.0, 0.1);
+  for (double& v : x) v = rng.normal(0.0, 1.0);
+  const std::vector<double> x_init = x;
+  const std::string name =
+      std::string("gemv_") + acbm::stats::isa_name(isa);
+  const acbm::stats::SimdIsa saved = acbm::stats::active_isa();
+  acbm::stats::set_active_isa(isa);
+  BenchResult result = run_bench(name, config, [&]() {
+    double acc = 0.0;
+    for (std::size_t it = 0; it < iters; ++it) {
+      acbm::stats::gemv_tanh(weights, bias, x, out);
+      acc += out[0] + out[rows - 1];
+      x[it % cols] = out[it % rows];  // Keep iterations data-dependent.
+    }
+    x = x_init;  // Every run sees identical data.
+    return acc;
+  });
+  acbm::stats::set_active_isa(saved);
+  result.ops = static_cast<double>(iters);
+  return result;
+}
+
+/// The blocked gemm path pinned to one ISA (same matrices as gemm_blocked).
+BenchResult bench_gemm_isa(const BenchConfig& config,
+                           acbm::stats::SimdIsa isa) {
+  const std::size_t n = config.tiny ? 24 : 192;
+  acbm::stats::Rng rng(55);
+  acbm::stats::Matrix a(n, n);
+  acbm::stats::Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = rng.normal(0.0, 1.0);
+      b(i, j) = rng.normal(0.0, 1.0);
+    }
+  }
+  const std::string name =
+      std::string("gemm_") + acbm::stats::isa_name(isa);
+  const acbm::stats::SimdIsa saved = acbm::stats::active_isa();
+  acbm::stats::set_active_isa(isa);
+  BenchResult result = run_bench(name, config, [&]() {
+    const acbm::stats::Matrix c = a * b;
+    return c(0, 0) + c(n - 1, n - 1) + c.frobenius_norm();
+  });
+  acbm::stats::set_active_isa(saved);
+  return result;
+}
+
+/// Walk-forward ARIMA forecast throughput: f64 model vs f32 view.
+BenchResult bench_predict_arima(const BenchConfig& config, bool f32) {
+  const std::size_t n = config.tiny ? 80 : 400;
+  const std::size_t start = config.tiny ? 20 : 50;
+  const std::size_t reps = config.tiny ? 2 : 20;
+  const std::vector<double> series = synthetic_series(n, 2024);
+  acbm::ts::ArimaModel model({2, 1, 1});
+  model.fit(series);
+  const acbm::core::ArimaF32 view(model);
+  const std::size_t forecasts = (n - start) * reps;
+  BenchResult result = run_bench(
+      f32 ? "predict_arima_f32" : "predict_arima_f64", config, [&]() {
+        double acc = 0.0;
+        for (std::size_t r = 0; r < reps; ++r) {
+          for (std::size_t t = start; t < n; ++t) {
+            const std::span<const double> history(series.data(), t);
+            acc += f32 ? view.forecast_one(history)
+                       : model.forecast_one(history);
+          }
+        }
+        return acc;
+      });
+  result.ops = static_cast<double>(forecasts);
+  return result;
+}
+
+/// Walk-forward NAR forecast throughput: f64 network vs f32 view (the f32
+/// path runs the transposed-weight gemv kernels on contiguous scratch).
+BenchResult bench_predict_nar(const BenchConfig& config, bool f32) {
+  const std::size_t n = config.tiny ? 60 : 300;
+  const std::size_t start = config.tiny ? 12 : 10;
+  const std::size_t reps = config.tiny ? 2 : 50;
+  const std::vector<double> series = synthetic_series(n, 4096);
+  acbm::nn::NarOptions opts;
+  opts.delays = 3;
+  opts.hidden_nodes = 8;
+  opts.mlp.max_epochs = config.tiny ? 6 : 60;
+  acbm::nn::NarModel model(opts);
+  model.fit(series);
+  const acbm::nn::NarF32View view(model);
+  const std::size_t forecasts = (n - start) * reps;
+  BenchResult result = run_bench(
+      f32 ? "predict_nar_f32" : "predict_nar_f64", config, [&]() {
+        double acc = 0.0;
+        for (std::size_t r = 0; r < reps; ++r) {
+          for (std::size_t t = start; t < n; ++t) {
+            const std::span<const double> history(series.data(), t);
+            acc += f32 ? view.forecast_one(history)
+                       : model.forecast_one(history);
+          }
+        }
+        return acc;
+      });
+  result.ops = static_cast<double>(forecasts);
+  return result;
+}
+
+/// Model-tree prediction throughput: f64 tree vs f32 leaf models.
+BenchResult bench_predict_tree(const BenchConfig& config, bool f32) {
+  const std::size_t n = config.tiny ? 200 : 2000;
+  const std::size_t dim = 8;
+  const std::size_t reps = config.tiny ? 2 : 50;
+  acbm::stats::Rng rng(777);
+  acbm::stats::Matrix x(n, dim);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double target = 0.5;
+    for (std::size_t j = 0; j < dim; ++j) {
+      x(i, j) = rng.normal(0.0, 1.0);
+      target += (x(i, j) > 0.3 ? 0.8 : -0.2) * x(i, j);
+    }
+    y[i] = target + rng.normal(0.0, 0.05);
+  }
+  acbm::tree::ModelTreeOptions opts;
+  opts.cart.max_depth = 6;
+  acbm::tree::ModelTree model(opts);
+  model.fit(x, y);
+  const std::optional<acbm::core::TreeF32> view =
+      acbm::core::TreeF32::from(model);
+  const std::size_t predicts = n * reps;
+  BenchResult result = run_bench(
+      f32 ? "predict_tree_f32" : "predict_tree_f64", config, [&]() {
+        double acc = 0.0;
+        for (std::size_t r = 0; r < reps; ++r) {
+          for (std::size_t i = 0; i < n; ++i) {
+            acc += f32 ? view->predict(x.row(i)) : model.predict(x.row(i));
+          }
+        }
+        return acc;
+      });
+  result.ops = static_cast<double>(predicts);
+  return result;
+}
+
 BenchResult bench_st_fit(const BenchConfig& config) {
   // End-to-end spatiotemporal fit on the small world: exercises feature
   // extraction/caching, per-family ARIMA (OLS), per-target NAR (MLP), and
@@ -208,8 +372,11 @@ BenchResult bench_st_fit(const BenchConfig& config) {
 void print_json(const BenchConfig& config,
                 const std::vector<BenchResult>& results) {
   std::printf("{\n");
-  std::printf("  \"schema\": \"acbm-bench-kernels-v1\",\n");
+  std::printf("  \"schema\": \"acbm-bench-kernels-v2\",\n");
   std::printf("  \"git_sha\": \"%s\",\n", config.sha.c_str());
+  std::printf("  \"isa\": \"%s\",\n",
+              acbm::stats::isa_name(acbm::stats::detected_isa()));
+  std::printf("  \"cpu\": \"%s\",\n", config.cpu.c_str());
   std::printf("  \"threads\": %zu, \n", acbm::core::num_threads());
   std::printf("  \"repeat\": %zu,\n", config.repeat);
   std::printf("  \"tiny\": %s,\n", config.tiny ? "true" : "false");
@@ -218,11 +385,17 @@ void print_json(const BenchConfig& config,
   std::printf("  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
+    const double med = median(r.runs_ms);
     std::printf("    {\"name\": \"%s\", \"median_ms\": %.3f, "
-                "\"min_ms\": %.3f, \"checksum\": %.17g, \"runs_ms\": [",
-                r.name.c_str(), median(r.runs_ms),
+                "\"min_ms\": %.3f, \"checksum\": %.17g, ",
+                r.name.c_str(), med,
                 *std::min_element(r.runs_ms.begin(), r.runs_ms.end()),
                 r.checksum);
+    if (r.ops > 0.0 && med > 0.0) {
+      std::printf("\"ops_per_run\": %.0f, \"ops_per_sec\": %.0f, ", r.ops,
+                  r.ops / (med / 1000.0));
+    }
+    std::printf("\"runs_ms\": [");
     for (std::size_t j = 0; j < r.runs_ms.size(); ++j) {
       std::printf("%s%.3f", j == 0 ? "" : ", ", r.runs_ms[j]);
     }
@@ -243,9 +416,16 @@ int main(int argc, char** argv) {
       config.repeat = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--sha" && i + 1 < argc) {
       config.sha = argv[++i];
+    } else if (arg == "--cpu" && i + 1 < argc) {
+      config.cpu = argv[++i];
+    } else if (arg == "--print-isa") {
+      // scripts/bench.sh uses this to refuse cross-ISA comparisons.
+      std::printf("%s\n", acbm::stats::isa_name(acbm::stats::detected_isa()));
+      return 0;
     } else {
       std::fprintf(stderr,
-                   "usage: bench_kernels [--tiny] [--repeat N] [--sha SHA]\n");
+                   "usage: bench_kernels [--tiny] [--repeat N] [--sha SHA] "
+                   "[--cpu NAME] [--print-isa]\n");
       return 2;
     }
   }
@@ -253,9 +433,21 @@ int main(int argc, char** argv) {
 
   std::vector<BenchResult> results;
   results.push_back(bench_gemm(config));
+  results.push_back(bench_gemm_isa(config, acbm::stats::SimdIsa::kScalar));
+  results.push_back(bench_gemv_isa(config, acbm::stats::SimdIsa::kScalar));
+  if (acbm::stats::detected_isa() != acbm::stats::SimdIsa::kScalar) {
+    results.push_back(bench_gemm_isa(config, acbm::stats::detected_isa()));
+    results.push_back(bench_gemv_isa(config, acbm::stats::detected_isa()));
+  }
   results.push_back(bench_ols(config));
   results.push_back(bench_mlp_fit(config));
   results.push_back(bench_nar_grid(config));
+  results.push_back(bench_predict_arima(config, /*f32=*/false));
+  results.push_back(bench_predict_arima(config, /*f32=*/true));
+  results.push_back(bench_predict_nar(config, /*f32=*/false));
+  results.push_back(bench_predict_nar(config, /*f32=*/true));
+  results.push_back(bench_predict_tree(config, /*f32=*/false));
+  results.push_back(bench_predict_tree(config, /*f32=*/true));
   results.push_back(bench_st_fit(config));
   print_json(config, results);
   return 0;

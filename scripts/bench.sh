@@ -9,6 +9,11 @@
 # refuses to run on a dirty tree (set ACBM_BENCH_ALLOW_DIRTY=1 to override
 # while iterating locally — the SHA is then suffixed with "-dirty").
 #
+# The record also carries the CPU model and the detected SIMD ISA; when the
+# existing results file was produced on a different ISA the numbers are not
+# comparable and this refuses to overwrite it (ACBM_BENCH_ALLOW_CROSS_ISA=1
+# overrides).
+#
 # Usage: scripts/bench.sh [extra bench_kernels args, e.g. --repeat 9]
 set -euo pipefail
 
@@ -31,6 +36,24 @@ cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release \
   -DACBM_BUILD_BENCH=ON >&2
 cmake --build "$build_dir" -j"$(nproc)" --target bench_kernels >&2
 
+cpu_model="$(awk -F': ' '/model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || true)"
+if [[ -z "$cpu_model" ]]; then cpu_model="unknown"; fi
+
+isa="$("$build_dir/bench/bench_kernels" --print-isa)"
+if [[ -f "$out_file" ]]; then
+  prev_isa="$(sed -n 's/^  "isa": "\(.*\)",$/\1/p' "$out_file" | head -1)"
+  if [[ -n "$prev_isa" && "$prev_isa" != "$isa" ]]; then
+    if [[ "${ACBM_BENCH_ALLOW_CROSS_ISA:-0}" != "1" ]]; then
+      echo "bench.sh: $out_file was produced on ISA '$prev_isa' but this" >&2
+      echo "bench.sh: machine detects '$isa'; the numbers are not" >&2
+      echo "bench.sh: comparable. Set ACBM_BENCH_ALLOW_CROSS_ISA=1 to" >&2
+      echo "bench.sh: overwrite anyway." >&2
+      exit 1
+    fi
+    echo "bench.sh: warning: overwriting '$prev_isa' results with '$isa'" >&2
+  fi
+fi
+
 mkdir -p "$(dirname "$out_file")"
-"$build_dir/bench/bench_kernels" --sha "$sha" "$@" > "$out_file"
-echo "bench.sh: wrote $out_file" >&2
+"$build_dir/bench/bench_kernels" --sha "$sha" --cpu "$cpu_model" "$@" > "$out_file"
+echo "bench.sh: wrote $out_file (isa: $isa)" >&2

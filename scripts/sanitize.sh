@@ -2,14 +2,19 @@
 # ASan+UBSan build of the fault-tolerance surface: configures a dedicated
 # build tree with ACBM_SANITIZE=address+undefined and runs the fault-injection,
 # parallel-runtime, durability, observability, and kernel-benchmark smoke
-# suites (ctest labels `robust`, `parallel`, `durable`, `observe`, and
-# `perf-smoke` — the last runs bench_kernels at tiny sizes so the optimized
-# kernels sweep under the sanitizers too). A second TSan build then reruns
-# the `observe` and `parallel` labels so the span-ring SPSC protocol and the
-# metric atomics are exercised under the race detector.
+# suites (ctest labels `robust`, `parallel`, `durable`, `observe`, `simd`,
+# and `perf-smoke` — `simd` is the scalar-vs-vectorized agreement sweep and
+# `perf-smoke` runs bench_kernels at tiny sizes, so the AVX2/NEON kernels,
+# the f32 inference views, and the arena allocator all sweep under the
+# sanitizers too). A second TSan build then reruns the `observe` and
+# `parallel` labels so the span-ring SPSC protocol, the metric atomics, and
+# the arena-under-parallel_for usage are exercised under the race detector.
+# A third build with -DACBM_DISABLE_SIMD=ON reruns the kernel and smoke
+# suites on the scalar reference path, keeping that configuration honest.
 #
 # Usage: scripts/sanitize.sh [build-dir]   (default: build-asan-ubsan; the
-#        TSan tree lands next to it with a -tsan suffix)
+#        TSan tree lands next to it with a -tsan suffix and the scalar-only
+#        tree with a -nosimd suffix)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -23,7 +28,8 @@ cmake -S "$repo_root" -B "$build_dir" \
   -DACBM_BUILD_BENCH=ON \
   -DACBM_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" -j"$(nproc)"
-ctest --test-dir "$build_dir" -L 'robust|parallel|durable|observe|perf-smoke' \
+ctest --test-dir "$build_dir" \
+  -L 'robust|parallel|durable|observe|simd|perf-smoke' \
   --output-on-failure -j"$(nproc)"
 
 tsan_dir="${build_dir%/}-tsan"
@@ -34,4 +40,14 @@ cmake -S "$repo_root" -B "$tsan_dir" \
   -DACBM_BUILD_EXAMPLES=OFF
 cmake --build "$tsan_dir" -j"$(nproc)"
 ctest --test-dir "$tsan_dir" -L 'observe|parallel' \
+  --output-on-failure -j"$(nproc)"
+
+nosimd_dir="${build_dir%/}-nosimd"
+cmake -S "$repo_root" -B "$nosimd_dir" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DACBM_DISABLE_SIMD=ON \
+  -DACBM_BUILD_BENCH=ON \
+  -DACBM_BUILD_EXAMPLES=OFF
+cmake --build "$nosimd_dir" -j"$(nproc)"
+ctest --test-dir "$nosimd_dir" -L 'simd|perf-smoke|parallel' \
   --output-on-failure -j"$(nproc)"

@@ -13,8 +13,10 @@
 #include "core/checkpoint.h"
 #include "core/durable.h"
 #include "core/evaluation.h"
+#include "core/inference.h"
 #include "core/observe.h"
 #include "core/pipeline.h"
+#include "stats/kernels.h"
 #include "trace/generator.h"
 #include "trace/world.h"
 
@@ -110,11 +112,19 @@ void print_usage(std::ostream& out) {
          "             from --dataset/--ipmap, or loads --model FILE)\n"
          "             [--dataset FILE --ipmap FILE | --model FILE]\n"
          "             [--target ASN] [--top K] [--fit-report FILE|-]\n"
+         "             [--precision f64|f32]\n"
          "  evaluate   timestamp-prediction RMSE report (Fig. 4 format)\n"
          "             --dataset FILE --ipmap FILE [--train-fraction F]\n"
          "             [--horizons F1,F2,...] [--out FILE]\n"
          "             [--checkpoint-dir DIR] [--resume]\n"
+         "             [--precision f64|f32]\n"
          "  help       this message\n"
+         "\n"
+         "performance (any command; see DESIGN.md §6):\n"
+         "  --precision f32  serve predictions from a float32 inference view\n"
+         "                   (predict/evaluate; f64 models stay the default)\n"
+         "  --fast-math      allow reordered/FMA SIMD reductions\n"
+         "                   (env ACBM_FAST_MATH=1; off = bit-identical)\n"
          "\n"
          "observability (any command; see OBSERVABILITY.md):\n"
          "  --trace FILE     write a Chrome trace_event JSON of the run\n"
@@ -306,7 +316,9 @@ int cmd_fit(const ArgMap& args, std::ostream& out, std::ostream& err) {
 
 int cmd_predict(const ArgMap& args, std::ostream& out, std::ostream& err) {
   args.reject_unknown({"dataset", "ipmap", "model", "target", "top",
-                       "fit-report"});
+                       "fit-report", "precision"});
+  const core::Precision precision =
+      core::parse_precision(args.get("precision").value_or("f64"));
   const std::string report_dest = args.get("fit-report").value_or("");
   std::ostream& info = report_dest == "-" ? err : out;
   core::AdversaryModel model;
@@ -341,10 +353,14 @@ int cmd_predict(const ArgMap& args, std::ostream& out, std::ostream& err) {
                                          args.get_or<std::size_t>("top", 5)));
   }
 
+  std::optional<core::InferenceView> view;
+  if (precision == core::Precision::kF32) view = model.make_inference_view();
+
   std::ostream& table = report_dest == "-" ? err : out;
   table << "target      family        bots   duration      day  hour  top sources\n";
   for (net::Asn asn : targets) {
-    const auto pred = model.predict_next_attack(asn);
+    const auto pred =
+        model.predict_next_attack(asn, view ? &*view : nullptr);
     if (!pred) {
       table << "AS" << asn << "  (no history)\n";
       continue;
@@ -392,7 +408,9 @@ std::string render_evaluation(const std::string& label,
 
 int cmd_evaluate(const ArgMap& args, std::ostream& out, std::ostream& err) {
   args.reject_unknown({"dataset", "ipmap", "train-fraction", "horizons", "out",
-                       "checkpoint-dir", "resume"});
+                       "checkpoint-dir", "resume", "precision"});
+  const core::Precision precision =
+      core::parse_precision(args.get("precision").value_or("f64"));
   const std::string dataset_path = args.require("dataset");
   const std::string ipmap_path = args.require("ipmap");
   const std::string dataset_bytes = read_input(dataset_path, "dataset");
@@ -430,12 +448,18 @@ int cmd_evaluate(const ArgMap& args, std::ostream& out, std::ostream& err) {
       throw std::invalid_argument("train fraction must be in (0, 1), got " +
                                   token);
     }
-    const std::string stage = "eval/h=" + token;
+    // f32 results checkpoint under a distinct stage name so a directory
+    // shared across precisions never serves the wrong cached text (f64
+    // stage names are unchanged, so old checkpoints still resume).
+    const std::string stage =
+        "eval/h=" + token +
+        (precision == core::Precision::kF32 ? "/f32" : "");
     std::optional<std::string> text;
     if (checkpoint) text = checkpoint->load(stage);
     if (!text) {
       text = render_evaluation(
-          token, core::evaluate_timestamps(dataset, ip_map, opts, fraction));
+          token, core::evaluate_timestamps(dataset, ip_map, opts, fraction,
+                                           precision));
       if (checkpoint) checkpoint->store(stage, *text);
     }
     out << *text;
@@ -565,6 +589,14 @@ int run(std::span<const std::string> args_in, std::ostream& out,
   }
   try {
     std::vector<std::string> args(args_in.begin(), args_in.end());
+    // --fast-math (any command): opt into the reordered/FMA SIMD kernel
+    // variants, giving up bit-identity with the scalar reference for a
+    // documented tolerance (DESIGN.md §6). Equivalent to ACBM_FAST_MATH=1.
+    if (const auto it = std::find(args.begin(), args.end(), "--fast-math");
+        it != args.end()) {
+      args.erase(it);
+      acbm::stats::set_fast_math(true);
+    }
     ObserveSession session(extract_observe_options(args));
     const ArgMap options(args, 1, {"resume"});
     // Dispatch inside a lambda so each command's root span closes before

@@ -1,0 +1,102 @@
+#include "core/arena.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+#include "core/observe.h"
+
+namespace acbm::core {
+
+namespace {
+
+/// Process-wide high-water mark across all arenas; mirrored into the
+/// `arena.bytes_peak` gauge whenever it grows.
+std::atomic<std::size_t> g_process_peak{0};
+
+void update_process_peak(std::size_t candidate) noexcept {
+  std::size_t seen = g_process_peak.load(std::memory_order_relaxed);
+  while (candidate > seen &&
+         !g_process_peak.compare_exchange_weak(seen, candidate,
+                                               std::memory_order_relaxed)) {
+  }
+  if (candidate > seen) {
+    ACBM_GAUGE_SET("arena.bytes_peak", static_cast<double>(candidate));
+  }
+}
+
+[[nodiscard]] std::size_t align_up(std::size_t n, std::size_t a) noexcept {
+  return (n + a - 1) & ~(a - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t first_chunk_bytes)
+    : next_size_(std::max<std::size_t>(first_chunk_bytes, kAlignment)) {}
+
+void* Arena::allocate(std::size_t bytes) {
+  const std::size_t padded = align_up(bytes, kAlignment);
+  if (chunks_.empty()) add_chunk(padded);
+  // Scan forward from the current chunk; earlier chunks are full by
+  // construction (we only move forward, rewind moves back).
+  while (true) {
+    Chunk& c = chunks_[current_];
+    // data.get() is new[]-aligned only; align the bump pointer explicitly.
+    const auto base = reinterpret_cast<std::uintptr_t>(c.data.get());
+    const std::size_t aligned_used =
+        align_up(base + c.used, kAlignment) - base;
+    if (aligned_used + padded <= c.size) {
+      void* out = c.data.get() + aligned_used;
+      c.used = aligned_used + padded;
+      in_use_ += bytes;  // bytes_in_use() reports requests, not padding.
+      note_usage();
+      return out;
+    }
+    if (current_ + 1 < chunks_.size()) {
+      ++current_;
+      continue;
+    }
+    add_chunk(padded);
+  }
+}
+
+void Arena::add_chunk(std::size_t min_bytes) {
+  std::size_t size = std::max(next_size_, align_up(min_bytes, kAlignment));
+  // Extra headroom so the explicit alignment fixup never overflows the end.
+  size += kAlignment;
+  Chunk c;
+  c.data = std::make_unique<std::byte[]>(size);
+  c.size = size;
+  chunks_.push_back(std::move(c));
+  current_ = chunks_.size() - 1;
+  reserved_ += size;
+  next_size_ = std::min(next_size_ * 2, kMaxChunkBytes);
+}
+
+void Arena::rewind(const Mark& m) noexcept {
+  assert(m.chunk < chunks_.size() || chunks_.empty());
+  if (chunks_.empty()) return;
+  for (std::size_t i = m.chunk + 1; i <= current_; ++i) chunks_[i].used = 0;
+  current_ = m.chunk;
+  chunks_[current_].used = m.used;
+  in_use_ = m.in_use;
+}
+
+void Arena::reset() noexcept {
+  for (Chunk& c : chunks_) c.used = 0;
+  current_ = 0;
+  in_use_ = 0;
+}
+
+void Arena::note_usage() noexcept {
+  if (in_use_ > peak_) {
+    peak_ = in_use_;
+    update_process_peak(peak_);
+  }
+}
+
+std::size_t Arena::process_bytes_peak() noexcept {
+  return g_process_peak.load(std::memory_order_relaxed);
+}
+
+}  // namespace acbm::core

@@ -363,7 +363,8 @@ SourceDistributionEvaluation evaluate_source_distribution(
 TimestampEvaluation evaluate_timestamps(const trace::Dataset& dataset,
                                         const net::IpToAsnMap& ip_map,
                                         const SpatiotemporalOptions& opts,
-                                        double train_fraction) {
+                                        double train_fraction,
+                                        Precision precision) {
   if (!(train_fraction > 0.0 && train_fraction < 1.0)) {
     throw std::invalid_argument("evaluate_timestamps: bad fraction");
   }
@@ -387,13 +388,17 @@ TimestampEvaluation evaluate_timestamps(const trace::Dataset& dataset,
       assemble_rows(dataset, ip_map, temporal, spatial, model.options());
 
   const std::size_t n_train = train.size();
+  std::optional<InferenceView> view;
+  if (precision == Precision::kF32) view = InferenceView::extract(model);
   TimestampEvaluation out;
   for (const StRow& row : rows) {
     if (row.attack_index < n_train) continue;  // Only score the test tail.
     out.truth_hour.push_back(row.truth_hour);
     out.truth_day.push_back(row.truth_day);
-    out.st_hour.push_back(model.predict_hour(row.features));
-    out.st_day.push_back(model.predict_day(row.features));
+    out.st_hour.push_back(view ? view->predict_hour(row.features)
+                               : model.predict_hour(row.features));
+    out.st_day.push_back(view ? view->predict_day(row.features)
+                              : model.predict_day(row.features));
     out.spa_hour.push_back(std::clamp(row.features.spa_hour, 0.0, 23.999));
     out.spa_day.push_back(row.features.prev_day +
                           row.features.spa_interval_s / 86400.0);

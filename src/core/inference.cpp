@@ -1,0 +1,271 @@
+#include "core/inference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "tree/cart.h"
+#include "ts/arma.h"
+
+namespace acbm::core {
+
+std::string_view precision_name(Precision precision) noexcept {
+  return precision == Precision::kF32 ? "f32" : "f64";
+}
+
+Precision parse_precision(std::string_view text) {
+  if (text == "f64") return Precision::kF64;
+  if (text == "f32") return Precision::kF32;
+  throw std::invalid_argument("parse_precision: expected f64 or f32, got '" +
+                              std::string(text) + "'");
+}
+
+ArimaF32::ArimaF32(const ts::ArimaModel& model) {
+  if (!model.fitted()) {
+    throw std::logic_error("ArimaF32: source model not fitted");
+  }
+  const ts::ArmaModel& arma = model.arma();
+  d_ = model.order().d;
+  phi_.reserve(arma.phi().size());
+  for (double v : arma.phi()) phi_.push_back(static_cast<float>(v));
+  theta_.reserve(arma.theta().size());
+  for (double v : arma.theta()) theta_.push_back(static_cast<float>(v));
+  intercept_ = static_cast<float>(arma.intercept());
+}
+
+double ArimaF32::forecast_one(std::span<const double> history) const {
+  if (history.size() <= d_) {
+    throw std::invalid_argument("ArimaF32::forecast_one: history too short");
+  }
+  // Difference d times in f64 (exact-ish subtractions of caller data) and
+  // capture the last value at each level for the one-step integration:
+  // integrating a single-step forecast adds back the last value of every
+  // differencing level 0..d-1 (see ts::integrate_forecast with h == 1).
+  diff_.assign(history.begin(), history.end());
+  std::size_t n = diff_.size();
+  double integrate_add = 0.0;
+  for (std::size_t k = 0; k < d_; ++k) {
+    integrate_add += diff_[n - 1];
+    for (std::size_t t = 1; t < n; ++t) diff_[t - 1] = diff_[t] - diff_[t - 1];
+    --n;
+  }
+
+  // f32 innovations filter conditional on zero pre-sample values, then one
+  // step ahead with the future innovation at its conditional mean (zero) —
+  // the same terms as ArmaModel::forecast, minus its allocations. The
+  // per-t recursion e[t] = x[t] - c - Σ phi·x - Σ theta·e is split into a
+  // branch-free AR sweep (one vectorizable lagged-axpy pass per phi) and a
+  // tight sequential MA recurrence; only the summation order differs from
+  // the f64 filter, which the rel-error bound absorbs.
+  x_.resize(n);
+  for (std::size_t t = 0; t < n; ++t) x_[t] = static_cast<float>(diff_[t]);
+  const std::size_t p = phi_.size();
+  const std::size_t q = theta_.size();
+  if (q > 0) {
+    e_.resize(n);
+    float* const e = e_.data();
+    const float* const x = x_.data();
+    // AR part: e[t] = x[t] - c - Σ_i phi_i · x[t-1-i]  (zero before t = i+1).
+    for (std::size_t t = 0; t < n; ++t) e[t] = x[t] - intercept_;
+    for (std::size_t i = 0; i < p; ++i) {
+      const float ph = phi_[i];
+      for (std::size_t t = i + 1; t < n; ++t) e[t] -= ph * x[t - 1 - i];
+    }
+    // MA recurrence (sequential by construction).
+    if (q == 1) {
+      const float th = theta_[0];
+      float prev = e[0];
+      for (std::size_t t = 1; t < n; ++t) {
+        prev = e[t] - th * prev;
+        e[t] = prev;
+      }
+    } else {
+      for (std::size_t t = 1; t < n; ++t) {
+        float acc = e[t];
+        for (std::size_t j = 0; j < q && t > j; ++j) {
+          acc -= theta_[j] * e[t - 1 - j];
+        }
+        e[t] = acc;
+      }
+    }
+  }
+  // Pure AR (q == 0): the innovations never feed back into the forecast,
+  // so the filter above is skipped entirely.
+  float next = intercept_;
+  for (std::size_t i = 0; i < p && n > i; ++i) next += phi_[i] * x_[n - 1 - i];
+  for (std::size_t j = 0; j < q && n > j; ++j) next += theta_[j] * e_[n - 1 - j];
+  return static_cast<double>(next) + integrate_add;
+}
+
+std::optional<TreeF32> TreeF32::from(const tree::ModelTree& tree) {
+  if (!tree.fitted()) return std::nullopt;
+  TreeF32 out;
+  const std::vector<tree::CartNode>& nodes = tree.structure().nodes();
+  const std::vector<tree::LeafModelExport> models = tree.export_leaf_models();
+  out.nodes_.reserve(nodes.size());
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    Node node;
+    node.left = nodes[id].left;
+    node.right = nodes[id].right;
+    node.feature = static_cast<std::uint32_t>(nodes[id].feature);
+    node.threshold = nodes[id].threshold;
+    node.mean = models[id].mean;
+    if (models[id].use_linear) {
+      node.coef_off = static_cast<std::uint32_t>(out.coefs_.size());
+      node.coef_len = static_cast<std::uint32_t>(models[id].coefficients.size());
+      node.intercept = static_cast<float>(models[id].intercept);
+      for (double c : models[id].coefficients) {
+        out.coefs_.push_back(static_cast<float>(c));
+      }
+    }
+    out.nodes_.push_back(node);
+  }
+  return out;
+}
+
+double TreeF32::predict(std::span<const double> features) const {
+  std::size_t id = 0;
+  while (nodes_[id].left >= 0) {
+    const Node& node = nodes_[id];
+    id = static_cast<std::size_t>(
+        features[node.feature] <= node.threshold ? node.left : node.right);
+  }
+  const Node& leaf = nodes_[id];
+  if (leaf.coef_len == 0) return leaf.mean;
+  float acc = leaf.intercept;
+  const float* coef = coefs_.data() + leaf.coef_off;
+  for (std::size_t i = 0; i < leaf.coef_len; ++i) {
+    acc += coef[i] * static_cast<float>(features[i]);
+  }
+  return static_cast<double>(acc);
+}
+
+double InferenceView::LinearF32::predict(
+    std::span<const double> features) const {
+  float acc = intercept;
+  for (std::size_t i = 0; i < coef.size(); ++i) {
+    acc += coef[i] * static_cast<float>(features[i]);
+  }
+  return static_cast<double>(acc);
+}
+
+InferenceView InferenceView::extract(const SpatiotemporalModel& model) {
+  if (!model.fitted()) {
+    throw std::logic_error("InferenceView::extract: model not fitted");
+  }
+  InferenceView view;
+  for (const auto& [family, tm] : model.temporal_models()) {
+    std::array<TemporalSlotF32, kTemporalSeriesCount> slots;
+    for (std::size_t s = 0; s < kTemporalSeriesCount; ++s) {
+      const auto which = static_cast<TemporalSeries>(s);
+      slots[s].fallback_mean = tm.fallback_mean(which);
+      slots[s].seasonal_period = tm.seasonal_period(which);
+      if (tm.model(which)) slots[s].arima.emplace(*tm.model(which));
+    }
+    view.temporal_.emplace(family, std::move(slots));
+  }
+  for (const auto& [asn, sm] : model.spatial_models()) {
+    std::array<SpatialSlotF32, kSpatialSeriesCount> slots;
+    for (std::size_t s = 0; s < kSpatialSeriesCount; ++s) {
+      const auto which = static_cast<SpatialSeries>(s);
+      slots[s].fallback_mean = sm.fallback_mean(which);
+      if (sm.nar(which)) slots[s].nar.emplace(*sm.nar(which));
+      if (sm.ar(which)) slots[s].ar.emplace(*sm.ar(which));
+    }
+    view.spatial_.emplace(asn, std::move(slots));
+  }
+  view.hour_tree_ = TreeF32::from(model.hour_tree());
+  view.day_tree_ = TreeF32::from(model.day_tree());
+  const auto to_linear_f32 = [](const stats::LinearRegression& reg) {
+    LinearF32 lin;
+    lin.intercept = static_cast<float>(reg.intercept());
+    lin.coef.reserve(reg.coefficients().size());
+    for (double c : reg.coefficients()) {
+      lin.coef.push_back(static_cast<float>(c));
+    }
+    return lin;
+  };
+  if (model.hour_fallback()) {
+    view.hour_linear_ = to_linear_f32(*model.hour_fallback());
+  }
+  if (model.day_fallback()) {
+    view.day_linear_ = to_linear_f32(*model.day_fallback());
+  }
+  return view;
+}
+
+double InferenceView::predict_hour(const StFeatures& features) const {
+  double hour;
+  if (hour_tree_) {
+    hour = hour_tree_->predict(features.hour_row());
+  } else if (hour_linear_) {
+    hour = hour_linear_->predict(features.hour_row());
+  } else {
+    hour = 0.5 * (features.tmp_hour + features.spa_hour);
+  }
+  return std::clamp(hour, 0.0, 23.999);
+}
+
+double InferenceView::predict_day(const StFeatures& features) const {
+  if (day_tree_) return day_tree_->predict(features.day_row());
+  if (day_linear_) return day_linear_->predict(features.day_row());
+  return features.prev_day + features.tmp_interval_s / 86400.0;
+}
+
+bool InferenceView::has_temporal(std::uint32_t family) const {
+  return temporal_.contains(family);
+}
+
+bool InferenceView::has_spatial(net::Asn target) const {
+  return spatial_.contains(target);
+}
+
+std::span<const double> InferenceView::repair(std::span<const double> history,
+                                              double fill) const {
+  const bool finite = std::all_of(history.begin(), history.end(),
+                                  [](double x) { return std::isfinite(x); });
+  if (finite) return history;
+  repair_scratch_.assign(history.begin(), history.end());
+  for (double& x : repair_scratch_) {
+    if (!std::isfinite(x)) x = fill;
+  }
+  return repair_scratch_;
+}
+
+double InferenceView::temporal_forecast(std::uint32_t family,
+                                        TemporalSeries which,
+                                        std::span<const double> history) const {
+  const auto it = temporal_.find(family);
+  if (it == temporal_.end()) {
+    throw std::invalid_argument("InferenceView::temporal_forecast: no model");
+  }
+  const TemporalSlotF32& slot = it->second[static_cast<std::size_t>(which)];
+  const std::span<const double> series = repair(history, slot.fallback_mean);
+  if (slot.arima && series.size() > slot.arima->d()) {
+    return slot.arima->forecast_one(series);
+  }
+  if (slot.seasonal_period > 0 && series.size() >= slot.seasonal_period) {
+    return series[series.size() - slot.seasonal_period];
+  }
+  return slot.fallback_mean;
+}
+
+double InferenceView::spatial_forecast(net::Asn target, SpatialSeries which,
+                                       std::span<const double> history) const {
+  const auto it = spatial_.find(target);
+  if (it == spatial_.end()) {
+    throw std::invalid_argument("InferenceView::spatial_forecast: no model");
+  }
+  const SpatialSlotF32& slot = it->second[static_cast<std::size_t>(which)];
+  const std::span<const double> series = repair(history, slot.fallback_mean);
+  if (slot.nar && series.size() >= slot.nar->delays()) {
+    return slot.nar->forecast_one(series);
+  }
+  if (slot.ar && series.size() > slot.ar->d()) {
+    return slot.ar->forecast_one(series);
+  }
+  return slot.fallback_mean;
+}
+
+}  // namespace acbm::core

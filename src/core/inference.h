@@ -1,0 +1,156 @@
+// Float32 inference views (--precision f32): compact serving-side replicas
+// extracted once from the fitted f64 models. Weights are down-converted a
+// single time into contiguous buffers; the hot filters (ARIMA innovations,
+// NAR forward passes, leaf linear models) then run in f32 with
+// preallocated scratch, while cheap structural decisions stay in f64 so
+// the f32 path never routes differently than the f64 one:
+//
+//  - ArimaF32 differences and integrates in f64 (exact subtractions of the
+//    caller's history) and runs the O(n * (p + q)) innovations filter in
+//    f32 — the f64 model allocates three vectors per forecast, the view
+//    allocates none after warm-up.
+//  - TreeF32 keeps split thresholds in f64, so every sample lands in the
+//    same leaf as the source tree; only the leaf linear models run in f32.
+//  - InferenceView mirrors the degradation ladders of
+//    TemporalModel::forecast_next / SpatialModel::forecast_next and
+//    SpatiotemporalModel::predict_hour/predict_day rung for rung.
+//
+// Accuracy versus f64 is bounded by tests/core/inference_f32_test.cpp and
+// documented in DESIGN.md §6. Views keep mutable scratch, so a view must
+// not be shared across threads — extract one per serving thread.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/spatiotemporal_model.h"
+#include "nn/inference_f32.h"
+#include "ts/arima.h"
+
+namespace acbm::core {
+
+/// Arithmetic precision of the serving path (--precision CLI flag).
+enum class Precision {
+  kF64,  ///< Fitted models as-is (default; bit-identical to prior releases).
+  kF32,  ///< InferenceView replicas (faster; documented rel-error bound).
+};
+
+[[nodiscard]] std::string_view precision_name(Precision precision) noexcept;
+
+/// Parses "f64" / "f32"; throws std::invalid_argument on anything else.
+[[nodiscard]] Precision parse_precision(std::string_view text);
+
+/// f32 replica of a fitted ARIMA(p, d, q). Not thread-safe (scratch).
+class ArimaF32 {
+ public:
+  /// Throws std::logic_error when the source is not fitted.
+  explicit ArimaF32(const ts::ArimaModel& model);
+
+  /// One-step forecast following `history` (original scale). Throws
+  /// std::invalid_argument when history.size() <= d.
+  [[nodiscard]] double forecast_one(std::span<const double> history) const;
+
+  [[nodiscard]] std::size_t d() const noexcept { return d_; }
+
+ private:
+  std::size_t d_ = 0;
+  std::vector<float> phi_;
+  std::vector<float> theta_;
+  float intercept_ = 0.0f;
+  mutable std::vector<double> diff_;  ///< d-times differenced history (f64).
+  mutable std::vector<float> x_;      ///< Differenced series, f32.
+  mutable std::vector<float> e_;      ///< Filtered innovations, f32.
+};
+
+/// f32 replica of a fitted ModelTree: f64 split walk (identical leaf
+/// routing), f32 leaf linear models in one flattened coefficient buffer.
+class TreeF32 {
+ public:
+  /// nullopt when the source tree is not fitted.
+  [[nodiscard]] static std::optional<TreeF32> from(
+      const tree::ModelTree& tree);
+
+  [[nodiscard]] double predict(std::span<const double> features) const;
+
+ private:
+  struct Node {
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::uint32_t feature = 0;
+    std::uint32_t coef_off = 0;  ///< Into coefs_; len == 0 -> mean leaf.
+    std::uint32_t coef_len = 0;
+    float intercept = 0.0f;
+    double threshold = 0.0;  ///< Kept f64: routing matches the source tree.
+    double mean = 0.0;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<float> coefs_;
+};
+
+/// Serving-side replica of a fitted SpatiotemporalModel and its sub-model
+/// maps. Holds no reference to the source model. Not thread-safe.
+class InferenceView {
+ public:
+  /// Throws std::logic_error when the model is not fitted.
+  [[nodiscard]] static InferenceView extract(const SpatiotemporalModel& model);
+
+  /// Combining-tree predictions; same rungs and clamping as
+  /// SpatiotemporalModel::predict_hour / predict_day.
+  [[nodiscard]] double predict_hour(const StFeatures& features) const;
+  [[nodiscard]] double predict_day(const StFeatures& features) const;
+
+  [[nodiscard]] bool has_temporal(std::uint32_t family) const;
+  [[nodiscard]] bool has_spatial(net::Asn target) const;
+
+  /// f32 counterparts of TemporalModel::forecast_next /
+  /// SpatialModel::forecast_next (same history repair and degradation
+  /// ladder). Throw std::invalid_argument for an unknown family/target.
+  [[nodiscard]] double temporal_forecast(std::uint32_t family,
+                                         TemporalSeries which,
+                                         std::span<const double> history) const;
+  [[nodiscard]] double spatial_forecast(net::Asn target, SpatialSeries which,
+                                        std::span<const double> history) const;
+
+ private:
+  /// f32 linear model (pooled-linear combiner rung).
+  struct LinearF32 {
+    float intercept = 0.0f;
+    std::vector<float> coef;
+
+    [[nodiscard]] double predict(std::span<const double> features) const;
+  };
+
+  struct TemporalSlotF32 {
+    std::optional<ArimaF32> arima;
+    std::size_t seasonal_period = 0;
+    double fallback_mean = 0.0;
+  };
+  struct SpatialSlotF32 {
+    std::optional<nn::NarF32View> nar;
+    std::optional<ArimaF32> ar;  ///< AR rung (an ARIMA with q == 0).
+    double fallback_mean = 0.0;
+  };
+
+  [[nodiscard]] std::span<const double> repair(std::span<const double> history,
+                                               double fill) const;
+
+  std::unordered_map<std::uint32_t,
+                     std::array<TemporalSlotF32, kTemporalSeriesCount>>
+      temporal_;
+  std::unordered_map<net::Asn, std::array<SpatialSlotF32, kSpatialSeriesCount>>
+      spatial_;
+  std::optional<TreeF32> hour_tree_;
+  std::optional<TreeF32> day_tree_;
+  std::optional<LinearF32> hour_linear_;
+  std::optional<LinearF32> day_linear_;
+  mutable std::vector<double> repair_scratch_;
+};
+
+}  // namespace acbm::core

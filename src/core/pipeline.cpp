@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/durable.h"
+#include "core/inference.h"
 #include "stats/serialize.h"
 
 namespace acbm::core {
@@ -90,8 +91,15 @@ AdversaryModel AdversaryModel::load_framed(std::istream& is) {
       [](std::istream& body) { return load(body); });
 }
 
+InferenceView AdversaryModel::make_inference_view() const {
+  if (!fitted_) {
+    throw std::logic_error("AdversaryModel::make_inference_view: not fitted");
+  }
+  return InferenceView::extract(st_);
+}
+
 std::optional<AttackPrediction> AdversaryModel::predict_next_attack(
-    net::Asn target_asn) const {
+    net::Asn target_asn, const InferenceView* view) const {
   if (!fitted_) {
     throw std::logic_error("AdversaryModel::predict_next_attack: not fitted");
   }
@@ -139,19 +147,27 @@ std::optional<AttackPrediction> AdversaryModel::predict_next_attack(
   const FamilySeries family_series =
       extract_family_series(dataset_, family, ip_map_, nullptr);
   const TemporalModel* temporal = st_.temporal(family);
+  // The f32 view replaces the forecast arithmetic only; model presence,
+  // magnitude_sd (forecast variance), and the source distribution stay on
+  // the f64 models the view was extracted from.
+  const auto tmp_forecast = [&](TemporalSeries which,
+                                std::span<const double> series) {
+    return view != nullptr ? view->temporal_forecast(family, which, series)
+                           : temporal->forecast_next(which, series);
+  };
   StFeatures features;
   if (temporal != nullptr && !family_series.magnitude.empty()) {
     pred.magnitude = std::max(
-        1.0, temporal->forecast_next(TemporalSeries::kMagnitude,
-                                     family_series.magnitude));
+        1.0, tmp_forecast(TemporalSeries::kMagnitude,
+                          family_series.magnitude));
     if (const auto& arima = temporal->model(TemporalSeries::kMagnitude)) {
       pred.magnitude_sd = std::sqrt(arima->forecast_variance(1));
     }
-    features.tmp_hour = temporal->forecast_next(TemporalSeries::kHour,
-                                                family_series.hour);
+    features.tmp_hour = tmp_forecast(TemporalSeries::kHour,
+                                     family_series.hour);
     features.tmp_interval_s = std::max(
-        30.0, temporal->forecast_next(TemporalSeries::kInterval,
-                                      family_series.interval_s));
+        30.0, tmp_forecast(TemporalSeries::kInterval,
+                           family_series.interval_s));
   } else {
     pred.magnitude = target.magnitude.back();
     features.tmp_hour = target.hour.back();
@@ -161,15 +177,17 @@ std::optional<AttackPrediction> AdversaryModel::predict_next_attack(
   // Spatial component: per-target duration / hour / interval forecasts and
   // the source-AS distribution.
   const SpatialModel* spatial = st_.spatial(target_asn);
+  const auto spa_forecast = [&](SpatialSeries which,
+                                std::span<const double> series) {
+    return view != nullptr ? view->spatial_forecast(target_asn, which, series)
+                           : spatial->forecast_next(which, series);
+  };
   if (spatial != nullptr) {
     pred.duration_s = std::max(
-        30.0, spatial->forecast_next(SpatialSeries::kDuration,
-                                     target.duration_s));
-    features.spa_hour =
-        spatial->forecast_next(SpatialSeries::kHour, target.hour);
+        30.0, spa_forecast(SpatialSeries::kDuration, target.duration_s));
+    features.spa_hour = spa_forecast(SpatialSeries::kHour, target.hour);
     features.spa_interval_s = std::max(
-        30.0, spatial->forecast_next(SpatialSeries::kInterval,
-                                     target.interval_s));
+        30.0, spa_forecast(SpatialSeries::kInterval, target.interval_s));
     std::vector<std::unordered_map<net::Asn, double>> dists;
     dists.reserve(target_attacks.size());
     for (const trace::Attack* attack : target_attacks) {
@@ -201,8 +219,10 @@ std::optional<AttackPrediction> AdversaryModel::predict_next_attack(
   }
   features.avg_magnitude = mag / static_cast<double>(window);
 
-  pred.hour = st_.predict_hour(features);
-  pred.day = st_.predict_day(features);
+  pred.hour = view != nullptr ? view->predict_hour(features)
+                              : st_.predict_hour(features);
+  pred.day = view != nullptr ? view->predict_day(features)
+                             : st_.predict_day(features);
   // Materialize (day, hour) as a timestamp. When that instant is not
   // strictly in the future of the last observed attack (multistage chains
   // often continue within the same day), fall back to the predicted

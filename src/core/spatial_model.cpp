@@ -231,6 +231,20 @@ FitRung SpatialModel::rung(SpatialSeries which) const {
   return series_model(which).rung;
 }
 
+const std::optional<nn::NarModel>& SpatialModel::nar(
+    SpatialSeries which) const {
+  return series_model(which).nar;
+}
+
+const std::optional<ts::ArimaModel>& SpatialModel::ar(
+    SpatialSeries which) const {
+  return series_model(which).ar;
+}
+
+double SpatialModel::fallback_mean(SpatialSeries which) const {
+  return series_model(which).fallback_mean;
+}
+
 void SpatialModel::save(std::ostream& os) const {
   namespace io = acbm::stats::io;
   io::write_header(os, "spatial", 2);

@@ -98,6 +98,14 @@ class SpatialModel {
   /// NAR -> NAR retry (perturbed init) -> AR(1) -> mean.
   [[nodiscard]] FitRung rung(SpatialSeries which) const;
 
+  /// Inference-extraction accessors (core::InferenceView): the fitted
+  /// models and fallback mean of a series' degradation slot.
+  [[nodiscard]] const std::optional<nn::NarModel>& nar(
+      SpatialSeries which) const;
+  [[nodiscard]] const std::optional<ts::ArimaModel>& ar(
+      SpatialSeries which) const;
+  [[nodiscard]] double fallback_mean(SpatialSeries which) const;
+
   /// One record per series from the last fit() (not serialized).
   [[nodiscard]] const FitReport& fit_report() const noexcept {
     return report_;

@@ -107,6 +107,25 @@ class SpatiotemporalModel {
     return day_tree_;
   }
 
+  /// Full sub-model maps and the pooled-linear fallback combiners, for
+  /// inference-view extraction (core::InferenceView).
+  [[nodiscard]] const std::unordered_map<std::uint32_t, TemporalModel>&
+  temporal_models() const noexcept {
+    return temporal_;
+  }
+  [[nodiscard]] const std::unordered_map<net::Asn, SpatialModel>&
+  spatial_models() const noexcept {
+    return spatial_;
+  }
+  [[nodiscard]] const std::optional<stats::LinearRegression>& hour_fallback()
+      const noexcept {
+    return hour_linear_;
+  }
+  [[nodiscard]] const std::optional<stats::LinearRegression>& day_fallback()
+      const noexcept {
+    return day_linear_;
+  }
+
   /// Aggregated degradation-ladder report of the last fit(): one record per
   /// temporal series ("temporal/<family>/<series>"), spatial series
   /// ("spatial/AS<asn>/<series>"), and combining tree ("tree/hour",

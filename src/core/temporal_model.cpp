@@ -242,6 +242,14 @@ FitRung TemporalModel::rung(TemporalSeries which) const {
   return series_model(which).rung;
 }
 
+double TemporalModel::fallback_mean(TemporalSeries which) const {
+  return series_model(which).fallback_mean;
+}
+
+std::size_t TemporalModel::seasonal_period(TemporalSeries which) const {
+  return series_model(which).seasonal_period;
+}
+
 void TemporalModel::save(std::ostream& os) const {
   namespace io = acbm::stats::io;
   io::write_header(os, "temporal", 2);

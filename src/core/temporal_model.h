@@ -77,6 +77,11 @@ class TemporalModel {
   /// ARIMA -> AR(1) -> seasonal-naive -> mean.
   [[nodiscard]] FitRung rung(TemporalSeries which) const;
 
+  /// Inference-extraction accessors (core::InferenceView): the fallback
+  /// mean and seasonal period of a series' degradation slot.
+  [[nodiscard]] double fallback_mean(TemporalSeries which) const;
+  [[nodiscard]] std::size_t seasonal_period(TemporalSeries which) const;
+
   /// One record per series from the last fit() (not serialized).
   [[nodiscard]] const FitReport& fit_report() const noexcept {
     return report_;

@@ -1,0 +1,101 @@
+#include "nn/inference_f32.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/mlp.h"
+#include "nn/nar.h"
+#include "stats/kernels.h"
+
+namespace acbm::nn {
+
+MlpF32View::MlpF32View(const Mlp& mlp) {
+  if (!mlp.fitted()) {
+    throw std::logic_error("MlpF32View: source network not fitted");
+  }
+  input_dim_ = mlp.input_dim();
+  const std::vector<MlpLayerView> views = mlp.layer_views();
+  std::size_t total = 0;
+  std::size_t max_width = input_dim_;
+  for (const MlpLayerView& v : views) {
+    total += v.weights.size() + v.biases.size();
+    max_width = std::max(max_width, v.out);
+  }
+  data_.reserve(total);
+  layers_.reserve(views.size());
+  for (const MlpLayerView& v : views) {
+    LayerF32 layer;
+    layer.in = v.in;
+    layer.out = v.out;
+    layer.weights_off = data_.size();
+    // Transpose [out x in] row-major into input-major wt[i*out + o]: the
+    // per-input weight stripes become contiguous across output lanes.
+    for (std::size_t i = 0; i < v.in; ++i) {
+      for (std::size_t o = 0; o < v.out; ++o) {
+        data_.push_back(static_cast<float>(v.weights[o * v.in + i]));
+      }
+    }
+    layer.biases_off = data_.size();
+    for (std::size_t o = 0; o < v.out; ++o) {
+      data_.push_back(static_cast<float>(v.biases[o]));
+    }
+    layers_.push_back(layer);
+  }
+  in_mean_.reserve(input_dim_);
+  in_sd_.reserve(input_dim_);
+  for (const auto& z : mlp.input_scalers()) {
+    in_mean_.push_back(static_cast<float>(z.mean));
+    in_sd_.push_back(static_cast<float>(z.sd));
+  }
+  out_mean_ = mlp.output_scaler().mean;
+  out_sd_ = mlp.output_scaler().sd;
+  act_a_.resize(max_width);
+  act_b_.resize(max_width);
+}
+
+double MlpF32View::predict(std::span<const double> features) const {
+  if (features.size() != input_dim_) {
+    throw std::invalid_argument("MlpF32View::predict: feature count mismatch");
+  }
+  float* cur = act_a_.data();
+  float* next = act_b_.data();
+  for (std::size_t j = 0; j < input_dim_; ++j) {
+    cur[j] = (static_cast<float>(features[j]) - in_mean_[j]) / in_sd_[j];
+  }
+  std::size_t width = input_dim_;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const LayerF32& layer = layers_[l];
+    const std::span<const float> wt{data_.data() + layer.weights_off,
+                                    layer.in * layer.out};
+    const std::span<const float> bias{data_.data() + layer.biases_off,
+                                      layer.out};
+    const std::span<const float> in{cur, width};
+    const std::span<float> out{next, layer.out};
+    if (l + 1 < layers_.size()) {
+      stats::gemv_t_tanh_f32(wt, bias, in, out);
+    } else {
+      stats::gemv_t_f32(wt, bias, in, out);
+    }
+    std::swap(cur, next);
+    width = layer.out;
+  }
+  return static_cast<double>(cur[0]) * out_sd_ + out_mean_;
+}
+
+// The MlpF32View member constructor already rejects an unfitted network.
+NarF32View::NarF32View(const NarModel& nar)
+    : delays_(nar.delays()), mlp_(nar.network()), window_(delays_) {}
+
+double NarF32View::forecast_one(std::span<const double> history) const {
+  if (history.size() < delays_) {
+    throw std::invalid_argument("NarF32View: history shorter than delays");
+  }
+  // Most recent value first, matching NarModel::window().
+  for (std::size_t i = 0; i < delays_; ++i) {
+    window_[i] = history[history.size() - 1 - i];
+  }
+  return mlp_.predict(window_);
+}
+
+}  // namespace acbm::nn

@@ -1,0 +1,75 @@
+// Float32 inference views of fitted networks — the serving-side half of
+// the --precision f32 path. A view is extracted once from a fitted f64
+// model: weights are down-converted a single time into one contiguous
+// buffer with a transposed (input-major) layout so the f32 gemv kernels
+// stream output lanes with unit stride. Forecast accuracy versus the f64
+// models is bounded by the property tests in tests/core/ and documented in
+// DESIGN.md §6.
+//
+// Views are cheap to copy and hold no reference to the source model. They
+// keep mutable activation scratch, so a view must not be shared across
+// threads — extract one per serving thread.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace acbm::nn {
+
+class Mlp;
+class NarModel;
+
+/// Compact f32 replica of a fitted Mlp (tanh hidden layers + linear
+/// output). predict() matches Mlp::predict to f32 rounding.
+class MlpF32View {
+ public:
+  /// Down-converts the fitted network once. Throws std::logic_error when
+  /// the source is not fitted.
+  explicit MlpF32View(const Mlp& mlp);
+
+  /// Forward pass in f32 (inputs z-scored with f32 scalers, final
+  /// denormalization in f64). Not thread-safe (internal scratch).
+  [[nodiscard]] double predict(std::span<const double> features) const;
+
+  [[nodiscard]] std::size_t input_dim() const noexcept { return input_dim_; }
+
+ private:
+  struct LayerF32 {
+    std::size_t in = 0;
+    std::size_t out = 0;
+    std::size_t weights_off = 0;  ///< Into data_: transposed wt[i*out+o].
+    std::size_t biases_off = 0;   ///< Into data_: out biases.
+  };
+
+  std::vector<LayerF32> layers_;
+  std::vector<float> data_;      ///< All weights + biases, contiguous.
+  std::vector<float> in_mean_;   ///< Input z-score means, f32.
+  std::vector<float> in_sd_;     ///< Input z-score sds, f32.
+  double out_mean_ = 0.0;        ///< Output denormalization stays f64.
+  double out_sd_ = 1.0;
+  std::size_t input_dim_ = 0;
+  mutable std::vector<float> act_a_;  ///< Ping-pong activation scratch.
+  mutable std::vector<float> act_b_;
+};
+
+/// f32 replica of a NAR network: the lag window read + MlpF32View forward.
+class NarF32View {
+ public:
+  /// Throws std::logic_error when the source is not fitted.
+  explicit NarF32View(const NarModel& nar);
+
+  /// One-step forecast from the most recent `delays()` values of
+  /// `history` (newest last, like NarModel::forecast_one). Throws
+  /// std::invalid_argument when history is shorter than the delay window.
+  [[nodiscard]] double forecast_one(std::span<const double> history) const;
+
+  [[nodiscard]] std::size_t delays() const noexcept { return delays_; }
+
+ private:
+  std::size_t delays_ = 0;
+  MlpF32View mlp_;
+  mutable std::vector<double> window_;  ///< Most-recent-first lag window.
+};
+
+}  // namespace acbm::nn

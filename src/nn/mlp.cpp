@@ -142,19 +142,37 @@ void Mlp::init_layers(std::size_t input_dim, acbm::stats::Rng& rng) {
 }
 
 void Mlp::prepare_workspace(Workspace& ws) const {
-  ws.acts.resize(layers_.size() + 1);
-  ws.acts[0].resize(input_dim_);
+  // Cheap shape-key check keeps this near-free on the predict hot path;
+  // only a topology change (different grid candidate reusing the
+  // thread-local workspace) rewinds the arena and recarves the spans.
+  const std::size_t n_layers = layers_.size();
+  bool same = ws.shape.size() == n_layers + 1 && ws.shape[0] == input_dim_;
+  for (std::size_t l = 0; same && l < n_layers; ++l) {
+    same = ws.shape[l + 1] == layers_[l].out;
+  }
+  if (same) return;
+
+  ws.shape.assign(1, input_dim_);
+  for (const Layer& layer : layers_) ws.shape.push_back(layer.out);
+  ws.arena.reset();
+  ws.acts.assign(n_layers + 1, {});
+  ws.acts[0] = ws.arena.alloc_span<double>(input_dim_);
   std::size_t total = 0;
   std::size_t max_width = input_dim_;
-  for (std::size_t l = 0; l < layers_.size(); ++l) {
-    ws.acts[l + 1].resize(layers_[l].out);
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    ws.acts[l + 1] = ws.arena.alloc_span<double>(layers_[l].out);
     total += layers_[l].weights.size() + layers_[l].biases.size();
     max_width = std::max(max_width, layers_[l].out);
   }
-  ws.sample_grad.resize(total);
-  ws.delta.resize(max_width);
-  ws.prev_delta.resize(max_width);
-  ws.xn.resize(input_dim_);
+  ws.sample_grad = ws.arena.alloc_span<double>(total);
+  ws.batch_grad = ws.arena.alloc_span<double>(total);
+  ws.delta = ws.arena.alloc_span<double>(max_width);
+  ws.prev_delta = ws.arena.alloc_span<double>(max_width);
+  ws.xn = ws.arena.alloc_span<double>(input_dim_);
+  ws.params = ws.arena.alloc_span<double>(total);
+  ws.best_params = ws.arena.alloc_span<double>(total);
+  ws.m_state = ws.arena.alloc_span<double>(total);
+  ws.v_state = ws.arena.alloc_span<double>(total);
 }
 
 double Mlp::forward_into(Workspace& ws, std::span<const double> x_norm) const {
@@ -186,7 +204,7 @@ void Mlp::gradient_into(Workspace& ws, std::span<const double> x_norm,
   std::size_t block_end = ws.sample_grad.size();
   for (std::size_t li = layers_.size(); li-- > 0;) {
     const Layer& layer = layers_[li];
-    const std::vector<double>& input = ws.acts[li];
+    const std::span<const double> input = ws.acts[li];
     const std::size_t block_start =
         block_end - layer.weights.size() - layer.biases.size();
     double* grad = ws.sample_grad.data();
@@ -243,8 +261,7 @@ void Mlp::fit(const MlpTrainingSet& data) {
 
   // Optimizer state and parameter mirrors live in the workspace so a
   // refit (grid search, retry rungs) reuses the same storage.
-  std::vector<double>& params = ws.params;
-  params.resize(total);
+  const std::span<double> params = ws.params;
   {
     std::size_t pos = 0;
     for (const Layer& layer : layers_) {
@@ -257,11 +274,11 @@ void Mlp::fit(const MlpTrainingSet& data) {
     }
   }
   // Adam state (also reused as momentum buffers for SGD).
-  ws.m_state.assign(total, 0.0);
-  ws.v_state.assign(total, 0.0);
+  std::fill(ws.m_state.begin(), ws.m_state.end(), 0.0);
+  std::fill(ws.v_state.begin(), ws.v_state.end(), 0.0);
   std::size_t adam_t = 0;
 
-  ws.best_params.assign(params.begin(), params.end());
+  std::copy(params.begin(), params.end(), ws.best_params.begin());
   double best_val = std::numeric_limits<double>::infinity();
   std::size_t since_best = 0;
 
@@ -288,7 +305,7 @@ void Mlp::fit(const MlpTrainingSet& data) {
          batch_start += opts_.batch_size) {
       const std::size_t batch_end =
           std::min(batch_start + opts_.batch_size, n_train);
-      ws.batch_grad.assign(total, 0.0);
+      std::fill(ws.batch_grad.begin(), ws.batch_grad.end(), 0.0);
       for (std::size_t k = batch_start; k < batch_end; ++k) {
         const std::size_t i = order[k];
         gradient_into(ws, data.row(i), data.y_norm[i]);
@@ -328,7 +345,7 @@ void Mlp::fit(const MlpTrainingSet& data) {
       const double vl = validation_loss();
       if (vl < best_val - 1e-12) {
         best_val = vl;
-        ws.best_params.assign(params.begin(), params.end());
+        std::copy(params.begin(), params.end(), ws.best_params.begin());
         since_best = 0;
       } else if (++since_best >= opts_.patience) {
         break;
@@ -464,6 +481,15 @@ Mlp Mlp::load(std::istream& is) {
   net.opts_.hidden_layers.assign(layer_sizes.begin(),
                                  layer_sizes.end() - (layer_sizes.empty() ? 0 : 1));
   return net;
+}
+
+std::vector<MlpLayerView> Mlp::layer_views() const {
+  std::vector<MlpLayerView> out;
+  out.reserve(layers_.size());
+  for (const Layer& layer : layers_) {
+    out.push_back({layer.weights, layer.biases, layer.in, layer.out});
+  }
+  return out;
 }
 
 std::vector<double> Mlp::parameters() const {

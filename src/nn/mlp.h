@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "core/arena.h"
 #include "stats/descriptive.h"
 #include "stats/rng.h"
 
@@ -73,23 +74,40 @@ struct MlpTrainingSet {
 /// Preallocated training/inference scratch. Methods taking a Workspace
 /// size it for the network once and then run allocation-free; one
 /// Workspace per thread (the trainers keep a thread_local instance), never
-/// shared concurrently.
+/// shared concurrently. All buffers are spans carved from one arena, so a
+/// topology change (grid-search candidates sharing the thread-local
+/// workspace) recarves in place instead of reallocating each vector.
 class Workspace {
  public:
   Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+  Workspace(Workspace&&) noexcept = default;
+  Workspace& operator=(Workspace&&) noexcept = default;
 
  private:
   friend class Mlp;
-  std::vector<std::vector<double>> acts;  ///< Activations per layer edge.
-  std::vector<double> sample_grad;
-  std::vector<double> batch_grad;
-  std::vector<double> delta;
-  std::vector<double> prev_delta;
-  std::vector<double> xn;  ///< Normalized features for predict().
-  std::vector<double> params;
-  std::vector<double> best_params;
-  std::vector<double> m_state;
-  std::vector<double> v_state;
+  acbm::core::Arena arena;         ///< Backing storage for every span below.
+  std::vector<std::size_t> shape;  ///< input_dim + layer widths (carve key).
+  std::vector<std::span<double>> acts;  ///< Activations per layer edge.
+  std::span<double> sample_grad;
+  std::span<double> batch_grad;
+  std::span<double> delta;
+  std::span<double> prev_delta;
+  std::span<double> xn;  ///< Normalized features for predict().
+  std::span<double> params;
+  std::span<double> best_params;
+  std::span<double> m_state;
+  std::span<double> v_state;
+};
+
+/// Read-only view of one fitted layer (row-major weights [out x in]), for
+/// inference-representation extraction (nn::MlpF32View).
+struct MlpLayerView {
+  std::span<const double> weights;
+  std::span<const double> biases;
+  std::size_t in = 0;
+  std::size_t out = 0;
 };
 
 /// A fully connected regression network: inputs -> tanh hidden layer(s) ->
@@ -119,6 +137,17 @@ class Mlp {
 
   [[nodiscard]] bool fitted() const noexcept { return fitted_; }
   [[nodiscard]] std::size_t input_dim() const noexcept { return input_dim_; }
+
+  /// Per-layer weight/bias views in forward order (hidden layers first,
+  /// linear output last). Valid until the next fit or load.
+  [[nodiscard]] std::vector<MlpLayerView> layer_views() const;
+  [[nodiscard]] const std::vector<acbm::stats::ZScore>& input_scalers()
+      const noexcept {
+    return input_scalers_;
+  }
+  [[nodiscard]] const acbm::stats::ZScore& output_scaler() const noexcept {
+    return output_scaler_;
+  }
 
   /// Best validation loss observed during training (MSE, normalized scale).
   [[nodiscard]] double best_validation_loss() const noexcept {

@@ -1,9 +1,13 @@
 #include "stats/kernels.h"
 
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
+#include <string_view>
 
 #include "core/observe.h"
+#include "stats/kernels_dispatch.h"
 
 namespace acbm::stats {
 
@@ -11,6 +15,11 @@ namespace {
 
 [[maybe_unused]] bool ranges_overlap(const double* p, std::size_t n,
                                      const double* q, std::size_t m) {
+  return p < q + m && q < p + n;
+}
+
+[[maybe_unused]] bool ranges_overlap_f32(const float* p, std::size_t n,
+                                         const float* q, std::size_t m) {
   return p < q + m && q < p + n;
 }
 
@@ -31,37 +40,306 @@ double dot_unrolled(double acc, const double* a, const double* b,
   return acc;
 }
 
+// ---------------------------------------------------------------------------
+// Scalar reference kernels (the 0-ULP ground truth every SIMD variant is
+// tested against).
+// ---------------------------------------------------------------------------
+
 template <bool kTanh>
-void gemv_impl(std::span<const double> weights, std::span<const double> bias,
-               std::span<const double> x, std::span<double> out) {
+void gemv_scalar(const double* w, const double* bias, const double* x,
+                 double* out, std::size_t out_dim, std::size_t in) {
+  for (std::size_t o = 0; o < out_dim; ++o) {
+    const double z = dot_unrolled(bias[o], w + o * in, x, in);
+    out[o] = kTanh ? std::tanh(z) : z;
+  }
+}
+
+void gemm_rows_scalar(const double* a, const double* b, double* c,
+                      std::size_t row_begin, std::size_t row_end,
+                      std::size_t cols_a, std::size_t cols_b) {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const double* a_row = a + i * cols_a;
+    double* c_row = c + i * cols_b;
+    for (std::size_t j = 0; j < cols_b; ++j) c_row[j] = 0.0;
+    for (std::size_t k = 0; k < cols_a; ++k) {
+      const double aik = a_row[k];
+      const double* b_row = b + k * cols_b;
+      for (std::size_t j = 0; j < cols_b; ++j) c_row[j] += aik * b_row[j];
+    }
+  }
+}
+
+void fne_row_update_scalar(double* ata, double* atb, const double* a_row,
+                           double yr, std::size_t k) {
+  for (std::size_t i = 0; i < k; ++i) {
+    const double ai = a_row[i];
+    atb[i] += ai * yr;
+    double* ata_row = ata + i * k;
+    std::size_t j = i;
+    for (; j + 4 <= k; j += 4) {
+      ata_row[j] += ai * a_row[j];
+      ata_row[j + 1] += ai * a_row[j + 1];
+      ata_row[j + 2] += ai * a_row[j + 2];
+      ata_row[j + 3] += ai * a_row[j + 3];
+    }
+    for (; j < k; ++j) ata_row[j] += ai * a_row[j];
+  }
+}
+
+template <bool kTanh>
+void gemv_t_f32_scalar(const float* wt, const float* bias, const float* x,
+                       float* out, std::size_t out_dim, std::size_t in) {
+  for (std::size_t o = 0; o < out_dim; ++o) out[o] = bias[o];
+  for (std::size_t i = 0; i < in; ++i) {
+    const float xi = x[i];
+    const float* w_row = wt + i * out_dim;
+    for (std::size_t o = 0; o < out_dim; ++o) out[o] += w_row[o] * xi;
+  }
+  if constexpr (kTanh) {
+    for (std::size_t o = 0; o < out_dim; ++o) out[o] = std::tanh(out[o]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime dispatch state.
+// ---------------------------------------------------------------------------
+
+SimdIsa detect() noexcept {
+#if defined(ACBM_HAVE_AVX2_TU)
+  if (__builtin_cpu_supports("avx2")) return SimdIsa::kAvx2;
+#endif
+#if defined(ACBM_HAVE_NEON_TU)
+  return SimdIsa::kNeon;
+#else
+  return SimdIsa::kScalar;
+#endif
+}
+
+bool env_flag_off(const char* name) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return false;
+  const std::string_view s{v};
+  return s == "0" || s == "off" || s == "OFF" || s == "scalar";
+}
+
+bool env_flag_on(const char* name) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return false;
+  const std::string_view s{v};
+  return s == "1" || s == "on" || s == "ON" || s == "true";
+}
+
+std::atomic<SimdIsa>& active_state() noexcept {
+  static std::atomic<SimdIsa> state{env_flag_off("ACBM_SIMD") ? SimdIsa::kScalar
+                                                              : detect()};
+  return state;
+}
+
+std::atomic<bool>& fast_math_state() noexcept {
+  static std::atomic<bool> state{env_flag_on("ACBM_FAST_MATH")};
+  return state;
+}
+
+/// Table for the active ISA, or nullptr when scalar is active (or the
+/// arch TU was not built). Fast-math tables carry bit-identical entries
+/// for kernels without a reordering variant, so one lookup suffices.
+const detail::KernelTable* active_table() noexcept {
+  const SimdIsa isa = active_state().load(std::memory_order_relaxed);
+  const bool fm = fast_math_state().load(std::memory_order_relaxed);
+  switch (isa) {
+    case SimdIsa::kAvx2:
+      return detail::avx2_table(fm);
+    case SimdIsa::kNeon:
+      return detail::neon_table(fm);
+    case SimdIsa::kScalar:
+      break;
+  }
+  return nullptr;
+}
+
+void count_dispatch(bool vectorized) {
+  if (!vectorized) {
+    ACBM_COUNT("kernels.dispatch.scalar", 1);
+    return;
+  }
+  switch (active_state().load(std::memory_order_relaxed)) {
+    case SimdIsa::kAvx2:
+      ACBM_COUNT("kernels.dispatch.avx2", 1);
+      break;
+    case SimdIsa::kNeon:
+      ACBM_COUNT("kernels.dispatch.neon", 1);
+      break;
+    case SimdIsa::kScalar:
+      ACBM_COUNT("kernels.dispatch.scalar", 1);
+      break;
+  }
+}
+
+/// Below these shapes the SIMD setup cost outweighs the win; the scalar
+/// reference is used regardless of the active ISA (results are identical
+/// either way — this is purely a performance cutoff).
+constexpr std::size_t kMinSimdGemvRows = 4;
+constexpr std::size_t kMinSimdFneCols = 8;
+constexpr std::size_t kMinSimdGemvF32Rows = 8;
+
+}  // namespace
+
+const char* isa_name(SimdIsa isa) noexcept {
+  switch (isa) {
+    case SimdIsa::kAvx2:
+      return "avx2";
+    case SimdIsa::kNeon:
+      return "neon";
+    case SimdIsa::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+SimdIsa detected_isa() noexcept {
+  static const SimdIsa isa = detect();
+  return isa;
+}
+
+SimdIsa active_isa() noexcept {
+  return active_state().load(std::memory_order_relaxed);
+}
+
+void set_active_isa(SimdIsa isa) noexcept {
+  if (isa != SimdIsa::kScalar && isa != detected_isa()) isa = SimdIsa::kScalar;
+  active_state().store(isa, std::memory_order_relaxed);
+}
+
+bool fast_math() noexcept {
+  return fast_math_state().load(std::memory_order_relaxed);
+}
+
+void set_fast_math(bool on) noexcept {
+  fast_math_state().store(on, std::memory_order_relaxed);
+}
+
+void gemv(std::span<const double> weights, std::span<const double> bias,
+          std::span<const double> x, std::span<double> out) {
+  ACBM_COUNT("gemv.calls", 1);
+  ACBM_COUNT("gemv.flops", 2 * out.size() * x.size());
   assert(weights.size() == out.size() * x.size());
   assert(bias.size() == out.size());
   assert(!ranges_overlap(out.data(), out.size(), weights.data(),
                          weights.size()) &&
          !ranges_overlap(out.data(), out.size(), bias.data(), bias.size()) &&
          !ranges_overlap(out.data(), out.size(), x.data(), x.size()));
-  const std::size_t in_dim = x.size();
-  for (std::size_t o = 0; o < out.size(); ++o) {
-    const double z =
-        dot_unrolled(bias[o], weights.data() + o * in_dim, x.data(), in_dim);
-    out[o] = kTanh ? std::tanh(z) : z;
+  const detail::KernelTable* t = active_table();
+  if (t != nullptr && t->gemv != nullptr && out.size() >= kMinSimdGemvRows) {
+    count_dispatch(true);
+    t->gemv(weights.data(), bias.data(), x.data(), out.data(), out.size(),
+            x.size());
+    return;
   }
-}
-
-}  // namespace
-
-void gemv(std::span<const double> weights, std::span<const double> bias,
-          std::span<const double> x, std::span<double> out) {
-  ACBM_COUNT("gemv.calls", 1);
-  ACBM_COUNT("gemv.flops", 2 * out.size() * x.size());
-  gemv_impl<false>(weights, bias, x, out);
+  count_dispatch(false);
+  gemv_scalar<false>(weights.data(), bias.data(), x.data(), out.data(),
+                     out.size(), x.size());
 }
 
 void gemv_tanh(std::span<const double> weights, std::span<const double> bias,
                std::span<const double> x, std::span<double> out) {
   ACBM_COUNT("gemv.calls", 1);
   ACBM_COUNT("gemv.flops", 2 * out.size() * x.size());
-  gemv_impl<true>(weights, bias, x, out);
+  assert(weights.size() == out.size() * x.size());
+  assert(bias.size() == out.size());
+  assert(!ranges_overlap(out.data(), out.size(), weights.data(),
+                         weights.size()) &&
+         !ranges_overlap(out.data(), out.size(), bias.data(), bias.size()) &&
+         !ranges_overlap(out.data(), out.size(), x.data(), x.size()));
+  const detail::KernelTable* t = active_table();
+  if (t != nullptr && t->gemv_tanh != nullptr &&
+      out.size() >= kMinSimdGemvRows) {
+    count_dispatch(true);
+    t->gemv_tanh(weights.data(), bias.data(), x.data(), out.data(), out.size(),
+                 x.size());
+    return;
+  }
+  count_dispatch(false);
+  gemv_scalar<true>(weights.data(), bias.data(), x.data(), out.data(),
+                    out.size(), x.size());
 }
+
+void gemm_row_range(const double* a, const double* b, double* c,
+                    std::size_t row_begin, std::size_t row_end,
+                    std::size_t cols_a, std::size_t cols_b) {
+  const detail::KernelTable* t = active_table();
+  if (t != nullptr && t->gemm_rows != nullptr) {
+    count_dispatch(true);
+    t->gemm_rows(a, b, c, row_begin, row_end, cols_a, cols_b);
+    return;
+  }
+  count_dispatch(false);
+  gemm_rows_scalar(a, b, c, row_begin, row_end, cols_a, cols_b);
+}
+
+void fne_row_update(double* ata, double* atb, const double* a_row, double yr,
+                    std::size_t k) {
+  const detail::KernelTable* t = active_table();
+  if (t != nullptr && t->fne_row_update != nullptr && k >= kMinSimdFneCols) {
+    count_dispatch(true);
+    t->fne_row_update(ata, atb, a_row, yr, k);
+    return;
+  }
+  count_dispatch(false);
+  fne_row_update_scalar(ata, atb, a_row, yr, k);
+}
+
+void gemv_t_f32(std::span<const float> weights_t, std::span<const float> bias,
+                std::span<const float> x, std::span<float> out) {
+  assert(weights_t.size() == out.size() * x.size());
+  assert(bias.size() == out.size());
+  assert(!ranges_overlap_f32(out.data(), out.size(), weights_t.data(),
+                             weights_t.size()) &&
+         !ranges_overlap_f32(out.data(), out.size(), bias.data(),
+                             bias.size()) &&
+         !ranges_overlap_f32(out.data(), out.size(), x.data(), x.size()));
+  const detail::KernelTable* t = active_table();
+  if (t != nullptr && t->gemv_t_f32 != nullptr &&
+      out.size() >= kMinSimdGemvF32Rows) {
+    count_dispatch(true);
+    t->gemv_t_f32(weights_t.data(), bias.data(), x.data(), out.data(),
+                  out.size(), x.size());
+    return;
+  }
+  count_dispatch(false);
+  gemv_t_f32_scalar<false>(weights_t.data(), bias.data(), x.data(), out.data(),
+                           out.size(), x.size());
+}
+
+void gemv_t_tanh_f32(std::span<const float> weights_t,
+                     std::span<const float> bias, std::span<const float> x,
+                     std::span<float> out) {
+  assert(weights_t.size() == out.size() * x.size());
+  assert(bias.size() == out.size());
+  assert(!ranges_overlap_f32(out.data(), out.size(), weights_t.data(),
+                             weights_t.size()) &&
+         !ranges_overlap_f32(out.data(), out.size(), bias.data(),
+                             bias.size()) &&
+         !ranges_overlap_f32(out.data(), out.size(), x.data(), x.size()));
+  const detail::KernelTable* t = active_table();
+  if (t != nullptr && t->gemv_t_tanh_f32 != nullptr &&
+      out.size() >= kMinSimdGemvF32Rows) {
+    count_dispatch(true);
+    t->gemv_t_tanh_f32(weights_t.data(), bias.data(), x.data(), out.data(),
+                       out.size(), x.size());
+    return;
+  }
+  count_dispatch(false);
+  gemv_t_f32_scalar<true>(weights_t.data(), bias.data(), x.data(), out.data(),
+                          out.size(), x.size());
+}
+
+// Fallback definitions when the arch-specific TU is not part of the build
+// (non-matching target, or -DACBM_DISABLE_SIMD=ON).
+#ifndef ACBM_HAVE_AVX2_TU
+const detail::KernelTable* detail::avx2_table(bool) noexcept { return nullptr; }
+#endif
+#ifndef ACBM_HAVE_NEON_TU
+const detail::KernelTable* detail::neon_table(bool) noexcept { return nullptr; }
+#endif
 
 }  // namespace acbm::stats

@@ -1,14 +1,51 @@
-// Small fused dense kernels for the model-fitting hot loops: GEMV with an
-// optionally fused tanh activation, written against preallocated output
-// spans so callers (the MLP trainer) run allocation-free inside their epoch
-// loops. All kernels accumulate in plain sequential order — they are
-// drop-in bit-identical replacements for the naive loops they fuse.
+// Small fused dense kernels for the model-fitting and serving hot loops:
+// GEMV (optionally fused with tanh), row-range GEMM, the streamed
+// normal-equations row update, and f32 inference GEMV. Each kernel has a
+// scalar reference implementation plus runtime-dispatched SIMD variants
+// (AVX2 on x86-64, NEON on aarch64) selected per call by `active_isa()`.
+//
+// Bit-identity contract: with fast_math() off (the default), every SIMD
+// variant performs the exact same IEEE-754 operations in the exact same
+// per-element order as the scalar reference — vectorization happens across
+// independent accumulators (output lanes), never by splitting one
+// accumulation chain. Results are bit-identical across scalar/AVX2/NEON.
+// With ACBM_FAST_MATH opted in (env or --fast-math), kernels may use FMA
+// and in-register horizontal reductions, which reorders accumulation; the
+// results then agree with scalar only to rounding tolerance (property
+// tests in tests/stats/ bound the error).
 #pragma once
 
 #include <cstddef>
 #include <span>
 
 namespace acbm::stats {
+
+/// Instruction sets the dispatcher can select between.
+enum class SimdIsa { kScalar, kAvx2, kNeon };
+
+/// Short lowercase name ("scalar", "avx2", "neon") for logs and bench JSON.
+[[nodiscard]] const char* isa_name(SimdIsa isa) noexcept;
+
+/// Best ISA this build + CPU supports (compile-time TU availability AND
+/// runtime CPUID probe). Computed once; unaffected by set_active_isa().
+[[nodiscard]] SimdIsa detected_isa() noexcept;
+
+/// ISA used by subsequent kernel calls. Starts at detected_isa(), unless
+/// the ACBM_SIMD environment variable is "0"/"off"/"scalar" which forces
+/// kScalar. Each kernel call bumps the matching
+/// `kernels.dispatch.{scalar,avx2,neon}` counter.
+[[nodiscard]] SimdIsa active_isa() noexcept;
+
+/// Overrides the active ISA (clamped to detected_isa() — requesting an
+/// unsupported ISA selects scalar). For scalar-vs-SIMD agreement tests and
+/// in-binary benchmark comparisons.
+void set_active_isa(SimdIsa isa) noexcept;
+
+/// Whether reordering (FMA / horizontal-reduction) kernel variants are
+/// enabled. Defaults from the ACBM_FAST_MATH environment variable ("1",
+/// "on", "true"); the CLI exposes --fast-math. Off = bit-identity.
+[[nodiscard]] bool fast_math() noexcept;
+void set_fast_math(bool on) noexcept;
 
 /// out[o] = bias[o] + sum_i weights[o * x.size() + i] * x[i].
 /// weights is row-major [out.size() x x.size()]. `out` must not alias
@@ -22,5 +59,38 @@ void gemv(std::span<const double> weights, std::span<const double> bias,
 /// gemv-then-tanh without the intermediate store/reload pass.
 void gemv_tanh(std::span<const double> weights, std::span<const double> bias,
                std::span<const double> x, std::span<double> out);
+
+/// Computes rows [row_begin, row_end) of C = A·B over row-major buffers:
+/// A is [m x cols_a], B is [cols_a x cols_b], C is [m x cols_b]. Each
+/// output element accumulates in ascending-k order from a zero start, so
+/// the result is bit-identical to a per-element sequential dot product
+/// (the contract Matrix::operator* documents for its blocked path).
+/// Buffers must not overlap.
+void gemm_row_range(const double* a, const double* b, double* c,
+                    std::size_t row_begin, std::size_t row_end,
+                    std::size_t cols_a, std::size_t cols_b);
+
+/// One streamed row of the fused normal-equations accumulation
+/// (Matrix::fused_normal_equations): for i in [0,k):
+///   atb[i] += a_row[i] * yr;  ata[i*k + j] += a_row[i] * a_row[j]  (j >= i)
+/// Upper triangle only; the caller mirrors and applies ridge afterwards.
+/// Every ata entry is its own accumulator (one mul+add per row), so
+/// vectorizing across j preserves bit-identity.
+void fne_row_update(double* ata, double* atb, const double* a_row, double yr,
+                    std::size_t k);
+
+/// f32 inference GEMV over *transposed* (input-major) weights:
+///   out[o] = bias[o] + sum_i weights_t[i * out.size() + o] * x[i]
+/// The transposed layout makes the output lanes contiguous, so SIMD
+/// vectorizes across outputs with unit-stride loads while each lane keeps
+/// the scalar ascending-i accumulation order (bit-identical to the scalar
+/// reference, fast-math off). `out` must not alias the inputs.
+void gemv_t_f32(std::span<const float> weights_t, std::span<const float> bias,
+                std::span<const float> x, std::span<float> out);
+
+/// Fused f32 GEMV + tanh over transposed weights (see gemv_t_f32).
+void gemv_t_tanh_f32(std::span<const float> weights_t,
+                     std::span<const float> bias, std::span<const float> x,
+                     std::span<float> out);
 
 }  // namespace acbm::stats

@@ -8,6 +8,7 @@
 
 #include "core/observe.h"
 #include "core/parallel.h"
+#include "stats/kernels.h"
 
 namespace acbm::stats {
 
@@ -141,29 +142,22 @@ Matrix Matrix::operator*(const Matrix& rhs) const {
     }
     return out;
   }
-  // Transpose-aware blocked kernel for the MLP/OLS inner loops: with B^T
-  // materialized, out(i, j) is a dot product of two contiguous rows, and a
-  // j-block keeps a stripe of B^T hot while one A row streams through.
-  // Each output row is computed entirely by one task in a fixed k-order, so
-  // the result is bit-identical at any thread count. Every out(i, j) is
-  // fully overwritten, so the output storage is sized once, uninitialized.
-  const Matrix bt = rhs.transpose();
+  // Blocked kernel for the MLP/OLS inner loops, delegated to the runtime-
+  // dispatched gemm_row_range microkernel (k-outer broadcast over B's rows,
+  // no transpose copy). Each output element accumulates in ascending-k
+  // order from zero, the same chain as a sequential dot product, so the
+  // result is bit-identical to the previous B^T-materializing kernel — at
+  // any thread count, with or without SIMD. Every out(i, j) is fully
+  // overwritten, so the output storage is sized once, uninitialized.
   Matrix out(rows_, rhs.cols_, Uninit{});
   assert(!ranges_overlap(out.data_.data(), out.data_.size(), data_.data(),
                          data_.size()) &&
-         !ranges_overlap(out.data_.data(), out.data_.size(), bt.data_.data(),
-                         bt.data_.size()));
+         !ranges_overlap(out.data_.data(), out.data_.size(), rhs.data_.data(),
+                         rhs.data_.size()));
   const std::size_t n = rhs.cols_;
-  constexpr std::size_t kColBlock = 64;
   acbm::core::parallel_for(0, rows_, [&](std::size_t i) {
-    const std::span<const double> a_row = row(i);
-    const std::span<double> out_row = out.row(i);
-    for (std::size_t j0 = 0; j0 < n; j0 += kColBlock) {
-      const std::size_t j1 = std::min(n, j0 + kColBlock);
-      for (std::size_t j = j0; j < j1; ++j) {
-        out_row[j] = dot_unrolled(a_row.data(), bt.row(j).data(), cols_);
-      }
-    }
+    gemm_row_range(data_.data(), rhs.data_.data(), out.data_.data(), i, i + 1,
+                   cols_, n);
   }, kRowGrain);
   return out;
 }
@@ -316,24 +310,11 @@ NormalEquations fused_normal_equations(const Matrix& a,
   // Accumulation is in ascending row order — the same term order as the
   // reference (a.transpose() * a, a.transpose().apply(y)) — so the result
   // is bit-identical for finite inputs.
+  // Each ata entry is its own accumulator receiving one mul+add per row,
+  // so the runtime-dispatched row kernel (vectorized across j) keeps the
+  // exact reference chain per entry.
   for (std::size_t r = 0; r < n; ++r) {
-    const std::span<const double> a_row = a.row(r);
-    const double yr = y[r];
-    for (std::size_t i = 0; i < k; ++i) {
-      const double ai = a_row[i];
-      out.atb[i] += ai * yr;
-      double* ata_row = &out.ata(i, 0);
-      // 4-wide unrolled rank-1 (syrk) update; each ata entry is its own
-      // accumulator, so unrolling does not reorder any sum.
-      std::size_t j = i;
-      for (; j + 4 <= k; j += 4) {
-        ata_row[j] += ai * a_row[j];
-        ata_row[j + 1] += ai * a_row[j + 1];
-        ata_row[j + 2] += ai * a_row[j + 2];
-        ata_row[j + 3] += ai * a_row[j + 3];
-      }
-      for (; j < k; ++j) ata_row[j] += ai * a_row[j];
-    }
+    fne_row_update(&out.ata(0, 0), out.atb.data(), a.row(r).data(), y[r], k);
   }
   // Mirror the upper triangle (a(r,i)*a(r,j) and a(r,j)*a(r,i) are the
   // same IEEE products, so the mirrored entries match the reference), then

@@ -26,7 +26,7 @@ double subset_sd(std::span<const double> y, std::span<const std::size_t> idx) {
 
 RegressionTree::SplitChoice RegressionTree::best_split(
     const acbm::stats::Matrix& x, std::span<const double> y,
-    std::span<const std::size_t> idx) const {
+    std::span<const std::size_t> idx, acbm::core::Arena& arena) const {
   SplitChoice best;
   const std::size_t n = idx.size();
   if (n < 2) return best;
@@ -40,7 +40,9 @@ RegressionTree::SplitChoice RegressionTree::best_split(
   }
   const double parent_sse = sum_sq - sum * sum / static_cast<double>(n);
 
-  std::vector<std::size_t> order(idx.begin(), idx.end());
+  const acbm::core::Arena::Mark mark = arena.mark();
+  const std::span<std::size_t> order = arena.alloc_span<std::size_t>(n);
+  std::copy(idx.begin(), idx.end(), order.begin());
   for (std::size_t f = 0; f < x.cols(); ++f) {
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
       return x(a, f) < x(b, f);
@@ -71,39 +73,57 @@ RegressionTree::SplitChoice RegressionTree::best_split(
       }
     }
   }
+  arena.rewind(mark);
   return best;
 }
 
 int RegressionTree::build(const acbm::stats::Matrix& x,
                           std::span<const double> y,
-                          std::vector<std::size_t> idx, std::size_t depth,
-                          double root_sd) {
+                          std::span<const std::size_t> idx, std::size_t depth,
+                          double root_sd, acbm::core::Arena& arena) {
   const int node_id = static_cast<int>(nodes_.size());
   CartNode node;
   node.n_samples = idx.size();
   node.mean = subset_mean(y, idx);
   node.sd = subset_sd(y, idx);
   nodes_.push_back(node);
-  node_samples_.push_back(idx);
+  node_samples_.emplace_back(idx.begin(), idx.end());
 
   const bool too_deep = depth >= opts_.max_depth;
   const bool too_small = idx.size() < opts_.min_samples_split;
   const bool pure_enough = node.sd < opts_.sd_stop_fraction * root_sd;
   if (too_deep || too_small || pure_enough) return node_id;
 
-  const SplitChoice split = best_split(x, y, idx);
+  const SplitChoice split = best_split(x, y, idx, arena);
   if (!split.found || split.variance_reduction <= 0.0) return node_id;
 
-  std::vector<std::size_t> left_idx;
-  std::vector<std::size_t> right_idx;
+  std::size_t nl = 0;
   for (std::size_t i : idx) {
-    (x(i, split.feature) <= split.threshold ? left_idx : right_idx).push_back(i);
+    if (x(i, split.feature) <= split.threshold) ++nl;
   }
-  if (left_idx.empty() || right_idx.empty()) return node_id;
+  const std::size_t nr = idx.size() - nl;
+  if (nl == 0 || nr == 0) return node_id;
+
+  // The partitions live only while the two subtrees build; rewinding after
+  // the recursion returns makes the whole fit reuse one small footprint
+  // (O(n · depth) words at peak) instead of a heap pair per node.
+  const acbm::core::Arena::Mark mark = arena.mark();
+  const std::span<std::size_t> left_idx = arena.alloc_span<std::size_t>(nl);
+  const std::span<std::size_t> right_idx = arena.alloc_span<std::size_t>(nr);
+  std::size_t li = 0;
+  std::size_t ri = 0;
+  for (std::size_t i : idx) {
+    if (x(i, split.feature) <= split.threshold) {
+      left_idx[li++] = i;
+    } else {
+      right_idx[ri++] = i;
+    }
+  }
 
   feature_importance_[split.feature] += split.variance_reduction;
-  const int left = build(x, y, std::move(left_idx), depth + 1, root_sd);
-  const int right = build(x, y, std::move(right_idx), depth + 1, root_sd);
+  const int left = build(x, y, left_idx, depth + 1, root_sd, arena);
+  const int right = build(x, y, right_idx, depth + 1, root_sd, arena);
+  arena.rewind(mark);
   nodes_[static_cast<std::size_t>(node_id)].left = left;
   nodes_[static_cast<std::size_t>(node_id)].right = right;
   nodes_[static_cast<std::size_t>(node_id)].feature = split.feature;
@@ -124,10 +144,11 @@ void RegressionTree::fit(const acbm::stats::Matrix& x,
   n_features_ = x.cols();
   feature_importance_.assign(n_features_, 0.0);
 
-  std::vector<std::size_t> idx(x.rows());
+  acbm::core::Arena arena;
+  const std::span<std::size_t> idx = arena.alloc_span<std::size_t>(x.rows());
   for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
   const double root_sd = subset_sd(y, idx);
-  build(x, y, std::move(idx), 0, root_sd);
+  build(x, y, idx, 0, root_sd, arena);
 }
 
 std::size_t RegressionTree::leaf_index(std::span<const double> features) const {

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "core/arena.h"
 #include "stats/matrix.h"
 
 namespace acbm::tree {
@@ -92,10 +93,14 @@ class RegressionTree {
 
   [[nodiscard]] SplitChoice best_split(const acbm::stats::Matrix& x,
                                        std::span<const double> y,
-                                       std::span<const std::size_t> idx) const;
+                                       std::span<const std::size_t> idx,
+                                       acbm::core::Arena& arena) const;
 
+  /// `idx` and all scratch (sort orders, partitions) live in `arena`;
+  /// each recursion level rewinds its own allocations on the way out.
   int build(const acbm::stats::Matrix& x, std::span<const double> y,
-            std::vector<std::size_t> idx, std::size_t depth, double root_sd);
+            std::span<const std::size_t> idx, std::size_t depth,
+            double root_sd, acbm::core::Arena& arena);
 
   CartOptions opts_;
   std::vector<CartNode> nodes_;

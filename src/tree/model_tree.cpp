@@ -136,6 +136,22 @@ ModelTree ModelTree::load(std::istream& is) {
   return tree;
 }
 
+std::vector<LeafModelExport> ModelTree::export_leaf_models() const {
+  std::vector<LeafModelExport> out;
+  out.reserve(leaf_models_.size());
+  for (const LeafModel& leaf : leaf_models_) {
+    LeafModelExport e;
+    e.use_linear = leaf.use_linear;
+    e.mean = leaf.mean;
+    if (leaf.use_linear) {
+      e.intercept = leaf.linear.intercept();
+      e.coefficients = leaf.linear.coefficients();
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
 double ModelTree::predict(std::span<const double> features) const {
   if (!fitted()) throw std::logic_error("ModelTree::predict: not fitted");
   const std::size_t leaf = tree_.leaf_index(features);

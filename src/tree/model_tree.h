@@ -32,6 +32,17 @@ struct ModelTreeOptions {
   bool linear_leaves = true;
 };
 
+/// Snapshot of one node's attached model (parallel to
+/// RegressionTree::nodes()), for inference-representation extraction
+/// (core::TreeF32). intercept/coefficients are meaningful only when
+/// use_linear is set.
+struct LeafModelExport {
+  bool use_linear = false;
+  double mean = 0.0;
+  double intercept = 0.0;
+  std::vector<double> coefficients;
+};
+
 class ModelTree {
  public:
   ModelTree() = default;
@@ -56,6 +67,10 @@ class ModelTree {
   [[nodiscard]] const std::vector<double>& feature_importance() const noexcept {
     return tree_.feature_importance();
   }
+
+  /// One export per node (same order as structure().nodes()); unreachable
+  /// descendants of pruned nodes are exported too but never consulted.
+  [[nodiscard]] std::vector<LeafModelExport> export_leaf_models() const;
 
   /// Text serialization of the fitted state (structure + leaf models).
   void save(std::ostream& os) const;

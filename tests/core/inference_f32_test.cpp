@@ -1,0 +1,275 @@
+// Property tests for the --precision f32 serving path: every f32 view must
+// agree with its fitted f64 source model within the documented relative
+// error bound (DESIGN.md §6), and the InferenceView must follow the exact
+// same degradation ladders — structural decisions (tree routing, ladder
+// rung selection, history repair) are taken in f64, so only leaf/filter
+// arithmetic may differ.
+#include "core/inference.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/evaluation.h"
+#include "core/spatiotemporal_model.h"
+#include "nn/inference_f32.h"
+#include "nn/nar.h"
+#include "stats/matrix.h"
+#include "stats/rng.h"
+#include "trace/world.h"
+#include "tree/model_tree.h"
+#include "ts/arima.h"
+
+namespace acbm::core {
+namespace {
+
+/// The documented f32-vs-f64 forecast bound: |f32 - f64| must stay within
+/// this fraction of max(1, |f64|) (absolute near zero, relative elsewhere).
+constexpr double kF32RelErrorBound = 1e-3;
+
+void expect_within_bound(double f32_val, double f64_val) {
+  ASSERT_TRUE(std::isfinite(f32_val)) << "f32 path produced " << f32_val;
+  EXPECT_LE(std::abs(f32_val - f64_val),
+            kF32RelErrorBound * std::max(1.0, std::abs(f64_val)))
+      << "f32 " << f32_val << " vs f64 " << f64_val;
+}
+
+/// Mean-reverting level + seasonality + noise — the flavor of series the
+/// temporal models see. (A pure random walk can fit a non-invertible ARMA
+/// whose innovations filter diverges in f64 and f32 alike; the f32 bound
+/// is only meaningful against a well-posed f64 model.)
+std::vector<double> synthetic_series(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<double> s(n);
+  double level = 10.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    level = 0.92 * level + rng.normal(0.8, 0.4);
+    s[i] = level + 3.0 * std::sin(static_cast<double>(i) * 0.35) +
+           rng.normal(0.0, 0.25);
+  }
+  return s;
+}
+
+TEST(Precision, ParseAndNameRoundTrip) {
+  EXPECT_EQ(parse_precision("f64"), Precision::kF64);
+  EXPECT_EQ(parse_precision("f32"), Precision::kF32);
+  EXPECT_EQ(precision_name(Precision::kF64), "f64");
+  EXPECT_EQ(precision_name(Precision::kF32), "f32");
+  EXPECT_THROW((void)parse_precision("f16"), std::invalid_argument);
+  EXPECT_THROW((void)parse_precision(""), std::invalid_argument);
+}
+
+TEST(ArimaF32, MatchesF64WalkForward) {
+  const std::vector<double> series = synthetic_series(400, 2024);
+  ts::ArimaModel model(ts::ArimaOrder{2, 1, 1});
+  model.fit(series);
+  const ArimaF32 view(model);
+  EXPECT_EQ(view.d(), 1u);
+
+  for (std::size_t t = 20; t < series.size(); t += 7) {
+    const std::span<const double> history(series.data(), t);
+    expect_within_bound(view.forecast_one(history),
+                        model.forecast_one(history));
+  }
+}
+
+TEST(ArimaF32, GuardsMatchTheF64Model) {
+  EXPECT_THROW(ArimaF32{ts::ArimaModel(ts::ArimaOrder{1, 0, 0})},
+               std::logic_error);
+
+  const std::vector<double> series = synthetic_series(200, 7);
+  ts::ArimaModel model(ts::ArimaOrder{1, 2, 1});
+  model.fit(series);
+  const ArimaF32 view(model);
+  const double short_history[2] = {1.0, 2.0};  // size == d: too short.
+  EXPECT_THROW((void)view.forecast_one(short_history), std::invalid_argument);
+}
+
+TEST(TreeF32, UnfittedTreeYieldsNullopt) {
+  tree::ModelTree tree{tree::ModelTreeOptions{}};
+  EXPECT_FALSE(TreeF32::from(tree).has_value());
+}
+
+TEST(TreeF32, MatchesModelTreeOnTrainingRows) {
+  stats::Rng rng(99);
+  const std::size_t n = 300, k = 6;
+  stats::Matrix x(n, k);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double target = 0.5;
+    for (std::size_t j = 0; j < k; ++j) {
+      x(i, j) = rng.normal(0.0, 1.0);
+      target += (j % 2 == 0 ? 1.3 : -0.7) * x(i, j);
+    }
+    y[i] = target + rng.normal(0.0, 0.2);
+  }
+
+  tree::ModelTree tree{tree::ModelTreeOptions{}};
+  tree.fit(x, y);
+  const auto view = TreeF32::from(tree);
+  ASSERT_TRUE(view.has_value());
+
+  std::vector<double> row(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) row[j] = x(i, j);
+    // Thresholds stay f64 in the view, so routing is identical and the
+    // only divergence is the f32 leaf model arithmetic.
+    expect_within_bound(view->predict(row), tree.predict(row));
+  }
+}
+
+TEST(NarF32View, MatchesNarModelWalkForward) {
+  const std::vector<double> series = synthetic_series(300, 4096);
+  nn::NarOptions opts;
+  opts.delays = 3;
+  opts.hidden_nodes = 8;
+  opts.mlp.max_epochs = 60;
+  nn::NarModel model(opts);
+  model.fit(series);
+  const nn::NarF32View view(model);
+  EXPECT_EQ(view.delays(), 3u);
+
+  for (std::size_t t = opts.delays; t < series.size(); t += 5) {
+    const std::span<const double> history(series.data(), t);
+    expect_within_bound(view.forecast_one(history),
+                        model.forecast_one(history));
+  }
+}
+
+// --- InferenceView against a fully fitted spatiotemporal model -----------
+
+SpatiotemporalOptions fast_options() {
+  SpatiotemporalOptions opts;
+  opts.spatial.grid_search = false;
+  opts.spatial.fixed.mlp.max_epochs = 60;
+  return opts;
+}
+
+struct Fixture {
+  trace::World world = trace::build_world(trace::small_world_options(29));
+  SpatiotemporalModel model{fast_options()};
+
+  Fixture() { model.fit(world.dataset, world.ip_map); }
+};
+
+const Fixture& fixture() {
+  static const Fixture fx;
+  return fx;
+}
+
+TEST(InferenceView, ExtractThrowsOnUnfittedModel) {
+  const SpatiotemporalModel unfitted;
+  EXPECT_THROW((void)InferenceView::extract(unfitted), std::logic_error);
+}
+
+TEST(InferenceView, CombinerPredictionsWithinBound) {
+  const Fixture& fx = fixture();
+  const InferenceView view = InferenceView::extract(fx.model);
+
+  StFeatures f;
+  f.tmp_hour = 14.0;
+  f.spa_hour = 15.0;
+  f.tmp_interval_s = 3600.0;
+  f.spa_interval_s = 7200.0;
+  f.prev_hour = 13.0;
+  f.prev_day = 30.0;
+  f.avg_magnitude = 80.0;
+  for (int variant = 0; variant < 8; ++variant) {
+    f.tmp_hour = 2.0 + 2.5 * variant;
+    f.prev_day = 5.0 + 10.0 * variant;
+    f.avg_magnitude = 20.0 + 15.0 * variant;
+    const double hour = view.predict_hour(f);
+    expect_within_bound(hour, fx.model.predict_hour(f));
+    EXPECT_GE(hour, 0.0);
+    EXPECT_LT(hour, 24.0);
+    expect_within_bound(view.predict_day(f), fx.model.predict_day(f));
+  }
+}
+
+TEST(InferenceView, TemporalForecastMatchesModelLadder) {
+  const Fixture& fx = fixture();
+  const InferenceView view = InferenceView::extract(fx.model);
+  const std::uint32_t dj = fx.world.dataset.family_index("DirtJumper");
+  ASSERT_TRUE(view.has_temporal(dj));
+  const TemporalModel* temporal = fx.model.temporal(dj);
+  ASSERT_NE(temporal, nullptr);
+
+  const std::vector<double> long_history = synthetic_series(48, 11);
+  const std::vector<double> short_history = {12.0};  // Forces fallback rungs.
+  std::vector<double> dirty_history = synthetic_series(32, 13);
+  dirty_history[5] = std::numeric_limits<double>::quiet_NaN();  // Repair path.
+
+  for (std::size_t s = 0; s < kTemporalSeriesCount; ++s) {
+    const auto which = static_cast<TemporalSeries>(s);
+    for (const auto& history : {long_history, short_history, dirty_history}) {
+      expect_within_bound(view.temporal_forecast(dj, which, history),
+                          temporal->forecast_next(which, history));
+    }
+  }
+}
+
+TEST(InferenceView, SpatialForecastMatchesModelLadder) {
+  const Fixture& fx = fixture();
+  const InferenceView view = InferenceView::extract(fx.model);
+  const net::Asn busiest = fx.world.dataset.target_asns().front();
+  ASSERT_TRUE(view.has_spatial(busiest));
+  const SpatialModel* spatial = fx.model.spatial(busiest);
+  ASSERT_NE(spatial, nullptr);
+
+  const std::vector<double> long_history = synthetic_series(40, 17);
+  const std::vector<double> short_history = {7.0};
+
+  for (std::size_t s = 0; s < kSpatialSeriesCount; ++s) {
+    const auto which = static_cast<SpatialSeries>(s);
+    for (const auto& history : {long_history, short_history}) {
+      expect_within_bound(view.spatial_forecast(busiest, which, history),
+                          spatial->forecast_next(which, history));
+    }
+  }
+}
+
+TEST(InferenceView, UnknownKeysThrow) {
+  const Fixture& fx = fixture();
+  const InferenceView view = InferenceView::extract(fx.model);
+  EXPECT_FALSE(view.has_temporal(999999));
+  EXPECT_FALSE(view.has_spatial(4242424));
+  const std::vector<double> history = {1.0, 2.0, 3.0};
+  EXPECT_THROW(
+      (void)view.temporal_forecast(999999, TemporalSeries::kHour, history),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)view.spatial_forecast(4242424, SpatialSeries::kHour, history),
+      std::invalid_argument);
+}
+
+TEST(EvaluateTimestampsF32, TracksTheF64Evaluation) {
+  const Fixture& fx = fixture();
+  const TimestampEvaluation f64 = evaluate_timestamps(
+      fx.world.dataset, fx.world.ip_map, fast_options(), 0.8, Precision::kF64);
+  const TimestampEvaluation f32 = evaluate_timestamps(
+      fx.world.dataset, fx.world.ip_map, fast_options(), 0.8, Precision::kF32);
+
+  ASSERT_EQ(f32.st_hour.size(), f64.st_hour.size());
+  ASSERT_EQ(f32.st_day.size(), f64.st_day.size());
+  for (std::size_t i = 0; i < f64.st_hour.size(); ++i) {
+    expect_within_bound(f32.st_hour[i], f64.st_hour[i]);
+  }
+  for (std::size_t i = 0; i < f64.st_day.size(); ++i) {
+    expect_within_bound(f32.st_day[i], f64.st_day[i]);
+  }
+  // Fitting and the non-spatiotemporal columns are precision-independent.
+  EXPECT_EQ(f32.truth_hour, f64.truth_hour);
+  EXPECT_EQ(f32.spa_hour, f64.spa_hour);
+  EXPECT_EQ(f32.tmp_hour, f64.tmp_hour);
+  EXPECT_LE(std::abs(f32.rmse_hour_st - f64.rmse_hour_st),
+            kF32RelErrorBound * std::max(1.0, f64.rmse_hour_st));
+}
+
+}  // namespace
+}  // namespace acbm::core

@@ -1,0 +1,339 @@
+// Scalar-vs-SIMD agreement sweep (ctest label `simd`). With fast_math()
+// off, every vectorized kernel must be bit-identical (0 ULP) to the scalar
+// reference on identical inputs — swept across shapes that cover every
+// vector-width remainder. With ACBM_FAST_MATH opted in, the reordering
+// (FMA / horizontal-reduction) variants must stay within a small tolerance
+// of the scalar reduction; this file is where that bound is enforced.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/observe.h"
+#include "stats/kernels.h"
+#include "stats/rng.h"
+
+namespace {
+
+using acbm::stats::Rng;
+using acbm::stats::SimdIsa;
+
+// Every test runs through this fixture so an ISA override or fast-math
+// toggle can never leak into later tests (or other suites in this binary).
+class SimdKernelsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_isa_ = acbm::stats::active_isa();
+    saved_fast_math_ = acbm::stats::fast_math();
+    acbm::stats::set_fast_math(false);
+  }
+  void TearDown() override {
+    acbm::stats::set_active_isa(saved_isa_);
+    acbm::stats::set_fast_math(saved_fast_math_);
+  }
+
+ private:
+  SimdIsa saved_isa_ = SimdIsa::kScalar;
+  bool saved_fast_math_ = false;
+};
+
+std::vector<double> randn(std::size_t n, Rng& rng, double sd = 1.0) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.normal(0.0, sd);
+  return v;
+}
+
+std::vector<float> randn_f32(std::size_t n, Rng& rng, double sd = 1.0) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.normal(0.0, sd));
+  return v;
+}
+
+/// |got - want| <= tol * max(1, |want|) — absolute near zero, relative
+/// elsewhere, so one bound covers both regimes.
+void expect_close(double got, double want, double tol) {
+  EXPECT_LE(std::abs(got - want), tol * std::max(1.0, std::abs(want)))
+      << "got " << got << " want " << want;
+}
+
+// Output/input dims covering every remainder of the 4-wide f64 and 8-wide
+// f32 output-lane vectorization, plus a couple of larger shapes.
+constexpr std::size_t kOutDims[] = {1, 2, 3, 4, 5, 7, 8, 9, 13, 16, 17, 33};
+constexpr std::size_t kInDims[] = {1, 2, 3, 5, 8, 13, 64};
+
+TEST_F(SimdKernelsTest, ActiveIsaClampsToDetected) {
+  const SimdIsa detected = acbm::stats::detected_isa();
+  for (SimdIsa want : {SimdIsa::kScalar, SimdIsa::kAvx2, SimdIsa::kNeon}) {
+    acbm::stats::set_active_isa(want);
+    const SimdIsa got = acbm::stats::active_isa();
+    if (want == SimdIsa::kScalar || want == detected) {
+      EXPECT_EQ(got, want);
+    } else {
+      EXPECT_EQ(got, SimdIsa::kScalar)
+          << "unsupported ISA request must clamp to scalar";
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, IsaNamesAreStable) {
+  EXPECT_STREQ(acbm::stats::isa_name(SimdIsa::kScalar), "scalar");
+  EXPECT_STREQ(acbm::stats::isa_name(SimdIsa::kAvx2), "avx2");
+  EXPECT_STREQ(acbm::stats::isa_name(SimdIsa::kNeon), "neon");
+}
+
+TEST_F(SimdKernelsTest, GemvBitIdenticalAcrossIsa) {
+  const SimdIsa simd = acbm::stats::detected_isa();
+  if (simd == SimdIsa::kScalar) GTEST_SKIP() << "no SIMD ISA on this build";
+  Rng rng(101);
+  for (std::size_t out_dim : kOutDims) {
+    for (std::size_t in : kInDims) {
+      const auto weights = randn(out_dim * in, rng);
+      const auto bias = randn(out_dim, rng, 0.5);
+      const auto x = randn(in, rng);
+
+      std::vector<double> scalar(out_dim);
+      std::vector<double> vec(out_dim);
+      acbm::stats::set_active_isa(SimdIsa::kScalar);
+      acbm::stats::gemv(weights, bias, x, scalar);
+      acbm::stats::set_active_isa(simd);
+      acbm::stats::gemv(weights, bias, x, vec);
+      for (std::size_t o = 0; o < out_dim; ++o) {
+        EXPECT_EQ(vec[o], scalar[o]) << out_dim << "x" << in << " lane " << o;
+      }
+
+      acbm::stats::set_active_isa(SimdIsa::kScalar);
+      acbm::stats::gemv_tanh(weights, bias, x, scalar);
+      acbm::stats::set_active_isa(simd);
+      acbm::stats::gemv_tanh(weights, bias, x, vec);
+      for (std::size_t o = 0; o < out_dim; ++o) {
+        EXPECT_EQ(vec[o], scalar[o]) << out_dim << "x" << in << " lane " << o;
+      }
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, GemmRowRangeBitIdenticalAcrossIsa) {
+  const SimdIsa simd = acbm::stats::detected_isa();
+  if (simd == SimdIsa::kScalar) GTEST_SKIP() << "no SIMD ISA on this build";
+  Rng rng(202);
+  // m x k x n shapes straddling the column-block width and its remainders.
+  const std::size_t shapes[][3] = {{1, 1, 1},    {3, 5, 4},    {17, 13, 9},
+                                   {32, 32, 32}, {40, 33, 65}, {7, 64, 31}};
+  for (const auto& s : shapes) {
+    const std::size_t m = s[0];
+    const std::size_t k = s[1];
+    const std::size_t n = s[2];
+    const auto a = randn(m * k, rng);
+    const auto b = randn(k * n, rng);
+    std::vector<double> scalar(m * n);
+    std::vector<double> vec(m * n);
+    acbm::stats::set_active_isa(SimdIsa::kScalar);
+    acbm::stats::gemm_row_range(a.data(), b.data(), scalar.data(), 0, m, k, n);
+    acbm::stats::set_active_isa(simd);
+    acbm::stats::gemm_row_range(a.data(), b.data(), vec.data(), 0, m, k, n);
+    for (std::size_t i = 0; i < m * n; ++i) {
+      EXPECT_EQ(vec[i], scalar[i])
+          << m << "x" << k << "x" << n << " at " << i;
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, FneRowUpdateBitIdenticalAcrossIsa) {
+  const SimdIsa simd = acbm::stats::detected_isa();
+  if (simd == SimdIsa::kScalar) GTEST_SKIP() << "no SIMD ISA on this build";
+  Rng rng(303);
+  for (std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                        std::size_t{4}, std::size_t{5}, std::size_t{7},
+                        std::size_t{8}, std::size_t{12}, std::size_t{31}}) {
+    const std::size_t n_rows = 16;
+    const auto rows = randn(n_rows * k, rng);
+    const auto y = randn(n_rows, rng, 2.0);
+
+    std::vector<double> ata_scalar(k * k, 0.0), atb_scalar(k, 0.0);
+    std::vector<double> ata_vec(k * k, 0.0), atb_vec(k, 0.0);
+    for (std::size_t r = 0; r < n_rows; ++r) {
+      acbm::stats::set_active_isa(SimdIsa::kScalar);
+      acbm::stats::fne_row_update(ata_scalar.data(), atb_scalar.data(),
+                                  rows.data() + r * k, y[r], k);
+      acbm::stats::set_active_isa(simd);
+      acbm::stats::fne_row_update(ata_vec.data(), atb_vec.data(),
+                                  rows.data() + r * k, y[r], k);
+    }
+    for (std::size_t i = 0; i < k * k; ++i) {
+      EXPECT_EQ(ata_vec[i], ata_scalar[i]) << "k=" << k << " ata[" << i << "]";
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(atb_vec[i], atb_scalar[i]) << "k=" << k << " atb[" << i << "]";
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, GemvF32BitIdenticalAcrossIsa) {
+  const SimdIsa simd = acbm::stats::detected_isa();
+  if (simd == SimdIsa::kScalar) GTEST_SKIP() << "no SIMD ISA on this build";
+  Rng rng(404);
+  for (std::size_t out_dim : kOutDims) {
+    for (std::size_t in : kInDims) {
+      // Transposed (input-major) layout: wt[i * out_dim + o].
+      const auto weights_t = randn_f32(in * out_dim, rng);
+      const auto bias = randn_f32(out_dim, rng, 0.5);
+      const auto x = randn_f32(in, rng);
+
+      std::vector<float> scalar(out_dim);
+      std::vector<float> vec(out_dim);
+      acbm::stats::set_active_isa(SimdIsa::kScalar);
+      acbm::stats::gemv_t_f32(weights_t, bias, x, scalar);
+      acbm::stats::set_active_isa(simd);
+      acbm::stats::gemv_t_f32(weights_t, bias, x, vec);
+      for (std::size_t o = 0; o < out_dim; ++o) {
+        EXPECT_EQ(vec[o], scalar[o]) << out_dim << "x" << in << " lane " << o;
+      }
+
+      acbm::stats::set_active_isa(SimdIsa::kScalar);
+      acbm::stats::gemv_t_tanh_f32(weights_t, bias, x, scalar);
+      acbm::stats::set_active_isa(simd);
+      acbm::stats::gemv_t_tanh_f32(weights_t, bias, x, vec);
+      for (std::size_t o = 0; o < out_dim; ++o) {
+        EXPECT_EQ(vec[o], scalar[o]) << out_dim << "x" << in << " lane " << o;
+      }
+    }
+  }
+}
+
+// ACBM_FAST_MATH tolerance, one bound per vectorized reduction. FMA and
+// horizontal reductions reorder an n-term accumulation; for standard-normal
+// data the drift is O(eps * sqrt(n) * |sum|), so these bounds are loose by
+// orders of magnitude while still catching a wrong-answer kernel.
+constexpr double kFastMathTolF64 = 1e-10;
+constexpr double kFastMathTolF32 = 1e-3;
+
+TEST_F(SimdKernelsTest, FastMathGemvWithinTolerance) {
+  const SimdIsa simd = acbm::stats::detected_isa();
+  if (simd == SimdIsa::kScalar) GTEST_SKIP() << "no SIMD ISA on this build";
+  Rng rng(505);
+  for (std::size_t out_dim : {std::size_t{5}, std::size_t{16}}) {
+    for (std::size_t in : {std::size_t{13}, std::size_t{64}}) {
+      const auto weights = randn(out_dim * in, rng);
+      const auto bias = randn(out_dim, rng, 0.5);
+      const auto x = randn(in, rng);
+
+      std::vector<double> ref(out_dim);
+      std::vector<double> fast(out_dim);
+      acbm::stats::set_active_isa(SimdIsa::kScalar);
+      acbm::stats::set_fast_math(false);
+      acbm::stats::gemv(weights, bias, x, ref);
+      acbm::stats::set_active_isa(simd);
+      acbm::stats::set_fast_math(true);
+      acbm::stats::gemv(weights, bias, x, fast);
+      for (std::size_t o = 0; o < out_dim; ++o) {
+        expect_close(fast[o], ref[o], kFastMathTolF64);
+      }
+
+      acbm::stats::set_active_isa(SimdIsa::kScalar);
+      acbm::stats::set_fast_math(false);
+      acbm::stats::gemv_tanh(weights, bias, x, ref);
+      acbm::stats::set_active_isa(simd);
+      acbm::stats::set_fast_math(true);
+      acbm::stats::gemv_tanh(weights, bias, x, fast);
+      for (std::size_t o = 0; o < out_dim; ++o) {
+        expect_close(fast[o], ref[o], kFastMathTolF64);
+      }
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, FastMathGemmAndFneWithinTolerance) {
+  const SimdIsa simd = acbm::stats::detected_isa();
+  if (simd == SimdIsa::kScalar) GTEST_SKIP() << "no SIMD ISA on this build";
+  Rng rng(606);
+  const std::size_t m = 23, k = 17, n = 29;
+  const auto a = randn(m * k, rng);
+  const auto b = randn(k * n, rng);
+  std::vector<double> ref(m * n);
+  std::vector<double> fast(m * n);
+  acbm::stats::set_active_isa(SimdIsa::kScalar);
+  acbm::stats::set_fast_math(false);
+  acbm::stats::gemm_row_range(a.data(), b.data(), ref.data(), 0, m, k, n);
+  acbm::stats::set_active_isa(simd);
+  acbm::stats::set_fast_math(true);
+  acbm::stats::gemm_row_range(a.data(), b.data(), fast.data(), 0, m, k, n);
+  for (std::size_t i = 0; i < m * n; ++i) {
+    expect_close(fast[i], ref[i], kFastMathTolF64);
+  }
+
+  const std::size_t fk = 13;
+  const auto row = randn(fk, rng);
+  std::vector<double> ata_ref(fk * fk, 0.0), atb_ref(fk, 0.0);
+  std::vector<double> ata_fast(fk * fk, 0.0), atb_fast(fk, 0.0);
+  acbm::stats::set_active_isa(SimdIsa::kScalar);
+  acbm::stats::set_fast_math(false);
+  acbm::stats::fne_row_update(ata_ref.data(), atb_ref.data(), row.data(), 1.5,
+                              fk);
+  acbm::stats::set_active_isa(simd);
+  acbm::stats::set_fast_math(true);
+  acbm::stats::fne_row_update(ata_fast.data(), atb_fast.data(), row.data(),
+                              1.5, fk);
+  for (std::size_t i = 0; i < fk * fk; ++i) {
+    expect_close(ata_fast[i], ata_ref[i], kFastMathTolF64);
+  }
+  for (std::size_t i = 0; i < fk; ++i) {
+    expect_close(atb_fast[i], atb_ref[i], kFastMathTolF64);
+  }
+}
+
+TEST_F(SimdKernelsTest, FastMathF32GemvWithinTolerance) {
+  const SimdIsa simd = acbm::stats::detected_isa();
+  if (simd == SimdIsa::kScalar) GTEST_SKIP() << "no SIMD ISA on this build";
+  Rng rng(707);
+  const std::size_t out_dim = 11, in = 64;
+  const auto weights_t = randn_f32(in * out_dim, rng);
+  const auto bias = randn_f32(out_dim, rng, 0.5);
+  const auto x = randn_f32(in, rng);
+
+  std::vector<float> ref(out_dim);
+  std::vector<float> fast(out_dim);
+  acbm::stats::set_active_isa(SimdIsa::kScalar);
+  acbm::stats::set_fast_math(false);
+  acbm::stats::gemv_t_f32(weights_t, bias, x, ref);
+  acbm::stats::set_active_isa(simd);
+  acbm::stats::set_fast_math(true);
+  acbm::stats::gemv_t_f32(weights_t, bias, x, fast);
+  for (std::size_t o = 0; o < out_dim; ++o) {
+    expect_close(fast[o], ref[o], kFastMathTolF32);
+  }
+}
+
+TEST_F(SimdKernelsTest, DispatchCountersBumpPerCall) {
+  namespace observe = acbm::core::observe;
+  auto& metrics = observe::Metrics::instance();
+  const bool was_enabled = observe::enabled();
+  observe::set_enabled(true);
+
+  // Large enough to clear the minimum-row SIMD dispatch thresholds.
+  std::vector<double> weights(16 * 16, 1.0), bias(16, 0.0), x(16, 1.0),
+      out(16);
+
+  const std::uint64_t scalar_before =
+      metrics.counter_value("kernels.dispatch.scalar");
+  acbm::stats::set_active_isa(SimdIsa::kScalar);
+  acbm::stats::gemv(weights, bias, x, out);
+  EXPECT_GE(metrics.counter_value("kernels.dispatch.scalar"),
+            scalar_before + 1);
+
+  const SimdIsa simd = acbm::stats::detected_isa();
+  if (simd != SimdIsa::kScalar) {
+    const std::string name =
+        std::string("kernels.dispatch.") + acbm::stats::isa_name(simd);
+    const std::uint64_t simd_before = metrics.counter_value(name);
+    acbm::stats::set_active_isa(simd);
+    acbm::stats::gemv(weights, bias, x, out);
+    EXPECT_GE(metrics.counter_value(name), simd_before + 1);
+  }
+
+  observe::set_enabled(was_enabled);
+}
+
+}  // namespace

@@ -1,31 +1,27 @@
 #!/usr/bin/env bash
-# Crash matrix: run `acbm fit` under every durable-I/O fault point at 1 and
-# 8 threads, resume each crashed run, and require the resumed model to be
-# byte-identical to an uninterrupted run's. This is the shell-level
-# acceptance check for crash-safe checkpointing; it is registered with ctest
-# under the `durable` label (see tests/CMakeLists.txt).
+# Crash matrix: shell-level acceptance for crash-safe checkpointing.
 #
-# Usage: scripts/crash_matrix.sh <acbm-binary> [work-dir]
+# Phase `faults` runs `acbm fit` under every durable-I/O fault point at 1
+# and 8 threads, resumes each crashed run, and requires the resumed model
+# to be byte-identical to an uninterrupted run's (ctest label `durable`).
+#
+# Phase `workers` sweeps the sharded multi-process fit: every worker/lease
+# fault point, real SIGKILLs of worker processes mid-stage, a SIGKILLed
+# coordinator followed by --resume, and the --worker-timeout exit code —
+# each case must still end with a model byte-identical to the
+# single-process fit (ctest label `distributed`).
+#
+# Usage: scripts/crash_matrix.sh <acbm-binary> [faults|workers|all] [work-dir]
 set -euo pipefail
 
-acbm="${1:?usage: crash_matrix.sh <acbm-binary> [work-dir]}"
-work="${2:-$(mktemp -d /tmp/acbm_crash_matrix.XXXXXX)}"
+acbm="${1:?usage: crash_matrix.sh <acbm-binary> [faults|workers|all] [work-dir]}"
+phase="${2:-faults}"
+work="${3:-$(mktemp -d /tmp/acbm_crash_matrix.XXXXXX)}"
 mkdir -p "$work"
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-echo "crash_matrix.sh @ $(git -C "$repo_root" describe --always --dirty 2>/dev/null || echo unknown)"
+echo "crash_matrix.sh phase=$phase @ $(git -C "$repo_root" describe --always --dirty 2>/dev/null || echo unknown)"
 trap 'rm -rf "$work"' EXIT
-
-# Each entry is an ACBM_FAULTS spec that must abort the fit mid-run. Filters
-# pick stages that exist in every fit: a temporal family artifact, the
-# spatial stage, the tree stage, and fsync on any checkpoint write.
-faults=(
-  "io.write:spatial"
-  "io.write:tree"
-  "io.fsync:spatial"
-  "checkpoint.stage:spatial"
-  "checkpoint.stage:tree"
-)
 
 dataset="$work/trace.csv"
 ipmap="$work/ipmap.txt"
@@ -36,55 +32,190 @@ clean="$work/clean.model"
 "$acbm" fit --dataset "$dataset" --ipmap "$ipmap" --model "$clean" >/dev/null
 
 failures=0
-for threads in 1 8; do
-  for i in "${!faults[@]}"; do
-    fault="${faults[$i]}"
-    # Numeric tags keep stage names out of the work paths — io.* filters
-    # match on path substrings, and a directory named after the fault would
-    # make every write in it match instead of only the targeted stage.
-    tag="case${i}_t${threads}"
-    model="$work/$tag.model"
-    ckpt="$work/$tag.ckpt"
 
-    # The faulted run must fail with the corruption exit code (3) and must
-    # not publish a model artifact.
-    set +e
-    ACBM_FAULTS="$fault" ACBM_THREADS="$threads" \
-      "$acbm" fit --dataset "$dataset" --ipmap "$ipmap" \
-      --model "$model" --checkpoint-dir "$ckpt" >/dev/null 2>"$work/$tag.err"
-    code=$?
-    set -e
-    if [[ $code -ne 3 ]]; then
-      echo "FAIL [$fault t=$threads]: crashed run exited $code, expected 3" >&2
-      failures=$((failures + 1))
-      continue
-    fi
-    if [[ -e $model ]]; then
-      echo "FAIL [$fault t=$threads]: crashed run published a model" >&2
-      failures=$((failures + 1))
-      continue
-    fi
+run_faults_phase() {
+  # Each entry is an ACBM_FAULTS spec that must abort the fit mid-run.
+  # Filters pick stages that exist in every fit: a temporal family artifact,
+  # the spatial stage, the tree stage, and fsync on any checkpoint write.
+  local faults=(
+    "io.write:spatial"
+    "io.write:tree"
+    "io.fsync:spatial"
+    "checkpoint.stage:spatial"
+    "checkpoint.stage:tree"
+  )
 
-    # Resume with injection off: must succeed and reproduce the clean model
-    # byte for byte.
-    if ! ACBM_THREADS="$threads" "$acbm" fit --dataset "$dataset" \
-        --ipmap "$ipmap" --model "$model" --checkpoint-dir "$ckpt" \
-        --resume >/dev/null 2>>"$work/$tag.err"; then
-      echo "FAIL [$fault t=$threads]: resume did not complete" >&2
-      failures=$((failures + 1))
-      continue
-    fi
-    if ! cmp -s "$model" "$clean"; then
-      echo "FAIL [$fault t=$threads]: resumed model differs from clean" >&2
-      failures=$((failures + 1))
-      continue
-    fi
-    echo "ok   [$fault t=$threads]: crash -> resume -> byte-identical"
+  local threads i fault tag model ckpt code
+  for threads in 1 8; do
+    for i in "${!faults[@]}"; do
+      fault="${faults[$i]}"
+      # Numeric tags keep stage names out of the work paths — io.* filters
+      # match on path substrings, and a directory named after the fault
+      # would make every write in it match instead of only the targeted
+      # stage.
+      tag="case${i}_t${threads}"
+      model="$work/$tag.model"
+      ckpt="$work/$tag.ckpt"
+
+      # The faulted run must fail with the corruption exit code (3) and
+      # must not publish a model artifact.
+      set +e
+      ACBM_FAULTS="$fault" ACBM_THREADS="$threads" \
+        "$acbm" fit --dataset "$dataset" --ipmap "$ipmap" \
+        --model "$model" --checkpoint-dir "$ckpt" >/dev/null 2>"$work/$tag.err"
+      code=$?
+      set -e
+      if [[ $code -ne 3 ]]; then
+        echo "FAIL [$fault t=$threads]: crashed run exited $code, expected 3" >&2
+        failures=$((failures + 1))
+        continue
+      fi
+      if [[ -e $model ]]; then
+        echo "FAIL [$fault t=$threads]: crashed run published a model" >&2
+        failures=$((failures + 1))
+        continue
+      fi
+
+      # Resume with injection off: must succeed and reproduce the clean
+      # model byte for byte.
+      if ! ACBM_THREADS="$threads" "$acbm" fit --dataset "$dataset" \
+          --ipmap "$ipmap" --model "$model" --checkpoint-dir "$ckpt" \
+          --resume >/dev/null 2>>"$work/$tag.err"; then
+        echo "FAIL [$fault t=$threads]: resume did not complete" >&2
+        failures=$((failures + 1))
+        continue
+      fi
+      if ! cmp -s "$model" "$clean"; then
+        echo "FAIL [$fault t=$threads]: resumed model differs from clean" >&2
+        failures=$((failures + 1))
+        continue
+      fi
+      echo "ok   [$fault t=$threads]: crash -> resume -> byte-identical"
+    done
   done
-done
+}
+
+# One sharded fit that must exit 0 and reproduce the clean model exactly.
+# Args: tag, workers, faults-spec (may be empty), extra fit args...
+worker_case() {
+  local tag="$1" workers="$2" fault="$3"
+  shift 3
+  local model="$work/$tag.model"
+  local ckpt="$work/$tag.ckpt"
+  set +e
+  ACBM_FAULTS="$fault" "$acbm" fit --dataset "$dataset" --ipmap "$ipmap" \
+    --model "$model" --checkpoint-dir "$ckpt" --workers "$workers" "$@" \
+    >/dev/null 2>"$work/$tag.err"
+  local code=$?
+  set -e
+  if [[ $code -ne 0 ]]; then
+    echo "FAIL [$tag]: sharded fit exited $code (see $tag.err)" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  if ! cmp -s "$model" "$clean"; then
+    echo "FAIL [$tag]: sharded model differs from single-process fit" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  echo "ok   [$tag]: byte-identical to single-process fit"
+}
+
+run_workers_phase() {
+  # Plain sharded fits at both acceptance worker counts.
+  worker_case "w2_plain" 2 ""
+  worker_case "w4_plain" 4 ""
+
+  # Every worker/lease fault point. Short lease ttls keep crashed workers'
+  # shards re-assignable within the test's patience.
+  worker_case "w2_exit_first"   2 "worker.exit:worker=0#1" --lease-ttl-ms 300
+  worker_case "w2_exit_spatial" 2 "worker.exit:shard=spatial" --lease-ttl-ms 200
+  worker_case "w2_exit_tree"    2 "worker.exit:shard=tree#1" --lease-ttl-ms 300
+  worker_case "w2_lease_expire" 2 "lease.expire" --lease-ttl-ms 300
+  worker_case "w2_hb_drop"      2 "heartbeat.drop:worker=1" --lease-ttl-ms 200
+  worker_case "w2_spawn_fail"   2 "worker.spawn:worker=0#1"
+
+  # Real kill -9: SIGKILL the coordinator's children from outside while
+  # they are mid-stage; the coordinator must respawn and still converge.
+  local tag="w2_pkill" model="$work/w2_pkill.model" ckpt="$work/w2_pkill.ckpt"
+  "$acbm" fit --dataset "$dataset" --ipmap "$ipmap" --model "$model" \
+    --checkpoint-dir "$ckpt" --workers 2 --lease-ttl-ms 300 \
+    >/dev/null 2>"$work/$tag.err" &
+  local coord=$!
+  sleep 0.4
+  pkill -9 -P "$coord" 2>/dev/null || true
+  sleep 0.4
+  pkill -9 -P "$coord" 2>/dev/null || true
+  if ! wait "$coord"; then
+    echo "FAIL [$tag]: coordinator did not survive killed workers" >&2
+    failures=$((failures + 1))
+  elif ! cmp -s "$model" "$clean"; then
+    echo "FAIL [$tag]: model differs after real worker kills" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok   [$tag]: byte-identical after kill -9 of workers"
+  fi
+
+  # SIGKILL the coordinator itself mid-run, then finish with --resume.
+  tag="w2_coord_kill"; model="$work/$tag.model"; ckpt="$work/$tag.ckpt"
+  "$acbm" fit --dataset "$dataset" --ipmap "$ipmap" --model "$model" \
+    --checkpoint-dir "$ckpt" --workers 2 >/dev/null 2>"$work/$tag.err" &
+  coord=$!
+  sleep 0.6
+  kill -9 "$coord" 2>/dev/null || true
+  wait "$coord" 2>/dev/null || true
+  if ! "$acbm" fit --dataset "$dataset" --ipmap "$ipmap" --model "$model" \
+      --checkpoint-dir "$ckpt" --workers 2 --resume \
+      >/dev/null 2>>"$work/$tag.err"; then
+    echo "FAIL [$tag]: resume after coordinator kill did not complete" >&2
+    failures=$((failures + 1))
+  elif ! cmp -s "$model" "$clean"; then
+    echo "FAIL [$tag]: model differs after coordinator kill + resume" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok   [$tag]: byte-identical after coordinator kill -9 + --resume"
+  fi
+
+  # --worker-timeout: the deadline must kill the workers and exit 5; a
+  # resume without the deadline completes the plan byte-identically.
+  tag="w2_timeout"; model="$work/$tag.model"; ckpt="$work/$tag.ckpt"
+  set +e
+  "$acbm" fit --dataset "$dataset" --ipmap "$ipmap" --model "$model" \
+    --checkpoint-dir "$ckpt" --workers 2 --worker-timeout 1 \
+    >/dev/null 2>"$work/$tag.err"
+  local code=$?
+  set -e
+  if [[ $code -ne 5 ]]; then
+    echo "FAIL [$tag]: timed-out run exited $code, expected 5" >&2
+    failures=$((failures + 1))
+  elif [[ -e $model ]]; then
+    echo "FAIL [$tag]: timed-out run published a model" >&2
+    failures=$((failures + 1))
+  elif ! "$acbm" fit --dataset "$dataset" --ipmap "$ipmap" --model "$model" \
+      --checkpoint-dir "$ckpt" --workers 2 --resume \
+      >/dev/null 2>>"$work/$tag.err" || ! cmp -s "$model" "$clean"; then
+    echo "FAIL [$tag]: resume after timeout not byte-identical" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok   [$tag]: timeout exits 5, resume byte-identical"
+  fi
+}
+
+case "$phase" in
+  faults) run_faults_phase ;;
+  workers) run_workers_phase ;;
+  all)
+    run_faults_phase
+    run_workers_phase
+    ;;
+  *)
+    echo "crash_matrix.sh: unknown phase '$phase' (want faults|workers|all)" >&2
+    exit 2
+    ;;
+esac
 
 if [[ $failures -gt 0 ]]; then
-  echo "crash matrix: $failures case(s) failed" >&2
+  echo "crash matrix ($phase): $failures case(s) failed" >&2
   exit 1
 fi
-echo "crash matrix: all $((2 * ${#faults[@]})) cases byte-identical"
+echo "crash matrix ($phase): all cases byte-identical"

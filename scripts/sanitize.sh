@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
 # ASan+UBSan build of the fault-tolerance surface: configures a dedicated
 # build tree with ACBM_SANITIZE=address+undefined and runs the fault-injection,
-# parallel-runtime, durability, observability, and kernel-benchmark smoke
-# suites (ctest labels `robust`, `parallel`, `durable`, `observe`, `simd`,
-# and `perf-smoke` — `simd` is the scalar-vs-vectorized agreement sweep and
-# `perf-smoke` runs bench_kernels at tiny sizes, so the AVX2/NEON kernels,
-# the f32 inference views, and the arena allocator all sweep under the
-# sanitizers too). A second TSan build then reruns the `observe` and
-# `parallel` labels so the span-ring SPSC protocol, the metric atomics, and
-# the arena-under-parallel_for usage are exercised under the race detector.
-# A third build with -DACBM_DISABLE_SIMD=ON reruns the kernel and smoke
-# suites on the scalar reference path, keeping that configuration honest.
+# parallel-runtime, durability, observability, distributed-fit, and
+# kernel-benchmark smoke suites (ctest labels `robust`, `parallel`,
+# `durable`, `observe`, `distributed`, `simd`, and `perf-smoke` — `simd` is
+# the scalar-vs-vectorized agreement sweep, `perf-smoke` runs bench_kernels
+# at tiny sizes, and `distributed` covers the sharded multi-process fit:
+# lease stealing, worker crash/respawn, and the worker crash matrix, so the
+# whole coordination protocol sweeps under the sanitizers too). A second
+# TSan build then reruns the `observe`, `parallel`, and `distributed`
+# labels so the span-ring SPSC protocol, the metric atomics, the
+# arena-under-parallel_for usage, and the heartbeat/lease threads are
+# exercised under the race detector. A third build with
+# -DACBM_DISABLE_SIMD=ON reruns the kernel and smoke suites on the scalar
+# reference path, keeping that configuration honest.
 #
 # Usage: scripts/sanitize.sh [build-dir]   (default: build-asan-ubsan; the
 #        TSan tree lands next to it with a -tsan suffix and the scalar-only
@@ -29,7 +32,7 @@ cmake -S "$repo_root" -B "$build_dir" \
   -DACBM_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" -j"$(nproc)"
 ctest --test-dir "$build_dir" \
-  -L 'robust|parallel|durable|observe|simd|perf-smoke' \
+  -L 'robust|parallel|durable|observe|distributed|simd|perf-smoke' \
   --output-on-failure -j"$(nproc)"
 
 tsan_dir="${build_dir%/}-tsan"
@@ -39,7 +42,7 @@ cmake -S "$repo_root" -B "$tsan_dir" \
   -DACBM_BUILD_BENCH=OFF \
   -DACBM_BUILD_EXAMPLES=OFF
 cmake --build "$tsan_dir" -j"$(nproc)"
-ctest --test-dir "$tsan_dir" -L 'observe|parallel' \
+ctest --test-dir "$tsan_dir" -L 'observe|parallel|distributed' \
   --output-on-failure -j"$(nproc)"
 
 nosimd_dir="${build_dir%/}-nosimd"

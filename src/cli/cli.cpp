@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <ostream>
@@ -16,6 +17,8 @@
 #include "core/inference.h"
 #include "core/observe.h"
 #include "core/pipeline.h"
+#include "core/robust.h"
+#include "core/shard.h"
 #include "stats/kernels.h"
 #include "trace/generator.h"
 #include "trace/world.h"
@@ -25,6 +28,7 @@ namespace acbm::cli {
 namespace {
 
 namespace durable = acbm::core::durable;
+namespace observe = acbm::core::observe;
 
 /// Minimal --key value parser; flags must all be known. Options named in
 /// `flags` are boolean switches and take no value.
@@ -108,6 +112,13 @@ void print_usage(std::ostream& out) {
          "             --dataset FILE --ipmap FILE --model FILE\n"
          "             [--fit-report FILE|-] [--checkpoint-dir DIR] [--resume]\n"
          "             [--degraded-floor N]\n"
+         "             [--workers N] sharded multi-process fit (requires\n"
+         "             --checkpoint-dir; byte-identical to --workers 0)\n"
+         "             [--worker-timeout MS] [--lease-ttl-ms MS]\n"
+         "  worker     fit shards of a sharded run (spawned by fit --workers;\n"
+         "             runnable by hand against a shared --checkpoint-dir)\n"
+         "             --dataset FILE --ipmap FILE --checkpoint-dir DIR\n"
+         "             [--worker-id N] [--lease-ttl-ms MS] [--ship-metrics]\n"
          "  predict    predict the next attack per target (fits on the fly\n"
          "             from --dataset/--ipmap, or loads --model FILE)\n"
          "             [--dataset FILE --ipmap FILE | --model FILE]\n"
@@ -136,7 +147,8 @@ void print_usage(std::ostream& out) {
          "\n"
          "exit codes: 0 ok, 1 internal error, 2 bad arguments,\n"
          "            3 load/corruption/write failure, 4 fit degraded beyond\n"
-         "            --degraded-floor\n";
+         "            --degraded-floor, 5 worker coordination timed out\n"
+         "            (--worker-timeout elapsed; workers were killed)\n";
 }
 
 /// Whole-file read with a command-oriented error message (exit code 3).
@@ -266,9 +278,28 @@ int cmd_stats(const ArgMap& args, std::ostream& out, std::ostream&) {
   return 0;
 }
 
+/// The executable to exec as `acbm worker`: ACBM_WORKER_BIN when set (test
+/// harnesses point it at the built binary), else this very binary.
+std::string worker_executable() {
+  if (const char* env = std::getenv("ACBM_WORKER_BIN");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  std::error_code ec;
+  const std::filesystem::path self =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (ec) {
+    throw std::runtime_error(
+        "cannot resolve the worker executable (/proc/self/exe unreadable; "
+        "set ACBM_WORKER_BIN)");
+  }
+  return self.string();
+}
+
 int cmd_fit(const ArgMap& args, std::ostream& out, std::ostream& err) {
   args.reject_unknown({"dataset", "ipmap", "model", "fit-report",
-                       "checkpoint-dir", "resume", "degraded-floor"});
+                       "checkpoint-dir", "resume", "degraded-floor", "workers",
+                       "worker-timeout", "lease-ttl-ms"});
   const std::string report_dest = args.get("fit-report").value_or("");
   // `--fit-report -` owns stdout: progress/info lines move to stderr so the
   // report is machine-readable without interleaving.
@@ -285,9 +316,64 @@ int cmd_fit(const ArgMap& args, std::ostream& out, std::ostream& err) {
 
   core::SpatiotemporalOptions opts;
   opts.spatial.grid_search = false;  // CLI favors responsiveness.
-  std::optional<core::CheckpointDir> checkpoint = open_checkpoint(
-      args,
-      run_config_hash({"fit", dataset_bytes, ipmap_bytes, "grid_search=0"}));
+  const std::uint64_t config_hash =
+      run_config_hash({"fit", dataset_bytes, ipmap_bytes, "grid_search=0"});
+  const int workers =
+      static_cast<int>(args.get_or<std::size_t>("workers", 0));
+  std::optional<core::CheckpointDir> checkpoint;
+  if (workers > 0) {
+    // Sharded multi-process fit: workers publish stages into the shared
+    // checkpoint dir; the merge below runs the ordinary fit with every
+    // stage cached, so the result is byte-identical to --workers 0 — even
+    // when workers crashed and the merge refits what they never finished.
+    const auto dir = args.get("checkpoint-dir");
+    if (!dir) {
+      throw std::invalid_argument("--workers requires --checkpoint-dir");
+    }
+    const int lease_ttl_ms =
+        static_cast<int>(args.get_or<std::size_t>("lease-ttl-ms", 2000));
+    core::ShardCoordinatorOptions copts;
+    copts.checkpoint_dir = *dir;
+    copts.config_hash = config_hash;
+    copts.workers = workers;
+    copts.worker_timeout_ms =
+        static_cast<int>(args.get_or<std::size_t>("worker-timeout", 0));
+    copts.lease_ttl_ms = lease_ttl_ms;
+    copts.fresh = !args.has("resume");
+    copts.aggregate_metrics = observe::enabled();
+    copts.child_unset_env = {"ACBM_TRACE", "ACBM_METRICS", "ACBM_PROFILE"};
+    const std::string exe = worker_executable();
+    const std::string dir_str = *dir;
+    const bool ship = observe::enabled();
+    copts.worker_argv = [exe, dataset_path, ipmap_path, dir_str, lease_ttl_ms,
+                         ship](int worker_id) {
+      std::vector<std::string> argv = {
+          exe,           "worker",
+          "--dataset",   dataset_path,
+          "--ipmap",     ipmap_path,
+          "--checkpoint-dir", dir_str,
+          "--worker-id", std::to_string(worker_id),
+          "--lease-ttl-ms", std::to_string(lease_ttl_ms)};
+      if (ship) argv.push_back("--ship-metrics");
+      return argv;
+    };
+    core::ShardCoordinator coordinator(copts);
+    const core::CoordinationOutcome outcome =
+        coordinator.run(core::shard_stages(dataset));
+    if (outcome == core::CoordinationOutcome::kTimeout) {
+      err << "error: worker coordination timed out after "
+          << copts.worker_timeout_ms << " ms; workers killed, no model "
+          << "written (rerun with --resume to reuse completed stages)\n";
+      return 5;
+    }
+    info << "workers: " << core::to_string(outcome) << "\n";
+    core::CheckpointDir::Options ckpt_opts;
+    ckpt_opts.config_hash = config_hash;
+    ckpt_opts.shared = true;
+    checkpoint.emplace(*dir, ckpt_opts);
+  } else {
+    checkpoint = open_checkpoint(args, config_hash);
+  }
   if (checkpoint) opts.checkpoint = &*checkpoint;
 
   core::AdversaryModel model(opts);
@@ -311,6 +397,51 @@ int cmd_fit(const ArgMap& args, std::ostream& out, std::ostream& err) {
       return 4;
     }
   }
+  return 0;
+}
+
+int cmd_worker(const ArgMap& args, std::ostream&, std::ostream& err) {
+  args.reject_unknown({"dataset", "ipmap", "checkpoint-dir", "worker-id",
+                       "lease-ttl-ms", "ship-metrics"});
+  const std::string dataset_path = args.require("dataset");
+  const std::string ipmap_path = args.require("ipmap");
+  const std::string checkpoint_dir = args.require("checkpoint-dir");
+  const std::string dataset_bytes = read_input(dataset_path, "dataset");
+  const std::string ipmap_bytes = read_input(ipmap_path, "ipmap");
+  const trace::Dataset dataset =
+      parse_dataset(dataset_bytes, dataset_path, err);
+  const net::IpToAsnMap ip_map = parse_ipmap(ipmap_bytes, ipmap_path);
+
+  // --ship-metrics turns collection on so the end-of-run snapshot has
+  // something to ship; the coordinator only passes it when its own
+  // observability session is active.
+  const bool ship = args.has("ship-metrics");
+  if (ship && !observe::enabled()) {
+    observe::Tracer::instance().reset();
+    observe::Metrics::instance().reset();
+    observe::set_enabled(true);
+  }
+
+  core::SpatiotemporalOptions model_opts;
+  model_opts.spatial.grid_search = false;  // Must match cmd_fit exactly.
+
+  core::ShardWorkerOptions wopts;
+  wopts.checkpoint_dir = checkpoint_dir;
+  // Recomputed from the same bytes cmd_fit hashes, so a worker pointed at
+  // the wrong dataset/ipmap refuses the shard plan instead of publishing
+  // stages under a mismatched key.
+  wopts.config_hash =
+      run_config_hash({"fit", dataset_bytes, ipmap_bytes, "grid_search=0"});
+  wopts.worker_id = static_cast<int>(args.get_or<std::size_t>("worker-id", 0));
+  wopts.lease_ttl_ms =
+      static_cast<int>(args.get_or<std::size_t>("lease-ttl-ms", 2000));
+  wopts.ship_metrics = ship;
+  core::ShardWorker worker(wopts);
+  const int fitted = worker.run(dataset, ip_map, model_opts);
+  // Stderr, not stdout: workers inherit the coordinator's streams and must
+  // not interleave with its machine-readable output.
+  err << "worker " << wopts.worker_id << ": fit " << fitted << " shards\n";
+  if (ship) observe::set_enabled(false);
   return 0;
 }
 
@@ -475,8 +606,6 @@ int cmd_evaluate(const ArgMap& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
-namespace observe = acbm::core::observe;
-
 /// Observability switches, shared by every command. They are stripped from
 /// the argument list before the per-command ArgMap parses it, so each
 /// command's reject_unknown list stays untouched.
@@ -597,8 +726,16 @@ int run(std::span<const std::string> args_in, std::ostream& out,
       args.erase(it);
       acbm::stats::set_fast_math(true);
     }
+    // A malformed ACBM_FAULTS spec parsed lazily inside the injector's
+    // constructor cannot throw there; surface it as a usage error before
+    // running anything under a half-configured fault set.
+    if (const std::string& fault_error =
+            acbm::core::FaultInjector::instance().config_error();
+        !fault_error.empty()) {
+      throw std::invalid_argument(fault_error);
+    }
     ObserveSession session(extract_observe_options(args));
-    const ArgMap options(args, 1, {"resume"});
+    const ArgMap options(args, 1, {"resume", "ship-metrics"});
     // Dispatch inside a lambda so each command's root span closes before
     // session.finish() drains the tracer.
     const auto dispatch = [&]() -> int {
@@ -609,6 +746,10 @@ int run(std::span<const std::string> args_in, std::ostream& out,
       if (args[0] == "fit") {
         ACBM_SPAN("cli.fit");
         return cmd_fit(options, out, err);
+      }
+      if (args[0] == "worker") {
+        ACBM_SPAN("cli.worker");
+        return cmd_worker(options, out, err);
       }
       if (args[0] == "stats") {
         ACBM_SPAN("cli.stats");

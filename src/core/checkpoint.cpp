@@ -1,8 +1,11 @@
 #include "core/checkpoint.h"
 
+#include <chrono>
 #include <fstream>
 #include <sstream>
 #include <system_error>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/observe.h"
@@ -15,6 +18,8 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr int kManifestFormat = 1;
+constexpr std::string_view kMarkerKind = "stage_done";
+constexpr std::string_view kMarkerSuffix = ".done";
 
 std::string json_escape(std::string_view text) {
   std::string out;
@@ -53,6 +58,48 @@ std::optional<std::string> json_string_field(std::string_view line,
   return std::nullopt;  // Unterminated string: treat as absent.
 }
 
+/// Extracts `key=<value>` from a marker payload of newline-separated pairs.
+std::optional<std::string> payload_field(std::string_view payload,
+                                         std::string_view key) {
+  std::size_t begin = 0;
+  while (begin <= payload.size()) {
+    std::size_t end = payload.find('\n', begin);
+    if (end == std::string_view::npos) end = payload.size();
+    const std::string_view line = payload.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.size() > key.size() && line.substr(0, key.size()) == key &&
+        line[key.size()] == '=') {
+      return std::string(line.substr(key.size() + 1));
+    }
+  }
+  return std::nullopt;
+}
+
+/// Reads one stage-completion marker. Returns the recorded stage name and
+/// payload CRC, or nullopt when the marker is missing, unreadable (possibly
+/// a reader racing its publisher — the stage just looks incomplete until
+/// the next check), or stamped with a different config hash.
+std::optional<std::pair<std::string, std::uint32_t>> parse_marker(
+    const fs::path& path, const std::string& config_hex) {
+  std::string payload;
+  try {
+    payload = durable::load_artifact(path, kMarkerKind, 1, 1, false, nullptr,
+                                     /*quarantine_on_error=*/false);
+  } catch (const durable::LoadFailure&) {
+    return std::nullopt;
+  }
+  const auto stage = payload_field(payload, "stage");
+  const auto config = payload_field(payload, "config");
+  const auto crc = payload_field(payload, "crc32c");
+  if (!stage || !config || !crc || *config != config_hex) return std::nullopt;
+  try {
+    return std::make_pair(
+        *stage, static_cast<std::uint32_t>(std::stoul(*crc, nullptr, 16)));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
 }  // namespace
 
 CheckpointDir::CheckpointDir(fs::path dir, Options opts)
@@ -62,6 +109,12 @@ CheckpointDir::CheckpointDir(fs::path dir, Options opts)
   if (ec) {
     throw durable::WriteFailure("checkpoint: cannot create directory " +
                                 dir_.string() + ": " + ec.message());
+  }
+  if (opts_.shared) {
+    refresh();
+    journal("open config_hash=" + durable::to_hex(opts_.config_hash) +
+            " shared stages=" + std::to_string(stages_.size()));
+    return;
   }
   if (opts_.resume) read_manifest();
   write_manifest();
@@ -86,46 +139,127 @@ fs::path CheckpointDir::artifact_path(std::string_view stage) const {
   return dir_ / (slug(stage) + ".art");
 }
 
-bool CheckpointDir::is_complete(std::string_view stage) const {
+fs::path CheckpointDir::marker_path(std::string_view stage) const {
+  return dir_ / (slug(stage) + std::string(kMarkerSuffix));
+}
+
+bool CheckpointDir::is_complete(std::string_view stage) {
+  if (stages_.find(std::string(stage)) != stages_.end()) return true;
+  if (opts_.shared) return read_marker(stage);
+  return false;
+}
+
+void CheckpointDir::refresh() {
+  if (!opts_.shared) return;
+  // Rebuild from the markers so the scan is authoritative both ways: it
+  // picks up stages other processes completed AND forgets stages another
+  // process condemned (dropped marker after an unrecoverable artifact).
+  stages_.clear();
+  const std::string config_hex = durable::to_hex(opts_.config_hash);
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const fs::path& path = entry.path();
+    if (path.extension() != kMarkerSuffix) continue;
+    if (const auto marker = parse_marker(path, config_hex)) {
+      stages_[marker->first] = marker->second;
+    }
+  }
+}
+
+bool CheckpointDir::read_marker(std::string_view stage) {
+  const auto marker =
+      parse_marker(marker_path(stage), durable::to_hex(opts_.config_hash));
+  if (!marker) return false;
+  stages_[marker->first] = marker->second;
   return stages_.find(std::string(stage)) != stages_.end();
 }
 
-std::optional<std::string> CheckpointDir::load(std::string_view stage) {
-  const auto it = stages_.find(std::string(stage));
-  if (it == stages_.end()) {
-    ACBM_COUNT("checkpoint.load.miss", 1);
-    return std::nullopt;
+void CheckpointDir::write_marker(std::string_view stage, std::uint32_t crc) {
+  std::string payload = "stage=" + std::string(stage) + "\nconfig=" +
+                        durable::to_hex(opts_.config_hash) + "\ncrc32c=" +
+                        durable::to_hex(crc) + "\n";
+  durable::save_artifact(marker_path(stage), kMarkerKind, 1, payload);
+}
+
+void CheckpointDir::drop_stage(const std::string& stage) {
+  stages_.erase(stage);
+  if (opts_.shared) {
+    // Remove the marker so every process (not just this one) reruns it.
+    std::error_code ec;
+    fs::remove(marker_path(stage), ec);
+  } else {
+    write_manifest();
   }
+}
+
+std::optional<std::string> CheckpointDir::load(std::string_view stage) {
+  if (stages_.find(std::string(stage)) == stages_.end()) {
+    if (!opts_.shared || !read_marker(stage)) {
+      ACBM_COUNT("checkpoint.load.miss", 1);
+      return std::nullopt;
+    }
+  }
+  FaultInjector& injector = FaultInjector::instance();
   const std::string kind = slug(stage);
   const fs::path primary = artifact_path(stage);
+  const int attempts = 1 + (opts_.read_retries > 0 ? opts_.read_retries : 0);
   for (int gen = 0; gen <= opts_.keep_generations; ++gen) {
     const fs::path candidate =
         gen == 0 ? primary
                  : fs::path(primary.string() + ".g" + std::to_string(gen));
     std::error_code ec;
     if (gen > 0 && !fs::exists(candidate, ec)) continue;
-    try {
-      std::string payload =
-          durable::load_artifact(candidate, kind, 1, 1, false, &report_);
-      if (gen > 0) {
-        report_.generation = gen;
-        journal("load " + std::string(stage) + " fallback-generation=" +
-                std::to_string(gen));
-      } else {
-        journal("load " + std::string(stage) + " ok");
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      const bool last = attempt + 1 == attempts;
+      try {
+        if (injector.enabled() && injector.fires("checkpoint.read", stage)) {
+          throw durable::LoadFailure(durable::LoadError::kBadChecksum,
+                                     "injected fault: checkpoint.read " +
+                                         std::string(stage));
+        }
+        // Non-final attempts read without quarantining: a bad read may just
+        // be a racing publisher mid-rename. Only the final attempt condemns
+        // the file (quarantine + report event).
+        std::string payload = durable::load_artifact(
+            candidate, kind, 1, 1, false, last ? &report_ : nullptr,
+            /*quarantine_on_error=*/last);
+        if (gen > 0) {
+          report_.generation = gen;
+          journal("load " + std::string(stage) + " fallback-generation=" +
+                  std::to_string(gen));
+        } else {
+          journal("load " + std::string(stage) + " ok");
+        }
+        ACBM_COUNT("checkpoint.load.hit", 1);
+        return payload;
+      } catch (const durable::LoadFailure& e) {
+        if (!last) {
+          ACBM_COUNT("checkpoint.load.retry", 1);
+          journal("load " + std::string(stage) + " retry attempt=" +
+                  std::to_string(attempt + 1) + " file=" + candidate.string() +
+                  " error=" + to_string(e.code()));
+          if (opts_.retry_backoff_ms > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(opts_.retry_backoff_ms
+                                          << attempt));
+          }
+          continue;
+        }
+        journal("load " + std::string(stage) + " corrupt file=" +
+                candidate.string() + " error=" + to_string(e.code()));
+        // load_artifact quarantined the bad copy (when the error class
+        // warrants it) and recorded the event; count the quarantine and
+        // fall through to the next generation.
+        if (!report_.events.empty() &&
+            report_.events.back().path == candidate.string() &&
+            !report_.events.back().quarantined_to.empty()) {
+          ACBM_COUNT("checkpoint.quarantine", 1);
+        }
       }
-      ACBM_COUNT("checkpoint.load.hit", 1);
-      return payload;
-    } catch (const durable::LoadFailure& e) {
-      journal("load " + std::string(stage) + " corrupt file=" +
-              candidate.string() + " error=" + to_string(e.code()));
-      // load_artifact already quarantined the bad copy and recorded the
-      // event; fall through to the next generation.
     }
   }
   journal("load " + std::string(stage) + " unrecoverable; stage will rerun");
-  stages_.erase(std::string(stage));
-  write_manifest();
+  drop_stage(std::string(stage));
   ACBM_COUNT("checkpoint.load.miss", 1);
   return std::nullopt;
 }
@@ -148,8 +282,9 @@ void CheckpointDir::store(std::string_view stage, std::string_view payload) {
 
   durable::save_artifact(primary, slug(stage), 1, payload);
 
-  // Crash window between artifact and marker: the artifact exists but the
-  // manifest never records completion, so resume reruns the stage.
+  // Crash window between artifact and completion record: the artifact
+  // exists but neither the manifest nor the marker records completion, so
+  // resume reruns the stage.
   FaultInjector& injector = FaultInjector::instance();
   if (injector.enabled() && injector.fires("checkpoint.stage", stage)) {
     throw durable::WriteFailure("injected fault: checkpoint.stage " +
@@ -157,7 +292,11 @@ void CheckpointDir::store(std::string_view stage, std::string_view payload) {
   }
 
   stages_[std::string(stage)] = durable::crc32c(payload);
-  write_manifest();
+  if (opts_.shared) {
+    write_marker(stage, stages_[std::string(stage)]);
+  } else {
+    write_manifest();
+  }
   ACBM_COUNT("checkpoint.store", 1);
   journal("store " + std::string(stage) + " crc32c=" +
           durable::to_hex(stages_[std::string(stage)]));

@@ -6,13 +6,25 @@
 // already completed — reaching the bit-identical final result an
 // uninterrupted run produces.
 //
-// Recovery policy on load: a corrupt stage artifact is quarantined
+// Recovery policy on load: a transiently unreadable artifact (a reader
+// racing a concurrent publisher) is retried a bounded number of times
+// first; a persistently corrupt copy is then quarantined
 // (`*.corrupt-<n>`), the newest valid generation (`.g1`, `.g2`, ...) is
 // used instead, and when no generation survives the stage simply reruns.
 //
-// Fault point wired here (see robust.h FaultInjector):
+// Shared (multi-process) mode: with Options::shared the completion record
+// moves from the single run.json manifest (which concurrent writers would
+// clobber) to one durable `<slug>.done` marker file per stage, each
+// carrying the run's config hash and the payload CRC. Stage artifacts are
+// only ever written by the worker holding that shard's lease (core/shard.h),
+// and every writer publishes deterministic, identical bytes, so even a
+// stolen-lease double publish is benign.
+//
+// Fault points wired here (see robust.h FaultInjector):
 //   checkpoint.stage   key "<stage>"  crash between the stage artifact
 //                                     write and the manifest update
+//   checkpoint.read    key "<stage>"  fail one artifact read attempt
+//                                     (exercises the bounded retry)
 #pragma once
 
 #include <cstdint>
@@ -53,9 +65,20 @@ class CheckpointDir final : public StageStore {
     std::uint64_t config_hash = 0;
     /// Reuse compatible completed stages from a previous run. When false
     /// the manifest starts empty (prior artifacts rotate to generations).
+    /// Ignored in shared mode, which always honors existing markers — a
+    /// fresh shared run clears them first (ShardCoordinator does this).
     bool resume = false;
     /// Prior artifact copies kept per stage for corruption fallback.
     int keep_generations = 2;
+    /// Multi-process mode: record stage completion in per-stage `.done`
+    /// marker files instead of the (single-writer) run.json manifest.
+    bool shared = false;
+    /// Extra read attempts before a corrupt-looking artifact is condemned
+    /// and quarantined. Covers a reader racing a concurrent publisher in
+    /// shared mode; each retry backs off briefly.
+    int read_retries = 2;
+    /// Base backoff between read retries (0 disables the sleep for tests).
+    int retry_backoff_ms = 2;
   };
 
   CheckpointDir(std::filesystem::path dir, Options opts);
@@ -64,8 +87,14 @@ class CheckpointDir final : public StageStore {
   void store(std::string_view stage, std::string_view payload) override;
 
   /// True when the manifest records the stage as completed under this run's
-  /// config hash (the artifact may still turn out corrupt on load()).
-  [[nodiscard]] bool is_complete(std::string_view stage) const;
+  /// config hash (the artifact may still turn out corrupt on load()). In
+  /// shared mode a stage unknown to this process is re-checked against its
+  /// on-disk marker, so completions published by other workers are seen.
+  [[nodiscard]] bool is_complete(std::string_view stage);
+
+  /// Shared mode: rescans every `.done` marker in the directory, picking up
+  /// stages other processes completed since construction. No-op otherwise.
+  void refresh();
 
   /// Recovery events accumulated across load() calls.
   [[nodiscard]] const durable::LoadReport& report() const noexcept {
@@ -85,6 +114,15 @@ class CheckpointDir final : public StageStore {
   void journal(std::string_view line);
   [[nodiscard]] std::filesystem::path artifact_path(
       std::string_view stage) const;
+  [[nodiscard]] std::filesystem::path marker_path(std::string_view stage) const;
+  /// Shared mode: durably records `stage` as complete via its marker file.
+  void write_marker(std::string_view stage, std::uint32_t crc);
+  /// Shared mode: reads one stage's marker (config-hash checked) into
+  /// stages_. Returns true when the stage is now known complete.
+  bool read_marker(std::string_view stage);
+  /// Shared mode: forgets a stage everywhere (memory + marker file) so
+  /// every process reruns it.
+  void drop_stage(const std::string& stage);
 
   std::filesystem::path dir_;
   Options opts_;

@@ -321,7 +321,8 @@ std::filesystem::path quarantine(const std::filesystem::path& path) {
 
 std::string load_artifact(const std::filesystem::path& path,
                           std::string_view kind, int min_version,
-                          int max_version, bool legacy_ok, LoadReport* report) {
+                          int max_version, bool legacy_ok, LoadReport* report,
+                          bool quarantine_on_error) {
   const std::string data = read_file(path);
   if (!looks_framed(data)) {
     if (legacy_ok) {
@@ -337,6 +338,9 @@ std::string load_artifact(const std::filesystem::path& path,
   } catch (const LoadFailure& e) {
     // A merely-newer schema is an intact file: report, don't quarantine.
     if (e.code() == LoadError::kVersionUnsupported) {
+      throw LoadFailure(e.code(), path.string() + ": " + e.what());
+    }
+    if (!quarantine_on_error) {
       throw LoadFailure(e.code(), path.string() + ": " + e.what());
     }
     const std::filesystem::path dest = quarantine(path);

@@ -194,10 +194,14 @@ auto load_framed_stream(std::istream& is, std::string_view kind,
 /// quarantined, the event is recorded in `report`, and a typed LoadFailure
 /// is thrown. When `legacy_ok`, unframed content is returned as-is with
 /// `report->legacy` set (for pre-framing v2 artifacts); intact files with a
-/// merely unsupported version are NOT quarantined.
+/// merely unsupported version are NOT quarantined. Pass
+/// `quarantine_on_error = false` to leave a corrupt file in place (readers
+/// that retry a possibly-transient bad read before condemning the artifact,
+/// e.g. CheckpointDir::load racing a concurrent publisher).
 [[nodiscard]] std::string load_artifact(const std::filesystem::path& path,
                                         std::string_view kind, int min_version,
                                         int max_version, bool legacy_ok,
-                                        LoadReport* report = nullptr);
+                                        LoadReport* report = nullptr,
+                                        bool quarantine_on_error = true);
 
 }  // namespace acbm::core::durable

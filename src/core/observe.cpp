@@ -198,6 +198,17 @@ std::uint64_t Metrics::counter_value(std::string_view name) const {
   return it == counters_.end() ? 0 : it->second->value();
 }
 
+std::vector<std::pair<std::string, std::uint64_t>> Metrics::counters_snapshot()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
 void Metrics::write_prometheus(std::ostream& os) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [name, counter] : counters_) {

@@ -36,6 +36,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace acbm::core::observe {
@@ -135,6 +136,12 @@ class Metrics {
 
   /// Current value of a counter, 0 when it was never registered.
   [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+  /// Every registered counter and its current value, sorted by name.
+  /// Deterministic; used to ship a worker process's counters to the
+  /// coordinator for aggregation (core/shard.h).
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  counters_snapshot() const;
 
   /// One-shot Prometheus text-exposition dump (acbm_ prefix, dots become
   /// underscores, counters get _total). Deterministic: sorted by name.

@@ -129,7 +129,13 @@ FaultInjector& FaultInjector::instance() {
 FaultInjector::FaultInjector() {
   if (const char* env = std::getenv("ACBM_FAULTS");
       env != nullptr && *env != '\0') {
-    configure(env);
+    try {
+      configure(env);
+    } catch (const FaultSpecError& e) {
+      // A constructor running lazily inside an instrumented call site has
+      // no useful throw path; record the error for the CLI to surface.
+      config_error_ = e.what();
+    }
   }
 }
 
@@ -139,16 +145,40 @@ void FaultInjector::configure(std::string_view spec) {
   while (begin <= spec.size()) {
     std::size_t end = spec.find(';', begin);
     if (end == std::string_view::npos) end = spec.size();
-    const std::string_view entry = spec.substr(begin, end - begin);
+    std::string_view entry = spec.substr(begin, end - begin);
     begin = end + 1;
     if (entry.empty()) continue;
     Rule rule;
+    // Trailing '#limit' caps the entry's fire count. The split is on the
+    // last '#', so '#' cannot appear inside a filter — a documented
+    // limitation of the grammar.
+    if (const std::size_t hash = entry.rfind('#');
+        hash != std::string_view::npos) {
+      const std::string_view digits = entry.substr(hash + 1);
+      if (digits.empty() ||
+          digits.find_first_not_of("0123456789") != std::string_view::npos) {
+        throw FaultSpecError("fault spec: entry '" + std::string(entry) +
+                             "' has a malformed '#limit' (need a positive "
+                             "integer)");
+      }
+      rule.limit = std::stoull(std::string(digits));
+      if (rule.limit == 0) {
+        throw FaultSpecError("fault spec: entry '" + std::string(entry) +
+                             "' has limit 0 (a rule that never fires; drop "
+                             "the entry instead)");
+      }
+      entry = entry.substr(0, hash);
+    }
     if (const std::size_t colon = entry.find(':');
         colon != std::string_view::npos) {
       rule.point = std::string(entry.substr(0, colon));
       rule.filter = std::string(entry.substr(colon + 1));
     } else {
       rule.point = std::string(entry);
+    }
+    if (rule.point.empty()) {
+      throw FaultSpecError("fault spec: entry '" + std::string(entry) +
+                           "' names no fault point");
     }
     rules.push_back(std::move(rule));
   }
@@ -157,12 +187,34 @@ void FaultInjector::configure(std::string_view spec) {
   enabled_.store(!rules_.empty(), std::memory_order_relaxed);
 }
 
+std::string FaultInjector::spec() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const Rule& rule : rules_) {
+    if (!out.empty()) out += ';';
+    out += rule.point;
+    if (!rule.filter.empty()) {
+      out += ':';
+      out += rule.filter;
+    }
+    if (rule.limit > 0) {
+      out += '#';
+      out += std::to_string(rule.limit);
+    }
+  }
+  return out;
+}
+
 bool FaultInjector::fires(std::string_view point, std::string_view key) const {
   if (!enabled()) return false;
   const std::lock_guard<std::mutex> lock(mutex_);
-  for (const Rule& rule : rules_) {
+  for (Rule& rule : rules_) {
     if (rule.point != point) continue;
     if (rule.filter.empty() || key.find(rule.filter) != std::string_view::npos) {
+      if (rule.limit > 0) {
+        if (rule.fired >= rule.limit) continue;  // Budget spent: next rule.
+        ++rule.fired;
+      }
       if (observe::enabled()) {
         observe::Metrics::instance()
             .counter(std::string("fault.trip.") + std::string(point))

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <mutex>
 #include <optional>
@@ -178,6 +179,13 @@ class FitReport {
 
 // --- Deterministic fault injection ----------------------------------------
 
+/// Malformed ACBM_FAULTS / configure() spec. Derives from
+/// std::invalid_argument so the CLI maps it to the usage exit code (2).
+class FaultSpecError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
 /// Process-wide fault-injection switchboard. Faults are keyed by fault-point
 /// name and an optional key-substring filter — never by RNG draws or
 /// execution order — so a faulted run stays bit-identical at any thread
@@ -185,11 +193,17 @@ class FitReport {
 ///
 /// Spec grammar (from ACBM_FAULTS or configure()):
 ///   spec  := entry (';' entry)*
-///   entry := point [':' filter]
+///   entry := point [':' filter] ['#' limit]
 /// `fires(point, key)` is true when an entry's point matches exactly and its
-/// filter (if present) is a substring of `key`. Examples:
+/// filter (if present) is a substring of `key`. A `#limit` suffix caps how
+/// many times the entry fires (it deactivates afterwards); a malformed limit
+/// (non-numeric, zero, trailing garbage) throws FaultSpecError instead of
+/// being silently ignored. Limits count fires() calls in arrival order, so
+/// use them on single-threaded / process-level points (worker.*, lease.*,
+/// checkpoint.read) where that order is deterministic. Examples:
 ///   ACBM_FAULTS="temporal.nonfinite:family=DirtJumper"
 ///   ACBM_FAULTS="nar.nonconvergence:attempt=0;tree.fail:hour"
+///   ACBM_FAULTS="worker.exit:shard=spatial#1"
 ///
 /// Fault points wired in this repo:
 ///   parallel.worker        key "index=<i>"       throw inside a pool worker
@@ -201,14 +215,41 @@ class FitReport {
 ///   io.fsync               key "path=<p>"        fail the durability fsync
 ///   checkpoint.stage       key "<stage>"         crash between a stage's
 ///                                                artifact and its marker
+///   checkpoint.read        key "<stage>"         transient stage-artifact
+///                                                read failure (retry path)
+///   worker.spawn           key "worker=<id>"     fail spawning that worker
+///                                                process (shard.h)
+///   worker.exit            key "worker=<id>/shard=<stage>"  worker crashes
+///                                                (SIGKILL itself) right
+///                                                after leasing the shard
+///   lease.expire           key "shard=<stage>"   treat the held lease as
+///                                                already stale (forces a
+///                                                steal)
+///   heartbeat.drop         key "worker=<id>"     worker skips its lease
+///                                                heartbeats
 class FaultInjector {
  public:
   static FaultInjector& instance();
 
   /// Replaces the active fault set (overrides ACBM_FAULTS). Call between
-  /// fits, not while a parallel fit is in flight.
+  /// fits, not while a parallel fit is in flight. Throws FaultSpecError on
+  /// a malformed entry (e.g. a bad '#limit'); the previous rules stay
+  /// active in that case.
   void configure(std::string_view spec);
   void clear() { configure({}); }
+
+  /// Canonical round-trip of the active rules ("point[:filter][#limit]"
+  /// joined by ';'). configure(spec()) restores the same behavior with
+  /// fresh fire budgets — the coordinator uses this to forward ACBM_FAULTS
+  /// to spawned workers verbatim.
+  [[nodiscard]] std::string spec() const;
+
+  /// Non-empty when the ACBM_FAULTS environment spec failed to parse at
+  /// first use (a constructor cannot throw usefully); the CLI surfaces it
+  /// as a usage error. Direct configure() calls throw instead.
+  [[nodiscard]] const std::string& config_error() const noexcept {
+    return config_error_;
+  }
 
   /// Lock-free fast path: false when no faults are configured.
   [[nodiscard]] bool enabled() const noexcept {
@@ -224,11 +265,14 @@ class FaultInjector {
   struct Rule {
     std::string point;
     std::string filter;  ///< Empty: any key at this point fires.
+    std::uint64_t limit = 0;  ///< 0 = unlimited; else max fires.
+    std::uint64_t fired = 0;  ///< Fires consumed (when limit > 0).
   };
 
   mutable std::mutex mutex_;
-  std::vector<Rule> rules_;
+  mutable std::vector<Rule> rules_;
   std::atomic<bool> enabled_{false};
+  std::string config_error_;
 };
 
 /// Fault hook for parallel_for workers: throws FitFailure(kWorkerFailed)

@@ -56,6 +56,84 @@ void poison_family_series(FamilySeries& series) {
 }
 }  // namespace
 
+std::optional<TemporalModel> fit_family_temporal(
+    const trace::Dataset& train, FeatureCache& features, std::uint32_t family,
+    const SpatiotemporalOptions& opts) {
+  const std::shared_ptr<const FamilySeries> series = features.family(family);
+  if (series->attack_indices.size() < 2) return std::nullopt;
+  TemporalModel model(opts.temporal);
+  FaultInjector& injector = FaultInjector::instance();
+  if (injector.enabled() &&
+      injector.fires("temporal.nonfinite",
+                     "family=" + train.family_names()[family])) {
+    // Poison a private copy; the cached series stays pristine for the other
+    // stages.
+    FamilySeries poisoned = *series;
+    poison_family_series(poisoned);
+    model.fit(poisoned);
+  } else {
+    model.fit(*series);
+  }
+  return model;
+}
+
+std::optional<SpatialModel> fit_target_spatial(
+    const trace::Dataset& train, const net::IpToAsnMap& ip_map,
+    FeatureCache& features, net::Asn target,
+    const SpatiotemporalOptions& opts) {
+  const std::shared_ptr<const TargetSeries> shared = features.target(target);
+  if (shared->attack_indices.size() < opts.min_target_attacks) {
+    return std::nullopt;
+  }
+  SpatialModel model(opts.spatial);
+  if (opts.max_target_history > 0 &&
+      shared->attack_indices.size() > opts.max_target_history) {
+    // Limited-information setting: keep only the most recent attacks. Trim
+    // a private copy — row assembly needs the cached full-history series.
+    TargetSeries series = *shared;
+    const std::size_t drop =
+        series.attack_indices.size() - opts.max_target_history;
+    const auto trim = [drop](std::vector<double>& v) {
+      v.erase(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(drop));
+    };
+    series.attack_indices.erase(
+        series.attack_indices.begin(),
+        series.attack_indices.begin() + static_cast<std::ptrdiff_t>(drop));
+    trim(series.duration_s);
+    trim(series.interval_s);
+    trim(series.hour);
+    trim(series.day);
+    trim(series.magnitude);
+    model.fit(series, train, ip_map);
+  } else {
+    model.fit(*shared, train, ip_map);
+  }
+  return model;
+}
+
+std::string encode_temporal_stage(const std::optional<TemporalModel>& model) {
+  if (!model) return {};
+  std::ostringstream body;
+  model->save(body);
+  return body.str();
+}
+
+std::string encode_spatial_stage(
+    const std::unordered_map<net::Asn, SpatialModel>& spatial) {
+  namespace io = acbm::stats::io;
+  std::ostringstream os;
+  io::write_scalar(os, "spatial_count", spatial.size());
+  std::vector<net::Asn> targets;
+  targets.reserve(spatial.size());
+  for (const auto& [asn, model] : spatial) targets.push_back(asn);
+  std::sort(targets.begin(), targets.end());
+  for (net::Asn asn : targets) {
+    io::write_scalar(os, "target", asn);
+    spatial.at(asn).save(os);
+  }
+  return os.str();
+}
+
 std::vector<double> StFeatures::hour_row() const {
   return {tmp_hour, spa_hour, tmp_interval_s / 3600.0, prev_hour, mean_hour,
           avg_magnitude};
@@ -228,22 +306,8 @@ void SpatiotemporalModel::fit(const trace::Dataset& train,
               cached_family[f].reset();  // Unusable payload: refit below.
             }
           }
-          const std::shared_ptr<const FamilySeries> series =
-              features.family(static_cast<std::uint32_t>(f));
-          if (series->attack_indices.size() < 2) return std::nullopt;
-          TemporalModel model(opts_.temporal);
-          if (injector.enabled() &&
-              injector.fires("temporal.nonfinite",
-                             "family=" + train.family_names()[f])) {
-            // Poison a private copy; the cached series stays pristine for
-            // the other stages.
-            FamilySeries poisoned = *series;
-            poison_family_series(poisoned);
-            model.fit(poisoned);
-          } else {
-            model.fit(*series);
-          }
-          return model;
+          return fit_family_temporal(train, features,
+                                     static_cast<std::uint32_t>(f), opts_);
         });
     for (std::uint32_t family = 0; family < n_families; ++family) {
       const std::string& name = train.family_names()[family];
@@ -256,9 +320,8 @@ void SpatiotemporalModel::fit(const trace::Dataset& train,
           report_.merge("temporal/" + name + "/",
                         family_fits[family]->fit_report());
           if (checkpoint != nullptr) {
-            std::ostringstream body;
-            family_fits[family]->save(body);
-            checkpoint->store("temporal/" + name, body.str());
+            checkpoint->store("temporal/" + name,
+                              encode_temporal_stage(family_fits[family]));
           }
         }
         temporal_.emplace(family, std::move(*family_fits[family]));
@@ -306,38 +369,8 @@ void SpatiotemporalModel::fit(const trace::Dataset& train,
           targets.size(), [&](std::size_t t) -> std::optional<SpatialModel> {
             ACBM_SPAN_KV("fit.target",
                          "asn=" + std::to_string(targets[t]));
-            const std::shared_ptr<const TargetSeries> shared =
-                features.target(targets[t]);
-            if (shared->attack_indices.size() < opts_.min_target_attacks) {
-              return std::nullopt;
-            }
-            SpatialModel model(opts_.spatial);
-            if (opts_.max_target_history > 0 &&
-                shared->attack_indices.size() > opts_.max_target_history) {
-              // Limited-information setting: keep only the most recent
-              // attacks. Trim a private copy — row assembly below needs the
-              // cached full-history series.
-              TargetSeries series = *shared;
-              const std::size_t drop =
-                  series.attack_indices.size() - opts_.max_target_history;
-              const auto trim = [drop](std::vector<double>& v) {
-                v.erase(v.begin(),
-                        v.begin() + static_cast<std::ptrdiff_t>(drop));
-              };
-              series.attack_indices.erase(
-                  series.attack_indices.begin(),
-                  series.attack_indices.begin() +
-                      static_cast<std::ptrdiff_t>(drop));
-              trim(series.duration_s);
-              trim(series.interval_s);
-              trim(series.hour);
-              trim(series.day);
-              trim(series.magnitude);
-              model.fit(series, train, ip_map);
-            } else {
-              model.fit(*shared, train, ip_map);
-            }
-            return model;
+            return fit_target_spatial(train, ip_map, features, targets[t],
+                                      opts_);
           });
       for (std::size_t t = 0; t < targets.size(); ++t) {
         if (target_fits[t]) {
@@ -574,17 +607,7 @@ SpatiotemporalModel SpatiotemporalModel::load_framed(std::istream& is) {
 }
 
 std::string SpatiotemporalModel::save_spatial_stage() const {
-  namespace io = acbm::stats::io;
-  std::ostringstream os;
-  io::write_scalar(os, "spatial_count", spatial_.size());
-  std::vector<net::Asn> targets;
-  for (const auto& [asn, model] : spatial_) targets.push_back(asn);
-  std::sort(targets.begin(), targets.end());
-  for (net::Asn asn : targets) {
-    io::write_scalar(os, "target", asn);
-    spatial_.at(asn).save(os);
-  }
-  return os.str();
+  return encode_spatial_stage(spatial_);
 }
 
 void SpatiotemporalModel::load_spatial_stage(const std::string& payload) {

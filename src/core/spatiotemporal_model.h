@@ -178,6 +178,38 @@ struct StRow {
   net::Asn target_asn = 0;
 };
 
+// --- Shared stage-fit helpers ----------------------------------------------
+//
+// SpatiotemporalModel::fit and the sharded worker path (core/shard.h) fit
+// checkpoint stages through these same functions, so a stage artifact is
+// byte-identical whether it was produced by a single-process fit, a resumed
+// fit, or any worker of a multi-process run. They include the stage's fault
+// hooks (temporal.nonfinite) for the same reason.
+
+/// Fits one family's temporal model from the shared FeatureCache. Returns
+/// nullopt when the family is unmodelable (fewer than 2 attacks).
+[[nodiscard]] std::optional<TemporalModel> fit_family_temporal(
+    const trace::Dataset& train, FeatureCache& features, std::uint32_t family,
+    const SpatiotemporalOptions& opts);
+
+/// Fits one target's spatial model. Returns nullopt when the target has
+/// fewer than `opts.min_target_attacks` training attacks. Honors
+/// `opts.max_target_history` (limited-information trimming).
+[[nodiscard]] std::optional<SpatialModel> fit_target_spatial(
+    const trace::Dataset& train, const net::IpToAsnMap& ip_map,
+    FeatureCache& features, net::Asn target,
+    const SpatiotemporalOptions& opts);
+
+/// "temporal/<family>" stage payload: the model's text serialization, or the
+/// empty string for an unmodelable family (a completed stage with no model).
+[[nodiscard]] std::string encode_temporal_stage(
+    const std::optional<TemporalModel>& model);
+
+/// "spatial" stage payload: every fitted target model, sorted by ASN so the
+/// bytes are independent of map iteration order.
+[[nodiscard]] std::string encode_spatial_stage(
+    const std::unordered_map<net::Asn, SpatialModel>& spatial);
+
 /// Builds causal prediction rows over `dataset` using already-fitted
 /// sub-models: for each target with a spatial model, every attack beyond the
 /// warmup gets a row whose sub-model predictions use only earlier attacks.

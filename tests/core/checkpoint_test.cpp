@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/durable.h"
+#include "core/observe.h"
 #include "core/robust.h"
 
 namespace acbm::core {
@@ -17,6 +18,19 @@ namespace fs = std::filesystem;
 struct FaultGuard {
   FaultGuard() { FaultInjector::instance().clear(); }
   ~FaultGuard() { FaultInjector::instance().clear(); }
+};
+
+/// Turns the metric registry on (reset) for one test, off afterwards, so
+/// counter assertions see only this test's increments.
+struct MetricsGuard {
+  MetricsGuard() {
+    observe::Metrics::instance().reset();
+    observe::set_enabled(true);
+  }
+  ~MetricsGuard() {
+    observe::set_enabled(false);
+    observe::Metrics::instance().reset();
+  }
 };
 
 struct TempDir {
@@ -187,6 +201,129 @@ TEST(CheckpointDirTest, StageFaultCrashesBeforeTheManifestUpdate) {
   CheckpointDir resumed(dir, opts_with(9, true));
   EXPECT_FALSE(resumed.is_complete("spatial"));
   EXPECT_FALSE(resumed.load("spatial").has_value());
+}
+
+CheckpointDir::Options shared_opts(std::uint64_t hash) {
+  CheckpointDir::Options opts;
+  opts.config_hash = hash;
+  opts.shared = true;
+  opts.retry_backoff_ms = 0;  // Keep the retry tests fast.
+  return opts;
+}
+
+TEST(CheckpointSharedTest, MarkersPublishCompletionAcrossInstances) {
+  TempDir tmp;
+  const fs::path dir = tmp.path / "run";
+  CheckpointDir writer(dir, shared_opts(11));
+  CheckpointDir reader(dir, shared_opts(11));
+  EXPECT_FALSE(reader.is_complete("spatial"));
+  writer.store("spatial", "published by another process");
+  // No refresh needed: is_complete re-checks the on-disk marker.
+  EXPECT_TRUE(reader.is_complete("spatial"));
+  EXPECT_EQ(reader.load("spatial"), "published by another process");
+  EXPECT_TRUE(fs::exists(dir / "spatial.done"));
+}
+
+TEST(CheckpointSharedTest, MarkersIgnoreAForeignConfigHash) {
+  TempDir tmp;
+  const fs::path dir = tmp.path / "run";
+  {
+    CheckpointDir writer(dir, shared_opts(11));
+    writer.store("spatial", "payload");
+  }
+  CheckpointDir other(dir, shared_opts(12));
+  EXPECT_FALSE(other.is_complete("spatial"));
+  EXPECT_FALSE(other.load("spatial").has_value());
+}
+
+TEST(CheckpointSharedTest, RefreshPicksUpMarkersAndDropRemovesThem) {
+  TempDir tmp;
+  const fs::path dir = tmp.path / "run";
+  CheckpointDir a(dir, shared_opts(11));
+  a.store("tree", "payload");
+  // A shared dir opened later honors existing markers regardless of the
+  // resume flag (a fresh run's coordinator wipes them explicitly).
+  CheckpointDir b(dir, shared_opts(11));
+  EXPECT_TRUE(b.is_complete("tree"));
+  b.refresh();
+  EXPECT_TRUE(b.is_complete("tree"));
+  // An unrecoverable artifact drops the marker for every process.
+  std::ofstream(dir / "tree.art", std::ios::binary | std::ios::trunc)
+      << "garbage";
+  EXPECT_FALSE(b.load("tree").has_value());
+  EXPECT_FALSE(fs::exists(dir / "tree.done"));
+  a.refresh();
+  EXPECT_FALSE(a.is_complete("tree"));
+}
+
+TEST(CheckpointRetryTest, TransientReadFaultRetriesThenSucceeds) {
+  FaultGuard guard;
+  MetricsGuard metrics;
+  TempDir tmp;
+  CheckpointDir ckpt(tmp.path / "run", opts_with(3, false));
+  ckpt.store("spatial", "payload");
+  // Two injected failures, then the bounded retry's final attempt wins —
+  // the mid-publish reader/writer race, compressed.
+  FaultInjector::instance().configure("checkpoint.read:spatial#2");
+  EXPECT_EQ(ckpt.load("spatial"), "payload");
+  observe::Metrics& reg = observe::Metrics::instance();
+  EXPECT_EQ(reg.counter("checkpoint.load.retry").value(), 2U);
+  EXPECT_EQ(reg.counter("checkpoint.quarantine").value(), 0U);
+}
+
+TEST(CheckpointRetryTest, PersistentReadFaultDropsWithoutQuarantine) {
+  FaultGuard guard;
+  MetricsGuard metrics;
+  TempDir tmp;
+  const fs::path dir = tmp.path / "run";
+  CheckpointDir ckpt(dir, opts_with(3, false));
+  ckpt.store("spatial", "payload");
+  FaultInjector::instance().configure("checkpoint.read:spatial");
+  EXPECT_FALSE(ckpt.load("spatial").has_value());
+  // The injected failure never condemned the (actually healthy) file.
+  EXPECT_TRUE(fs::exists(dir / "spatial.art"));
+  EXPECT_FALSE(fs::exists(dir / "spatial.art.corrupt-1"));
+  EXPECT_EQ(
+      observe::Metrics::instance().counter("checkpoint.quarantine").value(),
+      0U);
+  // The stage was dropped: once the fault clears, a rerun can store it.
+  FaultInjector::instance().clear();
+  EXPECT_FALSE(ckpt.is_complete("spatial"));
+  ckpt.store("spatial", "rebuilt");
+  EXPECT_EQ(ckpt.load("spatial"), "rebuilt");
+}
+
+TEST(CheckpointRetryTest, RepeatedCorruptionWalksBackTwoGenerations) {
+  MetricsGuard metrics;
+  TempDir tmp;
+  const fs::path dir = tmp.path / "run";
+  {
+    CheckpointDir ckpt(dir, opts_with(7, false));
+    ckpt.store("spatial", "generation one");
+    ckpt.store("spatial", "generation two");
+    ckpt.store("spatial", "generation three");  // .g2 holds "generation one".
+  }
+  // Payload bit-flips (the frame header survives, so both copies fail with
+  // bad_checksum — the error class that quarantines).
+  for (const char* name : {"spatial.art", "spatial.art.g1"}) {
+    const fs::path path = dir / name;
+    std::string bytes = durable::read_file(path);
+    bytes.back() ^= 0x20;
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+  }
+
+  CheckpointDir resumed(dir, opts_with(7, true));
+  const auto loaded = resumed.load("spatial");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, "generation one");
+  EXPECT_EQ(resumed.report().generation, 2);
+  // Exactly the two corrupt copies were quarantined, after each exhausted
+  // its bounded retry (read_retries=2 -> two retry bumps per copy).
+  observe::Metrics& reg = observe::Metrics::instance();
+  EXPECT_EQ(reg.counter("checkpoint.quarantine").value(), 2U);
+  EXPECT_EQ(reg.counter("checkpoint.load.retry").value(), 4U);
+  EXPECT_TRUE(fs::exists(dir / "spatial.art.corrupt-1"));
+  EXPECT_TRUE(fs::exists(dir / "spatial.art.g1.corrupt-1"));
 }
 
 TEST(CheckpointDirTest, IoWriteFaultDuringStoreLeavesStageIncomplete) {

@@ -207,6 +207,74 @@ TEST(FaultInjectorTest, ColonOnlyFilterMatchesEverything) {
   EXPECT_TRUE(injector.fires("tree.fail", ""));
 }
 
+TEST(FaultInjectorTest, FireLimitCapsTheBudgetThenDeactivates) {
+  FaultGuard guard;
+  FaultInjector& injector = FaultInjector::instance();
+  injector.configure("tree.fail#2");
+  EXPECT_TRUE(injector.fires("tree.fail", "hour"));
+  EXPECT_TRUE(injector.fires("tree.fail", "day"));
+  // Budget spent: the rule stays configured but never fires again.
+  EXPECT_FALSE(injector.fires("tree.fail", "hour"));
+  EXPECT_TRUE(injector.enabled());
+}
+
+TEST(FaultInjectorTest, SpecRoundTripsCanonicallyWithFreshBudgets) {
+  FaultGuard guard;
+  FaultInjector& injector = FaultInjector::instance();
+  injector.configure("worker.exit:shard=spatial#1;lease.expire;tree.fail:hour");
+  EXPECT_EQ(injector.spec(),
+            "worker.exit:shard=spatial#1;lease.expire;tree.fail:hour");
+  ASSERT_TRUE(injector.fires("worker.exit", "worker=0/shard=spatial"));
+  ASSERT_FALSE(injector.fires("worker.exit", "worker=1/shard=spatial"));
+  // spec() does not serialize consumed budgets: reconfiguring from it (the
+  // coordinator-to-worker handoff) restores a fresh fire budget.
+  injector.configure(injector.spec());
+  EXPECT_TRUE(injector.fires("worker.exit", "worker=1/shard=spatial"));
+}
+
+TEST(FaultInjectorTest, MalformedSpecsThrowTypedErrors) {
+  FaultGuard guard;
+  FaultInjector& injector = FaultInjector::instance();
+  EXPECT_THROW(injector.configure("tree.fail#"), FaultSpecError);
+  EXPECT_THROW(injector.configure("tree.fail#x"), FaultSpecError);
+  EXPECT_THROW(injector.configure("tree.fail#2x"), FaultSpecError);
+  EXPECT_THROW(injector.configure("tree.fail#-1"), FaultSpecError);
+  EXPECT_THROW(injector.configure("tree.fail#0"), FaultSpecError);
+  EXPECT_THROW(injector.configure(":hour"), FaultSpecError);
+  EXPECT_THROW(injector.configure("#1"), FaultSpecError);
+  // FaultSpecError is an invalid_argument: the CLI maps it to exit 2.
+  try {
+    injector.configure("tree.fail#0");
+    FAIL() << "limit 0 must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("limit 0"), std::string::npos);
+  }
+}
+
+TEST(FaultInjectorTest, RejectedSpecLeavesPriorRulesActive) {
+  FaultGuard guard;
+  FaultInjector& injector = FaultInjector::instance();
+  injector.configure("tree.fail:hour");
+  EXPECT_THROW(injector.configure("io.write#bad"), FaultSpecError);
+  EXPECT_TRUE(injector.fires("tree.fail", "hour"));
+  EXPECT_FALSE(injector.fires("io.write", "path=x"));
+}
+
+TEST(FaultInjectorTest, ProcessLevelPointsParseAndFilter) {
+  FaultGuard guard;
+  FaultInjector& injector = FaultInjector::instance();
+  injector.configure(
+      "worker.spawn:worker=1;worker.exit:worker=0/shard=tree;"
+      "lease.expire:shard=spatial;heartbeat.drop:worker=2");
+  EXPECT_TRUE(injector.fires("worker.spawn", "worker=1"));
+  EXPECT_FALSE(injector.fires("worker.spawn", "worker=2"));
+  EXPECT_TRUE(injector.fires("worker.exit", "worker=0/shard=tree"));
+  EXPECT_FALSE(injector.fires("worker.exit", "worker=0/shard=spatial"));
+  EXPECT_TRUE(injector.fires("lease.expire", "shard=spatial"));
+  EXPECT_TRUE(injector.fires("heartbeat.drop", "worker=2"));
+  EXPECT_FALSE(injector.fires("heartbeat.drop", "worker=0"));
+}
+
 TEST(FaultInjectorTest, WorkerFaultPropagatesThroughPool) {
   FaultGuard guard;
   FaultInjector::instance().configure("parallel.worker:index=13");

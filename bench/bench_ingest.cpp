@@ -1,0 +1,276 @@
+// Streaming-ingestion perf harness: times the hourly snapshot hot paths —
+// durable append+validate throughput (snapshots/sec, fsync included), log
+// reopen/recovery scans, and the per-family drift-check replay — and emits
+// a machine-readable JSON report on stdout (scripts/bench.sh captures it
+// into results/BENCH_ingest.json).
+//
+// Output contract matches bench_kernels: stdout carries exactly one JSON
+// document, progress goes to stderr, each benchmark runs `repeat` times
+// after one warmup, and the report records per-run wall times plus the
+// median. `--tiny` shrinks every workload to smoke-test size for the
+// `ingest`-labeled sanitizer sweep.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/ingest.h"
+#include "core/parallel.h"
+#include "net/ipv4.h"
+#include "trace/dataset.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace ingest = acbm::core::ingest;
+
+struct BenchConfig {
+  std::size_t repeat = 5;
+  bool tiny = false;
+  std::string sha = "unknown";
+  std::string cpu = "unknown";
+};
+
+struct BenchResult {
+  std::string name;
+  std::vector<double> runs_ms;
+  double checksum = 0.0;  // Defeats dead-code elimination; sanity-checked.
+  double ops = 0.0;       // Snapshots appended / family-checks per run.
+};
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  if (n == 0) return 0.0;
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+BenchResult run_bench(const std::string& name, const BenchConfig& config,
+                      const std::function<double()>& fn) {
+  BenchResult result;
+  result.name = name;
+  std::fprintf(stderr, "[bench_ingest] %s: warmup...\n", name.c_str());
+  result.checksum = fn();
+  for (std::size_t r = 0; r < config.repeat; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const double check = fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    result.runs_ms.push_back(ms);
+    std::fprintf(stderr, "[bench_ingest] %s: run %zu/%zu %.3f ms\n",
+                 name.c_str(), r + 1, config.repeat, ms);
+    if (check != result.checksum) {
+      std::fprintf(stderr,
+                   "[bench_ingest] %s: WARNING nondeterministic checksum "
+                   "(%.17g vs %.17g)\n",
+                   name.c_str(), check, result.checksum);
+    }
+  }
+  return result;
+}
+
+/// A scratch directory per use; removed eagerly so repeated runs never
+/// accumulate log files.
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    static std::atomic<int> counter{0};
+    path = fs::temp_directory_path() /
+           ("acbm_bench_ingest_" + std::to_string(counter.fetch_add(1)));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+constexpr acbm::trace::EpochSeconds kWs = 1'000'000'000;
+
+/// One synthetic hourly snapshot: `per_family` attacks for each of
+/// `families` families, evenly spaced inside the hour.
+std::string snapshot_csv(std::size_t families, std::size_t hour,
+                         std::size_t per_family, std::uint64_t id_base) {
+  std::ostringstream csv;
+  csv << "#window_start=" << kWs << "\n#families=";
+  for (std::size_t f = 0; f < families; ++f) {
+    csv << "fam" << f << (f + 1 < families ? ";" : "");
+  }
+  csv << "\nid,family,target_ip,target_asn,start,duration_s,bots\n";
+  const acbm::trace::EpochSeconds hour_start =
+      kWs + static_cast<acbm::trace::EpochSeconds>(hour) * 3600;
+  const acbm::trace::EpochSeconds step =
+      3600 / static_cast<acbm::trace::EpochSeconds>(per_family);
+  // Time-major emission keeps rows sorted by start, the canonical order.
+  std::uint64_t id = id_base;
+  for (std::size_t a = 0; a < per_family; ++a) {
+    for (std::size_t f = 0; f < families; ++f) {
+      csv << id++ << ',' << f << ",10.0.0.1,3,"
+          << hour_start + static_cast<acbm::trace::EpochSeconds>(a) * step +
+                 static_cast<acbm::trace::EpochSeconds>(f) + 7
+          << ",600,10.1.0.1;10.1.0.2;10.1.0.3\n";
+    }
+  }
+  return csv.str();
+}
+
+/// Durable append+validate throughput: every append parses + validates the
+/// snapshot, frames it with a CRC, and fsyncs the log. ops = snapshots.
+BenchResult bench_append(const BenchConfig& config) {
+  const std::size_t families = config.tiny ? 2 : 8;
+  const std::size_t hours = config.tiny ? 6 : 96;
+  const std::size_t per_family = config.tiny ? 2 : 4;
+  std::vector<std::string> snapshots;
+  snapshots.reserve(hours);
+  for (std::size_t h = 0; h < hours; ++h) {
+    snapshots.push_back(
+        snapshot_csv(families, h, per_family, 1'000 * (h + 1)));
+  }
+  BenchResult result =
+      run_bench("snapshot_append_validate", config, [&]() {
+        TempDir tmp;
+        ingest::SnapshotLog log(tmp.path / "stream");
+        double acc = 0.0;
+        for (std::size_t h = 0; h < hours; ++h) {
+          const ingest::AppendOutcome outcome = log.append(h, snapshots[h]);
+          acc += outcome.status == ingest::AppendStatus::kAccepted ? 1.0 : -1e6;
+        }
+        return acc + static_cast<double>(log.cumulative().size());
+      });
+  result.ops = static_cast<double>(hours);
+  return result;
+}
+
+/// Cold reopen of a populated log: the full recovery scan (frame + CRC
+/// verification of every segment) plus cumulative reassembly. ops = segments.
+BenchResult bench_reopen(const BenchConfig& config) {
+  const std::size_t families = config.tiny ? 2 : 8;
+  const std::size_t hours = config.tiny ? 6 : 96;
+  TempDir tmp;
+  const fs::path dir = tmp.path / "stream";
+  {
+    ingest::SnapshotLog log(dir);
+    for (std::size_t h = 0; h < hours; ++h) {
+      log.append(h, snapshot_csv(families, h, config.tiny ? 2 : 4,
+                                 1'000 * (h + 1)));
+    }
+  }
+  BenchResult result = run_bench("log_reopen_recover", config, [&]() {
+    ingest::SnapshotLog log(dir);
+    return static_cast<double>(log.segments().size() +
+                               log.cumulative().size());
+  });
+  result.ops = static_cast<double>(hours);
+  return result;
+}
+
+/// The drift-monitor replay: per-family corrected-EMA channels z-scored
+/// against fit-time baselines across the whole window. ops = family-checks
+/// (families x hours), so ops_per_sec / hours = families checked per
+/// second and median_ms / families = drift-check cost per family.
+BenchResult bench_drift_check(const BenchConfig& config) {
+  const std::size_t families = config.tiny ? 2 : 10;
+  const std::size_t hours = config.tiny ? 12 : 720;
+  const std::size_t per_family = 2;
+  const acbm::trace::Dataset cumulative = [&]() {
+    TempDir tmp;
+    ingest::SnapshotLog log(tmp.path / "stream");
+    for (std::size_t h = 0; h < hours; ++h) {
+      log.append(h, snapshot_csv(families, h, per_family, 1'000 * (h + 1)));
+    }
+    return log.cumulative();
+  }();
+  std::vector<acbm::core::FamilyDriftBaseline> baselines(families);
+  for (std::size_t f = 0; f < families; ++f) {
+    baselines[f].family = static_cast<std::uint32_t>(f);
+    baselines[f].hours = static_cast<double>(hours);
+    baselines[f].rate_mean = static_cast<double>(per_family);
+    baselines[f].rate_std = 0.5;
+    baselines[f].magnitude_mean = 3.0;
+    baselines[f].magnitude_std = 1.0;
+    baselines[f].interval_mean = 3600.0 / static_cast<double>(per_family);
+    baselines[f].interval_residual_std = 600.0;
+  }
+  const ingest::DriftPolicy policy;
+  BenchResult result = run_bench("drift_check_replay", config, [&]() {
+    const std::vector<ingest::DriftTrip> trips = ingest::detect_drift(
+        cumulative, baselines, /*served_hour=*/0, hours - 1, policy);
+    return static_cast<double>(trips.size());
+  });
+  result.ops = static_cast<double>(families * hours);
+  return result;
+}
+
+void print_json(const BenchConfig& config,
+                const std::vector<BenchResult>& results) {
+  std::printf("{\n");
+  std::printf("  \"schema\": \"acbm-bench-ingest-v1\",\n");
+  std::printf("  \"git_sha\": \"%s\",\n", config.sha.c_str());
+  std::printf("  \"cpu\": \"%s\",\n", config.cpu.c_str());
+  std::printf("  \"threads\": %zu,\n", acbm::core::num_threads());
+  std::printf("  \"repeat\": %zu,\n", config.repeat);
+  std::printf("  \"tiny\": %s,\n", config.tiny ? "true" : "false");
+  std::printf("  \"unix_time\": %lld,\n",
+              static_cast<long long>(std::time(nullptr)));
+  std::printf("  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    const double med = median(r.runs_ms);
+    std::printf("    {\"name\": \"%s\", \"median_ms\": %.3f, "
+                "\"min_ms\": %.3f, \"checksum\": %.17g, ",
+                r.name.c_str(), med,
+                *std::min_element(r.runs_ms.begin(), r.runs_ms.end()),
+                r.checksum);
+    if (r.ops > 0.0 && med > 0.0) {
+      std::printf("\"ops_per_run\": %.0f, \"ops_per_sec\": %.0f, ", r.ops,
+                  r.ops / (med / 1000.0));
+    }
+    std::printf("\"runs_ms\": [");
+    for (std::size_t j = 0; j < r.runs_ms.size(); ++j) {
+      std::printf("%s%.3f", j == 0 ? "" : ", ", r.runs_ms[j]);
+    }
+    std::printf("]}%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tiny") {
+      config.tiny = true;
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      config.repeat =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--sha" && i + 1 < argc) {
+      config.sha = argv[++i];
+    } else if (arg == "--cpu" && i + 1 < argc) {
+      config.cpu = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_ingest [--tiny] [--repeat N] [--sha SHA] "
+                   "[--cpu NAME]\n");
+      return 2;
+    }
+  }
+  if (config.repeat == 0) config.repeat = 1;
+
+  std::vector<BenchResult> results;
+  results.push_back(bench_append(config));
+  results.push_back(bench_reopen(config));
+  results.push_back(bench_drift_check(config));
+  print_json(config, results);
+  return 0;
+}

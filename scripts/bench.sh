@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Runs the kernel micro-benchmarks and writes results/BENCH_kernels.json.
+# Runs the kernel micro-benchmarks and writes results/BENCH_kernels.json,
+# then the streaming-ingestion benchmarks into results/BENCH_ingest.json.
 #
 # The JSON document goes to stdout of bench_kernels (captured into the file);
 # progress goes to stderr, so the artifact stays machine-parseable. Each
@@ -34,7 +35,7 @@ fi
 
 cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release \
   -DACBM_BUILD_BENCH=ON >&2
-cmake --build "$build_dir" -j"$(nproc)" --target bench_kernels >&2
+cmake --build "$build_dir" -j"$(nproc)" --target bench_kernels bench_ingest >&2
 
 cpu_model="$(awk -F': ' '/model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || true)"
 if [[ -z "$cpu_model" ]]; then cpu_model="unknown"; fi
@@ -57,3 +58,10 @@ fi
 mkdir -p "$(dirname "$out_file")"
 "$build_dir/bench/bench_kernels" --sha "$sha" --cpu "$cpu_model" "$@" > "$out_file"
 echo "bench.sh: wrote $out_file (isa: $isa)" >&2
+
+# Ingest throughput trajectory (snapshots/sec appended+validated, recovery
+# scan, drift-check cost per family). Not ISA-sensitive: the hot costs are
+# fsync, CRC, and CSV parse/validate, so no cross-ISA guard here.
+ingest_out="${ACBM_BENCH_INGEST_OUT:-$repo_root/results/BENCH_ingest.json}"
+"$build_dir/bench/bench_ingest" --sha "$sha" --cpu "$cpu_model" "$@" > "$ingest_out"
+echo "bench.sh: wrote $ingest_out" >&2

@@ -11,7 +11,16 @@
 # each case must still end with a model byte-identical to the
 # single-process fit (ctest label `distributed`).
 #
-# Usage: scripts/crash_matrix.sh <acbm-binary> [faults|workers|all] [work-dir]
+# Phase `ingest` drives the streaming-ingestion loop under each of its
+# fault points ({ingest.append, ingest.torn_tail, io.dirsync, refit.fail}
+# x {1, 8} threads): every crashed-and-restarted `acbm ingest` run must
+# converge to a model byte-identical to a clean full `acbm fit` on the
+# exported cumulative dataset, and the previously published generation
+# must stay loadable at every intermediate instant. It also covers the
+# ACBM_FAULTS `#<limit>` budget suffix interacting with `lease.expire`
+# on the coordinator's worker-respawn path (ctest label `ingest`).
+#
+# Usage: scripts/crash_matrix.sh <acbm-binary> [faults|workers|ingest|all] [work-dir]
 set -euo pipefail
 
 acbm="${1:?usage: crash_matrix.sh <acbm-binary> [faults|workers|all] [work-dir]}"
@@ -201,15 +210,154 @@ run_workers_phase() {
   fi
 }
 
+# Requires that the model artifact at $1 still loads (the "never serve
+# nothing" invariant, probed at an intermediate instant of a faulted run).
+require_loadable() {
+  local model="$1" tag="$2" when="$3"
+  if ! "$acbm" predict --model "$model" >/dev/null 2>&1; then
+    echo "FAIL [$tag]: $model not loadable $when" >&2
+    failures=$((failures + 1))
+    return 1
+  fi
+}
+
+run_ingest_phase() {
+  # Snapshot CSVs reuse the generated dataset's header verbatim; one
+  # family-0 attack per hour just past the base window (20 days = hour 479).
+  local ws fams
+  ws="$(grep -m1 '^#window_start=' "$dataset" | cut -d= -f2)"
+  fams="$(grep -m1 '^#families=' "$dataset" | cut -d= -f2)"
+  local columns="id,family,target_ip,target_asn,start,duration_s,bots"
+  local hour
+  for hour in 481 482; do
+    {
+      echo "#window_start=$ws"
+      echo "#families=$fams"
+      echo "$columns"
+      echo "99$hour,0,10.0.0.1,3,$((ws + hour * 3600 + 60)),600,10.9.0.1;10.9.0.2;10.9.0.3"
+    } > "$work/snap$hour.csv"
+  done
+
+  # One clean inited stream dir, copied per case (byte-determinism makes
+  # the copy equivalent to re-running --init), and one clean end-state
+  # reference: full lifecycle, export, cold fit.
+  local seed_dir="$work/ing_seed"
+  "$acbm" ingest --dir "$seed_dir" --init --dataset "$dataset" \
+    --ipmap "$ipmap" >/dev/null
+  local ref_dir="$work/ing_ref"
+  cp -r "$seed_dir" "$ref_dir"
+  "$acbm" ingest --dir "$ref_dir" --snapshot "$work/snap481.csv" \
+    --hour 481 --no-refit >/dev/null
+  "$acbm" ingest --dir "$ref_dir" --snapshot "$work/snap482.csv" \
+    --hour 482 --no-refit >/dev/null
+  "$acbm" ingest --dir "$ref_dir" --refit >/dev/null
+  "$acbm" ingest --dir "$ref_dir" --export-dataset "$work/cumulative.art" \
+    >/dev/null
+  local ingest_clean="$work/ingest_clean.model"
+  "$acbm" fit --dataset "$work/cumulative.art" --ipmap "$ipmap" \
+    --model "$ingest_clean" >/dev/null
+  if ! cmp -s "$ref_dir/model.art" "$ingest_clean"; then
+    echo "FAIL [ref]: clean incremental refit differs from cold full fit" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  echo "ok   [ref]: clean incremental refit byte-identical to cold full fit"
+
+  local faults=(
+    "ingest.append"
+    "ingest.torn_tail"
+    "io.dirsync"
+    "refit.fail"
+  )
+  local threads i fault tag dir code want
+  for threads in 1 8; do
+    for i in "${!faults[@]}"; do
+      fault="${faults[$i]}"
+      tag="ing${i}_t${threads}"
+      dir="$work/$tag"
+      cp -r "$seed_dir" "$dir"
+
+      if [[ $fault == ingest.* ]]; then
+        # Append-path faults crash the snapshot ingestion before any byte
+        # is durably appended (exit 3); the restart retries the same hour.
+        set +e
+        ACBM_FAULTS="$fault" ACBM_THREADS="$threads" \
+          "$acbm" ingest --dir "$dir" --snapshot "$work/snap481.csv" \
+          --hour 481 >/dev/null 2>"$work/$tag.err"
+        code=$?
+        set -e
+        want=3
+      else
+        # Refit-path faults: the snapshot lands, every refit attempt fails,
+        # and the loop falls back to the previous generation (exit 6).
+        ACBM_THREADS="$threads" "$acbm" ingest --dir "$dir" \
+          --snapshot "$work/snap481.csv" --hour 481 --no-refit \
+          >/dev/null 2>"$work/$tag.err"
+        set +e
+        ACBM_FAULTS="$fault" ACBM_THREADS="$threads" \
+          "$acbm" ingest --dir "$dir" --refit --refit-retries 1 \
+          --refit-backoff-ms 0 >/dev/null 2>>"$work/$tag.err"
+        code=$?
+        set -e
+        want=6
+      fi
+      if [[ $code -ne $want ]]; then
+        echo "FAIL [$fault t=$threads]: faulted run exited $code, expected $want" >&2
+        failures=$((failures + 1))
+        continue
+      fi
+      # The previous generation must be serving at this intermediate
+      # instant, byte-untouched by the crash.
+      require_loadable "$dir/model.art" "$tag" "after the faulted run" || continue
+      if ! cmp -s "$dir/model.art" "$seed_dir/model.art"; then
+        echo "FAIL [$fault t=$threads]: faulted run altered the live model" >&2
+        failures=$((failures + 1))
+        continue
+      fi
+
+      # Restart with injection off: replay the hour (idempotent when the
+      # append already landed), refit, append the next hour, refit again.
+      if ! { ACBM_THREADS="$threads" "$acbm" ingest --dir "$dir" \
+               --snapshot "$work/snap481.csv" --hour 481 --no-refit && \
+             ACBM_THREADS="$threads" "$acbm" ingest --dir "$dir" --refit && \
+             ACBM_THREADS="$threads" "$acbm" ingest --dir "$dir" \
+               --snapshot "$work/snap482.csv" --hour 482 --no-refit && \
+             ACBM_THREADS="$threads" "$acbm" ingest --dir "$dir" --refit; \
+           } >/dev/null 2>>"$work/$tag.err"; then
+        echo "FAIL [$fault t=$threads]: restarted ingest loop did not complete" >&2
+        failures=$((failures + 1))
+        continue
+      fi
+      if ! cmp -s "$dir/model.art" "$ingest_clean"; then
+        echo "FAIL [$fault t=$threads]: converged model differs from clean full fit" >&2
+        failures=$((failures + 1))
+        continue
+      fi
+      # The rotated previous generation must load too.
+      require_loadable "$dir/model.art.g1" "$tag" "as generation g1" || continue
+      echo "ok   [$fault t=$threads]: crash -> restart -> byte-identical"
+    done
+  done
+
+  # ACBM_FAULTS budget suffix (#<limit>) interacting with lease.expire on
+  # the coordinator's respawn path: worker 0 exits once (forcing a respawn)
+  # while the first two lease checks expire; the budget must run dry and
+  # the sharded fit still converge byte-identically.
+  worker_case "lease_budget_respawn" 2 \
+    "worker.exit:worker=0#1;lease.expire#2" --lease-ttl-ms 300
+}
+
 case "$phase" in
   faults) run_faults_phase ;;
   workers) run_workers_phase ;;
+  ingest) run_ingest_phase ;;
   all)
     run_faults_phase
     run_workers_phase
+    run_ingest_phase
     ;;
   *)
-    echo "crash_matrix.sh: unknown phase '$phase' (want faults|workers|all)" >&2
+    echo "crash_matrix.sh: unknown phase '$phase' (want faults|workers|ingest|all)" >&2
     exit 2
     ;;
 esac

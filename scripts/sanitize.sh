@@ -3,15 +3,18 @@
 # build tree with ACBM_SANITIZE=address+undefined and runs the fault-injection,
 # parallel-runtime, durability, observability, distributed-fit, and
 # kernel-benchmark smoke suites (ctest labels `robust`, `parallel`,
-# `durable`, `observe`, `distributed`, `simd`, and `perf-smoke` — `simd` is
-# the scalar-vs-vectorized agreement sweep, `perf-smoke` runs bench_kernels
-# at tiny sizes, and `distributed` covers the sharded multi-process fit:
-# lease stealing, worker crash/respawn, and the worker crash matrix, so the
-# whole coordination protocol sweeps under the sanitizers too). A second
-# TSan build then reruns the `observe`, `parallel`, and `distributed`
-# labels so the span-ring SPSC protocol, the metric atomics, the
-# arena-under-parallel_for usage, and the heartbeat/lease threads are
-# exercised under the race detector. A third build with
+# `durable`, `observe`, `distributed`, `ingest`, `simd`, and `perf-smoke` —
+# `simd` is the scalar-vs-vectorized agreement sweep, `perf-smoke` runs
+# bench_kernels at tiny sizes, `distributed` covers the sharded
+# multi-process fit: lease stealing, worker crash/respawn, and the worker
+# crash matrix, and `ingest` covers the streaming snapshot log, drift
+# monitor, and incremental-refit loop including its crash matrix phase, so
+# the whole coordination and ingestion surface sweeps under the sanitizers
+# too). A second TSan build then reruns the `observe`, `parallel`,
+# `distributed`, and `ingest` labels so the span-ring SPSC protocol, the
+# metric atomics, the arena-under-parallel_for usage, the heartbeat/lease
+# threads, and the multi-threaded incremental refit are exercised under
+# the race detector. A third build with
 # -DACBM_DISABLE_SIMD=ON reruns the kernel and smoke suites on the scalar
 # reference path, keeping that configuration honest.
 #
@@ -32,7 +35,7 @@ cmake -S "$repo_root" -B "$build_dir" \
   -DACBM_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" -j"$(nproc)"
 ctest --test-dir "$build_dir" \
-  -L 'robust|parallel|durable|observe|distributed|simd|perf-smoke' \
+  -L 'robust|parallel|durable|observe|distributed|ingest|simd|perf-smoke' \
   --output-on-failure -j"$(nproc)"
 
 tsan_dir="${build_dir%/}-tsan"
@@ -42,7 +45,7 @@ cmake -S "$repo_root" -B "$tsan_dir" \
   -DACBM_BUILD_BENCH=OFF \
   -DACBM_BUILD_EXAMPLES=OFF
 cmake --build "$tsan_dir" -j"$(nproc)"
-ctest --test-dir "$tsan_dir" -L 'observe|parallel|distributed' \
+ctest --test-dir "$tsan_dir" -L 'observe|parallel|distributed|ingest' \
   --output-on-failure -j"$(nproc)"
 
 nosimd_dir="${build_dir%/}-nosimd"

@@ -15,6 +15,7 @@
 #include "core/durable.h"
 #include "core/evaluation.h"
 #include "core/inference.h"
+#include "core/ingest.h"
 #include "core/observe.h"
 #include "core/pipeline.h"
 #include "core/robust.h"
@@ -124,6 +125,14 @@ void print_usage(std::ostream& out) {
          "             [--dataset FILE --ipmap FILE | --model FILE]\n"
          "             [--target ASN] [--top K] [--fit-report FILE|-]\n"
          "             [--precision f64|f32]\n"
+         "  ingest     streaming ingestion: hourly snapshots into a crash-\n"
+         "             safe log, drift detection, incremental refit\n"
+         "             --dir DIR --init --dataset FILE --ipmap FILE\n"
+         "             --dir DIR --snapshot FILE --hour H [--no-refit]\n"
+         "             --dir DIR --refit | --status | --export-dataset FILE\n"
+         "             [--drift-z Z (3.0)] [--drift-hours K (3)]\n"
+         "             [--ema-alpha A (0.2)] [--refit-retries N (3)]\n"
+         "             [--refit-backoff-ms MS (5)]\n"
          "  evaluate   timestamp-prediction RMSE report (Fig. 4 format)\n"
          "             --dataset FILE --ipmap FILE [--train-fraction F]\n"
          "             [--horizons F1,F2,...] [--out FILE]\n"
@@ -148,7 +157,9 @@ void print_usage(std::ostream& out) {
          "exit codes: 0 ok, 1 internal error, 2 bad arguments,\n"
          "            3 load/corruption/write failure, 4 fit degraded beyond\n"
          "            --degraded-floor, 5 worker coordination timed out\n"
-         "            (--worker-timeout elapsed; workers were killed)\n";
+         "            (--worker-timeout elapsed; workers were killed),\n"
+         "            6 ingest refit retries exhausted (the previous model\n"
+         "            generation is still live and serving)\n";
 }
 
 /// Whole-file read with a command-oriented error message (exit code 3).
@@ -380,7 +391,7 @@ int cmd_fit(const ArgMap& args, std::ostream& out, std::ostream& err) {
   model.fit(dataset, ip_map);
   std::ostringstream body;
   model.save(body);
-  durable::save_artifact(model_path, "adversary_model", 3, body.str());
+  durable::save_artifact(model_path, "adversary_model", 4, body.str());
   info << "fitted on " << dataset.size() << " attacks; model saved to "
        << model_path << "\n";
   if (checkpoint && !checkpoint->report().clean()) {
@@ -443,6 +454,129 @@ int cmd_worker(const ArgMap& args, std::ostream&, std::ostream& err) {
   err << "worker " << wopts.worker_id << ": fit " << fitted << " shards\n";
   if (ship) observe::set_enabled(false);
   return 0;
+}
+
+namespace ingest = acbm::core::ingest;
+
+/// Renders one check-and-refit outcome; returns the command's exit code
+/// (6 when retries were exhausted and the previous generation is serving).
+int report_refit(const ingest::RefitResult& result, std::ostream& out,
+                 std::ostream& err) {
+  if (!result.attempted) {
+    out << "drift: no family tripped; model unchanged\n";
+    return 0;
+  }
+  for (const ingest::DriftTrip& trip : result.trips) {
+    out << "drift trip: family " << trip.family << " channel " << trip.channel
+        << " z=" << trip.z << " at hour " << trip.hour << "\n";
+  }
+  out << "refit: " << result.stages_invalidated << " stage(s) invalidated, "
+      << result.retries << " retr" << (result.retries == 1 ? "y" : "ies")
+      << "\n";
+  if (result.fallback) {
+    err << "error: refit retries exhausted (" << result.error
+        << "); previous model generation is still live\n";
+    return 6;
+  }
+  out << "refit: new model generation published\n";
+  return 0;
+}
+
+int cmd_ingest(const ArgMap& args, std::ostream& out, std::ostream& err) {
+  args.reject_unknown({"dir", "init", "dataset", "ipmap", "snapshot", "hour",
+                       "no-refit", "refit", "status", "export-dataset",
+                       "drift-z", "drift-hours", "ema-alpha", "refit-retries",
+                       "refit-backoff-ms"});
+  ingest::IngestorOptions opts;
+  opts.dir = args.require("dir");
+  opts.drift.z_threshold = args.get_or<double>("drift-z", 3.0);
+  opts.drift.consecutive_hours =
+      static_cast<int>(args.get_or<std::size_t>("drift-hours", 3));
+  opts.drift.alpha = args.get_or<double>("ema-alpha", 0.2);
+  opts.refit_max_retries =
+      static_cast<int>(args.get_or<std::size_t>("refit-retries", 3));
+  opts.refit_backoff_ms =
+      static_cast<int>(args.get_or<std::size_t>("refit-backoff-ms", 5));
+  opts.model.spatial.grid_search = false;  // Must match cmd_fit exactly.
+
+  ingest::Ingestor ingestor(opts);
+  const ingest::LogRecovery& recovery = ingestor.log().recovery();
+  if (recovery.torn_tail_bytes > 0) {
+    err << "log recovery: truncated a torn tail of "
+        << recovery.torn_tail_bytes << " byte(s)\n";
+  }
+  if (recovery.quarantined_ranges > 0) {
+    err << "log recovery: quarantined " << recovery.quarantined_ranges
+        << " corrupt range(s) to " << recovery.quarantine_path << "\n";
+  }
+
+  if (args.has("init")) {
+    const std::string dataset_path = args.require("dataset");
+    const std::string ipmap_path = args.require("ipmap");
+    const trace::Dataset base =
+        parse_dataset(read_input(dataset_path, "dataset"), dataset_path, out);
+    const net::IpToAsnMap ip_map =
+        parse_ipmap(read_input(ipmap_path, "ipmap"), ipmap_path);
+    ingestor.init(base, ip_map);
+    out << "initialized " << opts.dir.string() << ": " << base.size()
+        << " attacks through hour " << ingestor.log().last_hour()
+        << "; model published\n";
+    return 0;
+  }
+
+  if (const auto snapshot_path = args.get("snapshot")) {
+    const auto hour = args.get_or<std::size_t>(
+        "hour", 0);
+    if (!args.has("hour")) {
+      throw std::invalid_argument("--snapshot requires --hour");
+    }
+    const std::string bytes = read_input(*snapshot_path, "snapshot");
+    const std::string csv = durable::looks_framed(bytes)
+                                ? durable::unwrap(bytes, "dataset", 1, 1)
+                                : bytes;
+    const ingest::AppendOutcome outcome = ingestor.append(hour, csv);
+    out << "snapshot hour " << hour << ": " << ingest::to_string(outcome.status)
+        << "\n";
+    if (!outcome.validation.clean()) outcome.validation.write(out);
+    if (outcome.status == ingest::AppendStatus::kRejected) {
+      err << "error: snapshot rejected (" << outcome.detail
+          << "); raw bytes quarantined to " << outcome.quarantined_to << "\n";
+      return 3;
+    }
+    if (outcome.status == ingest::AppendStatus::kDuplicate) {
+      out << "note: " << outcome.detail << "; nothing appended\n";
+      return 0;
+    }
+    if (args.has("no-refit")) return 0;
+    return report_refit(ingestor.check_and_refit(/*force=*/false), out, err);
+  }
+
+  if (args.has("refit")) {
+    return report_refit(ingestor.check_and_refit(/*force=*/true), out, err);
+  }
+
+  if (const auto export_path = args.get("export-dataset")) {
+    std::ostringstream csv;
+    ingestor.log().cumulative().save_csv(csv);
+    durable::save_artifact(*export_path, "dataset", 1, csv.str());
+    out << "exported cumulative dataset ("
+        << ingestor.log().segments().size() << " snapshot(s)) to "
+        << *export_path << "\n";
+    return 0;
+  }
+
+  if (args.has("status")) {
+    out << "dir:            " << opts.dir.string() << "\n"
+        << "initialized:    " << (ingestor.initialized() ? "yes" : "no") << "\n"
+        << "snapshots:      " << ingestor.log().segments().size() << "\n"
+        << "last hour:      " << ingestor.log().last_hour() << "\n"
+        << "last refit:     hour " << ingestor.last_refit_hour() << "\n";
+    return 0;
+  }
+
+  throw std::invalid_argument(
+      "ingest needs one of --init / --snapshot / --refit / --status / "
+      "--export-dataset");
 }
 
 int cmd_predict(const ArgMap& args, std::ostream& out, std::ostream& err) {
@@ -735,7 +869,8 @@ int run(std::span<const std::string> args_in, std::ostream& out,
       throw std::invalid_argument(fault_error);
     }
     ObserveSession session(extract_observe_options(args));
-    const ArgMap options(args, 1, {"resume", "ship-metrics"});
+    const ArgMap options(args, 1, {"resume", "ship-metrics", "init",
+                                   "no-refit", "refit", "status"});
     // Dispatch inside a lambda so each command's root span closes before
     // session.finish() drains the tracer.
     const auto dispatch = [&]() -> int {
@@ -762,6 +897,10 @@ int run(std::span<const std::string> args_in, std::ostream& out,
       if (args[0] == "evaluate") {
         ACBM_SPAN("cli.evaluate");
         return cmd_evaluate(options, out, err);
+      }
+      if (args[0] == "ingest") {
+        ACBM_SPAN("cli.ingest");
+        return cmd_ingest(options, out, err);
       }
       return -1;
     };

@@ -81,6 +81,12 @@ std::optional<std::string> payload_field(std::string_view payload,
 /// the next check), or stamped with a different config hash.
 std::optional<std::pair<std::string, std::uint32_t>> parse_marker(
     const fs::path& path, const std::string& config_hex) {
+  // A zero-length marker is what a writer crashed before its first write()
+  // leaves behind (or a filesystem that lost the data blocks on power loss).
+  // It is not corruption to diagnose — the stage simply is not done.
+  std::error_code size_ec;
+  const auto size = fs::file_size(path, size_ec);
+  if (size_ec || size == 0) return std::nullopt;
   std::string payload;
   try {
     payload = durable::load_artifact(path, kMarkerKind, 1, 1, false, nullptr,
@@ -181,6 +187,23 @@ void CheckpointDir::write_marker(std::string_view stage, std::uint32_t crc) {
   durable::save_artifact(marker_path(stage), kMarkerKind, 1, payload);
 }
 
+void CheckpointDir::invalidate(std::string_view stage) {
+  const std::string name(stage);
+  const bool known =
+      stages_.find(name) != stages_.end() || (opts_.shared && read_marker(stage));
+  if (!known) return;
+  journal("invalidate " + name);
+  drop_stage(name);
+  ACBM_COUNT("checkpoint.invalidate", 1);
+}
+
+std::vector<std::string> CheckpointDir::completed_stages() const {
+  std::vector<std::string> out;
+  out.reserve(stages_.size());
+  for (const auto& [stage, crc] : stages_) out.push_back(stage);
+  return out;
+}
+
 void CheckpointDir::drop_stage(const std::string& stage) {
   stages_.erase(stage);
   if (opts_.shared) {
@@ -209,6 +232,16 @@ std::optional<std::string> CheckpointDir::load(std::string_view stage) {
                  : fs::path(primary.string() + ".g" + std::to_string(gen));
     std::error_code ec;
     if (gen > 0 && !fs::exists(candidate, ec)) continue;
+    // A zero-length artifact is a crashed writer's leftover, not bit rot:
+    // skip it without burning read retries or quarantining (the noise would
+    // read as corruption when nothing was ever durably written).
+    std::error_code size_ec;
+    const auto size = fs::file_size(candidate, size_ec);
+    if (!size_ec && size == 0) {
+      journal("load " + std::string(stage) + " empty file=" +
+              candidate.string() + "; skipping");
+      continue;
+    }
     for (int attempt = 0; attempt < attempts; ++attempt) {
       const bool last = attempt + 1 == attempts;
       try {

@@ -33,6 +33,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/durable.h"
 
@@ -95,6 +96,18 @@ class CheckpointDir final : public StageStore {
   /// Shared mode: rescans every `.done` marker in the directory, picking up
   /// stages other processes completed since construction. No-op otherwise.
   void refresh();
+
+  /// Marks a completed stage stale so it reruns: forgets it in memory and
+  /// removes its completion record (marker file in shared mode, manifest
+  /// entry otherwise). The stage artifact itself is left in place — it
+  /// simply rotates to a generation on the next store(). Used by the ingest
+  /// drift loop to invalidate stages whose inputs changed. No-op when the
+  /// stage was not complete.
+  void invalidate(std::string_view stage);
+
+  /// Names of the stages currently recorded complete (sorted). Shared mode
+  /// callers wanting cross-process freshness should refresh() first.
+  [[nodiscard]] std::vector<std::string> completed_stages() const;
 
   /// Recovery events accumulated across load() calls.
   [[nodiscard]] const durable::LoadReport& report() const noexcept {

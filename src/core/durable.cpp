@@ -273,13 +273,37 @@ void atomic_write_file(const std::filesystem::path& path,
                        path.string() + " failed: " + ec.message());
   }
 
+  // Crash window between the rename and the directory fsync: the rename is
+  // visible to this process but a power loss could still roll it back. The
+  // injected fault throws here so callers observe "write failed" while the
+  // file may or may not exist under the final name — exactly the ambiguity
+  // a real crash produces; recovery must converge either way.
+  if (injector.enabled() && injector.fires("io.dirsync", key)) {
+    throw WriteFailure("injected fault: io.dirsync " + key);
+  }
+
 #ifdef ACBM_POSIX_IO
-  // Durability of the rename itself: fsync the containing directory.
+  // Durability of the rename itself: fsync the containing directory. Without
+  // this a power loss after the rename can lose the just-published artifact
+  // (the rename lives only in the directory's in-memory metadata).
   const std::filesystem::path dir =
       path.has_parent_path() ? path.parent_path() : std::filesystem::path(".");
   const int dirfd = ::open(dir.c_str(), O_RDONLY);
-  if (dirfd >= 0) {
-    ::fsync(dirfd);  // Best effort; some filesystems reject directory fsync.
+  if (dirfd < 0) {
+    throw WriteFailure("durable: cannot open directory " + dir.string() +
+                       " for fsync: " + std::strerror(errno));
+  }
+  if (::fsync(dirfd) != 0) {
+    const int saved = errno;
+    ::close(dirfd);
+    // EINVAL: the filesystem genuinely does not support directory fsync
+    // (some network/FUSE mounts); there is no stronger primitive available,
+    // so publication proceeds. Any other errno is a real durability failure.
+    if (saved != EINVAL) {
+      throw WriteFailure("durable: directory fsync failed on " + dir.string() +
+                         ": " + std::strerror(saved));
+    }
+  } else {
     ::close(dirfd);
   }
 #endif

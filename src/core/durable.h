@@ -18,6 +18,9 @@
 //   io.write          key "path=<p>"  crash mid-write: half the payload is
 //                                     written to the temp file, then throws
 //   io.fsync          key "path=<p>"  fail the durability fsync
+//   io.dirsync        key "path=<p>"  crash after the rename but before the
+//                                     parent-directory fsync (publication
+//                                     ambiguous, as after a power loss)
 #pragma once
 
 #include <cstdint>
@@ -126,9 +129,12 @@ struct Frame {
 [[nodiscard]] std::string read_stream(std::istream& is);
 
 /// Atomic durable write: contents go to `<path>.tmp`, are fsynced, then
-/// renamed over `path`, and the parent directory is fsynced. A crash (or an
-/// injected io.write / io.fsync fault) at any point leaves either the old
-/// file or no file under `path` — never a partial one.
+/// renamed over `path`, and the parent directory is fsynced (so a power
+/// loss cannot roll back the publication). A crash (or an injected
+/// io.write / io.fsync / io.dirsync fault) at any point leaves either the
+/// old file or no file under `path` — never a partial one. A directory
+/// fsync error is a WriteFailure, except EINVAL (filesystems without
+/// directory fsync), where publication proceeds.
 void atomic_write_file(const std::filesystem::path& path,
                        std::string_view contents);
 

@@ -2,14 +2,33 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 #include <sstream>
+#include <tuple>
+#include <utility>
 
 #include "core/durable.h"
+#include "core/features.h"
 #include "core/inference.h"
 #include "stats/serialize.h"
 
 namespace acbm::core {
+
+namespace {
+
+/// Sequential mean/population-std (deterministic accumulation order).
+std::pair<double, double> mean_std(std::span<const double> xs) {
+  if (xs.empty()) return {0.0, 0.0};
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  const double mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  return {mean, std::sqrt(ss / static_cast<double>(xs.size()))};
+}
+
+}  // namespace
 
 void AdversaryModel::fit(const trace::Dataset& dataset,
                          const net::IpToAsnMap& ip_map) {
@@ -19,6 +38,56 @@ void AdversaryModel::fit(const trace::Dataset& dataset,
   st_ = SpatiotemporalModel(opts_);
   st_.fit(dataset_, ip_map_);
   fitted_ = true;
+  compute_drift_baselines();
+}
+
+void AdversaryModel::compute_drift_baselines() {
+  drift_baselines_.clear();
+  // Fit-window length in whole hours (rate channel denominator): enough
+  // hours to cover the latest attack start.
+  trace::EpochSeconds last_start = dataset_.window_start();
+  for (const trace::Attack& attack : dataset_.attacks()) {
+    last_start = std::max(last_start, attack.start);
+  }
+  const std::size_t hours = static_cast<std::size_t>(
+      (last_start - dataset_.window_start()) / 3600 + 1);
+  for (std::uint32_t family = 0;
+       family < static_cast<std::uint32_t>(dataset_.family_names().size());
+       ++family) {
+    const FamilySeries series =
+        extract_family_series(dataset_, family, ip_map_, nullptr);
+    const std::size_t n = series.magnitude.size();
+    if (n < 2) continue;  // One attack pins no spread on any channel.
+    FamilyDriftBaseline base;
+    base.family = family;
+    base.hours = static_cast<double>(hours);
+    const std::vector<double> rate =
+        hourly_attack_counts(dataset_, family, hours);
+    std::tie(base.rate_mean, base.rate_std) = mean_std(rate);
+    std::tie(base.magnitude_mean, base.magnitude_std) =
+        mean_std(series.magnitude);
+    std::tie(base.interval_mean, std::ignore) = mean_std(series.interval_s);
+    // Interval residuals against the fitted temporal model's causal one-step
+    // predictions: what the model could not explain at fit time. Families
+    // without a temporal model (unmodelable) fall back to the raw interval
+    // spread.
+    const TemporalModel* temporal = st_.temporal(family);
+    const std::size_t warmup = std::min<std::size_t>(4, n - 1);
+    if (temporal != nullptr && warmup >= 1) {
+      const std::vector<double> pred = temporal->one_step_predictions(
+          TemporalSeries::kInterval, series.interval_s, warmup);
+      std::vector<double> residuals;
+      residuals.reserve(pred.size());
+      for (std::size_t i = 0; i < pred.size(); ++i) {
+        residuals.push_back(series.interval_s[warmup + i] - pred[i]);
+      }
+      std::tie(std::ignore, base.interval_residual_std) = mean_std(residuals);
+    } else {
+      std::tie(std::ignore, base.interval_residual_std) =
+          mean_std(series.interval_s);
+    }
+    drift_baselines_.push_back(base);
+  }
 }
 
 void AdversaryModel::observe(const trace::Attack& attack) {
@@ -28,9 +97,16 @@ void AdversaryModel::observe(const trace::Attack& attack) {
 
 void AdversaryModel::save(std::ostream& os) const {
   namespace io = acbm::stats::io;
-  io::write_header(os, "adversary_model", 1);
+  io::write_header(os, "adversary_model", 2);
   io::write_scalar(os, "fitted", fitted_ ? 1 : 0);
   io::write_scalar(os, "magnitude_window", opts_.magnitude_window);
+  io::write_scalar(os, "drift_families", drift_baselines_.size());
+  for (const FamilyDriftBaseline& base : drift_baselines_) {
+    os << "drift " << base.family << ' ' << base.hours << ' ' << base.rate_mean
+       << ' ' << base.rate_std << ' ' << base.magnitude_mean << ' '
+       << base.magnitude_std << ' ' << base.interval_mean << ' '
+       << base.interval_residual_std << '\n';
+  }
   st_.save(os);
 
   // Embed the dataset CSV and IP map with explicit line counts so the
@@ -52,11 +128,38 @@ void AdversaryModel::save(std::ostream& os) const {
 
 AdversaryModel AdversaryModel::load(std::istream& is) {
   namespace io = acbm::stats::io;
-  io::expect_header(is, "adversary_model", 1);
+  // Body v2 adds the drift-baseline block; v1 bodies (pre-drift artifacts)
+  // still load with empty baselines.
+  std::string header;
+  if (!std::getline(is, header)) {
+    throw std::invalid_argument("AdversaryModel::load: missing header");
+  }
+  int body_version = 0;
+  if (header == "acbm:adversary_model:v1") body_version = 1;
+  else if (header == "acbm:adversary_model:v2") body_version = 2;
+  else {
+    throw std::invalid_argument("AdversaryModel::load: unexpected header '" +
+                                header + "'");
+  }
   AdversaryModel model;
   model.fitted_ = io::read_scalar<int>(is, "fitted") != 0;
   model.opts_.magnitude_window =
       io::read_scalar<std::size_t>(is, "magnitude_window");
+  if (body_version >= 2) {
+    const auto count = io::read_scalar<std::size_t>(is, "drift_families");
+    model.drift_baselines_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      auto ss = io::expect_tag(is, "drift");
+      FamilyDriftBaseline base;
+      if (!(ss >> base.family >> base.hours >> base.rate_mean >>
+            base.rate_std >> base.magnitude_mean >> base.magnitude_std >>
+            base.interval_mean >> base.interval_residual_std)) {
+        throw std::invalid_argument(
+            "AdversaryModel::load: bad drift baseline");
+      }
+      model.drift_baselines_.push_back(base);
+    }
+  }
   model.st_ = SpatiotemporalModel::load(is);
 
   const auto read_block = [&is](std::size_t lines) {
@@ -82,12 +185,14 @@ AdversaryModel AdversaryModel::load(std::istream& is) {
 void AdversaryModel::save_framed(std::ostream& os) const {
   std::ostringstream body;
   save(body);
-  os << durable::frame_payload("adversary_model", 3, body.str());
+  os << durable::frame_payload("adversary_model", 4, body.str());
 }
 
 AdversaryModel AdversaryModel::load_framed(std::istream& is) {
+  // Framed v3 wraps a v1 body (no drift block), v4 a v2 body; the body
+  // loader branches on its own header, so both unwrap the same way.
   return durable::load_framed_stream(
-      is, "adversary_model", 3, 3,
+      is, "adversary_model", 3, 4,
       [](std::istream& body) { return load(body); });
 }
 

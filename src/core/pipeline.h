@@ -32,6 +32,25 @@ struct AttackPrediction {
   std::uint32_t assumed_family = 0;
 };
 
+/// Fit-time per-family reference statistics recorded in the model artifact
+/// so a live drift monitor (core/ingest.h) can z-score streaming behavior
+/// against what the fit actually saw. Three channels: launch rate
+/// (attacks/hour over the fit window), volume (attack magnitude), and
+/// inter-arrival seconds — for the interval channel the spread is the
+/// standard deviation of the fitted temporal model's one-step *residuals*,
+/// i.e. the error the model could not explain at fit time; live error
+/// beyond that is drift, not noise.
+struct FamilyDriftBaseline {
+  std::uint32_t family = 0;
+  double hours = 0.0;         ///< Fit-window hours the rate channel covers.
+  double rate_mean = 0.0;     ///< Mean attacks/hour.
+  double rate_std = 0.0;
+  double magnitude_mean = 0.0;
+  double magnitude_std = 0.0;
+  double interval_mean = 0.0;  ///< Mean inter-arrival seconds.
+  double interval_residual_std = 0.0;  ///< Std of one-step interval residuals.
+};
+
 /// The full adversary-centric behavior model.
 class AdversaryModel {
  public:
@@ -74,15 +93,26 @@ class AdversaryModel {
     return dataset_;
   }
 
-  /// Full-model serialization: fitted sub-models, the training dataset, and
-  /// the IP->ASN map, so a loaded model predicts standalone. Live
-  /// observations (observe()) are not persisted.
+  /// Fit-time drift baselines, one per family with >= 2 attacks, ordered by
+  /// family index. Empty on an unfitted model or one loaded from a pre-v2
+  /// body (drift monitoring then has no reference and never trips).
+  [[nodiscard]] const std::vector<FamilyDriftBaseline>& drift_baselines()
+      const noexcept {
+    return drift_baselines_;
+  }
+
+  /// Full-model serialization: fitted sub-models, the training dataset, the
+  /// IP->ASN map, and the per-family drift baselines, so a loaded model
+  /// predicts (and drift-monitors) standalone. Live observations
+  /// (observe()) are not persisted. Writes body v2; load accepts v1 bodies
+  /// (no drift block) as well.
   void save(std::ostream& os) const;
   [[nodiscard]] static AdversaryModel load(std::istream& is);
 
-  /// Framed (v3) serialization: the v1 body wrapped in durable.h's
-  /// magic/version/CRC32C envelope. load_framed also accepts legacy bare
-  /// v1 streams; corruption throws a typed durable::LoadFailure.
+  /// Framed (v4) serialization: the v2 body wrapped in durable.h's
+  /// magic/version/CRC32C envelope. load_framed also accepts framed v3
+  /// (v1 body) and legacy bare streams; corruption throws a typed
+  /// durable::LoadFailure.
   void save_framed(std::ostream& os) const;
   [[nodiscard]] static AdversaryModel load_framed(std::istream& is);
 
@@ -90,11 +120,14 @@ class AdversaryModel {
   void set_checkpoint(StageStore* store) { opts_.checkpoint = store; }
 
  private:
+  void compute_drift_baselines();
+
   SpatiotemporalOptions opts_;
   SpatiotemporalModel st_;
   trace::Dataset dataset_;
   net::IpToAsnMap ip_map_;
   std::vector<trace::Attack> observed_;
+  std::vector<FamilyDriftBaseline> drift_baselines_;
   bool fitted_ = false;
 };
 

@@ -213,6 +213,9 @@ class FaultSpecError : public std::invalid_argument {
 ///   io.write               key "path=<p>"        crash a durable write
 ///                                                mid-stream (durable.h)
 ///   io.fsync               key "path=<p>"        fail the durability fsync
+///   io.dirsync             key "path=<p>"        crash after the rename,
+///                                                before the parent-dir
+///                                                fsync (durable.h)
 ///   checkpoint.stage       key "<stage>"         crash between a stage's
 ///                                                artifact and its marker
 ///   checkpoint.read        key "<stage>"         transient stage-artifact
@@ -227,6 +230,14 @@ class FaultSpecError : public std::invalid_argument {
 ///                                                steal)
 ///   heartbeat.drop         key "worker=<id>"     worker skips its lease
 ///                                                heartbeats
+///   ingest.append          key "hour=<h>"        crash an ingest-log append
+///                                                mid-segment (ingest.h)
+///   ingest.torn_tail       key "hour=<h>"        leave a torn half-segment
+///                                                at the log tail on append
+///   drift.false_trip       key "family=<name>"   force the drift monitor to
+///                                                report that family tripped
+///   refit.fail             key "hour=<h>/attempt=<k>"  fail that attempt of
+///                                                the incremental refit
 class FaultInjector {
  public:
   static FaultInjector& instance();

@@ -236,7 +236,7 @@ TEST(CheckpointCli, ModelArtifactIsFramedWithChecksum) {
   ASSERT_TRUE(durable::looks_framed(bytes));
   const durable::Frame frame = durable::parse_frame(bytes);
   EXPECT_EQ(frame.kind, "adversary_model");
-  EXPECT_EQ(frame.version, 3);
+  EXPECT_EQ(frame.version, 4);
 }
 
 }  // namespace

@@ -338,5 +338,82 @@ TEST(CheckpointDirTest, IoWriteFaultDuringStoreLeavesStageIncomplete) {
   EXPECT_FALSE(fs::exists(dir / "spatial.art"));
 }
 
+TEST(CheckpointSharedTest, ZeroLengthMarkerReadsAsStageNotDone) {
+  MetricsGuard metrics;
+  TempDir tmp;
+  const fs::path dir = tmp.path / "run";
+  CheckpointDir writer(dir, shared_opts(11));
+  writer.store("temporal/BotA", "payload");
+  // A crashed writer that opened its marker but never wrote a byte leaves a
+  // zero-length .done file. That must read as "stage not done" — not as a
+  // bad_magic corruption event, and without disturbing intact stages.
+  std::ofstream(dir / (CheckpointDir::slug("temporal/BotB") + ".done"),
+                std::ios::binary | std::ios::trunc);
+  CheckpointDir reader(dir, shared_opts(11));
+  EXPECT_FALSE(reader.is_complete("temporal/BotB"));
+  EXPECT_FALSE(reader.load("temporal/BotB").has_value());
+  EXPECT_TRUE(reader.is_complete("temporal/BotA"));
+  EXPECT_TRUE(reader.report().events.empty());  // No corruption diagnosed.
+  reader.refresh();
+  EXPECT_FALSE(reader.is_complete("temporal/BotB"));
+}
+
+TEST(CheckpointDirTest, ZeroLengthArtifactSkipsRetriesAndQuarantine) {
+  MetricsGuard metrics;
+  TempDir tmp;
+  const fs::path dir = tmp.path / "run";
+  {
+    CheckpointDir ckpt(dir, opts_with(5, false));
+    ckpt.store("spatial", "generation one");
+    ckpt.store("spatial", "generation two");
+  }
+  // Truncate the primary to zero bytes (crashed writer, lost data blocks).
+  std::ofstream(dir / "spatial.art", std::ios::binary | std::ios::trunc);
+  CheckpointDir resumed(dir, opts_with(5, true));
+  const auto loaded = resumed.load("spatial");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, "generation one");  // Fell straight through to .g1.
+  observe::Metrics& reg = observe::Metrics::instance();
+  EXPECT_EQ(reg.counter("checkpoint.load.retry").value(), 0U);
+  EXPECT_EQ(reg.counter("checkpoint.quarantine").value(), 0U);
+  EXPECT_FALSE(fs::exists(dir / "spatial.art.corrupt-1"));
+  EXPECT_TRUE(resumed.report().events.empty());
+}
+
+TEST(CheckpointDirTest, InvalidateForgetsAStageUntilItIsStoredAgain) {
+  TempDir tmp;
+  const fs::path dir = tmp.path / "run";
+  CheckpointDir ckpt(dir, opts_with(6, false));
+  ckpt.store("temporal/BotA", "stale payload");
+  ckpt.store("spatial", "spatial payload");
+  ASSERT_TRUE(ckpt.is_complete("temporal/BotA"));
+  ckpt.invalidate("temporal/BotA");
+  EXPECT_FALSE(ckpt.is_complete("temporal/BotA"));
+  EXPECT_FALSE(ckpt.load("temporal/BotA").has_value());
+  EXPECT_TRUE(ckpt.is_complete("spatial"));  // Others untouched.
+  EXPECT_EQ(ckpt.completed_stages(), std::vector<std::string>{"spatial"});
+  ckpt.invalidate("temporal/BotA");  // Idempotent on an incomplete stage.
+  // A resumed run must also not see the invalidated stage.
+  CheckpointDir resumed(dir, opts_with(6, true));
+  EXPECT_FALSE(resumed.is_complete("temporal/BotA"));
+  EXPECT_TRUE(resumed.is_complete("spatial"));
+  // Storing again completes it once more.
+  ckpt.store("temporal/BotA", "fresh payload");
+  EXPECT_EQ(ckpt.load("temporal/BotA"), "fresh payload");
+}
+
+TEST(CheckpointSharedTest, InvalidateRemovesTheMarkerForEveryProcess) {
+  TempDir tmp;
+  const fs::path dir = tmp.path / "run";
+  CheckpointDir a(dir, shared_opts(13));
+  CheckpointDir b(dir, shared_opts(13));
+  a.store("tree", "payload");
+  ASSERT_TRUE(b.is_complete("tree"));
+  a.invalidate("tree");
+  EXPECT_FALSE(fs::exists(dir / "tree.done"));
+  b.refresh();
+  EXPECT_FALSE(b.is_complete("tree"));
+}
+
 }  // namespace
 }  // namespace acbm::core

@@ -220,6 +220,21 @@ TEST(AtomicWrite, InjectedFsyncFailureKeepsThePreviousContent) {
   EXPECT_EQ(slurp(target), "intact old content");
 }
 
+TEST(AtomicWrite, InjectedDirsyncFaultFiresAfterTheRename) {
+  FaultGuard guard;
+  TempDir tmp;
+  const fs::path target = tmp.file("artifact.txt");
+  atomic_write_file(target, "old content");
+  FaultInjector::instance().configure("io.dirsync:artifact.txt");
+  EXPECT_THROW(atomic_write_file(target, "renamed but not dir-synced"),
+               WriteFailure);
+  FaultInjector::instance().clear();
+  // The rename precedes the fault: this process already sees the new bytes
+  // (a power loss could roll them back; retrying the write reconverges).
+  EXPECT_EQ(slurp(target), "renamed but not dir-synced");
+  EXPECT_FALSE(fs::exists(tmp.file("artifact.txt.tmp")));
+}
+
 TEST(Quarantine, MovesFilesAsideWithIncreasingSuffixes) {
   TempDir tmp;
   const fs::path target = tmp.file("bad.art");

@@ -4,6 +4,9 @@
 // wrong model — and (c) still accept the legacy unframed v2/v1 streams.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <initializer_list>
 #include <sstream>
 #include <string>
@@ -11,6 +14,7 @@
 #include "core/durable.h"
 #include "core/features.h"
 #include "core/pipeline.h"
+#include "core/robust.h"
 #include "core/spatial_model.h"
 #include "core/spatiotemporal_model.h"
 #include "core/temporal_model.h"
@@ -206,6 +210,40 @@ TEST(DurableRoundTrip, AdversaryModelFramedPredictsIdentically) {
   expect_corruption_detected(framed, [](std::istream& is) {
     (void)core::AdversaryModel::load_framed(is);
   });
+}
+
+TEST(DurableRoundTrip, DirsyncFaultLeavesOldOrNewContentNeverPartial) {
+  namespace fs = std::filesystem;
+  core::FaultInjector& injector = core::FaultInjector::instance();
+  injector.clear();
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("acbm_roundtrip_dirsync_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path target = dir / "model.art";
+
+  durable::save_artifact(target, "model", 1, "generation one");
+  injector.configure("io.dirsync:model.art");
+  // The fault fires after the rename: the caller sees a failure while the
+  // new bytes are already under the final name (publication is ambiguous
+  // after a power loss — either full old or full new content, never a mix).
+  EXPECT_THROW(durable::save_artifact(target, "model", 1, "generation two"),
+               durable::WriteFailure);
+  injector.clear();
+  durable::LoadReport report;
+  const std::string payload =
+      durable::load_artifact(target, "model", 1, 1, false, &report);
+  EXPECT_TRUE(payload == "generation one" || payload == "generation two");
+  EXPECT_TRUE(report.clean());
+  EXPECT_FALSE(fs::exists(dir / "model.art.tmp"));
+
+  // Retrying the same write converges: the new generation publishes.
+  durable::save_artifact(target, "model", 1, "generation two");
+  EXPECT_EQ(durable::load_artifact(target, "model", 1, 1, false),
+            "generation two");
+  std::error_code ec;
+  fs::remove_all(dir, ec);
 }
 
 TEST(DurableRoundTrip, DatasetArtifactDetectsCorruption) {

@@ -1,0 +1,330 @@
+// Serving perf harness: cold-start cost of the zero-copy .armm mmap path
+// vs the framed model.art load, and daemon round-trip throughput/latency
+// (qps, p50/p99) at 1/4/16 concurrent connections, batched and unbatched —
+// emitted as a machine-readable JSON report on stdout (scripts/bench.sh
+// captures it into results/BENCH_serve.json).
+//
+// Output contract matches bench_kernels/bench_ingest: stdout carries
+// exactly one JSON document, progress goes to stderr, each benchmark runs
+// `repeat` times after one warmup, and the report records per-run wall
+// times plus the median. `--tiny` shrinks every workload to smoke-test
+// size for the `serve`-labeled sanitizer sweep. The query mix is the same
+// seeded LCG scripts/loadgen.sh replays from the shell.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/artifact_map.h"
+#include "core/durable.h"
+#include "core/parallel.h"
+#include "core/pipeline.h"
+#include "core/server.h"
+#include "core/serving.h"
+#include "stats/kernels.h"
+#include "trace/world.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using acbm::core::AdversaryModel;
+using acbm::core::Precision;
+using acbm::core::ServingModel;
+using acbm::core::SpatiotemporalOptions;
+using acbm::core::serve::Client;
+using acbm::core::serve::Server;
+using acbm::core::serve::ServerOptions;
+using acbm::core::serve::Status;
+using Clock = std::chrono::steady_clock;
+
+struct BenchConfig {
+  std::size_t repeat = 5;
+  bool tiny = false;
+  std::string sha = "unknown";
+  std::string cpu = "unknown";
+};
+
+struct BenchResult {
+  std::string name;
+  std::vector<double> runs_ms;
+  double checksum = 0.0;  // Defeats dead-code elimination; sanity-checked.
+  double ops = 0.0;       // Loads / requests per run.
+  double p50_us = 0.0;    // Per-request latency percentiles (daemon
+  double p99_us = 0.0;    // benchmarks only; 0 when not measured).
+};
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  if (n == 0) return 0.0;
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double percentile(std::vector<double>& xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t at = std::min(
+      xs.size() - 1, static_cast<std::size_t>(p * static_cast<double>(
+                                                      xs.size() - 1)));
+  return xs[at];
+}
+
+BenchResult run_bench(const std::string& name, const BenchConfig& config,
+                      const std::function<double()>& fn) {
+  BenchResult result;
+  result.name = name;
+  std::fprintf(stderr, "[bench_serve] %s: warmup...\n", name.c_str());
+  result.checksum = fn();
+  for (std::size_t r = 0; r < config.repeat; ++r) {
+    const auto t0 = Clock::now();
+    const double check = fn();
+    const auto t1 = Clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    result.runs_ms.push_back(ms);
+    std::fprintf(stderr, "[bench_serve] %s: run %zu/%zu %.3f ms\n",
+                 name.c_str(), r + 1, config.repeat, ms);
+    if (check != result.checksum) {
+      std::fprintf(stderr,
+                   "[bench_serve] %s: WARNING nondeterministic checksum "
+                   "(%.17g vs %.17g)\n",
+                   name.c_str(), check, result.checksum);
+    }
+  }
+  return result;
+}
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    static std::atomic<int> counter{0};
+    path = fs::temp_directory_path() /
+           ("acbm_bench_serve_" + std::to_string(counter.fetch_add(1)));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+/// The fitted model saved in both artifact formats, shared by every
+/// benchmark (fitting dominates setup, not measurement).
+struct Workload {
+  TempDir dir;
+  fs::path armm_path;
+  fs::path art_path;
+  std::vector<acbm::net::Asn> targets;
+
+  explicit Workload(const BenchConfig& config) {
+    const acbm::trace::World world = acbm::trace::build_world(
+        acbm::trace::small_world_options(config.tiny ? 37 : 5));
+    SpatiotemporalOptions opts;
+    opts.spatial.grid_search = false;
+    if (config.tiny) opts.spatial.fixed.mlp.max_epochs = 40;
+    AdversaryModel model(opts);
+    model.fit(world.dataset, world.ip_map);
+    const ServingModel serving =
+        ServingModel::from_image(acbm::core::armm::pack_model(model));
+    armm_path = dir.path / "model.armm";
+    art_path = dir.path / "model.art";
+    acbm::core::durable::atomic_write_file(armm_path, serving.image());
+    std::ofstream out(art_path, std::ios::binary);
+    model.save_framed(out);
+    targets = serving.targets();
+  }
+};
+
+/// Cold start, mmap path: map + validate + first forecast. ops = loads.
+BenchResult bench_cold_mmap(const Workload& w, const BenchConfig& config) {
+  const std::size_t loads = config.tiny ? 8 : 64;
+  BenchResult result = run_bench("cold_start_mmap_armm", config, [&]() {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < loads; ++i) {
+      const ServingModel model = ServingModel::map_file(w.armm_path);
+      acc += model.predict(w.targets.front())->magnitude;
+    }
+    return acc;
+  });
+  result.ops = static_cast<double>(loads);
+  return result;
+}
+
+/// Cold start, framed path: map + CRC + deserialize + re-pack + first
+/// forecast — what serving a model.art costs. ops = loads.
+BenchResult bench_cold_framed(const Workload& w, const BenchConfig& config) {
+  const std::size_t loads = config.tiny ? 1 : 3;
+  BenchResult result = run_bench("cold_start_framed_art", config, [&]() {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < loads; ++i) {
+      const ServingModel model = ServingModel::load_any(w.art_path);
+      acc += model.predict(w.targets.front())->magnitude;
+    }
+    return acc;
+  });
+  result.ops = static_cast<double>(loads);
+  return result;
+}
+
+/// Daemon round-trip load: `connections` client threads each replay a
+/// seeded LCG mix of `per_conn` predicts (same generator as
+/// scripts/loadgen.sh). Per-request latencies accumulate across repeats
+/// for the percentile fields; ops = total requests per run.
+BenchResult bench_daemon(const Workload& w, const BenchConfig& config,
+                         std::size_t connections, bool batching) {
+  TempDir dir;
+  ServerOptions opts;
+  opts.socket_path = dir.path / "bench.sock";
+  opts.models.emplace_back("m", w.armm_path);
+  opts.threads = 4;
+  opts.batching = batching;
+  opts.watch_interval_ms = 0;  // No rotation in the timed loop.
+  opts.preload = true;
+  Server server(std::move(opts));
+  server.start();
+
+  const std::size_t per_conn = config.tiny ? 50 : 2000;
+  std::vector<double> latencies_us;
+  std::mutex lat_mu;
+  const std::string name = "daemon_qps_c" + std::to_string(connections) +
+                           (batching ? "" : "_unbatched");
+  BenchResult result = run_bench(name, config, [&]() {
+    std::atomic<std::uint64_t> checksum{0};
+    std::vector<std::thread> threads;
+    threads.reserve(connections);
+    for (std::size_t c = 0; c < connections; ++c) {
+      threads.emplace_back([&, c]() {
+        Client client = Client::connect_unix(server.socket_path());
+        std::vector<double> local;
+        local.reserve(per_conn);
+        std::uint64_t state = 1 + c;  // loadgen.sh's LCG, seeded per conn.
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i < per_conn; ++i) {
+          state = state * 6364136223846793005ull + 1442695040888963407ull;
+          const acbm::net::Asn asn =
+              w.targets[(state >> 33) % w.targets.size()];
+          const auto t0 = Clock::now();
+          const auto [status, pred] = client.predict("m", asn);
+          const auto t1 = Clock::now();
+          local.push_back(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+          if (status == Status::kOk) {
+            acc += static_cast<std::uint64_t>(pred->prediction.magnitude);
+          }
+        }
+        checksum.fetch_add(acc);
+        std::lock_guard lock(lat_mu);
+        latencies_us.insert(latencies_us.end(), local.begin(), local.end());
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    return static_cast<double>(checksum.load());
+  });
+  server.stop();
+  result.ops = static_cast<double>(connections * per_conn);
+  result.p50_us = percentile(latencies_us, 0.50);
+  result.p99_us = percentile(latencies_us, 0.99);
+  return result;
+}
+
+void print_json(const BenchConfig& config,
+                const std::vector<BenchResult>& results) {
+  std::printf("{\n");
+  std::printf("  \"schema\": \"acbm-bench-serve-v1\",\n");
+  std::printf("  \"git_sha\": \"%s\",\n", config.sha.c_str());
+  std::printf("  \"cpu\": \"%s\",\n", config.cpu.c_str());
+  std::printf("  \"isa\": \"%s\",\n",
+              acbm::stats::isa_name(acbm::stats::active_isa()));
+  std::printf("  \"threads\": %zu,\n", acbm::core::num_threads());
+  std::printf("  \"repeat\": %zu,\n", config.repeat);
+  std::printf("  \"tiny\": %s,\n", config.tiny ? "true" : "false");
+  std::printf("  \"unix_time\": %lld,\n",
+              static_cast<long long>(std::time(nullptr)));
+  // Headline ratio: per-load framed cost over per-load mmap cost.
+  double mmap_per_load = 0.0, framed_per_load = 0.0;
+  for (const BenchResult& r : results) {
+    if (r.name == "cold_start_mmap_armm" && r.ops > 0.0) {
+      mmap_per_load = median(r.runs_ms) / r.ops;
+    }
+    if (r.name == "cold_start_framed_art" && r.ops > 0.0) {
+      framed_per_load = median(r.runs_ms) / r.ops;
+    }
+  }
+  if (mmap_per_load > 0.0) {
+    std::printf("  \"cold_start_speedup\": %.1f,\n",
+                framed_per_load / mmap_per_load);
+  }
+  std::printf("  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    const double med = median(r.runs_ms);
+    std::printf("    {\"name\": \"%s\", \"median_ms\": %.3f, "
+                "\"min_ms\": %.3f, \"checksum\": %.17g, ",
+                r.name.c_str(), med,
+                *std::min_element(r.runs_ms.begin(), r.runs_ms.end()),
+                r.checksum);
+    if (r.ops > 0.0 && med > 0.0) {
+      std::printf("\"ops_per_run\": %.0f, \"ops_per_sec\": %.0f, ", r.ops,
+                  r.ops / (med / 1000.0));
+    }
+    if (r.p99_us > 0.0) {
+      std::printf("\"p50_us\": %.1f, \"p99_us\": %.1f, ", r.p50_us,
+                  r.p99_us);
+    }
+    std::printf("\"runs_ms\": [");
+    for (std::size_t j = 0; j < r.runs_ms.size(); ++j) {
+      std::printf("%s%.3f", j == 0 ? "" : ", ", r.runs_ms[j]);
+    }
+    std::printf("]}%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tiny") {
+      config.tiny = true;
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      config.repeat =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--sha" && i + 1 < argc) {
+      config.sha = argv[++i];
+    } else if (arg == "--cpu" && i + 1 < argc) {
+      config.cpu = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serve [--tiny] [--repeat N] [--sha SHA] "
+                   "[--cpu NAME]\n");
+      return 2;
+    }
+  }
+  if (config.repeat == 0) config.repeat = 1;
+
+  std::fprintf(stderr, "[bench_serve] fitting workload model...\n");
+  const Workload workload(config);
+
+  std::vector<BenchResult> results;
+  results.push_back(bench_cold_mmap(workload, config));
+  results.push_back(bench_cold_framed(workload, config));
+  for (const std::size_t connections : {1u, 4u, 16u}) {
+    results.push_back(
+        bench_daemon(workload, config, connections, /*batching=*/true));
+  }
+  results.push_back(
+      bench_daemon(workload, config, 4, /*batching=*/false));
+  print_json(config, results);
+  return 0;
+}

@@ -35,7 +35,7 @@ fi
 
 cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release \
   -DACBM_BUILD_BENCH=ON >&2
-cmake --build "$build_dir" -j"$(nproc)" --target bench_kernels bench_ingest >&2
+cmake --build "$build_dir" -j"$(nproc)" --target bench_kernels bench_ingest bench_serve >&2
 
 cpu_model="$(awk -F': ' '/model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || true)"
 if [[ -z "$cpu_model" ]]; then cpu_model="unknown"; fi
@@ -65,3 +65,11 @@ echo "bench.sh: wrote $out_file (isa: $isa)" >&2
 ingest_out="${ACBM_BENCH_INGEST_OUT:-$repo_root/results/BENCH_ingest.json}"
 "$build_dir/bench/bench_ingest" --sha "$sha" --cpu "$cpu_model" "$@" > "$ingest_out"
 echo "bench.sh: wrote $ingest_out" >&2
+
+# Serving benchmarks (.armm mmap vs framed cold start, daemon qps and
+# p50/p99 over a unix socket at 1/4/16 connections, batched vs unbatched).
+# Socket round trips and mmap costs are not ISA-sensitive, so no cross-ISA
+# guard here either.
+serve_out="${ACBM_BENCH_SERVE_OUT:-$repo_root/results/BENCH_serve.json}"
+"$build_dir/bench/bench_serve" --sha "$sha" --cpu "$cpu_model" "$@" > "$serve_out"
+echo "bench.sh: wrote $serve_out" >&2

@@ -20,10 +20,17 @@
 # ACBM_FAULTS `#<limit>` budget suffix interacting with `lease.expire`
 # on the coordinator's worker-respawn path (ctest label `ingest`).
 #
-# Usage: scripts/crash_matrix.sh <acbm-binary> [faults|workers|ingest|all] [work-dir]
+# Phase `serve` covers the forecast daemon: kill -9 mid-response stream
+# (a seeded loadgen mix in flight) and mid-generation-swap (artifacts
+# being renamed over in a loop), then restart on the same socket — the
+# daemon must come back serving the previous generation with output
+# byte-identical to `acbm predict` on the same artifact (ctest label
+# `serve`).
+#
+# Usage: scripts/crash_matrix.sh <acbm-binary> [faults|workers|ingest|serve|all] [work-dir]
 set -euo pipefail
 
-acbm="${1:?usage: crash_matrix.sh <acbm-binary> [faults|workers|all] [work-dir]}"
+acbm="${1:?usage: crash_matrix.sh <acbm-binary> [faults|workers|ingest|serve|all] [work-dir]}"
 phase="${2:-faults}"
 work="${3:-$(mktemp -d /tmp/acbm_crash_matrix.XXXXXX)}"
 mkdir -p "$work"
@@ -347,17 +354,144 @@ run_ingest_phase() {
     "worker.exit:worker=0#1;lease.expire#2" --lease-ttl-ms 300
 }
 
+# --- serve phase -------------------------------------------------------------
+
+serve_pid=""
+
+start_daemon() {
+  # Args: log-file, extra serve args... Sets serve_pid; waits for LISTENING.
+  local log="$1"
+  shift
+  "$acbm" serve --socket "$serve_sock" --watch-interval 50 "$@" \
+    >"$log" 2>&1 &
+  serve_pid=$!
+  disown "$serve_pid"  # Keep bash quiet about the later kill -9.
+  local i
+  for i in $(seq 1 200); do
+    if grep -q LISTENING "$log" 2>/dev/null; then return 0; fi
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+      echo "FAIL [serve]: daemon died at startup (see $log)" >&2
+      return 1
+    fi
+    sleep 0.05
+  done
+  echo "FAIL [serve]: daemon never reported LISTENING (see $log)" >&2
+  return 1
+}
+
+stop_daemon() {
+  if [[ -n $serve_pid ]] && kill -0 "$serve_pid" 2>/dev/null; then
+    kill "$serve_pid" 2>/dev/null || true
+    wait "$serve_pid" 2>/dev/null || true
+  fi
+  serve_pid=""
+}
+
+run_serve_phase() {
+  local armm="$work/serve.armm"
+  "$acbm" pack --model "$clean" --out "$armm" >/dev/null
+  serve_sock="$work/serve.sock"
+
+  # Reference: the batch predict CLI on the same artifact, over the 8
+  # busiest targets. The daemon's f64 answers must match byte for byte.
+  local targets target_args=() t
+  targets="$("$acbm" predict --model "$clean" --top 8 \
+    | awk 'NR>1 && /^AS/ {sub(/^AS/,""); print $1}')"
+  for t in $targets; do target_args+=(--target "$t"); done
+  "$acbm" predict --model "$clean" "${target_args[@]}" > "$work/serve_ref.txt"
+
+  # Sanity: a clean daemon serves the reference byte-identically.
+  start_daemon "$work/serve0.log" --model "m=$armm" || {
+    failures=$((failures + 1)); return;
+  }
+  "$acbm" query --socket "$serve_sock" --model m "${target_args[@]}" \
+    > "$work/serve0.txt"
+  if ! cmp -s "$work/serve0.txt" "$work/serve_ref.txt"; then
+    echo "FAIL [serve clean]: daemon output differs from acbm predict" >&2
+    failures=$((failures + 1))
+    stop_daemon
+    return
+  fi
+  echo "ok   [serve clean]: daemon output byte-identical to acbm predict"
+
+  # Case 1: kill -9 mid-response stream. A seeded loadgen mix is in
+  # flight when the daemon dies; the restart (same socket path) must
+  # serve the same generation byte-identically.
+  bash "$repo_root/scripts/loadgen.sh" "$acbm" "$serve_sock" m 100000 7 \
+    $targets >/dev/null 2>&1 &
+  local load_pid=$!
+  sleep 0.4
+  kill -9 "$serve_pid"
+  serve_pid=""
+  wait "$load_pid" 2>/dev/null || true  # The client loses its connection.
+  if ! start_daemon "$work/serve1.log" --model "m=$armm"; then
+    failures=$((failures + 1)); return
+  fi
+  "$acbm" query --socket "$serve_sock" --model m "${target_args[@]}" \
+    > "$work/serve1.txt"
+  if cmp -s "$work/serve1.txt" "$work/serve_ref.txt"; then
+    echo "ok   [serve kill mid-response]: restart serves byte-identically"
+  else
+    echo "FAIL [serve kill mid-response]: restarted output differs" >&2
+    failures=$((failures + 1))
+  fi
+
+  # Case 2: kill -9 mid-generation-swap. Rotate the artifact in a tight
+  # loop (atomic rename-over, same bytes, new inode) under load, kill the
+  # daemon while swaps are landing, restart, compare.
+  bash "$repo_root/scripts/loadgen.sh" "$acbm" "$serve_sock" m 100000 11 \
+    $targets >/dev/null 2>&1 &
+  load_pid=$!
+  touch "$work/rotate.flag"
+  ( while [[ -e "$work/rotate.flag" ]]; do
+      "$acbm" pack --model "$clean" --out "$armm" >/dev/null 2>&1
+    done ) &
+  local rotate_pid=$!
+  sleep 0.6
+  kill -9 "$serve_pid"
+  serve_pid=""
+  rm -f "$work/rotate.flag"  # Let the in-flight pack finish, then stop.
+  wait "$rotate_pid" 2>/dev/null || true
+  wait "$load_pid" 2>/dev/null || true
+  if ! start_daemon "$work/serve2.log" --model "m=$armm"; then
+    failures=$((failures + 1)); return
+  fi
+  "$acbm" query --socket "$serve_sock" --model m "${target_args[@]}" \
+    > "$work/serve2.txt"
+  if cmp -s "$work/serve2.txt" "$work/serve_ref.txt"; then
+    echo "ok   [serve kill mid-swap]: restart serves byte-identically"
+  else
+    echo "FAIL [serve kill mid-swap]: restarted output differs" >&2
+    failures=$((failures + 1))
+  fi
+
+  # The deterministic mix itself replays identically across restarts.
+  bash "$repo_root/scripts/loadgen.sh" "$acbm" "$serve_sock" m 50 3 \
+    $targets > "$work/serve_mix_a.txt"
+  bash "$repo_root/scripts/loadgen.sh" "$acbm" "$serve_sock" m 50 3 \
+    $targets > "$work/serve_mix_b.txt"
+  if cmp -s "$work/serve_mix_a.txt" "$work/serve_mix_b.txt"; then
+    echo "ok   [serve loadgen]: seeded mix is deterministic"
+  else
+    echo "FAIL [serve loadgen]: seeded mix diverged between runs" >&2
+    failures=$((failures + 1))
+  fi
+  stop_daemon
+}
+
 case "$phase" in
   faults) run_faults_phase ;;
   workers) run_workers_phase ;;
   ingest) run_ingest_phase ;;
+  serve) run_serve_phase ;;
   all)
     run_faults_phase
     run_workers_phase
     run_ingest_phase
+    run_serve_phase
     ;;
   *)
-    echo "crash_matrix.sh: unknown phase '$phase' (want faults|workers|ingest|all)" >&2
+    echo "crash_matrix.sh: unknown phase '$phase' (want faults|workers|ingest|serve|all)" >&2
     exit 2
     ;;
 esac

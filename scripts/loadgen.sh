@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Deterministic load generator for the forecast daemon: replays a seeded
+# query mix against a running `acbm serve` endpoint via `acbm query
+# --count --seed`. The mix is an LCG over the target list (the same one
+# bench_serve drives in-process), so a given (seed, count, targets) tuple
+# always produces the same request sequence — crash-matrix runs can replay
+# the exact load that was in flight when the daemon was killed.
+#
+# Usage: loadgen.sh <acbm-binary> <socket-path|tcp:PORT> <model-name> \
+#                   <count> <seed> <target-asn...>
+set -euo pipefail
+
+acbm="${1:?usage: loadgen.sh <acbm> <socket|tcp:PORT> <model> <count> <seed> <asn...>}"
+endpoint="${2:?missing socket path or tcp:PORT}"
+model="${3:?missing model name}"
+count="${4:?missing query count}"
+seed="${5:?missing seed}"
+shift 5
+if [[ $# -eq 0 ]]; then
+  echo "loadgen.sh: need at least one target ASN" >&2
+  exit 2
+fi
+
+targets=()
+for asn in "$@"; do
+  targets+=(--target "$asn")
+done
+
+if [[ $endpoint == tcp:* ]]; then
+  conn=(--port "${endpoint#tcp:}")
+else
+  conn=(--socket "$endpoint")
+fi
+
+exec "$acbm" query "${conn[@]}" --model "$model" \
+  --count "$count" --seed "$seed" "${targets[@]}"

@@ -1,20 +1,25 @@
 #!/usr/bin/env bash
 # ASan+UBSan build of the fault-tolerance surface: configures a dedicated
 # build tree with ACBM_SANITIZE=address+undefined and runs the fault-injection,
-# parallel-runtime, durability, observability, distributed-fit, and
-# kernel-benchmark smoke suites (ctest labels `robust`, `parallel`,
-# `durable`, `observe`, `distributed`, `ingest`, `simd`, and `perf-smoke` —
+# parallel-runtime, durability, observability, distributed-fit, serving,
+# and kernel-benchmark smoke suites (ctest labels `robust`, `parallel`,
+# `durable`, `observe`, `distributed`, `ingest`, `serve`, `simd`, and
+# `perf-smoke` —
 # `simd` is the scalar-vs-vectorized agreement sweep, `perf-smoke` runs
 # bench_kernels at tiny sizes, `distributed` covers the sharded
 # multi-process fit: lease stealing, worker crash/respawn, and the worker
 # crash matrix, and `ingest` covers the streaming snapshot log, drift
 # monitor, and incremental-refit loop including its crash matrix phase, so
 # the whole coordination and ingestion surface sweeps under the sanitizers
-# too). A second TSan build then reruns the `observe`, `parallel`,
-# `distributed`, and `ingest` labels so the span-ring SPSC protocol, the
-# metric atomics, the arena-under-parallel_for usage, the heartbeat/lease
-# threads, and the multi-threaded incremental refit are exercised under
-# the race detector. A third build with
+# too, and `serve` covers the .armm artifact parser, the shared serving
+# view, and the forecast daemon — protocol fuzz cases, LRU eviction, and
+# hot swap under load — plus its crash matrix phase). A second TSan build
+# then reruns the `observe`, `parallel`, `distributed`, `ingest`, and
+# `serve` labels so the span-ring SPSC protocol, the metric atomics, the
+# arena-under-parallel_for usage, the heartbeat/lease threads, the
+# multi-threaded incremental refit, and the daemon's IO/worker/watcher
+# threads (including generation swap under concurrent clients) are
+# exercised under the race detector. A third build with
 # -DACBM_DISABLE_SIMD=ON reruns the kernel and smoke suites on the scalar
 # reference path, keeping that configuration honest.
 #
@@ -35,7 +40,7 @@ cmake -S "$repo_root" -B "$build_dir" \
   -DACBM_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" -j"$(nproc)"
 ctest --test-dir "$build_dir" \
-  -L 'robust|parallel|durable|observe|distributed|ingest|simd|perf-smoke' \
+  -L 'robust|parallel|durable|observe|distributed|ingest|serve|simd|perf-smoke' \
   --output-on-failure -j"$(nproc)"
 
 tsan_dir="${build_dir%/}-tsan"
@@ -45,7 +50,7 @@ cmake -S "$repo_root" -B "$tsan_dir" \
   -DACBM_BUILD_BENCH=OFF \
   -DACBM_BUILD_EXAMPLES=OFF
 cmake --build "$tsan_dir" -j"$(nproc)"
-ctest --test-dir "$tsan_dir" -L 'observe|parallel|distributed|ingest' \
+ctest --test-dir "$tsan_dir" -L 'observe|parallel|distributed|ingest|serve' \
   --output-on-failure -j"$(nproc)"
 
 nosimd_dir="${build_dir%/}-nosimd"

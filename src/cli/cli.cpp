@@ -1,6 +1,9 @@
 #include "cli/cli.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -8,6 +11,7 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -19,6 +23,8 @@
 #include "core/observe.h"
 #include "core/pipeline.h"
 #include "core/robust.h"
+#include "core/server.h"
+#include "core/serving.h"
 #include "core/shard.h"
 #include "stats/kernels.h"
 #include "trace/generator.h"
@@ -54,7 +60,18 @@ class ArgMap {
         throw std::invalid_argument("option --" + key + " needs a value");
       }
       values_[key] = args[++i];
+      ordered_.emplace_back(key, args[i]);
     }
+  }
+
+  /// Every value given for a repeatable option, in CLI order
+  /// (serve --model a=x --model b=y; query --target 1 --target 2).
+  [[nodiscard]] std::vector<std::string> get_all(const std::string& key) const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : ordered_) {
+      if (k == key) out.push_back(v);
+    }
+    return out;
   }
 
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
@@ -96,6 +113,7 @@ class ArgMap {
 
  private:
   std::unordered_map<std::string, std::string> values_;
+  std::vector<std::pair<std::string, std::string>> ordered_;
 };
 
 void print_usage(std::ostream& out) {
@@ -133,6 +151,20 @@ void print_usage(std::ostream& out) {
          "             [--drift-z Z (3.0)] [--drift-hours K (3)]\n"
          "             [--ema-alpha A (0.2)] [--refit-retries N (3)]\n"
          "             [--refit-backoff-ms MS (5)]\n"
+         "  pack       convert a framed model.art into a zero-copy mmap\n"
+         "             .armm serving artifact (O(µs) startup; DESIGN.md §8)\n"
+         "             --model FILE --out FILE\n"
+         "  serve      batched concurrent forecast daemon over .armm/.art\n"
+         "             models; hot-swaps generations on artifact rotation\n"
+         "             --model NAME=FILE (repeatable) [--socket PATH]\n"
+         "             [--port N|-1] [--threads N (4)] [--max-resident N (8)]\n"
+         "             [--no-batching] [--max-batch N (64)]\n"
+         "             [--watch-interval MS (200)] [--io-timeout MS (5000)]\n"
+         "             [--idle-timeout MS (0)] [--preload]\n"
+         "  query      ask a running daemon for next-attack forecasts\n"
+         "             --model NAME --target ASN (repeatable)\n"
+         "             (--socket PATH | --port N) [--precision f64|f32]\n"
+         "             [--count N --seed S] seeded deterministic query mix\n"
          "  evaluate   timestamp-prediction RMSE report (Fig. 4 format)\n"
          "             --dataset FILE --ipmap FILE [--train-fraction F]\n"
          "             [--horizons F1,F2,...] [--out FILE]\n"
@@ -579,6 +611,33 @@ int cmd_ingest(const ArgMap& args, std::ostream& out, std::ostream& err) {
       "--export-dataset");
 }
 
+constexpr const char* kPredictionHeader =
+    "target      family        bots   duration      day  hour  top sources\n";
+
+/// One prediction table row, shared by `predict` (in-process model) and
+/// `query` (daemon round-trip) so their f64 output is byte-identical.
+void print_prediction_row(std::ostream& table, net::Asn asn,
+                          const core::AttackPrediction& pred,
+                          std::string_view family_name) {
+  std::vector<std::pair<net::Asn, double>> sources(
+      pred.source_distribution.begin(), pred.source_distribution.end());
+  std::sort(sources.begin(), sources.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  char line[256];
+  std::snprintf(line, sizeof line, "AS%-8u  %-12s %5.0f %9.0fs %7.1f %5.1f  ",
+                asn, std::string(family_name).c_str(), pred.magnitude,
+                pred.duration_s, pred.day, pred.hour);
+  table << line;
+  for (std::size_t i = 0; i < sources.size() && i < 3; ++i) {
+    if (sources[i].first == 0) continue;
+    char src[48];
+    std::snprintf(src, sizeof src, "AS%u(%.0f%%) ", sources[i].first,
+                  100.0 * sources[i].second);
+    table << src;
+  }
+  table << "\n";
+}
+
 int cmd_predict(const ArgMap& args, std::ostream& out, std::ostream& err) {
   args.reject_unknown({"dataset", "ipmap", "model", "target", "top",
                        "fit-report", "precision"});
@@ -610,9 +669,10 @@ int cmd_predict(const ArgMap& args, std::ostream& out, std::ostream& err) {
   const trace::Dataset& dataset = model.dataset();
 
   std::vector<net::Asn> targets;
-  if (const auto target = args.get("target")) {
-    targets.push_back(static_cast<net::Asn>(std::stoul(*target)));
-  } else {
+  for (const std::string& target : args.get_all("target")) {
+    targets.push_back(static_cast<net::Asn>(std::stoul(target)));
+  }
+  if (targets.empty()) {
     targets = dataset.target_asns();
     targets.resize(std::min<std::size_t>(targets.size(),
                                          args.get_or<std::size_t>("top", 5)));
@@ -622,7 +682,7 @@ int cmd_predict(const ArgMap& args, std::ostream& out, std::ostream& err) {
   if (precision == core::Precision::kF32) view = model.make_inference_view();
 
   std::ostream& table = report_dest == "-" ? err : out;
-  table << "target      family        bots   duration      day  hour  top sources\n";
+  table << kPredictionHeader;
   for (net::Asn asn : targets) {
     const auto pred =
         model.predict_next_attack(asn, view ? &*view : nullptr);
@@ -630,24 +690,145 @@ int cmd_predict(const ArgMap& args, std::ostream& out, std::ostream& err) {
       table << "AS" << asn << "  (no history)\n";
       continue;
     }
-    std::vector<std::pair<net::Asn, double>> sources(
-        pred->source_distribution.begin(), pred->source_distribution.end());
-    std::sort(sources.begin(), sources.end(),
-              [](const auto& a, const auto& b) { return a.second > b.second; });
-    char line[256];
-    std::snprintf(line, sizeof line,
-                  "AS%-8u  %-12s %5.0f %9.0fs %7.1f %5.1f  ", asn,
-                  dataset.family_names()[pred->assumed_family].c_str(),
-                  pred->magnitude, pred->duration_s, pred->day, pred->hour);
-    table << line;
-    for (std::size_t i = 0; i < sources.size() && i < 3; ++i) {
-      if (sources[i].first == 0) continue;
-      char src[48];
-      std::snprintf(src, sizeof src, "AS%u(%.0f%%) ", sources[i].first,
-                    100.0 * sources[i].second);
-      table << src;
+    print_prediction_row(table, asn, *pred,
+                         dataset.family_names()[pred->assumed_family]);
+  }
+  return 0;
+}
+
+// --- serving: pack / serve / query ------------------------------------------
+
+int cmd_pack(const ArgMap& args, std::ostream& out, std::ostream&) {
+  args.reject_unknown({"model", "out"});
+  const std::string model_path = args.require("model");
+  const std::string out_path = args.require("out");
+  // load_any maps + validates the framed artifact in place (no payload
+  // copy) before deserializing and re-packing; an .armm input round-trips.
+  const core::ServingModel packed = core::ServingModel::load_any(model_path);
+  durable::atomic_write_file(out_path, packed.image());
+  out << "packed " << model_path << " -> " << out_path << " ("
+      << packed.image().size() << " bytes, " << packed.targets().size()
+      << " targets)\n";
+  return 0;
+}
+
+std::atomic<bool> g_serve_stop{false};
+void serve_signal_handler(int) { g_serve_stop.store(true); }
+
+int cmd_serve(const ArgMap& args, std::ostream& out, std::ostream&) {
+  args.reject_unknown({"socket", "port", "model", "threads", "max-resident",
+                       "no-batching", "max-batch", "watch-interval",
+                       "io-timeout", "idle-timeout", "preload"});
+  core::serve::ServerOptions opts;
+  if (const auto socket = args.get("socket")) opts.socket_path = *socket;
+  opts.tcp_port = static_cast<int>(args.get_or<long>("port", 0));
+  for (const std::string& spec : args.get_all("model")) {
+    // "name=path", or a bare path whose stem names the model.
+    const std::size_t eq = spec.find('=');
+    if (eq != std::string::npos) {
+      opts.models.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else {
+      opts.models.emplace_back(std::filesystem::path(spec).stem().string(),
+                               spec);
     }
-    table << "\n";
+  }
+  if (opts.models.empty()) {
+    throw std::invalid_argument("serve needs at least one --model name=path");
+  }
+  opts.threads = args.get_or<std::size_t>("threads", 4);
+  opts.max_resident = args.get_or<std::size_t>("max-resident", 8);
+  opts.batching = !args.has("no-batching");
+  opts.max_batch = args.get_or<std::size_t>("max-batch", 64);
+  opts.watch_interval_ms = args.get_or<std::size_t>("watch-interval", 200);
+  opts.io_timeout_ms = args.get_or<std::size_t>("io-timeout", 5000);
+  opts.idle_timeout_ms = args.get_or<std::size_t>("idle-timeout", 0);
+  opts.preload = args.has("preload");
+
+  core::serve::Server server(std::move(opts));
+  server.start();
+  out << "LISTENING";
+  if (!server.socket_path().empty()) {
+    out << " unix=" << server.socket_path().string();
+  }
+  if (server.tcp_port() != 0) out << " tcp=" << server.tcp_port();
+  out << "\n" << std::flush;
+
+  g_serve_stop.store(false);
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  while (!g_serve_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+  const core::serve::ServerStats stats = server.stats();
+  out << "served " << stats.requests << " requests ("
+      << stats.coalesced << " coalesced, " << stats.errors << " errors, "
+      << stats.swaps << " hot swaps)\n";
+  return 0;
+}
+
+int cmd_query(const ArgMap& args, std::ostream& out, std::ostream&) {
+  args.reject_unknown(
+      {"socket", "port", "model", "target", "count", "seed", "precision"});
+  const core::Precision precision =
+      core::parse_precision(args.get("precision").value_or("f64"));
+  const std::string model = args.require("model");
+  std::vector<net::Asn> targets;
+  for (const std::string& t : args.get_all("target")) {
+    targets.push_back(static_cast<net::Asn>(std::stoul(t)));
+  }
+  if (targets.empty()) {
+    throw std::invalid_argument("query needs at least one --target ASN");
+  }
+
+  core::serve::Client client = [&] {
+    if (const auto socket = args.get("socket")) {
+      return core::serve::Client::connect_unix(*socket);
+    }
+    const auto port = args.get("port");
+    if (!port) throw std::invalid_argument("query needs --socket or --port");
+    return core::serve::Client::connect_tcp(
+        static_cast<int>(std::stoul(*port)));
+  }();
+
+  // --count N replays a seeded deterministic query mix over the targets
+  // (scripts/loadgen.sh); without it, each target is queried once.
+  std::vector<net::Asn> mix;
+  if (const auto count = args.get("count")) {
+    std::uint64_t state = args.get_or<std::uint64_t>("seed", 1);
+    const std::size_t n = std::stoull(*count);
+    mix.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      mix.push_back(targets[(state >> 33) % targets.size()]);
+    }
+  } else {
+    mix = targets;
+  }
+
+  out << kPredictionHeader;
+  for (net::Asn asn : mix) {
+    const auto [status, result] = client.predict(model, asn, precision);
+    switch (status) {
+      case core::serve::Status::kOk:
+        print_prediction_row(out, asn, result->prediction,
+                             result->family_name);
+        break;
+      case core::serve::Status::kNoPrediction:
+        out << "AS" << asn << "  (no history)\n";
+        break;
+      case core::serve::Status::kUnknownModel:
+        throw durable::LoadFailure(durable::LoadError::kIo,
+                                   "server has no model '" + model + "'");
+      case core::serve::Status::kBadRequest:
+      case core::serve::Status::kTooLarge:
+        throw std::invalid_argument(
+            "server rejected the request: " +
+            std::string(core::serve::status_name(status)));
+      case core::serve::Status::kInternal:
+        throw std::runtime_error("server error answering AS" +
+                                 std::to_string(asn));
+    }
   }
   return 0;
 }
@@ -870,7 +1051,8 @@ int run(std::span<const std::string> args_in, std::ostream& out,
     }
     ObserveSession session(extract_observe_options(args));
     const ArgMap options(args, 1, {"resume", "ship-metrics", "init",
-                                   "no-refit", "refit", "status"});
+                                   "no-refit", "refit", "status",
+                                   "no-batching", "preload"});
     // Dispatch inside a lambda so each command's root span closes before
     // session.finish() drains the tracer.
     const auto dispatch = [&]() -> int {
@@ -901,6 +1083,18 @@ int run(std::span<const std::string> args_in, std::ostream& out,
       if (args[0] == "ingest") {
         ACBM_SPAN("cli.ingest");
         return cmd_ingest(options, out, err);
+      }
+      if (args[0] == "pack") {
+        ACBM_SPAN("cli.pack");
+        return cmd_pack(options, out, err);
+      }
+      if (args[0] == "serve") {
+        ACBM_SPAN("cli.serve");
+        return cmd_serve(options, out, err);
+      }
+      if (args[0] == "query") {
+        ACBM_SPAN("cli.query");
+        return cmd_query(options, out, err);
       }
       return -1;
     };

@@ -3,6 +3,7 @@
 #include <array>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -10,12 +11,22 @@
 #include <sstream>
 #include <system_error>
 
+#include "core/durable_dispatch.h"
 #include "core/robust.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #define ACBM_POSIX_IO 1
+#endif
+
+#if defined(ACBM_HAVE_CRC_ARMV8_TU) && defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
 #endif
 
 namespace acbm::core::durable {
@@ -37,6 +48,31 @@ constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
 
 constexpr std::array<std::uint32_t, 256> kCrc32cTable = make_crc32c_table();
 
+std::uint32_t crc32c_raw_table(const unsigned char* data, std::size_t n,
+                               std::uint32_t crc) {
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ kCrc32cTable[(crc ^ *data++) & 0xFFU];
+  }
+  return crc;
+}
+
+/// Hardware CRC32C when the arch TU was built AND the CPU supports it AND
+/// ACBM_SIMD is not forced off (same kill switch as the stats kernels);
+/// null means "use the table". Probed once, first use.
+detail::CrcRawFn pick_crc_raw() noexcept {
+  const char* simd = std::getenv("ACBM_SIMD");
+  if (simd != nullptr) {
+    const std::string_view s{simd};
+    if (s == "0" || s == "off" || s == "OFF" || s == "scalar") return nullptr;
+  }
+#if defined(ACBM_HAVE_CRC_SSE42_TU)
+  if (__builtin_cpu_supports("sse4.2")) return detail::crc32c_sse42();
+#elif defined(ACBM_HAVE_CRC_ARMV8_TU) && defined(__linux__)
+  if ((getauxval(AT_HWCAP) & HWCAP_CRC32) != 0) return detail::crc32c_armv8();
+#endif
+  return nullptr;
+}
+
 [[nodiscard]] std::string hex_digits(std::uint64_t value, int digits) {
   static constexpr char kHex[] = "0123456789abcdef";
   std::string out(static_cast<std::size_t>(digits), '0');
@@ -50,10 +86,11 @@ constexpr std::array<std::uint32_t, 256> kCrc32cTable = make_crc32c_table();
 }  // namespace
 
 std::uint32_t crc32c(std::string_view data, std::uint32_t crc) noexcept {
+  static const detail::CrcRawFn hw = pick_crc_raw();
   crc = ~crc;
-  for (unsigned char byte : data) {
-    crc = (crc >> 8) ^ kCrc32cTable[(crc ^ byte) & 0xFFU];
-  }
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  crc = hw != nullptr ? hw(bytes, data.size(), crc)
+                      : crc32c_raw_table(bytes, data.size(), crc);
   return ~crc;
 }
 
@@ -106,6 +143,15 @@ bool looks_framed(std::string_view data) noexcept {
 }
 
 Frame parse_frame(std::string_view data) {
+  FrameView view = parse_frame_view(data);
+  Frame frame;
+  frame.kind = std::move(view.kind);
+  frame.version = view.version;
+  frame.payload = std::string(view.payload);
+  return frame;
+}
+
+FrameView parse_frame_view(std::string_view data) {
   if (!looks_framed(data)) {
     throw LoadFailure(LoadError::kBadMagic,
                       "durable: not a framed artifact (missing " +
@@ -129,7 +175,7 @@ Frame parse_frame(std::string_view data) {
                                              std::string(data.substr(0, eol)) +
                                              "'");
   }
-  Frame frame;
+  FrameView frame;
   frame.kind = kind;
   std::size_t length = 0;
   std::uint32_t expected_crc = 0;
@@ -162,7 +208,7 @@ Frame parse_frame(std::string_view data) {
                           to_hex(expected_crc) + ", got " + to_hex(actual_crc) +
                           ")");
   }
-  frame.payload = std::string(payload);
+  frame.payload = payload;
   return frame;
 }
 
@@ -183,6 +229,97 @@ std::string unwrap(std::string_view data, std::string_view kind,
                           std::to_string(max_version) + "]");
   }
   return std::move(frame.payload);
+}
+
+MappedFile::MappedFile(const std::filesystem::path& path) {
+#if defined(ACBM_POSIX_IO)
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw LoadFailure(LoadError::kIo, "durable: cannot open " + path.string() +
+                                          ": " + std::strerror(errno));
+  }
+  struct ::stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw LoadFailure(LoadError::kIo, "durable: cannot stat " + path.string() +
+                                          ": " + std::strerror(err));
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    // mmap rejects zero-length mappings; an empty file is a valid (empty)
+    // view.
+    ::close(fd);
+    mapped_ = true;
+    return;
+  }
+  void* addr = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    throw LoadFailure(LoadError::kIo, "durable: cannot mmap " + path.string() +
+                                          ": " + std::strerror(errno));
+  }
+  addr_ = addr;
+  mapped_ = true;
+#else
+  throw LoadFailure(LoadError::kIo,
+                    "durable: memory mapping unsupported on this platform (" +
+                        path.string() + ")");
+#endif
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : addr_(other.addr_), size_(other.size_), mapped_(other.mapped_) {
+  other.addr_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    this->~MappedFile();
+    addr_ = other.addr_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    other.addr_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+#if defined(ACBM_POSIX_IO)
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+#endif
+  addr_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+FramedView load_framed_view(const std::filesystem::path& path,
+                            std::string_view kind, int min_version,
+                            int max_version) {
+  FramedView out;
+  out.file = MappedFile(path);
+  FrameView frame = parse_frame_view(out.file.view());
+  if (frame.kind != kind) {
+    throw LoadFailure(LoadError::kParse, "durable: expected kind '" +
+                                             std::string(kind) + "', got '" +
+                                             frame.kind + "'");
+  }
+  if (frame.version < min_version || frame.version > max_version) {
+    throw LoadFailure(LoadError::kVersionUnsupported,
+                      "durable: " + frame.kind + " v" +
+                          std::to_string(frame.version) +
+                          " is outside the supported range [v" +
+                          std::to_string(min_version) + ", v" +
+                          std::to_string(max_version) + "]");
+  }
+  out.kind = std::move(frame.kind);
+  out.version = frame.version;
+  out.payload = frame.payload;
+  return out;
 }
 
 std::string read_file(const std::filesystem::path& path) {

@@ -38,8 +38,10 @@ namespace acbm::core::durable {
 // --- Checksums and content hashes -----------------------------------------
 
 /// CRC32C (Castagnoli) of `data`, continuing from `crc` (0 to start).
-/// Software slice-by-one table implementation; the check value of
-/// "123456789" is 0xE3069283.
+/// Uses the hardware CRC instruction when available (SSE4.2 on x86-64,
+/// the CRC extension on ARMv8 — probed once at first use; ACBM_SIMD=off
+/// forces the table path), falling back to a software table. Both paths
+/// are bit-identical; the check value of "123456789" is 0xE3069283.
 [[nodiscard]] std::uint32_t crc32c(std::string_view data,
                                    std::uint32_t crc = 0) noexcept;
 
@@ -113,6 +115,17 @@ struct Frame {
 /// kBadChecksum / kParse.
 [[nodiscard]] Frame parse_frame(std::string_view data);
 
+/// parse_frame without copying the payload: the returned view aliases
+/// `data`, so read-only consumers (the serving daemon, `acbm pack`) can
+/// CRC-validate a memory-mapped artifact in place. Same error taxonomy as
+/// parse_frame.
+struct FrameView {
+  std::string kind;
+  int version = 0;
+  std::string_view payload;  ///< Aliases the input bytes.
+};
+[[nodiscard]] FrameView parse_frame_view(std::string_view data);
+
 /// parse_frame plus kind/version policing: a kind mismatch is kParse, a
 /// version outside [min_version, max_version] is kVersionUnsupported.
 /// Returns the verified payload.
@@ -120,6 +133,57 @@ struct Frame {
                                  int min_version, int max_version);
 
 // --- Durable file I/O -------------------------------------------------------
+
+/// Read-only memory mapping of a whole file (RAII: unmapped on
+/// destruction). Move-only. Construction throws LoadFailure(kIo) when the
+/// file cannot be opened, stat'd, or mapped; a zero-length file maps to an
+/// empty view. The mapping stays valid for the object's lifetime even if
+/// the path is later renamed over (POSIX mmap semantics), which is exactly
+/// what the serving daemon's generation hot-swap relies on: in-flight
+/// requests keep reading the old mapping while the new one is built.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  explicit MappedFile(const std::filesystem::path& path);
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  [[nodiscard]] bool mapped() const noexcept { return mapped_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] const std::byte* data() const noexcept {
+    return static_cast<const std::byte*>(addr_);
+  }
+  [[nodiscard]] std::string_view view() const noexcept {
+    return {static_cast<const char*>(addr_), size_};
+  }
+
+ private:
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+};
+
+/// A validated framed artifact whose payload still lives in the mapping —
+/// the zero-copy counterpart of load_artifact for read-only consumers.
+/// `payload` aliases `file`; keep the struct alive while reading it.
+struct FramedView {
+  MappedFile file;
+  std::string kind;
+  int version = 0;
+  std::string_view payload;
+};
+
+/// Maps `path`, validates the frame (CRC over the mapped bytes, kind and
+/// [min_version, max_version] policing exactly like unwrap) and returns the
+/// payload as a view into the mapping — no payload copy is ever made.
+/// Throws the same typed LoadFailures as load_artifact; never quarantines
+/// (read-only consumers must not perturb the publication directory).
+[[nodiscard]] FramedView load_framed_view(const std::filesystem::path& path,
+                                          std::string_view kind,
+                                          int min_version, int max_version);
 
 /// Whole-file read; throws LoadFailure(kIo) when the file cannot be opened
 /// or read.

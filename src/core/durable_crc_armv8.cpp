@@ -1,0 +1,43 @@
+// ARMv8 CRC extension CRC32C (the __crc32c* intrinsics implement the same
+// Castagnoli polynomial as the software table — bit-identical results).
+// Compiled with -march=armv8-a+crc (see src/CMakeLists.txt); only selected
+// after the HWCAP_CRC32 auxv probe passes at runtime.
+#include "core/durable_dispatch.h"
+
+#if defined(__aarch64__)
+
+#include <arm_acle.h>
+
+#include <cstring>
+
+namespace acbm::core::durable::detail {
+namespace {
+
+std::uint32_t crc_raw(const unsigned char* data, std::size_t n,
+                      std::uint32_t crc) {
+  while (n >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, data, 8);
+    crc = __crc32cd(crc, chunk);
+    data += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = __crc32cb(crc, *data++);
+  }
+  return crc;
+}
+
+}  // namespace
+
+CrcRawFn crc32c_armv8() noexcept { return &crc_raw; }
+
+}  // namespace acbm::core::durable::detail
+
+#else
+
+namespace acbm::core::durable::detail {
+CrcRawFn crc32c_armv8() noexcept { return nullptr; }
+}  // namespace acbm::core::durable::detail
+
+#endif

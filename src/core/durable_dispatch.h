@@ -1,0 +1,24 @@
+// Internal dispatch plumbing for the hardware CRC32C translation units
+// (durable_crc_sse42.cpp, durable_crc_armv8.cpp) compiled with per-file
+// arch flags — same pattern as stats/kernels_dispatch.h. Not part of the
+// public API; include core/durable.h instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace acbm::core::durable::detail {
+
+/// Advances a raw (pre-inverted) CRC32C state over `n` bytes. The public
+/// crc32c() wrapper owns the ~crc init/final inversions so table and
+/// hardware paths share one calling convention.
+using CrcRawFn = std::uint32_t (*)(const unsigned char* data, std::size_t n,
+                                   std::uint32_t crc);
+
+/// Hardware implementations provided by the arch-specific TUs; null when
+/// the TU is not built for this target (the caller also probes the CPU at
+/// runtime before selecting one).
+[[nodiscard]] CrcRawFn crc32c_sse42() noexcept;
+[[nodiscard]] CrcRawFn crc32c_armv8() noexcept;
+
+}  // namespace acbm::core::durable::detail

@@ -92,6 +92,14 @@ class AdversaryModel {
   [[nodiscard]] const trace::Dataset& dataset() const noexcept {
     return dataset_;
   }
+  /// The IP->ASN map the model predicts with (serving-artifact extraction:
+  /// core/artifact_map.h precomputes source-AS distributions at pack time).
+  [[nodiscard]] const net::IpToAsnMap& ip_map() const noexcept {
+    return ip_map_;
+  }
+  [[nodiscard]] const SpatiotemporalOptions& options() const noexcept {
+    return opts_;
+  }
 
   /// Fit-time drift baselines, one per family with >= 2 attacks, ordered by
   /// family index. Empty on an unfitted model or one loaded from a pre-v2

@@ -94,6 +94,15 @@ class SpatialModel {
     return tracked_ases_;
   }
 
+  /// Share-predictor weights (persisted by save(); serving-artifact
+  /// extraction mirrors predict_source_distribution with them).
+  [[nodiscard]] double share_smoothing() const noexcept {
+    return opts_.share_smoothing;
+  }
+  [[nodiscard]] double share_recency_blend() const noexcept {
+    return opts_.share_recency_blend;
+  }
+
   /// The degradation-ladder rung the series landed on:
   /// NAR -> NAR retry (perturbed init) -> AR(1) -> mean.
   [[nodiscard]] FitRung rung(SpatialSeries which) const;

@@ -333,6 +333,14 @@ void gemv_t_tanh_f32(std::span<const float> weights_t,
                           out.size(), x.size());
 }
 
+double dot(std::span<const double> a, std::span<const double> b,
+           double start) noexcept {
+  assert(a.size() == b.size());
+  double acc = start;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
 // Fallback definitions when the arch-specific TU is not part of the build
 // (non-matching target, or -DACBM_DISABLE_SIMD=ON).
 #ifndef ACBM_HAVE_AVX2_TU

@@ -93,4 +93,12 @@ void gemv_t_tanh_f32(std::span<const float> weights_t,
                      std::span<const float> bias, std::span<const float> x,
                      std::span<float> out);
 
+/// Sequential dot product: start + sum_i a[i] * b[i] in ascending-i order,
+/// one accumulator. This IS the bit-identity reference (never vectorized;
+/// fast-math has no effect), shared by the serving-path mirrors of
+/// LinearRegression::predict and the ARIMA forecast recurrences so their
+/// accumulation order provably matches the fitting-side code.
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b,
+                         double start = 0.0) noexcept;
+
 }  // namespace acbm::stats

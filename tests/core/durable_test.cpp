@@ -49,6 +49,38 @@ TEST(Crc32c, IncrementalEqualsOneShot) {
   EXPECT_EQ(chained, oneshot);
 }
 
+TEST(Crc32c, DispatchedPathMatchesBitwiseReferenceAtEveryLengthAndOffset) {
+  // crc32c() may run on the hardware CRC instruction; it must agree with a
+  // from-the-polynomial bitwise reference on every length (covering the
+  // 8-byte-chunk/tail split) and starting offset (alignment).
+  const auto reference = [](std::string_view data) {
+    std::uint32_t crc = 0xFFFFFFFFU;
+    for (const unsigned char byte : data) {
+      crc ^= byte;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1U) ? 0x82F63B78U : 0U);
+      }
+    }
+    return ~crc;
+  };
+  std::string data(257, '\0');
+  std::uint64_t state = 42;
+  for (char& byte : data) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    byte = static_cast<char>(state >> 56);
+  }
+  const std::string_view view = data;
+  for (std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                          std::size_t{8}, std::size_t{9}, std::size_t{63},
+                          std::size_t{64}, std::size_t{200}}) {
+    for (std::size_t off = 0; off < 9; ++off) {
+      const std::string_view slice = view.substr(off, len);
+      EXPECT_EQ(crc32c(slice), reference(slice))
+          << "len " << len << " off " << off;
+    }
+  }
+}
+
 TEST(Fnv1a64, KnownValuesAndChaining) {
   EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
   EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);

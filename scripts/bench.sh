@@ -35,7 +35,7 @@ fi
 
 cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release \
   -DACBM_BUILD_BENCH=ON >&2
-cmake --build "$build_dir" -j"$(nproc)" --target bench_kernels bench_ingest bench_serve >&2
+cmake --build "$build_dir" -j"$(nproc)" --target bench_kernels bench_ingest bench_serve bench_generate >&2
 
 cpu_model="$(awk -F': ' '/model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || true)"
 if [[ -z "$cpu_model" ]]; then cpu_model="unknown"; fi
@@ -73,3 +73,10 @@ echo "bench.sh: wrote $ingest_out" >&2
 serve_out="${ACBM_BENCH_SERVE_OUT:-$repo_root/results/BENCH_serve.json}"
 "$build_dir/bench/bench_serve" --sha "$sha" --cpu "$cpu_model" "$@" > "$serve_out"
 echo "bench.sh: wrote $serve_out" >&2
+
+# Scenario-generation throughput (attacks/sec per catalog scenario at
+# million-attack scale; SCENARIOS.md). Dominated by scalar RNG draws and
+# vector appends, not SIMD kernels, so no cross-ISA guard here.
+generate_out="${ACBM_BENCH_GENERATE_OUT:-$repo_root/results/BENCH_generate.json}"
+"$build_dir/bench/bench_generate" --sha "$sha" --cpu "$cpu_model" "$@" > "$generate_out"
+echo "bench.sh: wrote $generate_out" >&2

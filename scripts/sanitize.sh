@@ -40,7 +40,7 @@ cmake -S "$repo_root" -B "$build_dir" \
   -DACBM_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" -j"$(nproc)"
 ctest --test-dir "$build_dir" \
-  -L 'robust|parallel|durable|observe|distributed|ingest|serve|simd|perf-smoke' \
+  -L 'robust|parallel|durable|observe|distributed|ingest|serve|simd|trace|perf-smoke' \
   --output-on-failure -j"$(nproc)"
 
 tsan_dir="${build_dir%/}-tsan"
@@ -50,7 +50,7 @@ cmake -S "$repo_root" -B "$tsan_dir" \
   -DACBM_BUILD_BENCH=OFF \
   -DACBM_BUILD_EXAMPLES=OFF
 cmake --build "$tsan_dir" -j"$(nproc)"
-ctest --test-dir "$tsan_dir" -L 'observe|parallel|distributed|ingest|serve' \
+ctest --test-dir "$tsan_dir" -L 'observe|parallel|distributed|ingest|serve|trace' \
   --output-on-failure -j"$(nproc)"
 
 nosimd_dir="${build_dir%/}-nosimd"

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerates the per-scenario predictability tables that EXPERIMENTS.md
+# quotes: one `acbm evaluate --scenario NAME` block per catalog scenario
+# (three models vs the always-same/always-mean naive baselines, plus the
+# paper-ordering verdict). Output is byte-stable for a given binary, so the
+# EXPERIMENTS.md section can be refreshed with:
+#
+#   scripts/scenario_table.sh > results/scenario_table.txt
+#
+# Usage: scripts/scenario_table.sh [path-to-acbm-binary]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+acbm="${1:-$repo_root/build/src/cli/acbm}"
+
+if [[ ! -x "$acbm" ]]; then
+  echo "scenario_table.sh: no acbm binary at $acbm (build first, or pass" >&2
+  echo "scenario_table.sh: the path as the first argument)" >&2
+  exit 2
+fi
+
+names="$("$acbm" generate --list-scenarios |
+         grep -oE '^  [a-z0-9-]+ ' | tr -d ' ')"
+first=1
+for name in $names; do
+  if [[ "$first" == 0 ]]; then echo; fi
+  first=0
+  echo "scenario_table.sh: evaluating $name..." >&2
+  "$acbm" evaluate --scenario "$name"
+done

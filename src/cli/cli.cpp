@@ -1,6 +1,7 @@
 #include "cli/cli.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -11,6 +12,7 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -28,6 +30,7 @@
 #include "core/shard.h"
 #include "stats/kernels.h"
 #include "trace/generator.h"
+#include "trace/scenario.h"
 #include "trace/world.h"
 
 namespace acbm::cli {
@@ -125,6 +128,10 @@ void print_usage(std::ostream& out) {
          "  generate   build a simulated world and write the trace\n"
          "             --seed N (1) --days N (70) --scale X (1.0)\n"
          "             --dataset FILE --ipmap FILE\n"
+         "             [--scenario NAME (paper-table1)]\n"
+         "             [--scenario-param k=v]... (repeatable)\n"
+         "             --list-scenarios  print the scenario catalog\n"
+         "             (SCENARIOS.md documents each scenario's model)\n"
          "  stats      per-family activity report (Table I format)\n"
          "             --dataset FILE\n"
          "  fit        fit the full model and save it for later prediction\n"
@@ -170,6 +177,11 @@ void print_usage(std::ostream& out) {
          "             [--horizons F1,F2,...] [--out FILE]\n"
          "             [--checkpoint-dir DIR] [--resume]\n"
          "             [--precision f64|f32]\n"
+         "             --scenario NAME: self-contained per-scenario\n"
+         "             predictability table (three models vs naive\n"
+         "             baselines; generates the preset world in memory,\n"
+         "             no --dataset/--ipmap) [--scenario-param k=v]...\n"
+         "             [--seed N] [--train-fraction F] [--out FILE]\n"
          "  help       this message\n"
          "\n"
          "performance (any command; see DESIGN.md §6):\n"
@@ -276,9 +288,19 @@ std::optional<core::CheckpointDir> open_checkpoint(const ArgMap& args,
 }
 
 int cmd_generate(const ArgMap& args, std::ostream& out, std::ostream&) {
-  args.reject_unknown({"seed", "days", "scale", "dataset", "ipmap"});
+  args.reject_unknown({"seed", "days", "scale", "dataset", "ipmap", "scenario",
+                       "scenario-param", "list-scenarios"});
+  if (args.has("list-scenarios")) {
+    out << trace::list_scenarios_text();
+    return 0;
+  }
   trace::WorldOptions opts = trace::small_world_options(
       args.get_or<std::uint64_t>("seed", 1));
+  const trace::Scenario& scenario = trace::apply_scenario(
+      opts, args.get("scenario").value_or("paper-table1"));
+  for (const std::string& spec : args.get_all("scenario-param")) {
+    trace::apply_scenario_param(opts.generator, scenario, spec);
+  }
   opts.generator.days = args.get_or<std::size_t>("days", 70);
   opts.generator.activity_scale = args.get_or<double>("scale", 1.0);
   const std::string dataset_path = args.require("dataset");
@@ -294,8 +316,11 @@ int cmd_generate(const ArgMap& args, std::ostream& out, std::ostream&) {
 
   out << "generated " << world.dataset.size() << " attacks over "
       << opts.generator.days << " days (" << world.topology.graph.as_count()
-      << " ASes)\n"
-      << "dataset: " << dataset_path << "\nipmap:   " << ipmap_path << "\n";
+      << " ASes)\n";
+  if (std::string_view(scenario.name) != "paper-table1") {
+    out << "scenario: " << scenario.name << " (" << scenario.summary << ")\n";
+  }
+  out << "dataset: " << dataset_path << "\nipmap:   " << ipmap_path << "\n";
   return 0;
 }
 
@@ -357,8 +382,7 @@ int cmd_fit(const ArgMap& args, std::ostream& out, std::ostream& err) {
       parse_dataset(dataset_bytes, dataset_path, info);
   const net::IpToAsnMap ip_map = parse_ipmap(ipmap_bytes, ipmap_path);
 
-  core::SpatiotemporalOptions opts;
-  opts.spatial.grid_search = false;  // CLI favors responsiveness.
+  core::SpatiotemporalOptions opts = core::default_cli_options();
   const std::uint64_t config_hash =
       run_config_hash({"fit", dataset_bytes, ipmap_bytes, "grid_search=0"});
   const int workers =
@@ -465,8 +489,7 @@ int cmd_worker(const ArgMap& args, std::ostream&, std::ostream& err) {
     observe::set_enabled(true);
   }
 
-  core::SpatiotemporalOptions model_opts;
-  model_opts.spatial.grid_search = false;  // Must match cmd_fit exactly.
+  const core::SpatiotemporalOptions model_opts = core::default_cli_options();
 
   core::ShardWorkerOptions wopts;
   wopts.checkpoint_dir = checkpoint_dir;
@@ -529,7 +552,7 @@ int cmd_ingest(const ArgMap& args, std::ostream& out, std::ostream& err) {
       static_cast<int>(args.get_or<std::size_t>("refit-retries", 3));
   opts.refit_backoff_ms =
       static_cast<int>(args.get_or<std::size_t>("refit-backoff-ms", 5));
-  opts.model.spatial.grid_search = false;  // Must match cmd_fit exactly.
+  opts.model = core::default_cli_options();
 
   ingest::Ingestor ingestor(opts);
   const ingest::LogRecovery& recovery = ingestor.log().recovery();
@@ -660,9 +683,7 @@ int cmd_predict(const ArgMap& args, std::ostream& out, std::ostream& err) {
     const std::string ipmap_path = args.require("ipmap");
     const net::IpToAsnMap ip_map =
         parse_ipmap(read_input(ipmap_path, "ipmap"), ipmap_path);
-    core::SpatiotemporalOptions opts;
-    opts.spatial.grid_search = false;  // CLI favors responsiveness.
-    model = core::AdversaryModel(opts);
+    model = core::AdversaryModel(core::default_cli_options());
     model.fit(fit_dataset, ip_map);
   }
   if (!report_dest.empty()) write_fit_report(model, report_dest, out);
@@ -852,11 +873,115 @@ std::string render_evaluation(const std::string& label,
   return buffer;
 }
 
+/// Ranks the three models by RMSE, e.g. "spatiotemporal < temporal <
+/// spatial", and appends whether the paper's ordering (spatiotemporal best,
+/// then temporal, then spatial; §VI-B) held on this scenario.
+std::string render_ordering(const char* label, double spa, double tmp,
+                            double st) {
+  std::array<std::pair<double, const char*>, 3> ranked{
+      {{st, "spatiotemporal"}, {tmp, "temporal"}, {spa, "spatial"}}};
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  const bool holds = st <= tmp && tmp <= spa;
+  std::string line = std::string("ordering (") + label + "): ";
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    line += ranked[i].second;
+    if (i + 1 < ranked.size()) line += " < ";
+  }
+  line += holds ? "  [paper ordering holds]\n"
+                : "  [paper ordering breaks]\n";
+  return line;
+}
+
+/// The per-scenario predictability table: the Fig. 4 RMSE block plus the
+/// §VII-A naive baselines and the ordering verdict. Byte-stable, so
+/// scripts/scenario_table.sh output diffs cleanly across runs.
+std::string render_scenario_evaluation(const trace::Scenario& scenario,
+                                       std::size_t n_attacks,
+                                       std::size_t days, std::uint64_t seed,
+                                       const std::string& fraction_token,
+                                       const core::TimestampEvaluation& eval) {
+  std::string text = std::string("scenario: ") + scenario.name + " — " +
+                     scenario.summary + "\n";
+  char world_line[160];
+  std::snprintf(world_line, sizeof world_line,
+                "world: %zu attacks over %zu days (seed %llu)\n", n_attacks,
+                days, static_cast<unsigned long long>(seed));
+  text += world_line;
+  text += render_evaluation(fraction_token, eval);
+  if (eval.truth_hour.empty()) return text;
+  char baselines[192];
+  std::snprintf(baselines, sizeof baselines,
+                "hour RMSE (naive): always-same %.2f  always-mean %.2f\n"
+                "date RMSE (naive): always-same %.2f  always-mean %.2f\n",
+                eval.rmse_hour_same, eval.rmse_hour_mean, eval.rmse_day_same,
+                eval.rmse_day_mean);
+  text += baselines;
+  text += render_ordering("hour", eval.rmse_hour_spa, eval.rmse_hour_tmp,
+                          eval.rmse_hour_st);
+  text += render_ordering("date", eval.rmse_day_spa, eval.rmse_day_tmp,
+                          eval.rmse_day_st);
+  return text;
+}
+
+/// `evaluate --scenario NAME`: generates the scenario's evaluation-preset
+/// world in memory (no --dataset/--ipmap) and scores the three models
+/// against the naive baselines on its test tail.
+int cmd_evaluate_scenario(const ArgMap& args, const std::string& name,
+                          core::Precision precision, std::ostream& out) {
+  if (args.has("dataset") || args.has("ipmap")) {
+    throw std::invalid_argument(
+        "--scenario evaluates a self-contained preset world; drop "
+        "--dataset/--ipmap (or drop --scenario to evaluate a saved trace)");
+  }
+  if (args.has("checkpoint-dir") || args.has("horizons")) {
+    throw std::invalid_argument(
+        "--scenario does not support --checkpoint-dir/--horizons");
+  }
+  trace::WorldOptions wopts = trace::small_world_options(1);
+  const trace::Scenario& scenario = trace::apply_scenario(wopts, name);
+  wopts.seed = args.get_or<std::uint64_t>("seed", scenario.eval.seed);
+  wopts.generator.days = scenario.eval.days;
+  wopts.generator.activity_scale = scenario.eval.activity_scale;
+  for (const std::string& spec : args.get_all("scenario-param")) {
+    trace::apply_scenario_param(wopts.generator, scenario, spec);
+  }
+  char default_fraction[32];
+  std::snprintf(default_fraction, sizeof default_fraction, "%g",
+                scenario.eval.train_fraction);
+  const std::string token =
+      args.get("train-fraction").value_or(default_fraction);
+  const double fraction = std::stod(token);
+  if (!(fraction > 0.0 && fraction < 1.0)) {
+    throw std::invalid_argument("train fraction must be in (0, 1), got " +
+                                token);
+  }
+
+  const trace::World world = trace::build_world(wopts);
+  const core::TimestampEvaluation eval = core::evaluate_timestamps(
+      world.dataset, world.ip_map, core::default_cli_options(), fraction,
+      precision);
+  const std::string text = render_scenario_evaluation(
+      scenario, world.dataset.size(), wopts.generator.days, wopts.seed, token,
+      eval);
+  out << text;
+  if (const auto out_path = args.get("out")) {
+    durable::save_artifact(*out_path, "evaluation", 1, text);
+  }
+  return 0;
+}
+
 int cmd_evaluate(const ArgMap& args, std::ostream& out, std::ostream& err) {
   args.reject_unknown({"dataset", "ipmap", "train-fraction", "horizons", "out",
-                       "checkpoint-dir", "resume", "precision"});
+                       "checkpoint-dir", "resume", "precision", "scenario",
+                       "scenario-param", "seed"});
   const core::Precision precision =
       core::parse_precision(args.get("precision").value_or("f64"));
+  if (const auto scenario_name = args.get("scenario")) {
+    return cmd_evaluate_scenario(args, *scenario_name, precision, out);
+  }
   const std::string dataset_path = args.require("dataset");
   const std::string ipmap_path = args.require("ipmap");
   const std::string dataset_bytes = read_input(dataset_path, "dataset");
@@ -881,8 +1006,7 @@ int cmd_evaluate(const ArgMap& args, std::ostream& out, std::ostream& err) {
     horizons.push_back(args.get("train-fraction").value_or("0.8"));
   }
 
-  core::SpatiotemporalOptions opts;
-  opts.spatial.grid_search = false;
+  const core::SpatiotemporalOptions opts = core::default_cli_options();
   std::optional<core::CheckpointDir> checkpoint =
       open_checkpoint(args, run_config_hash({"evaluate", dataset_bytes,
                                              ipmap_bytes, "grid_search=0"}));
@@ -1052,7 +1176,8 @@ int run(std::span<const std::string> args_in, std::ostream& out,
     ObserveSession session(extract_observe_options(args));
     const ArgMap options(args, 1, {"resume", "ship-metrics", "init",
                                    "no-refit", "refit", "status",
-                                   "no-batching", "preload"});
+                                   "no-batching", "preload",
+                                   "list-scenarios"});
     // Dispatch inside a lambda so each command's root span closes before
     // session.finish() drains the tracer.
     const auto dispatch = [&]() -> int {

@@ -390,6 +390,45 @@ TimestampEvaluation evaluate_timestamps(const trace::Dataset& dataset,
   const std::size_t n_train = train.size();
   std::optional<InferenceView> view;
   if (precision == Precision::kF32) view = InferenceView::extract(model);
+
+  // Per-target chronological hour/day/interval series for the §VII-A naive
+  // timestamp baselines, built lazily (only targets with test rows pay).
+  struct TargetTimeline {
+    std::vector<double> hour;      ///< Launch hour of attack k.
+    std::vector<double> day;       ///< Day index of attack k.
+    std::vector<double> interval;  ///< start[k] - start[k-1]; [0] = 0.
+    std::vector<double> hour_prefix;      ///< Running sums for means.
+    std::vector<double> interval_prefix;  ///< Sums of interval[1..k].
+  };
+  std::unordered_map<net::Asn, TargetTimeline> timelines;
+  const auto timeline_for = [&](net::Asn asn) -> const TargetTimeline& {
+    auto it = timelines.find(asn);
+    if (it == timelines.end()) {
+      TargetTimeline tl;
+      const auto& indices = dataset.attacks_on_asn(asn);
+      double hour_sum = 0.0;
+      double interval_sum = 0.0;
+      for (std::size_t k = 0; k < indices.size(); ++k) {
+        const trace::Attack& attack = dataset.attacks()[indices[k]];
+        const trace::DayHour dh =
+            trace::decompose_timestamp(attack.start, dataset.window_start());
+        tl.hour.push_back(static_cast<double>(dh.hour));
+        tl.day.push_back(static_cast<double>(dh.day));
+        tl.interval.push_back(
+            k == 0 ? 0.0
+                   : static_cast<double>(
+                         attack.start -
+                         dataset.attacks()[indices[k - 1]].start));
+        hour_sum += tl.hour.back();
+        interval_sum += tl.interval.back();
+        tl.hour_prefix.push_back(hour_sum);
+        tl.interval_prefix.push_back(interval_sum);
+      }
+      it = timelines.emplace(asn, std::move(tl)).first;
+    }
+    return it->second;
+  };
+
   TimestampEvaluation out;
   for (const StRow& row : rows) {
     if (row.attack_index < n_train) continue;  // Only score the test tail.
@@ -405,6 +444,19 @@ TimestampEvaluation evaluate_timestamps(const trace::Dataset& dataset,
     out.tmp_hour.push_back(std::clamp(row.features.tmp_hour, 0.0, 23.999));
     out.tmp_day.push_back(row.features.prev_day +
                           row.features.tmp_interval_s / 86400.0);
+    // Naive baselines: row k predicts attack k of its target from history
+    // strictly before k (k >= 1 by construction of the feature rows).
+    const TargetTimeline& tl = timeline_for(row.target_asn);
+    const std::size_t k = row.target_pos;
+    const double prev_day = tl.day[k - 1];
+    const double same_interval = k >= 2 ? tl.interval[k - 1] : 0.0;
+    out.same_hour.push_back(tl.hour[k - 1]);
+    out.same_day.push_back(prev_day + same_interval / 86400.0);
+    out.mean_hour.push_back(tl.hour_prefix[k - 1] /
+                            static_cast<double>(k));
+    const double mean_interval =
+        k >= 2 ? tl.interval_prefix[k - 1] / static_cast<double>(k - 1) : 0.0;
+    out.mean_day.push_back(prev_day + mean_interval / 86400.0);
   }
   if (!out.truth_hour.empty()) {
     out.rmse_hour_st = acbm::stats::rmse(out.truth_hour, out.st_hour);
@@ -413,6 +465,10 @@ TimestampEvaluation evaluate_timestamps(const trace::Dataset& dataset,
     out.rmse_day_st = acbm::stats::rmse(out.truth_day, out.st_day);
     out.rmse_day_spa = acbm::stats::rmse(out.truth_day, out.spa_day);
     out.rmse_day_tmp = acbm::stats::rmse(out.truth_day, out.tmp_day);
+    out.rmse_hour_same = acbm::stats::rmse(out.truth_hour, out.same_hour);
+    out.rmse_hour_mean = acbm::stats::rmse(out.truth_hour, out.mean_hour);
+    out.rmse_day_same = acbm::stats::rmse(out.truth_day, out.same_day);
+    out.rmse_day_mean = acbm::stats::rmse(out.truth_day, out.mean_day);
   }
   return out;
 }

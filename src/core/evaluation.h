@@ -83,12 +83,23 @@ struct TimestampEvaluation {
   std::vector<double> st_day;
   std::vector<double> spa_day;
   std::vector<double> tmp_day;
+  /// §VII-A naive baselines on the same test rows, computed per target
+  /// walk-forward: Always-Same repeats the target's previous hour and
+  /// previous inter-attack interval; Always-Mean predicts the running means.
+  std::vector<double> same_hour;
+  std::vector<double> mean_hour;
+  std::vector<double> same_day;
+  std::vector<double> mean_day;
   double rmse_hour_st = 0.0;
   double rmse_hour_spa = 0.0;
   double rmse_hour_tmp = 0.0;
   double rmse_day_st = 0.0;
   double rmse_day_spa = 0.0;
   double rmse_day_tmp = 0.0;
+  double rmse_hour_same = 0.0;
+  double rmse_hour_mean = 0.0;
+  double rmse_day_same = 0.0;
+  double rmse_day_mean = 0.0;
 };
 
 /// `precision` selects the serving arithmetic for the spatiotemporal

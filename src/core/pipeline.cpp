@@ -30,6 +30,12 @@ std::pair<double, double> mean_std(std::span<const double> xs) {
 
 }  // namespace
 
+SpatiotemporalOptions default_cli_options() {
+  SpatiotemporalOptions opts;
+  opts.spatial.grid_search = false;
+  return opts;
+}
+
 void AdversaryModel::fit(const trace::Dataset& dataset,
                          const net::IpToAsnMap& ip_map) {
   dataset_ = dataset;

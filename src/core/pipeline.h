@@ -51,6 +51,14 @@ struct FamilyDriftBaseline {
   double interval_residual_std = 0.0;  ///< Std of one-step interval residuals.
 };
 
+/// The model options every CLI surface fits with: grid search off (the CLI
+/// favors responsiveness), everything else at library defaults. cmd_fit,
+/// cmd_worker, cmd_predict, cmd_evaluate, and the ingest refit loop must all
+/// use exactly these options — checkpoint stages and sharded fits are keyed
+/// on the "grid_search=0" config hash and must stay byte-identical across
+/// entry points.
+[[nodiscard]] SpatiotemporalOptions default_cli_options();
+
 /// The full adversary-centric behavior model.
 class AdversaryModel {
  public:

@@ -1,8 +1,10 @@
 #include "trace/generator.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <deque>
+#include <span>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
@@ -19,6 +21,7 @@ struct Target {
   net::Ipv4 ip;
   net::Asn asn = 0;
   double hardness = 0.0;  ///< Additive log-duration offset (spatial signal).
+  net::Prefix block;      ///< The AS prefix (carpet-bomb spreads over it).
 };
 
 // E[N] per active day when N is zero-truncated Poisson with a log-normally
@@ -134,7 +137,7 @@ std::vector<Target> make_targets(const net::Topology& topo,
     const auto offset = static_cast<std::uint32_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(block.size()) - 1));
     out.push_back({net::Ipv4(block.first().value + offset), asn,
-                   rng.normal(0.0, 0.35)});
+                   rng.normal(0.0, 0.35), block});
   }
   return out;
 }
@@ -173,6 +176,258 @@ std::vector<bool> make_active_days(std::size_t window_days,
   return out;
 }
 
+/// Everything a day's generation reads but never mutates: the family's
+/// static structure plus the calibrated daily-rate process. Shared across
+/// day shards, so a day is a pure function of (context, day, day rng).
+struct FamilyContext {
+  const GeneratorOptions* opts = nullptr;
+  const FamilyProfile* profile = nullptr;
+  std::size_t fi = 0;
+  const BotPool* pool = nullptr;
+  const std::vector<Target>* targets = nullptr;
+  const std::vector<double>* modulation = nullptr;
+  double lambda_base = 0.0;
+  /// iot-botnet: per-hour device availability in [night_floor, 1], used both
+  /// as the launch-hour weights and as the magnitude scale.
+  std::array<double, 24> iot_availability{};
+};
+
+/// Generates one active day of one family's attack stream, appending to
+/// `attacks`. All randomness comes from `rng`: the sequential paper path
+/// passes the family stream itself, the sharded scenario path passes the
+/// day's own substream. The draw sequence with every scenario hook off is
+/// exactly the pre-catalog generator's.
+void generate_day(const FamilyContext& ctx, std::size_t day,
+                  acbm::stats::Rng& rng, std::vector<Attack>& attacks) {
+  const GeneratorOptions& opts = *ctx.opts;
+  const FamilyProfile& profile = *ctx.profile;
+  const ScenarioBehavior& sc = opts.scenario;
+  const std::vector<Target>& targets = *ctx.targets;
+  const std::vector<double>& modulation = *ctx.modulation;
+  const BotPool& pool = *ctx.pool;
+
+  const double lambda_d = ctx.lambda_base * modulation[day];
+  const std::size_t n_attacks = truncated_poisson(lambda_d, rng);
+  const double churn = pool.active_fraction(
+      static_cast<double>(day), profile.churn_period_days,
+      profile.churn_amplitude, rng);
+
+  // Parallel campaigns: the day's attacks spread over several targets
+  // (the paper observes hundreds of simultaneous attacks), so a
+  // family's chronological attack stream interleaves targets. Each
+  // target's own attacks still chain within the day (multistage).
+  std::size_t want_targets;
+  if (sc.pulse) {
+    // The burst rotation has a fixed width: each pulse hits one target and
+    // the rotation cycles through the set (arXiv:2511.12774 §III).
+    want_targets = std::max<std::size_t>(
+        1, std::min(n_attacks, sc.pulse_rotation));
+  } else if (sc.carpet) {
+    // Carpet-bombing saturates several whole prefixes at once.
+    want_targets = std::max<std::size_t>(
+        1, std::min(n_attacks,
+                    1 + static_cast<std::size_t>(rng.poisson(
+                            std::max(0.0, sc.carpet_prefixes - 1.0)))));
+  } else {
+    want_targets = std::max<std::size_t>(
+        1, std::min(n_attacks,
+                    1 + static_cast<std::size_t>(rng.poisson(std::min(
+                        8.0, static_cast<double>(n_attacks) / 3.0)))));
+  }
+  std::vector<std::size_t> day_targets;
+  std::unordered_set<std::size_t> chosen_targets;
+  for (int tries = 0;
+       day_targets.size() < want_targets && tries < 400; ++tries) {
+    const std::size_t t = rng.zipf(targets.size(), profile.target_skew);
+    if (chosen_targets.insert(t).second) day_targets.push_back(t);
+  }
+  std::unordered_map<std::size_t, EpochSeconds> last_start_of;
+  std::unordered_map<std::size_t, int> vector_of;  // multi-vector chains
+
+  const EpochSeconds day_start =
+      opts.start_epoch + static_cast<EpochSeconds>(day) * 86400;
+  const EpochSeconds day_end = day_start + 86400;
+
+  for (std::size_t a = 0; a < n_attacks; ++a) {
+    Attack attack;
+    attack.id = 0;  // Assigned in the ordered merge below.
+    attack.family = static_cast<std::uint32_t>(ctx.fi);
+
+    std::size_t target_idx;
+    if (sc.pulse) {
+      // Pulse p in the train hits rotation slot p mod |rotation|: every
+      // target sees a strict on/off pattern while the adversary's full
+      // firepower stays concentrated in one short burst at a time.
+      target_idx = day_targets[a % day_targets.size()];
+    } else {
+      const auto pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(day_targets.size()) - 1));
+      target_idx = day_targets[pick];
+    }
+    const auto last_it = last_start_of.find(target_idx);
+    // Follow-up on this target's earlier attack today (multistage,
+    // §III-A2) or a fresh launch at the target's preferred hour.
+    const bool chained = !sc.pulse && last_it != last_start_of.end() &&
+                         rng.bernoulli(profile.chain_prob);
+    const EpochSeconds last_start =
+        last_it != last_start_of.end() ? last_it->second : 0;
+    const Target& target = targets[target_idx];
+    attack.target_ip = target.ip;
+    attack.target_asn = target.asn;
+    if (sc.carpet && rng.bernoulli(sc.carpet_spread)) {
+      // Spread across the whole prefix: the per-IP victim scatters while
+      // the per-AS series the spatial model tracks stays intact.
+      const auto offset = static_cast<std::uint32_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(target.block.size()) - 1));
+      attack.target_ip = net::Ipv4(target.block.first().value + offset);
+    }
+
+    // Multi-vector chains: each chain carries an attack-vector state
+    // (volumetric / protocol / application mix) that blends magnitude and
+    // duration laws; chained follow-ups may switch vectors mid-chain.
+    int vec = 0;
+    if (sc.multivector) {
+      const auto vit = vector_of.find(target_idx);
+      if (vit == vector_of.end() || !chained ||
+          rng.bernoulli(sc.vector_switch_prob)) {
+        vec = static_cast<int>(rng.uniform_int(
+            0, static_cast<std::int64_t>(sc.vector_count) - 1));
+      } else {
+        vec = vit->second;
+      }
+      vector_of[target_idx] = vec;
+    }
+
+    // Launch time: follow-ups start 30 s - 4 h after the previous
+    // attack (inside the paper's multistage window) but stay within the
+    // scheduled day so dormant days remain dormant; fresh attacks
+    // follow the family's diurnal preference.
+    const double chain_room =
+        std::min(4.0 * 3600.0, static_cast<double>(day_end - last_start - 1));
+    if (sc.pulse) {
+      // Synchronized pulse train from the top of the day: burst a starts
+      // one period after burst a-1, wrapping so long trains stay inside
+      // the scheduled day.
+      const double period = sc.pulse_duration_s + sc.pulse_gap_s;
+      const double usable =
+          std::max(1.0, 86400.0 - sc.pulse_duration_s - sc.pulse_jitter_s);
+      const double offset = std::fmod(static_cast<double>(a) * period, usable);
+      attack.start =
+          day_start + static_cast<EpochSeconds>(offset) +
+          static_cast<EpochSeconds>(
+              sc.pulse_jitter_s > 0.0 ? rng.uniform(0.0, sc.pulse_jitter_s)
+                                      : 0.0);
+    } else if (chained && chain_room > 60.0) {
+      attack.start = last_start + static_cast<EpochSeconds>(
+          rng.uniform(30.0, chain_room));
+    } else {
+      int hour;
+      if (sc.iot) {
+        // Launches follow the device-availability curve: an IoT botnet can
+        // only fire the devices that are awake (arXiv:2110.01842).
+        hour = static_cast<int>(rng.categorical(
+            std::span<const double>(ctx.iot_availability)));
+      } else if (!profile.peak_hours.empty() &&
+                 rng.bernoulli(profile.peak_share)) {
+        // Each target has a preferred launch hour anchored at one of the
+        // family's peaks with a fixed per-target offset (scheduling is
+        // target-local, e.g. the victim's business hours): mostly hit
+        // that hour, sometimes any family peak. The family-level
+        // temporal model cannot resolve this per-target structure; the
+        // spatiotemporal tree can (§VI).
+        if (rng.bernoulli(0.8)) {
+          const int anchor =
+              profile.peak_hours[target_idx % profile.peak_hours.size()];
+          const int jitter =
+              static_cast<int>((target_idx * 2654435761u) % 9) - 4;
+          hour = std::clamp(anchor + jitter, 0, 23);
+        } else {
+          const auto pick = static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(profile.peak_hours.size()) - 1));
+          hour = profile.peak_hours[pick];
+        }
+      } else {
+        hour = static_cast<int>(rng.uniform_int(0, 23));
+      }
+      attack.start = day_start + static_cast<EpochSeconds>(hour) * 3600 +
+                     static_cast<EpochSeconds>(rng.uniform_int(0, 3599));
+    }
+
+    // Magnitude: log-normal around the family median, damped by churn
+    // and riding the family's day-scale activity swings (busier days
+    // field more bots) — the temporal signal Fig. 1 exploits.
+    const double churn_factor = 0.5 + 0.5 * churn;
+    const double activity_factor = std::pow(modulation[day], 0.4);
+    double raw_count =
+        rng.lognormal(std::log(profile.median_bots), profile.bots_sigma) *
+        churn_factor * activity_factor;
+    double vector_log_offset = 0.0;
+    if (sc.multivector && sc.vector_count > 1) {
+      // Vector v's signature: volumetric vectors field more bots for less
+      // time, application-layer vectors the reverse. Centered in [-1, 1].
+      const double centered =
+          (static_cast<double>(vec) -
+           static_cast<double>(sc.vector_count - 1) / 2.0) /
+          (static_cast<double>(sc.vector_count - 1) / 2.0);
+      raw_count *= std::exp(sc.vector_spread * centered);
+      vector_log_offset = -0.5 * sc.vector_spread * centered;
+    }
+    double iot_availability_now = 1.0;
+    if (sc.iot) {
+      // Magnitude tracks how much of the device fleet is awake at launch.
+      const int launch_hour = static_cast<int>(
+          ((attack.start - opts.start_epoch) / 3600) % 24);
+      iot_availability_now = ctx.iot_availability[launch_hour];
+      raw_count *= std::pow(iot_availability_now, sc.iot_magnitude_follow);
+    }
+    const auto count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(raw_count)));
+    // Pool rotation phase: one full AS-mix revolution per ~3 churn
+    // cycles, so the source distribution drifts on a scale the spatial
+    // model's recency weighting can track.
+    const double phase = static_cast<double>(day) /
+                         (3.0 * profile.churn_period_days);
+    const std::vector<Bot> drawn = pool.draw(
+        count, sc.iot ? churn * iot_availability_now : churn, phase, rng);
+    attack.bots.reserve(drawn.size());
+    std::unordered_set<std::uint32_t> seen_ips;
+    for (const Bot& bot : drawn) {
+      // Distinct pool slots can carry colliding random IPs; the attack
+      // record keeps unique source addresses (§III-A1).
+      if (seen_ips.insert(bot.ip.value).second) {
+        attack.bots.push_back(bot.ip);
+      }
+    }
+
+    // Duration: log-normal with magnitude elasticity and per-target
+    // hardness (the spatial model's signal).
+    if (sc.pulse) {
+      // Bursts are cut to the pulse width, not the magnitude: the defining
+      // property of the pulse-wave regime.
+      attack.duration_s = std::clamp(
+          sc.pulse_duration_s * std::exp(rng.normal(0.0, 0.15)), 30.0,
+          2.0 * 86400.0);
+    } else {
+      const double rel_magnitude =
+          static_cast<double>(attack.bots.size()) / profile.median_bots;
+      // The day-scale activity factor also stretches durations (campaign
+      // pushes run longer), giving the per-target duration series the
+      // autoregressive structure the spatial NAR exploits.
+      const double log_duration =
+          std::log(profile.median_duration_s) +
+          profile.duration_bot_elasticity *
+              std::log(std::max(rel_magnitude, 1e-3)) +
+          target.hardness + 0.35 * std::log(modulation[day]) +
+          vector_log_offset + rng.normal(0.0, profile.duration_sigma);
+      attack.duration_s =
+          std::clamp(std::exp(log_duration), 30.0, 2.0 * 86400.0);
+    }
+
+    last_start_of[target_idx] = attack.start;
+    attacks.push_back(std::move(attack));
+  }
+}
+
 }  // namespace
 
 Dataset generate_dataset(const net::Topology& topo,
@@ -199,7 +454,12 @@ Dataset generate_dataset(const net::Topology& topo,
   // Rng substream (seed ^ hash(family_index), via Rng::substream), so the
   // draws per family — and therefore the whole trace — are bit-identical
   // regardless of thread count or scheduling. Attack ids are assigned in
-  // the ordered merge below, reproducing the serial numbering.
+  // the ordered merge below, reproducing the serial numbering. When
+  // opts.shard_days is on (every catalog scenario except paper-table1),
+  // each active day additionally draws from its own substream of the
+  // family stream and the days fan out over the pool — millions-of-attacks
+  // generation parallelizes ~families*days wide, still bit-identical at
+  // any ACBM_THREADS.
   struct FamilyOutput {
     std::vector<Attack> attacks;
     std::vector<FamilySnapshot> snapshots;
@@ -214,8 +474,11 @@ Dataset generate_dataset(const net::Topology& topo,
     // --- Static family structure ---
     const std::vector<net::Asn> source_ases =
         pick_source_ases(topo, profile.source_as_count, family_rng);
-    const auto pool_size = static_cast<std::size_t>(std::max(
-        200.0, profile.median_bots * opts.pool_scale));
+    const std::size_t pool_size =
+        opts.pool_override > 0
+            ? opts.pool_override
+            : static_cast<std::size_t>(std::max(
+                  200.0, profile.median_bots * opts.pool_scale));
     const BotPool pool(pool_size, source_ases, profile.source_as_skew, ip_map,
                        family_rng);
     const std::vector<Target> targets = make_targets(
@@ -267,138 +530,53 @@ Dataset generate_dataset(const net::Topology& topo,
       }
     }
 
-    for (std::size_t day = 0; day < opts.days; ++day) {
-      if (!active[day]) continue;
-
-      const double lambda_d = lambda_base * modulation[day];
-      const std::size_t n_attacks = truncated_poisson(lambda_d, family_rng);
-      const double churn = pool.active_fraction(
-          static_cast<double>(day), profile.churn_period_days,
-          profile.churn_amplitude, family_rng);
-
-      // Parallel campaigns: the day's attacks spread over several targets
-      // (the paper observes hundreds of simultaneous attacks), so a
-      // family's chronological attack stream interleaves targets. Each
-      // target's own attacks still chain within the day (multistage).
-      const std::size_t want_targets = std::max<std::size_t>(
-          1, std::min(n_attacks,
-                      1 + static_cast<std::size_t>(family_rng.poisson(std::min(
-                          8.0, static_cast<double>(n_attacks) / 3.0)))));
-      std::vector<std::size_t> day_targets;
-      std::unordered_set<std::size_t> chosen_targets;
-      for (int tries = 0;
-           day_targets.size() < want_targets && tries < 400; ++tries) {
-        const std::size_t t =
-            family_rng.zipf(targets.size(), profile.target_skew);
-        if (chosen_targets.insert(t).second) day_targets.push_back(t);
+    FamilyContext ctx;
+    ctx.opts = &opts;
+    ctx.profile = &profile;
+    ctx.fi = fi;
+    ctx.pool = &pool;
+    ctx.targets = &targets;
+    ctx.modulation = &modulation;
+    ctx.lambda_base = lambda_base;
+    if (opts.scenario.iot) {
+      // Cosine day-night availability curve peaked at iot_peak_hour with a
+      // nightly trough at iot_night_floor (urban IoT devices sleep).
+      for (int h = 0; h < 24; ++h) {
+        const double phase =
+            2.0 * 3.14159265358979323846 *
+            (static_cast<double>(h - opts.scenario.iot_peak_hour) / 24.0);
+        ctx.iot_availability[static_cast<std::size_t>(h)] =
+            opts.scenario.iot_night_floor +
+            (1.0 - opts.scenario.iot_night_floor) * 0.5 *
+                (1.0 + std::cos(phase));
       }
-      std::unordered_map<std::size_t, EpochSeconds> last_start_of;
+    }
 
-      for (std::size_t a = 0; a < n_attacks; ++a) {
-        Attack attack;
-        attack.id = 0;  // Assigned in the ordered merge below.
-        attack.family = static_cast<std::uint32_t>(fi);
-
-        const auto pick = static_cast<std::size_t>(family_rng.uniform_int(
-            0, static_cast<std::int64_t>(day_targets.size()) - 1));
-        const std::size_t target_idx = day_targets[pick];
-        const auto last_it = last_start_of.find(target_idx);
-        // Follow-up on this target's earlier attack today (multistage,
-        // §III-A2) or a fresh launch at the target's preferred hour.
-        const bool chained = last_it != last_start_of.end() &&
-                             family_rng.bernoulli(profile.chain_prob);
-        const EpochSeconds last_start =
-            last_it != last_start_of.end() ? last_it->second : 0;
-        const Target& target = targets[target_idx];
-        attack.target_ip = target.ip;
-        attack.target_asn = target.asn;
-
-        // Launch time: follow-ups start 30 s - 4 h after the previous
-        // attack (inside the paper's multistage window) but stay within the
-        // scheduled day so dormant days remain dormant; fresh attacks
-        // follow the family's diurnal preference.
-        const EpochSeconds day_end =
-            opts.start_epoch + static_cast<EpochSeconds>(day + 1) * 86400;
-        const double chain_room =
-            std::min(4.0 * 3600.0, static_cast<double>(day_end - last_start - 1));
-        if (chained && chain_room > 60.0) {
-          attack.start = last_start + static_cast<EpochSeconds>(
-              family_rng.uniform(30.0, chain_room));
-        } else {
-          int hour;
-          if (!profile.peak_hours.empty() &&
-              family_rng.bernoulli(profile.peak_share)) {
-            // Each target has a preferred launch hour anchored at one of the
-            // family's peaks with a fixed per-target offset (scheduling is
-            // target-local, e.g. the victim's business hours): mostly hit
-            // that hour, sometimes any family peak. The family-level
-            // temporal model cannot resolve this per-target structure; the
-            // spatiotemporal tree can (§VI).
-            if (family_rng.bernoulli(0.8)) {
-              const int anchor =
-                  profile.peak_hours[target_idx % profile.peak_hours.size()];
-              const int jitter =
-                  static_cast<int>((target_idx * 2654435761u) % 9) - 4;
-              hour = std::clamp(anchor + jitter, 0, 23);
-            } else {
-              const auto pick = static_cast<std::size_t>(family_rng.uniform_int(
-                  0, static_cast<std::int64_t>(profile.peak_hours.size()) - 1));
-              hour = profile.peak_hours[pick];
-            }
-          } else {
-            hour = static_cast<int>(family_rng.uniform_int(0, 23));
-          }
-          attack.start = opts.start_epoch +
-                         static_cast<EpochSeconds>(day) * 86400 +
-                         static_cast<EpochSeconds>(hour) * 3600 +
-                         static_cast<EpochSeconds>(family_rng.uniform_int(0, 3599));
-        }
-
-        // Magnitude: log-normal around the family median, damped by churn
-        // and riding the family's day-scale activity swings (busier days
-        // field more bots) — the temporal signal Fig. 1 exploits.
-        const double churn_factor = 0.5 + 0.5 * churn;
-        const double activity_factor = std::pow(modulation[day], 0.4);
-        const double raw_count =
-            family_rng.lognormal(std::log(profile.median_bots),
-                                 profile.bots_sigma) *
-            churn_factor * activity_factor;
-        const auto count = std::max<std::size_t>(
-            1, static_cast<std::size_t>(std::llround(raw_count)));
-        // Pool rotation phase: one full AS-mix revolution per ~3 churn
-        // cycles, so the source distribution drifts on a scale the spatial
-        // model's recency weighting can track.
-        const double phase = static_cast<double>(day) /
-                             (3.0 * profile.churn_period_days);
-        const std::vector<Bot> drawn =
-            pool.draw(count, churn, phase, family_rng);
-        attack.bots.reserve(drawn.size());
-        std::unordered_set<std::uint32_t> seen_ips;
-        for (const Bot& bot : drawn) {
-          // Distinct pool slots can carry colliding random IPs; the attack
-          // record keeps unique source addresses (§III-A1).
-          if (seen_ips.insert(bot.ip.value).second) {
-            attack.bots.push_back(bot.ip);
-          }
-        }
-
-        // Duration: log-normal with magnitude elasticity and per-target
-        // hardness (the spatial model's signal).
-        const double rel_magnitude =
-            static_cast<double>(attack.bots.size()) / profile.median_bots;
-        // The day-scale activity factor also stretches durations (campaign
-        // pushes run longer), giving the per-target duration series the
-        // autoregressive structure the spatial NAR exploits.
-        const double log_duration =
-            std::log(profile.median_duration_s) +
-            profile.duration_bot_elasticity * std::log(std::max(rel_magnitude, 1e-3)) +
-            target.hardness + 0.35 * std::log(modulation[day]) +
-            family_rng.normal(0.0, profile.duration_sigma);
-        attack.duration_s =
-            std::clamp(std::exp(log_duration), 30.0, 2.0 * 86400.0);
-
-        last_start_of[target_idx] = attack.start;
-        attacks.push_back(std::move(attack));
+    if (!opts.shard_days) {
+      // The frozen paper-table1 stream: days draw sequentially from the
+      // family stream, exactly as the pre-catalog generator did.
+      for (std::size_t day = 0; day < opts.days; ++day) {
+        if (!active[day]) continue;
+        generate_day(ctx, day, family_rng, attacks);
+      }
+    } else {
+      // Scenario path: each active day is a pure function of the day's own
+      // substream, so days fan out over the (nested-safe) pool and the
+      // deterministic merge reproduces chronological day order.
+      std::vector<std::vector<Attack>> day_outputs = acbm::core::parallel_map(
+          opts.days, [&](std::size_t day) -> std::vector<Attack> {
+            if (!active[day]) return {};
+            std::vector<Attack> day_attacks;
+            acbm::stats::Rng day_rng = family_rng.substream(day);
+            generate_day(ctx, day, day_rng, day_attacks);
+            return day_attacks;
+          });
+      std::size_t total = 0;
+      for (const auto& d : day_outputs) total += d.size();
+      attacks.reserve(total);
+      for (auto& d : day_outputs) {
+        attacks.insert(attacks.end(), std::make_move_iterator(d.begin()),
+                       std::make_move_iterator(d.end()));
       }
     }
 

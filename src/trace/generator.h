@@ -18,6 +18,36 @@
 
 namespace acbm::trace {
 
+/// Behavioral hooks the adversary-scenario catalog (trace/scenario.h) turns
+/// on. Every flag defaults to off, and the generator's draw sequence with
+/// all flags off is exactly the pre-catalog paper-table1 sequence — the
+/// catalog's byte-identity contract (SCENARIOS.md) rests on that.
+struct ScenarioBehavior {
+  // --- pulse-wave: short synchronized bursts rotating across targets ---
+  bool pulse = false;
+  double pulse_duration_s = 240.0;  ///< Burst length (median).
+  double pulse_gap_s = 120.0;       ///< Quiet gap between consecutive bursts.
+  std::size_t pulse_rotation = 6;   ///< Targets in the day's rotation.
+  double pulse_jitter_s = 10.0;     ///< Launch jitter within a burst slot.
+
+  // --- carpet-bomb: attacks spread across whole target prefixes ---
+  bool carpet = false;
+  double carpet_spread = 1.0;     ///< P(re-draw the IP across the prefix).
+  double carpet_prefixes = 6.0;   ///< Mean simultaneous prefixes per day.
+
+  // --- multi-vector: blended attack vectors within a chain ---
+  bool multivector = false;
+  std::size_t vector_count = 3;      ///< Distinct vectors per family.
+  double vector_switch_prob = 0.5;   ///< P(switch vector on a chained attack).
+  double vector_spread = 0.8;        ///< Log-scale magnitude/duration spread.
+
+  // --- iot-botnet: day-night device availability (urban IoT regime) ---
+  bool iot = false;
+  double iot_night_floor = 0.15;     ///< Availability at the nightly trough.
+  int iot_peak_hour = 20;            ///< Hour of peak device availability.
+  double iot_magnitude_follow = 1.0; ///< Magnitude elasticity vs availability.
+};
+
 struct GeneratorOptions {
   /// Length of the observation window in days (the paper's trace covers
   /// Aug 2012 - Mar 2013, ~242 days).
@@ -33,6 +63,19 @@ struct GeneratorOptions {
   double pool_scale = 20.0;
   /// Emit hourly per-family snapshots (trailing-24 h unique bot counts).
   bool emit_snapshots = true;
+  /// Scenario hooks (all off = the paper-table1 behavior, byte-identical to
+  /// the pre-catalog generator).
+  ScenarioBehavior scenario;
+  /// Shard each family's day loop over the parallel pool: every day draws
+  /// from its own Rng substream, so the trace is bit-identical at any
+  /// ACBM_THREADS — but NOT to the sequential (shard_days = false) stream.
+  /// The catalog turns this on for every scenario except paper-table1,
+  /// whose legacy sequential stream is frozen.
+  bool shard_days = false;
+  /// Overrides the bot-pool size (0 = median_bots * pool_scale as before).
+  /// The iot-botnet scenario uses this to scale from ~4k devices to
+  /// millions of bots.
+  std::size_t pool_override = 0;
 };
 
 /// Generates the full dataset over the given Internet substrate.

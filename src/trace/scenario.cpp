@@ -1,0 +1,240 @@
+#include "trace/scenario.h"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace acbm::trace {
+
+namespace {
+
+// Setter helpers so each catalog entry reads as a table of
+// {key, description, default, min, max, field}.
+template <double ScenarioBehavior::* Field>
+void set_behavior(GeneratorOptions& opts, double value) {
+  opts.scenario.*Field = value;
+}
+
+template <std::size_t ScenarioBehavior::* Field>
+void set_behavior_size(GeneratorOptions& opts, double value) {
+  opts.scenario.*Field = static_cast<std::size_t>(value);
+}
+
+template <int ScenarioBehavior::* Field>
+void set_behavior_int(GeneratorOptions& opts, double value) {
+  opts.scenario.*Field = static_cast<int>(value);
+}
+
+void set_pool_override(GeneratorOptions& opts, double value) {
+  opts.pool_override = static_cast<std::size_t>(value);
+}
+
+std::vector<Scenario> build_catalog() {
+  std::vector<Scenario> catalog;
+
+  // --- paper-table1: the frozen default -----------------------------------
+  {
+    Scenario s;
+    s.name = "paper-table1";
+    s.summary =
+        "the paper's Table-I adversary (default; byte-identical stream)";
+    s.citation = "ICDCS'17 Table I (PAPER.md)";
+    s.base = [](GeneratorOptions&) {};  // All hooks off; sequential stream.
+    s.eval = {70, 1.0, 0.8, 1};
+    catalog.push_back(std::move(s));
+  }
+
+  // --- pulse-wave ----------------------------------------------------------
+  {
+    Scenario s;
+    s.name = "pulse-wave";
+    s.summary = "short synchronized bursts rotating across targets";
+    s.citation = "arXiv:2511.12774 (PAPERS.md: pulse-wave simulator)";
+    s.base = [](GeneratorOptions& opts) {
+      opts.scenario.pulse = true;
+      opts.shard_days = true;
+    };
+    s.params = {
+        {"pulse-duration", "burst length in seconds (median)", 240.0, 10.0,
+         7200.0, set_behavior<&ScenarioBehavior::pulse_duration_s>},
+        {"pulse-gap", "quiet gap between bursts in seconds", 120.0, 0.0,
+         86400.0, set_behavior<&ScenarioBehavior::pulse_gap_s>},
+        {"rotation", "targets in the day's burst rotation", 6.0, 1.0, 64.0,
+         set_behavior_size<&ScenarioBehavior::pulse_rotation>},
+        {"jitter", "launch jitter within a burst slot (seconds)", 10.0, 0.0,
+         600.0, set_behavior<&ScenarioBehavior::pulse_jitter_s>},
+    };
+    s.eval = {70, 1.0, 0.8, 1};
+    catalog.push_back(std::move(s));
+  }
+
+  // --- carpet-bomb ---------------------------------------------------------
+  {
+    Scenario s;
+    s.name = "carpet-bomb";
+    s.summary = "attacks spread across whole target prefixes";
+    s.citation = "carpet-bombing DDoS (PAPERS.md: related work)";
+    s.base = [](GeneratorOptions& opts) {
+      opts.scenario.carpet = true;
+      opts.shard_days = true;
+    };
+    s.params = {
+        {"spread", "P(re-draw the victim IP across the prefix)", 1.0, 0.0,
+         1.0, set_behavior<&ScenarioBehavior::carpet_spread>},
+        {"prefixes", "mean simultaneous prefixes per day", 6.0, 1.0, 64.0,
+         set_behavior<&ScenarioBehavior::carpet_prefixes>},
+    };
+    s.eval = {70, 1.0, 0.8, 1};
+    catalog.push_back(std::move(s));
+  }
+
+  // --- multi-vector --------------------------------------------------------
+  {
+    Scenario s;
+    s.name = "multi-vector";
+    s.summary = "blended attack vectors switching within a chain";
+    s.citation = "multi-vector DDoS chains (PAPERS.md: related work)";
+    s.base = [](GeneratorOptions& opts) {
+      opts.scenario.multivector = true;
+      opts.shard_days = true;
+    };
+    s.params = {
+        {"vectors", "distinct vectors per family", 3.0, 2.0, 16.0,
+         set_behavior_size<&ScenarioBehavior::vector_count>},
+        {"switch-prob", "P(switch vector on a chained follow-up)", 0.5, 0.0,
+         1.0, set_behavior<&ScenarioBehavior::vector_switch_prob>},
+        {"vector-spread", "log-scale magnitude/duration spread", 0.8, 0.0,
+         3.0, set_behavior<&ScenarioBehavior::vector_spread>},
+    };
+    s.eval = {70, 1.0, 0.8, 1};
+    catalog.push_back(std::move(s));
+  }
+
+  // --- iot-botnet ----------------------------------------------------------
+  {
+    Scenario s;
+    s.name = "iot-botnet";
+    s.summary = "day-night device availability, IoT-scale bot pools";
+    s.citation = "arXiv:2110.01842 (PAPERS.md: urban IoT activity data)";
+    s.base = [](GeneratorOptions& opts) {
+      opts.scenario.iot = true;
+      opts.shard_days = true;
+      // The urban-IoT regime recruits device fleets far beyond the Table-I
+      // pools; the default scales every family to a 64k-device fleet
+      // (override with --scenario-param pool=N up to millions).
+      opts.pool_override = 65536;
+    };
+    s.params = {
+        {"night-floor", "device availability at the nightly trough", 0.15,
+         0.01, 1.0, set_behavior<&ScenarioBehavior::iot_night_floor>},
+        {"peak-hour", "hour of peak device availability", 20.0, 0.0, 23.0,
+         set_behavior_int<&ScenarioBehavior::iot_peak_hour>},
+        {"magnitude-follow", "magnitude elasticity vs availability", 1.0,
+         0.0, 4.0, set_behavior<&ScenarioBehavior::iot_magnitude_follow>},
+        {"pool", "bot-pool size per family (devices)", 65536.0, 1000.0,
+         8388608.0, set_pool_override},
+    };
+    s.eval = {70, 1.0, 0.8, 1};
+    catalog.push_back(std::move(s));
+  }
+
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& scenario_catalog() {
+  static const std::vector<Scenario> catalog = build_catalog();
+  return catalog;
+}
+
+const Scenario* find_scenario(std::string_view name) {
+  for (const Scenario& scenario : scenario_catalog()) {
+    if (name == scenario.name) return &scenario;
+  }
+  return nullptr;
+}
+
+const Scenario& apply_scenario(WorldOptions& opts, std::string_view name) {
+  const Scenario* scenario = find_scenario(name);
+  if (scenario == nullptr) {
+    std::string known;
+    for (const Scenario& s : scenario_catalog()) {
+      known += known.empty() ? "" : ", ";
+      known += s.name;
+    }
+    throw std::invalid_argument(
+        "unknown scenario '" + std::string(name) +
+        "' (usage: --scenario NAME with NAME one of: " + known +
+        "; see --list-scenarios)");
+  }
+  scenario->base(opts.generator);
+  return *scenario;
+}
+
+void apply_scenario_param(GeneratorOptions& opts, const Scenario& scenario,
+                          std::string_view spec) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string_view::npos || eq == 0 || eq + 1 == spec.size()) {
+    throw std::invalid_argument(
+        "malformed --scenario-param '" + std::string(spec) +
+        "' (usage: --scenario-param key=value; see --list-scenarios)");
+  }
+  const std::string_view key = spec.substr(0, eq);
+  const std::string_view value_text = spec.substr(eq + 1);
+  for (const ScenarioParam& param : scenario.params) {
+    if (key != param.key) continue;
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(
+        value_text.data(), value_text.data() + value_text.size(), value);
+    if (ec != std::errc() || ptr != value_text.data() + value_text.size()) {
+      throw std::invalid_argument(
+          "non-numeric value in --scenario-param '" + std::string(spec) +
+          "' (usage: --scenario-param " + param.key + "=NUMBER)");
+    }
+    if (!(value >= param.min && value <= param.max)) {
+      char range[96];
+      std::snprintf(range, sizeof range, "[%g, %g]", param.min, param.max);
+      throw std::invalid_argument(
+          "--scenario-param " + std::string(param.key) + "=" +
+          std::string(value_text) + " outside the valid range " + range);
+    }
+    param.apply(opts, value);
+    return;
+  }
+  std::string known;
+  for (const ScenarioParam& param : scenario.params) {
+    known += known.empty() ? "" : ", ";
+    known += param.key;
+  }
+  throw std::invalid_argument(
+      "scenario '" + std::string(scenario.name) + "' has no parameter '" +
+      std::string(key) + "'" +
+      (known.empty() ? " (it takes no parameters)"
+                     : " (known: " + known + ")"));
+}
+
+std::string list_scenarios_text() {
+  std::string out = "scenarios (acbm generate --scenario NAME):\n";
+  for (const Scenario& scenario : scenario_catalog()) {
+    char line[192];
+    std::snprintf(line, sizeof line, "  %-14s %s\n", scenario.name,
+                  scenario.summary);
+    out += line;
+    out += "                 [";
+    out += scenario.citation;
+    out += "]\n";
+    for (const ScenarioParam& param : scenario.params) {
+      char prow[192];
+      std::snprintf(prow, sizeof prow,
+                    "    --scenario-param %-18s %s (default %g, range "
+                    "[%g, %g])\n",
+                    param.key, param.description, param.def, param.min,
+                    param.max);
+      out += prow;
+    }
+  }
+  return out;
+}
+
+}  // namespace acbm::trace

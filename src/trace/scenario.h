@@ -1,0 +1,75 @@
+// The pluggable adversary-scenario catalog (SCENARIOS.md). A Scenario is a
+// named preset over the generator's behavioral hooks plus an evaluation
+// preset, so `acbm generate --scenario NAME` and `acbm evaluate --scenario
+// NAME` test the paper's predictability claims under adversary regimes
+// beyond Table I: pulse-wave bursts, carpet-bombing, multi-vector chains,
+// and IoT-scale day-night botnets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/world.h"
+
+namespace acbm::trace {
+
+/// One tunable scenario parameter, settable from the CLI as
+/// `--scenario-param key=value`. Values outside [min, max] are usage errors.
+struct ScenarioParam {
+  const char* key;
+  const char* description;
+  double def = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  void (*apply)(GeneratorOptions&, double) = nullptr;
+};
+
+/// The per-scenario evaluation preset behind `acbm evaluate --scenario`:
+/// a self-contained world (seeded, sized) plus the chronological split the
+/// predictability table is scored on.
+struct ScenarioEvalPreset {
+  std::size_t days = 70;
+  double activity_scale = 1.0;
+  double train_fraction = 0.8;
+  std::uint64_t seed = 1;
+};
+
+/// A catalog entry: the behavioral preset and its parameter space.
+struct Scenario {
+  const char* name;
+  const char* summary;   ///< One-liner for --list-scenarios.
+  const char* citation;  ///< The modeled regime's source (see PAPERS.md).
+  /// Turns the scenario's generator hooks on. paper-table1's is a no-op:
+  /// its draw stream is byte-identical to the pre-catalog generator.
+  void (*base)(GeneratorOptions&) = nullptr;
+  std::vector<ScenarioParam> params;
+  ScenarioEvalPreset eval;
+};
+
+/// The built-in catalog, paper-table1 first. Stable order (it names the
+/// --list-scenarios output and the bench/EXPERIMENTS row order).
+[[nodiscard]] const std::vector<Scenario>& scenario_catalog();
+
+/// Catalog lookup; nullptr when the name is unknown.
+[[nodiscard]] const Scenario* find_scenario(std::string_view name);
+
+/// Resolves a scenario by name and applies its base behavior to
+/// `opts.generator`. Throws std::invalid_argument naming the known
+/// scenarios when the name is unknown (CLI exit code 2).
+[[nodiscard]] const Scenario& apply_scenario(WorldOptions& opts,
+                                             std::string_view name);
+
+/// Parses one `key=value` spec and applies it. Throws std::invalid_argument
+/// (CLI exit code 2) on a malformed spec, an unknown key, a non-numeric
+/// value, or a value outside the parameter's documented range.
+void apply_scenario_param(GeneratorOptions& opts, const Scenario& scenario,
+                          std::string_view spec);
+
+/// The `--list-scenarios` text: one "name  summary" line per scenario
+/// followed by its parameter table (key, range, default, description).
+[[nodiscard]] std::string list_scenarios_text();
+
+}  // namespace acbm::trace

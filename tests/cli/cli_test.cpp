@@ -177,5 +177,101 @@ TEST(Cli, PredictSpecificTarget) {
   EXPECT_NE(out.find("no history"), std::string::npos);
 }
 
+TEST(Cli, ListScenariosPrintsCatalog) {
+  std::string out;
+  ASSERT_EQ(run_cli({"generate", "--list-scenarios"}, &out), 0);
+  for (const char* name : {"paper-table1", "pulse-wave", "carpet-bomb",
+                           "multi-vector", "iot-botnet"}) {
+    EXPECT_NE(out.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Cli, UnknownScenarioIsAUsageError) {
+  std::string out;
+  std::string err;
+  EXPECT_EQ(run_cli({"generate", "--scenario", "no-such"}, &out, &err), 2);
+  // The error names the known scenarios so the fix is one retype away.
+  EXPECT_NE(err.find("no-such"), std::string::npos);
+  EXPECT_NE(err.find("pulse-wave"), std::string::npos);
+}
+
+TEST(Cli, MalformedScenarioParamIsAUsageError) {
+  std::string out;
+  std::string err;
+  EXPECT_EQ(run_cli({"generate", "--scenario", "pulse-wave",
+                     "--scenario-param", "rotation=zebra"},
+                    &out, &err),
+            2);
+  EXPECT_NE(err.find("rotation"), std::string::npos);
+  // A key from a different scenario is rejected, not silently ignored.
+  EXPECT_EQ(run_cli({"generate", "--scenario", "pulse-wave",
+                     "--scenario-param", "spread=0.5"},
+                    &out, &err),
+            2);
+}
+
+// The catalog's frozen default: routing generate through --scenario
+// paper-table1 must leave the artifacts byte-identical to a plain generate.
+TEST(Cli, GenerateScenarioPaperTable1IsByteIdentical) {
+  TempDir tmp;
+  std::string out;
+  std::string err;
+  ASSERT_EQ(run_cli({"generate", "--seed", "3", "--days", "25", "--dataset",
+                     tmp.file("plain.csv"), "--ipmap", tmp.file("plain.map")},
+                    &out, &err),
+            0)
+      << err;
+  const std::string plain_banner = out;
+  ASSERT_EQ(run_cli({"generate", "--seed", "3", "--days", "25", "--scenario",
+                     "paper-table1", "--dataset", tmp.file("cat.csv"),
+                     "--ipmap", tmp.file("cat.map")},
+                    &out, &err),
+            0)
+      << err;
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+  };
+  EXPECT_EQ(slurp(tmp.file("plain.csv")), slurp(tmp.file("cat.csv")));
+  EXPECT_EQ(slurp(tmp.file("plain.map")), slurp(tmp.file("cat.map")));
+  // And the banner stays stable too (no scenario line for the default).
+  EXPECT_EQ(out.find("scenario:"), std::string::npos);
+  EXPECT_NE(plain_banner.find("generated"), std::string::npos);
+}
+
+TEST(Cli, GenerateNamedScenarioAnnouncesItself) {
+  TempDir tmp;
+  std::string out;
+  std::string err;
+  ASSERT_EQ(run_cli({"generate", "--seed", "2", "--days", "20", "--scenario",
+                     "pulse-wave", "--scenario-param", "rotation=4",
+                     "--dataset", tmp.file("pw.csv"), "--ipmap",
+                     tmp.file("pw.map")},
+                    &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("scenario: pulse-wave"), std::string::npos);
+  EXPECT_TRUE(fs::exists(tmp.file("pw.csv")));
+}
+
+TEST(Cli, EvaluateScenarioEmitsPredictabilityTable) {
+  std::string out;
+  std::string err;
+  ASSERT_EQ(run_cli({"evaluate", "--scenario", "carpet-bomb"}, &out, &err), 0)
+      << err;
+  EXPECT_NE(out.find("scenario: carpet-bomb"), std::string::npos);
+  EXPECT_NE(out.find("hour RMSE (naive):"), std::string::npos);
+  EXPECT_NE(out.find("date RMSE (naive):"), std::string::npos);
+  EXPECT_NE(out.find("ordering (hour):"), std::string::npos);
+  EXPECT_NE(out.find("paper ordering"), std::string::npos);
+  // Mixing the self-contained preset with a saved trace is a usage error.
+  EXPECT_EQ(run_cli({"evaluate", "--scenario", "carpet-bomb", "--dataset",
+                     "/nonexistent/x.csv"},
+                    &out, &err),
+            2);
+}
+
 }  // namespace
 }  // namespace acbm::cli
